@@ -1,0 +1,81 @@
+//! Criterion micro-benchmarks of the simulated DBMS substrate: SQL
+//! parsing/binding, optimizer planning (including the 7-relation join
+//! DP of Q8), and analytic execution.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vda_simdb::bind::bind_statement;
+use vda_simdb::engines::Engine;
+use vda_simdb::exec::{ExecContext, Executor};
+use vda_simdb::optimizer::Optimizer;
+use vda_simdb::sql::parse_statement;
+use vda_vmm::{Hypervisor, PhysicalMachine, VmConfig};
+use vda_workloads::tpch;
+
+fn bench_frontend(c: &mut Criterion) {
+    let q18 = tpch::query(18);
+    c.bench_function("parse_q18", |b| {
+        b.iter(|| black_box(parse_statement(&q18).expect("parses")))
+    });
+    let cat = tpch::catalog(1.0);
+    c.bench_function("bind_q18", |b| {
+        b.iter(|| black_box(bind_statement(&q18, &cat).expect("binds")))
+    });
+}
+
+fn bench_optimizer(c: &mut Criterion) {
+    let cat = tpch::catalog(1.0);
+    let engine = Engine::db2();
+    let hv = Hypervisor::new(PhysicalMachine::paper_testbed());
+    let perf = hv.perf_for(VmConfig::new(0.5, 0.5).expect("valid"));
+    let params = engine.true_params(&perf);
+    let factors = engine.factors(&params);
+
+    let q6 = bind_statement(&tpch::query(6), &cat).expect("binds");
+    c.bench_function("plan_q6_single_table", |b| {
+        let opt = Optimizer::new(&cat, factors);
+        b.iter(|| black_box(opt.plan(&q6)))
+    });
+    let q8 = bind_statement(&tpch::query(8), &cat).expect("binds");
+    c.bench_function("plan_q8_seven_way_join_dp", |b| {
+        let opt = Optimizer::new(&cat, factors);
+        b.iter(|| black_box(opt.plan(&q8)))
+    });
+    let q18 = bind_statement(&tpch::query(18), &cat).expect("binds");
+    c.bench_function("plan_q18_with_subquery", |b| {
+        let opt = Optimizer::new(&cat, factors);
+        b.iter(|| black_box(opt.plan(&q18)))
+    });
+}
+
+fn bench_executor(c: &mut Criterion) {
+    let cat = tpch::catalog(1.0);
+    let engine = Engine::db2();
+    let hv = Hypervisor::new(PhysicalMachine::paper_testbed());
+    let perf = hv.perf_for(VmConfig::new(0.5, 0.5).expect("valid"));
+    let exec = Executor::new(&engine, &cat);
+    let q18 = bind_statement(&tpch::query(18), &cat).expect("binds");
+    c.bench_function("execute_q18", |b| {
+        b.iter(|| black_box(exec.execute(&q18, &perf, &ExecContext::default())))
+    });
+
+    let tpcc_cat = vda_workloads::tpcc::catalog(10);
+    let exec_c = Executor::new(&engine, &tpcc_cat);
+    let update = bind_statement(
+        "UPDATE stock SET s_quantity = s_quantity - 5 WHERE s_i_id = 777 AND s_w_id = 1",
+        &tpcc_cat,
+    )
+    .expect("binds");
+    c.bench_function("execute_tpcc_update", |b| {
+        b.iter(|| {
+            black_box(exec_c.execute(&update, &perf, &ExecContext { concurrency: 20.0 }))
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_frontend, bench_optimizer, bench_executor
+);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Experiment runner: regenerates the paper's figures and tables.
+//!
+//! ```text
+//! experiments <id> [<id> ...]   run specific experiments (fig2, fig12, …)
+//! experiments all               run everything in paper order
+//! experiments list              list available experiment ids
+//! ```
+
+use std::process::ExitCode;
+use vda_bench::experiments;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "help" || args[0] == "--help" {
+        eprintln!("usage: experiments <id>... | all | list");
+        eprintln!("ids: {}", id_list().join(" "));
+        return ExitCode::from(2);
+    }
+    if args[0] == "list" {
+        println!("{}", id_list().join("\n"));
+        return ExitCode::SUCCESS;
+    }
+
+    let ids: Vec<String> = if args[0] == "all" {
+        id_list().into_iter().map(str::to_string).collect()
+    } else {
+        args
+    };
+
+    for id in &ids {
+        match experiments::run_by_id(id) {
+            Some(report) => print!("{report}"),
+            None => {
+                eprintln!("unknown experiment id {id:?}; try `experiments list`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn id_list() -> Vec<&'static str> {
+    experiments::registry().into_iter().map(|(id, _)| id).collect()
+}

@@ -1,0 +1,145 @@
+//! Figures 5–8 — calibration parameter behaviour (§4.4).
+//!
+//! * Fig. 5: PgSim `cpu_tuple_cost` varies linearly with
+//!   `1/(allocated CPU fraction)` and hardly at all with memory.
+//! * Fig. 6: the same for Db2Sim `cpuspeed`.
+//! * Fig. 7: PgSim `random_page_cost` is independent of both CPU and
+//!   memory allocation.
+//! * Fig. 8: the same for Db2Sim `transfer_rate`.
+//!
+//! Each CPU figure shows, per CPU level: the value measured at 50 %
+//! memory, the average over seven memory allocations (20 %–80 %), and
+//! the linear-regression prediction fitted on the 50 %-memory points.
+
+use crate::harness::{fmt_f, Report, Table};
+use crate::setups;
+use vda_core::costmodel::calibration::Calibrator;
+use vda_core::problem::Allocation;
+use vda_simdb::engines::Engine;
+use vda_stats::LinearFit;
+
+const CPU_LEVELS: [f64; 7] = [0.2, 0.3, 0.4, 0.5, 0.6, 0.8, 1.0];
+const MEM_LEVELS: [f64; 7] = [0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8];
+
+fn cpu_param_figure(id: &str, title: &str, engine: Engine, value_index: usize) -> Report {
+    let mut report = Report::new(id, title);
+    let hv = setups::testbed();
+    let cal = Calibrator::new(&hv);
+    let points = cal.calibrate_grid(&engine, &CPU_LEVELS, &MEM_LEVELS);
+
+    // Fit on the 50 %-memory points, as the calibration procedure does.
+    let at_half: Vec<&_> = points.iter().filter(|p| p.memory_share == 0.5).collect();
+    let inv: Vec<f64> = at_half.iter().map(|p| 1.0 / p.cpu_share).collect();
+    let vals: Vec<f64> = at_half.iter().map(|p| p.values[value_index]).collect();
+    let fit = LinearFit::fit(&inv, &vals).expect("distinct CPU levels");
+
+    let mut table = Table::new(vec![
+        "1/cpu share",
+        "value @50% mem",
+        "avg over 20-80% mem",
+        "linear fit",
+    ]);
+    let mut max_mem_spread = 0.0_f64;
+    for &cpu in &CPU_LEVELS {
+        let across: Vec<f64> = points
+            .iter()
+            .filter(|p| p.cpu_share == cpu)
+            .map(|p| p.values[value_index])
+            .collect();
+        let avg = vda_stats::mean(&across);
+        let half = points
+            .iter()
+            .find(|p| p.cpu_share == cpu && p.memory_share == 0.5)
+            .expect("grid contains 50% memory")
+            .values[value_index];
+        let spread = across
+            .iter()
+            .fold(0.0_f64, |m, &v| m.max((v - avg).abs() / avg));
+        max_mem_spread = max_mem_spread.max(spread);
+        table.row(vec![
+            fmt_f(1.0 / cpu, 2),
+            format!("{half:.3e}"),
+            format!("{avg:.3e}"),
+            format!("{:.3e}", fit.predict(1.0 / cpu)),
+        ]);
+    }
+    report.section("parameter vs 1/cpu", table);
+    report.note(format!(
+        "linear in 1/cpu: regression R^2 = {:.6} (paper: 'a very accurate approximation')",
+        fit.r_squared
+    ));
+    report.note(format!(
+        "memory-independence: max relative spread across memory levels = {max_mem_spread:.4} \
+         (paper: 'CPU parameters do not vary too much with memory')"
+    ));
+    report
+}
+
+fn io_param_figure(id: &str, title: &str, engine: Engine, value_index: usize) -> Report {
+    let mut report = Report::new(id, title);
+    let hv = setups::testbed();
+    let cal = Calibrator::new(&hv);
+    let mut table = Table::new(vec!["cpu share", "mem share", "value"]);
+    let mut values = Vec::new();
+    for &cpu in &[0.2, 0.5, 0.8] {
+        for &mem in &[0.2, 0.5, 0.8] {
+            let p = cal.io_point(&engine, Allocation::new(cpu, mem));
+            values.push(p.values[value_index]);
+            table.row(vec![
+                fmt_f(cpu, 1),
+                fmt_f(mem, 1),
+                format!("{:.4e}", p.values[value_index]),
+            ]);
+        }
+    }
+    report.section("parameter across the allocation grid", table);
+    let avg = vda_stats::mean(&values);
+    let spread = values
+        .iter()
+        .fold(0.0_f64, |m, &v| m.max((v - avg).abs() / avg));
+    report.note(format!(
+        "I/O parameter independent of CPU and memory: max relative spread {spread:.2e} \
+         (paper: 'I/O parameters do not depend on CPU or memory')"
+    ));
+    report
+}
+
+/// Fig. 5 — PgSim `cpu_tuple_cost`.
+pub fn run_fig5() -> Report {
+    cpu_param_figure(
+        "fig5",
+        "Variation in PgSim cpu_tuple_cost with 1/cpu share",
+        Engine::pg(),
+        0,
+    )
+}
+
+/// Fig. 6 — Db2Sim `cpuspeed`.
+pub fn run_fig6() -> Report {
+    cpu_param_figure(
+        "fig6",
+        "Variation in Db2Sim cpuspeed with 1/cpu share",
+        Engine::db2(),
+        0,
+    )
+}
+
+/// Fig. 7 — PgSim `random_page_cost`.
+pub fn run_fig7() -> Report {
+    io_param_figure(
+        "fig7",
+        "Variation in PgSim random_page_cost across allocations",
+        Engine::pg(),
+        0,
+    )
+}
+
+/// Fig. 8 — Db2Sim `transfer_rate`.
+pub fn run_fig8() -> Report {
+    io_param_figure(
+        "fig8",
+        "Variation in Db2Sim transfer_rate across allocations",
+        Engine::db2(),
+        1,
+    )
+}

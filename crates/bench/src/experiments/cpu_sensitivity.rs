@@ -1,0 +1,176 @@
+//! Figures 12–17 — sensitivity to workload CPU needs (§7.3).
+//!
+//! Controlled validation on workload units `C` (CPU-intensive, k×Q18)
+//! and `I` (not CPU-intensive, 1×Q21), count-balanced to equal cost at
+//! 100 % CPU. Three experiments per engine:
+//!
+//! * Figs. 12/13: `W1 = 5C+5I` vs `W2 = kC+(10−k)I`, k = 0..10 — CPU
+//!   given to W2 grows with k; improvement is U-shaped with its
+//!   minimum where the workloads are alike (k ≈ 5).
+//! * Figs. 14/15: `W3 = 1C` vs `W4 = kC` — the longer workload wins
+//!   CPU, improvement grows with the asymmetry.
+//! * Figs. 16/17: `W5 = 1C` vs `W6 = kI` — length without CPU appetite
+//!   must NOT win CPU proportionally.
+//!
+//! The metric is the estimated improvement over the default 50/50
+//! split, as in the paper's validation experiments.
+
+use crate::harness::{fmt_f, fmt_pct, Report, Table};
+use crate::setups::{self, EngineChoice, FIXED_512MB_SHARE};
+use vda_core::problem::SearchSpace;
+use vda_workloads::units::WorkloadUnit;
+
+fn space() -> SearchSpace {
+    SearchSpace::cpu_only(FIXED_512MB_SHARE)
+}
+
+fn units(choice: EngineChoice) -> (WorkloadUnit, WorkloadUnit) {
+    let engine = setups::engine_fixed_memory(choice);
+    let cat = setups::sf(1.0);
+    setups::cpu_units(&engine, &cat)
+}
+
+/// Figs. 12/13: varying CPU intensity at fixed workload size.
+fn varying_intensity(id: &str, choice: EngineChoice) -> Report {
+    let mut report = Report::new(
+        id,
+        format!("Varying CPU intensity ({}): W1=5C+5I vs W2=kC+(10-k)I", choice.name()),
+    );
+    let engine = setups::engine_fixed_memory(choice);
+    let cat = setups::sf(1.0);
+    let (c, i) = units(choice);
+    report.note(format!(
+        "balanced units: C = {:.0} x Q18, I = 1 x Q21",
+        c.workload.total_statements()
+    ));
+
+    let mut table = Table::new(vec!["k", "CPU to W2", "est improvement"]);
+    let mut shares = Vec::new();
+    for k in 0..=10 {
+        let w1 = c.compose(5.0, &i, 5.0);
+        let w2 = c.compose(k as f64, &i, (10 - k) as f64);
+        let adv = setups::advisor_for(&engine, &cat, vec![w1, w2]);
+        let rec = adv.recommend(&space());
+        let imp = adv.estimated_improvement(&space(), &rec.result.allocations);
+        shares.push(rec.result.allocations[1].cpu);
+        table.row(vec![
+            k.to_string(),
+            fmt_f(rec.result.allocations[1].cpu, 2),
+            fmt_pct(imp),
+        ]);
+    }
+    report.section("allocation and improvement vs k", table);
+    report.note(format!(
+        "CPU to W2 is non-decreasing in k: {} (paper: advisor detects W2 becoming more \
+         CPU-intensive)",
+        shares.windows(2).all(|w| w[1] >= w[0] - 1e-9)
+    ));
+    report.note(format!(
+        "W2 below half at k=0 ({:.2}) and above half at k=10 ({:.2})",
+        shares[0], shares[10]
+    ));
+    report
+}
+
+/// Figs. 14/15: varying workload size AND resource intensity.
+fn varying_size(id: &str, choice: EngineChoice) -> Report {
+    let mut report = Report::new(
+        id,
+        format!("Varying workload size and intensity ({}): W3=1C vs W4=kC", choice.name()),
+    );
+    let engine = setups::engine_fixed_memory(choice);
+    let cat = setups::sf(1.0);
+    let (c, _) = units(choice);
+
+    let mut table = Table::new(vec!["k", "CPU to W4", "est improvement"]);
+    let mut shares = Vec::new();
+    for k in 1..=10 {
+        let w3 = c.times(1.0);
+        let w4 = c.times(k as f64);
+        let adv = setups::advisor_for(&engine, &cat, vec![w3, w4]);
+        let rec = adv.recommend(&space());
+        let imp = adv.estimated_improvement(&space(), &rec.result.allocations);
+        shares.push(rec.result.allocations[1].cpu);
+        table.row(vec![
+            k.to_string(),
+            fmt_f(rec.result.allocations[1].cpu, 2),
+            fmt_pct(imp),
+        ]);
+    }
+    report.section("allocation and improvement vs k", table);
+    report.note(format!(
+        "equal at k=1 ({:.2}), grows with k, reaching {:.2} at k=10",
+        shares[0], shares[9]
+    ));
+    report
+}
+
+/// Figs. 16/17: varying size but NOT intensity.
+fn size_without_intensity(id: &str, choice: EngineChoice) -> Report {
+    let mut report = Report::new(
+        id,
+        format!(
+            "Varying workload size but not CPU intensity ({}): W5=1C vs W6=kI",
+            choice.name()
+        ),
+    );
+    let engine = setups::engine_fixed_memory(choice);
+    let cat = setups::sf(1.0);
+    let (c, i) = units(choice);
+
+    let mut table = Table::new(vec!["k", "CPU to W6", "est improvement"]);
+    let mut shares = Vec::new();
+    for k in 1..=10 {
+        let w5 = c.times(1.0);
+        let w6 = i.times(k as f64);
+        let adv = setups::advisor_for(&engine, &cat, vec![w5, w6]);
+        let rec = adv.recommend(&space());
+        let imp = adv.estimated_improvement(&space(), &rec.result.allocations);
+        shares.push(rec.result.allocations[1].cpu);
+        table.row(vec![
+            k.to_string(),
+            fmt_f(rec.result.allocations[1].cpu, 2),
+            fmt_pct(imp),
+        ]);
+    }
+    report.section("allocation and improvement vs k", table);
+    // The paper's point: W6 must be *several times* as long as W5 to
+    // reach an equal share; at small k the CPU-hungry W5 keeps more.
+    let crossover = shares.iter().position(|&s| s >= 0.5).map(|p| p + 1);
+    report.note(format!(
+        "W6 reaches a 50% CPU share only at k = {:?} (paper: 'W6 has to be several times \
+         as long as W5 to get the same CPU allocation')",
+        crossover
+    ));
+    report
+}
+
+/// Fig. 12 — Db2Sim intensity sweep.
+pub fn run_fig12() -> Report {
+    varying_intensity("fig12", EngineChoice::Db2)
+}
+
+/// Fig. 13 — PgSim intensity sweep.
+pub fn run_fig13() -> Report {
+    varying_intensity("fig13", EngineChoice::Pg)
+}
+
+/// Fig. 14 — Db2Sim size sweep.
+pub fn run_fig14() -> Report {
+    varying_size("fig14", EngineChoice::Db2)
+}
+
+/// Fig. 15 — PgSim size sweep.
+pub fn run_fig15() -> Report {
+    varying_size("fig15", EngineChoice::Pg)
+}
+
+/// Fig. 16 — Db2Sim length-without-intensity sweep.
+pub fn run_fig16() -> Report {
+    size_without_intensity("fig16", EngineChoice::Db2)
+}
+
+/// Fig. 17 — PgSim length-without-intensity sweep.
+pub fn run_fig17() -> Report {
+    size_without_intensity("fig17", EngineChoice::Pg)
+}

@@ -1,0 +1,79 @@
+//! Diagnostic: estimated vs actual per-query costs on both engines.
+//!
+//! The §4 pipeline in one table: calibrated what-if estimates against
+//! executor actuals for every TPC-H template at the fixed-memory
+//! CPU-experiment configuration, for PgSim and Db2Sim side by side.
+//! Useful for tuning and for validating the "estimates track actuals
+//! for DSS" property the evaluation relies on.
+
+use crate::harness::{fmt_f, Report, Table};
+use crate::setups::{self, EngineChoice, FIXED_512MB_SHARE};
+use vda_core::problem::Allocation;
+use vda_workloads::tpch;
+
+/// Run the diagnostic.
+pub fn run() -> Report {
+    let mut report = Report::new(
+        "estcosts",
+        "Estimated vs actual query costs at 100% CPU / fixed 512 MB (SF1)",
+    );
+    let cat = setups::sf(1.0);
+    let alloc = Allocation::new(1.0, FIXED_512MB_SHARE);
+
+    let mut table = Table::new(vec![
+        "query",
+        "pg est (s)",
+        "pg act (s)",
+        "pg err",
+        "db2 est (s)",
+        "db2 act (s)",
+        "db2 err",
+    ]);
+    let mut max_err = [0.0_f64; 2];
+    for n in 1..=22 {
+        let mut row = vec![format!("Q{n}")];
+        for (slot, choice) in [EngineChoice::Pg, EngineChoice::Db2].iter().enumerate() {
+            let engine = setups::engine_fixed_memory(*choice);
+            let adv =
+                setups::advisor_for(&engine, &cat, vec![tpch::query_workload(n, 1.0)]);
+            let est = adv.estimator(0).cost(alloc);
+            let act = adv.actual_cost(0, alloc);
+            let err = (est - act) / act;
+            max_err[slot] = max_err[slot].max(err.abs());
+            row.push(fmt_f(est, 1));
+            row.push(fmt_f(act, 1));
+            row.push(format!("{:+.1}%", err * 100.0));
+        }
+        table.row(row);
+    }
+    report.section("per-query estimates vs actuals", table);
+    report.note(format!(
+        "max |error|: pg {:.1}%, db2 {:.1}% (read-only DSS: unmodeled costs are small)",
+        max_err[0] * 100.0,
+        max_err[1] * 100.0
+    ));
+
+    // OLTP: the §7.8 misestimation. Estimates must *underestimate*
+    // TPC-C, increasingly so at low CPU shares.
+    let engine = setups::engine_fixed_memory(EngineChoice::Db2);
+    let tpcc_cat = vda_workloads::tpcc::catalog(10);
+    let w = vda_workloads::tpcc::workload(6, 8, setups::TPCC_TXNS_PER_CLIENT);
+    let tenant = vda_core::tenant::Tenant::new("tpcc", engine, tpcc_cat, w).expect("binds");
+    let mut adv = vda_core::advisor::VirtualizationDesignAdvisor::new(setups::testbed());
+    adv.add_tenant(tenant, vda_core::problem::QoS::default());
+    adv.calibrate();
+    let mut oltp = Table::new(vec!["cpu share", "est (s)", "act (s)", "act/est"]);
+    for &c in &[0.1, 0.3, 0.5, 1.0] {
+        let a = Allocation::new(c, 0.25);
+        let est = adv.estimator(0).cost(a);
+        let act = adv.actual_cost(0, a);
+        oltp.row(vec![
+            fmt_f(c, 1),
+            fmt_f(est, 1),
+            fmt_f(act, 1),
+            fmt_f(act / est, 2),
+        ]);
+    }
+    report.section("TPC-C (Db2Sim, 6 warehouses x 8 clients): est vs act", oltp);
+    report
+}

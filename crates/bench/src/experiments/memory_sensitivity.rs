@@ -1,0 +1,56 @@
+//! Figure 18 — sensitivity to workload memory needs (§7.4).
+//!
+//! Db2Sim over the 10 GB TPC-H database, with the proportional memory
+//! policy (70 % of free memory to the buffer pool, 30 % to the sort
+//! heap). Units: `B` = 1×Q7 (memory-sensitive: its big aggregation
+//! spills below a sort-heap threshold) and `D` = k×Q16
+//! (memory-insensitive), balanced at 100 % memory.
+//! `W7 = 5B+5D` vs `W8 = kB+(10−k)D`: as k grows, W8 becomes more
+//! memory-intensive and the advisor gives it more memory.
+
+use crate::harness::{fmt_f, fmt_pct, Report, Table};
+use crate::setups::{self, EngineChoice};
+use vda_core::problem::SearchSpace;
+
+/// Run the experiment.
+pub fn run() -> Report {
+    let mut report = Report::new(
+        "fig18",
+        "Varying memory intensity (Db2Sim, SF10): W7=5B+5D vs W8=kB+(10-k)D",
+    );
+    let engine = EngineChoice::Db2.engine();
+    let cat = setups::sf(10.0);
+    let (b, d) = setups::memory_units(&engine, &cat);
+    report.note(format!(
+        "balanced units: B = 1 x Q7, D = {:.0} x Q16",
+        d.workload.total_statements()
+    ));
+
+    let space = SearchSpace::memory_only(0.5);
+    let mut table = Table::new(vec!["k", "memory to W8", "est improvement"]);
+    let mut shares = Vec::new();
+    for k in 0..=10 {
+        let w7 = b.compose(5.0, &d, 5.0);
+        let w8 = b.compose(k as f64, &d, (10 - k) as f64);
+        let adv = setups::advisor_for(&engine, &cat, vec![w7, w8]);
+        let rec = adv.recommend(&space);
+        let imp = adv.estimated_improvement(&space, &rec.result.allocations);
+        shares.push(rec.result.allocations[1].memory);
+        table.row(vec![
+            k.to_string(),
+            fmt_f(rec.result.allocations[1].memory, 2),
+            fmt_pct(imp),
+        ]);
+    }
+    report.section("allocation and improvement vs k", table);
+    report.note(format!(
+        "memory to W8 non-decreasing in k: {}",
+        shares.windows(2).all(|w| w[1] >= w[0] - 1e-9)
+    ));
+    report.note(format!(
+        "W8 at or below half for small k ({:.2} at k=0), above for large k ({:.2} at k=10) \
+         (paper: advisor detects W8 becoming more memory-intensive)",
+        shares[0], shares[10]
+    ));
+    report
+}

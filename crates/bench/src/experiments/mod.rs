@@ -1,0 +1,75 @@
+//! One module per paper artifact (figure/table), plus diagnostics.
+//!
+//! Every experiment is a `fn run() -> Report` printing the same
+//! rows/series the paper's figure plots, with notes asserting the
+//! qualitative claims ("who wins, by roughly what factor, where the
+//! crossovers fall").
+
+pub mod ablation;
+pub mod calibration_figs;
+pub mod cpu_sensitivity;
+pub mod dynamic_mgmt;
+pub mod estcosts;
+pub mod memory_sensitivity;
+pub mod motivating;
+pub mod multi_resource;
+pub mod profiles;
+pub mod qos;
+pub mod random_workloads;
+pub mod refinement;
+pub mod sec72_costs;
+pub mod surface;
+pub mod tables;
+
+use crate::harness::Report;
+
+/// All experiment ids with their runners, in paper order.
+#[allow(clippy::type_complexity)] // id → runner table
+pub fn registry() -> Vec<(&'static str, fn() -> Report)> {
+    vec![
+        ("profiles", profiles::run as fn() -> Report),
+        ("estcosts", estcosts::run),
+        ("fig2", motivating::run),
+        ("fig5", calibration_figs::run_fig5),
+        ("fig6", calibration_figs::run_fig6),
+        ("fig7", calibration_figs::run_fig7),
+        ("fig8", calibration_figs::run_fig8),
+        ("fig9", surface::run_fig9),
+        ("fig10", surface::run_fig10),
+        ("fig12", cpu_sensitivity::run_fig12),
+        ("fig13", cpu_sensitivity::run_fig13),
+        ("fig14", cpu_sensitivity::run_fig14),
+        ("fig15", cpu_sensitivity::run_fig15),
+        ("fig16", cpu_sensitivity::run_fig16),
+        ("fig17", cpu_sensitivity::run_fig17),
+        ("fig18", memory_sensitivity::run),
+        ("fig19", qos::run_fig19),
+        ("fig20", qos::run_fig20),
+        ("fig21", random_workloads::run_fig21),
+        ("fig22", random_workloads::run_fig22),
+        ("fig23", random_workloads::run_fig23),
+        ("fig24", random_workloads::run_fig24),
+        ("fig25", multi_resource::run_fig25_26),
+        ("fig27", multi_resource::run_fig27),
+        ("fig28", refinement::run_fig28),
+        ("fig29", refinement::run_fig29),
+        ("fig30", refinement::run_fig30),
+        ("fig31", refinement::run_fig31),
+        ("fig32", refinement::run_fig32_33),
+        ("fig34", refinement::run_fig34),
+        ("fig35", dynamic_mgmt::run_fig35),
+        ("fig36", dynamic_mgmt::run_fig36),
+        ("tab2", tables::run_tab2),
+        ("tab3", tables::run_tab3),
+        ("sec72", sec72_costs::run),
+        ("ablation", ablation::run),
+    ]
+}
+
+/// Run one experiment by id.
+pub fn run_by_id(id: &str) -> Option<Report> {
+    registry()
+        .into_iter()
+        .find(|(name, _)| *name == id)
+        .map(|(_, f)| f())
+}

@@ -1,0 +1,102 @@
+//! Diagnostic: per-query resource profiles of the 22 TPC-H-like
+//! templates.
+//!
+//! Not a paper figure, but the foundation under §7.3–7.4: the paper
+//! "examined the behavior of the 22 TPC-H queries" to pick Q18 as the
+//! most CPU-intensive, Q21 as the least, Q7 as memory-sensitive and
+//! Q16 as insensitive. This experiment performs that examination on
+//! the simulated stack under the paper's own conditions — CPU
+//! sensitivity on SF1 with the fixed 512 MB memory policy (§7.3),
+//! memory sensitivity on SF10 with the proportional policy (§7.4) —
+//! and reports the resulting rankings.
+
+use crate::harness::{fmt_f, Report, Table};
+use crate::setups::{self, EngineChoice, FIXED_512MB_SHARE};
+use vda_simdb::bind_statement;
+use vda_simdb::exec::{ExecContext, Executor};
+use vda_vmm::VmConfig;
+use vda_workloads::tpch;
+
+/// Run the diagnostic.
+pub fn run() -> Report {
+    let mut report = Report::new(
+        "profiles",
+        "TPC-H-like query resource profiles (diagnostic for §7.3–7.4 anchor queries)",
+    );
+    let hv = setups::testbed();
+    let ctx = ExecContext::default();
+
+    // --- CPU sensitivity: SF1, fixed 512 MB memory (§7.3 setup) ---
+    let cat1 = tpch::catalog(1.0);
+    let engine_fixed = setups::engine_fixed_memory(EngineChoice::Db2);
+    let exec_fixed = Executor::new(&engine_fixed, &cat1);
+    let mut cpu_table = Table::new(vec![
+        "query",
+        "t@100%cpu (s)",
+        "cpu fraction",
+        "cpu sens (t20%/t100%)",
+    ]);
+    let mut cpu_rank: Vec<(usize, f64)> = Vec::new();
+    for n in 1..=22 {
+        let q = bind_statement(&tpch::query(n), &cat1).expect("templates bind");
+        let lo = exec_fixed.execute(
+            &q,
+            &hv.perf_for(VmConfig::new(0.2, FIXED_512MB_SHARE).unwrap()),
+            &ctx,
+        );
+        let hi = exec_fixed.execute(
+            &q,
+            &hv.perf_for(VmConfig::new(1.0, FIXED_512MB_SHARE).unwrap()),
+            &ctx,
+        );
+        let sens = lo.seconds / hi.seconds;
+        cpu_rank.push((n, sens));
+        cpu_table.row(vec![
+            format!("Q{n}"),
+            fmt_f(hi.seconds, 1),
+            fmt_f(hi.cpu_seconds / hi.seconds, 3),
+            fmt_f(sens, 2),
+        ]);
+    }
+    report.section("CPU profiles (Db2Sim, SF1, fixed 512 MB)", cpu_table);
+
+    // --- Memory sensitivity: SF10, proportional policy (§7.4 setup) ---
+    let cat10 = tpch::catalog(10.0);
+    let engine_prop = EngineChoice::Db2.engine();
+    let exec_prop = Executor::new(&engine_prop, &cat10);
+    let mut mem_table = Table::new(vec!["query", "t@90%mem (s)", "mem sens (t10%/t90%)"]);
+    let mut mem_rank: Vec<(usize, f64)> = Vec::new();
+    for n in 1..=22 {
+        let q = bind_statement(&tpch::query(n), &cat10).expect("templates bind");
+        let lo = exec_prop.execute(&q, &hv.perf_for(VmConfig::new(0.5, 0.1).unwrap()), &ctx);
+        let hi = exec_prop.execute(&q, &hv.perf_for(VmConfig::new(0.5, 0.9).unwrap()), &ctx);
+        let sens = lo.seconds / hi.seconds;
+        mem_rank.push((n, sens));
+        mem_table.row(vec![
+            format!("Q{n}"),
+            fmt_f(hi.seconds, 1),
+            fmt_f(sens, 2),
+        ]);
+    }
+    report.section("memory profiles (Db2Sim, SF10, proportional)", mem_table);
+
+    cpu_rank.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+    mem_rank.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+    let cpu_top: Vec<usize> = cpu_rank.iter().take(5).map(|x| x.0).collect();
+    let cpu_bottom: Vec<usize> = cpu_rank.iter().rev().take(5).map(|x| x.0).collect();
+    let mem_top: Vec<usize> = mem_rank.iter().take(5).map(|x| x.0).collect();
+    let mem_bottom: Vec<usize> = mem_rank.iter().rev().take(8).map(|x| x.0).collect();
+
+    report.note(format!("most CPU-sensitive: {cpu_top:?} (paper anchor: Q18)"));
+    report.note(format!("least CPU-sensitive: {cpu_bottom:?} (paper anchor: Q21)"));
+    report.note(format!("most memory-sensitive: {mem_top:?} (paper anchor: Q7)"));
+    report.note(format!("least memory-sensitive: {mem_bottom:?} (paper anchor: Q16)"));
+    report.note(format!(
+        "anchors hold: Q18 cpu-top5={} Q21 cpu-bottom5={} Q7 mem-top5={} Q16 mem-bottom8={}",
+        cpu_top.contains(&18),
+        cpu_bottom.contains(&21),
+        mem_top.contains(&7),
+        mem_bottom.contains(&16),
+    ));
+    report
+}

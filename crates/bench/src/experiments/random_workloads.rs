@@ -1,0 +1,232 @@
+//! Figures 21–24 — CPU allocation for random workloads (§7.6).
+//!
+//! * Fig. 21: ten random TPC-H workloads on PgSim/SF10 (each 10–20
+//!   units of either 1×Q17 or k×modified-Q18); for N = 2..10
+//!   concurrent workloads the advisor's CPU split is shown per
+//!   workload.
+//! * Figs. 22/23: five TPC-C + five random TPC-H workloads on
+//!   Db2Sim/PgSim. (These recommendations look fine by the estimates
+//!   but are *wrong* — §7.8 refines them.)
+//! * Fig. 24: actual improvement of the advisor vs the actual-cost
+//!   optimal allocation for the Fig. 21 workloads.
+
+use crate::harness::{fmt_f, fmt_pct, Report, Table};
+use crate::setups::{self, EngineChoice};
+use vda_core::advisor::VirtualizationDesignAdvisor;
+use vda_core::problem::{QoS, SearchSpace};
+use vda_core::tenant::Tenant;
+use vda_workloads::random;
+
+/// Memory share for the SF10 PostgreSQL VMs of Figs. 21/24: the paper
+/// gives those VMs 6 GB ("we give the virtual machine 6GB of memory"),
+/// i.e. ~73 % of the 8 GB machine. Memory is not under advisor
+/// control here and the paper measures VMs individually, so the grant
+/// need not be divided among the N VMs.
+const MEM_SHARE: f64 = 6144.0 / 8192.0;
+
+/// Memory share for the TPC-C + TPC-H mixes of Figs. 22/23 (mostly
+/// ~1 GB databases; the paper used 512 MB VMs for those — we use a
+/// uniform 2 GB grant because one tenant hosts the 10 GB database).
+const MIX_MEM_SHARE: f64 = 0.25;
+
+fn cpu_space() -> SearchSpace {
+    SearchSpace::cpu_only(MEM_SHARE)
+}
+
+fn mix_space() -> SearchSpace {
+    SearchSpace::cpu_only(MIX_MEM_SHARE)
+}
+
+/// The Fig. 21 workload set: PgSim on SF10.
+fn fig21_advisor(n: usize) -> VirtualizationDesignAdvisor {
+    let engine = setups::engine_fixed_memory(EngineChoice::Pg);
+    let cat = setups::sf(10.0);
+    // Balance the two unit kinds at 100 % CPU, like the paper's "66
+    // copies of a modified Q18".
+    let at = vda_core::problem::Allocation::new(1.0, MEM_SHARE);
+    let q17_cost = setups::full_allocation_cost(
+        &engine,
+        &cat,
+        &vda_workloads::tpch::query_workload(17, 1.0),
+        at,
+    );
+    let mut q18m = vda_workloads::Workload::new("q18m");
+    q18m.push(vda_workloads::WorkloadStatement::dss(
+        vda_workloads::tpch::query18_modified(),
+        1.0,
+    ));
+    let q18m_cost = setups::full_allocation_cost(&engine, &cat, &q18m, at);
+    let copies = (q17_cost / q18m_cost).max(1.0).round();
+
+    let mut rng = random::rng(0xF1621);
+    let mut adv = VirtualizationDesignAdvisor::new(setups::testbed());
+    for i in 0..n {
+        let w = random::tpch_random_workload(&mut rng, i, copies);
+        adv.add_tenant(
+            Tenant::new(format!("W{i}"), engine.clone(), cat.clone(), w)
+                .expect("random workloads bind"),
+            QoS::default(),
+        );
+    }
+    adv.calibrate();
+    adv
+}
+
+/// Shared N-sweep: for N = 2..=max, recommend CPU and tabulate shares.
+fn allocation_sweep(
+    adv_for: &dyn Fn(usize) -> VirtualizationDesignAdvisor,
+    max_n: usize,
+) -> (Table, Vec<Vec<f64>>) {
+    allocation_sweep_in(adv_for, max_n, &cpu_space())
+}
+
+fn allocation_sweep_in(
+    adv_for: &dyn Fn(usize) -> VirtualizationDesignAdvisor,
+    max_n: usize,
+    space: &SearchSpace,
+) -> (Table, Vec<Vec<f64>>) {
+    let mut table = Table::new(
+        std::iter::once("N".to_string())
+            .chain((0..max_n).map(|i| format!("W{i}")))
+            .collect::<Vec<_>>(),
+    );
+    let mut all = Vec::new();
+    for n in 2..=max_n {
+        let adv = adv_for(n);
+        let rec = adv.recommend(space);
+        let mut row = vec![n.to_string()];
+        let mut shares = Vec::new();
+        for i in 0..max_n {
+            if i < n {
+                row.push(fmt_f(rec.result.allocations[i].cpu, 2));
+                shares.push(rec.result.allocations[i].cpu);
+            } else {
+                row.push(String::new());
+            }
+        }
+        all.push(shares);
+        table.row(row);
+    }
+    (table, all)
+}
+
+/// Rank-stability note: does the share *order* of the first workloads
+/// stay put as N grows? (The paper: "the advisor maintains the
+/// relative order of the CPU allocation ... even as new workloads are
+/// introduced".)
+fn rank_stability(all: &[Vec<f64>]) -> f64 {
+    let mut stable = 0.0;
+    let mut total = 0.0;
+    for w in all.windows(2) {
+        let (prev, next) = (&w[0], &w[1]);
+        for i in 0..prev.len() {
+            for j in (i + 1)..prev.len() {
+                total += 1.0;
+                let before = prev[i] >= prev[j];
+                let after = next[i] >= next[j];
+                if before == after {
+                    stable += 1.0;
+                }
+            }
+        }
+    }
+    if total > 0.0 {
+        stable / total
+    } else {
+        1.0
+    }
+}
+
+/// Fig. 21 — CPU allocation for N random TPC-H workloads (PgSim SF10).
+pub fn run_fig21() -> Report {
+    let mut report = Report::new(
+        "fig21",
+        "CPU allocation for N random TPC-H workloads (PgSim, SF10)",
+    );
+    let (table, all) = allocation_sweep(&fig21_advisor, 10);
+    report.section("CPU share per workload as N grows", table);
+    report.note(format!(
+        "pairwise share-order stability across N: {:.0}% (paper: relative order maintained)",
+        rank_stability(&all) * 100.0
+    ));
+    report
+}
+
+fn mix_advisor(choice: EngineChoice, n: usize) -> VirtualizationDesignAdvisor {
+    let tenants = setups::tpcc_tpch_mix(choice, 0xF1622);
+    let mut adv = VirtualizationDesignAdvisor::new(setups::testbed());
+    // Interleave TPC-C and TPC-H tenants so every prefix has both
+    // kinds, like the paper's incremental introduction.
+    let (tpcc, tpch): (Vec<_>, Vec<_>) =
+        tenants.into_iter().partition(|t| t.name.starts_with("tpcc"));
+    let mut interleaved = Vec::new();
+    for (a, b) in tpcc.into_iter().zip(tpch) {
+        interleaved.push(a);
+        interleaved.push(b);
+    }
+    for t in interleaved.into_iter().take(n) {
+        adv.add_tenant(t, QoS::default());
+    }
+    adv.calibrate();
+    adv
+}
+
+fn mix_figure(id: &str, choice: EngineChoice) -> Report {
+    let mut report = Report::new(
+        id,
+        format!(
+            "CPU allocation for N TPC-C + TPC-H workloads ({}), before refinement",
+            choice.name()
+        ),
+    );
+    let (table, all) = allocation_sweep_in(&|n| mix_advisor(choice, n), 10, &mix_space());
+    report.section("CPU share per workload as N grows", table);
+    report.note(format!(
+        "pairwise share-order stability across N: {:.0}%",
+        rank_stability(&all) * 100.0
+    ));
+    report.note(
+        "TPC-C workloads (even indexes) receive little CPU here: the optimizers \
+         underestimate their CPU needs — corrected by online refinement in Figs. 28-31"
+            .to_string(),
+    );
+    report
+}
+
+/// Fig. 22 — Db2Sim TPC-C + TPC-H mix.
+pub fn run_fig22() -> Report {
+    mix_figure("fig22", EngineChoice::Db2)
+}
+
+/// Fig. 23 — PgSim TPC-C + TPC-H mix.
+pub fn run_fig23() -> Report {
+    mix_figure("fig23", EngineChoice::Pg)
+}
+
+/// Fig. 24 — advisor vs optimal actual improvement (Fig. 21 set).
+pub fn run_fig24() -> Report {
+    let mut report = Report::new(
+        "fig24",
+        "Actual improvement: advisor vs optimal (random TPC-H on PgSim, SF10)",
+    );
+    let mut table = Table::new(vec!["N", "advisor improvement", "optimal improvement"]);
+    let mut gaps = Vec::new();
+    for n in 2..=10 {
+        let adv = fig21_advisor(n);
+        let space = cpu_space();
+        let rec = adv.recommend(&space);
+        let adv_imp = adv.actual_improvement(&space, &rec.result.allocations);
+        let optimal = adv.optimal_actual(&space);
+        let opt_imp = adv.actual_improvement(&space, &optimal.allocations);
+        gaps.push(opt_imp - adv_imp);
+        table.row(vec![n.to_string(), fmt_pct(adv_imp), fmt_pct(opt_imp)]);
+    }
+    report.section("improvement over the default 1/N allocation", table);
+    let max_gap = gaps.iter().cloned().fold(0.0_f64, f64::max);
+    report.note(format!(
+        "max gap to optimal: {:.1} percentage points (paper: 'near-optimal resource \
+         allocations')",
+        max_gap * 100.0
+    ));
+    report
+}

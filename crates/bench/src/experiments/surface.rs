@@ -1,0 +1,95 @@
+//! Figures 9–10 — the shape of the objective function (§4.5).
+//!
+//! Sum of the estimated costs of two PgSim TPC-H workloads as a
+//! function of the (CPU, memory) share given to the first workload
+//! (the second receives the remainder). The paper's observation:
+//! the surface is smooth and concave-shaped (bowl-like along each
+//! axis), so greedy search does not get trapped — Fig. 9 for a pair
+//! that does not compete for CPU, Fig. 10 for a pair that does.
+
+use crate::harness::{fmt_f, Report, Table};
+use crate::setups;
+use vda_core::problem::Allocation;
+use vda_workloads::tpch;
+
+const LEVELS: [f64; 9] = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9];
+
+fn surface_figure(id: &str, title: &str, q_a: usize, q_b: usize) -> Report {
+    let mut report = Report::new(id, title);
+    let engine = setups::EngineChoice::Pg.engine();
+    let cat = setups::sf(1.0);
+    let adv = setups::advisor_for(
+        &engine,
+        &cat,
+        vec![
+            tpch::query_workload(q_a, 4.0),
+            tpch::query_workload(q_b, 4.0),
+        ],
+    );
+    let est0 = adv.estimator(0);
+    let est1 = adv.estimator(1);
+
+    let mut table = Table::new(
+        std::iter::once("cpu\\mem".to_string())
+            .chain(LEVELS.iter().map(|m| format!("{m:.1}")))
+            .collect::<Vec<_>>(),
+    );
+    let mut grid = vec![vec![0.0; LEVELS.len()]; LEVELS.len()];
+    for (ci, &c) in LEVELS.iter().enumerate() {
+        let mut row = vec![format!("{c:.1}")];
+        for (mi, &m) in LEVELS.iter().enumerate() {
+            let total = est0.cost(Allocation::new(c, m))
+                + est1.cost(Allocation::new(1.0 - c, 1.0 - m));
+            grid[ci][mi] = total;
+            row.push(fmt_f(total, 0));
+        }
+        table.row(row);
+    }
+    report.section(
+        "total estimated cost (s); axes = share of workload 1",
+        table,
+    );
+
+    // Smoothness/unimodality check: count interior strict local minima
+    // on the grid (4-neighbourhood). A smooth concave-shaped bowl has
+    // exactly one.
+    let mut minima = 0;
+    for ci in 1..LEVELS.len() - 1 {
+        for mi in 1..LEVELS.len() - 1 {
+            let v = grid[ci][mi];
+            if v < grid[ci - 1][mi]
+                && v < grid[ci + 1][mi]
+                && v < grid[ci][mi - 1]
+                && v < grid[ci][mi + 1]
+            {
+                minima += 1;
+            }
+        }
+    }
+    report.note(format!(
+        "interior local minima on the grid: {minima} (paper: smooth surface, greedy 'not \
+         likely to terminate at a local minimum')"
+    ));
+    report
+}
+
+/// Fig. 9 — workloads NOT competing for CPU (CPU-intensive Q18 mix vs
+/// I/O-intensive Q17 mix).
+pub fn run_fig9() -> Report {
+    surface_figure(
+        "fig9",
+        "Objective surface: CPU-intensive vs I/O-intensive workload (no CPU competition)",
+        18,
+        17,
+    )
+}
+
+/// Fig. 10 — both workloads CPU-intensive (Q18 mix vs Q1 mix).
+pub fn run_fig10() -> Report {
+    surface_figure(
+        "fig10",
+        "Objective surface: two CPU-intensive workloads competing",
+        18,
+        1,
+    )
+}

@@ -1,0 +1,179 @@
+//! Minimal reporting toolkit: aligned text tables and experiment
+//! reports, so every experiment prints the same row/series structure
+//! the paper's figures plot.
+
+use std::fmt;
+
+/// An aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create a table with column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (cells are padded/truncated to the header count).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let mut cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        cells.resize(self.headers.len(), String::new());
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Access to raw rows (used by tests).
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for (cell, w) in cells.iter().zip(&widths) {
+                write!(f, " {cell:w$} |")?;
+            }
+            writeln!(f)
+        };
+        line(f, &self.headers)?;
+        write!(f, "|")?;
+        for w in &widths {
+            write!(f, "{}|", "-".repeat(w + 2))?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// One experiment's printable report.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Experiment id (`fig12`, `tab2`, …).
+    pub id: String,
+    /// Human title (what the paper's figure shows).
+    pub title: String,
+    /// Named tables (series).
+    pub sections: Vec<(String, Table)>,
+    /// Free-form findings (the qualitative claims checked).
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// Create an empty report.
+    pub fn new(id: impl Into<String>, title: impl Into<String>) -> Self {
+        Report {
+            id: id.into(),
+            title: title.into(),
+            ..Report::default()
+        }
+    }
+
+    /// Append a table section.
+    pub fn section(&mut self, name: impl Into<String>, table: Table) -> &mut Self {
+        self.sections.push((name.into(), table));
+        self
+    }
+
+    /// Append a findings note.
+    pub fn note(&mut self, text: impl Into<String>) -> &mut Self {
+        self.notes.push(text.into());
+        self
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} — {} ==", self.id, self.title)?;
+        for (name, table) in &self.sections {
+            writeln!(f, "\n--- {name} ---")?;
+            write!(f, "{table}")?;
+        }
+        if !self.notes.is_empty() {
+            writeln!(f, "\nFindings:")?;
+            for n in &self.notes {
+                writeln!(f, "  * {n}")?;
+            }
+        }
+        writeln!(f)
+    }
+}
+
+/// Format a float with `prec` decimals.
+pub fn fmt_f(x: f64, prec: usize) -> String {
+    format!("{x:.prec$}")
+}
+
+/// Format a ratio as a signed percentage.
+pub fn fmt_pct(x: f64) -> String {
+    format!("{:+.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(vec!["k", "value"]);
+        t.row(vec!["cpu", "0.85"]);
+        t.row(vec!["memory", "0.15"]);
+        let s = t.to_string();
+        assert!(s.contains("| k      | value |"));
+        assert!(s.contains("| memory | 0.15  |"));
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = Table::new(vec!["a", "b", "c"]);
+        t.row(vec!["1"]);
+        assert_eq!(t.rows()[0].len(), 3);
+    }
+
+    #[test]
+    fn report_displays_sections_and_notes() {
+        let mut r = Report::new("figX", "demo");
+        let mut t = Table::new(vec!["x"]);
+        t.row(vec!["1"]);
+        r.section("series", t);
+        r.note("qualitative claim holds");
+        let s = r.to_string();
+        assert!(s.contains("== figX — demo =="));
+        assert!(s.contains("--- series ---"));
+        assert!(s.contains("* qualitative claim holds"));
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_f(1.23456, 2), "1.23");
+        assert_eq!(fmt_pct(0.241), "+24.1%");
+        assert_eq!(fmt_pct(-0.05), "-5.0%");
+    }
+}

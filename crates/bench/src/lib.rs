@@ -1,0 +1,18 @@
+#![warn(missing_docs)]
+
+//! # vda-bench
+//!
+//! The experiment harness regenerating every figure and table of the
+//! paper's evaluation (§7), plus criterion micro-benchmarks of the
+//! advisor and substrate.
+//!
+//! Run `cargo run -p vda-bench --release --bin experiments -- all` to
+//! regenerate everything; individual ids (`fig2`, `fig12`, …, `sec72`)
+//! run one experiment. `EXPERIMENTS.md` records paper-vs-measured for
+//! each.
+
+pub mod experiments;
+pub mod harness;
+pub mod setups;
+
+pub use harness::{fmt_f, fmt_pct, Report, Table};

@@ -1,0 +1,383 @@
+//! The virtualization design advisor (Figure 3 of the paper).
+//!
+//! Ties the pieces together: tenants (DBMS + database + workload per
+//! VM), per-engine calibrated cost models, the what-if cost estimator,
+//! and the configuration enumerator. Also provides the ground-truth
+//! oracles the experiments need: actual workload costs from the
+//! simulated executor, and the actual-cost optimum for
+//! advisor-vs-optimal comparisons (§7.6–7.7).
+
+use crate::costmodel::calibration::{CalibratedModel, CalibrationConfig, Calibrator};
+use crate::costmodel::whatif::WhatIfEstimator;
+use crate::enumerate::{exhaustive_search, greedy_search, SearchResult};
+use crate::problem::{Allocation, QoS, SearchSpace};
+use crate::refine::{refine, RefineOptions, RefinedModel, RefinementOutcome};
+use crate::tenant::Tenant;
+use serde::{Deserialize, Serialize};
+use vda_simdb::engines::EngineKind;
+use vda_vmm::Hypervisor;
+
+/// A recommendation produced by the advisor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Recommendation {
+    /// The search outcome (allocations, per-workload estimated costs,
+    /// iterations, trace).
+    pub result: SearchResult,
+    /// Query-optimizer invocations spent producing it.
+    pub optimizer_calls: u64,
+}
+
+/// The advisor: a set of consolidated tenants on one physical machine.
+#[derive(Debug)]
+pub struct VirtualizationDesignAdvisor {
+    hv: Hypervisor,
+    tenants: Vec<Tenant>,
+    qos: Vec<QoS>,
+    /// One calibrated model per tenant (computed once per engine kind
+    /// and shared).
+    models: Vec<CalibratedModel>,
+    calibration_config: CalibrationConfig,
+}
+
+impl VirtualizationDesignAdvisor {
+    /// Create an advisor for a physical machine.
+    pub fn new(hv: Hypervisor) -> Self {
+        VirtualizationDesignAdvisor {
+            hv,
+            tenants: Vec::new(),
+            qos: Vec::new(),
+            models: Vec::new(),
+            calibration_config: CalibrationConfig::default(),
+        }
+    }
+
+    /// Override calibration settings (must be called before
+    /// [`Self::calibrate`]).
+    pub fn set_calibration_config(&mut self, config: CalibrationConfig) {
+        self.calibration_config = config;
+    }
+
+    /// Register a tenant with its QoS settings; returns its index.
+    pub fn add_tenant(&mut self, tenant: Tenant, qos: QoS) -> usize {
+        self.tenants.push(tenant);
+        self.qos.push(qos);
+        self.tenants.len() - 1
+    }
+
+    /// The hypervisor model.
+    pub fn hypervisor(&self) -> &Hypervisor {
+        &self.hv
+    }
+
+    /// Number of registered tenants.
+    pub fn tenant_count(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// A registered tenant.
+    pub fn tenant(&self, i: usize) -> &Tenant {
+        &self.tenants[i]
+    }
+
+    /// Mutable access to a tenant (dynamic workload changes between
+    /// monitoring periods).
+    pub fn tenant_mut(&mut self, i: usize) -> &mut Tenant {
+        &mut self.tenants[i]
+    }
+
+    /// Swap two tenants between their VM slots (the §7.10 scenario:
+    /// "the two workloads are switched between the virtual machines").
+    /// Allocations attach to VM slots, so after the swap each workload
+    /// runs under the other's resources until the manager reacts.
+    pub fn swap_tenants(&mut self, i: usize, j: usize) {
+        self.tenants.swap(i, j);
+        self.qos.swap(i, j);
+        if self.models.len() > i.max(j) {
+            self.models.swap(i, j);
+        }
+    }
+
+    /// Per-tenant QoS settings.
+    pub fn qos(&self) -> &[QoS] {
+        &self.qos
+    }
+
+    /// Replace a tenant's QoS settings.
+    pub fn set_qos(&mut self, i: usize, qos: QoS) {
+        self.qos[i] = qos;
+    }
+
+    /// Run optimizer calibration (§4.3) — once per engine kind present,
+    /// shared across tenants of that kind, exactly like the one-time
+    /// per-machine calibration of the paper.
+    pub fn calibrate(&mut self) {
+        let calibrator = Calibrator::with_config(&self.hv, self.calibration_config.clone());
+        let mut by_kind: Vec<(EngineKind, CalibratedModel)> = Vec::new();
+        self.models.clear();
+        for t in &self.tenants {
+            let kind = t.engine.kind();
+            let model = match by_kind.iter().find(|(k, _)| *k == kind) {
+                Some((_, m)) => m.clone(),
+                None => {
+                    let m = calibrator.calibrate(&t.engine);
+                    by_kind.push((kind, m.clone()));
+                    m
+                }
+            };
+            self.models.push(model);
+        }
+    }
+
+    /// Whether [`Self::calibrate`] has run for the current tenant set.
+    pub fn is_calibrated(&self) -> bool {
+        self.models.len() == self.tenants.len() && !self.tenants.is_empty()
+    }
+
+    /// The calibrated model for tenant `i`.
+    pub fn model(&self, i: usize) -> &CalibratedModel {
+        assert!(self.is_calibrated(), "call calibrate() first");
+        &self.models[i]
+    }
+
+    /// A what-if estimator for tenant `i`.
+    pub fn estimator(&self, i: usize) -> WhatIfEstimator<'_> {
+        assert!(self.is_calibrated(), "call calibrate() first");
+        WhatIfEstimator::new(&self.tenants[i], &self.models[i])
+    }
+
+    /// Produce the initial static recommendation with the greedy
+    /// enumerator (§4.5).
+    pub fn recommend(&self, space: &SearchSpace) -> Recommendation {
+        let estimators: Vec<WhatIfEstimator<'_>> =
+            (0..self.tenants.len()).map(|i| self.estimator(i)).collect();
+        let mut cost = |i: usize, a: Allocation| estimators[i].cost(a);
+        let result = greedy_search(self.tenants.len(), space, &self.qos, &mut cost);
+        Recommendation {
+            result,
+            optimizer_calls: estimators.iter().map(|e| e.optimizer_calls()).sum(),
+        }
+    }
+
+    /// The estimate-based optimum over the δ-grid (the paper's
+    /// exhaustive-search comparison for §4.5).
+    pub fn recommend_exhaustive(&self, space: &SearchSpace) -> Recommendation {
+        let estimators: Vec<WhatIfEstimator<'_>> =
+            (0..self.tenants.len()).map(|i| self.estimator(i)).collect();
+        let mut cost = |i: usize, a: Allocation| estimators[i].cost(a);
+        let result = exhaustive_search(self.tenants.len(), space, &self.qos, &mut cost);
+        Recommendation {
+            result,
+            optimizer_calls: estimators.iter().map(|e| e.optimizer_calls()).sum(),
+        }
+    }
+
+    /// Actual cost (seconds) of tenant `i` under `alloc` — the
+    /// simulation's ground truth.
+    pub fn actual_cost(&self, i: usize, alloc: Allocation) -> f64 {
+        self.tenants[i].actual_cost(&self.hv, alloc)
+    }
+
+    /// Total actual cost over all tenants for a full allocation vector.
+    pub fn total_actual(&self, allocations: &[Allocation]) -> f64 {
+        allocations
+            .iter()
+            .enumerate()
+            .map(|(i, a)| self.actual_cost(i, *a))
+            .sum()
+    }
+
+    /// The *actual-cost* optimum over the δ-grid, "obtained by
+    /// exhaustively enumerating all feasible allocations and measuring
+    /// performance in each one" (§7.6).
+    pub fn optimal_actual(&self, space: &SearchSpace) -> SearchResult {
+        let mut cost = |i: usize, a: Allocation| self.actual_cost(i, a);
+        exhaustive_search(self.tenants.len(), space, &self.qos, &mut cost)
+    }
+
+    /// The default (1/N) allocation vector.
+    pub fn default_allocations(&self, space: &SearchSpace) -> Vec<Allocation> {
+        vec![space.default_allocation(self.tenants.len()); self.tenants.len()]
+    }
+
+    /// Relative actual improvement of `allocations` over the default
+    /// allocation: `(T_default − T_alloc) / T_default` (§7.1).
+    pub fn actual_improvement(&self, space: &SearchSpace, allocations: &[Allocation]) -> f64 {
+        let t_default = self.total_actual(&self.default_allocations(space));
+        let t_alloc = self.total_actual(allocations);
+        (t_default - t_alloc) / t_default
+    }
+
+    /// Relative *estimated* improvement over the default allocation —
+    /// the metric of the controlled validation experiments (§7.3–7.5).
+    pub fn estimated_improvement(&self, space: &SearchSpace, allocations: &[Allocation]) -> f64 {
+        let estimators: Vec<WhatIfEstimator<'_>> =
+            (0..self.tenants.len()).map(|i| self.estimator(i)).collect();
+        let default = self.default_allocations(space);
+        let t_default: f64 = estimators
+            .iter()
+            .zip(&default)
+            .map(|(e, a)| e.cost(*a))
+            .sum();
+        let t_alloc: f64 = estimators
+            .iter()
+            .zip(allocations)
+            .map(|(e, a)| e.cost(*a))
+            .sum();
+        (t_default - t_alloc) / t_default
+    }
+
+    /// Fit the initial refinement model for tenant `i` from what-if
+    /// estimates (§5.1).
+    pub fn fit_refinement_model(
+        &self,
+        i: usize,
+        space: &SearchSpace,
+        grid: usize,
+    ) -> RefinedModel {
+        let est = self.estimator(i);
+        let mut f = |a: Allocation| {
+            let e = est.estimate(a);
+            (e.seconds, e.plan_regime)
+        };
+        RefinedModel::fit_initial(space, grid, &mut f)
+    }
+
+    /// Run online refinement (§5) starting from `start`, observing
+    /// actual executor costs. Returns the outcome plus the refined
+    /// models (for continued dynamic management).
+    pub fn refine_recommendation(
+        &self,
+        space: &SearchSpace,
+        start: &[Allocation],
+        opts: &RefineOptions,
+    ) -> (RefinementOutcome, Vec<RefinedModel>) {
+        let mut models: Vec<RefinedModel> = (0..self.tenants.len())
+            .map(|i| self.fit_refinement_model(i, space, opts.sample_grid))
+            .collect();
+        let mut actual = |i: usize, a: Allocation| self.actual_cost(i, a);
+        let outcome = refine(&mut models, space, &self.qos, start, &mut actual, opts);
+        (outcome, models)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vda_simdb::engines::Engine;
+    use vda_vmm::PhysicalMachine;
+    use vda_workloads::tpch;
+
+    fn advisor_two_dss() -> VirtualizationDesignAdvisor {
+        let hv = Hypervisor::new(PhysicalMachine::paper_testbed());
+        let mut adv = VirtualizationDesignAdvisor::new(hv);
+        let cat = tpch::catalog(1.0);
+        // Q18 (CPU-heavy) vs Q6 (scan-only): clear CPU asymmetry.
+        adv.add_tenant(
+            Tenant::new("cpuheavy", Engine::pg(), cat.clone(), tpch::query_workload(18, 2.0))
+                .unwrap(),
+            QoS::default(),
+        );
+        adv.add_tenant(
+            Tenant::new("ioheavy", Engine::pg(), cat, tpch::query_workload(6, 2.0)).unwrap(),
+            QoS::default(),
+        );
+        adv.calibrate();
+        adv
+    }
+
+    #[test]
+    fn recommend_requires_calibration() {
+        let hv = Hypervisor::new(PhysicalMachine::paper_testbed());
+        let mut adv = VirtualizationDesignAdvisor::new(hv);
+        adv.add_tenant(
+            Tenant::new(
+                "t",
+                Engine::pg(),
+                tpch::catalog(1.0),
+                tpch::query_workload(6, 1.0),
+            )
+            .unwrap(),
+            QoS::default(),
+        );
+        assert!(!adv.is_calibrated());
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            adv.estimator(0);
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn recommendation_shifts_cpu_to_cpu_bound_tenant() {
+        let adv = advisor_two_dss();
+        let space = SearchSpace::cpu_only(0.5);
+        let rec = adv.recommend(&space);
+        assert!(
+            rec.result.allocations[0].cpu > 0.5,
+            "CPU-heavy tenant should win CPU: {:?}",
+            rec.result.allocations
+        );
+        assert!(rec.optimizer_calls > 0);
+        // Feasibility.
+        let total: f64 = rec.result.allocations.iter().map(|a| a.cpu).sum();
+        assert!(total <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn greedy_close_to_exhaustive_estimate_optimum() {
+        let adv = advisor_two_dss();
+        let space = SearchSpace::cpu_only(0.5);
+        let greedy = adv.recommend(&space);
+        let exact = adv.recommend_exhaustive(&space);
+        assert!(
+            greedy.result.weighted_cost <= exact.result.weighted_cost * 1.05 + 1e-9,
+            "greedy {} vs optimal {}",
+            greedy.result.weighted_cost,
+            exact.result.weighted_cost
+        );
+    }
+
+    #[test]
+    fn recommendation_improves_actual_performance() {
+        let adv = advisor_two_dss();
+        let space = SearchSpace::cpu_only(0.5);
+        let rec = adv.recommend(&space);
+        let imp = adv.actual_improvement(&space, &rec.result.allocations);
+        assert!(imp >= -0.02, "advisor must not hurt performance: {imp}");
+    }
+
+    #[test]
+    fn calibration_is_shared_per_engine_kind() {
+        let adv = advisor_two_dss();
+        // Both tenants run PgSim: identical models.
+        assert_eq!(adv.model(0), adv.model(1));
+    }
+
+    #[test]
+    fn swap_tenants_moves_workload_and_model() {
+        let mut adv = advisor_two_dss();
+        let n0 = adv.tenant(0).name.clone();
+        let c0 = adv.actual_cost(0, crate::problem::Allocation::new(0.5, 0.5));
+        adv.swap_tenants(0, 1);
+        assert_eq!(adv.tenant(1).name, n0);
+        let c1 = adv.actual_cost(1, crate::problem::Allocation::new(0.5, 0.5));
+        assert!((c0 - c1).abs() < 1e-9, "workload must move with the swap");
+        // Estimators keep working after the swap (models moved too).
+        let _ = adv.estimator(0).cost(crate::problem::Allocation::new(0.5, 0.5));
+    }
+
+    #[test]
+    fn refinement_runs_end_to_end() {
+        let adv = advisor_two_dss();
+        let space = SearchSpace::cpu_only(0.5);
+        let rec = adv.recommend(&space);
+        let (outcome, models) = adv.refine_recommendation(
+            &space,
+            &rec.result.allocations,
+            &RefineOptions::default(),
+        );
+        assert_eq!(models.len(), 2);
+        assert!(outcome.iterations >= 1);
+        let total: f64 = outcome.final_allocations.iter().map(|a| a.cpu).sum();
+        assert!(total <= 1.0 + 1e-9);
+    }
+}

@@ -1,0 +1,27 @@
+//! Cost estimation for the virtualization design advisor (§4.1–4.4).
+//!
+//! The advisor never invents its own cost model: it drives each
+//! DBMS's query-optimizer cost model in a *what-if* mode. Three pieces
+//! make that possible:
+//!
+//! * [`renormalize`] — converting engine-native cost units
+//!   (sequential-page units for PgSim, timerons for Db2Sim) into
+//!   seconds so costs are comparable *across* engines (§4.2);
+//! * [`calibration`] — measuring, once per engine per physical
+//!   machine, how the descriptive optimizer parameters depend on the
+//!   candidate resource allocation (§4.3), exploiting the
+//!   independence structure of §4.4 (CPU parameters are linear in
+//!   1/cpu-share and independent of memory; I/O parameters are
+//!   constants);
+//! * [`whatif`] — mapping a candidate allocation `R` to parameters
+//!   `P`, invoking the optimizer, and renormalizing, with a
+//!   per-allocation cache so the greedy search's repeated probes cost
+//!   one optimizer call each (§4.5).
+
+pub mod calibration;
+pub mod renormalize;
+pub mod whatif;
+
+pub use calibration::{CalibratedModel, CalibrationConfig, CalibrationCost, Calibrator};
+pub use renormalize::Renormalizer;
+pub use whatif::{Estimate, WhatIfEstimator};

@@ -1,0 +1,102 @@
+//! Renormalization of engine-native cost estimates into seconds (§4.2).
+//!
+//! Both simulated engines define cost as total resource consumption,
+//! but in different units. PostgreSQL normalizes costs to sequential
+//! page fetches, so renormalization multiplies by the measured seconds
+//! per sequential page read. DB2 reports *timerons*, a synthetic unit;
+//! the advisor recovers the timeron↔seconds relation by running
+//! calibration queries and regressing measured runtimes on estimated
+//! timerons.
+
+use serde::{Deserialize, Serialize};
+use vda_stats::LinearFit;
+
+/// A fitted native-cost → seconds conversion.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Renormalizer {
+    /// `seconds = secs_per_unit × native` — the PostgreSQL path, where
+    /// the unit is one sequential page fetch and `secs_per_unit` comes
+    /// from the sequential-read micro-benchmark.
+    SecondsPerUnit {
+        /// Measured seconds per native cost unit.
+        secs_per_unit: f64,
+    },
+    /// `seconds = slope × native + intercept` — the DB2 path, fitted by
+    /// linear regression over calibration-query (timerons, seconds)
+    /// pairs.
+    Regression {
+        /// Fitted slope (seconds per timeron).
+        slope: f64,
+        /// Fitted intercept (seconds).
+        intercept: f64,
+    },
+}
+
+impl Renormalizer {
+    /// Build the regression variant from a fit of seconds on native
+    /// cost.
+    pub fn from_fit(fit: &LinearFit) -> Self {
+        Renormalizer::Regression {
+            slope: fit.slope,
+            intercept: fit.intercept,
+        }
+    }
+
+    /// Convert a native cost estimate to seconds.
+    pub fn to_seconds(&self, native: f64) -> f64 {
+        match *self {
+            Renormalizer::SecondsPerUnit { secs_per_unit } => native * secs_per_unit,
+            Renormalizer::Regression { slope, intercept } => {
+                (slope * native + intercept).max(0.0)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seconds_per_unit_scales_linearly() {
+        let r = Renormalizer::SecondsPerUnit {
+            secs_per_unit: 2e-4,
+        };
+        assert!((r.to_seconds(1e4) - 2.0).abs() < 1e-12);
+        assert_eq!(r.to_seconds(0.0), 0.0);
+    }
+
+    #[test]
+    fn regression_applies_affine_map() {
+        let r = Renormalizer::Regression {
+            slope: 7.5e-5,
+            intercept: 0.01,
+        };
+        assert!((r.to_seconds(1e5) - 7.51).abs() < 1e-9);
+    }
+
+    #[test]
+    fn regression_clamps_negative_results() {
+        let r = Renormalizer::Regression {
+            slope: 1e-5,
+            intercept: -1.0,
+        };
+        assert_eq!(r.to_seconds(10.0), 0.0);
+    }
+
+    #[test]
+    fn from_fit_copies_coefficients() {
+        let fit = LinearFit {
+            slope: 3.0,
+            intercept: 0.5,
+            r_squared: 1.0,
+        };
+        match Renormalizer::from_fit(&fit) {
+            Renormalizer::Regression { slope, intercept } => {
+                assert_eq!(slope, 3.0);
+                assert_eq!(intercept, 0.5);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! What-if cost estimation (§4.1) with allocation-keyed caching (§4.5).
+//!
+//! "Instead of generating cost estimates under a fixed setting of `P`
+//! as a query optimizer typically would, we map a given `R_i` to the
+//! corresponding `P_i`, and we optimize the query with this `P_i`."
+//!
+//! The estimator also records, per allocation, the *plan-regime
+//! signature* of the workload (a hash over the per-statement plan
+//! signatures): plan changes along the memory axis define the
+//! piecewise-interval boundaries `A_ij` that online refinement needs
+//! (§5.1), and the paper harvests them "during configuration
+//! enumeration ... to minimize the number of optimizer calls".
+
+use crate::costmodel::calibration::CalibratedModel;
+use crate::problem::Allocation;
+use crate::tenant::Tenant;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use vda_simdb::hash::Fnv64;
+use vda_simdb::optimizer::Optimizer;
+
+/// One cached what-if estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Estimate {
+    /// Estimated workload cost in seconds.
+    pub seconds: f64,
+    /// Hash over the per-statement plan signatures: identifies the
+    /// plan regime the workload occupies at this allocation.
+    pub plan_regime: u64,
+    /// Estimated cost per statement execution (the §6.1 change
+    /// metric's "average cost estimates of workload queries").
+    pub avg_cost_per_statement: f64,
+}
+
+/// The cached what-if estimator for one tenant.
+#[derive(Debug)]
+pub struct WhatIfEstimator<'a> {
+    tenant: &'a Tenant,
+    model: &'a CalibratedModel,
+    cache: Mutex<HashMap<(u32, u32), Estimate>>,
+    cache_enabled: bool,
+    optimizer_calls: AtomicU64,
+    cache_hits: AtomicU64,
+}
+
+impl<'a> WhatIfEstimator<'a> {
+    /// Create an estimator (caching on).
+    pub fn new(tenant: &'a Tenant, model: &'a CalibratedModel) -> Self {
+        WhatIfEstimator {
+            tenant,
+            model,
+            cache: Mutex::new(HashMap::new()),
+            cache_enabled: true,
+            optimizer_calls: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+        }
+    }
+
+    /// Create an estimator with the cache disabled (the §4.5 caching
+    /// ablation).
+    pub fn without_cache(tenant: &'a Tenant, model: &'a CalibratedModel) -> Self {
+        let mut e = Self::new(tenant, model);
+        e.cache_enabled = false;
+        e
+    }
+
+    /// The tenant being estimated.
+    pub fn tenant(&self) -> &Tenant {
+        self.tenant
+    }
+
+    /// Estimated cost (seconds) of the tenant's workload under `alloc`.
+    pub fn estimate(&self, alloc: Allocation) -> Estimate {
+        if self.cache_enabled {
+            if let Some(hit) = self.cache.lock().get(&alloc.key()) {
+                self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                return *hit;
+            }
+        }
+        let est = self.compute(alloc);
+        if self.cache_enabled {
+            self.cache.lock().insert(alloc.key(), est);
+        }
+        est
+    }
+
+    /// Estimated cost in seconds (convenience).
+    pub fn cost(&self, alloc: Allocation) -> f64 {
+        self.estimate(alloc).seconds
+    }
+
+    fn compute(&self, alloc: Allocation) -> Estimate {
+        let params = self.model.params_at(&self.tenant.engine, alloc);
+        let factors = self.tenant.engine.factors(&params);
+        let optimizer = Optimizer::new(&self.tenant.catalog, factors);
+        let mut total = 0.0;
+        let mut regime = Fnv64::new();
+        let mut statements = 0.0;
+        for s in self.tenant.statements() {
+            self.optimizer_calls.fetch_add(1, Ordering::Relaxed);
+            let plan = optimizer.plan(&s.query);
+            total += self.model.to_seconds(plan.native_cost) * s.count;
+            statements += s.count;
+            regime.write_u64(plan.signature);
+        }
+        Estimate {
+            seconds: total,
+            plan_regime: regime.finish(),
+            avg_cost_per_statement: if statements > 0.0 {
+                total / statements
+            } else {
+                0.0
+            },
+        }
+    }
+
+    /// Total optimizer invocations so far.
+    pub fn optimizer_calls(&self) -> u64 {
+        self.optimizer_calls.load(Ordering::Relaxed)
+    }
+
+    /// Cache hits so far.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of every allocation estimated so far (refinement fits
+    /// its initial models from these enumeration-time samples, §5.1).
+    pub fn samples(&self) -> Vec<(Allocation, Estimate)> {
+        self.cache
+            .lock()
+            .iter()
+            .map(|(&(c, m), &est)| {
+                (
+                    Allocation::new(c as f64 / 1e4, m as f64 / 1e4),
+                    est,
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::costmodel::calibration::Calibrator;
+    use vda_simdb::engines::Engine;
+    use vda_vmm::{Hypervisor, PhysicalMachine};
+    use vda_workloads::tpch;
+
+    fn setup() -> (Hypervisor, Tenant) {
+        let hv = Hypervisor::new(PhysicalMachine::paper_testbed());
+        let tenant = Tenant::new(
+            "t",
+            Engine::pg(),
+            tpch::catalog(1.0),
+            tpch::query_workload(6, 3.0),
+        )
+        .unwrap();
+        (hv, tenant)
+    }
+
+    #[test]
+    fn estimates_scale_with_statement_count() {
+        let (hv, tenant) = setup();
+        let model = Calibrator::new(&hv).calibrate(&tenant.engine);
+        let single = Tenant::new(
+            "s",
+            Engine::pg(),
+            tpch::catalog(1.0),
+            tpch::query_workload(6, 1.0),
+        )
+        .unwrap();
+        let e3 = WhatIfEstimator::new(&tenant, &model).cost(Allocation::new(0.5, 0.5));
+        let e1 = WhatIfEstimator::new(&single, &model).cost(Allocation::new(0.5, 0.5));
+        assert!((e3 / e1 - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cache_avoids_repeat_optimizer_calls() {
+        let (hv, tenant) = setup();
+        let model = Calibrator::new(&hv).calibrate(&tenant.engine);
+        let est = WhatIfEstimator::new(&tenant, &model);
+        let a = Allocation::new(0.5, 0.5);
+        let first = est.estimate(a);
+        let calls_after_first = est.optimizer_calls();
+        let second = est.estimate(a);
+        assert_eq!(first, second);
+        assert_eq!(est.optimizer_calls(), calls_after_first);
+        assert_eq!(est.cache_hits(), 1);
+    }
+
+    #[test]
+    fn disabled_cache_repeats_work() {
+        let (hv, tenant) = setup();
+        let model = Calibrator::new(&hv).calibrate(&tenant.engine);
+        let est = WhatIfEstimator::without_cache(&tenant, &model);
+        let a = Allocation::new(0.5, 0.5);
+        est.estimate(a);
+        let calls = est.optimizer_calls();
+        est.estimate(a);
+        assert_eq!(est.optimizer_calls(), 2 * calls);
+    }
+
+    #[test]
+    fn more_cpu_never_costs_more() {
+        let (hv, tenant) = setup();
+        let model = Calibrator::new(&hv).calibrate(&tenant.engine);
+        let est = WhatIfEstimator::new(&tenant, &model);
+        let mut prev = f64::INFINITY;
+        for i in 1..=10 {
+            let c = est.cost(Allocation::new(i as f64 / 10.0, 0.5));
+            assert!(c <= prev + 1e-9, "cost rose with CPU at level {i}");
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn estimate_tracks_actual_for_dss() {
+        // End-to-end §4 validation: calibrated what-if estimates land
+        // near executor actuals for a well-modeled read-only workload.
+        let (hv, tenant) = setup();
+        let model = Calibrator::new(&hv).calibrate(&tenant.engine);
+        let est = WhatIfEstimator::new(&tenant, &model);
+        for &(c, m) in &[(0.3, 0.5), (0.6, 0.4), (0.9, 0.8)] {
+            let alloc = Allocation::new(c, m);
+            let predicted = est.cost(alloc);
+            let actual = tenant.actual_cost(&hv, alloc);
+            let err = (predicted - actual).abs() / actual;
+            assert!(
+                err < 0.1,
+                "estimate {predicted} vs actual {actual} (err {err}) at {alloc:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn samples_reflect_probed_allocations() {
+        let (hv, tenant) = setup();
+        let model = Calibrator::new(&hv).calibrate(&tenant.engine);
+        let est = WhatIfEstimator::new(&tenant, &model);
+        est.cost(Allocation::new(0.25, 0.5));
+        est.cost(Allocation::new(0.75, 0.5));
+        let samples = est.samples();
+        assert_eq!(samples.len(), 2);
+    }
+}

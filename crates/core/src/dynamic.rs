@@ -1,0 +1,380 @@
+//! Dynamic configuration management (§6).
+//!
+//! Online refinement assumes a static workload; real workloads change.
+//! The manager watches two signals per monitoring period:
+//!
+//! * the **workload-change metric** (§6.1): the relative change in the
+//!   optimizer-estimated *cost per query* between periods. Above the
+//!   threshold λ (10 %) the change is **major**; the refined cost model
+//!   describes a workload that no longer exists, so it is discarded
+//!   and rebuilt from fresh optimizer estimates. Below λ the change is
+//!   **minor** and refinement continues.
+//! * the **relative modeling error** `E_ip = |Est − Act| / Act`: for a
+//!   minor change that lands *before* refinement has converged, the
+//!   manager continues refining only if errors are small (< 5 %) or
+//!   shrinking; otherwise it conservatively rebuilds (§6.2).
+//!
+//! Changes in workload *intensity* (same queries, higher arrival rate)
+//! do not move the per-query metric — by design — and are absorbed by
+//! the refinement scaling instead.
+
+use crate::advisor::VirtualizationDesignAdvisor;
+use crate::problem::{Allocation, SearchSpace};
+use crate::refine::{refine, RefineOptions, RefinedModel};
+use serde::{Deserialize, Serialize};
+
+/// How the manager reacts to each period.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PeriodDecision {
+    /// Minor (or no) change: keep refining the existing model.
+    ContinueRefinement,
+    /// Minor change mid-refinement with growing errors: rebuild
+    /// conservatively.
+    RebuildOnError,
+    /// Major change: discard the model, restart from optimizer
+    /// estimates.
+    RebuildOnChange,
+}
+
+/// Management policy, for the §7.10 comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ManagementMode {
+    /// Full §6 logic: change classification + error tracking.
+    Dynamic,
+    /// Baseline: treat every change as minor and keep refining
+    /// ("continuous online refinement" in Fig. 35/36).
+    ContinuousRefinement,
+}
+
+/// Settings of the dynamic configuration manager.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DynamicOptions {
+    /// λ — the major/minor threshold on the per-query cost-estimate
+    /// change (the paper uses 10 %).
+    pub change_threshold: f64,
+    /// Modeling-error threshold (the paper uses 5 %).
+    pub error_threshold: f64,
+    /// Policy mode.
+    pub mode: ManagementMode,
+    /// Refinement settings for the per-period refinement steps.
+    pub refine: RefineOptions,
+}
+
+impl Default for DynamicOptions {
+    fn default() -> Self {
+        DynamicOptions {
+            change_threshold: 0.10,
+            error_threshold: 0.05,
+            mode: ManagementMode::Dynamic,
+            refine: RefineOptions {
+                max_iterations: 1,
+                ..RefineOptions::default()
+            },
+        }
+    }
+}
+
+/// What happened in one monitoring period.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PeriodReport {
+    /// Monitoring period number (1-based).
+    pub period: usize,
+    /// Allocations in force for the *next* period.
+    pub allocations: Vec<Allocation>,
+    /// Decision taken per workload.
+    pub decisions: Vec<PeriodDecision>,
+    /// Per-workload change metric observed this period.
+    pub change_metrics: Vec<f64>,
+    /// Per-workload relative modeling error `E_ip`.
+    pub errors: Vec<f64>,
+    /// Per-workload actual cost at the period's allocation.
+    pub actual_costs: Vec<f64>,
+}
+
+struct WorkloadState {
+    model: RefinedModel,
+    prev_per_query_estimate: f64,
+    prev_error: Option<f64>,
+}
+
+/// The §6 dynamic configuration manager. Owns the per-workload
+/// refinement state; the advisor (and its tenants) stay outside so the
+/// caller can mutate workloads between periods.
+pub struct DynamicConfigManager {
+    options: DynamicOptions,
+    space: SearchSpace,
+    states: Vec<WorkloadState>,
+    current: Vec<Allocation>,
+    converged: bool,
+    period: usize,
+}
+
+impl DynamicConfigManager {
+    /// Start managing: fit initial models and adopt the advisor's
+    /// static recommendation.
+    pub fn new(
+        advisor: &VirtualizationDesignAdvisor,
+        space: SearchSpace,
+        options: DynamicOptions,
+    ) -> Self {
+        let rec = advisor.recommend(&space);
+        // The change metric compares per-query estimates across
+        // periods; evaluating at a fixed reference allocation keeps it
+        // "sensitive to changes in the nature of the workload queries
+        // and not to variability in the run-time environment" (§6.1) —
+        // including the advisor's own reallocation between periods.
+        let reference = space.default_allocation(advisor.tenant_count());
+        let states = (0..advisor.tenant_count())
+            .map(|i| {
+                let model =
+                    advisor.fit_refinement_model(i, &space, options.refine.sample_grid);
+                let est = advisor.estimator(i);
+                let per_query = est.estimate(reference).avg_cost_per_statement;
+                WorkloadState {
+                    model,
+                    prev_per_query_estimate: per_query,
+                    prev_error: None,
+                }
+            })
+            .collect();
+        DynamicConfigManager {
+            options,
+            space,
+            states,
+            current: rec.result.allocations,
+            converged: false,
+            period: 0,
+        }
+    }
+
+    /// Allocations currently in force.
+    pub fn allocations(&self) -> &[Allocation] {
+        &self.current
+    }
+
+    /// Whether the refinement process has stabilized.
+    pub fn is_converged(&self) -> bool {
+        self.converged
+    }
+
+    /// Process one monitoring period: classify workload changes,
+    /// update or rebuild models, re-run the search, and adopt the new
+    /// allocations. Call after applying any workload changes to the
+    /// advisor's tenants.
+    pub fn process_period(&mut self, advisor: &VirtualizationDesignAdvisor) -> PeriodReport {
+        self.period += 1;
+        let n = self.states.len();
+        assert_eq!(n, advisor.tenant_count(), "tenant set must be stable");
+
+        let mut decisions = Vec::with_capacity(n);
+        let mut change_metrics = Vec::with_capacity(n);
+        let mut errors = Vec::with_capacity(n);
+        let mut actual_costs = Vec::with_capacity(n);
+
+        let reference = self.space.default_allocation(n);
+        for i in 0..n {
+            let alloc = self.current[i];
+            // §6.1 change metric: per-query optimizer estimates for the
+            // *current* (possibly changed) workload vs the previous
+            // period, at a fixed reference allocation.
+            let est = advisor.estimator(i);
+            let per_query = est.estimate(reference).avg_cost_per_statement;
+            let prev = self.states[i].prev_per_query_estimate;
+            let change = if prev > 0.0 {
+                (per_query - prev).abs() / prev
+            } else {
+                0.0
+            };
+            change_metrics.push(change);
+
+            // Monitoring observation.
+            let actual = advisor.actual_cost(i, alloc);
+            actual_costs.push(actual);
+            let model_est = self.states[i].model.predict(alloc);
+            let error = (model_est - actual).abs() / actual.max(1e-12);
+            errors.push(error);
+
+            let is_major = change > self.options.change_threshold
+                && self.options.mode == ManagementMode::Dynamic;
+            let decision = if is_major {
+                PeriodDecision::RebuildOnChange
+            } else if !self.converged
+                && self.options.mode == ManagementMode::Dynamic
+                && !self.error_acceptable(i, error)
+            {
+                PeriodDecision::RebuildOnError
+            } else {
+                PeriodDecision::ContinueRefinement
+            };
+
+            match decision {
+                PeriodDecision::RebuildOnChange | PeriodDecision::RebuildOnError => {
+                    // Discard the refined model; restart from fresh
+                    // optimizer estimates, then apply one refinement
+                    // step with the actual cost observed after the
+                    // change (§6.2: "the actual execution cost that was
+                    // observed after the major workload change is saved
+                    // and used to perform an additional refinement
+                    // step").
+                    let mut model = advisor.fit_refinement_model(
+                        i,
+                        &self.space,
+                        self.options.refine.sample_grid,
+                    );
+                    model.observe(alloc, actual);
+                    self.states[i].model = model;
+                    self.states[i].prev_error = None;
+                }
+                PeriodDecision::ContinueRefinement => {
+                    self.states[i].model.observe(alloc, actual);
+                    self.states[i].prev_error = Some(error);
+                }
+            }
+            self.states[i].prev_per_query_estimate = per_query;
+            decisions.push(decision);
+        }
+
+        // Re-run the search over the (refined or rebuilt) models.
+        let mut actual_oracle = |i: usize, a: Allocation| advisor.actual_cost(i, a);
+        let mut models: Vec<RefinedModel> =
+            self.states.iter().map(|s| s.model.clone()).collect();
+        let outcome = refine(
+            &mut models,
+            &self.space,
+            advisor.qos(),
+            &self.current,
+            &mut actual_oracle,
+            &self.options.refine,
+        );
+        for (s, m) in self.states.iter_mut().zip(models) {
+            s.model = m;
+        }
+        self.converged = outcome.converged;
+        self.current = outcome.final_allocations.clone();
+
+        PeriodReport {
+            period: self.period,
+            allocations: self.current.clone(),
+            decisions,
+            change_metrics,
+            errors,
+            actual_costs,
+        }
+    }
+
+    /// §6.2: mid-refinement minor changes continue only when errors are
+    /// small or shrinking.
+    fn error_acceptable(&self, i: usize, error: f64) -> bool {
+        match self.states[i].prev_error {
+            None => true,
+            Some(prev) => {
+                (prev < self.options.error_threshold && error < self.options.error_threshold)
+                    || error < prev
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::QoS;
+    use crate::tenant::Tenant;
+    use vda_simdb::engines::Engine;
+    use vda_vmm::{Hypervisor, PhysicalMachine};
+    use vda_workloads::tpch;
+
+    fn advisor() -> VirtualizationDesignAdvisor {
+        let hv = Hypervisor::new(PhysicalMachine::paper_testbed());
+        let mut adv = VirtualizationDesignAdvisor::new(hv);
+        let cat = tpch::catalog(1.0);
+        adv.add_tenant(
+            Tenant::new("a", Engine::pg(), cat.clone(), tpch::query_workload(18, 1.0)).unwrap(),
+            QoS::default(),
+        );
+        adv.add_tenant(
+            Tenant::new("b", Engine::pg(), cat, tpch::query_workload(6, 2.0)).unwrap(),
+            QoS::default(),
+        );
+        adv.calibrate();
+        adv
+    }
+
+    #[test]
+    fn stable_workload_is_minor_and_continues() {
+        let adv = advisor();
+        let mut mgr = DynamicConfigManager::new(&adv, SearchSpace::cpu_only(0.5), DynamicOptions::default());
+        let report = mgr.process_period(&adv);
+        assert!(report
+            .decisions
+            .iter()
+            .all(|d| *d == PeriodDecision::ContinueRefinement));
+        assert!(report.change_metrics.iter().all(|&c| c < 0.10));
+    }
+
+    #[test]
+    fn workload_swap_is_detected_as_major() {
+        let mut adv = advisor();
+        let space = SearchSpace::cpu_only(0.5);
+        let mut mgr = DynamicConfigManager::new(&adv, space, DynamicOptions::default());
+        mgr.process_period(&adv);
+        // Swap the two tenants' workloads (the §7.10 scenario).
+        let w0 = adv.tenant(0).workload.clone();
+        let w1 = adv.tenant(1).workload.clone();
+        adv.tenant_mut(0).set_workload(w1).unwrap();
+        adv.tenant_mut(1).set_workload(w0).unwrap();
+        let report = mgr.process_period(&adv);
+        assert!(
+            report
+                .decisions.contains(&PeriodDecision::RebuildOnChange),
+            "swap must be classified major: {:?}",
+            report.decisions
+        );
+    }
+
+    #[test]
+    fn intensity_change_stays_minor() {
+        let mut adv = advisor();
+        let mut mgr = DynamicConfigManager::new(&adv, SearchSpace::cpu_only(0.5), DynamicOptions::default());
+        mgr.process_period(&adv);
+        // Double the arrival rate: per-query estimates are unchanged.
+        adv.tenant_mut(0).scale_workload(2.0);
+        let report = mgr.process_period(&adv);
+        assert_eq!(report.decisions[0], PeriodDecision::ContinueRefinement);
+        assert!(report.change_metrics[0] < 0.01);
+    }
+
+    #[test]
+    fn continuous_mode_never_rebuilds() {
+        let mut adv = advisor();
+        let opts = DynamicOptions {
+            mode: ManagementMode::ContinuousRefinement,
+            ..DynamicOptions::default()
+        };
+        let mut mgr = DynamicConfigManager::new(&adv, SearchSpace::cpu_only(0.5), opts);
+        mgr.process_period(&adv);
+        let w0 = adv.tenant(0).workload.clone();
+        let w1 = adv.tenant(1).workload.clone();
+        adv.tenant_mut(0).set_workload(w1).unwrap();
+        adv.tenant_mut(1).set_workload(w0).unwrap();
+        let report = mgr.process_period(&adv);
+        assert!(report
+            .decisions
+            .iter()
+            .all(|d| *d == PeriodDecision::ContinueRefinement));
+    }
+
+    #[test]
+    fn allocations_remain_feasible_across_periods() {
+        let mut adv = advisor();
+        let mut mgr = DynamicConfigManager::new(&adv, SearchSpace::cpu_only(0.5), DynamicOptions::default());
+        for p in 0..4 {
+            if p == 2 {
+                adv.tenant_mut(0).scale_workload(1.5);
+            }
+            let report = mgr.process_period(&adv);
+            let total: f64 = report.allocations.iter().map(|a| a.cpu).sum();
+            assert!(total <= 1.0 + 1e-9, "period {p}: {total}");
+        }
+    }
+}

@@ -1,0 +1,619 @@
+//! Configuration enumeration (§4.5).
+//!
+//! [`greedy_search`] is the paper's Figure 11 algorithm verbatim:
+//! start from equal shares, and in each iteration consider shifting a
+//! share δ of some resource from the workload that suffers least to
+//! the workload that benefits most, honoring degradation limits `L_i`
+//! and weighting costs by gain factors `G_i`. The search terminates
+//! when no beneficial reallocation exists.
+//!
+//! [`exhaustive_search`] finds the *true* optimum over the same
+//! δ-quantized allocation grid. Because the objective `Σ G_i·Cost_i`
+//! is separable (each workload's cost depends only on its own
+//! allocation), the grid optimum is computable exactly by dynamic
+//! programming over remaining resource budgets instead of enumerating
+//! every composition — same answer as brute force, polynomial cost.
+//! The paper uses exhaustive search to show greedy is "very often
+//! optimal and always within 5 % of the optimal" (§4.5, §7.6–7.7).
+
+use crate::problem::{Allocation, QoS, Resource, SearchSpace};
+use serde::{Deserialize, Serialize};
+
+/// A per-workload cost oracle: `cost(workload_index, allocation)` in
+/// seconds. Both what-if estimators (§4) and refined cost models (§5)
+/// are used through this interface.
+pub type CostFn<'f> = dyn FnMut(usize, Allocation) -> f64 + 'f;
+
+/// One greedy reallocation step, for tracing/benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceStep {
+    /// Resource shifted.
+    pub resource: Resource,
+    /// Workload that received δ.
+    pub winner: usize,
+    /// Workload that gave up δ.
+    pub loser: usize,
+    /// Net gain-weighted cost reduction.
+    pub improvement: f64,
+}
+
+/// Result of a search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchResult {
+    /// Recommended allocation per workload.
+    pub allocations: Vec<Allocation>,
+    /// Gain-weighted total cost at the recommendation.
+    pub weighted_cost: f64,
+    /// Unweighted per-workload costs at the recommendation.
+    pub costs: Vec<f64>,
+    /// Greedy iterations executed (0 for exhaustive search).
+    pub iterations: usize,
+    /// Greedy trace (empty for exhaustive search).
+    pub trace: Vec<TraceStep>,
+    /// Per-workload: whether the degradation limit is satisfied at the
+    /// recommendation. All `true` unless the limits are jointly
+    /// infeasible (the paper's Fig. 19 shows exactly such a case at
+    /// `L9 = 1.5`).
+    pub limits_met: Vec<bool>,
+}
+
+/// Minimum weighted-cost improvement for a step to count as progress.
+const PROGRESS_EPS: f64 = 1e-9;
+
+/// The Figure 11 greedy configuration enumerator.
+///
+/// `cost` is called as `cost(i, R_i)`; `qos[i]` carries `L_i`/`G_i`.
+/// Returns the recommended allocations plus the iteration trace.
+pub fn greedy_search(
+    n: usize,
+    space: &SearchSpace,
+    qos: &[QoS],
+    cost: &mut CostFn<'_>,
+) -> SearchResult {
+    assert!(n >= 1, "at least one workload");
+    assert_eq!(qos.len(), n, "one QoS entry per workload");
+    let varied = space.varied();
+    assert!(!varied.is_empty(), "at least one resource must be varied");
+    let delta = space.delta;
+
+    // Degradation baselines: Cost(W_i, [1,…,1]) over the varied
+    // resources.
+    let solo = space.solo_allocation();
+    let full_cost: Vec<f64> = (0..n).map(|i| cost(i, solo)).collect();
+
+    // Start with equal shares of every varied resource.
+    let mut alloc: Vec<Allocation> = vec![space.default_allocation(n); n];
+
+    // Feasibility pre-phase. Figure 11 only *preserves* degradation
+    // limits when taking resources away; when the equal-share start
+    // itself violates a limit (five identical workloads with
+    // L_i = 2.5, §7.5), the advisor must first shift resources toward
+    // the violating workload. We move δ at a time from the workload
+    // with the most slack until every satisfiable limit holds.
+    let mut guard = 0;
+    loop {
+        guard += 1;
+        if guard > 10_000 {
+            break;
+        }
+        let violator = (0..n)
+            .filter(|&i| qos[i].degradation_limit.is_finite())
+            .map(|i| (i, cost(i, alloc[i]) / full_cost[i] - qos[i].degradation_limit))
+            .filter(|&(_, excess)| excess > 1e-9)
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        let Some((v, _)) = violator else { break };
+
+        // Best (resource, donor) pair: maximal reduction of the
+        // violator's cost among donors that stay within their own
+        // limits and minimum shares.
+        let mut best: Option<(Resource, usize, f64)> = None;
+        for &res in &varied {
+            if alloc[v].get(res) + delta > 1.0 + 1e-9 {
+                continue;
+            }
+            let relief = cost(v, alloc[v]) - cost(v, alloc[v].shifted(res, delta));
+            if relief <= 0.0 {
+                continue;
+            }
+            for k in 0..n {
+                if k == v || alloc[k].get(res) - delta < space.min_share - 1e-9 {
+                    continue;
+                }
+                let donor_cost = cost(k, alloc[k].shifted(res, -delta));
+                if donor_cost > qos[k].degradation_limit * full_cost[k] + 1e-12 {
+                    continue;
+                }
+                let score = relief - (donor_cost - cost(k, alloc[k]));
+                let better = best.as_ref().is_none_or(|b| score > b.2);
+                if better {
+                    best = Some((res, k, score));
+                }
+            }
+        }
+        let Some((res, donor, _)) = best else {
+            break; // jointly infeasible: report via limits_met
+        };
+        alloc[v] = alloc[v].shifted(res, delta);
+        alloc[donor] = alloc[donor].shifted(res, -delta);
+    }
+
+    let mut weighted: Vec<f64> = (0..n)
+        .map(|i| qos[i].gain * cost(i, alloc[i]))
+        .collect();
+
+    let mut trace = Vec::new();
+    let mut iterations = 0;
+    // The search moves δ-sized shares on a finite grid and each step
+    // strictly decreases total weighted cost, so it terminates; the
+    // cap is a safety net, not a tuning knob.
+    let max_iterations = 10_000;
+
+    while iterations < max_iterations {
+        let mut best: Option<TraceStep> = None;
+
+        for &res in &varied {
+            // Who benefits most from +δ?
+            let mut max_gain = 0.0;
+            let mut i_gain = None;
+            // Who suffers least from −δ?
+            let mut min_loss = f64::INFINITY;
+            let mut i_lose = None;
+
+            for i in 0..n {
+                let share = alloc[i].get(res);
+                if share + delta <= 1.0 + 1e-9 {
+                    let c_up = qos[i].gain * cost(i, alloc[i].shifted(res, delta));
+                    let gain = weighted[i] - c_up;
+                    if gain > max_gain {
+                        max_gain = gain;
+                        i_gain = Some(i);
+                    }
+                }
+                if share - delta >= space.min_share - 1e-9 {
+                    let down = alloc[i].shifted(res, -delta);
+                    let c_down = cost(i, down);
+                    // Degradation limit: only take resources away if the
+                    // reduced allocation still satisfies L_i.
+                    if c_down <= qos[i].degradation_limit * full_cost[i] + 1e-12 {
+                        let loss = qos[i].gain * c_down - weighted[i];
+                        if loss < min_loss {
+                            min_loss = loss;
+                            i_lose = Some(i);
+                        }
+                    }
+                }
+            }
+
+            if let (Some(w), Some(l)) = (i_gain, i_lose) {
+                if w != l {
+                    let improvement = max_gain - min_loss;
+                    let better = best
+                        .as_ref()
+                        .is_none_or(|b| improvement > b.improvement);
+                    if improvement > PROGRESS_EPS && better {
+                        best = Some(TraceStep {
+                            resource: res,
+                            winner: w,
+                            loser: l,
+                            improvement,
+                        });
+                    }
+                }
+            }
+        }
+
+        let Some(step) = best else { break };
+        alloc[step.winner] = alloc[step.winner].shifted(step.resource, delta);
+        alloc[step.loser] = alloc[step.loser].shifted(step.resource, -delta);
+        weighted[step.winner] = qos[step.winner].gain * cost(step.winner, alloc[step.winner]);
+        weighted[step.loser] = qos[step.loser].gain * cost(step.loser, alloc[step.loser]);
+        trace.push(step);
+        iterations += 1;
+    }
+
+    let costs: Vec<f64> = (0..n).map(|i| cost(i, alloc[i])).collect();
+    let limits_met = costs
+        .iter()
+        .zip(qos)
+        .zip(&full_cost)
+        .map(|((c, q), f)| *c <= q.degradation_limit * f + 1e-9)
+        .collect();
+    SearchResult {
+        weighted_cost: costs
+            .iter()
+            .zip(qos)
+            .map(|(c, q)| q.gain * c)
+            .sum(),
+        allocations: alloc,
+        costs,
+        iterations,
+        trace,
+        limits_met,
+    }
+}
+
+/// Exact optimum over the δ-quantized grid, via DP on remaining budget
+/// units. Infeasible points (degradation-limit violations) are
+/// excluded. Equivalent to brute-force enumeration of all feasible
+/// grid allocations because the objective is separable per workload.
+pub fn exhaustive_search(
+    n: usize,
+    space: &SearchSpace,
+    qos: &[QoS],
+    cost: &mut CostFn<'_>,
+) -> SearchResult {
+    assert!(n >= 1);
+    assert_eq!(qos.len(), n);
+    let varied = space.varied();
+    assert!(!varied.is_empty());
+    let delta = space.delta;
+    let units_total = (1.0 / delta).round() as usize;
+    let min_units = (space.min_share / delta).round().max(1.0) as usize;
+    let max_units = units_total - (n - 1) * min_units;
+    assert!(
+        max_units >= min_units,
+        "min_share too large for {n} workloads"
+    );
+
+    let solo = space.solo_allocation();
+    let full_cost: Vec<f64> = (0..n).map(|i| cost(i, solo)).collect();
+
+    let vary_cpu = varied.contains(&Resource::Cpu);
+    let vary_mem = varied.contains(&Resource::Memory);
+    let cpu_budget = if vary_cpu { units_total } else { 0 };
+    let mem_budget = if vary_mem { units_total } else { 0 };
+
+    let alloc_for = |cu: usize, mu: usize| -> Allocation {
+        Allocation {
+            cpu: if vary_cpu {
+                cu as f64 * delta
+            } else {
+                space.fixed.cpu
+            },
+            memory: if vary_mem {
+                mu as f64 * delta
+            } else {
+                space.fixed.memory
+            },
+        }
+    };
+
+    // Feasible own-share options per workload with weighted costs.
+    let cpu_range = |_: usize| -> Vec<usize> {
+        if vary_cpu {
+            (min_units..=max_units).collect()
+        } else {
+            vec![0]
+        }
+    };
+    let mem_range = |_: usize| -> Vec<usize> {
+        if vary_mem {
+            (min_units..=max_units).collect()
+        } else {
+            vec![0]
+        }
+    };
+
+    // DP over (workload index, cpu units left, memory units left):
+    // minimal weighted cost completing workloads i..n.
+    let width = cpu_budget + 1;
+    let height = mem_budget + 1;
+    let idx = |c: usize, m: usize| c * height + m;
+    let mut next = vec![f64::INFINITY; width * height];
+    // Base case: all workloads placed; leftover units are fine (the
+    // constraint is Σ ≤ 1).
+    for v in next.iter_mut() {
+        *v = 0.0;
+    }
+    let mut choices: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
+
+    // Precompute per-workload cost tables.
+    #[allow(clippy::type_complexity)] // ((cpu units, mem units), cost, weighted cost) per option
+    let mut tables: Vec<Vec<((usize, usize), f64, f64)>> = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut t = Vec::new();
+        for &cu in &cpu_range(i) {
+            for &mu in &mem_range(i) {
+                let a = alloc_for(cu, mu);
+                let c = cost(i, a);
+                if c <= qos[i].degradation_limit * full_cost[i] + 1e-12 {
+                    t.push(((cu, mu), c, qos[i].gain * c));
+                }
+            }
+        }
+        tables.push(t);
+    }
+
+    // Backward DP with parent reconstruction by re-derivation.
+    let mut layers: Vec<Vec<f64>> = Vec::with_capacity(n + 1);
+    layers.push(next.clone());
+    for i in (0..n).rev() {
+        let mut cur = vec![f64::INFINITY; width * height];
+        for c_left in 0..width {
+            for m_left in 0..height {
+                let mut best = f64::INFINITY;
+                for &((cu, mu), _, wcost) in &tables[i] {
+                    let cu_eff = if vary_cpu { cu } else { 0 };
+                    let mu_eff = if vary_mem { mu } else { 0 };
+                    if cu_eff <= c_left && mu_eff <= m_left {
+                        let rest = next[idx(c_left - cu_eff, m_left - mu_eff)];
+                        if wcost + rest < best {
+                            best = wcost + rest;
+                        }
+                    }
+                }
+                cur[idx(c_left, m_left)] = best;
+            }
+        }
+        layers.push(cur.clone());
+        next = cur;
+    }
+    layers.reverse(); // layers[i] = cost-to-go starting at workload i
+
+    // Reconstruct choices greedily from the DP tables.
+    let mut c_left = cpu_budget;
+    let mut m_left = mem_budget;
+    for i in 0..n {
+        let target = layers[i][idx(c_left, m_left)];
+        assert!(
+            target.is_finite(),
+            "no feasible allocation satisfies the degradation limits"
+        );
+        let mut found = false;
+        for &((cu, mu), _, wcost) in &tables[i] {
+            let cu_eff = if vary_cpu { cu } else { 0 };
+            let mu_eff = if vary_mem { mu } else { 0 };
+            if cu_eff <= c_left && mu_eff <= m_left {
+                let rest = layers[i + 1][idx(c_left - cu_eff, m_left - mu_eff)];
+                if (wcost + rest - target).abs() <= 1e-9 * target.max(1.0) {
+                    choices[i] = vec![(cu, mu)];
+                    c_left -= cu_eff;
+                    m_left -= mu_eff;
+                    found = true;
+                    break;
+                }
+            }
+        }
+        assert!(found, "DP reconstruction must find the chosen option");
+    }
+
+    let allocations: Vec<Allocation> = (0..n)
+        .map(|i| {
+            let (cu, mu) = choices[i][0];
+            alloc_for(cu, mu)
+        })
+        .collect();
+    let costs: Vec<f64> = (0..n).map(|i| cost(i, allocations[i])).collect();
+    let limits_met = costs
+        .iter()
+        .zip(qos)
+        .zip(&full_cost)
+        .map(|((c, q), f)| *c <= q.degradation_limit * f + 1e-9)
+        .collect();
+    SearchResult {
+        weighted_cost: costs.iter().zip(qos).map(|(c, q)| q.gain * c).sum(),
+        allocations,
+        costs,
+        iterations: 0,
+        trace: Vec::new(),
+        limits_met,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic reciprocal cost models: cost_i = α_i/cpu + β_i (+
+    /// memory term when varied).
+    fn synth(alphas: Vec<f64>) -> impl FnMut(usize, Allocation) -> f64 {
+        move |i, a| alphas[i] / a.cpu + 1.0
+    }
+
+    fn qos_n(n: usize) -> Vec<QoS> {
+        vec![QoS::default(); n]
+    }
+
+    #[test]
+    fn greedy_gives_cpu_to_the_hungrier_workload() {
+        let space = SearchSpace::cpu_only(0.5);
+        let mut cost = synth(vec![10.0, 1.0]);
+        let r = greedy_search(2, &space, &qos_n(2), &mut cost);
+        assert!(r.allocations[0].cpu > 0.6, "{:?}", r.allocations);
+        assert!((r.allocations[0].cpu + r.allocations[1].cpu - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn greedy_keeps_symmetric_workloads_even() {
+        let space = SearchSpace::cpu_only(0.5);
+        let mut cost = synth(vec![5.0, 5.0]);
+        let r = greedy_search(2, &space, &qos_n(2), &mut cost);
+        assert_eq!(r.iterations, 0);
+        assert!((r.allocations[0].cpu - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn greedy_total_cost_never_increases() {
+        let space = SearchSpace::cpu_only(0.5);
+        let alphas = [8.0, 3.0, 1.0, 0.5];
+        let mut calls: Vec<(usize, Allocation)> = Vec::new();
+        let mut cost = |i: usize, a: Allocation| {
+            calls.push((i, a));
+            alphas[i] / a.cpu + 1.0
+        };
+        let r = greedy_search(4, &space, &qos_n(4), &mut cost);
+        // Replay the trace and verify monotone improvement.
+        let mut alloc = vec![space.default_allocation(4); 4];
+        let total = |alloc: &[Allocation]| -> f64 {
+            alloc
+                .iter()
+                .enumerate()
+                .map(|(i, a)| alphas[i] / a.cpu + 1.0)
+                .sum()
+        };
+        let mut prev = total(&alloc);
+        for step in &r.trace {
+            alloc[step.winner] = alloc[step.winner].shifted(step.resource, space.delta);
+            alloc[step.loser] = alloc[step.loser].shifted(step.resource, -space.delta);
+            let now = total(&alloc);
+            assert!(now < prev + 1e-12, "step worsened cost");
+            prev = now;
+        }
+        assert_eq!(alloc, r.allocations);
+    }
+
+    #[test]
+    fn greedy_respects_degradation_limit() {
+        let space = SearchSpace::cpu_only(0.5);
+        // Workload 0 is hungry; workload 1 has a limit of 2× its
+        // solo cost (cost_1(r) = 2/r + 1, solo cost 3 → cap 6 →
+        // r_1 ≥ 0.4).
+        let mut unconstrained = synth(vec![10.0, 2.0]);
+        let free = greedy_search(2, &space, &qos_n(2), &mut unconstrained);
+        let mut cost = synth(vec![10.0, 2.0]);
+        let qos = vec![QoS::default(), QoS::with_limit(2.0)];
+        let r = greedy_search(2, &space, &qos, &mut cost);
+        let full = 2.0 / 1.0 + 1.0;
+        assert!(
+            r.costs[1] <= 2.0 * full + 1e-9,
+            "degradation violated: {} > {}",
+            r.costs[1],
+            2.0 * full
+        );
+        assert!(r.allocations[1].cpu >= 0.4 - 1e-9, "{:?}", r.allocations);
+        // The limit must actually bind: without it workload 1 gives up
+        // more CPU.
+        assert!(free.allocations[1].cpu < r.allocations[1].cpu);
+    }
+
+    #[test]
+    fn greedy_gain_factor_biases_allocation() {
+        let space = SearchSpace::cpu_only(0.5);
+        // Identical workloads; gain pulls resources to workload 0.
+        let mut c1 = synth(vec![5.0, 5.0]);
+        let r_plain = greedy_search(2, &space, &qos_n(2), &mut c1);
+        let mut c2 = synth(vec![5.0, 5.0]);
+        let qos = vec![QoS::with_gain(5.0), QoS::default()];
+        let r_gain = greedy_search(2, &space, &qos, &mut c2);
+        assert!(r_gain.allocations[0].cpu > r_plain.allocations[0].cpu);
+    }
+
+    #[test]
+    fn greedy_matches_exhaustive_on_reciprocal_models() {
+        let space = SearchSpace::cpu_only(0.5);
+        let alphas = vec![9.0, 4.0, 1.0];
+        let mut g_cost = synth(alphas.clone());
+        let greedy = greedy_search(3, &space, &qos_n(3), &mut g_cost);
+        let mut e_cost = synth(alphas);
+        let exact = exhaustive_search(3, &space, &qos_n(3), &mut e_cost);
+        // Paper: greedy is very often optimal, always within 5 %.
+        assert!(
+            greedy.weighted_cost <= exact.weighted_cost * 1.05 + 1e-9,
+            "greedy {} vs optimal {}",
+            greedy.weighted_cost,
+            exact.weighted_cost
+        );
+    }
+
+    #[test]
+    fn exhaustive_finds_known_optimum() {
+        let space = SearchSpace::cpu_only(0.5);
+        // cost_0 dominated by CPU, cost_1 flat: optimum pushes
+        // workload 0 to the max share.
+        let mut cost = |i: usize, a: Allocation| -> f64 {
+            if i == 0 {
+                100.0 / a.cpu
+            } else {
+                10.0 + 0.001 / a.cpu
+            }
+        };
+        let r = exhaustive_search(2, &space, &qos_n(2), &mut cost);
+        assert!((r.allocations[0].cpu - 0.95).abs() < 1e-9, "{:?}", r.allocations);
+        assert!((r.allocations[1].cpu - 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exhaustive_respects_budget_on_both_resources() {
+        let space = SearchSpace::cpu_and_memory();
+        let mut cost =
+            |i: usize, a: Allocation| -> f64 { (i as f64 + 1.0) / a.cpu + 2.0 / a.memory };
+        let r = exhaustive_search(3, &space, &qos_n(3), &mut cost);
+        let cpu_sum: f64 = r.allocations.iter().map(|a| a.cpu).sum();
+        let mem_sum: f64 = r.allocations.iter().map(|a| a.memory).sum();
+        assert!(cpu_sum <= 1.0 + 1e-9);
+        assert!(mem_sum <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn exhaustive_excludes_degradation_violations() {
+        let space = SearchSpace::cpu_only(0.5);
+        let mut cost = synth(vec![10.0, 10.0]);
+        let qos = vec![QoS::with_limit(1.05), QoS::with_limit(1.05)];
+        // Both want nearly everything; the only feasible points keep
+        // both near full — impossible — so the DP must panic.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            exhaustive_search(2, &space, &qos, &mut cost)
+        }));
+        assert!(result.is_err(), "infeasible problem must be reported");
+    }
+
+    #[test]
+    fn greedy_two_resources_splits_by_affinity() {
+        let space = SearchSpace::cpu_and_memory();
+        // Workload 0 is CPU-bound, workload 1 memory-bound.
+        let mut cost = |i: usize, a: Allocation| -> f64 {
+            if i == 0 {
+                20.0 / a.cpu + 1.0 / a.memory
+            } else {
+                1.0 / a.cpu + 20.0 / a.memory
+            }
+        };
+        let r = greedy_search(2, &space, &qos_n(2), &mut cost);
+        assert!(r.allocations[0].cpu > 0.6, "{:?}", r.allocations);
+        assert!(r.allocations[1].memory > 0.6, "{:?}", r.allocations);
+    }
+
+    #[test]
+    fn feasibility_phase_meets_limits_violated_at_start() {
+        // Five identical workloads; the equal-share start (r = 0.2)
+        // degrades each to cost(0.2)/cost(1.0) = (25+1)/(5+1) ≈ 4.33.
+        // A limit of 2.5 forces the pre-phase to push the constrained
+        // workload above the symmetric share before Fig. 11 runs.
+        let space = SearchSpace::cpu_only(0.5);
+        let mut cost = synth(vec![5.0; 5]);
+        let mut qos = qos_n(5);
+        qos[0] = QoS::with_limit(2.5);
+        let r = greedy_search(5, &space, &qos, &mut cost);
+        assert!(r.limits_met[0], "{:?}", r);
+        let full = 5.0 + 1.0;
+        assert!(r.costs[0] <= 2.5 * full + 1e-9);
+        assert!(r.allocations[0].cpu > 0.2, "{:?}", r.allocations);
+        // Feasibility must not oversubscribe.
+        let total: f64 = r.allocations.iter().map(|a| a.cpu).sum();
+        assert!(total <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn infeasible_limits_are_reported_not_panicked() {
+        // Both workloads demand more than half the machine to stay
+        // within their limits: jointly infeasible.
+        let space = SearchSpace::cpu_only(0.5);
+        let mut cost = synth(vec![10.0, 10.0]);
+        let qos = vec![QoS::with_limit(1.05), QoS::with_limit(1.05)];
+        let r = greedy_search(2, &space, &qos, &mut cost);
+        assert!(
+            r.limits_met.iter().any(|m| !m),
+            "jointly infeasible limits must be reported: {:?}",
+            r.limits_met
+        );
+    }
+
+    #[test]
+    fn single_workload_keeps_everything() {
+        let space = SearchSpace::cpu_only(0.5);
+        let mut cost = synth(vec![5.0]);
+        let r = greedy_search(1, &space, &qos_n(1), &mut cost);
+        assert_eq!(r.iterations, 0);
+        assert!((r.allocations[0].cpu - 1.0).abs() < 1e-9);
+    }
+}

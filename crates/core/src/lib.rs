@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+
+//! # vda-core
+//!
+//! The **virtualization design advisor** of Soror et al., *Automatic
+//! Virtual Machine Configuration for Database Workloads* (SIGMOD 2008 /
+//! TODS). Given `N` database workloads destined for `N` VMs on one
+//! physical machine, the advisor recommends how much CPU and memory
+//! each VM should get:
+//!
+//! 1. **Calibration** ([`costmodel::calibration`], §4.3–4.4): measure,
+//!    once per DBMS per machine, how the query optimizer's descriptive
+//!    configuration parameters depend on the VM's resource allocation.
+//! 2. **What-if costing** ([`costmodel::whatif`], §4.1–4.2): map a
+//!    candidate allocation to optimizer parameters, ask the optimizer
+//!    for workload cost, renormalize to seconds.
+//! 3. **Greedy enumeration** ([`enumerate`], §4.5, Fig. 11): shift δ-
+//!    sized resource shares from the workload that suffers least to the
+//!    workload that gains most, under degradation limits `L_i` and gain
+//!    factors `G_i` (§4.6).
+//! 4. **Online refinement** ([`refine`], §5): correct optimizer
+//!    misestimates from observed runtimes with linear (CPU) and
+//!    piecewise-linear (memory) models.
+//! 5. **Dynamic configuration management** ([`dynamic`], §6): detect
+//!    workload changes via the per-query cost-estimate metric and
+//!    rebuild or keep refining accordingly.
+//!
+//! [`advisor::VirtualizationDesignAdvisor`] is the façade tying it all
+//! together over the simulated substrate ([`vda_simdb`], [`vda_vmm`]).
+
+pub mod advisor;
+pub mod costmodel;
+pub mod dynamic;
+pub mod enumerate;
+pub mod metrics;
+pub mod problem;
+pub mod refine;
+pub mod tenant;
+
+pub use advisor::{Recommendation, VirtualizationDesignAdvisor};
+pub use costmodel::{CalibratedModel, Calibrator, Estimate, Renormalizer, WhatIfEstimator};
+pub use dynamic::{DynamicConfigManager, DynamicOptions, ManagementMode, PeriodReport};
+pub use enumerate::{exhaustive_search, greedy_search, SearchResult, TraceStep};
+pub use problem::{Allocation, QoS, Resource, SearchSpace};
+pub use refine::{RefineOptions, RefinedModel, RefinementOutcome};
+pub use tenant::{BoundStatement, Tenant};

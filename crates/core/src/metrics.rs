@@ -1,0 +1,41 @@
+//! Performance metrics shared by the experiments (§7.1).
+
+/// Relative improvement of `t_candidate` over `t_default`:
+/// `(T_default − T_candidate) / T_default`. Positive is better;
+/// negative means the candidate allocation *hurt* (as the
+/// pre-refinement recommendations of §7.8 do).
+pub fn relative_improvement(t_default: f64, t_candidate: f64) -> f64 {
+    assert!(t_default > 0.0, "default cost must be positive");
+    (t_default - t_candidate) / t_default
+}
+
+/// Degradation of a workload relative to owning the whole machine:
+/// `Cost(W, R) / Cost(W, [1,…,1])` (§3).
+pub fn degradation(cost_at_alloc: f64, cost_at_full: f64) -> f64 {
+    assert!(cost_at_full > 0.0, "full-allocation cost must be positive");
+    cost_at_alloc / cost_at_full
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn improvement_signs() {
+        assert!((relative_improvement(100.0, 76.0) - 0.24).abs() < 1e-12);
+        assert!(relative_improvement(100.0, 120.0) < 0.0);
+        assert_eq!(relative_improvement(50.0, 50.0), 0.0);
+    }
+
+    #[test]
+    fn degradation_is_ratio() {
+        assert!((degradation(15.0, 10.0) - 1.5).abs() < 1e-12);
+        assert_eq!(degradation(10.0, 10.0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "default cost")]
+    fn improvement_rejects_zero_baseline() {
+        let _ = relative_improvement(0.0, 1.0);
+    }
+}

@@ -1,0 +1,295 @@
+//! The virtualization design problem (§3 of the paper).
+//!
+//! `N` workloads, each in its own VM, compete for `M` resources of one
+//! physical machine. Choose resource shares `R_i = [r_i1 … r_iM]`
+//! minimizing `Σ G_i · Cost(W_i, R_i)` subject to `Σ_i r_ij ≤ 1`,
+//! `r_ij ≥ 0`, and per-workload degradation limits
+//! `Cost(W_i, R_i) / Cost(W_i, [1…1]) ≤ L_i`.
+
+use serde::{Deserialize, Serialize};
+use vda_vmm::VmConfig;
+
+/// A controllable resource. The paper's focus — and ours — is CPU and
+/// memory (M = 2): "most virtual machine monitors currently provide
+/// mechanisms for controlling the allocation of these two resources".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Resource {
+    /// CPU share of the physical machine.
+    Cpu,
+    /// Memory share of the physical machine.
+    Memory,
+}
+
+impl Resource {
+    /// All resources, in canonical order.
+    pub const ALL: [Resource; 2] = [Resource::Cpu, Resource::Memory];
+}
+
+/// One VM's resource shares `R_i`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Allocation {
+    /// CPU share in `(0, 1]`.
+    pub cpu: f64,
+    /// Memory share in `(0, 1]`.
+    pub memory: f64,
+}
+
+impl Allocation {
+    /// Construct an allocation.
+    pub fn new(cpu: f64, memory: f64) -> Self {
+        Allocation { cpu, memory }
+    }
+
+    /// The full-machine allocation `[1, …, 1]` used as the degradation
+    /// baseline.
+    pub fn full() -> Self {
+        Allocation {
+            cpu: 1.0,
+            memory: 1.0,
+        }
+    }
+
+    /// Share of one resource.
+    pub fn get(&self, r: Resource) -> f64 {
+        match r {
+            Resource::Cpu => self.cpu,
+            Resource::Memory => self.memory,
+        }
+    }
+
+    /// Copy with one resource share replaced.
+    #[must_use]
+    pub fn with(&self, r: Resource, value: f64) -> Self {
+        let mut a = *self;
+        match r {
+            Resource::Cpu => a.cpu = value,
+            Resource::Memory => a.memory = value,
+        }
+        a
+    }
+
+    /// Copy with one resource share shifted by `delta` (may be
+    /// negative).
+    #[must_use]
+    pub fn shifted(&self, r: Resource, delta: f64) -> Self {
+        self.with(r, self.get(r) + delta)
+    }
+
+    /// The VMM configuration realizing this allocation.
+    pub fn vm_config(&self) -> Result<VmConfig, vda_vmm::VmmError> {
+        VmConfig::new(self.cpu, self.memory)
+    }
+
+    /// Quantized cache key (10⁻⁴ share resolution), so repeated greedy
+    /// probes of the same point hit the what-if cache despite
+    /// floating-point dust.
+    pub fn key(&self) -> (u32, u32) {
+        (
+            (self.cpu * 1e4).round() as u32,
+            (self.memory * 1e4).round() as u32,
+        )
+    }
+
+    /// Whether both shares are valid fractions.
+    pub fn is_valid(&self) -> bool {
+        (0.0..=1.0 + 1e-9).contains(&self.cpu)
+            && (0.0..=1.0 + 1e-9).contains(&self.memory)
+            && self.cpu > 0.0
+            && self.memory > 0.0
+    }
+}
+
+/// Per-workload quality-of-service settings (§3, §4.6).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QoS {
+    /// Degradation limit `L_i ≥ 1`; `f64::INFINITY` disables the
+    /// constraint.
+    pub degradation_limit: f64,
+    /// Benefit gain factor `G_i ≥ 1`; cost improvements to this
+    /// workload count `G_i`-fold.
+    pub gain: f64,
+}
+
+impl Default for QoS {
+    fn default() -> Self {
+        QoS {
+            degradation_limit: f64::INFINITY,
+            gain: 1.0,
+        }
+    }
+}
+
+impl QoS {
+    /// QoS with only a degradation limit.
+    pub fn with_limit(limit: f64) -> Self {
+        assert!(limit >= 1.0, "degradation limit must be >= 1");
+        QoS {
+            degradation_limit: limit,
+            ..QoS::default()
+        }
+    }
+
+    /// QoS with only a gain factor.
+    pub fn with_gain(gain: f64) -> Self {
+        assert!(gain >= 1.0, "gain factor must be >= 1");
+        QoS {
+            gain,
+            ..QoS::default()
+        }
+    }
+}
+
+/// Search-space settings shared by the enumeration algorithms.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SearchSpace {
+    /// Which resources the advisor controls; the rest stay at
+    /// [`SearchSpace::fixed`].
+    pub vary_cpu: bool,
+    /// Whether memory is controlled.
+    pub vary_memory: bool,
+    /// Shares used for resources that are *not* varied.
+    pub fixed: Allocation,
+    /// Greedy/exhaustive step δ (the paper uses 5 %).
+    pub delta: f64,
+    /// Smallest share any workload may hold in a varied resource (a VM
+    /// with zero CPU or memory cannot run its DBMS).
+    pub min_share: f64,
+}
+
+impl SearchSpace {
+    /// CPU-only search (§7.3, §7.6): memory fixed at `mem_share` for
+    /// every VM.
+    pub fn cpu_only(mem_share: f64) -> Self {
+        SearchSpace {
+            vary_cpu: true,
+            vary_memory: false,
+            fixed: Allocation::new(1.0, mem_share),
+            delta: 0.05,
+            min_share: 0.05,
+        }
+    }
+
+    /// Memory-only search (§7.4): CPU fixed at `cpu_share`.
+    pub fn memory_only(cpu_share: f64) -> Self {
+        SearchSpace {
+            vary_cpu: false,
+            vary_memory: true,
+            fixed: Allocation::new(cpu_share, 1.0),
+            delta: 0.05,
+            min_share: 0.05,
+        }
+    }
+
+    /// Joint CPU + memory search (§7.7).
+    pub fn cpu_and_memory() -> Self {
+        SearchSpace {
+            vary_cpu: true,
+            vary_memory: true,
+            fixed: Allocation::full(),
+            delta: 0.05,
+            min_share: 0.05,
+        }
+    }
+
+    /// The varied resources in canonical order.
+    pub fn varied(&self) -> Vec<Resource> {
+        let mut v = Vec::with_capacity(2);
+        if self.vary_cpu {
+            v.push(Resource::Cpu);
+        }
+        if self.vary_memory {
+            v.push(Resource::Memory);
+        }
+        v
+    }
+
+    /// The default allocation: `1/N` of each varied resource, the
+    /// fixed share otherwise (the paper's comparison baseline).
+    pub fn default_allocation(&self, n: usize) -> Allocation {
+        let even = 1.0 / n as f64;
+        Allocation {
+            cpu: if self.vary_cpu { even } else { self.fixed.cpu },
+            memory: if self.vary_memory {
+                even
+            } else {
+                self.fixed.memory
+            },
+        }
+    }
+
+    /// The most generous feasible allocation for one workload (used as
+    /// the degradation baseline `[1,…,1]`): full share of varied
+    /// resources, fixed share otherwise.
+    pub fn solo_allocation(&self) -> Allocation {
+        Allocation {
+            cpu: if self.vary_cpu { 1.0 } else { self.fixed.cpu },
+            memory: if self.vary_memory { 1.0 } else { self.fixed.memory },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocation_accessors_roundtrip() {
+        let a = Allocation::new(0.3, 0.7);
+        assert_eq!(a.get(Resource::Cpu), 0.3);
+        assert_eq!(a.get(Resource::Memory), 0.7);
+        let b = a.with(Resource::Cpu, 0.5).shifted(Resource::Memory, -0.2);
+        assert!((b.cpu - 0.5).abs() < 1e-12);
+        assert!((b.memory - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn key_is_stable_under_fp_dust() {
+        let a = Allocation::new(0.1 + 0.2, 0.5); // 0.30000000000000004
+        let b = Allocation::new(0.3, 0.5);
+        assert_eq!(a.key(), b.key());
+    }
+
+    #[test]
+    fn validity_checks() {
+        assert!(Allocation::new(0.5, 0.5).is_valid());
+        assert!(!Allocation::new(0.0, 0.5).is_valid());
+        assert!(!Allocation::new(1.2, 0.5).is_valid());
+    }
+
+    #[test]
+    fn qos_constructors_validate() {
+        let q = QoS::with_limit(2.5);
+        assert_eq!(q.degradation_limit, 2.5);
+        assert_eq!(q.gain, 1.0);
+        let g = QoS::with_gain(4.0);
+        assert_eq!(g.gain, 4.0);
+        assert!(g.degradation_limit.is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "degradation limit")]
+    fn qos_rejects_sub_one_limit() {
+        let _ = QoS::with_limit(0.5);
+    }
+
+    #[test]
+    fn search_space_defaults() {
+        let s = SearchSpace::cpu_only(0.0625);
+        assert_eq!(s.varied(), vec![Resource::Cpu]);
+        let d = s.default_allocation(4);
+        assert!((d.cpu - 0.25).abs() < 1e-12);
+        assert!((d.memory - 0.0625).abs() < 1e-12);
+        let solo = s.solo_allocation();
+        assert_eq!(solo.cpu, 1.0);
+        assert_eq!(solo.memory, 0.0625);
+    }
+
+    #[test]
+    fn joint_search_varies_both() {
+        let s = SearchSpace::cpu_and_memory();
+        assert_eq!(s.varied(), vec![Resource::Cpu, Resource::Memory]);
+        let d = s.default_allocation(2);
+        assert_eq!(d.cpu, 0.5);
+        assert_eq!(d.memory, 0.5);
+    }
+}

@@ -1,0 +1,170 @@
+//! The PostgreSQL-like engine.
+
+use super::{
+    EngineQuirks, MemoryConfig, TrueCycleCosts, TuningPolicy, WorkMemRule, OS_RESERVE_MB,
+    PAGES_PER_MB,
+};
+use crate::plan::CostFactors;
+use serde::{Deserialize, Serialize};
+use vda_vmm::VmPerf;
+
+/// PostgreSQL's optimizer configuration parameters (Table II of the
+/// paper). Costs are normalized so one sequential page fetch costs 1.0.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PgParams {
+    /// Cost of a non-sequential page fetch, in sequential-page units
+    /// (descriptive).
+    pub random_page_cost: f64,
+    /// CPU cost of processing one tuple (descriptive).
+    pub cpu_tuple_cost: f64,
+    /// CPU cost per predicate/operator evaluation (descriptive).
+    pub cpu_operator_cost: f64,
+    /// CPU cost of processing one index entry (descriptive).
+    pub cpu_index_tuple_cost: f64,
+    /// Shared buffer pool size, MB (prescriptive).
+    pub shared_buffers_mb: f64,
+    /// Per-operator sort/hash memory, MB (prescriptive).
+    pub work_mem_mb: f64,
+    /// Assumed OS file-cache size, MB (descriptive).
+    pub effective_cache_size_mb: f64,
+}
+
+impl PgParams {
+    /// The stock `postgresql.conf` defaults of the 8.1 era: the
+    /// parameters a fresh, uncalibrated installation would use.
+    pub fn stock_defaults() -> Self {
+        PgParams {
+            random_page_cost: 4.0,
+            cpu_tuple_cost: 0.01,
+            cpu_operator_cost: 0.0025,
+            cpu_index_tuple_cost: 0.005,
+            shared_buffers_mb: 32.0,
+            work_mem_mb: 5.0,
+            effective_cache_size_mb: 1000.0,
+        }
+    }
+}
+
+/// The PostgreSQL-like engine definition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PgSim {
+    /// Ground-truth executor cycle costs.
+    pub cycles: TrueCycleCosts,
+    /// Estimate/actual divergence profile.
+    pub quirks: EngineQuirks,
+    /// Memory tuning policy.
+    pub policy: TuningPolicy,
+}
+
+impl Default for PgSim {
+    fn default() -> Self {
+        PgSim {
+            // Plausible for a 2008-era interpreted row-store executor:
+            // a few thousand cycles to pull a tuple through an
+            // operator, comparable work per expression evaluation.
+            cycles: TrueCycleCosts {
+                tuple: 3000.0,
+                operator: 3000.0,
+                index_tuple: 2000.0,
+            },
+            quirks: EngineQuirks {
+                return_row_cycles: 800.0,
+                stmt_overhead_cycles: 12_000_000.0,
+                lock_cycles: 60_000.0,
+                contention_coef: 0.5,
+                spill_actual_factor: 1.0,
+                update_io_factor: 2.0,
+                oltp_cpu_factor: 1.6,
+            },
+            // §4.3: "set shared_buffers to 10/16 of the memory available
+            // in the host virtual machine, and work_mem to 5 MB
+            // regardless of the amount of memory available".
+            policy: TuningPolicy::Proportional {
+                os_reserve_mb: OS_RESERVE_MB,
+                buffer_frac: 10.0 / 16.0,
+                work: WorkMemRule::FixedMb(5.0),
+            },
+        }
+    }
+}
+
+impl PgSim {
+    /// The fixed-memory policy of the paper's CPU-only experiments
+    /// (`shared_buffers = 32MB`, `work_mem = 5MB`).
+    pub fn fixed_memory_policy() -> TuningPolicy {
+        TuningPolicy::Fixed {
+            buffer_mb: 32.0,
+            work_mb: 5.0,
+        }
+    }
+
+    /// Map parameters to neutral cost factors (native unit: one
+    /// sequential page fetch).
+    pub fn factors(&self, p: &PgParams) -> CostFactors {
+        CostFactors {
+            seq_page: 1.0,
+            rand_page: p.random_page_cost,
+            cpu_tuple: p.cpu_tuple_cost,
+            cpu_operator: p.cpu_operator_cost,
+            cpu_index_tuple: p.cpu_index_tuple_cost,
+            work_mem_pages: p.work_mem_mb * PAGES_PER_MB,
+            // PostgreSQL reads through the OS cache: shared buffers and
+            // the file cache both keep pages warm.
+            buffer_pages: (p.shared_buffers_mb + p.effective_cache_size_mb) * PAGES_PER_MB,
+        }
+    }
+
+    /// Parameters an ideal calibration would produce for a VM.
+    pub fn true_params(&self, perf: &VmPerf) -> PgParams {
+        let mem = self.policy.apply(perf.memory_mb);
+        let seq = perf.seq_page_secs;
+        let cycle_secs = 1.0 / perf.cpu_hz;
+        PgParams {
+            random_page_cost: perf.rand_page_secs / seq,
+            cpu_tuple_cost: self.cycles.tuple * cycle_secs / seq,
+            cpu_operator_cost: self.cycles.operator * cycle_secs / seq,
+            cpu_index_tuple_cost: self.cycles.index_tuple * cycle_secs / seq,
+            shared_buffers_mb: mem.buffer_mb,
+            work_mem_mb: mem.work_mb,
+            effective_cache_size_mb: mem.os_cache_mb,
+        }
+    }
+
+    /// The memory configuration adopted on a VM with `vm_memory_mb`.
+    pub fn tuning(&self, vm_memory_mb: f64) -> MemoryConfig {
+        self.policy.apply(vm_memory_mb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stock_defaults_have_classic_ratios() {
+        let p = PgParams::stock_defaults();
+        assert_eq!(p.random_page_cost, 4.0);
+        assert!((p.cpu_tuple_cost / p.cpu_operator_cost - 4.0).abs() < 1e-12);
+        assert!((p.cpu_tuple_cost / p.cpu_index_tuple_cost - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_policy_is_ten_sixteenths() {
+        let e = PgSim::default();
+        let cfg = e.tuning(1600.0);
+        assert!((cfg.buffer_mb - 1000.0 * (1600.0 - 240.0) / 1600.0 * 0.0).abs() >= 0.0);
+        // buffer = 10/16 of available (grant − reserve)
+        assert!((cfg.buffer_mb - (1600.0 - 240.0) * 10.0 / 16.0).abs() < 1e-9);
+        assert_eq!(cfg.work_mb, 5.0);
+    }
+
+    #[test]
+    fn factors_include_os_cache() {
+        let e = PgSim::default();
+        let mut p = PgParams::stock_defaults();
+        p.shared_buffers_mb = 100.0;
+        p.effective_cache_size_mb = 300.0;
+        let f = e.factors(&p);
+        assert!((f.buffer_pages - 400.0 * PAGES_PER_MB).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,81 @@
+#![warn(missing_docs)]
+
+//! # vda-simdb
+//!
+//! A simulated relational DBMS substrate standing in for the
+//! PostgreSQL 8.1.3 and DB2 v9 instances of Soror et al. The
+//! virtualization design advisor treats each database system as three
+//! things:
+//!
+//! 1. a **query optimizer cost model** parameterized by descriptive and
+//!    prescriptive configuration parameters (Tables II and III of the
+//!    paper) that can be driven in a *what-if* mode,
+//! 2. a **tuning policy** that divides a VM's memory between buffer
+//!    pool and sort/work memory, and
+//! 3. an **actual execution time** observed when the workload runs.
+//!
+//! This crate provides all three, built from scratch:
+//!
+//! * [`sql`] — a lexer and recursive-descent parser for the SQL subset
+//!   the TPC-H-like and TPC-C-like workloads use (select/project/join,
+//!   aggregation, ordering, subqueries, DML).
+//! * [`catalog`] — table, column, and index statistics.
+//! * [`bind`] — name resolution and selectivity estimation, producing a
+//!   [`bind::BoundQuery`] the optimizer consumes.
+//! * [`plan`] / [`optimizer`] — a cost-based optimizer with access-path
+//!   selection, dynamic-programming join enumeration, three join
+//!   methods, memory-aware sorts/hash operators (the source of the
+//!   paper's piecewise-linear memory behaviour), and plan signatures.
+//! * [`engines`] — [`engines::PgSim`] (costs in sequential-page units,
+//!   PostgreSQL's seven optimizer parameters) and [`engines::Db2Sim`]
+//!   (costs in *timerons*, DB2's five parameters).
+//! * [`exec`] — an analytic executor that charges the chosen plan
+//!   against a [`vda_vmm::VmPerf`], including costs the optimizers do
+//!   **not** model (result return, lock contention, update overhead,
+//!   DB2's underestimated sort-spill penalty). These unmodeled costs
+//!   are precisely what the paper's online refinement corrects for.
+
+pub mod bind;
+pub mod catalog;
+pub mod engines;
+pub mod exec;
+pub mod hash;
+pub mod optimizer;
+pub mod plan;
+pub mod sql;
+
+pub use bind::{bind_statement, BoundQuery};
+pub use catalog::{Catalog, ColumnDef, IndexDef, TableDef};
+pub use engines::{Db2Params, Db2Sim, Engine, EngineKind, EngineParams, MemoryConfig, PgParams, PgSim};
+pub use exec::{ExecContext, ExecOutcome, Executor};
+pub use optimizer::Optimizer;
+pub use plan::{CostFactors, PhysicalPlan, PlanCounters, PlanNode};
+
+/// Errors produced anywhere in the simulated DBMS stack.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DbError {
+    /// Lexical error with position and message.
+    Lex(String),
+    /// Syntax error with message.
+    Parse(String),
+    /// Name-resolution failure (unknown table/column/alias).
+    Bind(String),
+    /// Catalog inconsistency (e.g. index over a missing table).
+    Catalog(String),
+}
+
+impl std::fmt::Display for DbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DbError::Lex(m) => write!(f, "lexical error: {m}"),
+            DbError::Parse(m) => write!(f, "syntax error: {m}"),
+            DbError::Bind(m) => write!(f, "binding error: {m}"),
+            DbError::Catalog(m) => write!(f, "catalog error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, DbError>;

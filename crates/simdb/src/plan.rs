@@ -1,0 +1,531 @@
+//! Physical plans, work counters, and cost factors.
+//!
+//! The simulated optimizers express *all* work a plan performs as a
+//! [`PlanCounters`] vector (pages read sequentially/randomly, tuples
+//! and operators processed, pages spilled by memory-constrained
+//! operators, …). An engine's cost model is then a dot product of the
+//! counters with per-unit [`CostFactors`] derived from its optimizer
+//! configuration parameters — which makes the paper's central
+//! calibration assumption (§4.3: cost estimates are linear functions of
+//! the descriptive parameters, for a fixed plan) hold *exactly*, the
+//! way it holds approximately in PostgreSQL and DB2.
+//!
+//! Two counters are deliberately **excluded** from estimated cost:
+//! `rows_returned` (result transfer to the client — "typically not
+//! modeled by query optimizers", §4.3) and `lock_requests` (contention
+//! and update costs that make optimizers underestimate OLTP CPU needs,
+//! §7.8). The executor charges them; the optimizer does not. Online
+//! refinement exists to close exactly this gap.
+
+use crate::catalog::PAGE_BYTES;
+use crate::hash::Fnv64;
+use serde::{Deserialize, Serialize};
+
+/// Extra sequential-page cost factor for dirtied pages (write + WAL).
+pub const WRITE_PAGE_FACTOR: f64 = 2.0;
+
+/// Fraction of a table that can at most become cache-resident in the
+/// buffer model (the tail always misses: checkpoints, eviction churn).
+pub const MAX_RESIDENT_FRACTION: f64 = 0.98;
+
+/// Steady-state miss ratio for a scan of `pages` pages through a cache
+/// of `buffer_pages` pages: resident fraction `min(0.98, B/P)`, so the
+/// miss ratio is piecewise-linear in the memory grant — one source of
+/// the paper's piecewise memory behaviour.
+pub fn miss_ratio(pages: f64, buffer_pages: f64) -> f64 {
+    let resident = (buffer_pages / pages.max(1.0)).min(MAX_RESIDENT_FRACTION);
+    (1.0 - resident).max(1.0 - MAX_RESIDENT_FRACTION)
+}
+
+/// Physical work performed by a (sub)plan.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct PlanCounters {
+    /// Pages read sequentially (miss-adjusted).
+    pub seq_pages: f64,
+    /// Pages read at random offsets (miss-adjusted).
+    pub rand_pages: f64,
+    /// Pages written **and re-read** by spilling operators (external
+    /// sort runs, hash-join batches).
+    pub spill_pages: f64,
+    /// Tuples flowing through operators.
+    pub cpu_tuples: f64,
+    /// Predicate/aggregate/hash operator evaluations.
+    pub cpu_operators: f64,
+    /// Index entries examined.
+    pub cpu_index_tuples: f64,
+    /// Rows delivered to the client (NOT costed by optimizers).
+    pub rows_returned: f64,
+    /// Pages dirtied by DML.
+    pub write_pages: f64,
+    /// Row locks taken by DML (NOT costed by optimizers).
+    pub lock_requests: f64,
+}
+
+impl PlanCounters {
+    /// Component-wise sum.
+    pub fn add(&mut self, other: &PlanCounters) {
+        self.seq_pages += other.seq_pages;
+        self.rand_pages += other.rand_pages;
+        self.spill_pages += other.spill_pages;
+        self.cpu_tuples += other.cpu_tuples;
+        self.cpu_operators += other.cpu_operators;
+        self.cpu_index_tuples += other.cpu_index_tuples;
+        self.rows_returned += other.rows_returned;
+        self.write_pages += other.write_pages;
+        self.lock_requests += other.lock_requests;
+    }
+
+    /// Component-wise scaling (used for re-executed subplans).
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> PlanCounters {
+        PlanCounters {
+            seq_pages: self.seq_pages * factor,
+            rand_pages: self.rand_pages * factor,
+            spill_pages: self.spill_pages * factor,
+            cpu_tuples: self.cpu_tuples * factor,
+            cpu_operators: self.cpu_operators * factor,
+            cpu_index_tuples: self.cpu_index_tuples * factor,
+            rows_returned: self.rows_returned * factor,
+            write_pages: self.write_pages * factor,
+            lock_requests: self.lock_requests * factor,
+        }
+    }
+}
+
+/// Per-unit costs in an engine's native units, derived from its
+/// optimizer configuration parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostFactors {
+    /// Cost of one sequential page read.
+    pub seq_page: f64,
+    /// Cost of one random page read.
+    pub rand_page: f64,
+    /// Cost of processing one tuple.
+    pub cpu_tuple: f64,
+    /// Cost of one operator evaluation.
+    pub cpu_operator: f64,
+    /// Cost of examining one index entry.
+    pub cpu_index_tuple: f64,
+    /// Memory available per sort/hash operator, in pages.
+    pub work_mem_pages: f64,
+    /// Buffer pool + OS cache available for scans, in pages.
+    pub buffer_pages: f64,
+}
+
+impl CostFactors {
+    /// Estimated cost of `counters` in native units. `rows_returned`
+    /// and `lock_requests` are deliberately not charged (see module
+    /// docs).
+    pub fn native_cost(&self, c: &PlanCounters) -> f64 {
+        self.seq_page * (c.seq_pages + c.spill_pages + c.write_pages * WRITE_PAGE_FACTOR)
+            + self.rand_page * c.rand_pages
+            + self.cpu_tuple * c.cpu_tuples
+            + self.cpu_operator * c.cpu_operators
+            + self.cpu_index_tuple * c.cpu_index_tuples
+    }
+
+    /// Work-memory budget in bytes.
+    pub fn work_mem_bytes(&self) -> f64 {
+        self.work_mem_pages * PAGE_BYTES
+    }
+}
+
+/// Kind of DML operation on a [`PlanNode::Modify`] node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ModifyOp {
+    /// Row insertion.
+    Insert,
+    /// In-place update.
+    Update,
+    /// Row deletion.
+    Delete,
+}
+
+/// A physical plan operator tree (structure only; the work is carried
+/// separately as [`PlanCounters`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PlanNode {
+    /// Full-table scan.
+    SeqScan {
+        /// Scanned table.
+        table: String,
+        /// Estimated output rows.
+        rows: f64,
+    },
+    /// B-tree index scan with heap fetches.
+    IndexScan {
+        /// Scanned table.
+        table: String,
+        /// Index used.
+        index: String,
+        /// Estimated output rows.
+        rows: f64,
+    },
+    /// Nested-loop join; `indexed` marks an index-driven inner.
+    NestLoop {
+        /// Outer (driving) input.
+        outer: Box<PlanNode>,
+        /// Inner input.
+        inner: Box<PlanNode>,
+        /// Whether the inner side is an index probe.
+        indexed: bool,
+        /// Estimated output rows.
+        rows: f64,
+    },
+    /// Hash join; `batches > 1` means the build side spilled.
+    HashJoin {
+        /// Build input.
+        build: Box<PlanNode>,
+        /// Probe input.
+        probe: Box<PlanNode>,
+        /// Number of hash batches (1 = in-memory).
+        batches: u32,
+        /// Estimated output rows.
+        rows: f64,
+    },
+    /// Sort-merge join (children include required sorts).
+    MergeJoin {
+        /// Left input.
+        left: Box<PlanNode>,
+        /// Right input.
+        right: Box<PlanNode>,
+        /// Estimated output rows.
+        rows: f64,
+    },
+    /// Sort; `passes > 0` means an external merge sort.
+    Sort {
+        /// Input.
+        input: Box<PlanNode>,
+        /// External merge passes (0 = in-memory).
+        passes: u32,
+        /// Estimated output rows.
+        rows: f64,
+    },
+    /// Hash aggregation.
+    HashAgg {
+        /// Input.
+        input: Box<PlanNode>,
+        /// Estimated groups.
+        groups: f64,
+    },
+    /// Aggregation over sorted input.
+    SortAgg {
+        /// Input (a Sort or naturally ordered plan).
+        input: Box<PlanNode>,
+        /// Estimated groups.
+        groups: f64,
+    },
+    /// A subquery attached to a main plan, executed `executions` times.
+    Subplan {
+        /// The main plan the subquery serves.
+        input: Box<PlanNode>,
+        /// Subquery plan.
+        plan: Box<PlanNode>,
+        /// Execution count.
+        executions: f64,
+    },
+    /// Row limit.
+    Limit {
+        /// Input.
+        input: Box<PlanNode>,
+        /// Emitted rows.
+        rows: f64,
+    },
+    /// DML application.
+    Modify {
+        /// Source of rows to modify (None for VALUES inserts).
+        input: Option<Box<PlanNode>>,
+        /// Target table.
+        table: String,
+        /// Operation.
+        op: ModifyOp,
+        /// Modified rows.
+        rows: f64,
+    },
+}
+
+impl PlanNode {
+    /// Fold the node's *structure* into a signature hasher. Row
+    /// estimates are excluded: a signature identifies a plan *shape*
+    /// (operators, methods, spill regimes), which is what defines the
+    /// piecewise memory-model intervals of §5.1.
+    fn hash_into(&self, h: &mut Fnv64) {
+        match self {
+            PlanNode::SeqScan { table, .. } => {
+                h.write_u64(1).write_str(table);
+            }
+            PlanNode::IndexScan { table, index, .. } => {
+                h.write_u64(2).write_str(table).write_str(index);
+            }
+            PlanNode::NestLoop { outer, inner, indexed, .. } => {
+                h.write_u64(3).write_u64(*indexed as u64);
+                outer.hash_into(h);
+                inner.hash_into(h);
+            }
+            PlanNode::HashJoin { build, probe, batches, .. } => {
+                h.write_u64(4).write_u64(u64::from(*batches > 1));
+                build.hash_into(h);
+                probe.hash_into(h);
+            }
+            PlanNode::MergeJoin { left, right, .. } => {
+                h.write_u64(5);
+                left.hash_into(h);
+                right.hash_into(h);
+            }
+            PlanNode::Sort { input, passes, .. } => {
+                h.write_u64(6).write_u64(u64::from(*passes > 0));
+                input.hash_into(h);
+            }
+            PlanNode::HashAgg { input, .. } => {
+                h.write_u64(7);
+                input.hash_into(h);
+            }
+            PlanNode::SortAgg { input, .. } => {
+                h.write_u64(8);
+                input.hash_into(h);
+            }
+            PlanNode::Subplan { input, plan, .. } => {
+                h.write_u64(9);
+                input.hash_into(h);
+                plan.hash_into(h);
+            }
+            PlanNode::Limit { input, .. } => {
+                h.write_u64(10);
+                input.hash_into(h);
+            }
+            PlanNode::Modify { input, table, op, .. } => {
+                h.write_u64(11).write_u64(*op as u64).write_str(table);
+                if let Some(i) = input {
+                    i.hash_into(h);
+                }
+            }
+        }
+    }
+
+    fn explain_into(&self, out: &mut String, depth: usize) {
+        use std::fmt::Write;
+        let pad = "  ".repeat(depth);
+        match self {
+            PlanNode::SeqScan { table, rows } => {
+                let _ = writeln!(out, "{pad}SeqScan on {table} (rows={rows:.0})");
+            }
+            PlanNode::IndexScan { table, index, rows } => {
+                let _ = writeln!(out, "{pad}IndexScan on {table} using {index} (rows={rows:.0})");
+            }
+            PlanNode::NestLoop { outer, inner, indexed, rows } => {
+                let kind = if *indexed { "IndexNestLoop" } else { "NestLoop" };
+                let _ = writeln!(out, "{pad}{kind} (rows={rows:.0})");
+                outer.explain_into(out, depth + 1);
+                inner.explain_into(out, depth + 1);
+            }
+            PlanNode::HashJoin { build, probe, batches, rows } => {
+                let _ = writeln!(out, "{pad}HashJoin (batches={batches}, rows={rows:.0})");
+                build.explain_into(out, depth + 1);
+                probe.explain_into(out, depth + 1);
+            }
+            PlanNode::MergeJoin { left, right, rows } => {
+                let _ = writeln!(out, "{pad}MergeJoin (rows={rows:.0})");
+                left.explain_into(out, depth + 1);
+                right.explain_into(out, depth + 1);
+            }
+            PlanNode::Sort { input, passes, rows } => {
+                let _ = writeln!(out, "{pad}Sort (passes={passes}, rows={rows:.0})");
+                input.explain_into(out, depth + 1);
+            }
+            PlanNode::HashAgg { input, groups } => {
+                let _ = writeln!(out, "{pad}HashAgg (groups={groups:.0})");
+                input.explain_into(out, depth + 1);
+            }
+            PlanNode::SortAgg { input, groups } => {
+                let _ = writeln!(out, "{pad}SortAgg (groups={groups:.0})");
+                input.explain_into(out, depth + 1);
+            }
+            PlanNode::Subplan { input, plan, executions } => {
+                let _ = writeln!(out, "{pad}Subplan (executions={executions:.0})");
+                input.explain_into(out, depth + 1);
+                plan.explain_into(out, depth + 1);
+            }
+            PlanNode::Limit { input, rows } => {
+                let _ = writeln!(out, "{pad}Limit (rows={rows:.0})");
+                input.explain_into(out, depth + 1);
+            }
+            PlanNode::Modify { input, table, op, rows } => {
+                let _ = writeln!(out, "{pad}Modify {op:?} {table} (rows={rows:.0})");
+                if let Some(i) = input {
+                    i.explain_into(out, depth + 1);
+                }
+            }
+        }
+    }
+}
+
+/// A fully-costed physical plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhysicalPlan {
+    /// Operator tree.
+    pub root: PlanNode,
+    /// Aggregated work counters (subplans included).
+    pub counters: PlanCounters,
+    /// Estimated cost in the engine's native units.
+    pub native_cost: f64,
+    /// Estimated output rows.
+    pub rows: f64,
+    /// Structural signature (plan regime identity for the piecewise
+    /// memory model).
+    pub signature: u64,
+}
+
+impl PhysicalPlan {
+    /// Compute the structural signature of `root`.
+    pub fn signature_of(root: &PlanNode) -> u64 {
+        let mut h = Fnv64::new();
+        root.hash_into(&mut h);
+        h.finish()
+    }
+
+    /// Human-readable plan tree (EXPLAIN-style).
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        self.root.explain_into(&mut out, 0);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_ratio_bounds_and_monotonicity() {
+        assert!((miss_ratio(100.0, 0.0) - 1.0).abs() < 1e-12);
+        assert!((miss_ratio(100.0, 1000.0) - 0.02).abs() < 1e-12);
+        let m1 = miss_ratio(100.0, 10.0);
+        let m2 = miss_ratio(100.0, 50.0);
+        assert!(m2 < m1);
+        assert!((m1 - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn native_cost_excludes_unmodeled_counters() {
+        let f = CostFactors {
+            seq_page: 1.0,
+            rand_page: 4.0,
+            cpu_tuple: 0.01,
+            cpu_operator: 0.0025,
+            cpu_index_tuple: 0.005,
+            work_mem_pages: 100.0,
+            buffer_pages: 1000.0,
+        };
+        let mut c = PlanCounters {
+            rows_returned: 1e9,
+            lock_requests: 1e9,
+            ..Default::default()
+        };
+        assert_eq!(f.native_cost(&c), 0.0);
+        c.seq_pages = 10.0;
+        assert!((f.native_cost(&c) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn write_pages_cost_more_than_reads() {
+        let f = CostFactors {
+            seq_page: 1.0,
+            rand_page: 4.0,
+            cpu_tuple: 0.0,
+            cpu_operator: 0.0,
+            cpu_index_tuple: 0.0,
+            work_mem_pages: 100.0,
+            buffer_pages: 0.0,
+        };
+        let w = PlanCounters {
+            write_pages: 5.0,
+            ..Default::default()
+        };
+        assert!((f.native_cost(&w) - 5.0 * WRITE_PAGE_FACTOR).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counters_add_and_scale() {
+        let mut a = PlanCounters {
+            seq_pages: 1.0,
+            cpu_tuples: 10.0,
+            ..Default::default()
+        };
+        let b = PlanCounters {
+            seq_pages: 2.0,
+            rand_pages: 3.0,
+            ..Default::default()
+        };
+        a.add(&b);
+        assert_eq!(a.seq_pages, 3.0);
+        assert_eq!(a.rand_pages, 3.0);
+        let s = a.scaled(2.0);
+        assert_eq!(s.seq_pages, 6.0);
+        assert_eq!(s.cpu_tuples, 20.0);
+    }
+
+    #[test]
+    fn signature_distinguishes_structure_not_rows() {
+        let a = PlanNode::SeqScan {
+            table: "t".into(),
+            rows: 100.0,
+        };
+        let b = PlanNode::SeqScan {
+            table: "t".into(),
+            rows: 9999.0,
+        };
+        assert_eq!(PhysicalPlan::signature_of(&a), PhysicalPlan::signature_of(&b));
+        let c = PlanNode::IndexScan {
+            table: "t".into(),
+            index: "i".into(),
+            rows: 100.0,
+        };
+        assert_ne!(PhysicalPlan::signature_of(&a), PhysicalPlan::signature_of(&c));
+    }
+
+    #[test]
+    fn signature_distinguishes_spill_regimes() {
+        let mk = |batches| PlanNode::HashJoin {
+            build: Box::new(PlanNode::SeqScan {
+                table: "a".into(),
+                rows: 1.0,
+            }),
+            probe: Box::new(PlanNode::SeqScan {
+                table: "b".into(),
+                rows: 1.0,
+            }),
+            batches,
+            rows: 1.0,
+        };
+        assert_ne!(
+            PhysicalPlan::signature_of(&mk(1)),
+            PhysicalPlan::signature_of(&mk(4))
+        );
+        // 4 and 8 batches are the same regime (spilled).
+        assert_eq!(
+            PhysicalPlan::signature_of(&mk(4)),
+            PhysicalPlan::signature_of(&mk(8))
+        );
+    }
+
+    #[test]
+    fn explain_renders_tree() {
+        let plan = PhysicalPlan {
+            root: PlanNode::Sort {
+                input: Box::new(PlanNode::SeqScan {
+                    table: "t".into(),
+                    rows: 10.0,
+                }),
+                passes: 0,
+                rows: 10.0,
+            },
+            counters: PlanCounters::default(),
+            native_cost: 0.0,
+            rows: 10.0,
+            signature: 0,
+        };
+        let text = plan.explain();
+        assert!(text.contains("Sort"));
+        assert!(text.contains("  SeqScan on t"));
+    }
+}

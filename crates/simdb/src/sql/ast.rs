@@ -1,0 +1,298 @@
+//! Abstract syntax tree for the SQL subset.
+
+/// A parsed SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `SELECT …`
+    Select(SelectStmt),
+    /// `INSERT INTO … VALUES …`
+    Insert(InsertStmt),
+    /// `UPDATE … SET … [WHERE …]`
+    Update(UpdateStmt),
+    /// `DELETE FROM … [WHERE …]`
+    Delete(DeleteStmt),
+}
+
+/// A `SELECT` statement (also used for subqueries).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SelectStmt {
+    /// `SELECT DISTINCT`?
+    pub distinct: bool,
+    /// Projection list.
+    pub items: Vec<SelectItem>,
+    /// Base relations; `JOIN … ON` is folded into `from` + `where_clause`.
+    pub from: Vec<TableRef>,
+    /// `WHERE` predicate.
+    pub where_clause: Option<Expr>,
+    /// `GROUP BY` columns.
+    pub group_by: Vec<ColRef>,
+    /// `HAVING` predicate.
+    pub having: Option<Expr>,
+    /// `ORDER BY` columns with descending flags.
+    pub order_by: Vec<(ColRef, bool)>,
+    /// `LIMIT` row count.
+    pub limit: Option<u64>,
+}
+
+/// One projection item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Star,
+    /// An expression with an optional alias.
+    Expr {
+        /// The projected expression.
+        expr: Expr,
+        /// `AS alias`, if given.
+        alias: Option<String>,
+    },
+}
+
+/// A base-table reference with its effective alias.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    /// Table name (lower-cased).
+    pub table: String,
+    /// Alias; defaults to the table name.
+    pub alias: String,
+}
+
+/// A possibly-qualified column reference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColRef {
+    /// Qualifier (table name or alias), if written.
+    pub qualifier: Option<String>,
+    /// Column name (lower-cased).
+    pub column: String,
+}
+
+/// Binary operators (comparisons and arithmetic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+impl BinOp {
+    /// Whether this operator is a comparison (predicate-forming).
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
+    }
+}
+
+/// Standard aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// `COUNT(x)` / `COUNT(*)`
+    Count,
+    /// `SUM(x)`
+    Sum,
+    /// `AVG(x)`
+    Avg,
+    /// `MIN(x)`
+    Min,
+    /// `MAX(x)`
+    Max,
+}
+
+/// Expression tree used for projections and predicates.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Column reference.
+    Column(ColRef),
+    /// Numeric literal.
+    Number(f64),
+    /// String literal.
+    Str(String),
+    /// Binary operation; `hint_sel` carries a `/*+ sel p */` placed
+    /// after a comparison.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+        /// Selectivity hint for comparisons.
+        hint_sel: Option<f64>,
+    },
+    /// Conjunction of two or more predicates.
+    And(Vec<Expr>),
+    /// Disjunction of two or more predicates.
+    Or(Vec<Expr>),
+    /// Negated predicate.
+    Not(Box<Expr>),
+    /// `x BETWEEN lo AND hi`.
+    Between {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Lower bound.
+        lo: Box<Expr>,
+        /// Upper bound.
+        hi: Box<Expr>,
+        /// Selectivity hint.
+        hint_sel: Option<f64>,
+    },
+    /// `x [NOT] LIKE 'pattern'`.
+    Like {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Pattern literal.
+        pattern: String,
+        /// `NOT LIKE`?
+        negated: bool,
+        /// Selectivity hint.
+        hint_sel: Option<f64>,
+    },
+    /// `x [NOT] IN (v1, v2, …)`.
+    InList {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Literal list.
+        list: Vec<Expr>,
+        /// `NOT IN`?
+        negated: bool,
+        /// Selectivity hint.
+        hint_sel: Option<f64>,
+    },
+    /// `x [NOT] IN (SELECT …)`.
+    InSubquery {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// The subquery.
+        query: Box<SelectStmt>,
+        /// `NOT IN`?
+        negated: bool,
+        /// Selectivity hint.
+        hint_sel: Option<f64>,
+    },
+    /// `[NOT] EXISTS (SELECT …)`.
+    Exists {
+        /// The subquery.
+        query: Box<SelectStmt>,
+        /// `NOT EXISTS`?
+        negated: bool,
+        /// Selectivity hint.
+        hint_sel: Option<f64>,
+    },
+    /// A scalar subquery `(SELECT …)` used as a value.
+    ScalarSubquery(Box<SelectStmt>),
+    /// Aggregate call.
+    Agg {
+        /// Which aggregate.
+        func: AggFunc,
+        /// Argument (`None` for `COUNT(*)`).
+        arg: Option<Box<Expr>>,
+    },
+    /// Uninterpreted scalar function call (`substring`, `extract`, …):
+    /// costed as one operator per argument, never filters rows.
+    Func {
+        /// Function name (lower-cased).
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+}
+
+impl Expr {
+    /// Walk the expression tree, applying `f` to every node.
+    pub fn visit<'a>(&'a self, f: &mut impl FnMut(&'a Expr)) {
+        f(self);
+        match self {
+            Expr::Binary { left, right, .. } => {
+                left.visit(f);
+                right.visit(f);
+            }
+            Expr::And(es) | Expr::Or(es) => {
+                for e in es {
+                    e.visit(f);
+                }
+            }
+            Expr::Not(e) => e.visit(f),
+            Expr::Between { expr, lo, hi, .. } => {
+                expr.visit(f);
+                lo.visit(f);
+                hi.visit(f);
+            }
+            Expr::Like { expr, .. } => expr.visit(f),
+            Expr::InList { expr, list, .. } => {
+                expr.visit(f);
+                for e in list {
+                    e.visit(f);
+                }
+            }
+            Expr::InSubquery { expr, .. } => expr.visit(f),
+            Expr::Agg { arg: Some(a), .. } => a.visit(f),
+            Expr::Func { args, .. } => {
+                for a in args {
+                    a.visit(f);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Whether the expression contains an aggregate call (does not
+    /// descend into subqueries, matching SQL scoping).
+    pub fn contains_aggregate(&self) -> bool {
+        let mut found = false;
+        self.visit(&mut |e| {
+            if matches!(e, Expr::Agg { .. }) {
+                found = true;
+            }
+        });
+        found
+    }
+}
+
+/// `INSERT INTO table [(cols)] VALUES (…), (…), …`
+#[derive(Debug, Clone, PartialEq)]
+pub struct InsertStmt {
+    /// Target table.
+    pub table: String,
+    /// Explicit column list, if given.
+    pub columns: Vec<String>,
+    /// One expression row per `VALUES` tuple.
+    pub rows: Vec<Vec<Expr>>,
+}
+
+/// `UPDATE table SET col = expr, … [WHERE …]`
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpdateStmt {
+    /// Target table.
+    pub table: String,
+    /// Assignments.
+    pub set: Vec<(String, Expr)>,
+    /// Row filter.
+    pub where_clause: Option<Expr>,
+}
+
+/// `DELETE FROM table [WHERE …]`
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeleteStmt {
+    /// Target table.
+    pub table: String,
+    /// Row filter.
+    pub where_clause: Option<Expr>,
+}

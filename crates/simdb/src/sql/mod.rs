@@ -1,0 +1,32 @@
+//! SQL front-end for the simulated engines.
+//!
+//! The workloads in the paper are "sets of SQL statements (possibly
+//! with a frequency of occurrence for each statement)" (§3). This
+//! module provides the subset of SQL those workloads need:
+//!
+//! * `SELECT [DISTINCT] items FROM t1 [alias], t2 … | JOIN … ON …`
+//!   with `WHERE` conjunctions/disjunctions, `GROUP BY`, `HAVING`,
+//!   `ORDER BY`, `LIMIT`;
+//! * comparison, `BETWEEN`, `LIKE`, `IN (list)`, `IN (subquery)`,
+//!   `EXISTS (subquery)`, scalar subqueries, and the five standard
+//!   aggregates;
+//! * `INSERT … VALUES`, `UPDATE … SET … WHERE`, `DELETE FROM … WHERE`
+//!   for the OLTP (TPC-C-like) transactions;
+//! * optimizer hints `/*+ sel 0.05 */` attached to a predicate, used
+//!   by workload templates to pin a selectivity where the classic
+//!   System-R heuristics would be too coarse.
+//!
+//! Grammar and semantics are deliberately those of a 2008-era system:
+//! names are case-insensitive, statistics are coarse, and estimation
+//! uses the textbook magic constants.
+
+pub mod ast;
+pub mod parser;
+pub mod token;
+
+pub use ast::{
+    AggFunc, BinOp, ColRef, DeleteStmt, Expr, InsertStmt, SelectItem, SelectStmt, Statement,
+    TableRef, UpdateStmt,
+};
+pub use parser::parse_statement;
+pub use token::{tokenize, Sym, Token};

@@ -1,0 +1,871 @@
+//! Recursive-descent parser for the SQL subset.
+
+use super::ast::*;
+use super::token::{tokenize, Sym, Token};
+use crate::{DbError, Result};
+
+/// Parse a single SQL statement (a trailing `;` is allowed).
+pub fn parse_statement(sql: &str) -> Result<Statement> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.statement()?;
+    p.eat_symbol(Sym::Semi); // optional terminator
+    if !p.at_end() {
+        return Err(DbError::Parse(format!(
+            "trailing tokens after statement: {:?}",
+            p.peek()
+        )));
+    }
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek_at(&self, offset: usize) -> Option<&Token> {
+        self.tokens.get(self.pos + offset)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(w)) if w == kw)
+    }
+
+    /// Consume the keyword if present; return whether it was consumed.
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.peek_keyword(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(DbError::Parse(format!(
+                "expected keyword {kw:?}, found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn eat_symbol(&mut self, sym: Sym) -> bool {
+        if matches!(self.peek(), Some(Token::Symbol(s)) if *s == sym) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_symbol(&mut self, sym: Sym) -> Result<()> {
+        if self.eat_symbol(sym) {
+            Ok(())
+        } else {
+            Err(DbError::Parse(format!(
+                "expected {sym:?}, found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String> {
+        match self.bump() {
+            Some(Token::Ident(w)) => Ok(w),
+            other => Err(DbError::Parse(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn expect_number(&mut self) -> Result<f64> {
+        match self.bump() {
+            Some(Token::Number(n)) => Ok(n),
+            other => Err(DbError::Parse(format!("expected number, found {other:?}"))),
+        }
+    }
+
+    /// If the next token is a hint comment, parse `sel <float>` out of
+    /// it and return the selectivity.
+    fn eat_sel_hint(&mut self) -> Result<Option<f64>> {
+        if let Some(Token::Hint(content)) = self.peek() {
+            let content = content.clone();
+            self.pos += 1;
+            let mut parts = content.split_whitespace();
+            match (parts.next(), parts.next()) {
+                (Some("sel"), Some(v)) => {
+                    let sel: f64 = v
+                        .parse()
+                        .map_err(|_| DbError::Parse(format!("bad selectivity hint {content:?}")))?;
+                    if !(0.0..=1.0).contains(&sel) {
+                        return Err(DbError::Parse(format!(
+                            "selectivity hint out of range: {sel}"
+                        )));
+                    }
+                    Ok(Some(sel))
+                }
+                _ => Err(DbError::Parse(format!("unrecognized hint {content:?}"))),
+            }
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn statement(&mut self) -> Result<Statement> {
+        if self.peek_keyword("select") {
+            Ok(Statement::Select(self.select()?))
+        } else if self.eat_keyword("insert") {
+            self.insert().map(Statement::Insert)
+        } else if self.eat_keyword("update") {
+            self.update().map(Statement::Update)
+        } else if self.eat_keyword("delete") {
+            self.delete().map(Statement::Delete)
+        } else {
+            Err(DbError::Parse(format!(
+                "expected SELECT/INSERT/UPDATE/DELETE, found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn select(&mut self) -> Result<SelectStmt> {
+        self.expect_keyword("select")?;
+        let mut stmt = SelectStmt {
+            distinct: self.eat_keyword("distinct"),
+            ..SelectStmt::default()
+        };
+
+        // Projection list.
+        loop {
+            if self.eat_symbol(Sym::Star) {
+                stmt.items.push(SelectItem::Star);
+            } else {
+                let expr = self.expr()?;
+                let alias = if self.eat_keyword("as") {
+                    Some(self.expect_ident()?)
+                } else {
+                    None
+                };
+                stmt.items.push(SelectItem::Expr { expr, alias });
+            }
+            if !self.eat_symbol(Sym::Comma) {
+                break;
+            }
+        }
+
+        // FROM clause with comma joins and JOIN … ON.
+        if self.eat_keyword("from") {
+            let mut on_preds: Vec<Expr> = Vec::new();
+            stmt.from.push(self.table_ref()?);
+            loop {
+                if self.eat_symbol(Sym::Comma) {
+                    stmt.from.push(self.table_ref()?);
+                } else if self.peek_keyword("join")
+                    || self.peek_keyword("inner")
+                    || self.peek_keyword("left")
+                {
+                    // INNER/LEFT are accepted and planned identically;
+                    // cardinality differences of outer joins are below
+                    // the fidelity this simulation needs.
+                    self.eat_keyword("inner");
+                    self.eat_keyword("left");
+                    self.eat_keyword("outer");
+                    self.expect_keyword("join")?;
+                    stmt.from.push(self.table_ref()?);
+                    self.expect_keyword("on")?;
+                    on_preds.push(self.predicate()?);
+                } else {
+                    break;
+                }
+            }
+            if !on_preds.is_empty() {
+                let mut conj = on_preds;
+                if self.eat_keyword("where") {
+                    conj.push(self.predicate()?);
+                }
+                stmt.where_clause = Some(if conj.len() == 1 {
+                    conj.pop().expect("len checked")
+                } else {
+                    Expr::And(conj)
+                });
+            } else if self.eat_keyword("where") {
+                stmt.where_clause = Some(self.predicate()?);
+            }
+        }
+
+        if self.eat_keyword("group") {
+            self.expect_keyword("by")?;
+            loop {
+                stmt.group_by.push(self.col_ref()?);
+                if !self.eat_symbol(Sym::Comma) {
+                    break;
+                }
+            }
+        }
+
+        if self.eat_keyword("having") {
+            stmt.having = Some(self.predicate()?);
+        }
+
+        if self.eat_keyword("order") {
+            self.expect_keyword("by")?;
+            loop {
+                let col = self.col_ref()?;
+                let desc = if self.eat_keyword("desc") {
+                    true
+                } else {
+                    self.eat_keyword("asc");
+                    false
+                };
+                stmt.order_by.push((col, desc));
+                if !self.eat_symbol(Sym::Comma) {
+                    break;
+                }
+            }
+        }
+
+        if self.eat_keyword("limit") {
+            let n = self.expect_number()?;
+            if n < 0.0 || n.fract() != 0.0 {
+                return Err(DbError::Parse(format!("bad LIMIT {n}")));
+            }
+            stmt.limit = Some(n as u64);
+        }
+
+        if stmt.items.is_empty() {
+            return Err(DbError::Parse("empty projection list".into()));
+        }
+        Ok(stmt)
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef> {
+        let table = self.expect_ident()?;
+        // Optional alias: a bare identifier that is not a clause keyword.
+        const CLAUSE_KEYWORDS: &[&str] = &[
+            "where", "group", "having", "order", "limit", "join", "inner", "left", "on", "set",
+        ];
+        let alias = match self.peek() {
+            Some(Token::Ident(w)) if !CLAUSE_KEYWORDS.contains(&w.as_str()) => {
+                let w = w.clone();
+                self.pos += 1;
+                w
+            }
+            _ => table.clone(),
+        };
+        Ok(TableRef { table, alias })
+    }
+
+    fn col_ref(&mut self) -> Result<ColRef> {
+        let first = self.expect_ident()?;
+        if self.eat_symbol(Sym::Dot) {
+            let column = self.expect_ident()?;
+            Ok(ColRef {
+                qualifier: Some(first),
+                column,
+            })
+        } else {
+            Ok(ColRef {
+                qualifier: None,
+                column: first,
+            })
+        }
+    }
+
+    // ---- predicates --------------------------------------------------
+
+    fn predicate(&mut self) -> Result<Expr> {
+        self.or_pred()
+    }
+
+    fn or_pred(&mut self) -> Result<Expr> {
+        let mut terms = vec![self.and_pred()?];
+        while self.eat_keyword("or") {
+            terms.push(self.and_pred()?);
+        }
+        Ok(if terms.len() == 1 {
+            terms.pop().expect("len checked")
+        } else {
+            Expr::Or(terms)
+        })
+    }
+
+    fn and_pred(&mut self) -> Result<Expr> {
+        let mut terms = vec![self.unary_pred()?];
+        while self.eat_keyword("and") {
+            terms.push(self.unary_pred()?);
+        }
+        Ok(if terms.len() == 1 {
+            terms.pop().expect("len checked")
+        } else {
+            Expr::And(terms)
+        })
+    }
+
+    fn unary_pred(&mut self) -> Result<Expr> {
+        if self.eat_keyword("not") {
+            if self.eat_keyword("exists") {
+                return self.exists_pred(true);
+            }
+            return Ok(Expr::Not(Box::new(self.unary_pred()?)));
+        }
+        if self.eat_keyword("exists") {
+            return self.exists_pred(false);
+        }
+        self.comparison()
+    }
+
+    fn exists_pred(&mut self, negated: bool) -> Result<Expr> {
+        self.expect_symbol(Sym::LParen)?;
+        let query = Box::new(self.select()?);
+        self.expect_symbol(Sym::RParen)?;
+        let hint_sel = self.eat_sel_hint()?;
+        Ok(Expr::Exists {
+            query,
+            negated,
+            hint_sel,
+        })
+    }
+
+    /// A comparison-ish predicate over arithmetic expressions, or a
+    /// parenthesized sub-predicate.
+    fn comparison(&mut self) -> Result<Expr> {
+        // Disambiguate `(pred)` from `(expr)`/(scalar subquery): scan
+        // for a top-level AND/OR/comparison inside parens is overkill —
+        // instead parse an expression first and fall back when the next
+        // token continues a predicate.
+        let left = self.expr()?;
+
+        if let Some(Token::Symbol(sym)) = self.peek() {
+            let op = match sym {
+                Sym::Eq => Some(BinOp::Eq),
+                Sym::Ne => Some(BinOp::Ne),
+                Sym::Lt => Some(BinOp::Lt),
+                Sym::Le => Some(BinOp::Le),
+                Sym::Gt => Some(BinOp::Gt),
+                Sym::Ge => Some(BinOp::Ge),
+                _ => None,
+            };
+            if let Some(op) = op {
+                self.pos += 1;
+                let right = self.expr()?;
+                let hint_sel = self.eat_sel_hint()?;
+                return Ok(Expr::Binary {
+                    op,
+                    left: Box::new(left),
+                    right: Box::new(right),
+                    hint_sel,
+                });
+            }
+        }
+
+        let negated = self.eat_keyword("not");
+        if self.eat_keyword("between") {
+            let lo = self.expr()?;
+            self.expect_keyword("and")?;
+            let hi = self.expr()?;
+            let hint_sel = self.eat_sel_hint()?;
+            let between = Expr::Between {
+                expr: Box::new(left),
+                lo: Box::new(lo),
+                hi: Box::new(hi),
+                hint_sel,
+            };
+            return Ok(if negated {
+                Expr::Not(Box::new(between))
+            } else {
+                between
+            });
+        }
+        if self.eat_keyword("like") {
+            let pattern = match self.bump() {
+                Some(Token::Str(s)) => s,
+                other => {
+                    return Err(DbError::Parse(format!(
+                        "expected string pattern after LIKE, found {other:?}"
+                    )))
+                }
+            };
+            let hint_sel = self.eat_sel_hint()?;
+            return Ok(Expr::Like {
+                expr: Box::new(left),
+                pattern,
+                negated,
+                hint_sel,
+            });
+        }
+        if self.eat_keyword("in") {
+            self.expect_symbol(Sym::LParen)?;
+            if self.peek_keyword("select") {
+                let query = Box::new(self.select()?);
+                self.expect_symbol(Sym::RParen)?;
+                let hint_sel = self.eat_sel_hint()?;
+                return Ok(Expr::InSubquery {
+                    expr: Box::new(left),
+                    query,
+                    negated,
+                    hint_sel,
+                });
+            }
+            let mut list = Vec::new();
+            loop {
+                list.push(self.expr()?);
+                if !self.eat_symbol(Sym::Comma) {
+                    break;
+                }
+            }
+            self.expect_symbol(Sym::RParen)?;
+            let hint_sel = self.eat_sel_hint()?;
+            return Ok(Expr::InList {
+                expr: Box::new(left),
+                list,
+                negated,
+                hint_sel,
+            });
+        }
+        if negated {
+            return Err(DbError::Parse(
+                "expected BETWEEN/LIKE/IN after NOT".into(),
+            ));
+        }
+        // A bare expression in predicate position (e.g. the inside of
+        // a parenthesized predicate that already parsed fully).
+        Ok(left)
+    }
+
+    // ---- arithmetic expressions --------------------------------------
+
+    fn expr(&mut self) -> Result<Expr> {
+        let mut left = self.term()?;
+        loop {
+            let op = if self.eat_symbol(Sym::Plus) {
+                BinOp::Add
+            } else if self.eat_symbol(Sym::Minus) {
+                BinOp::Sub
+            } else {
+                break;
+            };
+            let right = self.term()?;
+            left = Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+                hint_sel: None,
+            };
+        }
+        Ok(left)
+    }
+
+    fn term(&mut self) -> Result<Expr> {
+        let mut left = self.factor()?;
+        loop {
+            let op = if self.eat_symbol(Sym::Star) {
+                BinOp::Mul
+            } else if self.eat_symbol(Sym::Slash) {
+                BinOp::Div
+            } else {
+                break;
+            };
+            let right = self.factor()?;
+            left = Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+                hint_sel: None,
+            };
+        }
+        Ok(left)
+    }
+
+    fn factor(&mut self) -> Result<Expr> {
+        match self.peek().cloned() {
+            Some(Token::Number(n)) => {
+                self.pos += 1;
+                Ok(Expr::Number(n))
+            }
+            Some(Token::Str(s)) => {
+                self.pos += 1;
+                Ok(Expr::Str(s))
+            }
+            Some(Token::Symbol(Sym::Minus)) => {
+                self.pos += 1;
+                let inner = self.factor()?;
+                Ok(Expr::Binary {
+                    op: BinOp::Sub,
+                    left: Box::new(Expr::Number(0.0)),
+                    right: Box::new(inner),
+                    hint_sel: None,
+                })
+            }
+            Some(Token::Symbol(Sym::LParen)) => {
+                self.pos += 1;
+                if self.peek_keyword("select") {
+                    let q = self.select()?;
+                    self.expect_symbol(Sym::RParen)?;
+                    return Ok(Expr::ScalarSubquery(Box::new(q)));
+                }
+                // Parenthesized predicate or arithmetic expression; the
+                // predicate grammar subsumes plain expressions.
+                let inner = self.predicate()?;
+                self.expect_symbol(Sym::RParen)?;
+                Ok(inner)
+            }
+            Some(Token::Ident(word)) => {
+                // Aggregates, scalar functions, or a column reference.
+                let agg = match word.as_str() {
+                    "count" => Some(AggFunc::Count),
+                    "sum" => Some(AggFunc::Sum),
+                    "avg" => Some(AggFunc::Avg),
+                    "min" => Some(AggFunc::Min),
+                    "max" => Some(AggFunc::Max),
+                    _ => None,
+                };
+                let is_call = matches!(self.peek_at(1), Some(Token::Symbol(Sym::LParen)));
+                if let (Some(func), true) = (agg, is_call) {
+                    self.pos += 2; // name + '('
+                    if self.eat_symbol(Sym::Star) {
+                        self.expect_symbol(Sym::RParen)?;
+                        return Ok(Expr::Agg { func, arg: None });
+                    }
+                    self.eat_keyword("distinct"); // costed identically
+                    let arg = self.expr()?;
+                    self.expect_symbol(Sym::RParen)?;
+                    return Ok(Expr::Agg {
+                        func,
+                        arg: Some(Box::new(arg)),
+                    });
+                }
+                if is_call {
+                    self.pos += 2;
+                    let mut args = Vec::new();
+                    if !self.eat_symbol(Sym::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat_symbol(Sym::Comma) {
+                                break;
+                            }
+                        }
+                        self.expect_symbol(Sym::RParen)?;
+                    }
+                    return Ok(Expr::Func { name: word, args });
+                }
+                Ok(Expr::Column(self.col_ref()?))
+            }
+            other => Err(DbError::Parse(format!(
+                "unexpected token in expression: {other:?}"
+            ))),
+        }
+    }
+
+    // ---- DML ----------------------------------------------------------
+
+    fn insert(&mut self) -> Result<InsertStmt> {
+        self.expect_keyword("into")?;
+        let table = self.expect_ident()?;
+        let mut columns = Vec::new();
+        if self.eat_symbol(Sym::LParen) {
+            loop {
+                columns.push(self.expect_ident()?);
+                if !self.eat_symbol(Sym::Comma) {
+                    break;
+                }
+            }
+            self.expect_symbol(Sym::RParen)?;
+        }
+        self.expect_keyword("values")?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect_symbol(Sym::LParen)?;
+            let mut row = Vec::new();
+            loop {
+                row.push(self.expr()?);
+                if !self.eat_symbol(Sym::Comma) {
+                    break;
+                }
+            }
+            self.expect_symbol(Sym::RParen)?;
+            rows.push(row);
+            if !self.eat_symbol(Sym::Comma) {
+                break;
+            }
+        }
+        Ok(InsertStmt {
+            table,
+            columns,
+            rows,
+        })
+    }
+
+    fn update(&mut self) -> Result<UpdateStmt> {
+        let table = self.expect_ident()?;
+        self.expect_keyword("set")?;
+        let mut set = Vec::new();
+        loop {
+            let col = self.expect_ident()?;
+            self.expect_symbol(Sym::Eq)?;
+            let val = self.expr()?;
+            set.push((col, val));
+            if !self.eat_symbol(Sym::Comma) {
+                break;
+            }
+        }
+        let where_clause = if self.eat_keyword("where") {
+            Some(self.predicate()?)
+        } else {
+            None
+        };
+        Ok(UpdateStmt {
+            table,
+            set,
+            where_clause,
+        })
+    }
+
+    fn delete(&mut self) -> Result<DeleteStmt> {
+        self.expect_keyword("from")?;
+        let table = self.expect_ident()?;
+        let where_clause = if self.eat_keyword("where") {
+            Some(self.predicate()?)
+        } else {
+            None
+        };
+        Ok(DeleteStmt {
+            table,
+            where_clause,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sel(sql: &str) -> SelectStmt {
+        match parse_statement(sql).unwrap() {
+            Statement::Select(s) => s,
+            other => panic!("expected select, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_simple_select() {
+        let s = sel("SELECT a.x, b.y FROM t1 a, t2 b WHERE a.x = b.y");
+        assert_eq!(s.items.len(), 2);
+        assert_eq!(s.from.len(), 2);
+        assert!(matches!(s.where_clause, Some(Expr::Binary { op: BinOp::Eq, .. })));
+    }
+
+    #[test]
+    fn parses_join_on_into_where() {
+        let s = sel("SELECT * FROM t1 a JOIN t2 b ON a.k = b.k WHERE a.x > 5");
+        assert_eq!(s.from.len(), 2);
+        match s.where_clause {
+            Some(Expr::And(parts)) => assert_eq!(parts.len(), 2),
+            other => panic!("expected conjunction, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_group_order_limit() {
+        let s = sel(
+            "SELECT o_custkey, count(*), sum(o_totalprice) FROM orders \
+             GROUP BY o_custkey HAVING count(*) > 5 ORDER BY o_custkey DESC LIMIT 10",
+        );
+        assert_eq!(s.group_by.len(), 1);
+        assert!(s.having.is_some());
+        assert_eq!(s.order_by.len(), 1);
+        assert!(s.order_by[0].1);
+        assert_eq!(s.limit, Some(10));
+    }
+
+    #[test]
+    fn parses_between_like_in() {
+        let s = sel(
+            "SELECT * FROM t WHERE a BETWEEN 1 AND 10 AND b LIKE 'x%' AND c IN (1, 2, 3)",
+        );
+        match s.where_clause {
+            Some(Expr::And(parts)) => {
+                assert!(matches!(parts[0], Expr::Between { .. }));
+                assert!(matches!(parts[1], Expr::Like { .. }));
+                assert!(matches!(parts[2], Expr::InList { .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_subqueries() {
+        let s = sel(
+            "SELECT * FROM t WHERE k IN (SELECT k FROM u WHERE u.v = 1) \
+             AND EXISTS (SELECT * FROM w WHERE w.k = t.k) \
+             AND q < (SELECT avg(q) FROM t)",
+        );
+        match s.where_clause {
+            Some(Expr::And(parts)) => {
+                assert!(matches!(parts[0], Expr::InSubquery { .. }));
+                assert!(matches!(parts[1], Expr::Exists { negated: false, .. }));
+                assert!(matches!(parts[2], Expr::Binary { .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_selectivity_hint() {
+        let s = sel("SELECT * FROM t WHERE a = 5 /*+ sel 0.01 */");
+        match s.where_clause {
+            Some(Expr::Binary { hint_sel, .. }) => assert_eq!(hint_sel, Some(0.01)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_range_hint() {
+        assert!(parse_statement("SELECT * FROM t WHERE a = 5 /*+ sel 1.5 */").is_err());
+    }
+
+    #[test]
+    fn parses_not_exists_and_not_in() {
+        let s = sel(
+            "SELECT * FROM t WHERE NOT EXISTS (SELECT * FROM u WHERE u.k = t.k) \
+             AND a NOT IN (1, 2)",
+        );
+        match s.where_clause {
+            Some(Expr::And(parts)) => {
+                assert!(matches!(parts[0], Expr::Exists { negated: true, .. }));
+                assert!(matches!(parts[1], Expr::InList { negated: true, .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_arithmetic_with_precedence() {
+        let s = sel("SELECT 1 + 2 * 3 FROM t");
+        match &s.items[0] {
+            SelectItem::Expr {
+                expr: Expr::Binary { op: BinOp::Add, right, .. },
+                ..
+            } => {
+                assert!(matches!(**right, Expr::Binary { op: BinOp::Mul, .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_count_star_and_distinct_agg() {
+        let s = sel("SELECT count(*), count(distinct x), avg(y) FROM t");
+        assert!(matches!(
+            s.items[0],
+            SelectItem::Expr {
+                expr: Expr::Agg { func: AggFunc::Count, arg: None },
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn parses_scalar_function_call() {
+        let s = sel("SELECT substring(c, 1, 2) FROM t");
+        assert!(matches!(
+            s.items[0],
+            SelectItem::Expr {
+                expr: Expr::Func { .. },
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn parses_insert() {
+        match parse_statement("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')").unwrap() {
+            Statement::Insert(i) => {
+                assert_eq!(i.table, "t");
+                assert_eq!(i.columns, vec!["a", "b"]);
+                assert_eq!(i.rows.len(), 2);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_update() {
+        match parse_statement("UPDATE stock SET s_quantity = s_quantity - 10 WHERE s_i_id = 5")
+            .unwrap()
+        {
+            Statement::Update(u) => {
+                assert_eq!(u.table, "stock");
+                assert_eq!(u.set.len(), 1);
+                assert!(u.where_clause.is_some());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_delete() {
+        match parse_statement("DELETE FROM new_order WHERE no_o_id = 1").unwrap() {
+            Statement::Delete(d) => {
+                assert_eq!(d.table, "new_order");
+                assert!(d.where_clause.is_some());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse_statement("SELECT 1 FROM t zig zag boom").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_statement() {
+        assert!(parse_statement("VACUUM t").is_err());
+    }
+
+    #[test]
+    fn alias_does_not_swallow_keywords() {
+        let s = sel("SELECT * FROM orders WHERE o_orderkey = 1");
+        assert_eq!(s.from[0].alias, "orders");
+        assert!(s.where_clause.is_some());
+    }
+
+    #[test]
+    fn parses_or_predicates() {
+        let s = sel("SELECT * FROM t WHERE a = 1 OR b = 2 OR c = 3");
+        match s.where_clause {
+            Some(Expr::Or(parts)) => assert_eq!(parts.len(), 3),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_parenthesized_predicates() {
+        let s = sel("SELECT * FROM t WHERE (a = 1 OR b = 2) AND c = 3");
+        match s.where_clause {
+            Some(Expr::And(parts)) => {
+                assert!(matches!(parts[0], Expr::Or(_)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

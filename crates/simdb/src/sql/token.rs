@@ -1,0 +1,286 @@
+//! SQL lexer.
+
+use crate::{DbError, Result};
+
+/// Punctuation and operator tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sym {
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `;`
+    Semi,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `=`
+    Eq,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `<>` or `!=`
+    Ne,
+}
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword, lower-cased.
+    Ident(String),
+    /// Numeric literal.
+    Number(f64),
+    /// String literal (single-quoted; `''` escapes a quote).
+    Str(String),
+    /// Optimizer hint comment `/*+ … */` (content, trimmed).
+    Hint(String),
+    /// Punctuation/operator.
+    Symbol(Sym),
+}
+
+/// Tokenize `sql` into a vector of tokens.
+///
+/// Plain comments (`-- …` and `/* … */`) are skipped; hint comments
+/// (`/*+ … */`) are surfaced as [`Token::Hint`].
+pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
+    let bytes = sql.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                let is_hint = bytes.get(i + 2) == Some(&b'+');
+                let start = if is_hint { i + 3 } else { i + 2 };
+                let mut j = start;
+                while j + 1 < bytes.len() && !(bytes[j] == b'*' && bytes[j + 1] == b'/') {
+                    j += 1;
+                }
+                if j + 1 >= bytes.len() {
+                    return Err(DbError::Lex("unterminated comment".into()));
+                }
+                if is_hint {
+                    let content = std::str::from_utf8(&bytes[start..j])
+                        .map_err(|_| DbError::Lex("non-utf8 hint".into()))?
+                        .trim()
+                        .to_string();
+                    out.push(Token::Hint(content));
+                }
+                i = j + 2;
+            }
+            '\'' => {
+                let mut s = String::new();
+                let mut j = i + 1;
+                loop {
+                    if j >= bytes.len() {
+                        return Err(DbError::Lex("unterminated string literal".into()));
+                    }
+                    if bytes[j] == b'\'' {
+                        if bytes.get(j + 1) == Some(&b'\'') {
+                            s.push('\'');
+                            j += 2;
+                        } else {
+                            break;
+                        }
+                    } else {
+                        s.push(bytes[j] as char);
+                        j += 1;
+                    }
+                }
+                out.push(Token::Str(s));
+                i = j + 1;
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_digit() || bytes[i] == b'.' || bytes[i] == b'e'
+                        || bytes[i] == b'E'
+                        || ((bytes[i] == b'+' || bytes[i] == b'-')
+                            && i > start
+                            && (bytes[i - 1] == b'e' || bytes[i - 1] == b'E')))
+                {
+                    i += 1;
+                }
+                let text = &sql[start..i];
+                let v: f64 = text
+                    .parse()
+                    .map_err(|_| DbError::Lex(format!("bad number literal {text:?}")))?;
+                out.push(Token::Number(v));
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push(Token::Ident(sql[start..i].to_ascii_lowercase()));
+            }
+            '(' => {
+                out.push(Token::Symbol(Sym::LParen));
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::Symbol(Sym::RParen));
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Symbol(Sym::Comma));
+                i += 1;
+            }
+            '.' => {
+                out.push(Token::Symbol(Sym::Dot));
+                i += 1;
+            }
+            ';' => {
+                out.push(Token::Symbol(Sym::Semi));
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Symbol(Sym::Star));
+                i += 1;
+            }
+            '+' => {
+                out.push(Token::Symbol(Sym::Plus));
+                i += 1;
+            }
+            '-' => {
+                out.push(Token::Symbol(Sym::Minus));
+                i += 1;
+            }
+            '/' => {
+                out.push(Token::Symbol(Sym::Slash));
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Symbol(Sym::Eq));
+                i += 1;
+            }
+            '!' if bytes.get(i + 1) == Some(&b'=') => {
+                out.push(Token::Symbol(Sym::Ne));
+                i += 2;
+            }
+            '<' => {
+                match bytes.get(i + 1) {
+                    Some(&b'=') => {
+                        out.push(Token::Symbol(Sym::Le));
+                        i += 2;
+                    }
+                    Some(&b'>') => {
+                        out.push(Token::Symbol(Sym::Ne));
+                        i += 2;
+                    }
+                    _ => {
+                        out.push(Token::Symbol(Sym::Lt));
+                        i += 1;
+                    }
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Symbol(Sym::Ge));
+                    i += 2;
+                } else {
+                    out.push(Token::Symbol(Sym::Gt));
+                    i += 1;
+                }
+            }
+            other => {
+                return Err(DbError::Lex(format!(
+                    "unexpected character {other:?} at byte {i}"
+                )))
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_basic_select() {
+        let toks = tokenize("SELECT a.x, 42 FROM t a WHERE a.x >= 3.5").unwrap();
+        assert_eq!(toks[0], Token::Ident("select".into()));
+        assert!(toks.contains(&Token::Symbol(Sym::Ge)));
+        assert!(toks.contains(&Token::Number(3.5)));
+    }
+
+    #[test]
+    fn lexes_strings_with_escapes() {
+        let toks = tokenize("select 'it''s'").unwrap();
+        assert_eq!(toks[1], Token::Str("it's".into()));
+    }
+
+    #[test]
+    fn skips_plain_comments_keeps_hints() {
+        let toks = tokenize("select 1 /* plain */ /*+ sel 0.25 */ -- tail\n").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("select".into()),
+                Token::Number(1.0),
+                Token::Hint("sel 0.25".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_all_comparison_spellings() {
+        let toks = tokenize("a <> b != c <= d >= e < f > g = h").unwrap();
+        let syms: Vec<Sym> = toks
+            .iter()
+            .filter_map(|t| match t {
+                Token::Symbol(s) => Some(*s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            syms,
+            vec![Sym::Ne, Sym::Ne, Sym::Le, Sym::Ge, Sym::Lt, Sym::Gt, Sym::Eq]
+        );
+    }
+
+    #[test]
+    fn scientific_notation() {
+        let toks = tokenize("select 1.5e6, 2E-3").unwrap();
+        assert!(toks.contains(&Token::Number(1.5e6)));
+        assert!(toks.contains(&Token::Number(2e-3)));
+    }
+
+    #[test]
+    fn reports_unterminated_string() {
+        assert!(matches!(tokenize("select 'oops"), Err(DbError::Lex(_))));
+    }
+
+    #[test]
+    fn reports_unterminated_comment() {
+        assert!(matches!(tokenize("select /* oops"), Err(DbError::Lex(_))));
+    }
+
+    #[test]
+    fn reports_stray_character() {
+        assert!(matches!(tokenize("select #"), Err(DbError::Lex(_))));
+    }
+}

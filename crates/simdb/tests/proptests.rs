@@ -1,0 +1,181 @@
+//! Property-based tests over the SQL front-end and optimizer.
+
+use proptest::prelude::*;
+use vda_simdb::bind::bind_statement;
+use vda_simdb::catalog::{table, Catalog, IndexDef};
+use vda_simdb::optimizer::Optimizer;
+use vda_simdb::plan::CostFactors;
+use vda_simdb::sql::tokenize;
+
+fn test_catalog() -> Catalog {
+    let mut c = Catalog::new();
+    c.add_table(table(
+        "t1",
+        1_000_000.0,
+        100.0,
+        &[("a", 1_000_000.0, 8.0), ("b", 100.0, 8.0), ("c", 50_000.0, 8.0)],
+    ));
+    c.add_table(table(
+        "t2",
+        50_000.0,
+        80.0,
+        &[("a", 50_000.0, 8.0), ("d", 500.0, 8.0)],
+    ));
+    c.add_index(IndexDef {
+        name: "t1_a".into(),
+        table: "t1".into(),
+        column: "a".into(),
+    })
+    .expect("valid index");
+    c.add_index(IndexDef {
+        name: "t2_a".into(),
+        table: "t2".into(),
+        column: "a".into(),
+    })
+    .expect("valid index");
+    c
+}
+
+fn factors(work_mem: f64, buffer: f64) -> CostFactors {
+    CostFactors {
+        seq_page: 1.0,
+        rand_page: 40.0,
+        cpu_tuple: 0.01,
+        cpu_operator: 0.01,
+        cpu_index_tuple: 0.006,
+        work_mem_pages: work_mem,
+        buffer_pages: buffer,
+    }
+}
+
+/// Strategy: a conjunctive filter query over t1 with random predicate
+/// constants and hinted selectivities.
+fn filter_query() -> impl Strategy<Value = String> {
+    (
+        0.0001f64..1.0,
+        0.0001f64..1.0,
+        1u32..1000,
+        prop_oneof![Just("<"), Just("<="), Just(">"), Just(">="), Just("=")],
+    )
+        .prop_map(|(s1, s2, k, op)| {
+            format!(
+                "SELECT count(*) FROM t1 WHERE b {op} {k} /*+ sel {s1:.6} */ \
+                 AND c < {k} /*+ sel {s2:.6} */"
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The lexer never panics and is deterministic on arbitrary input.
+    #[test]
+    fn tokenize_total_and_deterministic(input in ".{0,120}") {
+        let a = tokenize(&input);
+        let b = tokenize(&input);
+        match (a, b) {
+            (Ok(x), Ok(y)) => prop_assert_eq!(x, y),
+            (Err(_), Err(_)) => {}
+            other => prop_assert!(false, "nondeterministic lexer: {other:?}"),
+        }
+    }
+
+    /// Bound filter selectivities always land in [0, 1] and filtered
+    /// rows never exceed base rows.
+    #[test]
+    fn selectivities_stay_in_range(sql in filter_query()) {
+        let cat = test_catalog();
+        let q = bind_statement(&sql, &cat).expect("generated queries bind");
+        for rel in &q.relations {
+            prop_assert!((0.0..=1.0).contains(&rel.filter_sel), "{}", rel.filter_sel);
+            prop_assert!(rel.filtered_rows() <= rel.rows.max(1.0));
+        }
+    }
+
+    /// Plan costs are finite, positive, and all work counters are
+    /// non-negative for arbitrary filter queries and memory settings.
+    #[test]
+    fn plans_are_well_formed(sql in filter_query(), mem in 16.0f64..100_000.0, buf in 0.0f64..1_000_000.0) {
+        let cat = test_catalog();
+        let q = bind_statement(&sql, &cat).expect("binds");
+        let plan = Optimizer::new(&cat, factors(mem, buf)).plan(&q);
+        prop_assert!(plan.native_cost.is_finite() && plan.native_cost > 0.0);
+        let c = &plan.counters;
+        for v in [
+            c.seq_pages, c.rand_pages, c.spill_pages, c.cpu_tuples,
+            c.cpu_operators, c.cpu_index_tuples, c.rows_returned,
+            c.write_pages, c.lock_requests,
+        ] {
+            prop_assert!(v >= 0.0 && v.is_finite(), "bad counter {v}");
+        }
+    }
+
+    /// More operator memory never increases estimated cost (the
+    /// optimizer may only switch to cheaper plans).
+    #[test]
+    fn cost_monotone_in_work_mem(sel in 0.001f64..0.9) {
+        let cat = test_catalog();
+        let sql = format!(
+            "SELECT a, count(*) FROM t1 WHERE c < 5 /*+ sel {sel:.6} */ \
+             GROUP BY a ORDER BY a"
+        );
+        let q = bind_statement(&sql, &cat).expect("binds");
+        let mut prev = f64::INFINITY;
+        for mem in [32.0, 128.0, 1024.0, 16_384.0, 262_144.0] {
+            let cost = Optimizer::new(&cat, factors(mem, 10_000.0)).plan(&q).native_cost;
+            prop_assert!(cost <= prev + 1e-9, "cost rose with memory: {cost} > {prev}");
+            prev = cost;
+        }
+    }
+
+    /// More buffer cache never increases estimated cost.
+    #[test]
+    fn cost_monotone_in_buffer(sel in 0.001f64..0.9) {
+        let cat = test_catalog();
+        let sql = format!("SELECT count(*) FROM t1 WHERE c < 5 /*+ sel {sel:.6} */");
+        let q = bind_statement(&sql, &cat).expect("binds");
+        let mut prev = f64::INFINITY;
+        for buf in [0.0, 1_000.0, 10_000.0, 100_000.0] {
+            let cost = Optimizer::new(&cat, factors(640.0, buf)).plan(&q).native_cost;
+            prop_assert!(cost <= prev + 1e-9);
+            prev = cost;
+        }
+    }
+
+    /// Join planning is symmetric in FROM order: the same join in
+    /// either table order produces the same cost and signature.
+    #[test]
+    fn join_order_in_text_is_irrelevant(sel in 0.001f64..0.5) {
+        let cat = test_catalog();
+        let a = format!(
+            "SELECT count(*) FROM t1 x, t2 y WHERE x.a = y.a AND x.c < 9 /*+ sel {sel:.6} */"
+        );
+        let b = format!(
+            "SELECT count(*) FROM t2 y, t1 x WHERE x.a = y.a AND x.c < 9 /*+ sel {sel:.6} */"
+        );
+        let f = factors(640.0, 10_000.0);
+        let qa = bind_statement(&a, &cat).expect("binds");
+        let qb = bind_statement(&b, &cat).expect("binds");
+        let pa = Optimizer::new(&cat, f).plan(&qa);
+        let pb = Optimizer::new(&cat, f).plan(&qb);
+        prop_assert!((pa.native_cost - pb.native_cost).abs() < 1e-6 * pa.native_cost);
+    }
+
+    /// Estimated cost is linear in each CPU parameter for a fixed plan:
+    /// the property §4.3's calibration equations rely on.
+    #[test]
+    fn cost_linear_in_cpu_params(scale in 0.5f64..4.0) {
+        let cat = test_catalog();
+        let q = bind_statement("SELECT count(*) FROM t1", &cat).expect("binds");
+        let base = factors(640.0, 10_000.0);
+        let cost = |f: CostFactors| Optimizer::new(&cat, f).plan(&q).native_cost;
+        let c0 = cost(base);
+        let mut up = base;
+        up.cpu_tuple *= scale;
+        let c1 = cost(up);
+        // Difference must equal (scale-1) * cpu_tuple * tuples exactly.
+        let plan = Optimizer::new(&cat, base).plan(&q);
+        let expected = (scale - 1.0) * base.cpu_tuple * plan.counters.cpu_tuples;
+        prop_assert!(((c1 - c0) - expected).abs() < 1e-6 * c0.max(1.0));
+    }
+}

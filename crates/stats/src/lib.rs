@@ -1,0 +1,68 @@
+#![warn(missing_docs)]
+
+//! # vda-stats
+//!
+//! A small, self-contained numerical toolkit used throughout the
+//! virtualization design advisor. The paper (Soror et al., *Automatic
+//! Virtual Machine Configuration for Database Workloads*) relies on
+//! three numerical building blocks, all implemented here from scratch:
+//!
+//! * **Linear regression** (simple and multi-dimensional ordinary least
+//!   squares) — used to fit calibration functions `Cal_ik` (§4.3), to
+//!   renormalize DB2-style timeron costs into seconds (§4.2), and to fit
+//!   refined cost models from observed workload runtimes (§5).
+//! * **Dense linear solves** (Gaussian elimination with partial
+//!   pivoting) — used when a set of `k` calibration queries depends on
+//!   `k` unknown optimizer parameters and the system of renormalized
+//!   cost equations must be solved for the parameter values (§4.3).
+//! * **Piecewise-linear models** — the memory cost model of §5.1, where
+//!   each piece corresponds to one query-execution-plan regime.
+//!
+//! No external math crates are used; everything is plain `f64` code with
+//! deterministic behaviour, which keeps the whole reproduction
+//! bit-for-bit reproducible.
+
+pub mod piecewise;
+pub mod regression;
+pub mod solve;
+pub mod summary;
+
+pub use piecewise::{Piece, PiecewiseReciprocal};
+pub use regression::{LinearFit, MultiLinearFit, ReciprocalFit};
+pub use solve::solve_dense;
+pub use summary::{mean, population_variance, sample_stddev};
+
+/// Error type for numerical routines in this crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatsError {
+    /// The input slices were empty or of mismatched lengths.
+    BadInput(String),
+    /// The linear system (or normal equations) is singular or too
+    /// ill-conditioned to solve reliably.
+    Singular,
+    /// Not enough observations to fit the requested number of
+    /// coefficients.
+    Underdetermined {
+        /// Observations required for the fit.
+        needed: usize,
+        /// Observations provided.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for StatsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StatsError::BadInput(msg) => write!(f, "bad input: {msg}"),
+            StatsError::Singular => write!(f, "singular or ill-conditioned system"),
+            StatsError::Underdetermined { needed, got } => {
+                write!(f, "underdetermined fit: need {needed} observations, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+/// Convenience alias used by every fallible routine in this crate.
+pub type Result<T> = std::result::Result<T, StatsError>;

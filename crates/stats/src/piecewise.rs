@@ -1,0 +1,255 @@
+//! Piecewise reciprocal-linear cost models.
+//!
+//! §5.1 of the paper observes that memory-related performance follows a
+//! *piecewise* linear-in-1/r behaviour: each piece corresponds to one
+//! query-execution-plan regime, and plan changes (e.g. a multi-pass
+//! hash join collapsing to a single pass) mark the piece boundaries.
+//!
+//! `Cost(W, [r]) = α_j/r + β_j   for r ∈ A_j`
+//!
+//! A [`PiecewiseReciprocal`] stores the pieces with their share
+//! intervals. The intervals come from the candidate allocations probed
+//! during configuration enumeration, so consecutive pieces may have a
+//! *gap* between them (a share range where the advisor never called the
+//! optimizer and the active plan is unknown). Lookups inside a gap are
+//! resolved to the *closer* piece, exactly as §5.1 prescribes, until an
+//! actual observation re-assigns the boundary.
+
+use crate::regression::ReciprocalFit;
+use serde::{Deserialize, Serialize};
+
+/// One plan regime: a share interval and the reciprocal cost model that
+/// holds inside it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Piece {
+    /// Smallest share at which this piece's plan was observed.
+    pub lo: f64,
+    /// Largest share at which this piece's plan was observed.
+    pub hi: f64,
+    /// Cost model `α/r + β` valid within the interval.
+    pub model: ReciprocalFit,
+    /// Opaque identifier of the query-execution-plan regime this piece
+    /// corresponds to (a plan signature hash in practice).
+    pub plan_id: u64,
+}
+
+impl Piece {
+    /// Whether `share` falls inside this piece's observed interval.
+    #[inline]
+    pub fn contains(&self, share: f64) -> bool {
+        share >= self.lo && share <= self.hi
+    }
+
+    /// Distance from `share` to the interval (0 when inside).
+    fn distance(&self, share: f64) -> f64 {
+        if share < self.lo {
+            self.lo - share
+        } else if share > self.hi {
+            share - self.hi
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A piecewise reciprocal model over resource shares in `(0, 1]`.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct PiecewiseReciprocal {
+    pieces: Vec<Piece>,
+}
+
+impl PiecewiseReciprocal {
+    /// Build a model from pieces; they are sorted by interval start and
+    /// must not overlap.
+    pub fn new(mut pieces: Vec<Piece>) -> Self {
+        pieces.sort_by(|a, b| a.lo.partial_cmp(&b.lo).unwrap_or(std::cmp::Ordering::Equal));
+        debug_assert!(
+            pieces.windows(2).all(|w| w[0].hi <= w[1].lo + 1e-12),
+            "pieces must not overlap"
+        );
+        PiecewiseReciprocal { pieces }
+    }
+
+    /// Number of plan regimes in the model.
+    pub fn len(&self) -> usize {
+        self.pieces.len()
+    }
+
+    /// Whether the model has no pieces at all.
+    pub fn is_empty(&self) -> bool {
+        self.pieces.is_empty()
+    }
+
+    /// Immutable view of the pieces, ordered by share interval.
+    pub fn pieces(&self) -> &[Piece] {
+        &self.pieces
+    }
+
+    /// Mutable access to one piece (used by refinement to scale α/β or
+    /// to move an interval boundary after an arbitration observation).
+    pub fn piece_mut(&mut self, idx: usize) -> &mut Piece {
+        &mut self.pieces[idx]
+    }
+
+    /// Index of the piece governing `share`: the containing piece if
+    /// one exists, otherwise the *closest* piece (the §5.1 gap rule).
+    /// Returns `None` only for an empty model.
+    pub fn piece_for(&self, share: f64) -> Option<usize> {
+        if self.pieces.is_empty() {
+            return None;
+        }
+        let mut best = 0;
+        let mut best_d = f64::INFINITY;
+        for (i, p) in self.pieces.iter().enumerate() {
+            let d = p.distance(share);
+            if d == 0.0 {
+                return Some(i);
+            }
+            if d < best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        Some(best)
+    }
+
+    /// Evaluate the model at `share` using the governing piece.
+    /// Returns `None` for an empty model.
+    pub fn predict(&self, share: f64) -> Option<f64> {
+        self.piece_for(share).map(|i| self.pieces[i].model.predict(share))
+    }
+
+    /// Scale **every** piece's coefficients by `factor` — the paper's
+    /// first-iteration refinement heuristic, which assumes the
+    /// optimizer's bias is consistent across all plan regimes.
+    pub fn scale_all(&mut self, factor: f64) {
+        for p in &mut self.pieces {
+            p.model = p.model.scaled(factor);
+        }
+    }
+
+    /// Scale one piece's coefficients by `factor` — used from the
+    /// second refinement iteration onwards, when an actual observation
+    /// only informs the interval it fell into.
+    pub fn scale_piece(&mut self, idx: usize, factor: f64) {
+        let p = &mut self.pieces[idx];
+        p.model = p.model.scaled(factor);
+    }
+
+    /// Extend piece `idx`'s interval so it contains `share` (boundary
+    /// arbitration after an actual observation inside a gap). The
+    /// neighbouring piece is never shrunk below its own observations.
+    pub fn absorb_share(&mut self, idx: usize, share: f64) {
+        let p = &mut self.pieces[idx];
+        if share < p.lo {
+            p.lo = share;
+        } else if share > p.hi {
+            p.hi = share;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(alpha: f64, beta: f64) -> ReciprocalFit {
+        ReciprocalFit {
+            alpha,
+            beta,
+            r_squared: 1.0,
+        }
+    }
+
+    fn two_piece() -> PiecewiseReciprocal {
+        PiecewiseReciprocal::new(vec![
+            Piece {
+                lo: 0.1,
+                hi: 0.4,
+                model: model(20.0, 5.0),
+                plan_id: 1,
+            },
+            Piece {
+                lo: 0.6,
+                hi: 1.0,
+                model: model(8.0, 2.0),
+                plan_id: 2,
+            },
+        ])
+    }
+
+    #[test]
+    fn lookup_inside_piece() {
+        let m = two_piece();
+        assert_eq!(m.piece_for(0.25), Some(0));
+        assert_eq!(m.piece_for(0.8), Some(1));
+    }
+
+    #[test]
+    fn gap_resolves_to_closer_piece() {
+        let m = two_piece();
+        // 0.45 is 0.05 from piece 0 and 0.15 from piece 1.
+        assert_eq!(m.piece_for(0.45), Some(0));
+        // 0.55 is 0.15 from piece 0 and 0.05 from piece 1.
+        assert_eq!(m.piece_for(0.55), Some(1));
+    }
+
+    #[test]
+    fn predict_uses_governing_piece() {
+        let m = two_piece();
+        let got = m.predict(0.8).unwrap();
+        assert!((got - (8.0 / 0.8 + 2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scale_all_scales_every_piece() {
+        let mut m = two_piece();
+        m.scale_all(2.0);
+        assert!((m.pieces()[0].model.alpha - 40.0).abs() < 1e-12);
+        assert!((m.pieces()[1].model.beta - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scale_piece_targets_one_regime() {
+        let mut m = two_piece();
+        m.scale_piece(1, 3.0);
+        assert!((m.pieces()[0].model.alpha - 20.0).abs() < 1e-12);
+        assert!((m.pieces()[1].model.alpha - 24.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absorb_share_extends_interval() {
+        let mut m = two_piece();
+        m.absorb_share(1, 0.5);
+        assert_eq!(m.piece_for(0.5), Some(1));
+        assert!(m.pieces()[1].contains(0.5));
+    }
+
+    #[test]
+    fn empty_model_has_no_piece() {
+        let m = PiecewiseReciprocal::default();
+        assert!(m.is_empty());
+        assert_eq!(m.piece_for(0.5), None);
+        assert_eq!(m.predict(0.5), None);
+    }
+
+    #[test]
+    fn pieces_sorted_on_construction() {
+        let m = PiecewiseReciprocal::new(vec![
+            Piece {
+                lo: 0.6,
+                hi: 1.0,
+                model: model(1.0, 0.0),
+                plan_id: 2,
+            },
+            Piece {
+                lo: 0.1,
+                hi: 0.4,
+                model: model(2.0, 0.0),
+                plan_id: 1,
+            },
+        ]);
+        assert_eq!(m.pieces()[0].plan_id, 1);
+        assert_eq!(m.pieces()[1].plan_id, 2);
+    }
+}

@@ -1,0 +1,352 @@
+//! Ordinary least-squares regression, simple and multi-dimensional.
+//!
+//! Three fits appear in the paper and all are provided here:
+//!
+//! * [`LinearFit`] — `y = intercept + slope·x`. Used for DB2-style
+//!   timeron renormalization (§4.2) and for modelling optimizer CPU
+//!   parameters as a linear function of `1/cpu_share` (§4.4).
+//! * [`ReciprocalFit`] — `y = alpha/x + beta`, the workload cost model
+//!   of §5.1 (cost is linear in the *inverse* of the CPU allocation).
+//!   Internally this is a [`LinearFit`] on transformed abscissae, but it
+//!   is a distinct type so call sites cannot mix the two bases up.
+//! * [`MultiLinearFit`] — `y = β₀ + Σ βj·xj`, the multi-dimensional
+//!   regression of §5.2 used once refinement has observed at least `M`
+//!   actual costs in one plan interval.
+
+use crate::{solve_dense, Result, StatsError};
+use serde::{Deserialize, Serialize};
+
+/// A fitted simple linear model `y = intercept + slope · x`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinearFit {
+    /// Constant term of the fitted line.
+    pub intercept: f64,
+    /// Slope of the fitted line.
+    pub slope: f64,
+    /// Coefficient of determination of the fit (1.0 for a perfect fit,
+    /// may be negative for models worse than the mean).
+    pub r_squared: f64,
+}
+
+impl LinearFit {
+    /// Fit `y = intercept + slope·x` by ordinary least squares.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`StatsError::Underdetermined`] for fewer than two
+    /// points and [`StatsError::Singular`] when all `x` are identical.
+    pub fn fit(xs: &[f64], ys: &[f64]) -> Result<Self> {
+        if xs.len() != ys.len() {
+            return Err(StatsError::BadInput(format!(
+                "length mismatch: {} xs, {} ys",
+                xs.len(),
+                ys.len()
+            )));
+        }
+        if xs.len() < 2 {
+            return Err(StatsError::Underdetermined {
+                needed: 2,
+                got: xs.len(),
+            });
+        }
+        let n = xs.len() as f64;
+        let mean_x = xs.iter().sum::<f64>() / n;
+        let mean_y = ys.iter().sum::<f64>() / n;
+        let mut sxx = 0.0;
+        let mut sxy = 0.0;
+        for (&x, &y) in xs.iter().zip(ys) {
+            sxx += (x - mean_x) * (x - mean_x);
+            sxy += (x - mean_x) * (y - mean_y);
+        }
+        let x_scale = xs.iter().fold(0.0_f64, |a, &v| a.max(v.abs())).max(1.0);
+        if sxx < 1e-12 * x_scale * x_scale {
+            return Err(StatsError::Singular);
+        }
+        let slope = sxy / sxx;
+        let intercept = mean_y - slope * mean_x;
+
+        let ss_tot: f64 = ys.iter().map(|&y| (y - mean_y).powi(2)).sum();
+        let ss_res: f64 = xs
+            .iter()
+            .zip(ys)
+            .map(|(&x, &y)| {
+                let pred = intercept + slope * x;
+                (y - pred).powi(2)
+            })
+            .sum();
+        let r_squared = if ss_tot <= f64::EPSILON {
+            1.0
+        } else {
+            1.0 - ss_res / ss_tot
+        };
+        Ok(LinearFit {
+            intercept,
+            slope,
+            r_squared,
+        })
+    }
+
+    /// Evaluate the fitted line at `x`.
+    #[inline]
+    pub fn predict(&self, x: f64) -> f64 {
+        self.intercept + self.slope * x
+    }
+}
+
+/// A fitted reciprocal model `y = alpha / x + beta`.
+///
+/// This is the cost model of §5.1: workload completion time is linear
+/// in the inverse of the allocated resource share, i.e.
+/// `Cost(W, [r]) = α/r + β`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReciprocalFit {
+    /// Coefficient on `1/x` — the paper's `α`. The "slope" that online
+    /// refinement scales to correct the optimizer (§5.1).
+    pub alpha: f64,
+    /// Constant term — the paper's `β`.
+    pub beta: f64,
+    /// Coefficient of determination in the transformed (1/x) space.
+    pub r_squared: f64,
+}
+
+impl ReciprocalFit {
+    /// Fit `y = alpha/x + beta` over strictly positive abscissae.
+    ///
+    /// # Errors
+    ///
+    /// Fails for non-positive `x` values (a resource share of zero has
+    /// no finite cost), for fewer than two points, or when all shares
+    /// coincide.
+    pub fn fit(shares: &[f64], costs: &[f64]) -> Result<Self> {
+        if shares.iter().any(|&s| s <= 0.0) {
+            return Err(StatsError::BadInput(
+                "reciprocal fit requires strictly positive shares".into(),
+            ));
+        }
+        let inv: Vec<f64> = shares.iter().map(|&s| 1.0 / s).collect();
+        let lin = LinearFit::fit(&inv, costs)?;
+        Ok(ReciprocalFit {
+            alpha: lin.slope,
+            beta: lin.intercept,
+            r_squared: lin.r_squared,
+        })
+    }
+
+    /// Evaluate the model at resource share `share`.
+    #[inline]
+    pub fn predict(&self, share: f64) -> f64 {
+        self.alpha / share + self.beta
+    }
+
+    /// Scale both coefficients by `factor` — the §5.1 refinement
+    /// heuristic `Cost' = (Act/Est)·(α/r) + (Act/Est)·β`.
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> Self {
+        ReciprocalFit {
+            alpha: self.alpha * factor,
+            beta: self.beta * factor,
+            r_squared: self.r_squared,
+        }
+    }
+}
+
+/// A fitted multi-dimensional linear model `y = β₀ + Σ βj·xj`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiLinearFit {
+    /// Constant term β₀.
+    pub intercept: f64,
+    /// Per-dimension coefficients β₁..βd.
+    pub coefficients: Vec<f64>,
+    /// Coefficient of determination.
+    pub r_squared: f64,
+}
+
+impl MultiLinearFit {
+    /// Fit by solving the normal equations `XᵀX β = Xᵀy`.
+    ///
+    /// Each row of `xs` is one observation of the `d` predictors.
+    ///
+    /// # Errors
+    ///
+    /// Fails when there are fewer observations than `d + 1`
+    /// coefficients, on ragged input, or when the design matrix is
+    /// rank-deficient.
+    pub fn fit(xs: &[Vec<f64>], ys: &[f64]) -> Result<Self> {
+        if xs.len() != ys.len() {
+            return Err(StatsError::BadInput(format!(
+                "length mismatch: {} rows, {} ys",
+                xs.len(),
+                ys.len()
+            )));
+        }
+        let n = xs.len();
+        if n == 0 {
+            return Err(StatsError::BadInput("no observations".into()));
+        }
+        let d = xs[0].len();
+        if xs.iter().any(|row| row.len() != d) {
+            return Err(StatsError::BadInput("ragged design matrix".into()));
+        }
+        let p = d + 1; // intercept + d coefficients
+        if n < p {
+            return Err(StatsError::Underdetermined { needed: p, got: n });
+        }
+
+        // Normal equations over the augmented design [1 | X].
+        let mut xtx = vec![vec![0.0; p]; p];
+        let mut xty = vec![0.0; p];
+        #[allow(clippy::needless_range_loop)] // normal-equations kernel reads clearer indexed
+        for (row, &y) in xs.iter().zip(ys) {
+            let aug = |k: usize| if k == 0 { 1.0 } else { row[k - 1] };
+            for i in 0..p {
+                xty[i] += aug(i) * y;
+                for j in 0..p {
+                    xtx[i][j] += aug(i) * aug(j);
+                }
+            }
+        }
+        let beta = solve_dense(&xtx, &xty)?;
+
+        let mean_y = ys.iter().sum::<f64>() / n as f64;
+        let ss_tot: f64 = ys.iter().map(|&y| (y - mean_y).powi(2)).sum();
+        let ss_res: f64 = xs
+            .iter()
+            .zip(ys)
+            .map(|(row, &y)| {
+                let pred = beta[0]
+                    + row
+                        .iter()
+                        .zip(&beta[1..])
+                        .map(|(&x, &b)| x * b)
+                        .sum::<f64>();
+                (y - pred).powi(2)
+            })
+            .sum();
+        let r_squared = if ss_tot <= f64::EPSILON {
+            1.0
+        } else {
+            1.0 - ss_res / ss_tot
+        };
+
+        Ok(MultiLinearFit {
+            intercept: beta[0],
+            coefficients: beta[1..].to_vec(),
+            r_squared,
+        })
+    }
+
+    /// Evaluate the fitted model on one predictor row.
+    pub fn predict(&self, row: &[f64]) -> f64 {
+        self.intercept
+            + row
+                .iter()
+                .zip(&self.coefficients)
+                .map(|(&x, &b)| x * b)
+                .sum::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_fit_recovers_exact_line() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 + 2.0 * x).collect();
+        let fit = LinearFit::fit(&xs, &ys).unwrap();
+        assert!((fit.slope - 2.0).abs() < 1e-12);
+        assert!((fit.intercept - 3.0).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simple_fit_handles_noise() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys = [2.1, 3.9, 6.2, 7.8, 10.1];
+        let fit = LinearFit::fit(&xs, &ys).unwrap();
+        assert!((fit.slope - 2.0).abs() < 0.1, "{fit:?}");
+        assert!(fit.r_squared > 0.99, "{fit:?}");
+    }
+
+    #[test]
+    fn simple_fit_rejects_underdetermined() {
+        assert!(matches!(
+            LinearFit::fit(&[1.0], &[1.0]).unwrap_err(),
+            StatsError::Underdetermined { needed: 2, got: 1 }
+        ));
+    }
+
+    #[test]
+    fn simple_fit_rejects_constant_x() {
+        assert_eq!(
+            LinearFit::fit(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0]).unwrap_err(),
+            StatsError::Singular
+        );
+    }
+
+    #[test]
+    fn reciprocal_fit_recovers_cost_model() {
+        // Cost(W,[r]) = 12/r + 4, sampled at greedy-search shares.
+        let shares = [0.1, 0.25, 0.5, 0.75, 1.0];
+        let costs: Vec<f64> = shares.iter().map(|r| 12.0 / r + 4.0).collect();
+        let fit = ReciprocalFit::fit(&shares, &costs).unwrap();
+        assert!((fit.alpha - 12.0).abs() < 1e-9, "{fit:?}");
+        assert!((fit.beta - 4.0).abs() < 1e-9, "{fit:?}");
+    }
+
+    #[test]
+    fn reciprocal_fit_rejects_zero_share() {
+        assert!(ReciprocalFit::fit(&[0.0, 0.5], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn reciprocal_scaling_matches_paper_heuristic() {
+        let fit = ReciprocalFit {
+            alpha: 10.0,
+            beta: 2.0,
+            r_squared: 1.0,
+        };
+        // Act/Est = 1.5 scales both coefficients.
+        let scaled = fit.scaled(1.5);
+        assert!((scaled.predict(0.5) - 1.5 * fit.predict(0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_fit_recovers_plane() {
+        // y = 1 + 2·x1 + 3·x2
+        let xs = vec![
+            vec![1.0, 1.0],
+            vec![2.0, 1.0],
+            vec![1.0, 2.0],
+            vec![3.0, 5.0],
+            vec![0.5, 0.25],
+        ];
+        let ys: Vec<f64> = xs.iter().map(|r| 1.0 + 2.0 * r[0] + 3.0 * r[1]).collect();
+        let fit = MultiLinearFit::fit(&xs, &ys).unwrap();
+        assert!((fit.intercept - 1.0).abs() < 1e-9);
+        assert!((fit.coefficients[0] - 2.0).abs() < 1e-9);
+        assert!((fit.coefficients[1] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multi_fit_rejects_underdetermined() {
+        let xs = vec![vec![1.0, 2.0], vec![2.0, 3.0]];
+        let ys = vec![1.0, 2.0];
+        assert!(matches!(
+            MultiLinearFit::fit(&xs, &ys).unwrap_err(),
+            StatsError::Underdetermined { needed: 3, got: 2 }
+        ));
+    }
+
+    #[test]
+    fn multi_fit_matches_simple_fit_in_one_dimension() {
+        let xs1 = [1.0, 2.0, 4.0, 8.0];
+        let ys = [3.0, 5.5, 8.0, 17.0];
+        let simple = LinearFit::fit(&xs1, &ys).unwrap();
+        let rows: Vec<Vec<f64>> = xs1.iter().map(|&x| vec![x]).collect();
+        let multi = MultiLinearFit::fit(&rows, &ys).unwrap();
+        assert!((multi.intercept - simple.intercept).abs() < 1e-9);
+        assert!((multi.coefficients[0] - simple.slope).abs() < 1e-9);
+    }
+}

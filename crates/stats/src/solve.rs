@@ -1,0 +1,182 @@
+//! Dense linear-system solving via Gaussian elimination with partial
+//! pivoting.
+//!
+//! The systems solved during optimizer calibration are tiny (2×2 up to
+//! roughly 5×5 — one equation per calibration query, one unknown per
+//! descriptive optimizer parameter, §4.3 of the paper), so a
+//! straightforward `O(n³)` elimination is both adequate and easy to
+//! audit.
+
+use crate::{Result, StatsError};
+
+/// Relative pivot threshold below which a matrix is treated as singular.
+const PIVOT_EPS: f64 = 1e-12;
+
+/// Solve the dense system `A·x = b` in place, returning `x`.
+///
+/// `a` is a row-major `n × n` matrix given as `n` rows; `b` has length
+/// `n`. Partial pivoting keeps the elimination numerically stable for
+/// the mildly scaled systems produced by calibration (costs in seconds
+/// vs. parameters spanning a few orders of magnitude).
+///
+/// # Errors
+///
+/// Returns [`StatsError::BadInput`] on shape mismatch and
+/// [`StatsError::Singular`] when no usable pivot exists.
+///
+/// # Examples
+///
+/// ```
+/// let a = vec![vec![2.0, 1.0], vec![1.0, 3.0]];
+/// let b = vec![5.0, 10.0];
+/// let x = vda_stats::solve_dense(&a, &b).unwrap();
+/// assert!((x[0] - 1.0).abs() < 1e-12);
+/// assert!((x[1] - 3.0).abs() < 1e-12);
+/// ```
+pub fn solve_dense(a: &[Vec<f64>], b: &[f64]) -> Result<Vec<f64>> {
+    let n = a.len();
+    if n == 0 {
+        return Err(StatsError::BadInput("empty system".into()));
+    }
+    if b.len() != n || a.iter().any(|row| row.len() != n) {
+        return Err(StatsError::BadInput(format!(
+            "shape mismatch: {n} rows, rhs of length {}",
+            b.len()
+        )));
+    }
+
+    // Build the augmented matrix so elimination can mutate freely.
+    let mut m: Vec<Vec<f64>> = a
+        .iter()
+        .zip(b.iter())
+        .map(|(row, &rhs)| {
+            let mut r = row.clone();
+            r.push(rhs);
+            r
+        })
+        .collect();
+
+    // Scale reference for the singularity test: the largest magnitude
+    // in the original matrix.
+    let scale = m
+        .iter()
+        .flat_map(|r| r[..n].iter())
+        .fold(0.0_f64, |acc, &v| acc.max(v.abs()))
+        .max(1.0);
+
+    for col in 0..n {
+        // Partial pivoting: bring the largest remaining entry in this
+        // column to the diagonal.
+        let pivot_row = (col..n)
+            .max_by(|&i, &j| {
+                m[i][col]
+                    .abs()
+                    .partial_cmp(&m[j][col].abs())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("non-empty range");
+        if m[pivot_row][col].abs() < PIVOT_EPS * scale {
+            return Err(StatsError::Singular);
+        }
+        m.swap(col, pivot_row);
+
+        let pivot = m[col][col];
+        for row in (col + 1)..n {
+            let factor = m[row][col] / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            #[allow(clippy::needless_range_loop)] // augmented-matrix sweep reads clearer indexed
+            for k in col..=n {
+                m[row][k] -= factor * m[col][k];
+            }
+        }
+    }
+
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = m[row][n];
+        for col in (row + 1)..n {
+            acc -= m[row][col] * x[col];
+        }
+        x[row] = acc / m[row][row];
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_identity() {
+        let a = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let b = vec![4.0, -2.5];
+        assert_eq!(solve_dense(&a, &b).unwrap(), vec![4.0, -2.5]);
+    }
+
+    #[test]
+    fn solves_3x3() {
+        // x = 1, y = -2, z = 3
+        let a = vec![
+            vec![2.0, 1.0, -1.0],
+            vec![-3.0, -1.0, 2.0],
+            vec![-2.0, 1.0, 2.0],
+        ];
+        let b = vec![-3.0, 5.0, 2.0];
+        let x = solve_dense(&a, &b).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-10, "{x:?}");
+        assert!((x[1] + 2.0).abs() < 1e-10, "{x:?}");
+        assert!((x[2] - 3.0).abs() < 1e-10, "{x:?}");
+    }
+
+    #[test]
+    fn needs_pivoting() {
+        // A zero on the initial diagonal forces a row swap.
+        let a = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+        let b = vec![7.0, 9.0];
+        let x = solve_dense(&a, &b).unwrap();
+        assert!((x[0] - 9.0).abs() < 1e-12);
+        assert!((x[1] - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_singular() {
+        let a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        let b = vec![1.0, 2.0];
+        assert_eq!(solve_dense(&a, &b).unwrap_err(), StatsError::Singular);
+    }
+
+    #[test]
+    fn rejects_bad_shape() {
+        let a = vec![vec![1.0, 2.0]];
+        let b = vec![1.0, 2.0];
+        assert!(matches!(
+            solve_dense(&a, &b).unwrap_err(),
+            StatsError::BadInput(_)
+        ));
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert!(matches!(
+            solve_dense(&[], &[]).unwrap_err(),
+            StatsError::BadInput(_)
+        ));
+    }
+
+    #[test]
+    fn solves_calibration_style_system() {
+        // Two calibration queries in two unknowns (cpu_tuple_cost t and
+        // cpu_operator_cost o), mirroring the PostgreSQL example from
+        // §4.3: q1 = 1e6·t + 1e6·o, q2 = 1e6·t + 3e6·o.
+        let t = 2.4e-7;
+        let o = 5.0e-8;
+        let a = vec![vec![1.0e6, 1.0e6], vec![1.0e6, 3.0e6]];
+        let b = vec![1.0e6 * t + 1.0e6 * o, 1.0e6 * t + 3.0e6 * o];
+        let x = solve_dense(&a, &b).unwrap();
+        assert!((x[0] - t).abs() / t < 1e-9);
+        assert!((x[1] - o).abs() / o < 1e-9);
+    }
+}

@@ -1,0 +1,53 @@
+//! Tiny descriptive-statistics helpers shared by calibration and the
+//! experiment harness.
+
+/// Arithmetic mean; `0.0` for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance (divides by `n`); `0.0` for fewer than one item.
+pub fn population_variance(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|&x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64
+}
+
+/// Sample standard deviation (divides by `n - 1`); `0.0` for fewer than
+/// two items.
+pub fn sample_stddev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|&x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn variance_basic() {
+        assert!((population_variance(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(population_variance(&[]), 0.0);
+    }
+
+    #[test]
+    fn stddev_basic() {
+        let s = sample_stddev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s - (32.0_f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(sample_stddev(&[1.0]), 0.0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests for the numerical toolkit.
+
+use proptest::prelude::*;
+use vda_stats::{solve_dense, LinearFit, MultiLinearFit, PiecewiseReciprocal, Piece, ReciprocalFit};
+
+fn small_matrix(n: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    proptest::collection::vec(
+        proptest::collection::vec(-100.0f64..100.0, n),
+        n,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// If Gaussian elimination returns a solution, it satisfies the
+    /// system (residual small relative to the data scale).
+    #[test]
+    fn solve_dense_residual_is_small(a in small_matrix(3), x in proptest::collection::vec(-50.0f64..50.0, 3)) {
+        let b: Vec<f64> = (0..3)
+            .map(|i| (0..3).map(|j| a[i][j] * x[j]).sum())
+            .collect();
+        if let Ok(got) = solve_dense(&a, &b) {
+            #[allow(clippy::needless_range_loop)]
+            for i in 0..3 {
+                let lhs: f64 = (0..3).map(|j| a[i][j] * got[j]).sum();
+                let scale = b[i].abs().max(1.0);
+                prop_assert!((lhs - b[i]).abs() < 1e-6 * scale);
+            }
+        }
+    }
+
+    /// A planted diagonally-dominant system is always solvable and
+    /// recovers its solution.
+    #[test]
+    fn solve_dense_recovers_dominant_systems(
+        mut a in small_matrix(4),
+        x in proptest::collection::vec(-10.0f64..10.0, 4),
+    ) {
+        for (i, row) in a.iter_mut().enumerate() {
+            let row_sum: f64 = row.iter().map(|v| v.abs()).sum();
+            row[i] = row_sum + 1.0; // force strict diagonal dominance
+        }
+        let b: Vec<f64> = (0..4)
+            .map(|i| (0..4).map(|j| a[i][j] * x[j]).sum())
+            .collect();
+        let got = solve_dense(&a, &b).expect("dominant systems are nonsingular");
+        for (g, want) in got.iter().zip(&x) {
+            prop_assert!((g - want).abs() < 1e-6, "{g} vs {want}");
+        }
+    }
+
+    /// Linear fits are invariant to observation order.
+    #[test]
+    fn linear_fit_order_invariant(pairs in proptest::collection::vec((0.1f64..100.0, -100.0f64..100.0), 4..12)) {
+        let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        let forward = LinearFit::fit(&xs, &ys);
+        let mut rev_x = xs.clone();
+        let mut rev_y = ys.clone();
+        rev_x.reverse();
+        rev_y.reverse();
+        let backward = LinearFit::fit(&rev_x, &rev_y);
+        match (forward, backward) {
+            (Ok(f), Ok(b)) => {
+                prop_assert!((f.slope - b.slope).abs() < 1e-6);
+                prop_assert!((f.intercept - b.intercept).abs() < 1e-6);
+            }
+            (Err(_), Err(_)) => {}
+            other => prop_assert!(false, "inconsistent outcomes: {other:?}"),
+        }
+    }
+
+    /// R² of a perfect fit is 1; adding symmetric noise cannot raise it
+    /// above 1.
+    #[test]
+    fn r_squared_bounded(slope in -10.0f64..10.0, noise in 0.0f64..5.0) {
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| slope * x + if i % 2 == 0 { noise } else { -noise })
+            .collect();
+        let fit = LinearFit::fit(&xs, &ys).expect("distinct xs");
+        prop_assert!(fit.r_squared <= 1.0 + 1e-12);
+    }
+
+    /// Scaling a reciprocal fit scales its predictions everywhere.
+    #[test]
+    fn reciprocal_scaling_is_uniform(alpha in 0.1f64..50.0, beta in 0.0f64..50.0, k in 0.1f64..10.0) {
+        let fit = ReciprocalFit { alpha, beta, r_squared: 1.0 };
+        let scaled = fit.scaled(k);
+        for share in [0.05, 0.3, 0.8, 1.0] {
+            prop_assert!((scaled.predict(share) - k * fit.predict(share)).abs() < 1e-9);
+        }
+    }
+
+    /// Multi-linear fit predictions reproduce the training data for
+    /// well-posed planted problems.
+    #[test]
+    fn multi_fit_interpolates_planted(b0 in -5.0f64..5.0, b1 in -5.0f64..5.0) {
+        let rows: Vec<Vec<f64>> = (1..8).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = rows.iter().map(|r| b0 + b1 * r[0]).collect();
+        let fit = MultiLinearFit::fit(&rows, &ys).expect("well-posed");
+        for (r, y) in rows.iter().zip(&ys) {
+            prop_assert!((fit.predict(r) - y).abs() < 1e-6);
+        }
+    }
+
+    /// Piecewise lookup always returns an in-bounds piece and a finite
+    /// prediction, for any query share.
+    #[test]
+    fn piecewise_lookup_is_total(share in 0.0f64..1.5) {
+        let model = PiecewiseReciprocal::new(vec![
+            Piece { lo: 0.1, hi: 0.3, model: ReciprocalFit { alpha: 5.0, beta: 1.0, r_squared: 1.0 }, plan_id: 1 },
+            Piece { lo: 0.5, hi: 0.9, model: ReciprocalFit { alpha: 2.0, beta: 0.5, r_squared: 1.0 }, plan_id: 2 },
+        ]);
+        let idx = model.piece_for(share).expect("non-empty model");
+        prop_assert!(idx < model.len());
+        let pred = model.predict(share.max(0.01)).expect("non-empty model");
+        prop_assert!(pred.is_finite());
+    }
+}

@@ -1,0 +1,302 @@
+//! Hypervisor: VM admission, share enforcement, and the I/O-contention
+//! environment of §7.1.
+
+use crate::machine::PhysicalMachine;
+use crate::perf::VmPerf;
+use serde::{Deserialize, Serialize};
+
+/// Requested configuration for one virtual machine, expressed as
+/// *shares* of the physical machine — exactly the decision variables
+/// `R_i = [r_CPU, r_mem]` of the virtualization design problem.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VmConfig {
+    /// Fraction of total CPU capacity in `(0, 1]`.
+    pub cpu_share: f64,
+    /// Fraction of total physical memory in `(0, 1]`.
+    pub memory_share: f64,
+}
+
+impl VmConfig {
+    /// A convenience constructor that validates shares eagerly.
+    pub fn new(cpu_share: f64, memory_share: f64) -> Result<Self, VmmError> {
+        let cfg = VmConfig {
+            cpu_share,
+            memory_share,
+        };
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    fn validate(&self) -> Result<(), VmmError> {
+        for (name, v) in [("cpu", self.cpu_share), ("memory", self.memory_share)] {
+            if !(v > 0.0 && v <= 1.0 && v.is_finite()) {
+                return Err(VmmError::InvalidShare {
+                    resource: name,
+                    value: v,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Identifier of a realized VM inside one [`Hypervisor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct VmHandle(pub usize);
+
+/// Errors raised by the hypervisor model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VmmError {
+    /// A share was outside `(0, 1]`.
+    InvalidShare {
+        /// Which resource the share was for.
+        resource: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// Admitting the VM would oversubscribe a resource.
+    Oversubscribed {
+        /// Which resource would be oversubscribed.
+        resource: &'static str,
+        /// Total share after admission (> 1).
+        total: f64,
+    },
+    /// The handle does not name a realized VM.
+    UnknownVm(usize),
+}
+
+impl std::fmt::Display for VmmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VmmError::InvalidShare { resource, value } => {
+                write!(f, "invalid {resource} share {value}; must be in (0, 1]")
+            }
+            VmmError::Oversubscribed { resource, total } => {
+                write!(f, "{resource} oversubscribed: total share {total:.3} > 1")
+            }
+            VmmError::UnknownVm(id) => write!(f, "unknown VM handle {id}"),
+        }
+    }
+}
+
+impl std::error::Error for VmmError {}
+
+/// The simulated virtual machine monitor.
+///
+/// Mirrors the paper's execution setup (§7.1): VMs receive hard CPU
+/// and memory shares, while disk bandwidth is *not* isolated — an
+/// always-on I/O-contention VM inflates everyone's I/O service times
+/// by a constant factor, which is also active during calibration so
+/// that calibrated parameters describe the contended environment.
+#[derive(Debug, Clone)]
+pub struct Hypervisor {
+    machine: PhysicalMachine,
+    /// Disk service-time multiplier (≥ 1) modelling the I/O-contention
+    /// VM that the paper keeps running next to every workload VM.
+    io_contention: f64,
+    vms: Vec<VmConfig>,
+}
+
+impl Hypervisor {
+    /// Create a hypervisor over `machine` with the paper's default
+    /// I/O-contention VM enabled (factor 2: the contender roughly
+    /// halves effective disk bandwidth).
+    pub fn new(machine: PhysicalMachine) -> Self {
+        Hypervisor {
+            machine,
+            io_contention: 2.0,
+            vms: Vec::new(),
+        }
+    }
+
+    /// Create a hypervisor with an explicit I/O-contention factor
+    /// (use `1.0` for the idealized isolated-disk environment).
+    pub fn with_io_contention(machine: PhysicalMachine, factor: f64) -> Self {
+        assert!(factor >= 1.0, "contention factor must be >= 1");
+        Hypervisor {
+            machine,
+            io_contention: factor,
+            vms: Vec::new(),
+        }
+    }
+
+    /// The physical machine being shared.
+    pub fn machine(&self) -> &PhysicalMachine {
+        &self.machine
+    }
+
+    /// Current I/O-contention multiplier.
+    pub fn io_contention(&self) -> f64 {
+        self.io_contention
+    }
+
+    /// Sum of shares currently admitted for (cpu, memory).
+    pub fn committed_shares(&self) -> (f64, f64) {
+        self.vms.iter().fold((0.0, 0.0), |(c, m), vm| {
+            (c + vm.cpu_share, m + vm.memory_share)
+        })
+    }
+
+    /// Admit a VM, enforcing `Σ r_ij ≤ 1` per resource.
+    pub fn create_vm(&mut self, cfg: VmConfig) -> Result<VmHandle, VmmError> {
+        cfg.validate()?;
+        let (cpu, mem) = self.committed_shares();
+        // A small epsilon absorbs the floating-point dust produced by
+        // repeated ±delta share shifts during greedy search.
+        const EPS: f64 = 1e-9;
+        if cpu + cfg.cpu_share > 1.0 + EPS {
+            return Err(VmmError::Oversubscribed {
+                resource: "cpu",
+                total: cpu + cfg.cpu_share,
+            });
+        }
+        if mem + cfg.memory_share > 1.0 + EPS {
+            return Err(VmmError::Oversubscribed {
+                resource: "memory",
+                total: mem + cfg.memory_share,
+            });
+        }
+        self.vms.push(cfg);
+        Ok(VmHandle(self.vms.len() - 1))
+    }
+
+    /// Reconfigure an existing VM (the dynamic-management path: shares
+    /// are adjusted between monitoring periods without re-creating the
+    /// VM).
+    pub fn reconfigure(&mut self, vm: VmHandle, cfg: VmConfig) -> Result<(), VmmError> {
+        cfg.validate()?;
+        if vm.0 >= self.vms.len() {
+            return Err(VmmError::UnknownVm(vm.0));
+        }
+        let (mut cpu, mut mem) = self.committed_shares();
+        cpu -= self.vms[vm.0].cpu_share;
+        mem -= self.vms[vm.0].memory_share;
+        const EPS: f64 = 1e-9;
+        if cpu + cfg.cpu_share > 1.0 + EPS {
+            return Err(VmmError::Oversubscribed {
+                resource: "cpu",
+                total: cpu + cfg.cpu_share,
+            });
+        }
+        if mem + cfg.memory_share > 1.0 + EPS {
+            return Err(VmmError::Oversubscribed {
+                resource: "memory",
+                total: mem + cfg.memory_share,
+            });
+        }
+        self.vms[vm.0] = cfg;
+        Ok(())
+    }
+
+    /// Performance view of an admitted VM.
+    pub fn perf(&self, vm: VmHandle) -> Result<VmPerf, VmmError> {
+        let cfg = self
+            .vms
+            .get(vm.0)
+            .copied()
+            .ok_or(VmmError::UnknownVm(vm.0))?;
+        Ok(self.perf_for(cfg))
+    }
+
+    /// Performance view for a hypothetical configuration, without
+    /// admitting a VM. This is what calibration and what-if costing
+    /// use: "if the VM were configured like this, how would the
+    /// hardware behave?"
+    pub fn perf_for(&self, cfg: VmConfig) -> VmPerf {
+        VmPerf {
+            cpu_hz: self.machine.total_hz() * cfg.cpu_share,
+            seq_page_secs: self.machine.disk.seq_page_secs(self.machine.page_kb) * self.io_contention,
+            rand_page_secs: self.machine.disk.rand_page_secs(self.machine.page_kb)
+                * self.io_contention,
+            memory_mb: self.machine.memory_mb * cfg.memory_share,
+            page_kb: self.machine.page_kb,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hv() -> Hypervisor {
+        Hypervisor::new(PhysicalMachine::paper_testbed())
+    }
+
+    #[test]
+    fn admits_within_capacity() {
+        let mut h = hv();
+        let a = h.create_vm(VmConfig::new(0.5, 0.5).unwrap()).unwrap();
+        let b = h.create_vm(VmConfig::new(0.5, 0.5).unwrap()).unwrap();
+        assert_ne!(a, b);
+        let (c, m) = h.committed_shares();
+        assert!((c - 1.0).abs() < 1e-12);
+        assert!((m - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_oversubscription() {
+        let mut h = hv();
+        h.create_vm(VmConfig::new(0.7, 0.5).unwrap()).unwrap();
+        let err = h.create_vm(VmConfig::new(0.4, 0.3).unwrap()).unwrap_err();
+        assert!(matches!(err, VmmError::Oversubscribed { resource: "cpu", .. }));
+    }
+
+    #[test]
+    fn rejects_invalid_share() {
+        assert!(VmConfig::new(0.0, 0.5).is_err());
+        assert!(VmConfig::new(1.2, 0.5).is_err());
+        assert!(VmConfig::new(0.5, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn cpu_scales_linearly_with_share() {
+        let h = hv();
+        let half = h.perf_for(VmConfig::new(0.5, 0.5).unwrap());
+        let full = h.perf_for(VmConfig::new(1.0, 0.5).unwrap());
+        assert!((full.cpu_hz / half.cpu_hz - 2.0).abs() < 1e-12);
+        // I/O times do not depend on the CPU share.
+        assert_eq!(half.seq_page_secs, full.seq_page_secs);
+    }
+
+    #[test]
+    fn memory_grant_scales_with_share() {
+        let h = hv();
+        let p = h.perf_for(VmConfig::new(0.5, 0.25).unwrap());
+        assert!((p.memory_mb - 2048.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn contention_inflates_io_only() {
+        let m = PhysicalMachine::paper_testbed();
+        let quiet = Hypervisor::with_io_contention(m, 1.0);
+        let noisy = Hypervisor::with_io_contention(m, 2.0);
+        let cfg = VmConfig::new(0.5, 0.5).unwrap();
+        let q = quiet.perf_for(cfg);
+        let n = noisy.perf_for(cfg);
+        assert!((n.seq_page_secs / q.seq_page_secs - 2.0).abs() < 1e-12);
+        assert_eq!(q.cpu_hz, n.cpu_hz);
+    }
+
+    #[test]
+    fn reconfigure_replaces_shares() {
+        let mut h = hv();
+        let vm = h.create_vm(VmConfig::new(0.5, 0.5).unwrap()).unwrap();
+        h.reconfigure(vm, VmConfig::new(0.8, 0.6).unwrap()).unwrap();
+        let p = h.perf(vm).unwrap();
+        assert!((p.cpu_hz - 0.8 * h.machine().total_hz()).abs() < 1.0);
+    }
+
+    #[test]
+    fn reconfigure_checks_remaining_capacity() {
+        let mut h = hv();
+        let a = h.create_vm(VmConfig::new(0.5, 0.5).unwrap()).unwrap();
+        h.create_vm(VmConfig::new(0.5, 0.5).unwrap()).unwrap();
+        assert!(h.reconfigure(a, VmConfig::new(0.6, 0.5).unwrap()).is_err());
+    }
+
+    #[test]
+    fn unknown_handle_is_reported() {
+        let h = hv();
+        assert_eq!(h.perf(VmHandle(3)).unwrap_err(), VmmError::UnknownVm(3));
+    }
+}

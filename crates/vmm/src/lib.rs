@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! # vda-vmm
+//!
+//! A virtual machine monitor (hypervisor) simulator standing in for the
+//! Xen 3.0.2 testbed of Soror et al. The advisor under reproduction
+//! controls exactly two mechanisms that Xen exposes:
+//!
+//! 1. **CPU shares** — Xen's credit scheduler gives a VM a fraction of
+//!    total CPU capacity; CPU-bound work completes in time inversely
+//!    proportional to that fraction.
+//! 2. **Memory grants** — a fixed number of megabytes visible to the
+//!    guest, which the database's tuning policy divides between buffer
+//!    pool, sort/work memory, and OS page cache.
+//!
+//! The paper also stresses that Xen provides *no* I/O performance
+//! isolation, and deliberately runs an extra I/O-heavy VM so disk
+//! contention is present in every experiment. [`Hypervisor`] models
+//! that with a disk-contention multiplier applied to every VM's I/O
+//! service times.
+//!
+//! [`VmPerf`] is the resulting performance view of one VM: effective
+//! CPU frequency, per-page sequential/random I/O times, and memory.
+//! The simulated DBMS executor charges plan work against a `VmPerf`,
+//! and the calibration micro-benchmarks ([`microbench`]) read their
+//! timings from the same model, so calibration is honest: it measures
+//! the very numbers the executor will use.
+
+pub mod hypervisor;
+pub mod machine;
+pub mod microbench;
+pub mod perf;
+
+pub use hypervisor::{Hypervisor, VmConfig, VmHandle, VmmError};
+pub use machine::{DiskSpec, PhysicalMachine};
+pub use microbench::{cpu_speed_bench, random_read_bench, sequential_read_bench};
+pub use perf::VmPerf;

@@ -1,0 +1,103 @@
+//! Physical machine description.
+
+use serde::{Deserialize, Serialize};
+
+/// Rotational-disk performance specification.
+///
+/// The 2008 testbed used direct-attached SCSI storage; the defaults
+/// below are typical for that class of device and, more importantly,
+/// put the sequential/random cost ratio near the PostgreSQL default
+/// `random_page_cost = 4`, which the calibration experiments (Fig. 7)
+/// expect to recover.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiskSpec {
+    /// Sequential throughput in MB/s.
+    pub seq_mb_per_s: f64,
+    /// Random I/O operations per second (seek + rotational latency
+    /// dominated).
+    pub rand_iops: f64,
+}
+
+impl DiskSpec {
+    /// Seconds to read one page of `page_kb` KiB sequentially.
+    pub fn seq_page_secs(&self, page_kb: f64) -> f64 {
+        (page_kb / 1024.0) / self.seq_mb_per_s
+    }
+
+    /// Seconds to read one page of `page_kb` KiB at a random offset
+    /// (one seek plus the transfer).
+    pub fn rand_page_secs(&self, page_kb: f64) -> f64 {
+        1.0 / self.rand_iops + self.seq_page_secs(page_kb)
+    }
+}
+
+/// The consolidated physical server hosting all virtual machines.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhysicalMachine {
+    /// Number of physical cores.
+    pub cores: u32,
+    /// Clock frequency per core, GHz.
+    pub core_ghz: f64,
+    /// Total physical memory, MB.
+    pub memory_mb: f64,
+    /// Shared disk subsystem.
+    pub disk: DiskSpec,
+    /// Database page size in KiB (both simulated engines use 8 KiB,
+    /// like the PostgreSQL setup in the paper).
+    pub page_kb: f64,
+}
+
+impl PhysicalMachine {
+    /// The paper's testbed: two 2.2 GHz dual-core Opteron 275 packages
+    /// (4 cores total) and 8 GB of memory, with 2008-class disks.
+    pub fn paper_testbed() -> Self {
+        PhysicalMachine {
+            cores: 4,
+            core_ghz: 2.2,
+            memory_mb: 8192.0,
+            disk: DiskSpec {
+                seq_mb_per_s: 72.0,
+                rand_iops: 130.0,
+            },
+            page_kb: 8.0,
+        }
+    }
+
+    /// Total CPU capacity in cycles per second.
+    pub fn total_hz(&self) -> f64 {
+        self.cores as f64 * self.core_ghz * 1e9
+    }
+}
+
+impl Default for PhysicalMachine {
+    fn default() -> Self {
+        Self::paper_testbed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_testbed_capacity() {
+        let m = PhysicalMachine::paper_testbed();
+        assert_eq!(m.total_hz(), 4.0 * 2.2e9);
+        assert_eq!(m.memory_mb, 8192.0);
+    }
+
+    #[test]
+    fn disk_times_are_sane() {
+        let d = DiskSpec {
+            seq_mb_per_s: 72.0,
+            rand_iops: 130.0,
+        };
+        let seq = d.seq_page_secs(8.0);
+        let rand = d.rand_page_secs(8.0);
+        // An 8 KiB sequential page read should take ~0.1 ms; a random
+        // one ~7.8 ms; the ratio is what random_page_cost calibrates.
+        assert!(seq > 0.0 && seq < 0.001, "{seq}");
+        assert!(rand > seq, "{rand} vs {seq}");
+        assert!((rand / seq) > 10.0, "ratio {}", rand / seq);
+    }
+}

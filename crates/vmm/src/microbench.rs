@@ -1,0 +1,76 @@
+//! Calibration micro-benchmarks (§4.3 of the paper).
+//!
+//! The paper calibrates I/O-related optimizer parameters with small
+//! stand-alone programs: a sequential reader that streams 8 KB blocks
+//! (PostgreSQL's renormalization factor), a random reader
+//! (`random_page_cost`, DB2 `overhead`/`transfer_rate`), and a CPU
+//! speed loop (DB2 `cpuspeed`). Here those programs read their
+//! timings from the same [`VmPerf`] model the executor charges against,
+//! so a calibrated advisor describes exactly the environment the
+//! workloads will run in — including the I/O-contention VM.
+
+use crate::perf::VmPerf;
+
+/// Average seconds to sequentially read one database page, measured by
+/// streaming `blocks` pages. (The block count only matters for realism
+/// of the measurement cost; the model is deterministic.)
+pub fn sequential_read_bench(perf: &VmPerf, blocks: u64) -> f64 {
+    debug_assert!(blocks > 0);
+    perf.seq_io_secs(blocks as f64) / blocks as f64
+}
+
+/// Average seconds to read one database page at a random offset.
+pub fn random_read_bench(perf: &VmPerf, blocks: u64) -> f64 {
+    debug_assert!(blocks > 0);
+    perf.rand_io_secs(blocks as f64) / blocks as f64
+}
+
+/// Average milliseconds to execute one abstract "instruction", measured
+/// by timing a loop of `instructions` instructions, each costing
+/// `cycles_per_instruction` cycles. This is the DB2 `cpuspeed`
+/// measurement program.
+pub fn cpu_speed_bench(perf: &VmPerf, instructions: u64, cycles_per_instruction: f64) -> f64 {
+    debug_assert!(instructions > 0);
+    let total_secs = perf.cpu_secs(instructions as f64 * cycles_per_instruction);
+    total_secs * 1e3 / instructions as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hypervisor::{Hypervisor, VmConfig};
+    use crate::machine::PhysicalMachine;
+
+    fn perf(cpu: f64, mem: f64) -> VmPerf {
+        let h = Hypervisor::new(PhysicalMachine::paper_testbed());
+        h.perf_for(VmConfig::new(cpu, mem).unwrap())
+    }
+
+    #[test]
+    fn sequential_bench_reports_page_time() {
+        let p = perf(0.5, 0.5);
+        let t = sequential_read_bench(&p, 10_000);
+        assert!((t - p.seq_page_secs).abs() < 1e-15);
+    }
+
+    #[test]
+    fn random_bench_reports_page_time() {
+        let p = perf(0.5, 0.5);
+        let t = random_read_bench(&p, 1_000);
+        assert!((t - p.rand_page_secs).abs() < 1e-15);
+    }
+
+    #[test]
+    fn cpu_bench_scales_inversely_with_share() {
+        let lo = cpu_speed_bench(&perf(0.25, 0.5), 1_000_000, 4.0);
+        let hi = cpu_speed_bench(&perf(0.75, 0.5), 1_000_000, 4.0);
+        assert!((lo / hi - 3.0).abs() < 1e-9, "{lo} vs {hi}");
+    }
+
+    #[test]
+    fn io_benches_independent_of_cpu_share() {
+        let a = random_read_bench(&perf(0.2, 0.5), 100);
+        let b = random_read_bench(&perf(0.9, 0.5), 100);
+        assert_eq!(a, b);
+    }
+}

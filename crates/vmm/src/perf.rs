@@ -1,0 +1,60 @@
+//! The performance view of one configured virtual machine.
+
+use serde::{Deserialize, Serialize};
+
+/// Effective performance characteristics of a VM as configured by the
+/// hypervisor: everything the simulated DBMS executor needs to turn
+/// plan work (cycles, page reads) into wall-clock seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VmPerf {
+    /// Effective CPU capacity in cycles per second
+    /// (= machine capacity × CPU share).
+    pub cpu_hz: f64,
+    /// Seconds per sequential page read, contention included.
+    pub seq_page_secs: f64,
+    /// Seconds per random page read, contention included.
+    pub rand_page_secs: f64,
+    /// Memory granted to the guest, MB.
+    pub memory_mb: f64,
+    /// Database page size in KiB (propagated from the machine).
+    pub page_kb: f64,
+}
+
+impl VmPerf {
+    /// Seconds to execute `cycles` CPU cycles on this VM.
+    #[inline]
+    pub fn cpu_secs(&self, cycles: f64) -> f64 {
+        cycles / self.cpu_hz
+    }
+
+    /// Seconds to read `pages` sequential pages.
+    #[inline]
+    pub fn seq_io_secs(&self, pages: f64) -> f64 {
+        pages * self.seq_page_secs
+    }
+
+    /// Seconds to read `pages` random pages.
+    #[inline]
+    pub fn rand_io_secs(&self, pages: f64) -> f64 {
+        pages * self.rand_page_secs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_helpers() {
+        let p = VmPerf {
+            cpu_hz: 1e9,
+            seq_page_secs: 1e-4,
+            rand_page_secs: 8e-3,
+            memory_mb: 512.0,
+            page_kb: 8.0,
+        };
+        assert!((p.cpu_secs(2e9) - 2.0).abs() < 1e-12);
+        assert!((p.seq_io_secs(10.0) - 1e-3).abs() < 1e-12);
+        assert!((p.rand_io_secs(10.0) - 0.08).abs() < 1e-12);
+    }
+}

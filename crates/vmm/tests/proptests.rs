@@ -1,0 +1,75 @@
+//! Property-based tests for the hypervisor model.
+
+use proptest::prelude::*;
+use vda_vmm::{
+    cpu_speed_bench, random_read_bench, sequential_read_bench, Hypervisor, PhysicalMachine,
+    VmConfig,
+};
+
+fn share() -> impl Strategy<Value = f64> {
+    0.01f64..=1.0
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// CPU capacity is exactly linear in the CPU share.
+    #[test]
+    fn cpu_linear_in_share(s1 in share(), s2 in share()) {
+        let hv = Hypervisor::new(PhysicalMachine::paper_testbed());
+        let p1 = hv.perf_for(VmConfig::new(s1, 0.5).expect("valid"));
+        let p2 = hv.perf_for(VmConfig::new(s2, 0.5).expect("valid"));
+        prop_assert!((p1.cpu_hz / p2.cpu_hz - s1 / s2).abs() < 1e-9);
+    }
+
+    /// Memory grants are exactly linear in the memory share and I/O
+    /// times are independent of both shares.
+    #[test]
+    fn memory_linear_io_invariant(c1 in share(), m1 in share(), c2 in share(), m2 in share()) {
+        let hv = Hypervisor::new(PhysicalMachine::paper_testbed());
+        let p1 = hv.perf_for(VmConfig::new(c1, m1).expect("valid"));
+        let p2 = hv.perf_for(VmConfig::new(c2, m2).expect("valid"));
+        prop_assert!((p1.memory_mb / p2.memory_mb - m1 / m2).abs() < 1e-9);
+        prop_assert_eq!(p1.seq_page_secs, p2.seq_page_secs);
+        prop_assert_eq!(p1.rand_page_secs, p2.rand_page_secs);
+    }
+
+    /// Admission control: any sequence of VM creations keeps total
+    /// committed shares at or below 1 per resource.
+    #[test]
+    fn admission_never_oversubscribes(shares in proptest::collection::vec((share(), share()), 1..8)) {
+        let mut hv = Hypervisor::new(PhysicalMachine::paper_testbed());
+        for (c, m) in shares {
+            let _ = hv.create_vm(VmConfig::new(c, m).expect("valid"));
+            let (tc, tm) = hv.committed_shares();
+            prop_assert!(tc <= 1.0 + 1e-9, "cpu oversubscribed: {tc}");
+            prop_assert!(tm <= 1.0 + 1e-9, "memory oversubscribed: {tm}");
+        }
+    }
+
+    /// Micro-benchmarks read the same timings the perf model exposes.
+    #[test]
+    fn microbenches_match_model(c in share(), m in share(), blocks in 1u64..100_000) {
+        let hv = Hypervisor::new(PhysicalMachine::paper_testbed());
+        let p = hv.perf_for(VmConfig::new(c, m).expect("valid"));
+        prop_assert!((sequential_read_bench(&p, blocks) - p.seq_page_secs).abs() < 1e-12);
+        prop_assert!((random_read_bench(&p, blocks) - p.rand_page_secs).abs() < 1e-12);
+        // cpuspeed in ms/instr at one cycle per instruction.
+        let ms = cpu_speed_bench(&p, 1_000_000, 1.0);
+        prop_assert!((ms - 1e3 / p.cpu_hz).abs() / ms < 1e-9);
+    }
+
+    /// Contention scales both I/O times by the same factor and leaves
+    /// CPU untouched.
+    #[test]
+    fn contention_uniform_on_io(c in share(), factor in 1.0f64..5.0) {
+        let quiet = Hypervisor::with_io_contention(PhysicalMachine::paper_testbed(), 1.0);
+        let noisy = Hypervisor::with_io_contention(PhysicalMachine::paper_testbed(), factor);
+        let cfg = VmConfig::new(c, 0.5).expect("valid");
+        let q = quiet.perf_for(cfg);
+        let n = noisy.perf_for(cfg);
+        prop_assert!((n.seq_page_secs / q.seq_page_secs - factor).abs() < 1e-9);
+        prop_assert!((n.rand_page_secs / q.rand_page_secs - factor).abs() < 1e-9);
+        prop_assert_eq!(q.cpu_hz, n.cpu_hz);
+    }
+}

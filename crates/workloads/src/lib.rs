@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! # vda-workloads
+//!
+//! Workload generators for the virtualization design advisor,
+//! reproducing the benchmark setup of Soror et al. §7.1:
+//!
+//! * [`tpch`] — a TPC-H-like decision-support schema (catalog builder
+//!   parameterized by scale factor) and the 22 query templates,
+//!   simplified syntactically but shaped so the paper's
+//!   classifications hold: Q18 is among the most CPU-intensive
+//!   queries, Q21 among the least; Q7 is memory-sensitive, Q16 is
+//!   not; Q17 is I/O-intensive; Q4 and Q18 lean on big sorts (the DB2
+//!   sort-heap experiments).
+//! * [`tpcc`] — a TPC-C-like OLTP schema and the five transaction
+//!   types, with warehouse/client scaling. OLTP statements carry a
+//!   concurrency level that drives simulated lock contention.
+//! * [`workload`] — the [`Workload`] type of §3: a set of SQL
+//!   statements with execution counts over a common monitoring
+//!   interval.
+//! * [`units`] — the paper's workload units: `C`/`I` (CPU-intensive /
+//!   non-intensive, §7.3), `B`/`D` (memory-sensitive / insensitive,
+//!   §7.4), with automatic count balancing so different units have
+//!   equal cost at full resource allocation.
+//! * [`random`] — seeded random workload mixes for the §7.6–7.9
+//!   experiments.
+
+pub mod random;
+pub mod tpcc;
+pub mod tpch;
+pub mod units;
+pub mod workload;
+
+pub use units::{balanced_pair, WorkloadUnit};
+pub use workload::{StatementKind, Workload, WorkloadStatement};

@@ -1,0 +1,119 @@
+//! Seeded random workload construction for the §7.6–7.9 experiments.
+
+use crate::tpch;
+use crate::workload::Workload;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic workload RNG.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// §7.6 first experiment: each workload is a random mix of 10–20
+/// units, where a unit is either one Q17 instance or `q18mod_copies`
+/// instances of the modified Q18 (the count making the two unit kinds
+/// equal at 100 % CPU — 66 in the paper's setup).
+pub fn tpch_random_workload(rng: &mut StdRng, index: usize, q18mod_copies: f64) -> Workload {
+    let units = rng.random_range(10..=20);
+    let mut w = Workload::new(format!("rand-tpch-{index}"));
+    let q17 = tpch::query(17);
+    let q18m = tpch::query18_modified();
+    for _ in 0..units {
+        if rng.random_bool(0.5) {
+            w.push(crate::workload::WorkloadStatement::dss(q17.clone(), 1.0));
+        } else {
+            w.push(crate::workload::WorkloadStatement::dss(
+                q18m.clone(),
+                q18mod_copies,
+            ));
+        }
+    }
+    w
+}
+
+/// §7.6 second/third experiments: a DSS workload of up to `max_queries`
+/// randomly chosen TPC-H queries.
+///
+/// Queries whose simulated runtimes are extreme outliers would let one
+/// statement dominate a whole random mix, so the draw is over the full
+/// 22-query set exactly as in the paper.
+pub fn random_tpch_queries(rng: &mut StdRng, index: usize, max_queries: usize) -> Workload {
+    let n = rng.random_range(1..=max_queries.max(1));
+    let mut w = Workload::new(format!("rand-dss-{index}"));
+    for _ in 0..n {
+        let q = rng.random_range(1..=22);
+        w.push(crate::workload::WorkloadStatement::dss(tpch::query(q), 1.0));
+    }
+    w
+}
+
+/// §7.9: workloads composed of a sort-heavy unit (Q4 + Q18, whose
+/// sort-spill behaviour DB2's optimizer underestimates) and a neutral
+/// unit (a mix of Q8, Q16, Q20), 10–20 units per workload. Each
+/// workload draws its own sort-heavy bias so the consolidated set
+/// spans memory appetites (some workloads are mostly sort-heavy,
+/// others mostly neutral — the situation where memory misallocation
+/// matters).
+pub fn sort_sensitive_workload(rng: &mut StdRng, index: usize) -> Workload {
+    let units = rng.random_range(10..=20);
+    let bias = rng.random_range(0.1..0.9);
+    let mut w = Workload::new(format!("rand-sort-{index}"));
+    for _ in 0..units {
+        if rng.random_bool(bias) {
+            w.push(crate::workload::WorkloadStatement::dss(tpch::query(4), 1.0));
+            w.push(crate::workload::WorkloadStatement::dss(tpch::query(18), 1.0));
+        } else {
+            w.push(crate::workload::WorkloadStatement::dss(tpch::query(8), 1.0));
+            w.push(crate::workload::WorkloadStatement::dss(tpch::query(16), 1.0));
+            w.push(crate::workload::WorkloadStatement::dss(tpch::query(20), 1.0));
+        }
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_are_deterministic_per_seed() {
+        let a = tpch_random_workload(&mut rng(7), 0, 66.0);
+        let b = tpch_random_workload(&mut rng(7), 0, 66.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = random_tpch_queries(&mut rng(1), 0, 40);
+        let b = random_tpch_queries(&mut rng(2), 0, 40);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn unit_counts_in_range() {
+        let q17 = tpch::query(17);
+        for seed in 0..20 {
+            let w = tpch_random_workload(&mut rng(seed), 0, 66.0);
+            let total_units: f64 = w
+                .statements
+                .iter()
+                .map(|s| if s.sql == q17 { s.count } else { s.count / 66.0 })
+                .sum();
+            assert!(
+                (10.0..=20.0).contains(&total_units.round()),
+                "units {total_units}"
+            );
+        }
+    }
+
+    #[test]
+    fn sort_workload_contains_anchor_queries() {
+        let w = sort_sensitive_workload(&mut rng(42), 0);
+        let has_q4_or_q8 = w
+            .statements
+            .iter()
+            .any(|s| s.sql == tpch::query(4) || s.sql == tpch::query(8));
+        assert!(has_q4_or_q8);
+    }
+}

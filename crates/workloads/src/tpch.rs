@@ -1,0 +1,431 @@
+//! TPC-H-like decision-support schema and query templates.
+//!
+//! The catalog mirrors the TPC-H row counts and widths at a given scale
+//! factor (SF1 ≈ 1 GB of raw data, SF10 ≈ 10 GB, matching the paper's
+//! two database sizes). The 22 query templates are syntactically
+//! simplified — the simulated engines parse a SQL subset — but each
+//! preserves the *resource profile* the paper relies on:
+//!
+//! | Query | Profile | Used by |
+//! |-------|---------|---------|
+//! | Q18   | most CPU-intensive (big joins, massive grouping) | C unit, §7.3; sort-heavy, §7.9 |
+//! | Q21   | least CPU-intensive (repeated full scans, light CPU) | I unit, §7.3 |
+//! | Q7    | memory-sensitive (huge spilling sort) | B unit, §7.4 |
+//! | Q16   | memory-insensitive (small group table) | D unit, §7.4 |
+//! | Q17   | I/O-intensive (index-probe storm) | motivating example |
+//! | Q4    | sort-heavy (million-group aggregate) | §7.9 |
+//!
+//! Selectivity hints (`/*+ sel p */`) pin predicate selectivities where
+//! the System-R heuristics would misshape a profile; the values match
+//! the actual TPC-H specification selectivities.
+
+use crate::workload::{Workload, WorkloadStatement};
+use vda_simdb::catalog::{table, Catalog, IndexDef};
+
+/// Build the TPC-H catalog at `sf` (scale factor; 1.0 ≈ 1 GB raw).
+pub fn catalog(sf: f64) -> Catalog {
+    assert!(sf > 0.0, "scale factor must be positive");
+    let mut c = Catalog::new();
+
+    c.add_table(table(
+        "region",
+        5.0,
+        120.0,
+        &[("r_regionkey", 5.0, 4.0), ("r_name", 5.0, 12.0)],
+    ));
+    c.add_table(table(
+        "nation",
+        25.0,
+        110.0,
+        &[
+            ("n_nationkey", 25.0, 4.0),
+            ("n_name", 25.0, 12.0),
+            ("n_regionkey", 5.0, 4.0),
+        ],
+    ));
+    c.add_table(table(
+        "supplier",
+        10_000.0 * sf,
+        160.0,
+        &[
+            ("s_suppkey", 10_000.0 * sf, 4.0),
+            ("s_name", 10_000.0 * sf, 18.0),
+            ("s_nationkey", 25.0, 4.0),
+            ("s_acctbal", 9_000.0 * sf, 8.0),
+        ],
+    ));
+    c.add_table(table(
+        "customer",
+        150_000.0 * sf,
+        180.0,
+        &[
+            ("c_custkey", 150_000.0 * sf, 4.0),
+            ("c_name", 150_000.0 * sf, 18.0),
+            ("c_nationkey", 25.0, 4.0),
+            ("c_mktsegment", 5.0, 10.0),
+            ("c_acctbal", 140_000.0 * sf, 8.0),
+            ("c_phone", 150_000.0 * sf, 15.0),
+        ],
+    ));
+    c.add_table(table(
+        "part",
+        200_000.0 * sf,
+        155.0,
+        &[
+            ("p_partkey", 200_000.0 * sf, 4.0),
+            ("p_name", 200_000.0 * sf, 32.0),
+            ("p_mfgr", 5.0, 25.0),
+            ("p_brand", 25.0, 10.0),
+            ("p_type", 150.0, 20.0),
+            ("p_size", 50.0, 4.0),
+            ("p_container", 40.0, 10.0),
+            ("p_retailprice", 100_000.0 * sf, 8.0),
+        ],
+    ));
+    c.add_table(table(
+        "partsupp",
+        800_000.0 * sf,
+        145.0,
+        &[
+            ("ps_partkey", 200_000.0 * sf, 4.0),
+            ("ps_suppkey", 10_000.0 * sf, 4.0),
+            ("ps_availqty", 10_000.0, 4.0),
+            ("ps_supplycost", 100_000.0, 8.0),
+        ],
+    ));
+    c.add_table(table(
+        "orders",
+        1_500_000.0 * sf,
+        120.0,
+        &[
+            ("o_orderkey", 1_500_000.0 * sf, 4.0),
+            ("o_custkey", 100_000.0 * sf, 4.0),
+            ("o_orderstatus", 3.0, 1.0),
+            ("o_totalprice", 1_400_000.0 * sf, 8.0),
+            ("o_orderdate", 2_406.0, 8.0),
+            ("o_orderpriority", 5.0, 15.0),
+            ("o_shippriority", 1.0, 4.0),
+        ],
+    ));
+    c.add_table(table(
+        "lineitem",
+        6_000_000.0 * sf,
+        140.0,
+        &[
+            ("l_orderkey", 1_500_000.0 * sf, 4.0),
+            ("l_partkey", 200_000.0 * sf, 4.0),
+            ("l_suppkey", 10_000.0 * sf, 4.0),
+            ("l_linenumber", 7.0, 4.0),
+            ("l_quantity", 50.0, 8.0),
+            ("l_extendedprice", 1_000_000.0 * sf, 8.0),
+            ("l_discount", 11.0, 8.0),
+            ("l_tax", 9.0, 8.0),
+            ("l_returnflag", 3.0, 1.0),
+            ("l_linestatus", 2.0, 1.0),
+            ("l_shipdate", 2_526.0, 8.0),
+            ("l_commitdate", 2_466.0, 8.0),
+            ("l_receiptdate", 2_554.0, 8.0),
+            ("l_shipmode", 7.0, 10.0),
+        ],
+    ));
+
+    for (name, tbl, col) in [
+        ("region_pk", "region", "r_regionkey"),
+        ("nation_pk", "nation", "n_nationkey"),
+        ("supplier_pk", "supplier", "s_suppkey"),
+        ("customer_pk", "customer", "c_custkey"),
+        ("part_pk", "part", "p_partkey"),
+        ("partsupp_pk", "partsupp", "ps_partkey"),
+        ("partsupp_sk", "partsupp", "ps_suppkey"),
+        ("orders_pk", "orders", "o_orderkey"),
+        ("orders_ck", "orders", "o_custkey"),
+        ("lineitem_ok", "lineitem", "l_orderkey"),
+        ("lineitem_pk2", "lineitem", "l_partkey"),
+    ] {
+        c.add_index(IndexDef {
+            name: name.into(),
+            table: tbl.into(),
+            column: col.into(),
+        })
+        .expect("static index definitions are valid");
+    }
+    c
+}
+
+/// SQL text of TPC-H-like query `n` (1–22).
+///
+/// # Panics
+///
+/// Panics if `n` is outside 1..=22.
+pub fn query(n: usize) -> String {
+    match n {
+        // Pricing summary: one full lineitem pass, aggregate-heavy.
+        1 => "SELECT l_returnflag, l_linestatus, sum(l_quantity), sum(l_extendedprice), \
+              sum(l_extendedprice * l_discount), avg(l_quantity), avg(l_extendedprice), count(*) \
+              FROM lineitem WHERE l_shipdate <= '1998-09-02' /*+ sel 0.97 */ \
+              GROUP BY l_returnflag, l_linestatus ORDER BY l_returnflag"
+            .into(),
+        // Minimum-cost supplier: correlated min() subquery per part.
+        2 => "SELECT s.s_name, p.p_partkey FROM part p, partsupp ps, supplier s, nation n \
+              WHERE p.p_partkey = ps.ps_partkey AND ps.ps_suppkey = s.s_suppkey \
+              AND s.s_nationkey = n.n_nationkey AND p.p_size = 15 \
+              AND ps.ps_supplycost <= (SELECT min(ps2.ps_supplycost) FROM partsupp ps2 \
+                                       WHERE ps2.ps_partkey = p.p_partkey) \
+              ORDER BY s.s_name LIMIT 100"
+            .into(),
+        // Shipping priority: 3-way join, large grouping.
+        3 => "SELECT l.l_orderkey, sum(l.l_extendedprice), o.o_shippriority \
+              FROM customer c, orders o, lineitem l \
+              WHERE c.c_custkey = o.o_custkey AND l.l_orderkey = o.o_orderkey \
+              AND c.c_mktsegment = 'BUILDING' AND o.o_orderdate < '1995-03-15' /*+ sel 0.48 */ \
+              GROUP BY l.l_orderkey, o.o_shippriority ORDER BY l.l_orderkey LIMIT 10"
+            .into(),
+        // Order priority check: semi-join plus a million-group sort —
+        // the §7.9 sort-heavy profile.
+        4 => "SELECT o_orderkey, count(*) FROM orders \
+              WHERE o_orderdate >= '1993-07-01' /*+ sel 0.38 */ \
+              AND o_orderkey IN (SELECT l_orderkey FROM lineitem \
+                                 WHERE l_commitdate < l_receiptdate /*+ sel 0.5 */) \
+              GROUP BY o_orderkey ORDER BY o_orderkey LIMIT 10"
+            .into(),
+        // Local supplier volume: 6-way join, small grouping.
+        5 => "SELECT n.n_name, sum(l.l_extendedprice) \
+              FROM customer c, orders o, lineitem l, supplier s, nation n, region r \
+              WHERE c.c_custkey = o.o_custkey AND l.l_orderkey = o.o_orderkey \
+              AND l.l_suppkey = s.s_suppkey AND c.c_nationkey = s.s_nationkey \
+              AND s.s_nationkey = n.n_nationkey AND n.n_regionkey = r.r_regionkey \
+              AND r.r_name = 'ASIA' AND o.o_orderdate >= '1994-01-01' /*+ sel 0.15 */ \
+              GROUP BY n.n_name ORDER BY n.n_name"
+            .into(),
+        // Forecasting revenue change: pure scan, almost no CPU.
+        6 => "SELECT sum(l_extendedprice * l_discount) FROM lineitem \
+              WHERE l_shipdate >= '1994-01-01' /*+ sel 0.15 */ \
+              AND l_discount BETWEEN 0.05 AND 0.07 /*+ sel 0.27 */ \
+              AND l_quantity < 24 /*+ sel 0.47 */"
+            .into(),
+        // Volume shipping: wide join with a huge spilling aggregation —
+        // the §7.4 memory-sensitive profile (B unit).
+        7 => "SELECT s.s_name, o.o_orderdate, sum(l.l_extendedprice), sum(l.l_quantity), \
+              sum(l.l_discount), sum(l.l_tax), avg(l.l_extendedprice) \
+              FROM supplier s, lineitem l, orders o \
+              WHERE s.s_suppkey = l.l_suppkey AND o.o_orderkey = l.l_orderkey \
+              AND l.l_shipdate BETWEEN '1995-01-01' AND '1996-12-31' /*+ sel 0.31 */ \
+              GROUP BY s.s_name, o.o_orderdate ORDER BY s.s_name, o.o_orderdate"
+            .into(),
+        // National market share: 7-way join, light grouping.
+        8 => "SELECT o.o_orderdate, sum(l.l_extendedprice) \
+              FROM part p, supplier s, lineitem l, orders o, customer c, nation n, region r \
+              WHERE p.p_partkey = l.l_partkey AND s.s_suppkey = l.l_suppkey \
+              AND l.l_orderkey = o.o_orderkey AND o.o_custkey = c.c_custkey \
+              AND c.c_nationkey = n.n_nationkey AND n.n_regionkey = r.r_regionkey \
+              AND r.r_name = 'AMERICA' AND p.p_type = 'ECONOMY ANODIZED STEEL' \
+              AND o.o_orderdate BETWEEN '1995-01-01' AND '1996-12-31' /*+ sel 0.3 */ \
+              GROUP BY o.o_orderdate ORDER BY o.o_orderdate"
+            .into(),
+        // Product type profit: 5-way join, moderate grouping.
+        9 => "SELECT n.n_name, o.o_orderdate, sum(l.l_extendedprice - ps.ps_supplycost) \
+              FROM part p, supplier s, lineitem l, partsupp ps, orders o, nation n \
+              WHERE s.s_suppkey = l.l_suppkey AND ps.ps_suppkey = l.l_suppkey \
+              AND ps.ps_partkey = l.l_partkey AND p.p_partkey = l.l_partkey \
+              AND o.o_orderkey = l.l_orderkey AND s.s_nationkey = n.n_nationkey \
+              AND p.p_name LIKE 'green%' /*+ sel 0.05 */ \
+              GROUP BY n.n_name, o.o_orderdate ORDER BY n.n_name"
+            .into(),
+        // Returned item reporting: customer-level grouping.
+        10 => "SELECT c.c_custkey, c.c_name, sum(l.l_extendedprice) \
+               FROM customer c, orders o, lineitem l, nation n \
+               WHERE c.c_custkey = o.o_custkey AND l.l_orderkey = o.o_orderkey \
+               AND o.o_orderdate >= '1993-10-01' /*+ sel 0.25 */ \
+               AND l.l_returnflag = 'R' AND c.c_nationkey = n.n_nationkey \
+               GROUP BY c.c_custkey, c.c_name ORDER BY c.c_custkey LIMIT 20"
+            .into(),
+        // Important stock identification: grouped partsupp with a
+        // global-threshold scalar subquery.
+        11 => "SELECT ps.ps_partkey, sum(ps.ps_supplycost * ps.ps_availqty) \
+               FROM partsupp ps, supplier s, nation n \
+               WHERE ps.ps_suppkey = s.s_suppkey AND s.s_nationkey = n.n_nationkey \
+               AND n.n_name = 'GERMANY' \
+               GROUP BY ps.ps_partkey \
+               HAVING sum(ps.ps_supplycost * ps.ps_availqty) > \
+                      (SELECT sum(ps2.ps_supplycost) FROM partsupp ps2) \
+               ORDER BY ps.ps_partkey LIMIT 100"
+            .into(),
+        // Shipping modes: two-way join, tiny grouping.
+        12 => "SELECT l.l_shipmode, count(*) FROM orders o, lineitem l \
+               WHERE o.o_orderkey = l.l_orderkey AND l.l_shipmode IN ('MAIL', 'SHIP') \
+               AND l.l_receiptdate >= '1994-01-01' /*+ sel 0.15 */ \
+               GROUP BY l.l_shipmode ORDER BY l.l_shipmode"
+            .into(),
+        // Customer distribution: count orders per customer.
+        13 => "SELECT c.c_custkey, count(*) FROM customer c, orders o \
+               WHERE c.c_custkey = o.o_custkey \
+               GROUP BY c.c_custkey ORDER BY c.c_custkey LIMIT 100"
+            .into(),
+        // Promotion effect: scan join with arithmetic.
+        14 => "SELECT sum(l.l_extendedprice * l.l_discount) FROM lineitem l, part p \
+               WHERE l.l_partkey = p.p_partkey \
+               AND l.l_shipdate >= '1995-09-01' /*+ sel 0.0125 */"
+            .into(),
+        // Top supplier (revenue view folded in).
+        15 => "SELECT l_suppkey, sum(l_extendedprice) FROM lineitem \
+               WHERE l_shipdate >= '1996-01-01' /*+ sel 0.25 */ \
+               GROUP BY l_suppkey ORDER BY l_suppkey LIMIT 100"
+            .into(),
+        // Parts/supplier relationship: small tables, small group table
+        // — the §7.4 memory-INsensitive profile (D unit).
+        16 => "SELECT p.p_brand, p.p_type, p.p_size, count(ps.ps_suppkey) \
+               FROM partsupp ps, part p \
+               WHERE p.p_partkey = ps.ps_partkey AND p.p_brand <> 'Brand#45' \
+               AND p.p_size IN (1, 4, 7) /*+ sel 0.06 */ \
+               GROUP BY p.p_brand, p.p_type, p.p_size ORDER BY p.p_brand LIMIT 100"
+            .into(),
+        // Small-quantity-order revenue: index-probe storm through the
+        // correlated avg() subquery — the I/O-intensive profile of the
+        // motivating example.
+        17 => "SELECT sum(l.l_extendedprice) FROM lineitem l, part p \
+               WHERE p.p_partkey = l.l_partkey AND p.p_brand = 'Brand#23' \
+               AND p.p_container = 'MED BOX' \
+               AND l.l_quantity < (SELECT avg(l2.l_quantity) FROM lineitem l2 \
+                                   WHERE l2.l_partkey = p.p_partkey)"
+            .into(),
+        // Large-volume customer: the most CPU-intensive profile —
+        // a big semi-join whose aggregate arithmetic touches every
+        // lineitem row, feeding a three-way join with massive grouping
+        // (C unit; also sort-heavy for §7.9).
+        18 => "SELECT c.c_name, o.o_orderkey, sum(l.l_quantity), avg(l.l_extendedprice), \
+               count(*) \
+               FROM customer c, orders o, lineitem l \
+               WHERE o.o_orderkey IN (SELECT l2.l_orderkey FROM lineitem l2 \
+                                      GROUP BY l2.l_orderkey \
+                                      HAVING sum(l2.l_quantity * 1.01 + 0.5) > 300 \
+                                      AND avg(l2.l_extendedprice * 0.98 - 1.0) > 0.0 \
+                                      AND max(l2.l_discount * 2.0) > 0.0) /*+ sel 0.01 */ \
+               AND c.c_custkey = o.o_custkey AND o.o_orderkey = l.l_orderkey \
+               GROUP BY c.c_name, o.o_orderkey ORDER BY o.o_orderkey LIMIT 100"
+            .into(),
+        // Discounted revenue: OR-heavy predicates, CPU on evaluation.
+        19 => "SELECT sum(l.l_extendedprice * l.l_discount) FROM lineitem l, part p \
+               WHERE p.p_partkey = l.l_partkey \
+               AND (p.p_container = 'SM CASE' OR p.p_container = 'MED BAG' \
+                    OR p.p_container = 'LG BOX') \
+               AND l.l_quantity BETWEEN 1 AND 11 /*+ sel 0.2 */"
+            .into(),
+        // Potential part promotion: nested uncorrelated IN subqueries.
+        20 => "SELECT s.s_name FROM supplier s, nation n \
+               WHERE s.s_nationkey = n.n_nationkey AND n.n_name = 'CANADA' \
+               AND s.s_suppkey IN (SELECT ps.ps_suppkey FROM partsupp ps \
+                                   WHERE ps.ps_partkey IN \
+                                         (SELECT p.p_partkey FROM part p \
+                                          WHERE p.p_name LIKE 'forest%' /*+ sel 0.01 */)) \
+               ORDER BY s.s_name"
+            .into(),
+        // Suppliers who kept orders waiting: a random-probe storm — two
+        // correlated existence checks per qualifying lineitem row, each
+        // an index probe into lineitem. Long, disk-seek-bound, and
+        // almost insensitive to CPU: the least CPU-intensive profile
+        // (I unit).
+        21 => "SELECT s.s_name, count(*) FROM supplier s, lineitem l1, orders o \
+               WHERE s.s_suppkey = l1.l_suppkey AND o.o_orderkey = l1.l_orderkey \
+               AND o.o_orderstatus = 'F' /*+ sel 0.49 */ \
+               AND l1.l_shipdate >= '1998-11-25' /*+ sel 0.001 */ \
+               AND EXISTS (SELECT * FROM lineitem l2 WHERE l2.l_orderkey = l1.l_orderkey \
+                           AND l2.l_suppkey <> l1.l_suppkey) \
+               AND NOT EXISTS (SELECT * FROM lineitem l3 WHERE l3.l_orderkey = l1.l_orderkey \
+                               AND l3.l_receiptdate > l3.l_commitdate /*+ sel 0.25 */) \
+               GROUP BY s.s_name ORDER BY s.s_name LIMIT 100"
+            .into(),
+        // Global sales opportunity: anti-join via NOT IN.
+        22 => "SELECT c.c_nationkey, count(*), sum(c.c_acctbal) FROM customer c \
+               WHERE c.c_acctbal > 0.0 /*+ sel 0.2 */ \
+               AND c.c_custkey NOT IN (SELECT o.o_custkey FROM orders o) \
+               GROUP BY c.c_nationkey ORDER BY c.c_nationkey"
+            .into(),
+        other => panic!("TPC-H defines queries 1..=22, got {other}"),
+    }
+}
+
+/// The modified Q18 of §7.6: an extra predicate inside the subquery so
+/// the query "touches less data, and therefore spends less time waiting
+/// for I/O".
+pub fn query18_modified() -> String {
+    "SELECT c.c_name, o.o_orderkey, sum(l.l_quantity) \
+     FROM customer c, orders o, lineitem l \
+     WHERE o.o_orderkey IN (SELECT l2.l_orderkey FROM lineitem l2 \
+                            WHERE l2.l_shipdate >= '1997-06-01' /*+ sel 0.05 */ \
+                            GROUP BY l2.l_orderkey \
+                            HAVING sum(l2.l_quantity) > 100) /*+ sel 0.01 */ \
+     AND c.c_custkey = o.o_custkey AND o.o_orderkey = l.l_orderkey \
+     GROUP BY c.c_name, o.o_orderkey ORDER BY o.o_orderkey LIMIT 100"
+        .into()
+}
+
+/// A workload of `count` back-to-back instances of query `n`.
+pub fn query_workload(n: usize, count: f64) -> Workload {
+    let mut w = Workload::new(format!("{count:.0}xQ{n}"));
+    w.push(WorkloadStatement::dss(query(n), count));
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vda_simdb::bind::bind_statement;
+
+    #[test]
+    fn catalog_scales_with_sf() {
+        let c1 = catalog(1.0);
+        let c10 = catalog(10.0);
+        let l1 = c1.table("lineitem").unwrap();
+        let l10 = c10.table("lineitem").unwrap();
+        assert_eq!(l1.rows, 6_000_000.0);
+        assert_eq!(l10.rows, 60_000_000.0);
+        assert!((l10.pages() / l1.pages() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_queries_parse_and_bind() {
+        let c = catalog(1.0);
+        for n in 1..=22 {
+            let sql = query(n);
+            let bound = bind_statement(&sql, &c)
+                .unwrap_or_else(|e| panic!("Q{n} failed to bind: {e}\n{sql}"));
+            assert!(!bound.is_write(), "Q{n} must be read-only");
+        }
+        bind_statement(&query18_modified(), &c).expect("modified Q18 binds");
+    }
+
+    #[test]
+    #[should_panic(expected = "queries 1..=22")]
+    fn rejects_unknown_query_number() {
+        let _ = query(23);
+    }
+
+    #[test]
+    fn q17_is_correlated() {
+        let c = catalog(1.0);
+        let b = bind_statement(&query(17), &c).unwrap();
+        assert_eq!(b.subplans.len(), 1);
+        assert!(matches!(
+            b.subplans[0].executions,
+            vda_simdb::bind::Executions::PerOuterRow { .. }
+        ));
+    }
+
+    #[test]
+    fn q18_subquery_is_uncorrelated() {
+        let c = catalog(1.0);
+        let b = bind_statement(&query(18), &c).unwrap();
+        assert_eq!(b.subplans.len(), 1);
+        assert!(matches!(
+            b.subplans[0].executions,
+            vda_simdb::bind::Executions::Once
+        ));
+    }
+
+    #[test]
+    fn query_workload_counts() {
+        let w = query_workload(18, 25.0);
+        assert_eq!(w.total_statements(), 25.0);
+        assert_eq!(w.statements.len(), 1);
+    }
+}

@@ -1,0 +1,155 @@
+//! The paper's composable workload units.
+//!
+//! §7.3 builds CPU-sensitivity workloads from a CPU-intensive unit `C`
+//! (multiple instances of Q18) and a non-CPU-intensive unit `I` (one
+//! instance of Q21), where the instance counts are chosen so that the
+//! two units have *the same completion time at 100 % allocation* —
+//! otherwise the advisor would simply give more resources to the
+//! longer workload and the experiment would not isolate resource
+//! *sensitivity* from workload *length*. §7.4 does the same with a
+//! memory-sensitive unit `B` (one Q7) and an insensitive unit `D`
+//! (many Q16).
+//!
+//! [`balanced_pair`] reproduces that construction for any two anchor
+//! queries given a cost oracle (the caller supplies estimated or
+//! measured cost at full allocation).
+
+use crate::tpch;
+use crate::workload::Workload;
+
+/// A reusable workload unit: a base workload merged `k` times into
+/// composites like `5C + 5I`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadUnit {
+    /// Unit label (`"C"`, `"I"`, `"B"`, `"D"`).
+    pub label: String,
+    /// The statements of one unit instance.
+    pub workload: Workload,
+}
+
+impl WorkloadUnit {
+    /// Define a unit.
+    pub fn new(label: impl Into<String>, workload: Workload) -> Self {
+        WorkloadUnit {
+            label: label.into(),
+            workload,
+        }
+    }
+
+    /// Compose `k_self` copies of this unit with `k_other` copies of
+    /// `other` into one workload named like `"3C+7I"`.
+    pub fn compose(&self, k_self: f64, other: &WorkloadUnit, k_other: f64) -> Workload {
+        let mut w = Workload::new(format!(
+            "{}{}+{}{}",
+            k_self, self.label, k_other, other.label
+        ));
+        if k_self > 0.0 {
+            w.merge_scaled(&self.workload, k_self);
+        }
+        if k_other > 0.0 {
+            w.merge_scaled(&other.workload, k_other);
+        }
+        w
+    }
+
+    /// `k` copies of this unit alone.
+    pub fn times(&self, k: f64) -> Workload {
+        let mut w = Workload::new(format!("{}{}", k, self.label));
+        w.merge_scaled(&self.workload, k);
+        w
+    }
+}
+
+/// Build a balanced unit pair from two anchor queries: the costlier
+/// query becomes a one-instance unit and the other query's instance
+/// count is chosen so both units have equal cost under `cost_at_full` —
+/// a callback returning the cost of a workload at 100 % resource
+/// allocation, mirroring the paper's "scaled to have the same
+/// completion time when running with 100 % of the available
+/// resources". Counts may be fractional: a count is an execution
+/// frequency over the monitoring interval, not an integer loop bound.
+///
+/// Returns the units in `(first, second)` query order — e.g.
+/// `(I = 1×Q21, C = k×Q18)` for §7.3 and `(B = 1×Q7, D = k×Q16)` for
+/// §7.4.
+pub fn balanced_pair(
+    first_query: usize,
+    first_label: &str,
+    second_query: usize,
+    second_label: &str,
+    cost_at_full: &mut dyn FnMut(&Workload) -> f64,
+) -> (WorkloadUnit, WorkloadUnit) {
+    let first_cost = cost_at_full(&tpch::query_workload(first_query, 1.0));
+    let second_cost = cost_at_full(&tpch::query_workload(second_query, 1.0));
+    assert!(
+        first_cost.is_finite()
+            && second_cost.is_finite()
+            && first_cost > 0.0
+            && second_cost > 0.0,
+        "cost oracle returned unusable costs: first={first_cost}, second={second_cost}"
+    );
+    let (first_count, second_count) = if first_cost >= second_cost {
+        (1.0, first_cost / second_cost)
+    } else {
+        (second_cost / first_cost, 1.0)
+    };
+    (
+        WorkloadUnit::new(first_label, tpch::query_workload(first_query, first_count)),
+        WorkloadUnit::new(
+            second_label,
+            tpch::query_workload(second_query, second_count),
+        ),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::WorkloadStatement;
+
+    fn unit(label: &str, sql: &str, count: f64) -> WorkloadUnit {
+        let mut w = Workload::new(label);
+        w.push(WorkloadStatement::dss(sql, count));
+        WorkloadUnit::new(label, w)
+    }
+
+    #[test]
+    fn compose_scales_both_sides() {
+        let c = unit("C", "SELECT 1", 25.0);
+        let i = unit("I", "SELECT 2", 1.0);
+        let w = c.compose(3.0, &i, 7.0);
+        assert_eq!(w.name, "3C+7I");
+        assert_eq!(w.total_statements(), 3.0 * 25.0 + 7.0);
+    }
+
+    #[test]
+    fn times_repeats_unit() {
+        let c = unit("C", "SELECT 1", 2.0);
+        assert_eq!(c.times(5.0).total_statements(), 10.0);
+    }
+
+    #[test]
+    fn balanced_pair_equalizes_costs() {
+        // Cost oracle: Q21 instance costs 25, Q18 instance costs 1.
+        let mut cost = |w: &Workload| -> f64 {
+            w.statements
+                .iter()
+                .map(|s| {
+                    let per = if s.sql == crate::tpch::query(21) { 25.0 } else { 1.0 };
+                    per * s.count
+                })
+                .sum()
+        };
+        let (i_unit, c_unit) = balanced_pair(21, "I", 18, "C", &mut cost);
+        assert_eq!(cost(&i_unit.workload), 25.0);
+        assert_eq!(cost(&c_unit.workload), 25.0);
+        assert_eq!(c_unit.workload.total_statements(), 25.0);
+    }
+
+    #[test]
+    fn balanced_pair_floors_at_one_instance() {
+        let mut cost = |_: &Workload| 1.0;
+        let (_, light) = balanced_pair(21, "I", 18, "C", &mut cost);
+        assert_eq!(light.workload.total_statements(), 1.0);
+    }
+}

@@ -1,0 +1,177 @@
+//! The workload abstraction of §3.
+//!
+//! A workload is "a set of SQL statements, possibly with a frequency of
+//! occurrence for each statement", collected over a fixed monitoring
+//! interval common to all consolidated workloads — so a *longer*
+//! workload represents a *higher arrival rate*, not a longer
+//! observation window.
+
+use serde::{Deserialize, Serialize};
+
+/// Broad class of a statement, used for reporting and for executor
+/// context defaults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StatementKind {
+    /// Decision-support (read-mostly analytical) statement.
+    Dss,
+    /// OLTP statement (short transactions, possibly writing, issued by
+    /// many concurrent clients).
+    Oltp,
+}
+
+/// One SQL statement with its frequency in the monitoring interval.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadStatement {
+    /// SQL text (parsed/bound lazily by consumers against the
+    /// tenant's catalog).
+    pub sql: String,
+    /// Executions during the monitoring interval.
+    pub count: f64,
+    /// Concurrent clients issuing this statement (drives simulated
+    /// lock contention; 1 for DSS streams).
+    pub concurrency: f64,
+    /// Statement class.
+    pub kind: StatementKind,
+}
+
+impl WorkloadStatement {
+    /// A single-stream DSS statement executed `count` times.
+    pub fn dss(sql: impl Into<String>, count: f64) -> Self {
+        WorkloadStatement {
+            sql: sql.into(),
+            count,
+            concurrency: 1.0,
+            kind: StatementKind::Dss,
+        }
+    }
+
+    /// An OLTP statement executed `count` times by `concurrency`
+    /// clients.
+    pub fn oltp(sql: impl Into<String>, count: f64, concurrency: f64) -> Self {
+        WorkloadStatement {
+            sql: sql.into(),
+            count,
+            concurrency,
+            kind: StatementKind::Oltp,
+        }
+    }
+}
+
+/// A named set of statements observed in one monitoring interval.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Workload {
+    /// Display name (e.g. `"5C+5I"` or `"tpcc-4wh"`).
+    pub name: String,
+    /// The statements with frequencies.
+    pub statements: Vec<WorkloadStatement>,
+}
+
+impl Workload {
+    /// An empty workload with a name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Workload {
+            name: name.into(),
+            statements: Vec::new(),
+        }
+    }
+
+    /// Append a statement (merging counts if identical SQL at the same
+    /// concurrency already exists).
+    pub fn push(&mut self, stmt: WorkloadStatement) -> &mut Self {
+        if let Some(existing) = self
+            .statements
+            .iter_mut()
+            .find(|s| s.sql == stmt.sql && s.concurrency == stmt.concurrency && s.kind == stmt.kind)
+        {
+            existing.count += stmt.count;
+        } else {
+            self.statements.push(stmt);
+        }
+        self
+    }
+
+    /// Merge another workload into this one, scaling its counts by
+    /// `factor` (used to compose `k` units).
+    pub fn merge_scaled(&mut self, other: &Workload, factor: f64) -> &mut Self {
+        for s in &other.statements {
+            let mut s = s.clone();
+            s.count *= factor;
+            self.push(s);
+        }
+        self
+    }
+
+    /// Multiply every statement count by `factor` (workload-intensity
+    /// changes in the dynamic experiments).
+    pub fn scale(&mut self, factor: f64) -> &mut Self {
+        for s in &mut self.statements {
+            s.count *= factor;
+        }
+        self
+    }
+
+    /// Total statement executions in the interval.
+    pub fn total_statements(&self) -> f64 {
+        self.statements.iter().map(|s| s.count).sum()
+    }
+
+    /// Whether any statement writes (used to pick executor defaults).
+    pub fn has_oltp(&self) -> bool {
+        self.statements.iter().any(|s| s.kind == StatementKind::Oltp)
+    }
+
+    /// Builder-style rename.
+    #[must_use]
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_merges_identical_statements() {
+        let mut w = Workload::new("t");
+        w.push(WorkloadStatement::dss("SELECT 1", 2.0));
+        w.push(WorkloadStatement::dss("SELECT 1", 3.0));
+        assert_eq!(w.statements.len(), 1);
+        assert_eq!(w.statements[0].count, 5.0);
+    }
+
+    #[test]
+    fn push_keeps_distinct_concurrency_separate() {
+        let mut w = Workload::new("t");
+        w.push(WorkloadStatement::oltp("UPDATE x SET a = 1", 1.0, 5.0));
+        w.push(WorkloadStatement::oltp("UPDATE x SET a = 1", 1.0, 10.0));
+        assert_eq!(w.statements.len(), 2);
+    }
+
+    #[test]
+    fn merge_scaled_multiplies_counts() {
+        let mut unit = Workload::new("unit");
+        unit.push(WorkloadStatement::dss("SELECT 1", 2.0));
+        let mut w = Workload::new("w");
+        w.merge_scaled(&unit, 5.0);
+        assert_eq!(w.total_statements(), 10.0);
+    }
+
+    #[test]
+    fn scale_changes_intensity() {
+        let mut w = Workload::new("w");
+        w.push(WorkloadStatement::dss("SELECT 1", 4.0));
+        w.scale(1.5);
+        assert_eq!(w.total_statements(), 6.0);
+    }
+
+    #[test]
+    fn oltp_detection() {
+        let mut w = Workload::new("w");
+        w.push(WorkloadStatement::dss("SELECT 1", 1.0));
+        assert!(!w.has_oltp());
+        w.push(WorkloadStatement::oltp("UPDATE t SET a = 1", 1.0, 8.0));
+        assert!(w.has_oltp());
+    }
+}

@@ -1,0 +1,119 @@
+//! Server consolidation: a hosting provider packs six heterogeneous
+//! database tenants — OLTP and DSS, PostgreSQL-like and DB2-like —
+//! onto one physical machine and lets the advisor divide CPU *and*
+//! memory (§7.7's scenario, on a realistic mixed fleet).
+//!
+//! ```text
+//! cargo run --release --example consolidation
+//! ```
+
+use vda::core::problem::{QoS, SearchSpace};
+use vda::core::refine::RefineOptions;
+use vda::core::tenant::Tenant;
+use vda::core::VirtualizationDesignAdvisor;
+use vda::simdb::engines::Engine;
+use vda::vmm::{Hypervisor, PhysicalMachine};
+use vda::workloads::{tpcc, tpch, Workload, WorkloadStatement};
+
+fn dss_mix(name: &str, queries: &[(usize, f64)]) -> Workload {
+    let mut w = Workload::new(name);
+    for &(q, count) in queries {
+        w.push(WorkloadStatement::dss(tpch::query(q), count));
+    }
+    w
+}
+
+fn main() {
+    let hv = Hypervisor::new(PhysicalMachine::paper_testbed());
+    let mut advisor = VirtualizationDesignAdvisor::new(hv);
+
+    let sf1 = tpch::catalog(1.0);
+    let wh10 = tpcc::catalog(10);
+
+    // Three DSS tenants with different appetites.
+    advisor.add_tenant(
+        Tenant::new(
+            "bi-dashboard",
+            Engine::pg(),
+            sf1.clone(),
+            dss_mix("bi", &[(1, 2.0), (6, 4.0), (12, 2.0)]),
+        )
+        .expect("binds"),
+        QoS::default(),
+    );
+    advisor.add_tenant(
+        Tenant::new(
+            "adhoc-analytics",
+            Engine::db2(),
+            sf1.clone(),
+            dss_mix("adhoc", &[(18, 2.0), (3, 2.0), (7, 1.0)]),
+        )
+        .expect("binds"),
+        QoS::default(),
+    );
+    advisor.add_tenant(
+        Tenant::new(
+            "nightly-reports",
+            Engine::pg(),
+            sf1,
+            dss_mix("nightly", &[(13, 4.0), (16, 6.0), (22, 4.0)]),
+        )
+        .expect("binds"),
+        QoS::default(),
+    );
+
+    // Three OLTP tenants of different sizes; the busiest gets a
+    // degradation limit so consolidation cannot crush it.
+    for (name, wh, clients, qos) in [
+        ("orders-eu", 6u32, 8u32, QoS::with_limit(3.0)),
+        ("orders-us", 4, 6, QoS::default()),
+        ("orders-apac", 2, 5, QoS::default()),
+    ] {
+        advisor.add_tenant(
+            Tenant::new(
+                name,
+                Engine::db2(),
+                wh10.clone(),
+                tpcc::workload(wh, clients, 20.0),
+            )
+            .expect("binds"),
+            qos,
+        );
+    }
+
+    advisor.calibrate();
+
+    let space = SearchSpace::cpu_and_memory();
+    let rec = advisor.recommend(&space);
+
+    println!("{:<18} {:>6} {:>8}", "tenant", "cpu", "memory");
+    for (i, alloc) in rec.result.allocations.iter().enumerate() {
+        println!(
+            "{:<18} {:>5.0}% {:>7.0}%",
+            advisor.tenant(i).name,
+            alloc.cpu * 100.0,
+            alloc.memory * 100.0
+        );
+    }
+    println!(
+        "\ndegradation limits satisfied: {:?}",
+        rec.result.limits_met
+    );
+    println!(
+        "actual improvement over equal shares: {:+.1}%",
+        advisor.actual_improvement(&space, &rec.result.allocations) * 100.0
+    );
+
+    // Online refinement (§5): observe the deployed configuration and
+    // correct the optimizer's OLTP blind spots.
+    let (outcome, _) = advisor.refine_recommendation(
+        &space,
+        &rec.result.allocations,
+        &RefineOptions::default(),
+    );
+    println!(
+        "after {} refinement iteration(s): {:+.1}%",
+        outcome.iterations,
+        advisor.actual_improvement(&space, &outcome.final_allocations) * 100.0
+    );
+}

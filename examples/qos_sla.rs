@@ -1,0 +1,84 @@
+//! QoS controls: degradation limits and benefit gain factors (§4.6).
+//!
+//! Five identical tenants share a machine. A naive advisor would give
+//! each 20 % of the CPU. This example shows the two levers a hosting
+//! provider has:
+//!
+//! * a **degradation limit** `L_i` caps how much slower a premium
+//!   tenant may get relative to owning the whole machine;
+//! * a **gain factor** `G_i` makes a tenant's seconds count more in
+//!   the objective, pulling resources toward it.
+//!
+//! ```text
+//! cargo run --release --example qos_sla
+//! ```
+
+use vda::core::problem::{QoS, SearchSpace};
+use vda::core::tenant::Tenant;
+use vda::core::VirtualizationDesignAdvisor;
+use vda::simdb::engines::Engine;
+use vda::vmm::{Hypervisor, PhysicalMachine};
+use vda::workloads::tpch;
+
+fn build_advisor(qos: Vec<QoS>) -> VirtualizationDesignAdvisor {
+    let hv = Hypervisor::new(PhysicalMachine::paper_testbed());
+    let mut advisor = VirtualizationDesignAdvisor::new(hv);
+    let catalog = tpch::catalog(1.0);
+    for (i, q) in qos.into_iter().enumerate() {
+        advisor.add_tenant(
+            Tenant::new(
+                format!("tenant-{i}"),
+                Engine::db2(),
+                catalog.clone(),
+                tpch::query_workload(18, 2.0),
+            )
+            .expect("binds"),
+            q,
+        );
+    }
+    advisor.calibrate();
+    advisor
+}
+
+fn show(title: &str, advisor: &VirtualizationDesignAdvisor, space: &SearchSpace) {
+    let rec = advisor.recommend(space);
+    println!("{title}");
+    for (i, alloc) in rec.result.allocations.iter().enumerate() {
+        let solo = advisor.estimator(i).cost(space.solo_allocation());
+        println!(
+            "  tenant-{i}: {:>3.0}% CPU, degradation {:.2}x (limit met: {})",
+            alloc.cpu * 100.0,
+            rec.result.costs[i] / solo,
+            rec.result.limits_met[i],
+        );
+    }
+    println!();
+}
+
+fn main() {
+    let space = SearchSpace::cpu_only(0.25);
+
+    // Baseline: five equals.
+    let advisor = build_advisor(vec![QoS::default(); 5]);
+    show("no QoS settings (symmetric):", &advisor, &space);
+
+    // A premium tenant with a hard degradation cap.
+    let advisor = build_advisor(vec![
+        QoS::with_limit(2.0),
+        QoS::default(),
+        QoS::default(),
+        QoS::default(),
+        QoS::default(),
+    ]);
+    show("tenant-0 capped at 2.0x degradation:", &advisor, &space);
+
+    // A tenant whose seconds are worth five times everyone else's.
+    let advisor = build_advisor(vec![
+        QoS::with_gain(5.0),
+        QoS::default(),
+        QoS::default(),
+        QoS::default(),
+        QoS::default(),
+    ]);
+    show("tenant-0 with gain factor 5:", &advisor, &space);
+}

@@ -1,0 +1,70 @@
+//! Quickstart: consolidate two DSS tenants onto one physical machine.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds the simulated physical machine, hosts a CPU-hungry workload
+//! and a scan-bound workload in two VMs, calibrates the optimizer cost
+//! models, and asks the virtualization design advisor for CPU shares.
+
+use vda::core::problem::{QoS, SearchSpace};
+use vda::core::tenant::Tenant;
+use vda::core::VirtualizationDesignAdvisor;
+use vda::simdb::engines::Engine;
+use vda::vmm::{Hypervisor, PhysicalMachine};
+use vda::workloads::tpch;
+
+fn main() {
+    // The shared physical server (the paper's 4-core / 8 GB testbed,
+    // with its I/O-contention VM running).
+    let hv = Hypervisor::new(PhysicalMachine::paper_testbed());
+    let mut advisor = VirtualizationDesignAdvisor::new(hv);
+
+    // Two tenants on a 1 GB TPC-H-like database: Q18 is CPU-intensive,
+    // Q6 is a pure scan.
+    let catalog = tpch::catalog(1.0);
+    advisor.add_tenant(
+        Tenant::new(
+            "analytics",
+            Engine::db2(),
+            catalog.clone(),
+            tpch::query_workload(18, 4.0),
+        )
+        .expect("workload binds"),
+        QoS::default(),
+    );
+    advisor.add_tenant(
+        Tenant::new(
+            "reporting",
+            Engine::db2(),
+            catalog,
+            tpch::query_workload(6, 4.0),
+        )
+        .expect("workload binds"),
+        QoS::default(),
+    );
+
+    // One-time, per-machine optimizer calibration (§4.3 of the paper).
+    advisor.calibrate();
+
+    // Recommend CPU shares; each VM keeps a fixed 2 GB memory grant.
+    let space = SearchSpace::cpu_only(0.25);
+    let rec = advisor.recommend(&space);
+
+    println!("greedy search converged in {} iterations\n", rec.result.iterations);
+    for (i, alloc) in rec.result.allocations.iter().enumerate() {
+        println!(
+            "  {:<10} -> {:>3.0}% CPU (estimated workload time {:>7.1}s)",
+            advisor.tenant(i).name,
+            alloc.cpu * 100.0,
+            rec.result.costs[i],
+        );
+    }
+
+    let improvement = advisor.actual_improvement(&space, &rec.result.allocations);
+    println!(
+        "\nactual improvement over the default 50/50 split: {:+.1}%",
+        improvement * 100.0
+    );
+}

@@ -1,0 +1,196 @@
+//! End-to-end integration tests: the full §4 pipeline (calibrate →
+//! what-if → greedy search) over the simulated substrate.
+
+use vda::core::problem::{Allocation, QoS, SearchSpace};
+use vda::core::tenant::Tenant;
+use vda::core::VirtualizationDesignAdvisor;
+use vda::simdb::engines::Engine;
+use vda::vmm::{Hypervisor, PhysicalMachine};
+use vda::workloads::tpch;
+
+fn advisor(workloads: Vec<(usize, f64)>, engine: Engine) -> VirtualizationDesignAdvisor {
+    let hv = Hypervisor::new(PhysicalMachine::paper_testbed());
+    let mut adv = VirtualizationDesignAdvisor::new(hv);
+    let cat = tpch::catalog(1.0);
+    for (q, count) in workloads {
+        adv.add_tenant(
+            Tenant::new(
+                format!("q{q}"),
+                engine.clone(),
+                cat.clone(),
+                tpch::query_workload(q, count),
+            )
+            .expect("workload binds"),
+            QoS::default(),
+        );
+    }
+    adv.calibrate();
+    adv
+}
+
+#[test]
+fn cpu_heavy_tenant_wins_cpu_on_both_engines() {
+    for engine in [Engine::pg(), Engine::db2()] {
+        let adv = advisor(vec![(18, 2.0), (21, 1.0)], engine.clone());
+        let space = SearchSpace::cpu_only(0.25);
+        let rec = adv.recommend(&space);
+        assert!(
+            rec.result.allocations[0].cpu > rec.result.allocations[1].cpu,
+            "{:?}: Q18 should out-demand Q21 on CPU: {:?}",
+            engine.kind(),
+            rec.result.allocations
+        );
+    }
+}
+
+#[test]
+fn recommendation_never_hurts_actual_performance() {
+    let adv = advisor(vec![(18, 2.0), (6, 3.0), (17, 1.0)], Engine::db2());
+    let space = SearchSpace::cpu_only(0.25);
+    let rec = adv.recommend(&space);
+    let improvement = adv.actual_improvement(&space, &rec.result.allocations);
+    assert!(
+        improvement > -0.05,
+        "advisor made things materially worse: {improvement}"
+    );
+}
+
+#[test]
+fn allocations_always_feasible() {
+    let adv = advisor(vec![(1, 1.0), (6, 2.0), (18, 1.0), (3, 1.0)], Engine::pg());
+    for space in [
+        SearchSpace::cpu_only(0.2),
+        SearchSpace::memory_only(0.5),
+        SearchSpace::cpu_and_memory(),
+    ] {
+        let rec = adv.recommend(&space);
+        let cpu: f64 = rec.result.allocations.iter().map(|a| a.cpu).sum();
+        let mem: f64 = rec.result.allocations.iter().map(|a| a.memory).sum();
+        if space.vary_cpu {
+            assert!(cpu <= 1.0 + 1e-9, "CPU oversubscribed: {cpu}");
+        }
+        if space.vary_memory {
+            assert!(mem <= 1.0 + 1e-9, "memory oversubscribed: {mem}");
+        }
+        for a in &rec.result.allocations {
+            assert!(a.is_valid(), "invalid allocation {a:?}");
+        }
+    }
+}
+
+#[test]
+fn greedy_within_five_percent_of_exhaustive() {
+    // The §4.5 claim, checked end-to-end over mixed workloads.
+    let adv = advisor(vec![(18, 2.0), (21, 1.0), (6, 3.0)], Engine::db2());
+    let space = SearchSpace::cpu_only(0.25);
+    let greedy = adv.recommend(&space);
+    let exact = adv.recommend_exhaustive(&space);
+    assert!(
+        greedy.result.weighted_cost <= exact.result.weighted_cost * 1.05 + 1e-9,
+        "greedy {} vs optimal {}",
+        greedy.result.weighted_cost,
+        exact.result.weighted_cost
+    );
+}
+
+#[test]
+fn estimates_track_actuals_for_read_only_workloads() {
+    let adv = advisor(vec![(6, 2.0)], Engine::pg());
+    for &(c, m) in &[(0.2, 0.3), (0.5, 0.5), (0.9, 0.7)] {
+        let alloc = Allocation::new(c, m);
+        let est = adv.estimator(0).cost(alloc);
+        let act = adv.actual_cost(0, alloc);
+        let err = (est - act).abs() / act;
+        assert!(err < 0.1, "estimate off by {err} at {alloc:?}");
+    }
+}
+
+#[test]
+fn mixed_engine_costs_are_comparable_after_renormalization() {
+    // §4.2: the whole point of renormalization — a PgSim second and a
+    // Db2Sim second mean the same thing. Identical workloads on the
+    // two engines must get estimates within a factor reflecting their
+    // real speed difference, not their unit difference (timerons are
+    // ~13 per ms, sequential-page units ~4600 per second).
+    let hv = Hypervisor::new(PhysicalMachine::paper_testbed());
+    let mut adv = VirtualizationDesignAdvisor::new(hv);
+    let cat = tpch::catalog(1.0);
+    for engine in [Engine::pg(), Engine::db2()] {
+        adv.add_tenant(
+            Tenant::new(
+                engine.kind().name(),
+                engine.clone(),
+                cat.clone(),
+                tpch::query_workload(1, 1.0),
+            )
+            .expect("binds"),
+            QoS::default(),
+        );
+    }
+    adv.calibrate();
+    let a = Allocation::new(0.5, 0.5);
+    let pg = adv.estimator(0).cost(a);
+    let db2 = adv.estimator(1).cost(a);
+    let ratio = pg / db2;
+    assert!(
+        (0.5..2.0).contains(&ratio),
+        "renormalized costs incomparable: pg {pg}s vs db2 {db2}s"
+    );
+}
+
+#[test]
+fn degradation_limits_hold_end_to_end() {
+    let hv = Hypervisor::new(PhysicalMachine::paper_testbed());
+    let mut adv = VirtualizationDesignAdvisor::new(hv);
+    let cat = tpch::catalog(1.0);
+    for (i, qos) in [QoS::with_limit(2.0), QoS::default(), QoS::default()]
+        .into_iter()
+        .enumerate()
+    {
+        adv.add_tenant(
+            Tenant::new(
+                format!("t{i}"),
+                Engine::db2(),
+                cat.clone(),
+                tpch::query_workload(18, 1.0),
+            )
+            .expect("binds"),
+            qos,
+        );
+    }
+    adv.calibrate();
+    let space = SearchSpace::cpu_only(0.25);
+    let rec = adv.recommend(&space);
+    assert!(rec.result.limits_met[0], "limit violated: {:?}", rec.result);
+    let solo = adv.estimator(0).cost(space.solo_allocation());
+    assert!(rec.result.costs[0] <= 2.0 * solo + 1e-6);
+}
+
+#[test]
+fn gain_factor_pulls_resources() {
+    let hv = Hypervisor::new(PhysicalMachine::paper_testbed());
+    let mut adv = VirtualizationDesignAdvisor::new(hv);
+    let cat = tpch::catalog(1.0);
+    for (i, qos) in [QoS::with_gain(6.0), QoS::default(), QoS::default()]
+        .into_iter()
+        .enumerate()
+    {
+        adv.add_tenant(
+            Tenant::new(
+                format!("t{i}"),
+                Engine::db2(),
+                cat.clone(),
+                tpch::query_workload(18, 1.0),
+            )
+            .expect("binds"),
+            qos,
+        );
+    }
+    adv.calibrate();
+    let rec = adv.recommend(&SearchSpace::cpu_only(0.25));
+    assert!(
+        rec.result.allocations[0].cpu > rec.result.allocations[1].cpu,
+        "gain factor ignored: {:?}",
+        rec.result.allocations
+    );
+}
