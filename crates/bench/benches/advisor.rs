@@ -82,6 +82,14 @@ fn bench_search(c: &mut Criterion) {
     c.bench_function("optimal_actual_4_workloads", |b| {
         b.iter(|| black_box(adv.optimal_actual(&space)))
     });
+    let mut serial_adv = search_advisor();
+    serial_adv.set_search_options(vda_core::enumerate::SearchOptions::serial());
+    c.bench_function("greedy_search_4_workloads_serial_eval", |b| {
+        b.iter(|| black_box(serial_adv.recommend(&space)))
+    });
+    c.bench_function("exhaustive_search_4_workloads_serial_eval", |b| {
+        b.iter(|| black_box(serial_adv.recommend_exhaustive(&space)))
+    });
 }
 
 fn bench_refinement(c: &mut Criterion) {

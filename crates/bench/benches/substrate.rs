@@ -67,9 +67,7 @@ fn bench_executor(c: &mut Criterion) {
     )
     .expect("binds");
     c.bench_function("execute_tpcc_update", |b| {
-        b.iter(|| {
-            black_box(exec_c.execute(&update, &perf, &ExecContext { concurrency: 20.0 }))
-        })
+        b.iter(|| black_box(exec_c.execute(&update, &perf, &ExecContext { concurrency: 20.0 })))
     });
 }
 

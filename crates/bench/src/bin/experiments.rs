@@ -4,15 +4,44 @@
 //! experiments <id> [<id> ...]   run specific experiments (fig2, fig12, …)
 //! experiments all               run everything in paper order
 //! experiments list              list available experiment ids
+//! experiments --enumeration-json [path.json]
+//!                               measure enumeration perf and write the
+//!                               machine-readable BENCH_enumeration.json
+//!                               (default path: BENCH_enumeration.json;
+//!                               a custom path must end in .json so
+//!                               experiment ids are never mistaken for it)
 //! ```
 
 use std::process::ExitCode;
 use vda_bench::experiments;
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(pos) = args.iter().position(|a| a == "--enumeration-json") {
+        args.remove(pos);
+        // Only a `.json` argument is an output path; anything else
+        // (e.g. `all`, `fig2`) is an experiment id to run afterwards.
+        let path = if pos < args.len() && args[pos].ends_with(".json") {
+            args.remove(pos)
+        } else {
+            "BENCH_enumeration.json".to_string()
+        };
+        match experiments::enumeration::write_json(&path) {
+            Ok(ms) => {
+                println!("{}", experiments::enumeration::run_from(ms));
+                println!("wrote {path}");
+            }
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        if args.is_empty() {
+            return ExitCode::SUCCESS;
+        }
+    }
     if args.is_empty() || args[0] == "help" || args[0] == "--help" {
-        eprintln!("usage: experiments <id>... | all | list");
+        eprintln!("usage: experiments <id>... | all | list | --enumeration-json [path]");
         eprintln!("ids: {}", id_list().join(" "));
         return ExitCode::from(2);
     }
@@ -40,5 +69,8 @@ fn main() -> ExitCode {
 }
 
 fn id_list() -> Vec<&'static str> {
-    experiments::registry().into_iter().map(|(id, _)| id).collect()
+    experiments::registry()
+        .into_iter()
+        .map(|(id, _)| id)
+        .collect()
 }

@@ -29,7 +29,11 @@ pub fn run() -> Report {
     let adv = setups::advisor_for(
         &engine,
         &cat,
-        vec![c.compose(8.0, &i, 2.0), c.compose(2.0, &i, 8.0), i.times(10.0)],
+        vec![
+            c.compose(8.0, &i, 2.0),
+            c.compose(2.0, &i, 8.0),
+            i.times(10.0),
+        ],
     );
     let mut delta_table = Table::new(vec![
         "delta",
@@ -89,7 +93,10 @@ pub fn run() -> Report {
             fmt_f(model.cost.simulated_seconds, 0),
         ]);
     }
-    report.section("calibration CPU-level count (§4.4 shortcut margin)", cal_table);
+    report.section(
+        "calibration CPU-level count (§4.4 shortcut margin)",
+        cal_table,
+    );
 
     // --- 3. refinement sample grid ---
     let mut grid_table = Table::new(vec!["grid", "model err @0.35 cpu", "model err @0.85 cpu"]);
@@ -97,12 +104,8 @@ pub fn run() -> Report {
     let truth_est = est_adv.estimator(0);
     for &grid in &[3usize, 5, 8, 16] {
         let est = est_adv.estimator(0);
-        let mut f = |a: Allocation| {
-            let e = est.estimate(a);
-            (e.seconds, e.plan_regime)
-        };
         let space = SearchSpace::cpu_only(FIXED_512MB_SHARE);
-        let model = RefinedModel::fit_initial(&space, grid, &mut f);
+        let model = RefinedModel::fit_initial(&space, grid, &est);
         let mut row = vec![grid.to_string()];
         for &cpu in &[0.35, 0.85] {
             let a = Allocation::new(cpu, FIXED_512MB_SHARE);

@@ -34,7 +34,10 @@ fn units(choice: EngineChoice) -> (WorkloadUnit, WorkloadUnit) {
 fn varying_intensity(id: &str, choice: EngineChoice) -> Report {
     let mut report = Report::new(
         id,
-        format!("Varying CPU intensity ({}): W1=5C+5I vs W2=kC+(10-k)I", choice.name()),
+        format!(
+            "Varying CPU intensity ({}): W1=5C+5I vs W2=kC+(10-k)I",
+            choice.name()
+        ),
     );
     let engine = setups::engine_fixed_memory(choice);
     let cat = setups::sf(1.0);
@@ -76,7 +79,10 @@ fn varying_intensity(id: &str, choice: EngineChoice) -> Report {
 fn varying_size(id: &str, choice: EngineChoice) -> Report {
     let mut report = Report::new(
         id,
-        format!("Varying workload size and intensity ({}): W3=1C vs W4=kC", choice.name()),
+        format!(
+            "Varying workload size and intensity ({}): W3=1C vs W4=kC",
+            choice.name()
+        ),
     );
     let engine = setups::engine_fixed_memory(choice);
     let cat = setups::sf(1.0);

@@ -122,7 +122,11 @@ pub fn run_fig35() -> Report {
     ]);
     for p in 0..PERIODS {
         table.row(vec![
-            format!("{}{}", p + 1, if p == 3 || p == 7 { " (post-swap)" } else { "" }),
+            format!(
+                "{}{}",
+                p + 1,
+                if p == 3 || p == 7 { " (post-swap)" } else { "" }
+            ),
             fmt_f(dynamic[p].0, 2),
             fmt_f(dynamic[p].1, 2),
             fmt_f(continuous[p].0, 2),
@@ -155,7 +159,11 @@ pub fn run_fig36() -> Report {
     let mut table = Table::new(vec!["period", "dynamic", "continuous refinement"]);
     for p in 0..PERIODS {
         table.row(vec![
-            format!("{}{}", p + 1, if p == 3 || p == 7 { " (post-swap)" } else { "" }),
+            format!(
+                "{}{}",
+                p + 1,
+                if p == 3 || p == 7 { " (post-swap)" } else { "" }
+            ),
             fmt_pct(dynamic[p].2),
             fmt_pct(continuous[p].2),
         ]);

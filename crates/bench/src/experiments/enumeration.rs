@@ -1,0 +1,285 @@
+//! Enumeration performance: serial vs parallel candidate evaluation.
+//!
+//! The paper reports the advisor's search cost in optimizer calls
+//! (§7.2); this experiment starts the repository's own performance
+//! trajectory by measuring wall time too. For greedy and exhaustive
+//! search it runs the serial and the parallel evaluation path on
+//! identical cold caches, verifies the results are bit-identical (the
+//! `SearchOptions` contract), and reports wall time, optimizer calls,
+//! and cache hits. [`write_json`] emits the same numbers as
+//! machine-readable `BENCH_enumeration.json` for the perf dashboard.
+
+use crate::harness::{fmt_f, Report, Table};
+use crate::setups::{self, EngineChoice, FIXED_512MB_SHARE};
+use std::time::Instant;
+use vda_core::costmodel::{SharedEstimateCache, WhatIfEstimator};
+use vda_core::enumerate::{
+    exhaustive_search_with, greedy_search_with, SearchOptions, SearchResult,
+};
+use vda_core::metrics::CostAccounting;
+use vda_core::problem::SearchSpace;
+use vda_core::VirtualizationDesignAdvisor;
+
+/// One algorithm's serial-vs-parallel measurement.
+#[derive(Debug, Clone)]
+pub struct AlgoMeasurement {
+    /// `"greedy"` or `"exhaustive"`.
+    pub name: &'static str,
+    /// Serial wall time in milliseconds.
+    pub serial_ms: f64,
+    /// Parallel wall time in milliseconds.
+    pub parallel_ms: f64,
+    /// Optimizer calls on the serial path.
+    pub optimizer_calls_serial: u64,
+    /// Optimizer calls on the parallel path.
+    pub optimizer_calls_parallel: u64,
+    /// Cache hits on the serial path.
+    pub cache_hits: u64,
+    /// Whether serial and parallel returned identical results.
+    pub identical: bool,
+    /// Greedy iterations (0 for exhaustive).
+    pub iterations: usize,
+}
+
+impl AlgoMeasurement {
+    /// serial/parallel wall-time ratio.
+    pub fn speedup(&self) -> f64 {
+        self.serial_ms / self.parallel_ms.max(1e-9)
+    }
+}
+
+fn bench_advisor() -> VirtualizationDesignAdvisor {
+    let engine = setups::engine_fixed_memory(EngineChoice::Db2);
+    let cat = setups::sf(1.0);
+    let (c_unit, i_unit) = setups::cpu_units(&engine, &cat);
+    setups::advisor_for(
+        &engine,
+        &cat,
+        vec![
+            c_unit.compose(5.0, &i_unit, 5.0),
+            c_unit.compose(2.0, &i_unit, 8.0),
+            c_unit.compose(8.0, &i_unit, 2.0),
+            c_unit.compose(1.0, &i_unit, 9.0),
+            i_unit.times(10.0),
+        ],
+    )
+}
+
+/// Fresh estimators over cold caches, so each timed run pays the full
+/// optimizer cost of enumeration.
+fn cold_estimators(adv: &VirtualizationDesignAdvisor) -> Vec<WhatIfEstimator<'_>> {
+    (0..adv.tenant_count())
+        .map(|i| {
+            WhatIfEstimator::with_shared_cache(
+                adv.tenant(i),
+                adv.model(i),
+                SharedEstimateCache::new(),
+            )
+        })
+        .collect()
+}
+
+fn search(
+    exhaustive: bool,
+    space: &SearchSpace,
+    qos: &[vda_core::problem::QoS],
+    models: &[WhatIfEstimator<'_>],
+    options: &SearchOptions,
+) -> SearchResult {
+    if exhaustive {
+        exhaustive_search_with(space, qos, models, options)
+    } else {
+        greedy_search_with(space, qos, models, options)
+    }
+}
+
+/// Timed repetitions per path; the minimum is reported to suppress
+/// scheduling noise on small problems.
+const REPS: usize = 5;
+
+fn measure(
+    adv: &VirtualizationDesignAdvisor,
+    space: &SearchSpace,
+    name: &'static str,
+    exhaustive: bool,
+) -> AlgoMeasurement {
+    let qos = adv.qos();
+
+    let mut serial_ms = f64::INFINITY;
+    let mut parallel_ms = f64::INFINITY;
+    let mut serial = None;
+    let mut parallel = None;
+    let mut serial_acct = CostAccounting::default();
+    let mut parallel_acct = CostAccounting::default();
+    for _ in 0..REPS {
+        let serial_models = cold_estimators(adv);
+        let t0 = Instant::now();
+        let r = search(
+            exhaustive,
+            space,
+            qos,
+            &serial_models,
+            &SearchOptions::serial(),
+        );
+        serial_ms = serial_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        serial_acct = CostAccounting::tally(&serial_models);
+        serial = Some(r);
+
+        let parallel_models = cold_estimators(adv);
+        let t1 = Instant::now();
+        let r = search(
+            exhaustive,
+            space,
+            qos,
+            &parallel_models,
+            &SearchOptions::parallel(),
+        );
+        parallel_ms = parallel_ms.min(t1.elapsed().as_secs_f64() * 1e3);
+        parallel_acct = CostAccounting::tally(&parallel_models);
+        parallel = Some(r);
+    }
+    let serial = serial.expect("REPS >= 1");
+    let parallel = parallel.expect("REPS >= 1");
+
+    AlgoMeasurement {
+        name,
+        serial_ms,
+        parallel_ms,
+        optimizer_calls_serial: serial_acct.optimizer_calls,
+        optimizer_calls_parallel: parallel_acct.optimizer_calls,
+        cache_hits: serial_acct.cache_hits,
+        identical: serial == parallel,
+        iterations: serial.iterations,
+    }
+}
+
+/// Run the measurements (5 workloads, CPU-only δ-grid).
+pub fn measurements() -> Vec<AlgoMeasurement> {
+    let adv = bench_advisor();
+    let space = SearchSpace::cpu_only(FIXED_512MB_SHARE);
+    vec![
+        measure(&adv, &space, "greedy", false),
+        measure(&adv, &space, "exhaustive", true),
+    ]
+}
+
+/// Measure and render as a report.
+pub fn run() -> Report {
+    run_from(measurements())
+}
+
+/// Render existing measurements as a report.
+pub fn run_from(ms: Vec<AlgoMeasurement>) -> Report {
+    let mut report = Report::new(
+        "enumbench",
+        "Enumeration wall time: serial vs parallel candidate evaluation",
+    );
+    let mut table = Table::new(vec![
+        "algorithm",
+        "serial ms",
+        "parallel ms",
+        "speedup",
+        "optimizer calls",
+        "cache hits",
+        "identical",
+    ]);
+    for m in &ms {
+        table.row(vec![
+            m.name.to_string(),
+            fmt_f(m.serial_ms, 1),
+            fmt_f(m.parallel_ms, 1),
+            format!("{:.2}x", m.speedup()),
+            m.optimizer_calls_serial.to_string(),
+            m.cache_hits.to_string(),
+            m.identical.to_string(),
+        ]);
+    }
+    report.section("greedy vs exhaustive, serial vs parallel", table);
+    let all_identical = ms.iter().all(|m| m.identical);
+    let calls_match = ms
+        .iter()
+        .all(|m| m.optimizer_calls_serial == m.optimizer_calls_parallel);
+    report.note(format!(
+        "parallel results identical to serial: {all_identical}; optimizer-call counts match: {calls_match}"
+    ));
+    report.note(format!("worker threads: {}", rayon::current_num_threads()));
+    report
+}
+
+/// Serialize measurements as the `BENCH_enumeration.json` artifact.
+pub fn to_json(ms: &[AlgoMeasurement]) -> String {
+    let algos: Vec<String> = ms
+        .iter()
+        .map(|m| {
+            format!(
+                concat!(
+                    "    {{\n",
+                    "      \"name\": \"{}\",\n",
+                    "      \"serial_ms\": {:.3},\n",
+                    "      \"parallel_ms\": {:.3},\n",
+                    "      \"speedup\": {:.3},\n",
+                    "      \"optimizer_calls_serial\": {},\n",
+                    "      \"optimizer_calls_parallel\": {},\n",
+                    "      \"cache_hits\": {},\n",
+                    "      \"iterations\": {},\n",
+                    "      \"allocations_identical\": {}\n",
+                    "    }}"
+                ),
+                m.name,
+                m.serial_ms,
+                m.parallel_ms,
+                m.speedup(),
+                m.optimizer_calls_serial,
+                m.optimizer_calls_parallel,
+                m.cache_hits,
+                m.iterations,
+                m.identical,
+            )
+        })
+        .collect();
+    format!(
+        concat!(
+            "{{\n",
+            "  \"experiment\": \"enumeration\",\n",
+            "  \"workloads\": 5,\n",
+            "  \"space\": \"cpu_only\",\n",
+            "  \"delta\": 0.05,\n",
+            "  \"threads\": {},\n",
+            "  \"algorithms\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        rayon::current_num_threads(),
+        algos.join(",\n"),
+    )
+}
+
+/// Measure and write `BENCH_enumeration.json` to `path`.
+pub fn write_json(path: &str) -> std::io::Result<Vec<AlgoMeasurement>> {
+    let ms = measurements();
+    std::fs::write(path, to_json(&ms))?;
+    Ok(ms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape_is_wellformed_enough() {
+        let ms = vec![AlgoMeasurement {
+            name: "greedy",
+            serial_ms: 12.5,
+            parallel_ms: 5.0,
+            optimizer_calls_serial: 100,
+            optimizer_calls_parallel: 100,
+            cache_hits: 40,
+            identical: true,
+            iterations: 6,
+        }];
+        let json = to_json(&ms);
+        assert!(json.contains("\"experiment\": \"enumeration\""));
+        assert!(json.contains("\"name\": \"greedy\""));
+        assert!(json.contains("\"allocations_identical\": true"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

@@ -34,8 +34,7 @@ pub fn run() -> Report {
         let mut row = vec![format!("Q{n}")];
         for (slot, choice) in [EngineChoice::Pg, EngineChoice::Db2].iter().enumerate() {
             let engine = setups::engine_fixed_memory(*choice);
-            let adv =
-                setups::advisor_for(&engine, &cat, vec![tpch::query_workload(n, 1.0)]);
+            let adv = setups::advisor_for(&engine, &cat, vec![tpch::query_workload(n, 1.0)]);
             let est = adv.estimator(0).cost(alloc);
             let act = adv.actual_cost(0, alloc);
             let err = (est - act) / act;

@@ -9,6 +9,7 @@ pub mod ablation;
 pub mod calibration_figs;
 pub mod cpu_sensitivity;
 pub mod dynamic_mgmt;
+pub mod enumeration;
 pub mod estcosts;
 pub mod memory_sensitivity;
 pub mod motivating;
@@ -63,6 +64,7 @@ pub fn registry() -> Vec<(&'static str, fn() -> Report)> {
         ("tab3", tables::run_tab3),
         ("sec72", sec72_costs::run),
         ("ablation", ablation::run),
+        ("enumbench", enumeration::run),
     ]
 }
 

@@ -38,8 +38,7 @@ fn advisor(n: usize) -> VirtualizationDesignAdvisor {
     unit10.push(WorkloadStatement::dss(tpch::query(21), 1.0));
     let at = vda_core::problem::Allocation::full();
     let unit10_cost = setups::full_allocation_cost(&engine, &sf10, &unit10, at);
-    let q18_cost =
-        setups::full_allocation_cost(&engine, &sf1, &tpch::query_workload(18, 1.0), at);
+    let q18_cost = setups::full_allocation_cost(&engine, &sf1, &tpch::query_workload(18, 1.0), at);
     let copies = (unit10_cost / q18_cost).max(1.0).round();
 
     let mut rng = random::rng(0xF1625);

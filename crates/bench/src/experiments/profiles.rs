@@ -72,11 +72,7 @@ pub fn run() -> Report {
         let hi = exec_prop.execute(&q, &hv.perf_for(VmConfig::new(0.5, 0.9).unwrap()), &ctx);
         let sens = lo.seconds / hi.seconds;
         mem_rank.push((n, sens));
-        mem_table.row(vec![
-            format!("Q{n}"),
-            fmt_f(hi.seconds, 1),
-            fmt_f(sens, 2),
-        ]);
+        mem_table.row(vec![format!("Q{n}"), fmt_f(hi.seconds, 1), fmt_f(sens, 2)]);
     }
     report.section("memory profiles (Db2Sim, SF10, proportional)", mem_table);
 
@@ -87,10 +83,18 @@ pub fn run() -> Report {
     let mem_top: Vec<usize> = mem_rank.iter().take(5).map(|x| x.0).collect();
     let mem_bottom: Vec<usize> = mem_rank.iter().rev().take(8).map(|x| x.0).collect();
 
-    report.note(format!("most CPU-sensitive: {cpu_top:?} (paper anchor: Q18)"));
-    report.note(format!("least CPU-sensitive: {cpu_bottom:?} (paper anchor: Q21)"));
-    report.note(format!("most memory-sensitive: {mem_top:?} (paper anchor: Q7)"));
-    report.note(format!("least memory-sensitive: {mem_bottom:?} (paper anchor: Q16)"));
+    report.note(format!(
+        "most CPU-sensitive: {cpu_top:?} (paper anchor: Q18)"
+    ));
+    report.note(format!(
+        "least CPU-sensitive: {cpu_bottom:?} (paper anchor: Q21)"
+    ));
+    report.note(format!(
+        "most memory-sensitive: {mem_top:?} (paper anchor: Q7)"
+    ));
+    report.note(format!(
+        "least memory-sensitive: {mem_bottom:?} (paper anchor: Q16)"
+    ));
     report.note(format!(
         "anchors hold: Q18 cpu-top5={} Q21 cpu-bottom5={} Q7 mem-top5={} Q16 mem-bottom8={}",
         cpu_top.contains(&18),

@@ -42,11 +42,13 @@ pub fn run_fig19() -> Report {
     let mut met_at: Vec<(f64, bool)> = Vec::new();
     let mut others_degrade_more = true;
     for &l9 in &[1.5, 2.0, 2.5, 3.0, 3.5, 4.0, 4.5] {
-        let qos = [QoS::with_limit(l9),
+        let qos = [
+            QoS::with_limit(l9),
             QoS::with_limit(2.5),
             QoS::default(),
             QoS::default(),
-            QoS::default()];
+            QoS::default(),
+        ];
         let workloads: Vec<_> = (0..5)
             .map(|i| c.times(1.0).named(format!("W{}", 9 + i)))
             .collect();
@@ -103,11 +105,13 @@ pub fn run_fig20() -> Report {
     let mut w9_shares = Vec::new();
     let mut w10_shares = Vec::new();
     for g9 in 1..=10 {
-        let qos = [QoS::with_gain(g9 as f64),
+        let qos = [
+            QoS::with_gain(g9 as f64),
             QoS::with_gain(4.0),
             QoS::default(),
             QoS::default(),
-            QoS::default()];
+            QoS::default(),
+        ];
         let workloads: Vec<_> = (0..5)
             .map(|i| c.times(1.0).named(format!("W{}", 9 + i)))
             .collect();

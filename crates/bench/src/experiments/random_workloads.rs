@@ -157,8 +157,9 @@ fn mix_advisor(choice: EngineChoice, n: usize) -> VirtualizationDesignAdvisor {
     let mut adv = VirtualizationDesignAdvisor::new(setups::testbed());
     // Interleave TPC-C and TPC-H tenants so every prefix has both
     // kinds, like the paper's incremental introduction.
-    let (tpcc, tpch): (Vec<_>, Vec<_>) =
-        tenants.into_iter().partition(|t| t.name.starts_with("tpcc"));
+    let (tpcc, tpch): (Vec<_>, Vec<_>) = tenants
+        .into_iter()
+        .partition(|t| t.name.starts_with("tpcc"));
     let mut interleaved = Vec::new();
     for (a, b) in tpcc.into_iter().zip(tpch) {
         interleaved.push(a);

@@ -30,8 +30,9 @@ fn cpu_space() -> SearchSpace {
 
 fn mix_advisor(choice: EngineChoice, n: usize) -> VirtualizationDesignAdvisor {
     let tenants = setups::tpcc_tpch_mix(choice, 0xF1622);
-    let (tpcc, tpch): (Vec<_>, Vec<_>) =
-        tenants.into_iter().partition(|t| t.name.starts_with("tpcc"));
+    let (tpcc, tpch): (Vec<_>, Vec<_>) = tenants
+        .into_iter()
+        .partition(|t| t.name.starts_with("tpcc"));
     let mut adv = VirtualizationDesignAdvisor::new(setups::testbed());
     let mut interleaved = Vec::new();
     for (a, b) in tpcc.into_iter().zip(tpch) {
@@ -69,8 +70,14 @@ fn refined_allocations(id: &str, choice: EngineChoice) -> Report {
             &RefineOptions::default(),
         );
         // TPC-C tenants are the even indexes.
-        let before: f64 = (0..n).step_by(2).map(|i| rec.result.allocations[i].cpu).sum();
-        let after: f64 = (0..n).step_by(2).map(|i| outcome.final_allocations[i].cpu).sum();
+        let before: f64 = (0..n)
+            .step_by(2)
+            .map(|i| rec.result.allocations[i].cpu)
+            .sum();
+        let after: f64 = (0..n)
+            .step_by(2)
+            .map(|i| outcome.final_allocations[i].cpu)
+            .sum();
         tpcc_gain.push(after - before);
         let mut row = vec![n.to_string()];
         for i in 0..10 {
@@ -114,11 +121,8 @@ fn refinement_improvements(id: &str, choice: EngineChoice) -> Report {
         let space = cpu_space();
         let rec = adv.recommend(&space);
         let before = adv.actual_improvement(&space, &rec.result.allocations);
-        let (outcome, _) = adv.refine_recommendation(
-            &space,
-            &rec.result.allocations,
-            &RefineOptions::default(),
-        );
+        let (outcome, _) =
+            adv.refine_recommendation(&space, &rec.result.allocations, &RefineOptions::default());
         let after = adv.actual_improvement(&space, &outcome.final_allocations);
         let optimal = adv.optimal_actual(&space);
         let opt = adv.actual_improvement(&space, &optimal.allocations);
@@ -176,8 +180,7 @@ fn sort_advisor(n: usize) -> VirtualizationDesignAdvisor {
     for i in 0..n {
         let w = random::sort_sensitive_workload(&mut rng, i);
         adv.add_tenant(
-            Tenant::new(format!("W{i}"), engine.clone(), cat.clone(), w)
-                .expect("workloads bind"),
+            Tenant::new(format!("W{i}"), engine.clone(), cat.clone(), w).expect("workloads bind"),
             QoS::default(),
         );
     }
@@ -202,11 +205,8 @@ pub fn run_fig32_33() -> Report {
     for n in [2usize, 4, 6, 8] {
         let adv = sort_advisor(n);
         let rec = adv.recommend(&space);
-        let (outcome, _) = adv.refine_recommendation(
-            &space,
-            &rec.result.allocations,
-            &RefineOptions::default(),
-        );
+        let (outcome, _) =
+            adv.refine_recommendation(&space, &rec.result.allocations, &RefineOptions::default());
         let mut crow = vec![n.to_string()];
         let mut mrow = vec![n.to_string()];
         for i in 0..8 {
@@ -250,11 +250,8 @@ pub fn run_fig34() -> Report {
         let adv = sort_advisor(n);
         let rec = adv.recommend(&space);
         let before = adv.actual_improvement(&space, &rec.result.allocations);
-        let (outcome, _) = adv.refine_recommendation(
-            &space,
-            &rec.result.allocations,
-            &RefineOptions::default(),
-        );
+        let (outcome, _) =
+            adv.refine_recommendation(&space, &rec.result.allocations, &RefineOptions::default());
         let after = adv.actual_improvement(&space, &outcome.final_allocations);
         best_after = best_after.max(after);
         improved_all &= after >= before - 1e-9;

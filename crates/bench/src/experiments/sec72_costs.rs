@@ -37,7 +37,10 @@ pub fn run() -> Report {
             model.cost.queries_run.to_string(),
         ]);
     }
-    report.section("one-time calibration cost (paper: < 6 min DB2, < 9 min PostgreSQL)", cal_table);
+    report.section(
+        "one-time calibration cost (paper: < 6 min DB2, < 9 min PostgreSQL)",
+        cal_table,
+    );
 
     // --- greedy iterations + greedy-vs-optimal gap over a sweep ---
     let engine = setups::engine_fixed_memory(EngineChoice::Db2);
@@ -45,7 +48,13 @@ pub fn run() -> Report {
     let (c, i) = setups::cpu_units(&engine, &cat);
     let space = SearchSpace::cpu_only(FIXED_512MB_SHARE);
 
-    let mut sweep = Table::new(vec!["problem", "iterations", "greedy cost", "optimal cost", "gap"]);
+    let mut sweep = Table::new(vec![
+        "problem",
+        "iterations",
+        "greedy cost",
+        "optimal cost",
+        "gap",
+    ]);
     let mut max_gap = 0.0_f64;
     let mut max_iters = 0usize;
     for k in [0usize, 2, 5, 8, 10] {
@@ -108,7 +117,10 @@ pub fn run() -> Report {
         uncached.optimizer_calls().to_string(),
         uncached.cache_hits().to_string(),
     ]);
-    report.section("what-if cache ablation over a revisiting probe sequence", ablation);
+    report.section(
+        "what-if cache ablation over a revisiting probe sequence",
+        ablation,
+    );
     report.note(format!(
         "the cache eliminates {}% of optimizer calls on the probe sequence",
         (100.0 * (1.0 - cached.optimizer_calls() as f64 / uncached.optimizer_calls() as f64))
@@ -123,16 +135,8 @@ pub fn run() -> Report {
         &cat,
         vec![(w1, QoS::with_limit(2.0)), (w2, QoS::default())],
     );
-    let est0 = adv.estimator(0);
-    let est1 = adv.estimator(1);
-    let mut cost_fn = |idx: usize, a: Allocation| {
-        if idx == 0 {
-            est0.cost(a)
-        } else {
-            est1.cost(a)
-        }
-    };
-    let res = greedy_search(2, &space, adv.qos(), &mut cost_fn);
+    let estimators = [adv.estimator(0), adv.estimator(1)];
+    let res = greedy_search(&space, adv.qos(), &estimators);
     report.note(format!(
         "degradation limits respected in the QoS spot check: {:?}",
         res.limits_met

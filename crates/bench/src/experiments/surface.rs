@@ -38,8 +38,8 @@ fn surface_figure(id: &str, title: &str, q_a: usize, q_b: usize) -> Report {
     for (ci, &c) in LEVELS.iter().enumerate() {
         let mut row = vec![format!("{c:.1}")];
         for (mi, &m) in LEVELS.iter().enumerate() {
-            let total = est0.cost(Allocation::new(c, m))
-                + est1.cost(Allocation::new(1.0 - c, 1.0 - m));
+            let total =
+                est0.cost(Allocation::new(c, m)) + est1.cost(Allocation::new(1.0 - c, 1.0 - m));
             grid[ci][mi] = total;
             row.push(fmt_f(total, 0));
         }

@@ -27,13 +27,55 @@ pub fn run_tab2() -> Report {
         unreachable!("pg model yields pg params")
     };
     let rows: Vec<(&str, &str, &str, f64, f64)> = vec![
-        ("random_page_cost", "cost of non-sequential disk page I/O", "descriptive", lo.random_page_cost, hi.random_page_cost),
-        ("cpu_tuple_cost", "CPU cost of processing one tuple", "descriptive", lo.cpu_tuple_cost, hi.cpu_tuple_cost),
-        ("cpu_operator_cost", "per-tuple CPU cost per WHERE predicate", "descriptive", lo.cpu_operator_cost, hi.cpu_operator_cost),
-        ("cpu_index_tuple_cost", "CPU cost of processing one index tuple", "descriptive", lo.cpu_index_tuple_cost, hi.cpu_index_tuple_cost),
-        ("shared_buffers (MB)", "shared bufferpool size", "prescriptive", lo.shared_buffers_mb, hi.shared_buffers_mb),
-        ("work_mem (MB)", "memory per sort/hash operator", "prescriptive", lo.work_mem_mb, hi.work_mem_mb),
-        ("effective_cache_size (MB)", "OS file-cache size", "descriptive", lo.effective_cache_size_mb, hi.effective_cache_size_mb),
+        (
+            "random_page_cost",
+            "cost of non-sequential disk page I/O",
+            "descriptive",
+            lo.random_page_cost,
+            hi.random_page_cost,
+        ),
+        (
+            "cpu_tuple_cost",
+            "CPU cost of processing one tuple",
+            "descriptive",
+            lo.cpu_tuple_cost,
+            hi.cpu_tuple_cost,
+        ),
+        (
+            "cpu_operator_cost",
+            "per-tuple CPU cost per WHERE predicate",
+            "descriptive",
+            lo.cpu_operator_cost,
+            hi.cpu_operator_cost,
+        ),
+        (
+            "cpu_index_tuple_cost",
+            "CPU cost of processing one index tuple",
+            "descriptive",
+            lo.cpu_index_tuple_cost,
+            hi.cpu_index_tuple_cost,
+        ),
+        (
+            "shared_buffers (MB)",
+            "shared bufferpool size",
+            "prescriptive",
+            lo.shared_buffers_mb,
+            hi.shared_buffers_mb,
+        ),
+        (
+            "work_mem (MB)",
+            "memory per sort/hash operator",
+            "prescriptive",
+            lo.work_mem_mb,
+            hi.work_mem_mb,
+        ),
+        (
+            "effective_cache_size (MB)",
+            "OS file-cache size",
+            "descriptive",
+            lo.effective_cache_size_mb,
+            hi.effective_cache_size_mb,
+        ),
     ];
     for (name, desc, kind, l, h) in rows {
         table.row(vec![
@@ -110,7 +152,13 @@ pub fn run_tab3() -> Report {
         ),
     ];
     for (name, desc, kind, l, h) in rows {
-        table.row(vec![name.to_string(), desc.to_string(), kind.to_string(), l, h]);
+        table.row(vec![
+            name.to_string(),
+            desc.to_string(),
+            kind.to_string(),
+            l,
+            h,
+        ]);
     }
     report.section("calibrated parameters", table);
     report.note(

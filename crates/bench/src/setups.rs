@@ -22,12 +22,8 @@ pub const FIXED_512MB_SHARE: f64 = 512.0 / 8192.0;
 /// memory settings so only CPU matters.
 pub fn engine_fixed_memory(kind: EngineChoice) -> Engine {
     match kind {
-        EngineChoice::Pg => {
-            Engine::pg().with_policy(fixed_policy(EngineChoice::Pg))
-        }
-        EngineChoice::Db2 => {
-            Engine::db2().with_policy(fixed_policy(EngineChoice::Db2))
-        }
+        EngineChoice::Pg => Engine::pg().with_policy(fixed_policy(EngineChoice::Pg)),
+        EngineChoice::Db2 => Engine::db2().with_policy(fixed_policy(EngineChoice::Db2)),
     }
 }
 

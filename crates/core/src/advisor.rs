@@ -6,10 +6,25 @@
 //! oracles the experiments need: actual workload costs from the
 //! simulated executor, and the actual-cost optimum for
 //! advisor-vs-optimal comparisons (§7.6–7.7).
+//!
+//! Every search runs through the [`CostModel`] interface:
+//! [`Self::recommend`]/[`Self::recommend_exhaustive`] build one
+//! [`WhatIfEstimator`] per tenant (all sharing the advisor's
+//! per-tenant [`SharedEstimateCache`]s, so repeated searches reuse
+//! optimizer work), and [`Self::optimal_actual`] builds
+//! [`ActualCostModel`] executor oracles.
+//!
+//! Calibrated models are stored **per engine kind**, exactly like the
+//! paper's one-time per-DBMS-per-machine calibration. Tenant ↔ model
+//! pairing is re-derived from the tenant's engine kind on every
+//! lookup, so reordering or swapping tenants (the §7.10 scenario) can
+//! never pair a tenant with another engine's calibration.
 
 use crate::costmodel::calibration::{CalibratedModel, CalibrationConfig, Calibrator};
-use crate::costmodel::whatif::WhatIfEstimator;
-use crate::enumerate::{exhaustive_search, greedy_search, SearchResult};
+use crate::costmodel::model::ActualCostModel;
+use crate::costmodel::whatif::{SharedEstimateCache, WhatIfEstimator};
+use crate::enumerate::{exhaustive_search_with, greedy_search_with, SearchOptions, SearchResult};
+use crate::metrics::CostAccounting;
 use crate::problem::{Allocation, QoS, SearchSpace};
 use crate::refine::{refine, RefineOptions, RefinedModel, RefinementOutcome};
 use crate::tenant::Tenant;
@@ -25,6 +40,8 @@ pub struct Recommendation {
     pub result: SearchResult,
     /// Query-optimizer invocations spent producing it.
     pub optimizer_calls: u64,
+    /// Estimate-cache hits recorded while producing it.
+    pub cache_hits: u64,
 }
 
 /// The advisor: a set of consolidated tenants on one physical machine.
@@ -33,10 +50,14 @@ pub struct VirtualizationDesignAdvisor {
     hv: Hypervisor,
     tenants: Vec<Tenant>,
     qos: Vec<QoS>,
-    /// One calibrated model per tenant (computed once per engine kind
-    /// and shared).
-    models: Vec<CalibratedModel>,
+    /// One calibrated model per engine kind present (computed once per
+    /// kind per machine, shared by every tenant of that kind).
+    models: Vec<(EngineKind, CalibratedModel)>,
+    /// One shared estimate cache per tenant slot; estimates persist
+    /// across searches and estimator instances.
+    caches: Vec<SharedEstimateCache>,
     calibration_config: CalibrationConfig,
+    search_options: SearchOptions,
 }
 
 impl VirtualizationDesignAdvisor {
@@ -47,7 +68,9 @@ impl VirtualizationDesignAdvisor {
             tenants: Vec::new(),
             qos: Vec::new(),
             models: Vec::new(),
+            caches: Vec::new(),
             calibration_config: CalibrationConfig::default(),
+            search_options: SearchOptions::default(),
         }
     }
 
@@ -57,10 +80,17 @@ impl VirtualizationDesignAdvisor {
         self.calibration_config = config;
     }
 
+    /// Override how searches evaluate candidate sets (parallel by
+    /// default; results are identical either way).
+    pub fn set_search_options(&mut self, options: SearchOptions) {
+        self.search_options = options;
+    }
+
     /// Register a tenant with its QoS settings; returns its index.
     pub fn add_tenant(&mut self, tenant: Tenant, qos: QoS) -> usize {
         self.tenants.push(tenant);
         self.qos.push(qos);
+        self.caches.push(SharedEstimateCache::new());
         self.tenants.len() - 1
     }
 
@@ -89,12 +119,16 @@ impl VirtualizationDesignAdvisor {
     /// "the two workloads are switched between the virtual machines").
     /// Allocations attach to VM slots, so after the swap each workload
     /// runs under the other's resources until the manager reacts.
+    ///
+    /// Calibrated models are keyed by engine kind, not slot, so the
+    /// swap cannot desynchronize tenant ↔ model pairing even when the
+    /// swapped tenants run different engines. The slots' estimate
+    /// caches move with the tenants (entries are fingerprint-keyed, so
+    /// this only affects warmth, never correctness).
     pub fn swap_tenants(&mut self, i: usize, j: usize) {
         self.tenants.swap(i, j);
         self.qos.swap(i, j);
-        if self.models.len() > i.max(j) {
-            self.models.swap(i, j);
-        }
+        self.caches.swap(i, j);
     }
 
     /// Per-tenant QoS settings.
@@ -109,65 +143,87 @@ impl VirtualizationDesignAdvisor {
 
     /// Run optimizer calibration (§4.3) — once per engine kind present,
     /// shared across tenants of that kind, exactly like the one-time
-    /// per-machine calibration of the paper.
+    /// per-machine calibration of the paper. Resets the estimate
+    /// caches: cached estimates embed the previous calibration.
     pub fn calibrate(&mut self) {
         let calibrator = Calibrator::with_config(&self.hv, self.calibration_config.clone());
-        let mut by_kind: Vec<(EngineKind, CalibratedModel)> = Vec::new();
         self.models.clear();
         for t in &self.tenants {
             let kind = t.engine.kind();
-            let model = match by_kind.iter().find(|(k, _)| *k == kind) {
-                Some((_, m)) => m.clone(),
-                None => {
-                    let m = calibrator.calibrate(&t.engine);
-                    by_kind.push((kind, m.clone()));
-                    m
-                }
-            };
-            self.models.push(model);
+            if !self.models.iter().any(|(k, _)| *k == kind) {
+                let model = calibrator.calibrate(&t.engine);
+                self.models.push((kind, model));
+            }
+        }
+        for cache in &mut self.caches {
+            *cache = SharedEstimateCache::new();
         }
     }
 
-    /// Whether [`Self::calibrate`] has run for the current tenant set.
+    /// Whether every registered tenant's engine kind has a calibrated
+    /// model.
     pub fn is_calibrated(&self) -> bool {
-        self.models.len() == self.tenants.len() && !self.tenants.is_empty()
+        !self.tenants.is_empty()
+            && self
+                .tenants
+                .iter()
+                .all(|t| self.models.iter().any(|(k, _)| *k == t.engine.kind()))
     }
 
-    /// The calibrated model for tenant `i`.
+    /// The calibrated model for tenant `i` (looked up by the tenant's
+    /// engine kind).
     pub fn model(&self, i: usize) -> &CalibratedModel {
-        assert!(self.is_calibrated(), "call calibrate() first");
-        &self.models[i]
+        let kind = self.tenants[i].engine.kind();
+        self.models
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, m)| m)
+            .expect("call calibrate() first")
     }
 
-    /// A what-if estimator for tenant `i`.
+    /// A what-if estimator for tenant `i`, backed by the tenant slot's
+    /// shared estimate cache.
     pub fn estimator(&self, i: usize) -> WhatIfEstimator<'_> {
         assert!(self.is_calibrated(), "call calibrate() first");
-        WhatIfEstimator::new(&self.tenants[i], &self.models[i])
+        WhatIfEstimator::with_shared_cache(&self.tenants[i], self.model(i), self.caches[i].clone())
+    }
+
+    /// One estimator per tenant, for a full search.
+    fn estimators(&self) -> Vec<WhatIfEstimator<'_>> {
+        (0..self.tenants.len()).map(|i| self.estimator(i)).collect()
+    }
+
+    /// One executor-backed ground-truth oracle per tenant.
+    pub fn actual_models(&self) -> Vec<ActualCostModel<'_>> {
+        self.tenants
+            .iter()
+            .map(|t| ActualCostModel::new(t, &self.hv))
+            .collect()
     }
 
     /// Produce the initial static recommendation with the greedy
     /// enumerator (§4.5).
     pub fn recommend(&self, space: &SearchSpace) -> Recommendation {
-        let estimators: Vec<WhatIfEstimator<'_>> =
-            (0..self.tenants.len()).map(|i| self.estimator(i)).collect();
-        let mut cost = |i: usize, a: Allocation| estimators[i].cost(a);
-        let result = greedy_search(self.tenants.len(), space, &self.qos, &mut cost);
+        let estimators = self.estimators();
+        let result = greedy_search_with(space, &self.qos, &estimators, &self.search_options);
+        let accounting = CostAccounting::tally(&estimators);
         Recommendation {
             result,
-            optimizer_calls: estimators.iter().map(|e| e.optimizer_calls()).sum(),
+            optimizer_calls: accounting.optimizer_calls,
+            cache_hits: accounting.cache_hits,
         }
     }
 
     /// The estimate-based optimum over the δ-grid (the paper's
     /// exhaustive-search comparison for §4.5).
     pub fn recommend_exhaustive(&self, space: &SearchSpace) -> Recommendation {
-        let estimators: Vec<WhatIfEstimator<'_>> =
-            (0..self.tenants.len()).map(|i| self.estimator(i)).collect();
-        let mut cost = |i: usize, a: Allocation| estimators[i].cost(a);
-        let result = exhaustive_search(self.tenants.len(), space, &self.qos, &mut cost);
+        let estimators = self.estimators();
+        let result = exhaustive_search_with(space, &self.qos, &estimators, &self.search_options);
+        let accounting = CostAccounting::tally(&estimators);
         Recommendation {
             result,
-            optimizer_calls: estimators.iter().map(|e| e.optimizer_calls()).sum(),
+            optimizer_calls: accounting.optimizer_calls,
+            cache_hits: accounting.cache_hits,
         }
     }
 
@@ -190,8 +246,12 @@ impl VirtualizationDesignAdvisor {
     /// exhaustively enumerating all feasible allocations and measuring
     /// performance in each one" (§7.6).
     pub fn optimal_actual(&self, space: &SearchSpace) -> SearchResult {
-        let mut cost = |i: usize, a: Allocation| self.actual_cost(i, a);
-        exhaustive_search(self.tenants.len(), space, &self.qos, &mut cost)
+        exhaustive_search_with(
+            space,
+            &self.qos,
+            &self.actual_models(),
+            &self.search_options,
+        )
     }
 
     /// The default (1/N) allocation vector.
@@ -210,8 +270,7 @@ impl VirtualizationDesignAdvisor {
     /// Relative *estimated* improvement over the default allocation —
     /// the metric of the controlled validation experiments (§7.3–7.5).
     pub fn estimated_improvement(&self, space: &SearchSpace, allocations: &[Allocation]) -> f64 {
-        let estimators: Vec<WhatIfEstimator<'_>> =
-            (0..self.tenants.len()).map(|i| self.estimator(i)).collect();
+        let estimators = self.estimators();
         let default = self.default_allocations(space);
         let t_default: f64 = estimators
             .iter()
@@ -228,18 +287,8 @@ impl VirtualizationDesignAdvisor {
 
     /// Fit the initial refinement model for tenant `i` from what-if
     /// estimates (§5.1).
-    pub fn fit_refinement_model(
-        &self,
-        i: usize,
-        space: &SearchSpace,
-        grid: usize,
-    ) -> RefinedModel {
-        let est = self.estimator(i);
-        let mut f = |a: Allocation| {
-            let e = est.estimate(a);
-            (e.seconds, e.plan_regime)
-        };
-        RefinedModel::fit_initial(space, grid, &mut f)
+    pub fn fit_refinement_model(&self, i: usize, space: &SearchSpace, grid: usize) -> RefinedModel {
+        RefinedModel::fit_initial(space, grid, &self.estimator(i))
     }
 
     /// Run online refinement (§5) starting from `start`, observing
@@ -254,8 +303,14 @@ impl VirtualizationDesignAdvisor {
         let mut models: Vec<RefinedModel> = (0..self.tenants.len())
             .map(|i| self.fit_refinement_model(i, space, opts.sample_grid))
             .collect();
-        let mut actual = |i: usize, a: Allocation| self.actual_cost(i, a);
-        let outcome = refine(&mut models, space, &self.qos, start, &mut actual, opts);
+        let outcome = refine(
+            &mut models,
+            space,
+            &self.qos,
+            start,
+            &self.actual_models(),
+            opts,
+        );
         (outcome, models)
     }
 }
@@ -273,12 +328,39 @@ mod tests {
         let cat = tpch::catalog(1.0);
         // Q18 (CPU-heavy) vs Q6 (scan-only): clear CPU asymmetry.
         adv.add_tenant(
-            Tenant::new("cpuheavy", Engine::pg(), cat.clone(), tpch::query_workload(18, 2.0))
-                .unwrap(),
+            Tenant::new(
+                "cpuheavy",
+                Engine::pg(),
+                cat.clone(),
+                tpch::query_workload(18, 2.0),
+            )
+            .unwrap(),
             QoS::default(),
         );
         adv.add_tenant(
             Tenant::new("ioheavy", Engine::pg(), cat, tpch::query_workload(6, 2.0)).unwrap(),
+            QoS::default(),
+        );
+        adv.calibrate();
+        adv
+    }
+
+    fn advisor_mixed_engines() -> VirtualizationDesignAdvisor {
+        let hv = Hypervisor::new(PhysicalMachine::paper_testbed());
+        let mut adv = VirtualizationDesignAdvisor::new(hv);
+        let cat = tpch::catalog(1.0);
+        adv.add_tenant(
+            Tenant::new(
+                "pg",
+                Engine::pg(),
+                cat.clone(),
+                tpch::query_workload(18, 2.0),
+            )
+            .unwrap(),
+            QoS::default(),
+        );
+        adv.add_tenant(
+            Tenant::new("db2", Engine::db2(), cat, tpch::query_workload(6, 2.0)).unwrap(),
             QoS::default(),
         );
         adv.calibrate();
@@ -337,6 +419,19 @@ mod tests {
     }
 
     #[test]
+    fn shared_cache_amortizes_optimizer_calls_across_searches() {
+        let adv = advisor_two_dss();
+        let space = SearchSpace::cpu_only(0.5);
+        let first = adv.recommend(&space);
+        assert!(first.optimizer_calls > 0);
+        // The same search again is answered from the shared caches.
+        let second = adv.recommend(&space);
+        assert_eq!(second.optimizer_calls, 0, "{second:?}");
+        assert!(second.cache_hits > 0);
+        assert_eq!(first.result, second.result);
+    }
+
+    #[test]
     fn recommendation_improves_actual_performance() {
         let adv = advisor_two_dss();
         let space = SearchSpace::cpu_only(0.5);
@@ -362,7 +457,71 @@ mod tests {
         let c1 = adv.actual_cost(1, crate::problem::Allocation::new(0.5, 0.5));
         assert!((c0 - c1).abs() < 1e-9, "workload must move with the swap");
         // Estimators keep working after the swap (models moved too).
-        let _ = adv.estimator(0).cost(crate::problem::Allocation::new(0.5, 0.5));
+        let _ = adv
+            .estimator(0)
+            .cost(crate::problem::Allocation::new(0.5, 0.5));
+    }
+
+    #[test]
+    fn swap_tenants_keeps_engine_model_pairing_for_mixed_engines() {
+        // §7.10 regression: swapping tenants of *different* engine
+        // kinds must keep each tenant paired with its own engine's
+        // calibration, and estimates must move with the tenant.
+        let mut adv = advisor_mixed_engines();
+        let a = Allocation::new(0.5, 0.5);
+        let pg_est = adv.estimator(0).cost(a);
+        let db2_est = adv.estimator(1).cost(a);
+        let pg_kind = adv.tenant(0).engine.kind();
+
+        adv.swap_tenants(0, 1);
+        assert!(adv.is_calibrated(), "swap must not lose calibration");
+        // Slot 1 now hosts the pg tenant; its model must be the pg
+        // calibration, and its estimate must equal the pre-swap value.
+        assert_eq!(adv.tenant(1).engine.kind(), pg_kind);
+        assert_eq!(
+            adv.estimator(1).cost(a),
+            pg_est,
+            "estimate must follow the tenant through the swap"
+        );
+        assert_eq!(adv.estimator(0).cost(a), db2_est);
+        // Swapping back restores the original pairing too.
+        adv.swap_tenants(0, 1);
+        assert_eq!(adv.estimator(0).cost(a), pg_est);
+        assert_eq!(adv.estimator(1).cost(a), db2_est);
+    }
+
+    #[test]
+    fn adding_a_tenant_of_known_kind_stays_calibrated() {
+        let mut adv = advisor_two_dss();
+        assert!(adv.is_calibrated());
+        // Per the paper, calibration is per-DBMS-per-machine: a new
+        // tenant on an already-calibrated engine needs no recalibration.
+        adv.add_tenant(
+            Tenant::new(
+                "late",
+                Engine::pg(),
+                tpch::catalog(1.0),
+                tpch::query_workload(1, 1.0),
+            )
+            .unwrap(),
+            QoS::default(),
+        );
+        assert!(adv.is_calibrated());
+        let _ = adv.estimator(2).cost(Allocation::new(0.5, 0.5));
+        // A tenant of a *new* kind does require recalibration.
+        adv.add_tenant(
+            Tenant::new(
+                "newkind",
+                Engine::db2(),
+                tpch::catalog(1.0),
+                tpch::query_workload(1, 1.0),
+            )
+            .unwrap(),
+            QoS::default(),
+        );
+        assert!(!adv.is_calibrated());
+        adv.calibrate();
+        assert!(adv.is_calibrated());
     }
 
     #[test]
@@ -370,11 +529,8 @@ mod tests {
         let adv = advisor_two_dss();
         let space = SearchSpace::cpu_only(0.5);
         let rec = adv.recommend(&space);
-        let (outcome, models) = adv.refine_recommendation(
-            &space,
-            &rec.result.allocations,
-            &RefineOptions::default(),
-        );
+        let (outcome, models) =
+            adv.refine_recommendation(&space, &rec.result.allocations, &RefineOptions::default());
         assert_eq!(models.len(), 2);
         assert!(outcome.iterations >= 1);
         let total: f64 = outcome.final_allocations.iter().map(|a| a.cpu).sum();

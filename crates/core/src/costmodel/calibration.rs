@@ -180,15 +180,19 @@ impl CalibratedModel {
                 work_mem_mb: mem.work_mb,
                 effective_cache_size_mb: mem.os_cache_mb,
             }),
-            (CpuFits::Db2 { cpuspeed }, IoConstants::Db2 { overhead_ms, transfer_rate_ms }) => {
-                EngineParams::Db2(Db2Params {
-                    cpuspeed_ms_per_instr: cpuspeed.predict(inv).max(1e-15),
-                    overhead_ms: *overhead_ms,
-                    transfer_rate_ms: *transfer_rate_ms,
-                    sortheap_mb: mem.work_mb,
-                    bufferpool_mb: mem.buffer_mb,
-                })
-            }
+            (
+                CpuFits::Db2 { cpuspeed },
+                IoConstants::Db2 {
+                    overhead_ms,
+                    transfer_rate_ms,
+                },
+            ) => EngineParams::Db2(Db2Params {
+                cpuspeed_ms_per_instr: cpuspeed.predict(inv).max(1e-15),
+                overhead_ms: *overhead_ms,
+                transfer_rate_ms: *transfer_rate_ms,
+                sortheap_mb: mem.work_mb,
+                bufferpool_mb: mem.buffer_mb,
+            }),
             _ => unreachable!("CpuFits and IoConstants always match the engine kind"),
         }
     }
@@ -284,9 +288,8 @@ impl<'a> Calibrator<'a> {
             }
         }
 
-        let fit = |ys: &[f64]| {
-            LinearFit::fit(&inv_levels, ys).expect("calibration levels are distinct")
-        };
+        let fit =
+            |ys: &[f64]| LinearFit::fit(&inv_levels, ys).expect("calibration levels are distinct");
         let cpu_fits = match engine.kind() {
             EngineKind::PgSim => CpuFits::Pg {
                 tuple: fit(&columns[0]),
@@ -429,18 +432,13 @@ impl<'a> Calibrator<'a> {
                 let mut b = Vec::with_capacity(self.queries.len());
                 for q in &self.queries {
                     let plan = optimizer.plan(q);
-                    let secs = (exec
-                        .execute(q, &perf, &ExecContext::default())
-                        .seconds
-                        - floor)
-                        .max(0.0);
+                    let secs =
+                        (exec.execute(q, &perf, &ExecContext::default()).seconds - floor).max(0.0);
                     cost.simulated_seconds += secs;
                     cost.queries_run += 1;
                     let native_measured = match renorm {
                         Renormalizer::SecondsPerUnit { secs_per_unit } => secs / secs_per_unit,
-                        Renormalizer::Regression { slope, intercept } => {
-                            (secs - intercept) / slope
-                        }
+                        Renormalizer::Regression { slope, intercept } => (secs - intercept) / slope,
                     };
                     let io_native = plan.counters.seq_pages
                         + plan.counters.spill_pages
@@ -691,11 +689,7 @@ mod tests {
     fn grid_calibration_shows_memory_independence() {
         let hv = hv();
         let cal = Calibrator::new(&hv);
-        let points = cal.calibrate_grid(
-            &Engine::db2(),
-            &[0.25, 0.5, 1.0],
-            &[0.2, 0.5, 0.8],
-        );
+        let points = cal.calibrate_grid(&Engine::db2(), &[0.25, 0.5, 1.0], &[0.2, 0.5, 0.8]);
         assert_eq!(points.len(), 9);
         // cpuspeed at a fixed CPU share varies by < 1 % across memory
         // levels.

@@ -17,11 +17,18 @@
 //!   `P`, invoking the optimizer, and renormalizing, with a
 //!   per-allocation cache so the greedy search's repeated probes cost
 //!   one optimizer call each (§4.5).
+//!
+//! [`model`] unifies every cost source — what-if estimators, refined
+//! models (§5), and the executor's ground truth — behind the
+//! [`CostModel`] trait that the enumeration, refinement, and dynamic
+//! management layers consume.
 
 pub mod calibration;
+pub mod model;
 pub mod renormalize;
 pub mod whatif;
 
 pub use calibration::{CalibratedModel, CalibrationConfig, CalibrationCost, Calibrator};
+pub use model::{ActualCostModel, CostModel, FnCostModel, RegimeFnCostModel};
 pub use renormalize::Renormalizer;
-pub use whatif::{Estimate, WhatIfEstimator};
+pub use whatif::{Estimate, SharedEstimateCache, WhatIfEstimator};

@@ -46,9 +46,7 @@ impl Renormalizer {
     pub fn to_seconds(&self, native: f64) -> f64 {
         match *self {
             Renormalizer::SecondsPerUnit { secs_per_unit } => native * secs_per_unit,
-            Renormalizer::Regression { slope, intercept } => {
-                (slope * native + intercept).max(0.0)
-            }
+            Renormalizer::Regression { slope, intercept } => (slope * native + intercept).max(0.0),
         }
     }
 }

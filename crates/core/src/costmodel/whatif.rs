@@ -10,14 +10,30 @@
 //! piecewise-interval boundaries `A_ij` that online refinement needs
 //! (§5.1), and the paper harvests them "during configuration
 //! enumeration ... to minimize the number of optimizer calls".
+//!
+//! Estimates can be cached three ways:
+//!
+//! * **local** ([`WhatIfEstimator::new`]) — a private per-instance
+//!   cache, the seed behaviour;
+//! * **shared** ([`WhatIfEstimator::with_shared_cache`]) — a
+//!   thread-safe [`SharedEstimateCache`] that outlives the estimator,
+//!   so the advisor's repeated searches (greedy, exhaustive,
+//!   refinement sampling, dynamic monitoring periods) pay for each
+//!   optimizer probe once. Entries are keyed by the tenant's
+//!   [`fingerprint`](crate::tenant::Tenant::fingerprint), which makes
+//!   stale entries unreachable when the workload changes;
+//! * **disabled** ([`WhatIfEstimator::without_cache`]) — the §4.5
+//!   caching ablation.
 
 use crate::costmodel::calibration::CalibratedModel;
+use crate::costmodel::model::CostModel;
 use crate::problem::Allocation;
 use crate::tenant::Tenant;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use vda_simdb::hash::Fnv64;
 use vda_simdb::optimizer::Optimizer;
 
@@ -34,36 +50,138 @@ pub struct Estimate {
     pub avg_cost_per_statement: f64,
 }
 
+/// One generation of cached estimates: the fingerprint of the tenant
+/// state that produced them, plus the allocation-keyed estimates.
+#[derive(Debug, Default)]
+struct CacheGeneration {
+    fingerprint: u64,
+    map: HashMap<(u32, u32), Estimate>,
+}
+
+/// A thread-safe estimate cache shared across estimator instances (and
+/// across searches). Cloning is cheap and shares the underlying map.
+///
+/// The cache serves one tenant slot, so exactly one workload
+/// fingerprint is live at a time: inserting under a new fingerprint
+/// evicts the previous generation, keeping long-running dynamic
+/// management (a workload change per monitoring period) from
+/// accumulating dead entries.
+#[derive(Debug, Clone, Default)]
+pub struct SharedEstimateCache {
+    inner: Arc<Mutex<CacheGeneration>>,
+}
+
+impl SharedEstimateCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cached estimate for a (fingerprint, allocation) pair.
+    pub fn get(&self, fingerprint: u64, key: (u32, u32)) -> Option<Estimate> {
+        let inner = self.inner.lock();
+        if inner.fingerprint != fingerprint {
+            return None;
+        }
+        inner.map.get(&key).copied()
+    }
+
+    /// Store an estimate, evicting any previous generation cached
+    /// under a different fingerprint.
+    pub fn insert(&self, fingerprint: u64, key: (u32, u32), estimate: Estimate) {
+        let mut inner = self.inner.lock();
+        if inner.fingerprint != fingerprint {
+            inner.map.clear();
+            inner.fingerprint = fingerprint;
+        }
+        inner.map.insert(key, estimate);
+    }
+
+    /// Number of cached entries (current generation).
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().map.is_empty()
+    }
+
+    /// All cached (allocation, estimate) pairs for one fingerprint.
+    fn samples_for(&self, fingerprint: u64) -> Vec<(Allocation, Estimate)> {
+        let inner = self.inner.lock();
+        if inner.fingerprint != fingerprint {
+            return Vec::new();
+        }
+        inner
+            .map
+            .iter()
+            .map(|(&(c, m), &est)| (Allocation::new(c as f64 / 1e4, m as f64 / 1e4), est))
+            .collect()
+    }
+}
+
+/// Where an estimator keeps (or doesn't keep) its estimates.
+#[derive(Debug)]
+enum CacheBackend {
+    /// Private per-instance cache (seed behaviour).
+    Local(Mutex<HashMap<(u32, u32), Estimate>>),
+    /// Advisor-owned cache surviving across searches.
+    Shared {
+        cache: SharedEstimateCache,
+        fingerprint: u64,
+    },
+    /// §4.5 ablation: recompute every probe.
+    Disabled,
+}
+
 /// The cached what-if estimator for one tenant.
 #[derive(Debug)]
 pub struct WhatIfEstimator<'a> {
     tenant: &'a Tenant,
     model: &'a CalibratedModel,
-    cache: Mutex<HashMap<(u32, u32), Estimate>>,
-    cache_enabled: bool,
+    cache: CacheBackend,
     optimizer_calls: AtomicU64,
     cache_hits: AtomicU64,
 }
 
 impl<'a> WhatIfEstimator<'a> {
-    /// Create an estimator (caching on).
+    /// Create an estimator with a private cache.
     pub fn new(tenant: &'a Tenant, model: &'a CalibratedModel) -> Self {
-        WhatIfEstimator {
+        Self::with_backend(
             tenant,
             model,
-            cache: Mutex::new(HashMap::new()),
-            cache_enabled: true,
-            optimizer_calls: AtomicU64::new(0),
-            cache_hits: AtomicU64::new(0),
-        }
+            CacheBackend::Local(Mutex::new(HashMap::new())),
+        )
+    }
+
+    /// Create an estimator backed by a shared, thread-safe cache.
+    /// Entries are keyed by the tenant's current
+    /// [`fingerprint`](Tenant::fingerprint), so they survive estimator
+    /// churn but never serve a changed workload.
+    pub fn with_shared_cache(
+        tenant: &'a Tenant,
+        model: &'a CalibratedModel,
+        cache: SharedEstimateCache,
+    ) -> Self {
+        let fingerprint = tenant.fingerprint();
+        Self::with_backend(tenant, model, CacheBackend::Shared { cache, fingerprint })
     }
 
     /// Create an estimator with the cache disabled (the §4.5 caching
     /// ablation).
     pub fn without_cache(tenant: &'a Tenant, model: &'a CalibratedModel) -> Self {
-        let mut e = Self::new(tenant, model);
-        e.cache_enabled = false;
-        e
+        Self::with_backend(tenant, model, CacheBackend::Disabled)
+    }
+
+    fn with_backend(tenant: &'a Tenant, model: &'a CalibratedModel, cache: CacheBackend) -> Self {
+        WhatIfEstimator {
+            tenant,
+            model,
+            cache,
+            optimizer_calls: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+        }
     }
 
     /// The tenant being estimated.
@@ -73,15 +191,23 @@ impl<'a> WhatIfEstimator<'a> {
 
     /// Estimated cost (seconds) of the tenant's workload under `alloc`.
     pub fn estimate(&self, alloc: Allocation) -> Estimate {
-        if self.cache_enabled {
-            if let Some(hit) = self.cache.lock().get(&alloc.key()) {
-                self.cache_hits.fetch_add(1, Ordering::Relaxed);
-                return *hit;
-            }
+        let key = alloc.key();
+        let hit = match &self.cache {
+            CacheBackend::Local(map) => map.lock().get(&key).copied(),
+            CacheBackend::Shared { cache, fingerprint } => cache.get(*fingerprint, key),
+            CacheBackend::Disabled => None,
+        };
+        if let Some(est) = hit {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return est;
         }
         let est = self.compute(alloc);
-        if self.cache_enabled {
-            self.cache.lock().insert(alloc.key(), est);
+        match &self.cache {
+            CacheBackend::Local(map) => {
+                map.lock().insert(key, est);
+            }
+            CacheBackend::Shared { cache, fingerprint } => cache.insert(*fingerprint, key, est),
+            CacheBackend::Disabled => {}
         }
         est
     }
@@ -116,29 +242,44 @@ impl<'a> WhatIfEstimator<'a> {
         }
     }
 
-    /// Total optimizer invocations so far.
+    /// Total optimizer invocations by this estimator instance.
     pub fn optimizer_calls(&self) -> u64 {
         self.optimizer_calls.load(Ordering::Relaxed)
     }
 
-    /// Cache hits so far.
+    /// Cache hits recorded by this estimator instance.
     pub fn cache_hits(&self) -> u64 {
         self.cache_hits.load(Ordering::Relaxed)
     }
 
     /// Snapshot of every allocation estimated so far (refinement fits
     /// its initial models from these enumeration-time samples, §5.1).
+    /// With a shared cache this includes samples contributed by other
+    /// estimator instances for the same tenant fingerprint.
     pub fn samples(&self) -> Vec<(Allocation, Estimate)> {
-        self.cache
-            .lock()
-            .iter()
-            .map(|(&(c, m), &est)| {
-                (
-                    Allocation::new(c as f64 / 1e4, m as f64 / 1e4),
-                    est,
-                )
-            })
-            .collect()
+        match &self.cache {
+            CacheBackend::Local(map) => map
+                .lock()
+                .iter()
+                .map(|(&(c, m), &est)| (Allocation::new(c as f64 / 1e4, m as f64 / 1e4), est))
+                .collect(),
+            CacheBackend::Shared { cache, fingerprint } => cache.samples_for(*fingerprint),
+            CacheBackend::Disabled => Vec::new(),
+        }
+    }
+}
+
+impl CostModel for WhatIfEstimator<'_> {
+    fn estimate(&self, alloc: Allocation) -> Estimate {
+        WhatIfEstimator::estimate(self, alloc)
+    }
+
+    fn optimizer_calls(&self) -> u64 {
+        WhatIfEstimator::optimizer_calls(self)
+    }
+
+    fn cache_hits(&self) -> u64 {
+        WhatIfEstimator::cache_hits(self)
     }
 }
 
@@ -202,6 +343,48 @@ mod tests {
         let calls = est.optimizer_calls();
         est.estimate(a);
         assert_eq!(est.optimizer_calls(), 2 * calls);
+    }
+
+    #[test]
+    fn shared_cache_survives_estimator_churn() {
+        let (hv, tenant) = setup();
+        let model = Calibrator::new(&hv).calibrate(&tenant.engine);
+        let cache = SharedEstimateCache::new();
+        let a = Allocation::new(0.5, 0.5);
+
+        let first = WhatIfEstimator::with_shared_cache(&tenant, &model, cache.clone());
+        let e1 = first.estimate(a);
+        assert!(first.optimizer_calls() > 0);
+
+        // A brand-new estimator instance reuses the cached estimate.
+        let second = WhatIfEstimator::with_shared_cache(&tenant, &model, cache.clone());
+        let e2 = second.estimate(a);
+        assert_eq!(e1, e2);
+        assert_eq!(second.optimizer_calls(), 0);
+        assert_eq!(second.cache_hits(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn shared_cache_keys_by_workload_fingerprint() {
+        let (hv, mut tenant) = setup();
+        let model = Calibrator::new(&hv).calibrate(&tenant.engine);
+        let cache = SharedEstimateCache::new();
+        let a = Allocation::new(0.5, 0.5);
+
+        let before = WhatIfEstimator::with_shared_cache(&tenant, &model, cache.clone());
+        let e_before = before.estimate(a);
+        drop(before);
+
+        // Change the workload: the old entry must not be served, and
+        // the new generation evicts the old one (no unbounded growth
+        // across monitoring periods).
+        tenant.set_workload(tpch::query_workload(18, 1.0)).unwrap();
+        let after = WhatIfEstimator::with_shared_cache(&tenant, &model, cache.clone());
+        let e_after = after.estimate(a);
+        assert!(after.optimizer_calls() > 0, "stale entry served");
+        assert_ne!(e_before.seconds, e_after.seconds);
+        assert_eq!(cache.len(), 1, "old generation must be evicted");
     }
 
     #[test]

@@ -126,8 +126,7 @@ impl DynamicConfigManager {
         let reference = space.default_allocation(advisor.tenant_count());
         let states = (0..advisor.tenant_count())
             .map(|i| {
-                let model =
-                    advisor.fit_refinement_model(i, &space, options.refine.sample_grid);
+                let model = advisor.fit_refinement_model(i, &space, options.refine.sample_grid);
                 let est = advisor.estimator(i);
                 let per_query = est.estimate(reference).avg_cost_per_statement;
                 WorkloadState {
@@ -234,16 +233,15 @@ impl DynamicConfigManager {
             decisions.push(decision);
         }
 
-        // Re-run the search over the (refined or rebuilt) models.
-        let mut actual_oracle = |i: usize, a: Allocation| advisor.actual_cost(i, a);
-        let mut models: Vec<RefinedModel> =
-            self.states.iter().map(|s| s.model.clone()).collect();
+        // Re-run the search over the (refined or rebuilt) models,
+        // observing the executor oracles for ground truth.
+        let mut models: Vec<RefinedModel> = self.states.iter().map(|s| s.model.clone()).collect();
         let outcome = refine(
             &mut models,
             &self.space,
             advisor.qos(),
             &self.current,
-            &mut actual_oracle,
+            &advisor.actual_models(),
             &self.options.refine,
         );
         for (s, m) in self.states.iter_mut().zip(models) {
@@ -289,7 +287,13 @@ mod tests {
         let mut adv = VirtualizationDesignAdvisor::new(hv);
         let cat = tpch::catalog(1.0);
         adv.add_tenant(
-            Tenant::new("a", Engine::pg(), cat.clone(), tpch::query_workload(18, 1.0)).unwrap(),
+            Tenant::new(
+                "a",
+                Engine::pg(),
+                cat.clone(),
+                tpch::query_workload(18, 1.0),
+            )
+            .unwrap(),
             QoS::default(),
         );
         adv.add_tenant(
@@ -303,7 +307,8 @@ mod tests {
     #[test]
     fn stable_workload_is_minor_and_continues() {
         let adv = advisor();
-        let mut mgr = DynamicConfigManager::new(&adv, SearchSpace::cpu_only(0.5), DynamicOptions::default());
+        let mut mgr =
+            DynamicConfigManager::new(&adv, SearchSpace::cpu_only(0.5), DynamicOptions::default());
         let report = mgr.process_period(&adv);
         assert!(report
             .decisions
@@ -325,8 +330,7 @@ mod tests {
         adv.tenant_mut(1).set_workload(w0).unwrap();
         let report = mgr.process_period(&adv);
         assert!(
-            report
-                .decisions.contains(&PeriodDecision::RebuildOnChange),
+            report.decisions.contains(&PeriodDecision::RebuildOnChange),
             "swap must be classified major: {:?}",
             report.decisions
         );
@@ -335,7 +339,8 @@ mod tests {
     #[test]
     fn intensity_change_stays_minor() {
         let mut adv = advisor();
-        let mut mgr = DynamicConfigManager::new(&adv, SearchSpace::cpu_only(0.5), DynamicOptions::default());
+        let mut mgr =
+            DynamicConfigManager::new(&adv, SearchSpace::cpu_only(0.5), DynamicOptions::default());
         mgr.process_period(&adv);
         // Double the arrival rate: per-query estimates are unchanged.
         adv.tenant_mut(0).scale_workload(2.0);
@@ -367,7 +372,8 @@ mod tests {
     #[test]
     fn allocations_remain_feasible_across_periods() {
         let mut adv = advisor();
-        let mut mgr = DynamicConfigManager::new(&adv, SearchSpace::cpu_only(0.5), DynamicOptions::default());
+        let mut mgr =
+            DynamicConfigManager::new(&adv, SearchSpace::cpu_only(0.5), DynamicOptions::default());
         for p in 0..4 {
             if p == 2 {
                 adv.tenant_mut(0).scale_workload(1.5);

@@ -15,14 +15,21 @@
 //! every composition — same answer as brute force, polynomial cost.
 //! The paper uses exhaustive search to show greedy is "very often
 //! optimal and always within 5 % of the optimal" (§4.5, §7.6–7.7).
+//!
+//! Both algorithms consume one [`CostModel`] per workload — what-if
+//! estimators, refined models, the executor oracle, or synthetic
+//! models — and evaluate each iteration's candidate set as a batch.
+//! With [`SearchOptions::parallel`] the batch fans out across threads;
+//! candidates are deduplicated per (workload, allocation) before
+//! evaluation, so the parallel and serial paths issue *identical*
+//! optimizer-call sequences and return bit-identical results (the
+//! selection logic, and therefore tie-breaking, is always serial).
 
+use crate::costmodel::model::CostModel;
 use crate::problem::{Allocation, QoS, Resource, SearchSpace};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
-
-/// A per-workload cost oracle: `cost(workload_index, allocation)` in
-/// seconds. Both what-if estimators (§4) and refined cost models (§5)
-/// are used through this interface.
-pub type CostFn<'f> = dyn FnMut(usize, Allocation) -> f64 + 'f;
+use std::collections::HashMap;
 
 /// One greedy reallocation step, for tracing/benchmarks.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -57,29 +64,107 @@ pub struct SearchResult {
     pub limits_met: Vec<bool>,
 }
 
+/// How the enumerators evaluate candidate sets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SearchOptions {
+    /// Evaluate each iteration's candidate batch on multiple threads.
+    /// Results are identical to the serial path either way.
+    pub parallel: bool,
+}
+
+impl Default for SearchOptions {
+    fn default() -> Self {
+        SearchOptions { parallel: true }
+    }
+}
+
+impl SearchOptions {
+    /// Strictly serial evaluation.
+    pub fn serial() -> Self {
+        SearchOptions { parallel: false }
+    }
+
+    /// Parallel batch evaluation.
+    pub fn parallel() -> Self {
+        SearchOptions { parallel: true }
+    }
+}
+
 /// Minimum weighted-cost improvement for a step to count as progress.
 const PROGRESS_EPS: f64 = 1e-9;
 
-/// The Figure 11 greedy configuration enumerator.
+/// Batch evaluator over the per-workload cost models.
 ///
-/// `cost` is called as `cost(i, R_i)`; `qos[i]` carries `L_i`/`G_i`.
-/// Returns the recommended allocations plus the iteration trace.
-pub fn greedy_search(
-    n: usize,
+/// Jobs are deduplicated by (workload, quantized allocation) before
+/// evaluation so each unique probe is computed exactly once per batch
+/// regardless of threading — keeping optimizer-call counts identical
+/// between the serial and parallel paths even for uncached models.
+struct Evaluator<'m, M> {
+    models: &'m [M],
+    parallel: bool,
+}
+
+impl<'m, M: CostModel> Evaluator<'m, M> {
+    fn new(models: &'m [M], options: &SearchOptions) -> Self {
+        Evaluator {
+            models,
+            parallel: options.parallel,
+        }
+    }
+
+    /// Costs for a batch of (workload, allocation) jobs, in job order.
+    fn costs(&self, jobs: &[(usize, Allocation)]) -> Vec<f64> {
+        let mut unique: Vec<(usize, Allocation)> = Vec::with_capacity(jobs.len());
+        let mut slot: HashMap<(usize, (u32, u32)), usize> = HashMap::with_capacity(jobs.len());
+        let mut job_slots: Vec<usize> = Vec::with_capacity(jobs.len());
+        for &(i, a) in jobs {
+            let key = (i, a.key());
+            let idx = *slot.entry(key).or_insert_with(|| {
+                unique.push((i, a));
+                unique.len() - 1
+            });
+            job_slots.push(idx);
+        }
+        let values: Vec<f64> = if self.parallel && unique.len() > 1 {
+            unique.par_map(|&(i, a)| self.models[i].cost(a))
+        } else {
+            unique
+                .iter()
+                .map(|&(i, a)| self.models[i].cost(a))
+                .collect()
+        };
+        job_slots.into_iter().map(|s| values[s]).collect()
+    }
+}
+
+/// The Figure 11 greedy configuration enumerator with default
+/// (parallel) candidate evaluation.
+///
+/// One cost model per workload; `qos[i]` carries `L_i`/`G_i`. Returns
+/// the recommended allocations plus the iteration trace.
+pub fn greedy_search<M: CostModel>(space: &SearchSpace, qos: &[QoS], models: &[M]) -> SearchResult {
+    greedy_search_with(space, qos, models, &SearchOptions::default())
+}
+
+/// [`greedy_search`] with explicit evaluation options.
+pub fn greedy_search_with<M: CostModel>(
     space: &SearchSpace,
     qos: &[QoS],
-    cost: &mut CostFn<'_>,
+    models: &[M],
+    options: &SearchOptions,
 ) -> SearchResult {
+    let n = models.len();
     assert!(n >= 1, "at least one workload");
     assert_eq!(qos.len(), n, "one QoS entry per workload");
     let varied = space.varied();
     assert!(!varied.is_empty(), "at least one resource must be varied");
     let delta = space.delta;
+    let eval = Evaluator::new(models, options);
 
     // Degradation baselines: Cost(W_i, [1,…,1]) over the varied
     // resources.
     let solo = space.solo_allocation();
-    let full_cost: Vec<f64> = (0..n).map(|i| cost(i, solo)).collect();
+    let full_cost = eval.costs(&(0..n).map(|i| (i, solo)).collect::<Vec<_>>());
 
     // Start with equal shares of every varied resource.
     let mut alloc: Vec<Allocation> = vec![space.default_allocation(n); n];
@@ -96,34 +181,53 @@ pub fn greedy_search(
         if guard > 10_000 {
             break;
         }
+        let current = eval.costs(&(0..n).map(|i| (i, alloc[i])).collect::<Vec<_>>());
         let violator = (0..n)
             .filter(|&i| qos[i].degradation_limit.is_finite())
-            .map(|i| (i, cost(i, alloc[i]) / full_cost[i] - qos[i].degradation_limit))
+            .map(|i| (i, current[i] / full_cost[i] - qos[i].degradation_limit))
             .filter(|&(_, excess)| excess > 1e-9)
             .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
         let Some((v, _)) = violator else { break };
 
         // Best (resource, donor) pair: maximal reduction of the
         // violator's cost among donors that stay within their own
-        // limits and minimum shares.
+        // limits and minimum shares. Candidate probes for every
+        // (resource, donor) pair are evaluated as one batch.
+        let mut jobs: Vec<(usize, Allocation)> = Vec::new();
+        for &res in &varied {
+            if alloc[v].get(res) + delta > 1.0 + 1e-9 {
+                continue;
+            }
+            jobs.push((v, alloc[v].shifted(res, delta)));
+            for (k, a) in alloc.iter().enumerate() {
+                if k == v || a.get(res) - delta < space.min_share - 1e-9 {
+                    continue;
+                }
+                jobs.push((k, a.shifted(res, -delta)));
+            }
+        }
+        let costs = eval.costs(&jobs);
+        let mut cursor = 0;
         let mut best: Option<(Resource, usize, f64)> = None;
         for &res in &varied {
             if alloc[v].get(res) + delta > 1.0 + 1e-9 {
                 continue;
             }
-            let relief = cost(v, alloc[v]) - cost(v, alloc[v].shifted(res, delta));
-            if relief <= 0.0 {
-                continue;
-            }
-            for k in 0..n {
-                if k == v || alloc[k].get(res) - delta < space.min_share - 1e-9 {
+            let relief = current[v] - costs[cursor];
+            cursor += 1;
+            let donors: Vec<usize> = (0..n)
+                .filter(|&k| k != v && alloc[k].get(res) - delta >= space.min_share - 1e-9)
+                .collect();
+            for k in donors {
+                let donor_cost = costs[cursor];
+                cursor += 1;
+                if relief <= 0.0 {
                     continue;
                 }
-                let donor_cost = cost(k, alloc[k].shifted(res, -delta));
                 if donor_cost > qos[k].degradation_limit * full_cost[k] + 1e-12 {
                     continue;
                 }
-                let score = relief - (donor_cost - cost(k, alloc[k]));
+                let score = relief - (donor_cost - current[k]);
                 let better = best.as_ref().is_none_or(|b| score > b.2);
                 if better {
                     best = Some((res, k, score));
@@ -137,9 +241,8 @@ pub fn greedy_search(
         alloc[donor] = alloc[donor].shifted(res, -delta);
     }
 
-    let mut weighted: Vec<f64> = (0..n)
-        .map(|i| qos[i].gain * cost(i, alloc[i]))
-        .collect();
+    let start_costs = eval.costs(&(0..n).map(|i| (i, alloc[i])).collect::<Vec<_>>());
+    let mut weighted: Vec<f64> = (0..n).map(|i| qos[i].gain * start_costs[i]).collect();
 
     let mut trace = Vec::new();
     let mut iterations = 0;
@@ -149,29 +252,52 @@ pub fn greedy_search(
     let max_iterations = 10_000;
 
     while iterations < max_iterations {
+        // Candidate batch: ±δ probes for every (resource, workload).
+        let mut jobs: Vec<(usize, Allocation)> = Vec::new();
+        for &res in &varied {
+            for (i, a) in alloc.iter().enumerate() {
+                let share = a.get(res);
+                if share + delta <= 1.0 + 1e-9 {
+                    jobs.push((i, a.shifted(res, delta)));
+                }
+                if share - delta >= space.min_share - 1e-9 {
+                    jobs.push((i, a.shifted(res, -delta)));
+                }
+            }
+        }
+        let costs = eval.costs(&jobs);
+
+        let mut cursor = 0;
         let mut best: Option<TraceStep> = None;
+        let mut best_up_cost = 0.0;
+        let mut best_down_cost = 0.0;
 
         for &res in &varied {
             // Who benefits most from +δ?
             let mut max_gain = 0.0;
             let mut i_gain = None;
+            let mut gain_cost = 0.0;
             // Who suffers least from −δ?
             let mut min_loss = f64::INFINITY;
             let mut i_lose = None;
+            let mut lose_cost = 0.0;
 
-            for i in 0..n {
-                let share = alloc[i].get(res);
+            for (i, a) in alloc.iter().enumerate() {
+                let share = a.get(res);
                 if share + delta <= 1.0 + 1e-9 {
-                    let c_up = qos[i].gain * cost(i, alloc[i].shifted(res, delta));
+                    let up_cost = costs[cursor];
+                    cursor += 1;
+                    let c_up = qos[i].gain * up_cost;
                     let gain = weighted[i] - c_up;
                     if gain > max_gain {
                         max_gain = gain;
                         i_gain = Some(i);
+                        gain_cost = up_cost;
                     }
                 }
                 if share - delta >= space.min_share - 1e-9 {
-                    let down = alloc[i].shifted(res, -delta);
-                    let c_down = cost(i, down);
+                    let c_down = costs[cursor];
+                    cursor += 1;
                     // Degradation limit: only take resources away if the
                     // reduced allocation still satisfies L_i.
                     if c_down <= qos[i].degradation_limit * full_cost[i] + 1e-12 {
@@ -179,6 +305,7 @@ pub fn greedy_search(
                         if loss < min_loss {
                             min_loss = loss;
                             i_lose = Some(i);
+                            lose_cost = c_down;
                         }
                     }
                 }
@@ -187,9 +314,7 @@ pub fn greedy_search(
             if let (Some(w), Some(l)) = (i_gain, i_lose) {
                 if w != l {
                     let improvement = max_gain - min_loss;
-                    let better = best
-                        .as_ref()
-                        .is_none_or(|b| improvement > b.improvement);
+                    let better = best.as_ref().is_none_or(|b| improvement > b.improvement);
                     if improvement > PROGRESS_EPS && better {
                         best = Some(TraceStep {
                             resource: res,
@@ -197,6 +322,8 @@ pub fn greedy_search(
                             loser: l,
                             improvement,
                         });
+                        best_up_cost = gain_cost;
+                        best_down_cost = lose_cost;
                     }
                 }
             }
@@ -205,13 +332,13 @@ pub fn greedy_search(
         let Some(step) = best else { break };
         alloc[step.winner] = alloc[step.winner].shifted(step.resource, delta);
         alloc[step.loser] = alloc[step.loser].shifted(step.resource, -delta);
-        weighted[step.winner] = qos[step.winner].gain * cost(step.winner, alloc[step.winner]);
-        weighted[step.loser] = qos[step.loser].gain * cost(step.loser, alloc[step.loser]);
+        weighted[step.winner] = qos[step.winner].gain * best_up_cost;
+        weighted[step.loser] = qos[step.loser].gain * best_down_cost;
         trace.push(step);
         iterations += 1;
     }
 
-    let costs: Vec<f64> = (0..n).map(|i| cost(i, alloc[i])).collect();
+    let costs = eval.costs(&(0..n).map(|i| (i, alloc[i])).collect::<Vec<_>>());
     let limits_met = costs
         .iter()
         .zip(qos)
@@ -219,11 +346,7 @@ pub fn greedy_search(
         .map(|((c, q), f)| *c <= q.degradation_limit * f + 1e-9)
         .collect();
     SearchResult {
-        weighted_cost: costs
-            .iter()
-            .zip(qos)
-            .map(|(c, q)| q.gain * c)
-            .sum(),
+        weighted_cost: costs.iter().zip(qos).map(|(c, q)| q.gain * c).sum(),
         allocations: alloc,
         costs,
         iterations,
@@ -232,16 +355,29 @@ pub fn greedy_search(
     }
 }
 
+/// Exact optimum over the δ-quantized grid with default (parallel)
+/// candidate evaluation. See [`exhaustive_search_with`].
+pub fn exhaustive_search<M: CostModel>(
+    space: &SearchSpace,
+    qos: &[QoS],
+    models: &[M],
+) -> SearchResult {
+    exhaustive_search_with(space, qos, models, &SearchOptions::default())
+}
+
 /// Exact optimum over the δ-quantized grid, via DP on remaining budget
 /// units. Infeasible points (degradation-limit violations) are
 /// excluded. Equivalent to brute-force enumeration of all feasible
 /// grid allocations because the objective is separable per workload.
-pub fn exhaustive_search(
-    n: usize,
+/// The per-workload cost tables over the grid are evaluated as one
+/// batch (in parallel when `options.parallel` is set).
+pub fn exhaustive_search_with<M: CostModel>(
     space: &SearchSpace,
     qos: &[QoS],
-    cost: &mut CostFn<'_>,
+    models: &[M],
+    options: &SearchOptions,
 ) -> SearchResult {
+    let n = models.len();
     assert!(n >= 1);
     assert_eq!(qos.len(), n);
     let varied = space.varied();
@@ -254,9 +390,10 @@ pub fn exhaustive_search(
         max_units >= min_units,
         "min_share too large for {n} workloads"
     );
+    let eval = Evaluator::new(models, options);
 
     let solo = space.solo_allocation();
-    let full_cost: Vec<f64> = (0..n).map(|i| cost(i, solo)).collect();
+    let full_cost = eval.costs(&(0..n).map(|i| (i, solo)).collect::<Vec<_>>());
 
     let vary_cpu = varied.contains(&Resource::Cpu);
     let vary_mem = varied.contains(&Resource::Memory);
@@ -278,51 +415,49 @@ pub fn exhaustive_search(
         }
     };
 
-    // Feasible own-share options per workload with weighted costs.
-    let cpu_range = |_: usize| -> Vec<usize> {
-        if vary_cpu {
-            (min_units..=max_units).collect()
-        } else {
-            vec![0]
-        }
+    // Feasible own-share options per workload.
+    let cpu_options: Vec<usize> = if vary_cpu {
+        (min_units..=max_units).collect()
+    } else {
+        vec![0]
     };
-    let mem_range = |_: usize| -> Vec<usize> {
-        if vary_mem {
-            (min_units..=max_units).collect()
-        } else {
-            vec![0]
-        }
+    let mem_options: Vec<usize> = if vary_mem {
+        (min_units..=max_units).collect()
+    } else {
+        vec![0]
     };
+
+    // Per-workload cost tables over the whole grid, evaluated as one
+    // batch: this is the bulk of the optimizer work, and the
+    // embarrassingly parallel part.
+    let mut jobs: Vec<(usize, Allocation)> = Vec::new();
+    let mut coords: Vec<(usize, usize, usize)> = Vec::new();
+    for i in 0..n {
+        for &cu in &cpu_options {
+            for &mu in &mem_options {
+                jobs.push((i, alloc_for(cu, mu)));
+                coords.push((i, cu, mu));
+            }
+        }
+    }
+    let grid_costs = eval.costs(&jobs);
+    #[allow(clippy::type_complexity)] // ((cpu units, mem units), cost, weighted cost) per option
+    let mut tables: Vec<Vec<((usize, usize), f64, f64)>> = vec![Vec::new(); n];
+    for ((i, cu, mu), c) in coords.into_iter().zip(grid_costs) {
+        if c <= qos[i].degradation_limit * full_cost[i] + 1e-12 {
+            tables[i].push(((cu, mu), c, qos[i].gain * c));
+        }
+    }
 
     // DP over (workload index, cpu units left, memory units left):
     // minimal weighted cost completing workloads i..n.
     let width = cpu_budget + 1;
     let height = mem_budget + 1;
     let idx = |c: usize, m: usize| c * height + m;
-    let mut next = vec![f64::INFINITY; width * height];
     // Base case: all workloads placed; leftover units are fine (the
     // constraint is Σ ≤ 1).
-    for v in next.iter_mut() {
-        *v = 0.0;
-    }
+    let mut next = vec![0.0_f64; width * height];
     let mut choices: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
-
-    // Precompute per-workload cost tables.
-    #[allow(clippy::type_complexity)] // ((cpu units, mem units), cost, weighted cost) per option
-    let mut tables: Vec<Vec<((usize, usize), f64, f64)>> = Vec::with_capacity(n);
-    for i in 0..n {
-        let mut t = Vec::new();
-        for &cu in &cpu_range(i) {
-            for &mu in &mem_range(i) {
-                let a = alloc_for(cu, mu);
-                let c = cost(i, a);
-                if c <= qos[i].degradation_limit * full_cost[i] + 1e-12 {
-                    t.push(((cu, mu), c, qos[i].gain * c));
-                }
-            }
-        }
-        tables.push(t);
-    }
 
     // Backward DP with parent reconstruction by re-derivation.
     let mut layers: Vec<Vec<f64>> = Vec::with_capacity(n + 1);
@@ -383,7 +518,16 @@ pub fn exhaustive_search(
             alloc_for(cu, mu)
         })
         .collect();
-    let costs: Vec<f64> = (0..n).map(|i| cost(i, allocations[i])).collect();
+    let costs: Vec<f64> = (0..n)
+        .map(|i| {
+            let (cu, mu) = choices[i][0];
+            tables[i]
+                .iter()
+                .find(|&&(units, _, _)| units == (cu, mu))
+                .map(|&(_, c, _)| c)
+                .expect("chosen option is in the table")
+        })
+        .collect();
     let limits_met = costs
         .iter()
         .zip(qos)
@@ -403,11 +547,14 @@ pub fn exhaustive_search(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::costmodel::model::FnCostModel;
 
-    /// Synthetic reciprocal cost models: cost_i = α_i/cpu + β_i (+
-    /// memory term when varied).
-    fn synth(alphas: Vec<f64>) -> impl FnMut(usize, Allocation) -> f64 {
-        move |i, a| alphas[i] / a.cpu + 1.0
+    /// Synthetic reciprocal cost models: cost_i = α_i/cpu + 1.
+    fn synth(alphas: Vec<f64>) -> Vec<impl CostModel> {
+        alphas
+            .into_iter()
+            .map(|alpha| FnCostModel::new(move |a: Allocation| alpha / a.cpu + 1.0))
+            .collect()
     }
 
     fn qos_n(n: usize) -> Vec<QoS> {
@@ -417,8 +564,8 @@ mod tests {
     #[test]
     fn greedy_gives_cpu_to_the_hungrier_workload() {
         let space = SearchSpace::cpu_only(0.5);
-        let mut cost = synth(vec![10.0, 1.0]);
-        let r = greedy_search(2, &space, &qos_n(2), &mut cost);
+        let models = synth(vec![10.0, 1.0]);
+        let r = greedy_search(&space, &qos_n(2), &models);
         assert!(r.allocations[0].cpu > 0.6, "{:?}", r.allocations);
         assert!((r.allocations[0].cpu + r.allocations[1].cpu - 1.0).abs() < 1e-9);
     }
@@ -426,8 +573,8 @@ mod tests {
     #[test]
     fn greedy_keeps_symmetric_workloads_even() {
         let space = SearchSpace::cpu_only(0.5);
-        let mut cost = synth(vec![5.0, 5.0]);
-        let r = greedy_search(2, &space, &qos_n(2), &mut cost);
+        let models = synth(vec![5.0, 5.0]);
+        let r = greedy_search(&space, &qos_n(2), &models);
         assert_eq!(r.iterations, 0);
         assert!((r.allocations[0].cpu - 0.5).abs() < 1e-9);
     }
@@ -436,12 +583,8 @@ mod tests {
     fn greedy_total_cost_never_increases() {
         let space = SearchSpace::cpu_only(0.5);
         let alphas = [8.0, 3.0, 1.0, 0.5];
-        let mut calls: Vec<(usize, Allocation)> = Vec::new();
-        let mut cost = |i: usize, a: Allocation| {
-            calls.push((i, a));
-            alphas[i] / a.cpu + 1.0
-        };
-        let r = greedy_search(4, &space, &qos_n(4), &mut cost);
+        let models = synth(alphas.to_vec());
+        let r = greedy_search(&space, &qos_n(4), &models);
         // Replay the trace and verify monotone improvement.
         let mut alloc = vec![space.default_allocation(4); 4];
         let total = |alloc: &[Allocation]| -> f64 {
@@ -468,11 +611,10 @@ mod tests {
         // Workload 0 is hungry; workload 1 has a limit of 2× its
         // solo cost (cost_1(r) = 2/r + 1, solo cost 3 → cap 6 →
         // r_1 ≥ 0.4).
-        let mut unconstrained = synth(vec![10.0, 2.0]);
-        let free = greedy_search(2, &space, &qos_n(2), &mut unconstrained);
-        let mut cost = synth(vec![10.0, 2.0]);
+        let models = synth(vec![10.0, 2.0]);
+        let free = greedy_search(&space, &qos_n(2), &models);
         let qos = vec![QoS::default(), QoS::with_limit(2.0)];
-        let r = greedy_search(2, &space, &qos, &mut cost);
+        let r = greedy_search(&space, &qos, &models);
         let full = 2.0 / 1.0 + 1.0;
         assert!(
             r.costs[1] <= 2.0 * full + 1e-9,
@@ -490,22 +632,19 @@ mod tests {
     fn greedy_gain_factor_biases_allocation() {
         let space = SearchSpace::cpu_only(0.5);
         // Identical workloads; gain pulls resources to workload 0.
-        let mut c1 = synth(vec![5.0, 5.0]);
-        let r_plain = greedy_search(2, &space, &qos_n(2), &mut c1);
-        let mut c2 = synth(vec![5.0, 5.0]);
+        let models = synth(vec![5.0, 5.0]);
+        let r_plain = greedy_search(&space, &qos_n(2), &models);
         let qos = vec![QoS::with_gain(5.0), QoS::default()];
-        let r_gain = greedy_search(2, &space, &qos, &mut c2);
+        let r_gain = greedy_search(&space, &qos, &models);
         assert!(r_gain.allocations[0].cpu > r_plain.allocations[0].cpu);
     }
 
     #[test]
     fn greedy_matches_exhaustive_on_reciprocal_models() {
         let space = SearchSpace::cpu_only(0.5);
-        let alphas = vec![9.0, 4.0, 1.0];
-        let mut g_cost = synth(alphas.clone());
-        let greedy = greedy_search(3, &space, &qos_n(3), &mut g_cost);
-        let mut e_cost = synth(alphas);
-        let exact = exhaustive_search(3, &space, &qos_n(3), &mut e_cost);
+        let models = synth(vec![9.0, 4.0, 1.0]);
+        let greedy = greedy_search(&space, &qos_n(3), &models);
+        let exact = exhaustive_search(&space, &qos_n(3), &models);
         // Paper: greedy is very often optimal, always within 5 %.
         assert!(
             greedy.weighted_cost <= exact.weighted_cost * 1.05 + 1e-9,
@@ -520,24 +659,27 @@ mod tests {
         let space = SearchSpace::cpu_only(0.5);
         // cost_0 dominated by CPU, cost_1 flat: optimum pushes
         // workload 0 to the max share.
-        let mut cost = |i: usize, a: Allocation| -> f64 {
-            if i == 0 {
-                100.0 / a.cpu
-            } else {
-                10.0 + 0.001 / a.cpu
-            }
-        };
-        let r = exhaustive_search(2, &space, &qos_n(2), &mut cost);
-        assert!((r.allocations[0].cpu - 0.95).abs() < 1e-9, "{:?}", r.allocations);
+        let m0 = FnCostModel::new(|a: Allocation| 100.0 / a.cpu);
+        let m1 = FnCostModel::new(|a: Allocation| 10.0 + 0.001 / a.cpu);
+        let models: Vec<&dyn CostModel> = vec![&m0, &m1];
+        let r = exhaustive_search(&space, &qos_n(2), &models);
+        assert!(
+            (r.allocations[0].cpu - 0.95).abs() < 1e-9,
+            "{:?}",
+            r.allocations
+        );
         assert!((r.allocations[1].cpu - 0.05).abs() < 1e-9);
     }
 
     #[test]
     fn exhaustive_respects_budget_on_both_resources() {
         let space = SearchSpace::cpu_and_memory();
-        let mut cost =
-            |i: usize, a: Allocation| -> f64 { (i as f64 + 1.0) / a.cpu + 2.0 / a.memory };
-        let r = exhaustive_search(3, &space, &qos_n(3), &mut cost);
+        let models: Vec<_> = (0..3)
+            .map(|i| {
+                FnCostModel::new(move |a: Allocation| (i as f64 + 1.0) / a.cpu + 2.0 / a.memory)
+            })
+            .collect();
+        let r = exhaustive_search(&space, &qos_n(3), &models);
         let cpu_sum: f64 = r.allocations.iter().map(|a| a.cpu).sum();
         let mem_sum: f64 = r.allocations.iter().map(|a| a.memory).sum();
         assert!(cpu_sum <= 1.0 + 1e-9);
@@ -547,12 +689,12 @@ mod tests {
     #[test]
     fn exhaustive_excludes_degradation_violations() {
         let space = SearchSpace::cpu_only(0.5);
-        let mut cost = synth(vec![10.0, 10.0]);
+        let models = synth(vec![10.0, 10.0]);
         let qos = vec![QoS::with_limit(1.05), QoS::with_limit(1.05)];
         // Both want nearly everything; the only feasible points keep
         // both near full — impossible — so the DP must panic.
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            exhaustive_search(2, &space, &qos, &mut cost)
+            exhaustive_search(&space, &qos, &models)
         }));
         assert!(result.is_err(), "infeasible problem must be reported");
     }
@@ -561,14 +703,10 @@ mod tests {
     fn greedy_two_resources_splits_by_affinity() {
         let space = SearchSpace::cpu_and_memory();
         // Workload 0 is CPU-bound, workload 1 memory-bound.
-        let mut cost = |i: usize, a: Allocation| -> f64 {
-            if i == 0 {
-                20.0 / a.cpu + 1.0 / a.memory
-            } else {
-                1.0 / a.cpu + 20.0 / a.memory
-            }
-        };
-        let r = greedy_search(2, &space, &qos_n(2), &mut cost);
+        let m0 = FnCostModel::new(|a: Allocation| 20.0 / a.cpu + 1.0 / a.memory);
+        let m1 = FnCostModel::new(|a: Allocation| 1.0 / a.cpu + 20.0 / a.memory);
+        let models: Vec<&dyn CostModel> = vec![&m0, &m1];
+        let r = greedy_search(&space, &qos_n(2), &models);
         assert!(r.allocations[0].cpu > 0.6, "{:?}", r.allocations);
         assert!(r.allocations[1].memory > 0.6, "{:?}", r.allocations);
     }
@@ -580,10 +718,10 @@ mod tests {
         // A limit of 2.5 forces the pre-phase to push the constrained
         // workload above the symmetric share before Fig. 11 runs.
         let space = SearchSpace::cpu_only(0.5);
-        let mut cost = synth(vec![5.0; 5]);
+        let models = synth(vec![5.0; 5]);
         let mut qos = qos_n(5);
         qos[0] = QoS::with_limit(2.5);
-        let r = greedy_search(5, &space, &qos, &mut cost);
+        let r = greedy_search(&space, &qos, &models);
         assert!(r.limits_met[0], "{:?}", r);
         let full = 5.0 + 1.0;
         assert!(r.costs[0] <= 2.5 * full + 1e-9);
@@ -598,9 +736,9 @@ mod tests {
         // Both workloads demand more than half the machine to stay
         // within their limits: jointly infeasible.
         let space = SearchSpace::cpu_only(0.5);
-        let mut cost = synth(vec![10.0, 10.0]);
+        let models = synth(vec![10.0, 10.0]);
         let qos = vec![QoS::with_limit(1.05), QoS::with_limit(1.05)];
-        let r = greedy_search(2, &space, &qos, &mut cost);
+        let r = greedy_search(&space, &qos, &models);
         assert!(
             r.limits_met.iter().any(|m| !m),
             "jointly infeasible limits must be reported: {:?}",
@@ -611,9 +749,51 @@ mod tests {
     #[test]
     fn single_workload_keeps_everything() {
         let space = SearchSpace::cpu_only(0.5);
-        let mut cost = synth(vec![5.0]);
-        let r = greedy_search(1, &space, &qos_n(1), &mut cost);
+        let models = synth(vec![5.0]);
+        let r = greedy_search(&space, &qos_n(1), &models);
         assert_eq!(r.iterations, 0);
         assert!((r.allocations[0].cpu - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_and_serial_paths_are_bit_identical() {
+        let space = SearchSpace::cpu_and_memory();
+        let models: Vec<_> = [3.0, 8.0, 1.5, 5.0]
+            .into_iter()
+            .enumerate()
+            .map(|(i, alpha)| {
+                FnCostModel::new(move |a: Allocation| alpha / a.cpu + (i as f64 + 1.0) / a.memory)
+            })
+            .collect();
+        let qos = vec![
+            QoS::default(),
+            QoS::with_limit(3.0),
+            QoS::with_gain(2.0),
+            QoS::default(),
+        ];
+        let serial = greedy_search_with(&space, &qos, &models, &SearchOptions::serial());
+        let parallel = greedy_search_with(&space, &qos, &models, &SearchOptions::parallel());
+        assert_eq!(serial, parallel);
+        let e_serial = exhaustive_search_with(&space, &qos, &models, &SearchOptions::serial());
+        let e_parallel = exhaustive_search_with(&space, &qos, &models, &SearchOptions::parallel());
+        assert_eq!(e_serial, e_parallel);
+    }
+
+    #[test]
+    fn batch_evaluator_dedups_repeated_probes() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let calls = AtomicU64::new(0);
+        let model = FnCostModel::new(|a: Allocation| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            1.0 / a.cpu
+        });
+        let models = [&model, &model];
+        let eval = Evaluator::new(&models, &SearchOptions::serial());
+        let a = Allocation::new(0.5, 0.5);
+        let out = eval.costs(&[(0, a), (1, a), (0, a), (0, Allocation::new(0.25, 0.5))]);
+        assert_eq!(out.len(), 4);
+        assert_eq!(out[0], out[2]);
+        // (0,a) twice dedups; (1,a) is a distinct workload slot.
+        assert_eq!(calls.load(Ordering::Relaxed), 3);
     }
 }

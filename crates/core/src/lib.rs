@@ -38,9 +38,16 @@ pub mod refine;
 pub mod tenant;
 
 pub use advisor::{Recommendation, VirtualizationDesignAdvisor};
-pub use costmodel::{CalibratedModel, Calibrator, Estimate, Renormalizer, WhatIfEstimator};
+pub use costmodel::{
+    ActualCostModel, CalibratedModel, Calibrator, CostModel, Estimate, FnCostModel,
+    RegimeFnCostModel, Renormalizer, SharedEstimateCache, WhatIfEstimator,
+};
 pub use dynamic::{DynamicConfigManager, DynamicOptions, ManagementMode, PeriodReport};
-pub use enumerate::{exhaustive_search, greedy_search, SearchResult, TraceStep};
+pub use enumerate::{
+    exhaustive_search, exhaustive_search_with, greedy_search, greedy_search_with, SearchOptions,
+    SearchResult, TraceStep,
+};
+pub use metrics::CostAccounting;
 pub use problem::{Allocation, QoS, Resource, SearchSpace};
 pub use refine::{RefineOptions, RefinedModel, RefinementOutcome};
 pub use tenant::{BoundStatement, Tenant};

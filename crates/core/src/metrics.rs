@@ -1,4 +1,29 @@
-//! Performance metrics shared by the experiments (§7.1).
+//! Performance metrics shared by the experiments (§7.1), plus
+//! optimizer-call accounting over [`CostModel`] sets (§7.2 reports the
+//! advisor's search cost in optimizer invocations).
+
+use crate::costmodel::model::CostModel;
+use serde::{Deserialize, Serialize};
+
+/// Aggregated optimizer-call/cache-hit accounting over a set of cost
+/// models (one search's worth of estimators, typically).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CostAccounting {
+    /// Total query-optimizer invocations.
+    pub optimizer_calls: u64,
+    /// Total estimate-cache hits.
+    pub cache_hits: u64,
+}
+
+impl CostAccounting {
+    /// Sum the counters of every model in the set.
+    pub fn tally<M: CostModel>(models: &[M]) -> Self {
+        CostAccounting {
+            optimizer_calls: models.iter().map(|m| m.optimizer_calls()).sum(),
+            cache_hits: models.iter().map(|m| m.cache_hits()).sum(),
+        }
+    }
+}
 
 /// Relative improvement of `t_candidate` over `t_default`:
 /// `(T_default − T_candidate) / T_default`. Positive is better;
@@ -19,6 +44,20 @@ pub fn degradation(cost_at_alloc: f64, cost_at_full: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::costmodel::model::FnCostModel;
+    use crate::problem::Allocation;
+
+    #[test]
+    fn accounting_tallies_zero_for_synthetic_models() {
+        let models: Vec<_> = (0..3)
+            .map(|_| FnCostModel::new(|a: Allocation| 1.0 / a.cpu))
+            .collect();
+        models.iter().for_each(|m| {
+            use crate::costmodel::model::CostModel;
+            let _ = m.cost(Allocation::new(0.5, 0.5));
+        });
+        assert_eq!(CostAccounting::tally(&models), CostAccounting::default());
+    }
 
     #[test]
     fn improvement_signs() {

@@ -223,7 +223,11 @@ impl SearchSpace {
     pub fn solo_allocation(&self) -> Allocation {
         Allocation {
             cpu: if self.vary_cpu { 1.0 } else { self.fixed.cpu },
-            memory: if self.vary_memory { 1.0 } else { self.fixed.memory },
+            memory: if self.vary_memory {
+                1.0
+            } else {
+                self.fixed.memory
+            },
         }
     }
 }

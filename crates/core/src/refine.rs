@@ -20,7 +20,9 @@
 //! search on the refined models — no optimizer calls — and repeats
 //! until the recommendation stops changing.
 
-use crate::enumerate::{greedy_search, SearchResult};
+use crate::costmodel::model::CostModel;
+use crate::costmodel::whatif::Estimate;
+use crate::enumerate::{greedy_search_with, SearchOptions, SearchResult};
 use crate::problem::{Allocation, QoS, Resource, SearchSpace};
 use serde::{Deserialize, Serialize};
 use vda_stats::MultiLinearFit;
@@ -87,21 +89,19 @@ impl RefinedModel {
     /// costs ... that we obtain during the configuration enumeration
     /// phase").
     ///
-    /// `estimate` returns `(cost_seconds, plan_regime)` for an
-    /// allocation; `grid` is the number of sample levels per varied
-    /// resource.
-    pub fn fit_initial(
-        space: &SearchSpace,
-        grid: usize,
-        estimate: &mut dyn FnMut(Allocation) -> (f64, u64),
-    ) -> Self {
+    /// `source` is any [`CostModel`] (normally the tenant's what-if
+    /// estimator) supplying `(seconds, plan_regime)` samples; `grid`
+    /// is the number of sample levels per varied resource.
+    pub fn fit_initial(space: &SearchSpace, grid: usize, source: &dyn CostModel) -> Self {
+        let estimate = |alloc: Allocation| {
+            let e = source.estimate(alloc);
+            (e.seconds, e.plan_regime)
+        };
         let varied = space.varied();
         assert!(!varied.is_empty());
         let grid = grid.max(3);
         let levels: Vec<f64> = (0..grid)
-            .map(|i| {
-                space.min_share + (1.0 - space.min_share) * i as f64 / (grid - 1) as f64
-            })
+            .map(|i| space.min_share + (1.0 - space.min_share) * i as f64 / (grid - 1) as f64)
             .collect();
         let piecewise_memory = varied.contains(&Resource::Memory);
 
@@ -172,7 +172,9 @@ impl RefinedModel {
         let global = MultiLinearFit::fit(&all_rows, &all_ys).ok();
         for (piece, (rows, ys)) in pieces.iter_mut().zip(&rows_per_piece) {
             let fit = if rows.len() > varied.len() {
-                MultiLinearFit::fit(rows, ys).ok().or_else(|| global.clone())
+                MultiLinearFit::fit(rows, ys)
+                    .ok()
+                    .or_else(|| global.clone())
             } else {
                 global.clone()
             };
@@ -272,6 +274,44 @@ impl RefinedModel {
     }
 }
 
+impl CostModel for RefinedModel {
+    fn estimate(&self, alloc: Allocation) -> Estimate {
+        let piece = self.piece_for(self.piecewise_share(alloc));
+        Estimate {
+            seconds: self.pieces[piece].predict_inv(&self.inv_row(alloc)),
+            plan_regime: self.pieces[piece].plan_regime,
+            avg_cost_per_statement: 0.0,
+        }
+    }
+}
+
+/// A refined model constrained by the §5.2 Δmax clamp: resources whose
+/// refined models are not trusted globally may move at most `delta_max`
+/// from the deployed allocation in one refinement round; clamped-out
+/// allocations cost `+∞` so the greedy search never selects them.
+struct ClampedModel<'a> {
+    model: &'a RefinedModel,
+    base: Allocation,
+    clamp: Option<&'a (Vec<Resource>, f64)>,
+}
+
+impl CostModel for ClampedModel<'_> {
+    fn estimate(&self, alloc: Allocation) -> Estimate {
+        if let Some((resources, dmax)) = self.clamp {
+            for r in resources {
+                if (alloc.get(*r) - self.base.get(*r)).abs() > *dmax + 1e-9 {
+                    return Estimate {
+                        seconds: f64::INFINITY,
+                        plan_regime: 0,
+                        avg_cost_per_statement: 0.0,
+                    };
+                }
+            }
+        }
+        self.model.estimate(alloc)
+    }
+}
+
 fn piece_index(pieces: &[ModelPiece], share: f64) -> usize {
     let mut best = 0;
     let mut best_d = f64::INFINITY;
@@ -329,17 +369,23 @@ pub struct RefinementOutcome {
 /// Run online refinement: observe actuals at the current
 /// recommendation, update the models, re-run greedy search on the
 /// refined models, repeat until the recommendation stabilizes.
-pub fn refine(
+///
+/// `actuals[i]` is the ground-truth oracle for workload `i` (the
+/// executor-backed
+/// [`ActualCostModel`](crate::costmodel::model::ActualCostModel) in
+/// production, synthetic models in tests).
+pub fn refine<A: CostModel>(
     models: &mut [RefinedModel],
     space: &SearchSpace,
     qos: &[QoS],
     start: &[Allocation],
-    actual: &mut dyn FnMut(usize, Allocation) -> f64,
+    actuals: &[A],
     opts: &RefineOptions,
 ) -> RefinementOutcome {
     let n = models.len();
     assert_eq!(qos.len(), n);
     assert_eq!(start.len(), n);
+    assert_eq!(actuals.len(), n, "one ground-truth oracle per workload");
     let mut current: Vec<Allocation> = start.to_vec();
     let mut history: Vec<Vec<(f64, f64)>> = vec![Vec::new(); n];
     let mut converged = false;
@@ -357,7 +403,7 @@ pub fn refine(
         let mut observed_total = 0.0;
         for i in 0..n {
             let est = models[i].predict(current[i]);
-            let act = actual(i, current[i]);
+            let act = actuals[i].cost(current[i]);
             observed_total += qos[i].gain * act;
             history[i].push((est, act));
             models[i].observe(current[i], act);
@@ -367,29 +413,25 @@ pub fn refine(
         }
 
         // Re-run the advisor on the refined models (no optimizer
-        // calls, §7.2).
-        let clamp = opts.delta_max.clone();
-        let base = current.clone();
-        let mut cost = |i: usize, a: Allocation| -> f64 {
-            if let Some((resources, dmax)) = &clamp {
-                for r in resources {
-                    if (a.get(*r) - base[i].get(*r)).abs() > *dmax + 1e-9 {
-                        return f64::INFINITY;
-                    }
-                }
-            }
-            models[i].predict(a)
-        };
-        let result: SearchResult = greedy_search(n, space, qos, &mut cost);
-
-        let same = result
-            .allocations
+        // calls, §7.2), with the §5.2 Δmax clamp applied per workload.
+        // Refined predictions are a handful of FLOPs, so serial
+        // evaluation beats paying per-batch threading overhead.
+        let clamped: Vec<ClampedModel<'_>> = models
             .iter()
             .zip(&current)
-            .all(|(a, b)| {
-                (a.cpu - b.cpu).abs() < space.delta / 2.0
-                    && (a.memory - b.memory).abs() < space.delta / 2.0
-            });
+            .map(|(model, &base)| ClampedModel {
+                model,
+                base,
+                clamp: opts.delta_max.as_ref(),
+            })
+            .collect();
+        let result: SearchResult =
+            greedy_search_with(space, qos, &clamped, &SearchOptions::serial());
+
+        let same = result.allocations.iter().zip(&current).all(|(a, b)| {
+            (a.cpu - b.cpu).abs() < space.delta / 2.0
+                && (a.memory - b.memory).abs() < space.delta / 2.0
+        });
         current = result.allocations;
         if same {
             converged = true;
@@ -400,7 +442,7 @@ pub fn refine(
     // Final guard: measure the last recommendation and fall back to the
     // best observed configuration if the models wandered.
     let final_total: f64 = (0..n)
-        .map(|i| qos[i].gain * actual(i, current[i]))
+        .map(|i| qos[i].gain * actuals[i].cost(current[i]))
         .sum();
     if let Some((best_total, best_alloc)) = best {
         if best_total < final_total {
@@ -419,12 +461,13 @@ pub fn refine(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::costmodel::model::{FnCostModel, RegimeFnCostModel};
 
     /// A synthetic "truth" the optimizer misjudges by a constant
     /// factor: true cost = bias · (α/r_cpu) + β.
     fn make_model(space: &SearchSpace, alpha: f64, beta: f64) -> RefinedModel {
-        let mut est = |a: Allocation| -> (f64, u64) { (alpha / a.cpu + beta, 1) };
-        RefinedModel::fit_initial(space, 8, &mut est)
+        let est = RegimeFnCostModel::new(move |a: Allocation| (alpha / a.cpu + beta, 1));
+        RefinedModel::fit_initial(space, 8, &est)
     }
 
     #[test]
@@ -478,14 +521,14 @@ mod tests {
         let space = SearchSpace::memory_only(0.5);
         // Two regimes: spilling below 40 % memory (steep), in-memory
         // above (flat).
-        let mut est = |a: Allocation| -> (f64, u64) {
+        let est = RegimeFnCostModel::new(|a: Allocation| {
             if a.memory < 0.4 {
                 (50.0 / a.memory + 10.0, 111)
             } else {
                 (5.0 / a.memory + 20.0, 222)
             }
-        };
-        let m = RefinedModel::fit_initial(&space, 12, &mut est);
+        });
+        let m = RefinedModel::fit_initial(&space, 12, &est);
         assert_eq!(m.pieces.len(), 2, "{:?}", m.pieces.len());
         let lo = m.predict(Allocation::new(0.5, 0.2));
         let hi = m.predict(Allocation::new(0.5, 0.8));
@@ -496,14 +539,14 @@ mod tests {
     #[test]
     fn later_observations_scale_only_their_piece() {
         let space = SearchSpace::memory_only(0.5);
-        let mut est = |a: Allocation| -> (f64, u64) {
+        let est = RegimeFnCostModel::new(|a: Allocation| {
             if a.memory < 0.4 {
                 (50.0 / a.memory, 111)
             } else {
                 (5.0 / a.memory, 222)
             }
-        };
-        let mut m = RefinedModel::fit_initial(&space, 12, &mut est);
+        });
+        let mut m = RefinedModel::fit_initial(&space, 12, &est);
         // First observation: global scale ×2 (both pieces move).
         m.observe(Allocation::new(0.5, 0.2), 2.0 * 50.0 / 0.2);
         let hi_before = m.predict(Allocation::new(0.5, 0.8));
@@ -523,15 +566,17 @@ mod tests {
         let space = SearchSpace::cpu_only(0.5);
         // Initial recommendation from the (wrong) models: even split.
         let start = vec![Allocation::new(0.5, 0.5), Allocation::new(0.5, 0.5)];
-        let truth = [50.0, 10.0];
-        let mut actual = |i: usize, a: Allocation| truth[i] / a.cpu + 1.0;
+        let actuals: Vec<_> = [50.0, 10.0]
+            .into_iter()
+            .map(|alpha| FnCostModel::new(move |a: Allocation| alpha / a.cpu + 1.0))
+            .collect();
         let mut models = vec![make_model(&space, 10.0, 1.0), make_model(&space, 10.0, 1.0)];
         let out = refine(
             &mut models,
             &space,
             &[QoS::default(), QoS::default()],
             &start,
-            &mut actual,
+            &actuals,
             &RefineOptions::default(),
         );
         assert!(out.converged, "refinement should converge");
@@ -545,14 +590,19 @@ mod tests {
 
     #[test]
     fn refinement_stops_at_iteration_cap() {
+        use std::sync::atomic::{AtomicU64, Ordering};
         let space = SearchSpace::cpu_only(0.5);
         let mut models = vec![make_model(&space, 10.0, 1.0), make_model(&space, 10.0, 1.0)];
         // Pathological oscillating "actual" that never stabilizes.
-        let mut flip: f64 = 1.0;
-        let mut actual = |_: usize, a: Allocation| {
-            flip = -flip;
-            (10.0 + 40.0 * flip.max(0.0)) / a.cpu
+        let ticks = AtomicU64::new(0);
+        let oscillating = move |a: Allocation| {
+            let flip = ticks.fetch_add(1, Ordering::Relaxed) % 2 == 1;
+            (10.0 + if flip { 40.0 } else { 0.0 }) / a.cpu
         };
+        let actuals = vec![
+            FnCostModel::new(&oscillating),
+            FnCostModel::new(&oscillating),
+        ];
         let opts = RefineOptions {
             max_iterations: 3,
             ..RefineOptions::default()
@@ -563,7 +613,7 @@ mod tests {
             &space,
             &[QoS::default(); 2],
             &start,
-            &mut actual,
+            &actuals,
             &opts,
         );
         assert!(out.iterations <= 3);
@@ -572,20 +622,18 @@ mod tests {
     #[test]
     fn delta_max_clamps_untrusted_resource() {
         let space = SearchSpace::cpu_and_memory();
-        let mut est0 = |a: Allocation| -> (f64, u64) { (10.0 / a.cpu + 10.0 / a.memory, 1) };
-        let mut est1 = |a: Allocation| -> (f64, u64) { (10.0 / a.cpu + 10.0 / a.memory, 1) };
+        let est = RegimeFnCostModel::new(|a: Allocation| (10.0 / a.cpu + 10.0 / a.memory, 1));
         let mut models = vec![
-            RefinedModel::fit_initial(&space, 8, &mut est0),
-            RefinedModel::fit_initial(&space, 8, &mut est1),
+            RefinedModel::fit_initial(&space, 8, &est),
+            RefinedModel::fit_initial(&space, 8, &est),
         ];
         // Truth wildly favors workload 0 on memory.
-        let mut actual = |i: usize, a: Allocation| {
-            if i == 0 {
-                10.0 / a.cpu + 100.0 / a.memory
-            } else {
-                10.0 / a.cpu + 1.0 / a.memory
-            }
-        };
+        let actuals: Vec<_> = [100.0, 1.0]
+            .into_iter()
+            .map(|mem_alpha| {
+                FnCostModel::new(move |a: Allocation| 10.0 / a.cpu + mem_alpha / a.memory)
+            })
+            .collect();
         let opts = RefineOptions {
             max_iterations: 1,
             delta_max: Some((vec![Resource::Memory], 0.1)),
@@ -597,7 +645,7 @@ mod tests {
             &space,
             &[QoS::default(); 2],
             &start,
-            &mut actual,
+            &actuals,
             &opts,
         );
         for (a, s) in out.final_allocations.iter().zip(&start) {
@@ -612,14 +660,14 @@ mod tests {
     fn history_records_est_and_actual() {
         let space = SearchSpace::cpu_only(0.5);
         let mut models = vec![make_model(&space, 10.0, 1.0)];
-        let mut actual = |_: usize, a: Allocation| 20.0 / a.cpu + 1.0;
+        let actuals = vec![FnCostModel::new(|a: Allocation| 20.0 / a.cpu + 1.0)];
         let start = vec![Allocation::new(1.0, 0.5)];
         let out = refine(
             &mut models,
             &space,
             &[QoS::default()],
             &start,
-            &mut actual,
+            &actuals,
             &RefineOptions::default(),
         );
         assert!(!out.history[0].is_empty());

@@ -37,6 +37,9 @@ pub struct Tenant {
     /// The current workload description.
     pub workload: Workload,
     bound: Vec<BoundStatement>,
+    /// Memoized [`Self::fingerprint`]; engine and catalog are fixed
+    /// for a tenant's lifetime, so only workload mutations reset it.
+    fingerprint: std::sync::OnceLock<u64>,
 }
 
 impl Tenant {
@@ -55,6 +58,7 @@ impl Tenant {
             catalog,
             workload,
             bound,
+            fingerprint: std::sync::OnceLock::new(),
         })
     }
 
@@ -73,6 +77,7 @@ impl Tenant {
     pub fn set_workload(&mut self, workload: Workload) -> DbResult<()> {
         self.bound = bind_workload(&workload, &self.catalog)?;
         self.workload = workload;
+        self.fingerprint = std::sync::OnceLock::new();
         Ok(())
     }
 
@@ -83,6 +88,30 @@ impl Tenant {
         for s in &mut self.bound {
             s.count *= factor;
         }
+        self.fingerprint = std::sync::OnceLock::new();
+    }
+
+    /// Stable identity of everything that determines a what-if
+    /// estimate for this tenant besides the calibrated model and the
+    /// candidate allocation: engine (kind *and* tuning policy),
+    /// catalog statistics, and the workload's statements with their
+    /// frequencies. Shared estimate caches key entries by it, so a
+    /// workload change makes old entries unreachable rather than
+    /// wrong. Memoized: computed once per workload generation
+    /// (mutating the `workload` field directly bypasses the reset —
+    /// use [`Self::set_workload`]/[`Self::scale_workload`]).
+    pub fn fingerprint(&self) -> u64 {
+        *self.fingerprint.get_or_init(|| {
+            let mut h = vda_simdb::hash::Fnv64::new();
+            h.write_str(&format!("{:?}", self.engine));
+            h.write_u64(self.catalog.signature());
+            for s in &self.workload.statements {
+                h.write_str(&s.sql);
+                h.write_u64(s.count.to_bits());
+                h.write_u64(s.concurrency.to_bits());
+            }
+            h.finish()
+        })
     }
 
     /// Measure the **actual** cost (total seconds) of running this

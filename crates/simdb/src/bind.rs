@@ -14,9 +14,7 @@
 
 use crate::catalog::Catalog;
 use crate::hash::fnv1a;
-use crate::sql::{
-    parse_statement, BinOp, ColRef, Expr, SelectItem, SelectStmt, Statement,
-};
+use crate::sql::{parse_statement, BinOp, ColRef, Expr, SelectItem, SelectStmt, Statement};
 use crate::{DbError, Result};
 
 /// Default selectivity of a range comparison (`<`, `<=`, `>`, `>=`).
@@ -115,8 +113,7 @@ impl JoinEdge {
     /// Whether this edge connects `rel` to any relation in `mask`
     /// (bitmask over relation indexes).
     pub fn connects(&self, mask: u64, rel: usize) -> bool {
-        (self.a == rel && mask & (1 << self.b) != 0)
-            || (self.b == rel && mask & (1 << self.a) != 0)
+        (self.a == rel && mask & (1 << self.b) != 0) || (self.b == rel && mask & (1 << self.a) != 0)
     }
 }
 
@@ -267,10 +264,12 @@ pub fn bind_parsed(stmt: &Statement, catalog: &Catalog) -> Result<BoundQuery> {
                 ..SelectStmt::default()
             };
             // Assignment right-hand sides cost operators per row.
-            select.items.extend(u.set.iter().map(|(_, e)| SelectItem::Expr {
-                expr: e.clone(),
-                alias: None,
-            }));
+            select
+                .items
+                .extend(u.set.iter().map(|(_, e)| SelectItem::Expr {
+                    expr: e.clone(),
+                    alias: None,
+                }));
             let mut bq = Binder::new(catalog).bind_select(&select, &[])?;
             let rows = bq.relations[0].filtered_rows();
             bq.write = Some(WriteSpec {
@@ -420,8 +419,12 @@ impl<'a> Binder<'a> {
         if has_agg || !stmt.group_by.is_empty() {
             let mut group_ndv = 1.0;
             for col in &stmt.group_by {
-                if let Resolved::Local { ndv, rel, column, width } =
-                    self.resolve_col(col, &scope, outer)?
+                if let Resolved::Local {
+                    ndv,
+                    rel,
+                    column,
+                    width,
+                } = self.resolve_col(col, &scope, outer)?
                 {
                     group_ndv *= ndv.max(1.0);
                     note_referenced(&mut scope, rel, &column, width);
@@ -446,8 +449,9 @@ impl<'a> Binder<'a> {
         }
 
         for (col, _) in &stmt.order_by {
-            if let Resolved::Local { rel, column, width, .. } =
-                self.resolve_col(col, &scope, outer)?
+            if let Resolved::Local {
+                rel, column, width, ..
+            } = self.resolve_col(col, &scope, outer)?
             {
                 note_referenced(&mut scope, rel, &column, width);
             }
@@ -522,21 +526,36 @@ impl<'a> Binder<'a> {
         visible: &[OuterAlias],
     ) -> Result<()> {
         match pred {
-            Expr::Binary { op, left, right, hint_sel } if op.is_comparison() => {
+            Expr::Binary {
+                op,
+                left,
+                right,
+                hint_sel,
+            } if op.is_comparison() => {
                 self.bind_comparison(*op, left, right, *hint_sel, scope, outer, visible)
             }
             Expr::Between { expr, hint_sel, .. } => {
                 let sel = hint_sel.unwrap_or(DEFAULT_BETWEEN_SEL);
                 self.apply_local_filter(expr, sel, 2.0, None, scope, outer)
             }
-            Expr::Like { expr, negated, hint_sel, .. } => {
+            Expr::Like {
+                expr,
+                negated,
+                hint_sel,
+                ..
+            } => {
                 let mut sel = hint_sel.unwrap_or(DEFAULT_LIKE_SEL);
                 if *negated {
                     sel = 1.0 - sel;
                 }
                 self.apply_local_filter(expr, sel, LIKE_OPS, None, scope, outer)
             }
-            Expr::InList { expr, list, negated, hint_sel } => {
+            Expr::InList {
+                expr,
+                list,
+                negated,
+                hint_sel,
+            } => {
                 let sel = match hint_sel {
                     Some(s) => *s,
                     None => match self.resolve_expr_col(expr, scope, outer)? {
@@ -549,14 +568,23 @@ impl<'a> Binder<'a> {
                 let sel = if *negated { 1.0 - sel } else { sel };
                 self.apply_local_filter(expr, sel, list.len() as f64, None, scope, outer)
             }
-            Expr::InSubquery { expr, query, negated, hint_sel } => {
+            Expr::InSubquery {
+                expr,
+                query,
+                negated,
+                hint_sel,
+            } => {
                 let sub = self.bind_subquery(query, scope, outer, visible)?;
                 scope.subplans.push(sub);
                 let sel = hint_sel.unwrap_or(DEFAULT_SUBQUERY_SEL);
                 let sel = if *negated { 1.0 - sel } else { sel };
                 self.apply_local_filter(expr, sel, 1.0, None, scope, outer)
             }
-            Expr::Exists { query, negated, hint_sel } => {
+            Expr::Exists {
+                query,
+                negated,
+                hint_sel,
+            } => {
                 let sub = self.bind_subquery(query, scope, outer, visible)?;
                 let driving = match &sub.executions {
                     Executions::PerOuterRow { driving_rel } => Some(*driving_rel),
@@ -649,8 +677,18 @@ impl<'a> Binder<'a> {
         match (lcol, rcol) {
             // column-op-column across two local relations: join edge.
             (
-                Some(Resolved::Local { rel: ra, ndv: nda, column: ca, .. }),
-                Some(Resolved::Local { rel: rb, ndv: ndb, column: cb, .. }),
+                Some(Resolved::Local {
+                    rel: ra,
+                    ndv: nda,
+                    column: ca,
+                    ..
+                }),
+                Some(Resolved::Local {
+                    rel: rb,
+                    ndv: ndb,
+                    column: cb,
+                    ..
+                }),
             ) if ra != rb => {
                 let sel = match (hint_sel, op) {
                     (Some(s), _) => s,
@@ -671,7 +709,12 @@ impl<'a> Binder<'a> {
             }
             // column-op-constant (or outer correlation treated as a
             // constant): local filter.
-            (Some(Resolved::Local { rel, ndv, column, .. }), other) => {
+            (
+                Some(Resolved::Local {
+                    rel, ndv, column, ..
+                }),
+                other,
+            ) => {
                 let is_plain_const = other.is_none()
                     && matches!(right, Expr::Number(_) | Expr::Str(_))
                     || matches!(other, Some(Resolved::Outer));
@@ -697,7 +740,12 @@ impl<'a> Binder<'a> {
                 apply_to_relation(scope, rel, sel, 1.0, index);
                 Ok(())
             }
-            (None, Some(Resolved::Local { rel, ndv, column, .. })) => {
+            (
+                None,
+                Some(Resolved::Local {
+                    rel, ndv, column, ..
+                }),
+            ) => {
                 let sel = match (hint_sel, op) {
                     (Some(s), _) => s,
                     (None, BinOp::Eq) => 1.0 / ndv.max(1.0),
@@ -746,14 +794,14 @@ impl<'a> Binder<'a> {
 
     /// Selectivity of a predicate considered in isolation (used for OR
     /// combination).
-    fn simple_selectivity(
-        &self,
-        pred: &Expr,
-        scope: &Scope,
-        outer: &[OuterAlias],
-    ) -> Result<f64> {
+    fn simple_selectivity(&self, pred: &Expr, scope: &Scope, outer: &[OuterAlias]) -> Result<f64> {
         Ok(match pred {
-            Expr::Binary { op, left, right, hint_sel } if op.is_comparison() => {
+            Expr::Binary {
+                op,
+                left,
+                right,
+                hint_sel,
+            } if op.is_comparison() => {
                 if let Some(s) = hint_sel {
                     *s
                 } else {
@@ -774,7 +822,9 @@ impl<'a> Binder<'a> {
                 }
             }
             Expr::Between { hint_sel, .. } => hint_sel.unwrap_or(DEFAULT_BETWEEN_SEL),
-            Expr::Like { hint_sel, negated, .. } => {
+            Expr::Like {
+                hint_sel, negated, ..
+            } => {
                 let s = hint_sel.unwrap_or(DEFAULT_LIKE_SEL);
                 if *negated {
                     1.0 - s
@@ -858,12 +908,7 @@ impl<'a> Binder<'a> {
 
     /// Resolve a column reference against local relations, then outer
     /// scopes.
-    fn resolve_col(
-        &self,
-        col: &ColRef,
-        scope: &Scope,
-        outer: &[OuterAlias],
-    ) -> Result<Resolved> {
+    fn resolve_col(&self, col: &ColRef, scope: &Scope, outer: &[OuterAlias]) -> Result<Resolved> {
         if let Some(q) = &col.qualifier {
             let q = q.to_ascii_lowercase();
             if let Some(rel) = scope.rel_by_alias(&q) {
@@ -871,9 +916,9 @@ impl<'a> Binder<'a> {
                     .catalog
                     .table(&scope.relations[rel].table)
                     .expect("bound table must exist");
-                let cd = table.column(&col.column.to_ascii_lowercase()).ok_or_else(|| {
-                    DbError::Bind(format!("unknown column {q}.{}", col.column))
-                })?;
+                let cd = table
+                    .column(&col.column.to_ascii_lowercase())
+                    .ok_or_else(|| DbError::Bind(format!("unknown column {q}.{}", col.column)))?;
                 return Ok(Resolved::Local {
                     rel,
                     ndv: cd.ndv,
@@ -889,11 +934,7 @@ impl<'a> Binder<'a> {
         // Unqualified: first local relation owning the column wins.
         let name = col.column.to_ascii_lowercase();
         for (rel, r) in scope.relations.iter().enumerate() {
-            if let Some(cd) = self
-                .catalog
-                .table(&r.table)
-                .and_then(|t| t.column(&name))
-            {
+            if let Some(cd) = self.catalog.table(&r.table).and_then(|t| t.column(&name)) {
                 return Ok(Resolved::Local {
                     rel,
                     ndv: cd.ndv,
@@ -941,12 +982,7 @@ impl<'a> Binder<'a> {
         n
     }
 
-    fn track_referenced(
-        &self,
-        expr: &Expr,
-        scope: &mut Scope,
-        outer: &[OuterAlias],
-    ) -> Result<()> {
+    fn track_referenced(&self, expr: &Expr, scope: &mut Scope, outer: &[OuterAlias]) -> Result<()> {
         let mut cols = Vec::new();
         expr.visit(&mut |e| {
             if let Expr::Column(c) = e {
@@ -954,8 +990,9 @@ impl<'a> Binder<'a> {
             }
         });
         for c in cols {
-            if let Resolved::Local { rel, column, width, .. } =
-                self.resolve_col(&c, scope, outer)?
+            if let Resolved::Local {
+                rel, column, width, ..
+            } = self.resolve_col(&c, scope, outer)?
             {
                 note_referenced(scope, rel, &column, width);
             }
@@ -982,10 +1019,7 @@ fn apply_to_relation(
     r.filter_sel = (r.filter_sel * sel).clamp(0.0, 1.0);
     r.filter_ops += ops;
     if let Some(ix) = index {
-        let better = r
-            .index_filter
-            .as_ref()
-            .is_none_or(|old| ix.sel < old.sel);
+        let better = r.index_filter.as_ref().is_none_or(|old| ix.sel < old.sel);
         if better {
             r.index_filter = Some(ix);
         }
@@ -1189,8 +1223,11 @@ mod tests {
 
     #[test]
     fn insert_counts_rows() {
-        let q = bind_statement("INSERT INTO orders VALUES (1, 2, 3, 4), (5, 6, 7, 8)", &cat())
-            .unwrap();
+        let q = bind_statement(
+            "INSERT INTO orders VALUES (1, 2, 3, 4), (5, 6, 7, 8)",
+            &cat(),
+        )
+        .unwrap();
         let w = q.write.as_ref().unwrap();
         assert_eq!(w.op, WriteOp::Insert);
         assert_eq!(w.rows, 2.0);

@@ -152,6 +152,14 @@ impl Catalog {
     pub fn total_pages(&self) -> f64 {
         self.tables.values().map(TableDef::pages).sum()
     }
+
+    /// Stable identity of the catalog's statistics. Two catalogs with
+    /// the same signature produce the same optimizer estimates, so the
+    /// advisor's shared estimate caches key entries by it. Tables live
+    /// in a `BTreeMap`, making the `Debug` rendering deterministic.
+    pub fn signature(&self) -> u64 {
+        crate::hash::fnv1a(&format!("{:?}", self))
+    }
 }
 
 /// Convenience builder for tests and workload catalogs.
@@ -181,7 +189,10 @@ mod tests {
             "Orders",
             1_500_000.0,
             120.0,
-            &[("o_orderkey", 1_500_000.0, 8.0), ("o_custkey", 100_000.0, 8.0)],
+            &[
+                ("o_orderkey", 1_500_000.0, 8.0),
+                ("o_custkey", 100_000.0, 8.0),
+            ],
         ));
         cat.add_index(IndexDef {
             name: "orders_pk".into(),

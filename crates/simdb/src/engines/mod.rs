@@ -317,8 +317,7 @@ mod tests {
     use vda_vmm::{Hypervisor, PhysicalMachine, VmConfig};
 
     fn perf(cpu: f64, mem: f64) -> VmPerf {
-        Hypervisor::new(PhysicalMachine::paper_testbed())
-            .perf_for(VmConfig::new(cpu, mem).unwrap())
+        Hypervisor::new(PhysicalMachine::paper_testbed()).perf_for(VmConfig::new(cpu, mem).unwrap())
     }
 
     #[test]
@@ -404,7 +403,10 @@ mod tests {
         let e = Engine::pg();
         let params = e.true_params(&perf(0.5, 0.5));
         let f = e.factors(&params);
-        assert!((f.seq_page - 1.0).abs() < 1e-12, "pg costs in seq-page units");
+        assert!(
+            (f.seq_page - 1.0).abs() < 1e-12,
+            "pg costs in seq-page units"
+        );
         assert!(f.rand_page > 1.0);
         assert!(f.cpu_tuple > 0.0 && f.cpu_tuple < 1.0);
         assert!(f.work_mem_pages > 0.0);

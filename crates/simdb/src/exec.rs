@@ -95,8 +95,9 @@ impl<'a> Executor<'a> {
 
         // Modeled CPU work at true per-unit costs; write statements pay
         // the update-path multiplier the optimizer does not know about.
-        let mut cpu_cycles =
-            c.cpu_tuples * cy.tuple + c.cpu_operators * cy.operator + c.cpu_index_tuples * cy.index_tuple;
+        let mut cpu_cycles = c.cpu_tuples * cy.tuple
+            + c.cpu_operators * cy.operator
+            + c.cpu_index_tuples * cy.index_tuple;
         if is_write {
             cpu_cycles *= quirks.oltp_cpu_factor;
         }
@@ -158,8 +159,7 @@ mod tests {
     }
 
     fn perf(cpu: f64, mem: f64) -> VmPerf {
-        Hypervisor::new(PhysicalMachine::paper_testbed())
-            .perf_for(VmConfig::new(cpu, mem).unwrap())
+        Hypervisor::new(PhysicalMachine::paper_testbed()).perf_for(VmConfig::new(cpu, mem).unwrap())
     }
 
     #[test]
@@ -205,11 +205,7 @@ mod tests {
         let c = cat();
         let engine = Engine::pg();
         let exec = Executor::new(&engine, &c);
-        let q = bind_statement(
-            "UPDATE stock SET s_quantity = 0 WHERE s_i_id = 5",
-            &c,
-        )
-        .unwrap();
+        let q = bind_statement("UPDATE stock SET s_quantity = 0 WHERE s_i_id = 5", &c).unwrap();
         let p = perf(0.5, 0.5);
         let plan = exec.actual_plan(&q, &p);
         let est_seconds = plan.native_cost * engine.native_unit_seconds(p.seq_page_secs);

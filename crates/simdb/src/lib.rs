@@ -46,7 +46,9 @@ pub mod sql;
 
 pub use bind::{bind_statement, BoundQuery};
 pub use catalog::{Catalog, ColumnDef, IndexDef, TableDef};
-pub use engines::{Db2Params, Db2Sim, Engine, EngineKind, EngineParams, MemoryConfig, PgParams, PgSim};
+pub use engines::{
+    Db2Params, Db2Sim, Engine, EngineKind, EngineParams, MemoryConfig, PgParams, PgSim,
+};
 pub use exec::{ExecContext, ExecOutcome, Executor};
 pub use optimizer::Optimizer;
 pub use plan::{CostFactors, PhysicalPlan, PlanCounters, PlanNode};

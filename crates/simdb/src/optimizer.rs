@@ -92,8 +92,8 @@ impl<'a> Optimizer<'a> {
 
         // DML sits on top of the scan that located the rows.
         if let Some(w) = &q.write {
-            let pages = w.rows
-                * (WRITE_PAGES_PER_ROW + WRITE_PAGES_PER_INDEX * w.index_count as f64);
+            let pages =
+                w.rows * (WRITE_PAGES_PER_ROW + WRITE_PAGES_PER_INDEX * w.index_count as f64);
             cand.counters.write_pages += pages;
             cand.counters.lock_requests += w.rows;
             cand.counters.rows_returned = 0.0;
@@ -368,8 +368,7 @@ impl<'a> Optimizer<'a> {
 
         let mut counters = left.counters;
         counters.add(&right.counters);
-        counters.cpu_operators +=
-            build.rows * HASH_BUILD_OPS + probe.rows * HASH_PROBE_OPS;
+        counters.cpu_operators += build.rows * HASH_BUILD_OPS + probe.rows * HASH_PROBE_OPS;
         counters.cpu_tuples += out_rows;
 
         let batches = if build_pages <= mem {
@@ -631,7 +630,11 @@ mod tests {
             "SELECT * FROM orders WHERE o_orderkey = 1",
             factors(640.0, 1000.0),
         );
-        assert!(matches!(p.root, PlanNode::IndexScan { .. }), "{}", p.explain());
+        assert!(
+            matches!(p.root, PlanNode::IndexScan { .. }),
+            "{}",
+            p.explain()
+        );
         assert!(p.counters.rand_pages < 10.0);
     }
 
@@ -641,7 +644,11 @@ mod tests {
             "SELECT * FROM lineitem WHERE l_quantity < 45 /*+ sel 0.9 */",
             factors(640.0, 1000.0),
         );
-        assert!(matches!(p.root, PlanNode::SeqScan { .. }), "{}", p.explain());
+        assert!(
+            matches!(p.root, PlanNode::SeqScan { .. }),
+            "{}",
+            p.explain()
+        );
     }
 
     #[test]
@@ -688,10 +695,7 @@ mod tests {
             .map(|&m| plan(sql, factors(m, 1000.0)).native_cost)
             .collect();
         for w in costs.windows(2) {
-            assert!(
-                w[1] <= w[0] + 1e-9,
-                "cost increased with memory: {costs:?}"
-            );
+            assert!(w[1] <= w[0] + 1e-9, "cost increased with memory: {costs:?}");
         }
     }
 
@@ -707,7 +711,11 @@ mod tests {
             matches!(n, PlanNode::SortAgg { .. })
         }
         assert!(top_is_sortagg(&small.root), "{}", small.explain());
-        assert!(matches!(large.root, PlanNode::HashAgg { .. }), "{}", large.explain());
+        assert!(
+            matches!(large.root, PlanNode::HashAgg { .. }),
+            "{}",
+            large.explain()
+        );
     }
 
     #[test]
@@ -740,7 +748,13 @@ mod tests {
             "UPDATE orders SET o_totalprice = 0 WHERE o_orderkey = 3",
             factors(640.0, 1000.0),
         );
-        assert!(matches!(p.root, PlanNode::Modify { op: ModifyOp::Update, .. }));
+        assert!(matches!(
+            p.root,
+            PlanNode::Modify {
+                op: ModifyOp::Update,
+                ..
+            }
+        ));
         assert!(p.counters.write_pages > 0.0);
         assert!(p.counters.lock_requests >= 1.0);
         assert_eq!(p.counters.rows_returned, 0.0);
@@ -748,9 +762,16 @@ mod tests {
 
     #[test]
     fn insert_plans_without_scan() {
-        let p = plan("INSERT INTO orders VALUES (1, 2, 3)", factors(640.0, 1000.0));
+        let p = plan(
+            "INSERT INTO orders VALUES (1, 2, 3)",
+            factors(640.0, 1000.0),
+        );
         match &p.root {
-            PlanNode::Modify { input, op: ModifyOp::Insert, .. } => assert!(input.is_none()),
+            PlanNode::Modify {
+                input,
+                op: ModifyOp::Insert,
+                ..
+            } => assert!(input.is_none()),
             other => panic!("{other:?}"),
         }
     }

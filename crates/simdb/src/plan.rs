@@ -257,12 +257,22 @@ impl PlanNode {
             PlanNode::IndexScan { table, index, .. } => {
                 h.write_u64(2).write_str(table).write_str(index);
             }
-            PlanNode::NestLoop { outer, inner, indexed, .. } => {
+            PlanNode::NestLoop {
+                outer,
+                inner,
+                indexed,
+                ..
+            } => {
                 h.write_u64(3).write_u64(*indexed as u64);
                 outer.hash_into(h);
                 inner.hash_into(h);
             }
-            PlanNode::HashJoin { build, probe, batches, .. } => {
+            PlanNode::HashJoin {
+                build,
+                probe,
+                batches,
+                ..
+            } => {
                 h.write_u64(4).write_u64(u64::from(*batches > 1));
                 build.hash_into(h);
                 probe.hash_into(h);
@@ -293,7 +303,9 @@ impl PlanNode {
                 h.write_u64(10);
                 input.hash_into(h);
             }
-            PlanNode::Modify { input, table, op, .. } => {
+            PlanNode::Modify {
+                input, table, op, ..
+            } => {
                 h.write_u64(11).write_u64(*op as u64).write_str(table);
                 if let Some(i) = input {
                     i.hash_into(h);
@@ -310,15 +322,32 @@ impl PlanNode {
                 let _ = writeln!(out, "{pad}SeqScan on {table} (rows={rows:.0})");
             }
             PlanNode::IndexScan { table, index, rows } => {
-                let _ = writeln!(out, "{pad}IndexScan on {table} using {index} (rows={rows:.0})");
+                let _ = writeln!(
+                    out,
+                    "{pad}IndexScan on {table} using {index} (rows={rows:.0})"
+                );
             }
-            PlanNode::NestLoop { outer, inner, indexed, rows } => {
-                let kind = if *indexed { "IndexNestLoop" } else { "NestLoop" };
+            PlanNode::NestLoop {
+                outer,
+                inner,
+                indexed,
+                rows,
+            } => {
+                let kind = if *indexed {
+                    "IndexNestLoop"
+                } else {
+                    "NestLoop"
+                };
                 let _ = writeln!(out, "{pad}{kind} (rows={rows:.0})");
                 outer.explain_into(out, depth + 1);
                 inner.explain_into(out, depth + 1);
             }
-            PlanNode::HashJoin { build, probe, batches, rows } => {
+            PlanNode::HashJoin {
+                build,
+                probe,
+                batches,
+                rows,
+            } => {
                 let _ = writeln!(out, "{pad}HashJoin (batches={batches}, rows={rows:.0})");
                 build.explain_into(out, depth + 1);
                 probe.explain_into(out, depth + 1);
@@ -328,7 +357,11 @@ impl PlanNode {
                 left.explain_into(out, depth + 1);
                 right.explain_into(out, depth + 1);
             }
-            PlanNode::Sort { input, passes, rows } => {
+            PlanNode::Sort {
+                input,
+                passes,
+                rows,
+            } => {
                 let _ = writeln!(out, "{pad}Sort (passes={passes}, rows={rows:.0})");
                 input.explain_into(out, depth + 1);
             }
@@ -340,7 +373,11 @@ impl PlanNode {
                 let _ = writeln!(out, "{pad}SortAgg (groups={groups:.0})");
                 input.explain_into(out, depth + 1);
             }
-            PlanNode::Subplan { input, plan, executions } => {
+            PlanNode::Subplan {
+                input,
+                plan,
+                executions,
+            } => {
                 let _ = writeln!(out, "{pad}Subplan (executions={executions:.0})");
                 input.explain_into(out, depth + 1);
                 plan.explain_into(out, depth + 1);
@@ -349,7 +386,12 @@ impl PlanNode {
                 let _ = writeln!(out, "{pad}Limit (rows={rows:.0})");
                 input.explain_into(out, depth + 1);
             }
-            PlanNode::Modify { input, table, op, rows } => {
+            PlanNode::Modify {
+                input,
+                table,
+                op,
+                rows,
+            } => {
                 let _ = writeln!(out, "{pad}Modify {op:?} {table} (rows={rows:.0})");
                 if let Some(i) = input {
                     i.explain_into(out, depth + 1);
@@ -474,13 +516,19 @@ mod tests {
             table: "t".into(),
             rows: 9999.0,
         };
-        assert_eq!(PhysicalPlan::signature_of(&a), PhysicalPlan::signature_of(&b));
+        assert_eq!(
+            PhysicalPlan::signature_of(&a),
+            PhysicalPlan::signature_of(&b)
+        );
         let c = PlanNode::IndexScan {
             table: "t".into(),
             index: "i".into(),
             rows: 100.0,
         };
-        assert_ne!(PhysicalPlan::signature_of(&a), PhysicalPlan::signature_of(&c));
+        assert_ne!(
+            PhysicalPlan::signature_of(&a),
+            PhysicalPlan::signature_of(&c)
+        );
     }
 
     #[test]

@@ -93,7 +93,9 @@ impl Parser {
     fn expect_ident(&mut self) -> Result<String> {
         match self.bump() {
             Some(Token::Ident(w)) => Ok(w),
-            other => Err(DbError::Parse(format!("expected identifier, found {other:?}"))),
+            other => Err(DbError::Parse(format!(
+                "expected identifier, found {other:?}"
+            ))),
         }
     }
 
@@ -442,9 +444,7 @@ impl Parser {
             });
         }
         if negated {
-            return Err(DbError::Parse(
-                "expected BETWEEN/LIKE/IN after NOT".into(),
-            ));
+            return Err(DbError::Parse("expected BETWEEN/LIKE/IN after NOT".into()));
         }
         // A bare expression in predicate position (e.g. the inside of
         // a parenthesized predicate that already parsed fully).
@@ -670,7 +670,10 @@ mod tests {
         let s = sel("SELECT a.x, b.y FROM t1 a, t2 b WHERE a.x = b.y");
         assert_eq!(s.items.len(), 2);
         assert_eq!(s.from.len(), 2);
-        assert!(matches!(s.where_clause, Some(Expr::Binary { op: BinOp::Eq, .. })));
+        assert!(matches!(
+            s.where_clause,
+            Some(Expr::Binary { op: BinOp::Eq, .. })
+        ));
     }
 
     #[test]
@@ -685,10 +688,8 @@ mod tests {
 
     #[test]
     fn parses_group_order_limit() {
-        let s = sel(
-            "SELECT o_custkey, count(*), sum(o_totalprice) FROM orders \
-             GROUP BY o_custkey HAVING count(*) > 5 ORDER BY o_custkey DESC LIMIT 10",
-        );
+        let s = sel("SELECT o_custkey, count(*), sum(o_totalprice) FROM orders \
+             GROUP BY o_custkey HAVING count(*) > 5 ORDER BY o_custkey DESC LIMIT 10");
         assert_eq!(s.group_by.len(), 1);
         assert!(s.having.is_some());
         assert_eq!(s.order_by.len(), 1);
@@ -698,9 +699,7 @@ mod tests {
 
     #[test]
     fn parses_between_like_in() {
-        let s = sel(
-            "SELECT * FROM t WHERE a BETWEEN 1 AND 10 AND b LIKE 'x%' AND c IN (1, 2, 3)",
-        );
+        let s = sel("SELECT * FROM t WHERE a BETWEEN 1 AND 10 AND b LIKE 'x%' AND c IN (1, 2, 3)");
         match s.where_clause {
             Some(Expr::And(parts)) => {
                 assert!(matches!(parts[0], Expr::Between { .. }));
@@ -762,7 +761,12 @@ mod tests {
         let s = sel("SELECT 1 + 2 * 3 FROM t");
         match &s.items[0] {
             SelectItem::Expr {
-                expr: Expr::Binary { op: BinOp::Add, right, .. },
+                expr:
+                    Expr::Binary {
+                        op: BinOp::Add,
+                        right,
+                        ..
+                    },
                 ..
             } => {
                 assert!(matches!(**right, Expr::Binary { op: BinOp::Mul, .. }));
@@ -777,7 +781,10 @@ mod tests {
         assert!(matches!(
             s.items[0],
             SelectItem::Expr {
-                expr: Expr::Agg { func: AggFunc::Count, arg: None },
+                expr: Expr::Agg {
+                    func: AggFunc::Count,
+                    arg: None
+                },
                 ..
             }
         ));

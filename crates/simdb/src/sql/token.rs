@@ -113,7 +113,9 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
             '0'..='9' => {
                 let start = i;
                 while i < bytes.len()
-                    && (bytes[i].is_ascii_digit() || bytes[i] == b'.' || bytes[i] == b'e'
+                    && (bytes[i].is_ascii_digit()
+                        || bytes[i] == b'.'
+                        || bytes[i] == b'e'
                         || bytes[i] == b'E'
                         || ((bytes[i] == b'+' || bytes[i] == b'-')
                             && i > start
@@ -129,9 +131,7 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
             }
             'a'..='z' | 'A'..='Z' | '_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 out.push(Token::Ident(sql[start..i].to_ascii_lowercase()));
@@ -180,22 +180,20 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
                 out.push(Token::Symbol(Sym::Ne));
                 i += 2;
             }
-            '<' => {
-                match bytes.get(i + 1) {
-                    Some(&b'=') => {
-                        out.push(Token::Symbol(Sym::Le));
-                        i += 2;
-                    }
-                    Some(&b'>') => {
-                        out.push(Token::Symbol(Sym::Ne));
-                        i += 2;
-                    }
-                    _ => {
-                        out.push(Token::Symbol(Sym::Lt));
-                        i += 1;
-                    }
+            '<' => match bytes.get(i + 1) {
+                Some(&b'=') => {
+                    out.push(Token::Symbol(Sym::Le));
+                    i += 2;
                 }
-            }
+                Some(&b'>') => {
+                    out.push(Token::Symbol(Sym::Ne));
+                    i += 2;
+                }
+                _ => {
+                    out.push(Token::Symbol(Sym::Lt));
+                    i += 1;
+                }
+            },
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
                     out.push(Token::Symbol(Sym::Ge));
@@ -258,7 +256,15 @@ mod tests {
             .collect();
         assert_eq!(
             syms,
-            vec![Sym::Ne, Sym::Ne, Sym::Le, Sym::Ge, Sym::Lt, Sym::Gt, Sym::Eq]
+            vec![
+                Sym::Ne,
+                Sym::Ne,
+                Sym::Le,
+                Sym::Ge,
+                Sym::Lt,
+                Sym::Gt,
+                Sym::Eq
+            ]
         );
     }
 

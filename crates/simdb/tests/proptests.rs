@@ -13,7 +13,11 @@ fn test_catalog() -> Catalog {
         "t1",
         1_000_000.0,
         100.0,
-        &[("a", 1_000_000.0, 8.0), ("b", 100.0, 8.0), ("c", 50_000.0, 8.0)],
+        &[
+            ("a", 1_000_000.0, 8.0),
+            ("b", 100.0, 8.0),
+            ("c", 50_000.0, 8.0),
+        ],
     ));
     c.add_table(table(
         "t2",

@@ -56,7 +56,10 @@ impl std::fmt::Display for StatsError {
             StatsError::BadInput(msg) => write!(f, "bad input: {msg}"),
             StatsError::Singular => write!(f, "singular or ill-conditioned system"),
             StatsError::Underdetermined { needed, got } => {
-                write!(f, "underdetermined fit: need {needed} observations, got {got}")
+                write!(
+                    f,
+                    "underdetermined fit: need {needed} observations, got {got}"
+                )
             }
         }
     }

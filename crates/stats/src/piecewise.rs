@@ -116,7 +116,8 @@ impl PiecewiseReciprocal {
     /// Evaluate the model at `share` using the governing piece.
     /// Returns `None` for an empty model.
     pub fn predict(&self, share: f64) -> Option<f64> {
-        self.piece_for(share).map(|i| self.pieces[i].model.predict(share))
+        self.piece_for(share)
+            .map(|i| self.pieces[i].model.predict(share))
     }
 
     /// Scale **every** piece's coefficients by `factor` — the paper's

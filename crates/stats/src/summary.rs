@@ -40,7 +40,9 @@ mod tests {
 
     #[test]
     fn variance_basic() {
-        assert!((population_variance(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) - 4.0).abs() < 1e-12);
+        assert!(
+            (population_variance(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) - 4.0).abs() < 1e-12
+        );
         assert_eq!(population_variance(&[]), 0.0);
     }
 

@@ -1,13 +1,12 @@
 //! Property-based tests for the numerical toolkit.
 
 use proptest::prelude::*;
-use vda_stats::{solve_dense, LinearFit, MultiLinearFit, PiecewiseReciprocal, Piece, ReciprocalFit};
+use vda_stats::{
+    solve_dense, LinearFit, MultiLinearFit, Piece, PiecewiseReciprocal, ReciprocalFit,
+};
 
 fn small_matrix(n: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
-    proptest::collection::vec(
-        proptest::collection::vec(-100.0f64..100.0, n),
-        n,
-    )
+    proptest::collection::vec(proptest::collection::vec(-100.0f64..100.0, n), n)
 }
 
 proptest! {

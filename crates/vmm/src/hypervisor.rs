@@ -205,7 +205,8 @@ impl Hypervisor {
     pub fn perf_for(&self, cfg: VmConfig) -> VmPerf {
         VmPerf {
             cpu_hz: self.machine.total_hz() * cfg.cpu_share,
-            seq_page_secs: self.machine.disk.seq_page_secs(self.machine.page_kb) * self.io_contention,
+            seq_page_secs: self.machine.disk.seq_page_secs(self.machine.page_kb)
+                * self.io_contention,
             rand_page_secs: self.machine.disk.rand_page_secs(self.machine.page_kb)
                 * self.io_contention,
             memory_mb: self.machine.memory_mb * cfg.memory_share,
@@ -238,7 +239,13 @@ mod tests {
         let mut h = hv();
         h.create_vm(VmConfig::new(0.7, 0.5).unwrap()).unwrap();
         let err = h.create_vm(VmConfig::new(0.4, 0.3).unwrap()).unwrap_err();
-        assert!(matches!(err, VmmError::Oversubscribed { resource: "cpu", .. }));
+        assert!(matches!(
+            err,
+            VmmError::Oversubscribed {
+                resource: "cpu",
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -62,11 +62,20 @@ pub fn sort_sensitive_workload(rng: &mut StdRng, index: usize) -> Workload {
     for _ in 0..units {
         if rng.random_bool(bias) {
             w.push(crate::workload::WorkloadStatement::dss(tpch::query(4), 1.0));
-            w.push(crate::workload::WorkloadStatement::dss(tpch::query(18), 1.0));
+            w.push(crate::workload::WorkloadStatement::dss(
+                tpch::query(18),
+                1.0,
+            ));
         } else {
             w.push(crate::workload::WorkloadStatement::dss(tpch::query(8), 1.0));
-            w.push(crate::workload::WorkloadStatement::dss(tpch::query(16), 1.0));
-            w.push(crate::workload::WorkloadStatement::dss(tpch::query(20), 1.0));
+            w.push(crate::workload::WorkloadStatement::dss(
+                tpch::query(16),
+                1.0,
+            ));
+            w.push(crate::workload::WorkloadStatement::dss(
+                tpch::query(20),
+                1.0,
+            ));
         }
     }
     w
@@ -98,7 +107,13 @@ mod tests {
             let total_units: f64 = w
                 .statements
                 .iter()
-                .map(|s| if s.sql == q17 { s.count } else { s.count / 66.0 })
+                .map(|s| {
+                    if s.sql == q17 {
+                        s.count
+                    } else {
+                        s.count / 66.0
+                    }
+                })
                 .sum();
             assert!(
                 (10.0..=20.0).contains(&total_units.round()),

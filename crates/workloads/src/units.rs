@@ -82,10 +82,7 @@ pub fn balanced_pair(
     let first_cost = cost_at_full(&tpch::query_workload(first_query, 1.0));
     let second_cost = cost_at_full(&tpch::query_workload(second_query, 1.0));
     assert!(
-        first_cost.is_finite()
-            && second_cost.is_finite()
-            && first_cost > 0.0
-            && second_cost > 0.0,
+        first_cost.is_finite() && second_cost.is_finite() && first_cost > 0.0 && second_cost > 0.0,
         "cost oracle returned unusable costs: first={first_cost}, second={second_cost}"
     );
     let (first_count, second_count) = if first_cost >= second_cost {
@@ -135,7 +132,11 @@ mod tests {
             w.statements
                 .iter()
                 .map(|s| {
-                    let per = if s.sql == crate::tpch::query(21) { 25.0 } else { 1.0 };
+                    let per = if s.sql == crate::tpch::query(21) {
+                        25.0
+                    } else {
+                        1.0
+                    };
                     per * s.count
                 })
                 .sum()

@@ -117,7 +117,9 @@ impl Workload {
 
     /// Whether any statement writes (used to pick executor defaults).
     pub fn has_oltp(&self) -> bool {
-        self.statements.iter().any(|s| s.kind == StatementKind::Oltp)
+        self.statements
+            .iter()
+            .any(|s| s.kind == StatementKind::Oltp)
     }
 
     /// Builder-style rename.

@@ -106,11 +106,8 @@ fn main() {
 
     // Online refinement (§5): observe the deployed configuration and
     // correct the optimizer's OLTP blind spots.
-    let (outcome, _) = advisor.refine_recommendation(
-        &space,
-        &rec.result.allocations,
-        &RefineOptions::default(),
-    );
+    let (outcome, _) =
+        advisor.refine_recommendation(&space, &rec.result.allocations, &RefineOptions::default());
     println!(
         "after {} refinement iteration(s): {:+.1}%",
         outcome.iterations,

@@ -52,7 +52,10 @@ fn main() {
     let space = SearchSpace::cpu_only(0.25);
     let rec = advisor.recommend(&space);
 
-    println!("greedy search converged in {} iterations\n", rec.result.iterations);
+    println!(
+        "greedy search converged in {} iterations\n",
+        rec.result.iterations
+    );
     for (i, alloc) in rec.result.allocations.iter().enumerate() {
         println!(
             "  {:<10} -> {:>3.0}% CPU (estimated workload time {:>7.1}s)",

@@ -1,6 +1,7 @@
 //! Property-based tests over the advisor's core invariants.
 
 use proptest::prelude::*;
+use vda::core::costmodel::{CostModel, FnCostModel, RegimeFnCostModel};
 use vda::core::enumerate::{exhaustive_search, greedy_search};
 use vda::core::problem::{Allocation, QoS, SearchSpace};
 use vda::core::refine::RefinedModel;
@@ -11,6 +12,14 @@ fn alphas(n: usize) -> impl Strategy<Value = Vec<f64>> {
     proptest::collection::vec(0.1f64..50.0, n)
 }
 
+/// Reciprocal synthetic cost models `α_i/r + β_i` per workload.
+fn reciprocal_models(a: &[f64], betas: &[f64]) -> Vec<impl CostModel> {
+    a.iter()
+        .zip(betas)
+        .map(|(&alpha, &beta)| FnCostModel::new(move |al: Allocation| alpha / al.cpu + beta))
+        .collect()
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -19,8 +28,8 @@ proptest! {
     #[test]
     fn greedy_is_always_feasible(a in alphas(4), betas in alphas(4)) {
         let space = SearchSpace::cpu_only(0.5);
-        let mut cost = |i: usize, al: Allocation| a[i] / al.cpu + betas[i];
-        let r = greedy_search(4, &space, &[QoS::default(); 4], &mut cost);
+        let models = reciprocal_models(&a, &betas);
+        let r = greedy_search(&space, &[QoS::default(); 4], &models);
         let total: f64 = r.allocations.iter().map(|al| al.cpu).sum();
         prop_assert!(total <= 1.0 + 1e-9);
         for al in &r.allocations {
@@ -36,8 +45,8 @@ proptest! {
         let default_cost: f64 = (0..3)
             .map(|i| a[i] / space.default_allocation(3).cpu + betas[i])
             .sum();
-        let mut cost = |i: usize, al: Allocation| a[i] / al.cpu + betas[i];
-        let r = greedy_search(3, &space, &[QoS::default(); 3], &mut cost);
+        let models = reciprocal_models(&a, &betas);
+        let r = greedy_search(&space, &[QoS::default(); 3], &models);
         prop_assert!(r.weighted_cost <= default_cost + 1e-9);
     }
 
@@ -46,10 +55,9 @@ proptest! {
     #[test]
     fn greedy_close_to_exhaustive(a in alphas(3)) {
         let space = SearchSpace::cpu_only(0.5);
-        let mut g = |i: usize, al: Allocation| a[i] / al.cpu + 1.0;
-        let greedy = greedy_search(3, &space, &[QoS::default(); 3], &mut g);
-        let mut e = |i: usize, al: Allocation| a[i] / al.cpu + 1.0;
-        let exact = exhaustive_search(3, &space, &[QoS::default(); 3], &mut e);
+        let models = reciprocal_models(&a, &[1.0; 3]);
+        let greedy = greedy_search(&space, &[QoS::default(); 3], &models);
+        let exact = exhaustive_search(&space, &[QoS::default(); 3], &models);
         prop_assert!(greedy.weighted_cost <= exact.weighted_cost * 1.05 + 1e-9);
     }
 
@@ -57,8 +65,14 @@ proptest! {
     #[test]
     fn exhaustive_budgets_hold(a in alphas(3), b in alphas(3)) {
         let space = SearchSpace::cpu_and_memory();
-        let mut cost = |i: usize, al: Allocation| a[i] / al.cpu + b[i] / al.memory;
-        let r = exhaustive_search(3, &space, &[QoS::default(); 3], &mut cost);
+        let models: Vec<_> = a
+            .iter()
+            .zip(&b)
+            .map(|(&ca, &cb)| {
+                FnCostModel::new(move |al: Allocation| ca / al.cpu + cb / al.memory)
+            })
+            .collect();
+        let r = exhaustive_search(&space, &[QoS::default(); 3], &models);
         let cpu: f64 = r.allocations.iter().map(|al| al.cpu).sum();
         let mem: f64 = r.allocations.iter().map(|al| al.memory).sum();
         prop_assert!(cpu <= 1.0 + 1e-9);
@@ -69,16 +83,28 @@ proptest! {
     #[test]
     fn degradation_limits_hold(alpha in 1.0f64..20.0, limit in 2.0f64..6.0) {
         let space = SearchSpace::cpu_only(0.5);
-        let mut cost = |i: usize, al: Allocation| {
-            let a = if i == 0 { alpha } else { 4.0 * alpha };
-            a / al.cpu + 1.0
-        };
+        let models = reciprocal_models(&[alpha, 4.0 * alpha], &[1.0; 2]);
         let qos = vec![QoS::with_limit(limit), QoS::default()];
-        let r = greedy_search(2, &space, &qos, &mut cost);
+        let r = greedy_search(&space, &qos, &models);
         if r.limits_met[0] {
             let full = alpha / 1.0 + 1.0;
             prop_assert!(r.costs[0] <= limit * full + 1e-6);
         }
+    }
+
+    /// Parallel and serial enumeration agree exactly, whatever the
+    /// cost surface (the bit-identical contract of `SearchOptions`).
+    #[test]
+    fn parallel_enumeration_matches_serial(a in alphas(4), betas in alphas(4)) {
+        use vda::core::enumerate::{exhaustive_search_with, greedy_search_with, SearchOptions};
+        let space = SearchSpace::cpu_only(0.5);
+        let models = reciprocal_models(&a, &betas);
+        let serial = greedy_search_with(&space, &[QoS::default(); 4], &models, &SearchOptions::serial());
+        let parallel = greedy_search_with(&space, &[QoS::default(); 4], &models, &SearchOptions::parallel());
+        prop_assert_eq!(serial, parallel);
+        let es = exhaustive_search_with(&space, &[QoS::default(); 4], &models, &SearchOptions::serial());
+        let ep = exhaustive_search_with(&space, &[QoS::default(); 4], &models, &SearchOptions::parallel());
+        prop_assert_eq!(es, ep);
     }
 
     /// Simple regression recovers planted lines exactly.
@@ -129,8 +155,8 @@ proptest! {
         factor in 0.2f64..5.0,
     ) {
         let space = SearchSpace::cpu_only(0.5);
-        let mut est = |a: Allocation| -> (f64, u64) { (alpha / a.cpu + 1.0, 1) };
-        let mut model = RefinedModel::fit_initial(&space, 8, &mut est);
+        let est = RegimeFnCostModel::new(move |a: Allocation| (alpha / a.cpu + 1.0, 1));
+        let mut model = RefinedModel::fit_initial(&space, 8, &est);
         let at = Allocation::new(0.5, 0.5);
         let actual = factor * (alpha / 0.5 + 1.0);
         model.observe(at, actual);
@@ -147,10 +173,10 @@ proptest! {
     #[test]
     fn piece_lookup_total(share in 0.01f64..1.0) {
         let space = SearchSpace::memory_only(0.5);
-        let mut est = |a: Allocation| -> (f64, u64) {
+        let est = RegimeFnCostModel::new(|a: Allocation| {
             if a.memory < 0.35 { (50.0 / a.memory, 1) } else { (5.0 / a.memory + 20.0, 2) }
-        };
-        let model = RefinedModel::fit_initial(&space, 10, &mut est);
+        });
+        let model = RefinedModel::fit_initial(&space, 10, &est);
         let idx = model.piece_for(share);
         prop_assert!(idx < model.pieces.len());
         prop_assert!(model.predict(Allocation::new(0.5, share)).is_finite());

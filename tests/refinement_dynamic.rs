@@ -1,9 +1,7 @@
 //! Integration tests for online refinement (§5) and dynamic
 //! configuration management (§6) across the full stack.
 
-use vda::core::dynamic::{
-    DynamicConfigManager, DynamicOptions, ManagementMode, PeriodDecision,
-};
+use vda::core::dynamic::{DynamicConfigManager, DynamicOptions, ManagementMode, PeriodDecision};
 use vda::core::problem::{QoS, SearchSpace};
 use vda::core::refine::RefineOptions;
 use vda::core::tenant::Tenant;
@@ -113,8 +111,7 @@ fn workload_swap_triggers_rebuild_and_reallocation() {
     adv.swap_tenants(0, 1);
     let report = mgr.process_period(&adv);
     assert!(
-        report
-            .decisions.contains(&PeriodDecision::RebuildOnChange),
+        report.decisions.contains(&PeriodDecision::RebuildOnChange),
         "swap not detected: {:?}",
         report.decisions
     );

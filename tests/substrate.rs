@@ -49,7 +49,11 @@ fn every_tpcc_statement_plans_and_executes() {
                 concurrency: s.concurrency,
             },
         );
-        assert!(out.seconds > 0.0 && out.seconds < 3600.0, "{}: {out:?}", s.sql);
+        assert!(
+            out.seconds > 0.0 && out.seconds < 3600.0,
+            "{}: {out:?}",
+            s.sql
+        );
     }
 }
 
@@ -110,7 +114,8 @@ fn estimated_cost_monotone_in_each_resource() {
             );
             // Native units are CPU-share independent for I/O, so
             // convert through time: native × unit-seconds.
-            let secs = plan.native_cost * engine.native_unit_seconds(perf(share, 0.5).seq_page_secs);
+            let secs =
+                plan.native_cost * engine.native_unit_seconds(perf(share, 0.5).seq_page_secs);
             assert!(secs <= prev * 1.001, "Q{n}: estimate rose with CPU");
             prev = secs;
         }
@@ -124,7 +129,9 @@ fn plan_signatures_stable_within_regime() {
     let q = bind_statement(&tpch::query(3), &cat).expect("binds");
     let plan_at = |mem: f64| {
         let params = engine.true_params(&perf(0.5, mem));
-        Optimizer::new(&cat, engine.factors(&params)).plan(&q).signature
+        Optimizer::new(&cat, engine.factors(&params))
+            .plan(&q)
+            .signature
     };
     // Tiny memory nudges inside one regime keep the signature.
     assert_eq!(plan_at(0.50), plan_at(0.51));

@@ -1,0 +1,103 @@
+//! Offline stub of `criterion`.
+//!
+//! Implements the benchmark-authoring macros and the
+//! `Criterion::bench_function` entry point with a simple wall-clock
+//! loop: warm up once, run `sample_size` timed samples, and report
+//! the per-iteration mean and min. No statistical analysis, plots, or
+//! baselines — enough for `cargo bench` to build and produce numbers.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark harness.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Set how many timed samples each benchmark takes.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0);
+        self.sample_size = n;
+        self
+    }
+
+    /// Run one benchmark and print its timings.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+        };
+        for _ in 0..self.sample_size {
+            f(&mut b);
+        }
+        let (mean, min) = b.stats();
+        println!("{name:<44} mean {:>12?}  min {:>12?}", mean, min);
+        self
+    }
+}
+
+/// Passed to each benchmark closure; times the routine under test.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time one execution of `routine`.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        black_box(routine());
+        self.samples.push(start.elapsed());
+    }
+
+    fn stats(&self) -> (Duration, Duration) {
+        if self.samples.is_empty() {
+            return (Duration::ZERO, Duration::ZERO);
+        }
+        let total: Duration = self.samples.iter().sum();
+        let mean = total / self.samples.len() as u32;
+        let min = *self.samples.iter().min().expect("non-empty");
+        (mean, min)
+    }
+}
+
+/// Group benchmark functions under a callable name.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generate `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

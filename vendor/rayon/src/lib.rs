@@ -1,0 +1,127 @@
+//! Offline stub of `rayon`.
+//!
+//! Provides the two primitives the advisor's parallel enumeration
+//! needs — `join` and an **order-preserving** `par_map` over slices —
+//! implemented with `std::thread::scope`. Results come back in input
+//! order regardless of scheduling, and worker panics propagate to the
+//! caller exactly as rayon's would, so `catch_unwind`-based tests see
+//! identical behaviour on the serial and parallel paths.
+
+#![warn(missing_docs)]
+
+use std::num::NonZeroUsize;
+use std::thread;
+
+/// Number of worker threads `par_map` fans out to. Like upstream
+/// rayon, the `RAYON_NUM_THREADS` environment variable overrides the
+/// machine's available parallelism.
+pub fn current_num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Run two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        let rb = match hb.join() {
+            Ok(v) => v,
+            Err(p) => std::panic::resume_unwind(p),
+        };
+        (ra, rb)
+    })
+}
+
+/// Slice extension providing an ordered parallel map.
+pub trait ParallelMapSlice<T> {
+    /// Map `f` over the slice on up to [`current_num_threads`] scoped
+    /// threads; the output vector is in input order.
+    fn par_map<R, F>(&self, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync;
+}
+
+impl<T> ParallelMapSlice<T> for [T] {
+    fn par_map<R, F>(&self, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        let threads = current_num_threads();
+        if threads <= 1 || self.len() < 2 {
+            return self.iter().map(f).collect();
+        }
+        let chunk = self.len().div_ceil(threads);
+        let mut out: Vec<Option<R>> = Vec::new();
+        out.resize_with(self.len(), || None);
+        thread::scope(|s| {
+            let handles: Vec<_> = self
+                .chunks(chunk)
+                .zip(out.chunks_mut(chunk))
+                .map(|(items, slots)| {
+                    let f = &f;
+                    s.spawn(move || {
+                        for (slot, item) in slots.iter_mut().zip(items) {
+                            *slot = Some(f(item));
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                if let Err(p) = h.join() {
+                    std::panic::resume_unwind(p);
+                }
+            }
+        });
+        out.into_iter()
+            .map(|o| o.expect("every slot written by its worker"))
+            .collect()
+    }
+}
+
+/// Prelude mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::ParallelMapSlice;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let xs: Vec<usize> = (0..1000).collect();
+        let ys = xs.par_map(|&x| x * 2);
+        assert_eq!(ys, xs.iter().map(|&x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_propagates_panics() {
+        let xs = [1, 2, 3, 4];
+        let r = std::panic::catch_unwind(|| xs.par_map(|&x| assert_ne!(x, 3)));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn join_returns_both() {
+        assert_eq!(super::join(|| 1, || "a"), (1, "a"));
+    }
+}

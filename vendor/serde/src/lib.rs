@@ -1,0 +1,23 @@
+//! Offline stub of `serde`.
+//!
+//! The repository derives `Serialize`/`Deserialize` on its data types
+//! to declare that they are plain serializable data, but nothing in
+//! the workspace performs actual serialization (reports are printed as
+//! text and JSON artifacts are written by hand). The traits are
+//! therefore markers and the derive emits empty impls; swapping the
+//! real `serde` back in requires no source changes.
+
+#![warn(missing_docs)]
+
+/// Marker for types whose values can be serialized.
+pub trait Serialize {}
+
+/// Marker for types whose values can be deserialized.
+pub trait Deserialize<'de>: Sized {}
+
+impl<T: Serialize + ?Sized> Serialize for &T {}
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,59 @@
+//! Offline stub of `serde_derive`.
+//!
+//! Parses just enough of the item to find its name and emits empty
+//! impls of the marker traits from the sibling `serde` stub. Generic
+//! types are not supported (the workspace derives only on concrete
+//! types); hitting one is a compile error pointing here.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Name of the type a `struct`/`enum`/`union` item defines.
+fn item_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        match tt {
+            // Skip attributes (`#[...]`, doc comments included).
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                let _ = tokens.next();
+            }
+            TokenTree::Ident(id) => {
+                let id = id.to_string();
+                if id == "struct" || id == "enum" || id == "union" {
+                    match tokens.next() {
+                        Some(TokenTree::Ident(name)) => {
+                            if let Some(TokenTree::Punct(p)) = tokens.peek() {
+                                assert!(
+                                    p.as_char() != '<',
+                                    "serde stub derive does not support generic types"
+                                );
+                            }
+                            return name.to_string();
+                        }
+                        other => panic!("expected type name, found {other:?}"),
+                    }
+                }
+                // `pub`, `pub(crate)`, etc. — keep scanning.
+            }
+            _ => {}
+        }
+    }
+    panic!("serde stub derive: no struct/enum/union found in input");
+}
+
+/// Derive the `serde::Serialize` marker.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = item_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// Derive the `serde::Deserialize` marker.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = item_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
