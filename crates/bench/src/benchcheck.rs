@@ -1,0 +1,243 @@
+//! The CI bench-regression gate.
+//!
+//! [`compare_reports`] diffs a freshly measured `BENCH_*.json` against
+//! the committed baseline: deterministic fields (optimizer-call
+//! counts, chosen allocations/assignments, objectives, contract
+//! booleans) must match; wall-clock fields (`*_ms`, `speedup`) and the
+//! worker-thread count are environment-dependent and ignored, which is
+//! what makes the gate meaningful on a 1-CPU runner. [`check_vendor`]
+//! catches the other silent-drift hazard: a `vendor/` stub whose
+//! version no longer matches the pin in `Cargo.lock` (the cargo cache
+//! key hashes both, so a drift would otherwise poison caches quietly).
+
+use crate::jsonval::{parse, Json};
+
+/// Relative tolerance for numeric leaves. Tight enough that a single
+/// extra optimizer call or a different chosen allocation fails, loose
+/// enough to absorb last-digit printing differences of float costs.
+const REL_TOL: f64 = 1e-6;
+
+/// Whether a leaf is environment-dependent and excluded from the diff.
+fn ignored(path: &str) -> bool {
+    let last = path
+        .rsplit('.')
+        .next()
+        .unwrap_or(path)
+        .trim_end_matches(|c: char| c == ']' || c.is_ascii_digit())
+        .trim_end_matches('[');
+    last.ends_with("_ms") || matches!(last, "speedup" | "threads" | "wall_ms")
+}
+
+/// Diff candidate against baseline. Returns the list of regressions
+/// (empty = gate passes).
+pub fn compare_reports(baseline: &str, candidate: &str) -> Vec<String> {
+    let base = match parse(baseline) {
+        Ok(v) => v,
+        Err(e) => return vec![format!("baseline does not parse: {e}")],
+    };
+    let cand = match parse(candidate) {
+        Ok(v) => v,
+        Err(e) => return vec![format!("candidate does not parse: {e}")],
+    };
+    let mut problems = Vec::new();
+    let base_leaves = base.leaves();
+    let cand_leaves = cand.leaves();
+    for (path, b) in &base_leaves {
+        if ignored(path) {
+            continue;
+        }
+        match cand_leaves.get(path) {
+            None => problems.push(format!("{path}: missing from candidate")),
+            Some(c) => {
+                let matches = match (b, c) {
+                    (Json::Num(x), Json::Num(y)) => {
+                        (x - y).abs() <= REL_TOL * x.abs().max(y.abs()).max(1.0)
+                    }
+                    _ => b == c,
+                };
+                if !matches {
+                    problems.push(format!("{path}: baseline {b} vs candidate {c}"));
+                }
+            }
+        }
+    }
+    for path in cand_leaves.keys() {
+        if !ignored(path) && !base_leaves.contains_key(path) {
+            problems.push(format!("{path}: not in baseline (schema drift)"));
+        }
+    }
+    problems
+}
+
+/// `(name, version)` pins from a `Cargo.lock`.
+fn lock_pins(lock: &str) -> Vec<(String, String)> {
+    let mut pins = Vec::new();
+    let mut name: Option<String> = None;
+    for line in lock.lines() {
+        let line = line.trim();
+        if line == "[[package]]" {
+            name = None;
+        } else if let Some(v) = line.strip_prefix("name = ") {
+            name = Some(v.trim_matches('"').to_string());
+        } else if let Some(v) = line.strip_prefix("version = ") {
+            if let Some(n) = name.take() {
+                pins.push((n, v.trim_matches('"').to_string()));
+            }
+        }
+    }
+    pins
+}
+
+/// First `key = "value"` in a manifest's `[package]` section.
+fn manifest_field(manifest: &str, key: &str) -> Option<String> {
+    let mut in_package = false;
+    for line in manifest.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_package = line == "[package]";
+        } else if in_package {
+            if let Some(v) = line.strip_prefix(key) {
+                let v = v.trim_start();
+                if let Some(v) = v.strip_prefix('=') {
+                    return Some(v.trim().trim_matches('"').to_string());
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Verify every vendored stub's `(name, version)` against the pins in
+/// `Cargo.lock`. `manifests` holds `(directory name, Cargo.toml
+/// contents)` pairs. Returns the list of drifts (empty = in sync).
+pub fn check_vendor(lock: &str, manifests: &[(String, String)]) -> Vec<String> {
+    let pins = lock_pins(lock);
+    let mut problems = Vec::new();
+    if manifests.is_empty() {
+        problems.push("no vendor manifests found".to_string());
+    }
+    for (dir, manifest) in manifests {
+        let Some(name) = manifest_field(manifest, "name") else {
+            problems.push(format!("vendor/{dir}: no package name"));
+            continue;
+        };
+        let Some(version) = manifest_field(manifest, "version") else {
+            problems.push(format!("vendor/{dir}: no package version"));
+            continue;
+        };
+        match pins.iter().find(|(n, _)| *n == name) {
+            None => problems.push(format!("vendor/{dir}: {name} is not pinned in Cargo.lock")),
+            Some((_, pinned)) if *pinned != version => problems.push(format!(
+                "vendor/{dir}: {name} {version} drifted from Cargo.lock pin {pinned}"
+            )),
+            Some(_) => {}
+        }
+    }
+    problems
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASE: &str = r#"{
+  "threads": 1,
+  "algorithms": [
+    { "name": "greedy", "serial_ms": 10.0, "speedup": 1.5,
+      "optimizer_calls_serial": 100, "allocations_identical": true }
+  ],
+  "coarse_to_fine": { "c2f_ms": 50.0, "c2f_optimizer_calls": 4040, "meets_5x": true }
+}"#;
+
+    #[test]
+    fn identical_reports_pass() {
+        assert!(compare_reports(BASE, BASE).is_empty());
+    }
+
+    #[test]
+    fn wall_time_and_threads_are_ignored() {
+        let cand = BASE
+            .replace("\"threads\": 1", "\"threads\": 4")
+            .replace("10.0", "93.5")
+            .replace("1.5", "0.4")
+            .replace("50.0", "4900.0");
+        assert!(compare_reports(BASE, &cand).is_empty());
+    }
+
+    #[test]
+    fn optimizer_call_regressions_fail() {
+        let cand = BASE.replace(
+            "\"optimizer_calls_serial\": 100",
+            "\"optimizer_calls_serial\": 101",
+        );
+        let problems = compare_reports(BASE, &cand);
+        assert_eq!(problems.len(), 1, "{problems:?}");
+        assert!(problems[0].contains("optimizer_calls_serial"));
+    }
+
+    #[test]
+    fn contract_boolean_regressions_fail() {
+        let cand = BASE.replace("\"meets_5x\": true", "\"meets_5x\": false");
+        let problems = compare_reports(BASE, &cand);
+        assert!(problems.iter().any(|p| p.contains("meets_5x")));
+    }
+
+    #[test]
+    fn schema_drift_fails_both_ways() {
+        let cand = BASE.replace("\"meets_5x\": true", "\"meets_5x\": true, \"extra\": 1");
+        assert!(compare_reports(BASE, &cand)
+            .iter()
+            .any(|p| p.contains("schema drift")));
+        assert!(compare_reports(&cand, BASE)
+            .iter()
+            .any(|p| p.contains("missing from candidate")));
+    }
+
+    const LOCK: &str = r#"
+[[package]]
+name = "proptest"
+version = "1.0.0"
+
+[[package]]
+name = "rayon"
+version = "1.0.0"
+"#;
+
+    fn manifest(name: &str, version: &str) -> String {
+        format!("[package]\nname = \"{name}\"\nversion = \"{version}\"\nedition = \"2021\"\n")
+    }
+
+    #[test]
+    fn vendor_in_sync_passes() {
+        let manifests = vec![
+            ("proptest".to_string(), manifest("proptest", "1.0.0")),
+            ("rayon".to_string(), manifest("rayon", "1.0.0")),
+        ];
+        assert!(check_vendor(LOCK, &manifests).is_empty());
+    }
+
+    #[test]
+    fn vendor_version_drift_fails() {
+        let manifests = vec![("proptest".to_string(), manifest("proptest", "1.1.0"))];
+        let problems = check_vendor(LOCK, &manifests);
+        assert_eq!(problems.len(), 1);
+        assert!(problems[0].contains("drifted"));
+    }
+
+    #[test]
+    fn unpinned_vendor_crate_fails() {
+        let manifests = vec![("serde".to_string(), manifest("serde", "1.0.0"))];
+        let problems = check_vendor(LOCK, &manifests);
+        assert!(problems[0].contains("not pinned"));
+    }
+
+    #[test]
+    fn ignores_are_not_too_greedy() {
+        // A genuinely deterministic field whose name merely *contains*
+        // "ms" must still be compared.
+        let base = r#"{ "rooms": 3, "kms": 2 }"#;
+        let cand = r#"{ "rooms": 4, "kms": 2 }"#;
+        let problems = compare_reports(base, cand);
+        assert!(problems.iter().any(|p| p.contains("rooms")), "{problems:?}");
+    }
+}

@@ -10,22 +10,33 @@
 //!                               (default path: BENCH_enumeration.json;
 //!                               a custom path must end in .json so
 //!                               experiment ids are never mistaken for it)
+//! experiments --placement-json [path.json]
+//!                               run the fleet-placement scenario and
+//!                               write BENCH_placement.json (same path
+//!                               rules as --enumeration-json)
 //! ```
 
 use std::process::ExitCode;
 use vda_bench::experiments;
 
+/// Extract `--<flag> [path.json]` from `args`: the flag plus an
+/// optional `.json` path operand; anything else (e.g. `all`, `fig2`)
+/// stays behind as an experiment id.
+fn json_flag(args: &mut Vec<String>, flag: &str, default: &str) -> Option<String> {
+    let pos = args.iter().position(|a| a == flag)?;
+    args.remove(pos);
+    Some(if pos < args.len() && args[pos].ends_with(".json") {
+        args.remove(pos)
+    } else {
+        default.to_string()
+    })
+}
+
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    if let Some(pos) = args.iter().position(|a| a == "--enumeration-json") {
-        args.remove(pos);
-        // Only a `.json` argument is an output path; anything else
-        // (e.g. `all`, `fig2`) is an experiment id to run afterwards.
-        let path = if pos < args.len() && args[pos].ends_with(".json") {
-            args.remove(pos)
-        } else {
-            "BENCH_enumeration.json".to_string()
-        };
+    let mut ran_flag = false;
+    if let Some(path) = json_flag(&mut args, "--enumeration-json", "BENCH_enumeration.json") {
+        ran_flag = true;
         match experiments::enumeration::write_json(&path) {
             Ok(ms) => {
                 println!("{}", experiments::enumeration::run_from(ms));
@@ -36,12 +47,27 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
-        if args.is_empty() {
-            return ExitCode::SUCCESS;
+    }
+    if let Some(path) = json_flag(&mut args, "--placement-json", "BENCH_placement.json") {
+        ran_flag = true;
+        match experiments::placement::write_json(&path) {
+            Ok(m) => {
+                println!("{}", experiments::placement::run_from(m));
+                println!("wrote {path}");
+            }
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     }
+    if ran_flag && args.is_empty() {
+        return ExitCode::SUCCESS;
+    }
     if args.is_empty() || args[0] == "help" || args[0] == "--help" {
-        eprintln!("usage: experiments <id>... | all | list | --enumeration-json [path]");
+        eprintln!(
+            "usage: experiments <id>... | all | list | --enumeration-json [path] | --placement-json [path]"
+        );
         eprintln!("ids: {}", id_list().join(" "));
         return ExitCode::from(2);
     }

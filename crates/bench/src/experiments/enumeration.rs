@@ -1,4 +1,5 @@
-//! Enumeration performance: serial vs parallel candidate evaluation.
+//! Enumeration performance: serial vs parallel candidate evaluation,
+//! and coarse-to-fine vs full-grid DP at production scale.
 //!
 //! The paper reports the advisor's search cost in optimizer calls
 //! (§7.2); this experiment starts the repository's own performance
@@ -6,18 +7,25 @@
 //! search it runs the serial and the parallel evaluation path on
 //! identical cold caches, verifies the results are bit-identical (the
 //! `SearchOptions` contract), and reports wall time, optimizer calls,
-//! and cache hits. [`write_json`] emits the same numbers as
-//! machine-readable `BENCH_enumeration.json` for the perf dashboard.
+//! and cache hits. A second section pits coarse-to-fine refinement
+//! against the full-grid DP on the paper's maximum tenant count
+//! (N = 10) at a δ ten times finer than the paper's (0.01, CPU and
+//! memory jointly): same objective, a fraction of the optimizer calls.
+//! [`write_json`] emits the same numbers as machine-readable
+//! `BENCH_enumeration.json`; CI diffs the deterministic fields against
+//! the committed baseline and fails on regression.
 
 use crate::harness::{fmt_f, Report, Table};
-use crate::setups::{self, EngineChoice, FIXED_512MB_SHARE};
+use crate::setups::{self, cold_estimators, EngineChoice, FIXED_512MB_SHARE};
 use std::time::Instant;
-use vda_core::costmodel::{SharedEstimateCache, WhatIfEstimator};
+use vda_core::costmodel::WhatIfEstimator;
 use vda_core::enumerate::{
-    exhaustive_search_with, greedy_search_with, SearchOptions, SearchResult,
+    coarse_to_fine_search_with, exhaustive_search_with, greedy_search_with, CoarseToFineOptions,
+    SearchOptions, SearchResult,
 };
 use vda_core::metrics::CostAccounting;
 use vda_core::problem::SearchSpace;
+use vda_core::tenant::Tenant;
 use vda_core::VirtualizationDesignAdvisor;
 
 /// One algorithm's serial-vs-parallel measurement.
@@ -63,20 +71,6 @@ fn bench_advisor() -> VirtualizationDesignAdvisor {
             i_unit.times(10.0),
         ],
     )
-}
-
-/// Fresh estimators over cold caches, so each timed run pays the full
-/// optimizer cost of enumeration.
-fn cold_estimators(adv: &VirtualizationDesignAdvisor) -> Vec<WhatIfEstimator<'_>> {
-    (0..adv.tenant_count())
-        .map(|i| {
-            WhatIfEstimator::with_shared_cache(
-                adv.tenant(i),
-                adv.model(i),
-                SharedEstimateCache::new(),
-            )
-        })
-        .collect()
 }
 
 fn search(
@@ -153,14 +147,135 @@ fn measure(
     }
 }
 
-/// Run the measurements (5 workloads, CPU-only δ-grid).
-pub fn measurements() -> Vec<AlgoMeasurement> {
+/// Coarse-to-fine vs full-grid DP at the paper's maximum scale:
+/// N = 10 tenants, CPU and memory jointly, δ = 0.01.
+#[derive(Debug, Clone)]
+pub struct C2fMeasurement {
+    /// Tenant count.
+    pub workloads: usize,
+    /// Fine grid step.
+    pub delta: f64,
+    /// Coarse ladder the search used.
+    pub coarse_deltas: Vec<f64>,
+    /// Full-grid DP wall time in milliseconds.
+    pub full_ms: f64,
+    /// Coarse-to-fine wall time in milliseconds.
+    pub c2f_ms: f64,
+    /// Optimizer calls the full-grid DP issued (cold caches).
+    pub full_optimizer_calls: u64,
+    /// Optimizer calls coarse-to-fine issued (cold caches).
+    pub c2f_optimizer_calls: u64,
+    /// Full-grid objective.
+    pub full_weighted_cost: f64,
+    /// Coarse-to-fine objective.
+    pub c2f_weighted_cost: f64,
+}
+
+impl C2fMeasurement {
+    /// full/c2f optimizer-call ratio.
+    pub fn call_ratio(&self) -> f64 {
+        self.full_optimizer_calls as f64 / (self.c2f_optimizer_calls as f64).max(1.0)
+    }
+
+    /// Whether the objectives agree (1e-9 relative).
+    pub fn objective_match(&self) -> bool {
+        (self.full_weighted_cost - self.c2f_weighted_cost).abs()
+            <= 1e-9 * self.full_weighted_cost.abs().max(1.0)
+    }
+
+    /// The acceptance bar: same objective, ≥ 5× fewer optimizer calls.
+    pub fn meets_5x(&self) -> bool {
+        self.objective_match() && self.call_ratio() >= 5.0
+    }
+}
+
+/// Ten light DSS tenants with mixed CPU/memory appetites (proportional
+/// memory policy, so both resource axes matter).
+fn c2f_advisor() -> VirtualizationDesignAdvisor {
+    let engine = EngineChoice::Db2.engine();
+    let cat = setups::sf(1.0);
+    let mut adv = VirtualizationDesignAdvisor::new(setups::testbed());
+    let mix: [(usize, f64); 10] = [
+        (18, 3.0),
+        (6, 1.0),
+        (7, 2.0),
+        (16, 1.0),
+        (21, 2.0),
+        (1, 1.0),
+        (18, 1.0),
+        (7, 4.0),
+        (6, 3.0),
+        (16, 2.0),
+    ];
+    for (i, &(q, count)) in mix.iter().enumerate() {
+        let w = vda_workloads::tpch::query_workload(q, count).named(format!("T{i}-Q{q}"));
+        adv.add_tenant(
+            Tenant::new(format!("T{i}"), engine.clone(), cat.clone(), w)
+                .expect("bench workloads bind"),
+            vda_core::problem::QoS::default(),
+        );
+    }
+    adv.calibrate();
+    adv
+}
+
+/// Measure coarse-to-fine against the full-grid DP (one run each; the
+/// gated quantities — optimizer calls, objectives — are deterministic).
+pub fn measure_c2f() -> C2fMeasurement {
+    let adv = c2f_advisor();
+    let mut space = SearchSpace::cpu_and_memory();
+    space.delta = 0.01;
+    let qos = adv.qos();
+    let n = adv.tenant_count();
+    let options = SearchOptions::default();
+
+    let full_models = cold_estimators(&adv);
+    let t0 = Instant::now();
+    let full = exhaustive_search_with(&space, qos, &full_models, &options);
+    let full_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let full_acct = CostAccounting::tally(&full_models);
+
+    let c2f_opts = CoarseToFineOptions::auto(&space, n);
+    let c2f_models = cold_estimators(&adv);
+    let t1 = Instant::now();
+    let c2f = coarse_to_fine_search_with(&space, qos, &c2f_models, &c2f_opts, &options);
+    let c2f_ms = t1.elapsed().as_secs_f64() * 1e3;
+    let c2f_acct = CostAccounting::tally(&c2f_models);
+
+    C2fMeasurement {
+        workloads: n,
+        delta: space.delta,
+        coarse_deltas: c2f_opts.coarse_deltas,
+        full_ms,
+        c2f_ms,
+        full_optimizer_calls: full_acct.optimizer_calls,
+        c2f_optimizer_calls: c2f_acct.optimizer_calls,
+        full_weighted_cost: full.weighted_cost,
+        c2f_weighted_cost: c2f.weighted_cost,
+    }
+}
+
+/// The whole experiment's measurements.
+#[derive(Debug, Clone)]
+pub struct EnumerationBench {
+    /// Serial-vs-parallel per algorithm (5 workloads, CPU-only).
+    pub algos: Vec<AlgoMeasurement>,
+    /// Coarse-to-fine vs full grid (10 workloads, CPU+memory, δ 0.01).
+    pub c2f: C2fMeasurement,
+}
+
+/// Run the measurements (5 workloads CPU-only serial-vs-parallel, plus
+/// the N = 10 coarse-to-fine comparison).
+pub fn measurements() -> EnumerationBench {
     let adv = bench_advisor();
     let space = SearchSpace::cpu_only(FIXED_512MB_SHARE);
-    vec![
-        measure(&adv, &space, "greedy", false),
-        measure(&adv, &space, "exhaustive", true),
-    ]
+    EnumerationBench {
+        algos: vec![
+            measure(&adv, &space, "greedy", false),
+            measure(&adv, &space, "exhaustive", true),
+        ],
+        c2f: measure_c2f(),
+    }
 }
 
 /// Measure and render as a report.
@@ -169,10 +284,11 @@ pub fn run() -> Report {
 }
 
 /// Render existing measurements as a report.
-pub fn run_from(ms: Vec<AlgoMeasurement>) -> Report {
+pub fn run_from(bench: EnumerationBench) -> Report {
+    let ms = &bench.algos;
     let mut report = Report::new(
         "enumbench",
-        "Enumeration wall time: serial vs parallel candidate evaluation",
+        "Enumeration perf: serial vs parallel, coarse-to-fine vs full grid",
     );
     let mut table = Table::new(vec![
         "algorithm",
@@ -183,7 +299,7 @@ pub fn run_from(ms: Vec<AlgoMeasurement>) -> Report {
         "cache hits",
         "identical",
     ]);
-    for m in &ms {
+    for m in ms {
         table.row(vec![
             m.name.to_string(),
             fmt_f(m.serial_ms, 1),
@@ -195,6 +311,28 @@ pub fn run_from(ms: Vec<AlgoMeasurement>) -> Report {
         ]);
     }
     report.section("greedy vs exhaustive, serial vs parallel", table);
+
+    let c2f = &bench.c2f;
+    let mut c2f_table = Table::new(vec![
+        "search",
+        "wall ms",
+        "optimizer calls",
+        "weighted cost",
+    ]);
+    c2f_table.row(vec![
+        format!("full grid (N={}, δ={})", c2f.workloads, c2f.delta),
+        fmt_f(c2f.full_ms, 1),
+        c2f.full_optimizer_calls.to_string(),
+        fmt_f(c2f.full_weighted_cost, 6),
+    ]);
+    c2f_table.row(vec![
+        format!("coarse-to-fine (ladder {:?})", c2f.coarse_deltas),
+        fmt_f(c2f.c2f_ms, 1),
+        c2f.c2f_optimizer_calls.to_string(),
+        fmt_f(c2f.c2f_weighted_cost, 6),
+    ]);
+    report.section("coarse-to-fine vs full-grid DP", c2f_table);
+
     let all_identical = ms.iter().all(|m| m.identical);
     let calls_match = ms
         .iter()
@@ -202,13 +340,20 @@ pub fn run_from(ms: Vec<AlgoMeasurement>) -> Report {
     report.note(format!(
         "parallel results identical to serial: {all_identical}; optimizer-call counts match: {calls_match}"
     ));
+    report.note(format!(
+        "coarse-to-fine objective matches full grid: {}; {:.1}x fewer optimizer calls (>=5x: {})",
+        c2f.objective_match(),
+        c2f.call_ratio(),
+        c2f.meets_5x(),
+    ));
     report.note(format!("worker threads: {}", rayon::current_num_threads()));
     report
 }
 
 /// Serialize measurements as the `BENCH_enumeration.json` artifact.
-pub fn to_json(ms: &[AlgoMeasurement]) -> String {
-    let algos: Vec<String> = ms
+pub fn to_json(bench: &EnumerationBench) -> String {
+    let algos: Vec<String> = bench
+        .algos
         .iter()
         .map(|m| {
             format!(
@@ -237,6 +382,8 @@ pub fn to_json(ms: &[AlgoMeasurement]) -> String {
             )
         })
         .collect();
+    let c2f = &bench.c2f;
+    let ladder: Vec<String> = c2f.coarse_deltas.iter().map(|d| format!("{d}")).collect();
     format!(
         concat!(
             "{{\n",
@@ -245,41 +392,124 @@ pub fn to_json(ms: &[AlgoMeasurement]) -> String {
             "  \"space\": \"cpu_only\",\n",
             "  \"delta\": 0.05,\n",
             "  \"threads\": {},\n",
-            "  \"algorithms\": [\n{}\n  ]\n",
+            "  \"algorithms\": [\n{}\n  ],\n",
+            "  \"coarse_to_fine\": {{\n",
+            "    \"workloads\": {},\n",
+            "    \"space\": \"cpu_and_memory\",\n",
+            "    \"delta\": {},\n",
+            "    \"coarse_deltas\": [{}],\n",
+            "    \"full_ms\": {:.3},\n",
+            "    \"c2f_ms\": {:.3},\n",
+            "    \"full_optimizer_calls\": {},\n",
+            "    \"c2f_optimizer_calls\": {},\n",
+            "    \"full_weighted_cost\": {:.9},\n",
+            "    \"c2f_weighted_cost\": {:.9},\n",
+            "    \"call_ratio\": {:.3},\n",
+            "    \"objective_match\": {},\n",
+            "    \"meets_5x\": {}\n",
+            "  }}\n",
             "}}\n"
         ),
         rayon::current_num_threads(),
         algos.join(",\n"),
+        c2f.workloads,
+        c2f.delta,
+        ladder.join(", "),
+        c2f.full_ms,
+        c2f.c2f_ms,
+        c2f.full_optimizer_calls,
+        c2f.c2f_optimizer_calls,
+        c2f.full_weighted_cost,
+        c2f.c2f_weighted_cost,
+        c2f.call_ratio(),
+        c2f.objective_match(),
+        c2f.meets_5x(),
     )
 }
 
 /// Measure and write `BENCH_enumeration.json` to `path`.
-pub fn write_json(path: &str) -> std::io::Result<Vec<AlgoMeasurement>> {
-    let ms = measurements();
-    std::fs::write(path, to_json(&ms))?;
-    Ok(ms)
+pub fn write_json(path: &str) -> std::io::Result<EnumerationBench> {
+    let bench = measurements();
+    std::fs::write(path, to_json(&bench))?;
+    Ok(bench)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn fake_bench() -> EnumerationBench {
+        EnumerationBench {
+            algos: vec![AlgoMeasurement {
+                name: "greedy",
+                serial_ms: 12.5,
+                parallel_ms: 5.0,
+                optimizer_calls_serial: 100,
+                optimizer_calls_parallel: 100,
+                cache_hits: 40,
+                identical: true,
+                iterations: 6,
+            }],
+            c2f: C2fMeasurement {
+                workloads: 10,
+                delta: 0.01,
+                coarse_deltas: vec![0.05],
+                full_ms: 1000.0,
+                c2f_ms: 90.0,
+                full_optimizer_calls: 52020,
+                c2f_optimizer_calls: 4880,
+                full_weighted_cost: 123.456,
+                c2f_weighted_cost: 123.456,
+            },
+        }
+    }
+
     #[test]
     fn json_shape_is_wellformed_enough() {
-        let ms = vec![AlgoMeasurement {
-            name: "greedy",
-            serial_ms: 12.5,
-            parallel_ms: 5.0,
-            optimizer_calls_serial: 100,
-            optimizer_calls_parallel: 100,
-            cache_hits: 40,
-            identical: true,
-            iterations: 6,
-        }];
-        let json = to_json(&ms);
+        let json = to_json(&fake_bench());
         assert!(json.contains("\"experiment\": \"enumeration\""));
         assert!(json.contains("\"name\": \"greedy\""));
         assert!(json.contains("\"allocations_identical\": true"));
+        assert!(json.contains("\"coarse_to_fine\""));
+        assert!(json.contains("\"meets_5x\": true"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn c2f_acceptance_math() {
+        let c2f = fake_bench().c2f;
+        assert!(c2f.objective_match());
+        assert!((c2f.call_ratio() - 52020.0 / 4880.0).abs() < 1e-9);
+        assert!(c2f.meets_5x());
+        let worse = C2fMeasurement {
+            c2f_optimizer_calls: 20000,
+            ..c2f
+        };
+        assert!(!worse.meets_5x());
+    }
+
+    /// The real measurement: the acceptance bar — full-grid objective
+    /// at N = 10, δ = 0.01 with ≥ 5× fewer optimizer calls — holds.
+    /// Ignored by default (the full-grid DP costs ~5 s in debug
+    /// builds); CI enforces the same bar in release via the
+    /// bench-regression gate (`meets_5x` in `BENCH_enumeration.json`).
+    /// Run explicitly with `cargo test --release -- --ignored`.
+    #[test]
+    #[ignore = "slow in debug; CI's release bench gate asserts the same bar"]
+    fn measured_c2f_meets_acceptance_bar() {
+        let c2f = measure_c2f();
+        assert!(
+            c2f.objective_match(),
+            "objectives differ: {} vs {}",
+            c2f.full_weighted_cost,
+            c2f.c2f_weighted_cost
+        );
+        assert!(
+            c2f.call_ratio() >= 5.0,
+            "only {:.2}x fewer calls ({} vs {})",
+            c2f.call_ratio(),
+            c2f.full_optimizer_calls,
+            c2f.c2f_optimizer_calls
+        );
     }
 }

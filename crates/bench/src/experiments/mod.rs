@@ -14,6 +14,7 @@ pub mod estcosts;
 pub mod memory_sensitivity;
 pub mod motivating;
 pub mod multi_resource;
+pub mod placement;
 pub mod profiles;
 pub mod qos;
 pub mod random_workloads;
@@ -65,6 +66,7 @@ pub fn registry() -> Vec<(&'static str, fn() -> Report)> {
         ("sec72", sec72_costs::run),
         ("ablation", ablation::run),
         ("enumbench", enumeration::run),
+        ("placement", placement::run),
     ]
 }
 

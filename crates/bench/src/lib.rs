@@ -10,9 +10,16 @@
 //! regenerate everything; individual ids (`fig2`, `fig12`, …, `sec72`)
 //! run one experiment. `EXPERIMENTS.md` records paper-vs-measured for
 //! each.
+//!
+//! The `check_bench` binary is CI's bench-regression gate: it diffs
+//! freshly measured `BENCH_*.json` artifacts against the committed
+//! baselines ([`benchcheck`]) and verifies the `vendor/` stubs match
+//! the `Cargo.lock` pins.
 
+pub mod benchcheck;
 pub mod experiments;
 pub mod harness;
+pub mod jsonval;
 pub mod setups;
 
 pub use harness::{fmt_f, fmt_pct, Report, Table};

@@ -131,6 +131,52 @@ impl VirtualizationDesignAdvisor {
         self.caches.swap(i, j);
     }
 
+    /// Move tenant `i` — workload, QoS, and estimate cache — onto
+    /// another machine's advisor, returning its index there. The
+    /// fleet layer's migration primitive.
+    ///
+    /// Per-engine calibrated models travel with the tenant: when the
+    /// destination machine has no calibration for the tenant's engine
+    /// kind and the machines are physically identical (calibration is
+    /// per-DBMS-**per-machine**, §4.3), the source's model is copied
+    /// over, so a migration never forces a recalibration the paper
+    /// says is unnecessary. Cached estimates move along unless the
+    /// destination's calibration differs, in which case they would be
+    /// stale and the tenant starts with a cold cache instead.
+    pub fn transfer_tenant(&mut self, i: usize, dest: &mut VirtualizationDesignAdvisor) -> usize {
+        let tenant = self.tenants.remove(i);
+        let qos = self.qos.remove(i);
+        let cache = self.caches.remove(i);
+        let kind = tenant.engine.kind();
+        let source_model = self
+            .models
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, m)| m.clone());
+        let dest_model = dest.models.iter().find(|(k, _)| *k == kind);
+        let same_machine = self.hv.machine() == dest.hv.machine();
+        let cache = match (&source_model, dest_model) {
+            // Destination already calibrated: estimates stay valid only
+            // if they were produced by the very same calibration.
+            (Some(m), Some((_, dm))) if dm == m => cache,
+            (_, Some(_)) => SharedEstimateCache::new(),
+            // Model travels with the tenant across identical machines.
+            (Some(m), None) if same_machine => {
+                dest.models.push((kind, m.clone()));
+                cache
+            }
+            // Different physical machine (or uncalibrated source): the
+            // destination must calibrate itself; cached estimates from
+            // the old machine would be wrong there.
+            (Some(_), None) => SharedEstimateCache::new(),
+            (None, None) => cache,
+        };
+        dest.tenants.push(tenant);
+        dest.qos.push(qos);
+        dest.caches.push(cache);
+        dest.tenants.len() - 1
+    }
+
     /// Per-tenant QoS settings.
     pub fn qos(&self) -> &[QoS] {
         &self.qos
@@ -522,6 +568,44 @@ mod tests {
         assert!(!adv.is_calibrated());
         adv.calibrate();
         assert!(adv.is_calibrated());
+    }
+
+    #[test]
+    fn transfer_tenant_carries_model_and_cache_to_identical_machine() {
+        let mut src = advisor_two_dss();
+        let a = Allocation::new(0.5, 0.5);
+        let warm = src.estimator(0).cost(a); // warms the shared cache
+        let mut dst =
+            VirtualizationDesignAdvisor::new(Hypervisor::new(PhysicalMachine::paper_testbed()));
+        let j = src.transfer_tenant(0, &mut dst);
+        assert_eq!(src.tenant_count(), 1);
+        assert_eq!(dst.tenant_count(), 1);
+        // Calibrated model traveled: no recalibration needed.
+        assert!(dst.is_calibrated(), "model must travel with the tenant");
+        // Cached estimates traveled too: same answer, zero new
+        // optimizer calls.
+        let est = dst.estimator(j);
+        assert_eq!(est.cost(a), warm);
+        assert_eq!(est.optimizer_calls(), 0);
+        assert!(est.cache_hits() > 0);
+    }
+
+    #[test]
+    fn transfer_tenant_to_different_machine_forces_recalibration() {
+        let mut src = advisor_two_dss();
+        let a = Allocation::new(0.5, 0.5);
+        let _ = src.estimator(0).cost(a);
+        let mut spec = PhysicalMachine::paper_testbed();
+        spec.core_ghz *= 2.0;
+        let mut dst = VirtualizationDesignAdvisor::new(Hypervisor::new(spec));
+        let j = src.transfer_tenant(0, &mut dst);
+        // Calibration is per-machine: the source's model must not be
+        // trusted on different hardware.
+        assert!(!dst.is_calibrated());
+        dst.calibrate();
+        let est = dst.estimator(j);
+        let _ = est.cost(a);
+        assert!(est.optimizer_calls() > 0, "stale cache must not be served");
     }
 
     #[test]

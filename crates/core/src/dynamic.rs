@@ -19,7 +19,8 @@
 //! the refinement scaling instead.
 
 use crate::advisor::VirtualizationDesignAdvisor;
-use crate::problem::{Allocation, SearchSpace};
+use crate::placement::{assignment_objective, machine_capacity, AssignmentPricer, FleetOptions};
+use crate::problem::{Allocation, QoS, SearchSpace};
 use crate::refine::{refine, RefineOptions, RefinedModel};
 use serde::{Deserialize, Serialize};
 
@@ -273,6 +274,285 @@ impl DynamicConfigManager {
     }
 }
 
+/// Settings of the fleet-level dynamic manager.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetDynamicOptions {
+    /// Per-machine §6 management settings.
+    pub dynamic: DynamicOptions,
+    /// Minimum relative fleet-objective improvement an estimated
+    /// migration must promise before it is executed (migrations are
+    /// disruptive; small gains are not worth moving a database).
+    pub migration_threshold: f64,
+    /// Pricing options for candidate placements (the `machines` field
+    /// is overwritten with the fleet's machine count).
+    pub fleet: FleetOptions,
+}
+
+impl Default for FleetDynamicOptions {
+    fn default() -> Self {
+        FleetDynamicOptions {
+            dynamic: DynamicOptions::default(),
+            migration_threshold: 0.05,
+            fleet: FleetOptions::default(),
+        }
+    }
+}
+
+/// One executed cross-machine migration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Migration {
+    /// Name of the migrated tenant.
+    pub tenant: String,
+    /// Source machine.
+    pub from: usize,
+    /// Destination machine.
+    pub to: usize,
+    /// Relative fleet-objective improvement the estimators promised.
+    pub estimated_gain: f64,
+}
+
+/// What happened across the fleet in one monitoring period.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetPeriodReport {
+    /// Monitoring period number (1-based).
+    pub period: usize,
+    /// Per-machine §6 reports (`None` for machines without tenants).
+    pub reports: Vec<Option<PeriodReport>>,
+    /// Migrations executed this period (after the per-machine reports
+    /// were taken).
+    pub migrations: Vec<Migration>,
+}
+
+/// The fleet-level dynamic configuration manager: one §6
+/// [`DynamicConfigManager`] per machine, plus cross-machine tenant
+/// migration. A workload change the per-machine manager classifies as
+/// **major** ([`PeriodDecision::RebuildOnChange`]) no longer just
+/// rebuilds the local model — it also re-prices the changed tenant on
+/// every other machine, and when moving it promises more than
+/// [`FleetDynamicOptions::migration_threshold`] relative improvement,
+/// the tenant is migrated (its calibrated model and estimate cache
+/// travel along, see
+/// [`VirtualizationDesignAdvisor::transfer_tenant`]) and the affected
+/// machines' managers restart from fresh optimizer estimates.
+pub struct FleetManager {
+    machines: Vec<VirtualizationDesignAdvisor>,
+    managers: Vec<Option<DynamicConfigManager>>,
+    space: SearchSpace,
+    options: FleetDynamicOptions,
+    period: usize,
+}
+
+impl FleetManager {
+    /// Start managing a fleet of (identical) machines. Machines with
+    /// tenants must already be calibrated.
+    pub fn new(
+        machines: Vec<VirtualizationDesignAdvisor>,
+        space: SearchSpace,
+        options: FleetDynamicOptions,
+    ) -> Self {
+        assert!(!machines.is_empty(), "at least one machine");
+        let managers = machines
+            .iter()
+            .map(|adv| {
+                (adv.tenant_count() > 0)
+                    .then(|| DynamicConfigManager::new(adv, space, options.dynamic.clone()))
+            })
+            .collect();
+        FleetManager {
+            machines,
+            managers,
+            space,
+            options,
+            period: 0,
+        }
+    }
+
+    /// Number of machines.
+    pub fn machine_count(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// One machine's advisor.
+    pub fn machine(&self, m: usize) -> &VirtualizationDesignAdvisor {
+        &self.machines[m]
+    }
+
+    /// Mutable access to one machine's advisor (apply workload changes
+    /// between monitoring periods).
+    pub fn machine_mut(&mut self, m: usize) -> &mut VirtualizationDesignAdvisor {
+        &mut self.machines[m]
+    }
+
+    /// Allocations currently in force on machine `m` (`None` when the
+    /// machine hosts no tenants).
+    pub fn allocations(&self, m: usize) -> Option<&[Allocation]> {
+        self.managers[m].as_ref().map(|mgr| mgr.allocations())
+    }
+
+    /// Estimated fleet objective of the current placement, priced like
+    /// [`place_tenants`](crate::placement::place_tenants).
+    pub fn estimated_objective(&self) -> f64 {
+        let (qos, assignment) = self.flatten();
+        let estimators: Vec<_> = self
+            .machines
+            .iter()
+            .flat_map(|adv| (0..adv.tenant_count()).map(move |i| adv.estimator(i)))
+            .collect();
+        assignment_objective(&self.space, &qos, &estimators, &assignment, &self.pricing())
+    }
+
+    fn pricing(&self) -> FleetOptions {
+        FleetOptions {
+            machines: self.machines.len(),
+            ..self.options.fleet.clone()
+        }
+    }
+
+    /// Global (QoS, assignment) vectors over all machines, in
+    /// (machine, slot) order.
+    fn flatten(&self) -> (Vec<QoS>, Vec<usize>) {
+        let mut qos = Vec::new();
+        let mut assignment = Vec::new();
+        for (m, adv) in self.machines.iter().enumerate() {
+            qos.extend_from_slice(adv.qos());
+            assignment.extend(std::iter::repeat_n(m, adv.tenant_count()));
+        }
+        (qos, assignment)
+    }
+
+    /// Process one monitoring period across the fleet: run every
+    /// machine's §6 manager, then consider migrating tenants whose
+    /// workload change was classified major.
+    pub fn process_period(&mut self) -> FleetPeriodReport {
+        self.period += 1;
+        let k = self.machines.len();
+        let mut reports: Vec<Option<PeriodReport>> = Vec::with_capacity(k);
+        for m in 0..k {
+            let report = self.managers[m]
+                .as_mut()
+                .map(|mgr| mgr.process_period(&self.machines[m]));
+            reports.push(report);
+        }
+
+        // Major workload changes are migration candidates: the refined
+        // model was discarded anyway, so moving the tenant costs no
+        // accumulated refinement state.
+        let mut candidates: Vec<(usize, usize)> = Vec::new(); // (machine, slot)
+        for (m, report) in reports.iter().enumerate() {
+            if let Some(r) = report {
+                for (slot, d) in r.decisions.iter().enumerate() {
+                    if *d == PeriodDecision::RebuildOnChange {
+                        candidates.push((m, slot));
+                    }
+                }
+            }
+        }
+
+        let mut migrations = Vec::new();
+        if let Some((migration, slot)) = self.best_migration(&candidates) {
+            let Migration { from, to, .. } = migration;
+            let (src, dst) = two_mut(&mut self.machines, from, to);
+            src.transfer_tenant(slot, dst);
+            // The affected machines' tenant sets changed: restart
+            // their managers from fresh optimizer estimates (the same
+            // conservative rebuild §6 prescribes after major changes).
+            for m in [from, to] {
+                self.managers[m] = (self.machines[m].tenant_count() > 0).then(|| {
+                    DynamicConfigManager::new(
+                        &self.machines[m],
+                        self.space,
+                        self.options.dynamic.clone(),
+                    )
+                });
+            }
+            migrations.push(migration);
+        }
+
+        FleetPeriodReport {
+            period: self.period,
+            reports,
+            migrations,
+        }
+    }
+
+    /// Best single migration among the candidate tenants, if any
+    /// clears the improvement threshold. Returns the migration plus
+    /// the tenant's *slot* on the source machine (tenant names are
+    /// display labels, not identities — slots are what
+    /// [`VirtualizationDesignAdvisor::transfer_tenant`] consumes).
+    fn best_migration(&self, candidates: &[(usize, usize)]) -> Option<(Migration, usize)> {
+        if candidates.is_empty() {
+            return None;
+        }
+        let (qos, assignment) = self.flatten();
+        let estimators: Vec<_> = self
+            .machines
+            .iter()
+            .flat_map(|adv| (0..adv.tenant_count()).map(move |i| adv.estimator(i)))
+            .collect();
+        let pricing = self.pricing();
+        let capacity = machine_capacity(&self.space);
+        // One pricer across the base assignment and every candidate:
+        // candidates differ from the base on two machines only, so the
+        // shared memoization re-solves just the changed subsets.
+        let pricer = AssignmentPricer::new(&self.space, &qos, &estimators, &pricing);
+        let base = pricer.objective(&assignment);
+        if !base.is_finite() || base <= 0.0 {
+            return None;
+        }
+        // Global index of (machine, slot).
+        let offset: Vec<usize> = self
+            .machines
+            .iter()
+            .scan(0, |acc, adv| {
+                let o = *acc;
+                *acc += adv.tenant_count();
+                Some(o)
+            })
+            .collect();
+        let mut best: Option<(Migration, usize, f64)> = None;
+        for &(m, slot) in candidates {
+            let g = offset[m] + slot;
+            for to in 0..self.machines.len() {
+                if to == m || self.machines[to].tenant_count() >= capacity {
+                    continue;
+                }
+                let mut cand = assignment.clone();
+                cand[g] = to;
+                let obj = pricer.objective(&cand);
+                let gain = (base - obj) / base;
+                if gain > self.options.migration_threshold
+                    && best.as_ref().is_none_or(|(_, _, b)| gain > *b)
+                {
+                    best = Some((
+                        Migration {
+                            tenant: self.machines[m].tenant(slot).name.clone(),
+                            from: m,
+                            to,
+                            estimated_gain: gain,
+                        },
+                        slot,
+                        gain,
+                    ));
+                }
+            }
+        }
+        best.map(|(mig, slot, _)| (mig, slot))
+    }
+}
+
+/// Distinct mutable borrows of two vector slots.
+fn two_mut<T>(v: &mut [T], a: usize, b: usize) -> (&mut T, &mut T) {
+    assert_ne!(a, b);
+    if a < b {
+        let (lo, hi) = v.split_at_mut(b);
+        (&mut lo[a], &mut hi[0])
+    } else {
+        let (lo, hi) = v.split_at_mut(a);
+        (&mut hi[0], &mut lo[b])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -367,6 +647,136 @@ mod tests {
             .decisions
             .iter()
             .all(|d| *d == PeriodDecision::ContinueRefinement));
+    }
+
+    /// A machine hosting the given `(name, tpch query, multiplicity)`
+    /// tenants, calibrated.
+    fn machine(specs: &[(&str, usize, f64)]) -> VirtualizationDesignAdvisor {
+        let hv = Hypervisor::new(PhysicalMachine::paper_testbed());
+        let mut adv = VirtualizationDesignAdvisor::new(hv);
+        let cat = tpch::catalog(1.0);
+        for &(name, q, mult) in specs {
+            adv.add_tenant(
+                Tenant::new(
+                    name,
+                    Engine::pg(),
+                    cat.clone(),
+                    tpch::query_workload(q, mult),
+                )
+                .unwrap(),
+                QoS::default(),
+            );
+        }
+        adv.calibrate();
+        adv
+    }
+
+    #[test]
+    fn stable_fleet_never_migrates() {
+        let machines = vec![
+            machine(&[("a", 6, 1.0), ("b", 18, 3.0)]),
+            machine(&[("c", 6, 1.0)]),
+        ];
+        let mut fleet = FleetManager::new(
+            machines,
+            SearchSpace::cpu_only(0.5),
+            FleetDynamicOptions::default(),
+        );
+        for _ in 0..3 {
+            let report = fleet.process_period();
+            assert!(report.migrations.is_empty(), "{:?}", report.migrations);
+        }
+    }
+
+    #[test]
+    fn major_workload_change_triggers_migration() {
+        // Machine 0 hosts a light and a heavy tenant; machine 1 a
+        // light one. Tenant "a" turning heavy leaves machine 0 with
+        // two heavy tenants — the fleet manager should move one off.
+        let machines = vec![
+            machine(&[("a", 6, 1.0), ("b", 18, 4.0)]),
+            machine(&[("c", 6, 1.0)]),
+        ];
+        let mut fleet = FleetManager::new(
+            machines,
+            SearchSpace::cpu_only(0.5),
+            FleetDynamicOptions::default(),
+        );
+        fleet.process_period(); // settle
+        fleet
+            .machine_mut(0)
+            .tenant_mut(0)
+            .set_workload(tpch::query_workload(18, 4.0))
+            .unwrap();
+        let report = fleet.process_period();
+        assert_eq!(report.migrations.len(), 1, "{:?}", report.migrations);
+        let mig = &report.migrations[0];
+        assert_eq!(mig.tenant, "a");
+        assert_eq!((mig.from, mig.to), (0, 1));
+        assert!(mig.estimated_gain > 0.05);
+        assert_eq!(fleet.machine(0).tenant_count(), 1);
+        assert_eq!(fleet.machine(1).tenant_count(), 2);
+        // The destination kept its calibration (the model traveled).
+        assert!(fleet.machine(1).is_calibrated());
+        // Managers were rebuilt: the next period still works and
+        // allocations stay feasible per machine.
+        let next = fleet.process_period();
+        for report in next.reports.iter().flatten() {
+            let total: f64 = report.allocations.iter().map(|a| a.cpu).sum();
+            assert!(total <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn migration_threshold_gates_disruptive_moves() {
+        let machines = vec![
+            machine(&[("a", 6, 1.0), ("b", 18, 4.0)]),
+            machine(&[("c", 6, 1.0)]),
+        ];
+        let mut fleet = FleetManager::new(
+            machines,
+            SearchSpace::cpu_only(0.5),
+            FleetDynamicOptions {
+                migration_threshold: 1e9, // nothing clears this bar
+                ..FleetDynamicOptions::default()
+            },
+        );
+        fleet.process_period();
+        fleet
+            .machine_mut(0)
+            .tenant_mut(0)
+            .set_workload(tpch::query_workload(18, 4.0))
+            .unwrap();
+        let report = fleet.process_period();
+        assert!(report.migrations.is_empty());
+        assert_eq!(fleet.machine(0).tenant_count(), 2);
+    }
+
+    #[test]
+    fn migration_reduces_estimated_fleet_objective() {
+        let machines = vec![
+            machine(&[("a", 6, 1.0), ("b", 18, 4.0)]),
+            machine(&[("c", 6, 1.0)]),
+        ];
+        let mut fleet = FleetManager::new(
+            machines,
+            SearchSpace::cpu_only(0.5),
+            FleetDynamicOptions::default(),
+        );
+        fleet.process_period();
+        fleet
+            .machine_mut(0)
+            .tenant_mut(0)
+            .set_workload(tpch::query_workload(18, 4.0))
+            .unwrap();
+        let before = fleet.estimated_objective();
+        let report = fleet.process_period();
+        assert!(!report.migrations.is_empty());
+        let after = fleet.estimated_objective();
+        assert!(
+            after < before,
+            "migration must cut the estimated objective: {after} vs {before}"
+        );
     }
 
     #[test]

@@ -378,6 +378,47 @@ pub fn exhaustive_search_with<M: CostModel>(
     options: &SearchOptions,
 ) -> SearchResult {
     let n = models.len();
+    let units_total = (1.0 / space.delta).round() as usize;
+    let min_units = (space.min_share / space.delta).round().max(1.0) as usize;
+    assert!(
+        units_total >= n * min_units,
+        "min_share too large for {n} workloads"
+    );
+    try_exhaustive_search_with(space, qos, models, options)
+        .expect("no feasible allocation satisfies the degradation limits")
+}
+
+/// Non-panicking [`exhaustive_search_with`]: `None` when the grid is
+/// too coarse to host every workload or the degradation limits are
+/// jointly infeasible on it. The fleet placement layer uses this to
+/// price machine subsets without aborting on overloaded machines.
+pub fn try_exhaustive_search_with<M: CostModel>(
+    space: &SearchSpace,
+    qos: &[QoS],
+    models: &[M],
+    options: &SearchOptions,
+) -> Option<SearchResult> {
+    grid_search(space, qos, models, options, None)
+}
+
+/// Per-workload refinement window: the previous level's optimum plus a
+/// half-width (in resource shares) around each workload's share.
+struct GridWindow<'a> {
+    centers: &'a [Allocation],
+    half_width: f64,
+}
+
+/// The DP grid optimum, optionally restricted to a window around known
+/// centers. Returns `None` when no grid allocation satisfies the
+/// degradation limits (or the window excludes every feasible option).
+fn grid_search<M: CostModel>(
+    space: &SearchSpace,
+    qos: &[QoS],
+    models: &[M],
+    options: &SearchOptions,
+    window: Option<GridWindow<'_>>,
+) -> Option<SearchResult> {
+    let n = models.len();
     assert!(n >= 1);
     assert_eq!(qos.len(), n);
     let varied = space.varied();
@@ -385,11 +426,10 @@ pub fn exhaustive_search_with<M: CostModel>(
     let delta = space.delta;
     let units_total = (1.0 / delta).round() as usize;
     let min_units = (space.min_share / delta).round().max(1.0) as usize;
+    if units_total < n * min_units {
+        return None; // grid too coarse to host n workloads
+    }
     let max_units = units_total - (n - 1) * min_units;
-    assert!(
-        max_units >= min_units,
-        "min_share too large for {n} workloads"
-    );
     let eval = Evaluator::new(models, options);
 
     let solo = space.solo_allocation();
@@ -415,17 +455,38 @@ pub fn exhaustive_search_with<M: CostModel>(
         }
     };
 
-    // Feasible own-share options per workload.
-    let cpu_options: Vec<usize> = if vary_cpu {
-        (min_units..=max_units).collect()
-    } else {
-        vec![0]
+    // Feasible own-share options per workload: the full `[min_units,
+    // max_units]` range, or (coarse-to-fine refinement) only the units
+    // within `half_width` of the workload's window center.
+    let options_for = |i: usize, res: Resource| -> Vec<usize> {
+        match &window {
+            None => (min_units..=max_units).collect(),
+            Some(w) => {
+                let center = w.centers[i].get(res);
+                (min_units..=max_units)
+                    .filter(|&u| (u as f64 * delta - center).abs() <= w.half_width + 1e-9)
+                    .collect()
+            }
+        }
     };
-    let mem_options: Vec<usize> = if vary_mem {
-        (min_units..=max_units).collect()
-    } else {
-        vec![0]
-    };
+    let cpu_options: Vec<Vec<usize>> = (0..n)
+        .map(|i| {
+            if vary_cpu {
+                options_for(i, Resource::Cpu)
+            } else {
+                vec![0]
+            }
+        })
+        .collect();
+    let mem_options: Vec<Vec<usize>> = (0..n)
+        .map(|i| {
+            if vary_mem {
+                options_for(i, Resource::Memory)
+            } else {
+                vec![0]
+            }
+        })
+        .collect();
 
     // Per-workload cost tables over the whole grid, evaluated as one
     // batch: this is the bulk of the optimizer work, and the
@@ -433,8 +494,8 @@ pub fn exhaustive_search_with<M: CostModel>(
     let mut jobs: Vec<(usize, Allocation)> = Vec::new();
     let mut coords: Vec<(usize, usize, usize)> = Vec::new();
     for i in 0..n {
-        for &cu in &cpu_options {
-            for &mu in &mem_options {
+        for &cu in &cpu_options[i] {
+            for &mu in &mem_options[i] {
                 jobs.push((i, alloc_for(cu, mu)));
                 coords.push((i, cu, mu));
             }
@@ -447,6 +508,9 @@ pub fn exhaustive_search_with<M: CostModel>(
         if c <= qos[i].degradation_limit * full_cost[i] + 1e-12 {
             tables[i].push(((cu, mu), c, qos[i].gain * c));
         }
+    }
+    if tables.iter().any(Vec::is_empty) {
+        return None; // some workload has no feasible option at all
     }
 
     // DP over (workload index, cpu units left, memory units left):
@@ -490,10 +554,9 @@ pub fn exhaustive_search_with<M: CostModel>(
     let mut m_left = mem_budget;
     for i in 0..n {
         let target = layers[i][idx(c_left, m_left)];
-        assert!(
-            target.is_finite(),
-            "no feasible allocation satisfies the degradation limits"
-        );
+        if !target.is_finite() {
+            return None; // limits jointly infeasible on this grid
+        }
         let mut found = false;
         for &((cu, mu), _, wcost) in &tables[i] {
             let cu_eff = if vary_cpu { cu } else { 0 };
@@ -534,15 +597,209 @@ pub fn exhaustive_search_with<M: CostModel>(
         .zip(&full_cost)
         .map(|((c, q), f)| *c <= q.degradation_limit * f + 1e-9)
         .collect();
-    SearchResult {
+    Some(SearchResult {
         weighted_cost: costs.iter().zip(qos).map(|(c, q)| q.gain * c).sum(),
         allocations,
         costs,
         iterations: 0,
         trace: Vec::new(),
         limits_met,
+    })
+}
+
+/// Settings for [`coarse_to_fine_search_with`].
+///
+/// The search solves the full DP on each coarse δ of the ladder in
+/// turn, then restricts the next (finer) level to a window of
+/// `window_steps` previous-level steps around each workload's share at
+/// the previous optimum. The final level is always the search space's
+/// own δ. Degenerate coarse levels (a grid too coarse to host all
+/// workloads) and levels made infeasible by the degradation limits are
+/// skipped — the following level then runs unwindowed, so the result
+/// is always feasible whenever the full-grid DP is.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoarseToFineOptions {
+    /// Refinement ladder of coarse δ values, coarsest first. Values
+    /// not strictly coarser than the search space's δ are ignored.
+    pub coarse_deltas: Vec<f64>,
+    /// Refinement-window half-width around the previous level's
+    /// optimum, in multiples of the previous level's δ. For separable
+    /// convex costs any value ≥ 1 is exact (re-centering follows unit
+    /// exchanges); the default of 2 also clears the ~2-coarse-step
+    /// plan-regime basins real what-if estimators exhibit along the
+    /// memory axis (see `BENCH_enumeration.json`).
+    pub window_steps: f64,
+}
+
+impl Default for CoarseToFineOptions {
+    fn default() -> Self {
+        CoarseToFineOptions {
+            coarse_deltas: vec![0.1],
+            window_steps: 2.0,
+        }
     }
 }
+
+impl CoarseToFineOptions {
+    /// A single coarse level of the given δ.
+    pub fn with_coarse(delta: f64) -> Self {
+        assert!(delta > 0.0 && delta < 1.0, "coarse delta must be in (0,1)");
+        CoarseToFineOptions {
+            coarse_deltas: vec![delta],
+            ..CoarseToFineOptions::default()
+        }
+    }
+
+    /// Pick a coarse δ automatically for `n` workloads: the coarsest
+    /// standard step that still gives every workload a few options at
+    /// the coarse level. Returns an empty ladder (plain full-grid
+    /// search) when no candidate is useful.
+    pub fn auto(space: &SearchSpace, n: usize) -> Self {
+        const CANDIDATES: [f64; 5] = [0.2, 0.1, 0.05, 0.04, 0.025];
+        for &c in &CANDIDATES {
+            if c <= space.delta * 1.5 {
+                continue;
+            }
+            let units = (1.0 / c).round() as usize;
+            let min_units = (space.min_share / c).round().max(1.0) as usize;
+            if units < n * min_units {
+                continue; // grid cannot host n workloads
+            }
+            let max_units = units - (n - 1) * min_units;
+            if max_units - min_units + 1 >= 4 {
+                return CoarseToFineOptions::with_coarse(c);
+            }
+        }
+        CoarseToFineOptions {
+            coarse_deltas: Vec::new(),
+            ..CoarseToFineOptions::default()
+        }
+    }
+}
+
+/// Coarse-to-fine grid optimum with automatically chosen coarse δ and
+/// default (parallel) candidate evaluation. See
+/// [`coarse_to_fine_search_with`].
+pub fn coarse_to_fine_search<M: CostModel>(
+    space: &SearchSpace,
+    qos: &[QoS],
+    models: &[M],
+) -> SearchResult {
+    let c2f = CoarseToFineOptions::auto(space, models.len());
+    coarse_to_fine_search_with(space, qos, models, &c2f, &SearchOptions::default())
+}
+
+/// Coarse-to-fine enumeration: solve the DP on a coarse δ first, then
+/// refine only inside a window around the coarse optimum down to the
+/// search space's fine δ, re-centering the window whenever refinement
+/// keeps improving. On separable workload costs this finds the
+/// full-grid optimum while probing far fewer allocations (the
+/// optimizer-call counts of the cost models record exactly how many);
+/// `tests/coarse_to_fine.rs` property-checks the equivalence against
+/// [`exhaustive_search`]. Finite degradation limits disable windowing
+/// (the limit boundary makes the problem non-convex) — the search then
+/// *is* the full-grid DP, so the result always equals
+/// [`exhaustive_search_with`]'s and it panics only when that would
+/// panic too.
+pub fn coarse_to_fine_search_with<M: CostModel>(
+    space: &SearchSpace,
+    qos: &[QoS],
+    models: &[M],
+    c2f: &CoarseToFineOptions,
+    options: &SearchOptions,
+) -> SearchResult {
+    try_coarse_to_fine_search_with(space, qos, models, c2f, options)
+        .expect("no feasible allocation satisfies the degradation limits")
+}
+
+/// Non-panicking [`coarse_to_fine_search_with`]: `None` exactly when
+/// [`try_exhaustive_search_with`] would return `None` too.
+pub fn try_coarse_to_fine_search_with<M: CostModel>(
+    space: &SearchSpace,
+    qos: &[QoS],
+    models: &[M],
+    c2f: &CoarseToFineOptions,
+    options: &SearchOptions,
+) -> Option<SearchResult> {
+    let n = models.len();
+    assert!(n >= 1);
+    assert!(c2f.window_steps > 0.0, "window must be positive");
+    // Degradation limits make the grid problem non-convex: the limit
+    // boundary couples a workload's resources, and the optimum can sit
+    // against it in a spot only reachable through limit-infeasible
+    // intermediate configurations — which defeats windowed refinement
+    // *and* its re-centering, even for workloads that are themselves
+    // unconstrained (budget coupling spreads the distortion). With any
+    // finite limit the search therefore runs the full-grid DP, keeping
+    // the equivalence guarantee unconditional; windowed refinement
+    // kicks in exactly where it is provably safe. (Windowing under
+    // limits is an open ROADMAP item.)
+    if qos.iter().any(|q| q.degradation_limit.is_finite()) {
+        return try_exhaustive_search_with(space, qos, models, options);
+    }
+    let mut ladder: Vec<f64> = c2f
+        .coarse_deltas
+        .iter()
+        .copied()
+        .filter(|&d| d > space.delta + 1e-12)
+        .collect();
+    ladder.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+
+    // Each level's optimum becomes the next level's window center.
+    let mut seed: Option<(Vec<Allocation>, f64)> = None;
+    for delta in ladder {
+        let coarse_space = SearchSpace { delta, ..*space };
+        let window = seed.as_ref().map(|(centers, prev_delta)| GridWindow {
+            centers,
+            half_width: c2f.window_steps * prev_delta,
+        });
+        seed = grid_search(&coarse_space, qos, models, options, window)
+            .map(|r| (r.allocations, delta));
+        // On an infeasible/degenerate level the next one runs unwindowed.
+    }
+
+    // Final level: the fine grid, windowed around the coarse seed and
+    // iteratively *re-centered* on each improved solution. A solution
+    // on the window boundary means the window clipped the descent
+    // direction; re-centering keeps following it. The loop stops at a
+    // window-stable point — one no δ-sized exchange between workloads
+    // improves (every single-unit exchange lies inside the window),
+    // which for separable convex costs is exactly the grid optimum.
+    if let Some((centers, prev_delta)) = seed {
+        let half_width = c2f.window_steps * prev_delta;
+        let mut centers = centers;
+        let mut best: Option<SearchResult> = None;
+        for _ in 0..RECENTER_CAP {
+            let window = GridWindow {
+                centers: &centers,
+                half_width,
+            };
+            let Some(r) = grid_search(space, qos, models, options, Some(window)) else {
+                break;
+            };
+            let improved = best
+                .as_ref()
+                .is_none_or(|b| r.weighted_cost < b.weighted_cost - 1e-12);
+            centers.clone_from(&r.allocations);
+            if improved {
+                best = Some(r);
+            } else {
+                break;
+            }
+        }
+        if best.is_some() {
+            return best;
+        }
+    }
+    // No usable coarse seed, or the window excluded every feasible
+    // fine-grid point: fall back to the full fine grid.
+    try_exhaustive_search_with(space, qos, models, options)
+}
+
+/// Re-centering round cap for the fine level of coarse-to-fine search;
+/// each round strictly improves the objective on a finite grid, so
+/// this is a safety net, not a tuning knob.
+const RECENTER_CAP: usize = 100;
 
 #[cfg(test)]
 mod tests {
@@ -777,6 +1034,124 @@ mod tests {
         let e_serial = exhaustive_search_with(&space, &qos, &models, &SearchOptions::serial());
         let e_parallel = exhaustive_search_with(&space, &qos, &models, &SearchOptions::parallel());
         assert_eq!(e_serial, e_parallel);
+    }
+
+    #[test]
+    fn coarse_to_fine_matches_full_grid_on_fine_delta() {
+        let mut space = SearchSpace::cpu_only(0.5);
+        space.delta = 0.01;
+        let models = synth(vec![9.0, 4.0, 1.0]);
+        let qos = qos_n(3);
+        let full = exhaustive_search(&space, &qos, &models);
+        let c2f = coarse_to_fine_search(&space, &qos, &models);
+        assert!(
+            (c2f.weighted_cost - full.weighted_cost).abs() <= 1e-9,
+            "c2f {} vs full {}",
+            c2f.weighted_cost,
+            full.weighted_cost
+        );
+        assert_eq!(c2f.allocations, full.allocations);
+    }
+
+    #[test]
+    fn coarse_to_fine_respects_degradation_limits() {
+        let mut space = SearchSpace::cpu_only(0.5);
+        space.delta = 0.01;
+        let models = synth(vec![10.0, 2.0]);
+        let qos = vec![QoS::default(), QoS::with_limit(2.0)];
+        let full = exhaustive_search(&space, &qos, &models);
+        let c2f = coarse_to_fine_search(&space, &qos, &models);
+        assert!((c2f.weighted_cost - full.weighted_cost).abs() <= 1e-9);
+        assert!(c2f.limits_met.iter().all(|&m| m));
+    }
+
+    #[test]
+    fn coarse_to_fine_probes_fewer_points_than_full_grid() {
+        // Count *unique* probed allocations per workload — what
+        // optimizer calls cost through a cached estimator (repeat
+        // probes of the same point are cache hits).
+        use parking_lot::Mutex;
+        use std::collections::HashSet;
+        // Two varied resources: the per-workload option table is the
+        // square of the per-axis range, which is where windowing pays.
+        let mut space = SearchSpace::cpu_and_memory();
+        space.delta = 0.02;
+        type ProbeSet = Mutex<HashSet<(usize, (u32, u32))>>;
+        let count = |alphas: &[f64]| -> (Vec<_>, &'static ProbeSet) {
+            // Leak one shared probe set per call; tests only.
+            let probes: &'static ProbeSet = Box::leak(Box::new(Mutex::new(HashSet::new())));
+            let models: Vec<_> = alphas
+                .iter()
+                .enumerate()
+                .map(|(i, &alpha)| {
+                    FnCostModel::new(move |a: Allocation| {
+                        probes.lock().insert((i, a.key()));
+                        alpha / a.cpu + (i + 1) as f64 / a.memory + 1.0
+                    })
+                })
+                .collect();
+            (models, probes)
+        };
+        let qos = qos_n(4);
+        let alphas = [8.0, 3.0, 1.0, 0.5];
+        let (full_models, full_probes) = count(&alphas);
+        let full = exhaustive_search_with(&space, &qos, &full_models, &SearchOptions::serial());
+        let (c2f_models, c2f_probes) = count(&alphas);
+        let c2f = coarse_to_fine_search_with(
+            &space,
+            &qos,
+            &c2f_models,
+            &CoarseToFineOptions::auto(&space, 4),
+            &SearchOptions::serial(),
+        );
+        assert!((c2f.weighted_cost - full.weighted_cost).abs() <= 1e-9);
+        let full_n = full_probes.lock().len();
+        let c2f_n = c2f_probes.lock().len();
+        assert!(
+            c2f_n * 2 < full_n,
+            "coarse-to-fine should probe far fewer points: {c2f_n} vs {full_n}"
+        );
+    }
+
+    #[test]
+    fn coarse_to_fine_falls_back_when_ladder_is_empty() {
+        let space = SearchSpace::cpu_only(0.5); // δ = 0.05
+        let models = synth(vec![9.0, 4.0]);
+        let qos = qos_n(2);
+        let opts = CoarseToFineOptions {
+            coarse_deltas: Vec::new(),
+            window_steps: 1.0,
+        };
+        let c2f =
+            coarse_to_fine_search_with(&space, &qos, &models, &opts, &SearchOptions::serial());
+        let full = exhaustive_search(&space, &qos, &models);
+        assert_eq!(c2f, full);
+    }
+
+    #[test]
+    fn coarse_to_fine_infeasible_panics_like_exhaustive() {
+        let mut space = SearchSpace::cpu_only(0.5);
+        space.delta = 0.01;
+        let models = synth(vec![10.0, 10.0]);
+        let qos = vec![QoS::with_limit(1.05), QoS::with_limit(1.05)];
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            coarse_to_fine_search(&space, &qos, &models)
+        }));
+        assert!(result.is_err(), "infeasible problem must be reported");
+    }
+
+    #[test]
+    fn auto_options_degenerate_ladder_for_coarse_space() {
+        // δ = 0.2 leaves no useful coarser level.
+        let mut space = SearchSpace::cpu_only(0.5);
+        space.delta = 0.2;
+        let opts = CoarseToFineOptions::auto(&space, 2);
+        assert!(opts.coarse_deltas.is_empty());
+        // δ = 0.01 with 10 workloads: 0.1 is degenerate (one option
+        // per workload), so auto must pick 0.05.
+        space.delta = 0.01;
+        let opts = CoarseToFineOptions::auto(&space, 10);
+        assert_eq!(opts.coarse_deltas, vec![0.05]);
     }
 
     #[test]

@@ -25,6 +25,20 @@
 //!    workload changes via the per-query cost-estimate metric and
 //!    rebuild or keep refining accordingly.
 //!
+//! Beyond the paper, the **fleet layer** scales the advisor out:
+//!
+//! 6. **Coarse-to-fine enumeration**
+//!    ([`enumerate::coarse_to_fine_search`]): solve the DP grid at a
+//!    coarse δ, then refine only inside a window around the coarse
+//!    optimum — the full-grid answer at a fraction of the optimizer
+//!    calls.
+//! 7. **Cross-machine placement** ([`placement`]): assign `N` tenants
+//!    to `K` machines (marginal-benefit bin-packing plus swap/migrate
+//!    local search, per-machine inner solves), and
+//!    [`dynamic::FleetManager`] lets major workload changes trigger
+//!    live migrations, with calibrated models traveling along
+//!    ([`advisor::VirtualizationDesignAdvisor::transfer_tenant`]).
+//!
 //! [`advisor::VirtualizationDesignAdvisor`] is the façade tying it all
 //! together over the simulated substrate ([`vda_simdb`], [`vda_vmm`]).
 
@@ -33,6 +47,7 @@ pub mod costmodel;
 pub mod dynamic;
 pub mod enumerate;
 pub mod metrics;
+pub mod placement;
 pub mod problem;
 pub mod refine;
 pub mod tenant;
@@ -42,12 +57,20 @@ pub use costmodel::{
     ActualCostModel, CalibratedModel, Calibrator, CostModel, Estimate, FnCostModel,
     RegimeFnCostModel, Renormalizer, SharedEstimateCache, WhatIfEstimator,
 };
-pub use dynamic::{DynamicConfigManager, DynamicOptions, ManagementMode, PeriodReport};
+pub use dynamic::{
+    DynamicConfigManager, DynamicOptions, FleetDynamicOptions, FleetManager, FleetPeriodReport,
+    ManagementMode, Migration, PeriodReport,
+};
 pub use enumerate::{
-    exhaustive_search, exhaustive_search_with, greedy_search, greedy_search_with, SearchOptions,
-    SearchResult, TraceStep,
+    coarse_to_fine_search, coarse_to_fine_search_with, exhaustive_search, exhaustive_search_with,
+    greedy_search, greedy_search_with, try_coarse_to_fine_search_with, try_exhaustive_search_with,
+    CoarseToFineOptions, SearchOptions, SearchResult, TraceStep,
 };
 pub use metrics::CostAccounting;
+pub use placement::{
+    assignment_objective, machine_capacity, place_tenants, FleetOptions, InnerSolve, PlacementMove,
+    PlacementResult,
+};
 pub use problem::{Allocation, QoS, Resource, SearchSpace};
 pub use refine::{RefineOptions, RefinedModel, RefinementOutcome};
 pub use tenant::{BoundStatement, Tenant};

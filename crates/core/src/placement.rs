@@ -1,0 +1,671 @@
+//! Cross-machine tenant placement (the fleet layer).
+//!
+//! The paper configures `N` workloads on **one** physical machine; a
+//! production fleet first has to decide *which* tenant lands on
+//! *which* machine. This module assigns `N` tenants to `K` identical
+//! machines:
+//!
+//! 1. **Greedy bin-pack seeding**: tenants are ordered by their
+//!    gain-weighted *marginal benefit* — how much a tenant's cost
+//!    model says it gains between starving (minimum share) and owning
+//!    a whole machine — and placed, most resource-sensitive first, on
+//!    the machine where they raise the fleet objective least.
+//! 2. **Local search**: single-tenant migrations and pairwise swaps
+//!    across machines, steepest-descent, until no move improves the
+//!    total gain-weighted cost.
+//!
+//! Every machine-subset evaluation is a full per-machine inner solve —
+//! [`greedy_search_with`], [`try_exhaustive_search_with`], or
+//! [`try_coarse_to_fine_search_with`] — over the tenants currently on
+//! that machine, so the placer optimizes exactly the objective the
+//! per-machine advisor will realize. Subset solves are memoized for
+//! the lifetime of one placement (machines are identical, so a
+//! subset's solve is machine-independent).
+//!
+//! Degradation limits make some subsets jointly infeasible; those get
+//! an [`FleetOptions::infeasibility_penalty`] per unmet limit (greedy
+//! inner solves) or per hosted tenant (grid inner solves, which report
+//! joint infeasibility as a whole), steering the local search toward
+//! spreading constrained tenants out rather than aborting.
+
+use crate::costmodel::model::CostModel;
+use crate::enumerate::{
+    greedy_search_with, try_coarse_to_fine_search_with, try_exhaustive_search_with,
+    CoarseToFineOptions, SearchOptions, SearchResult,
+};
+use crate::problem::{Allocation, QoS, SearchSpace};
+use serde::{Deserialize, Serialize};
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+
+/// Which per-machine solver prices (and finally configures) each
+/// machine's tenant subset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum InnerSolve {
+    /// The Figure 11 greedy enumerator (cheap, near-optimal).
+    Greedy,
+    /// The full-grid DP optimum.
+    Exhaustive,
+    /// Coarse-to-fine DP refinement (grid-optimal on separable costs,
+    /// far fewer probes).
+    CoarseToFine(CoarseToFineOptions),
+}
+
+/// Fleet-placement settings.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetOptions {
+    /// Number of identical machines `K`.
+    pub machines: usize,
+    /// Per-machine solver.
+    pub inner: InnerSolve,
+    /// Candidate-evaluation options for the inner solves.
+    pub search: SearchOptions,
+    /// Local-search round cap (each round applies at most one move;
+    /// the search stops earlier when no move improves).
+    pub max_rounds: usize,
+    /// Objective penalty per unmet degradation limit, pricing
+    /// infeasible-but-rankable subsets.
+    pub infeasibility_penalty: f64,
+}
+
+impl Default for FleetOptions {
+    fn default() -> Self {
+        FleetOptions {
+            machines: 2,
+            inner: InnerSolve::Greedy,
+            search: SearchOptions::default(),
+            max_rounds: 32,
+            infeasibility_penalty: 1e9,
+        }
+    }
+}
+
+impl FleetOptions {
+    /// Options for `machines` identical machines, greedy inner solve.
+    pub fn for_machines(machines: usize) -> Self {
+        FleetOptions {
+            machines,
+            ..FleetOptions::default()
+        }
+    }
+}
+
+/// One accepted local-search move.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PlacementMove {
+    /// Tenant moved from one machine to another.
+    Migrate {
+        /// Tenant index.
+        tenant: usize,
+        /// Source machine.
+        from: usize,
+        /// Destination machine.
+        to: usize,
+        /// Fleet-objective reduction from the move.
+        improvement: f64,
+    },
+    /// Two tenants on different machines exchanged places.
+    Swap {
+        /// First tenant index.
+        a: usize,
+        /// Second tenant index.
+        b: usize,
+        /// Fleet-objective reduction from the move.
+        improvement: f64,
+    },
+}
+
+/// The fleet layer's answer: who goes where, and each machine's
+/// per-machine configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlacementResult {
+    /// `assignment[i]` is tenant `i`'s machine.
+    pub assignment: Vec<usize>,
+    /// Inner-solve result per machine (`None` for empty machines).
+    /// `per_machine[m].allocations[j]` configures the `j`-th tenant of
+    /// machine `m` in tenant-index order.
+    pub per_machine: Vec<Option<SearchResult>>,
+    /// Total gain-weighted cost over the fleet (without penalties).
+    pub total_weighted_cost: f64,
+    /// Fleet objective (weighted cost plus infeasibility penalties) —
+    /// what seeding and local search actually minimize.
+    pub objective: f64,
+    /// Accepted local-search moves, in order.
+    pub moves: Vec<PlacementMove>,
+    /// Distinct machine subsets solved (memoized inner solves).
+    pub inner_solves: usize,
+    /// The seeding order's gain-weighted marginal benefit per tenant.
+    pub marginal_benefits: Vec<f64>,
+}
+
+impl PlacementResult {
+    /// Tenant indices on machine `m`, ascending (the order of
+    /// `per_machine[m].allocations`).
+    pub fn tenants_on(&self, m: usize) -> Vec<usize> {
+        (0..self.assignment.len())
+            .filter(|&i| self.assignment[i] == m)
+            .collect()
+    }
+
+    /// The recommended allocation of tenant `i`, if its machine's
+    /// subset was feasible enough to solve.
+    pub fn allocation_of(&self, i: usize) -> Option<Allocation> {
+        let m = self.assignment[i];
+        let slot = self.tenants_on(m).iter().position(|&t| t == i)?;
+        self.per_machine[m].as_ref().map(|r| r.allocations[slot])
+    }
+}
+
+/// How many tenants one machine can host at all: every tenant needs at
+/// least `min_share` of each varied resource.
+pub fn machine_capacity(space: &SearchSpace) -> usize {
+    assert!(space.min_share > 0.0, "min_share must be positive");
+    ((1.0 + 1e-9) / space.min_share).floor() as usize
+}
+
+/// Memoized pricing of one machine subset: fleet objective plus the
+/// inner solve that produced it (`None` when grid-infeasible).
+type SubsetCache = RefCell<HashMap<Vec<usize>, (f64, Option<SearchResult>)>>;
+
+/// Memoizing fleet evaluator: subset → (objective, inner solve).
+struct FleetSolver<'a, M> {
+    space: &'a SearchSpace,
+    qos: &'a [QoS],
+    models: &'a [M],
+    options: &'a FleetOptions,
+    cache: SubsetCache,
+    solves: Cell<usize>,
+}
+
+impl<'a, M: CostModel> FleetSolver<'a, M> {
+    fn new(
+        space: &'a SearchSpace,
+        qos: &'a [QoS],
+        models: &'a [M],
+        options: &'a FleetOptions,
+    ) -> Self {
+        FleetSolver {
+            space,
+            qos,
+            models,
+            options,
+            cache: RefCell::new(HashMap::new()),
+            solves: Cell::new(0),
+        }
+    }
+
+    /// Objective of hosting `subset` (ascending tenant indices) on one
+    /// machine: gain-weighted cost plus infeasibility penalties. Grid
+    /// inner solves that find the limits jointly infeasible price one
+    /// penalty per hosted tenant — *finite*, so seeding deltas and
+    /// local-search improvements stay comparable (∞ − ∞ would be NaN
+    /// and silently freeze both), and every tenant moved off an
+    /// infeasible machine shrinks the objective.
+    fn objective(&self, subset: &[usize]) -> f64 {
+        if subset.is_empty() {
+            return 0.0;
+        }
+        if let Some((obj, _)) = self.cache.borrow().get(subset) {
+            return *obj;
+        }
+        let qos_sub: Vec<QoS> = subset.iter().map(|&i| self.qos[i]).collect();
+        let models_sub: Vec<&M> = subset.iter().map(|&i| &self.models[i]).collect();
+        let result = match &self.options.inner {
+            InnerSolve::Greedy => Some(greedy_search_with(
+                self.space,
+                &qos_sub,
+                &models_sub,
+                &self.options.search,
+            )),
+            InnerSolve::Exhaustive => {
+                try_exhaustive_search_with(self.space, &qos_sub, &models_sub, &self.options.search)
+            }
+            InnerSolve::CoarseToFine(c2f) => try_coarse_to_fine_search_with(
+                self.space,
+                &qos_sub,
+                &models_sub,
+                c2f,
+                &self.options.search,
+            ),
+        };
+        self.solves.set(self.solves.get() + 1);
+        let obj = match &result {
+            None => self.options.infeasibility_penalty * subset.len() as f64,
+            Some(r) => {
+                let unmet = r.limits_met.iter().filter(|&&m| !m).count();
+                r.weighted_cost + self.options.infeasibility_penalty * unmet as f64
+            }
+        };
+        self.cache
+            .borrow_mut()
+            .insert(subset.to_vec(), (obj, result));
+        obj
+    }
+
+    /// Cached inner solve for `subset` (must have been priced already).
+    fn solution(&self, subset: &[usize]) -> Option<SearchResult> {
+        self.cache.borrow().get(subset).and_then(|(_, r)| r.clone())
+    }
+}
+
+fn subset_of(assignment: &[usize], m: usize) -> Vec<usize> {
+    (0..assignment.len())
+        .filter(|&i| assignment[i] == m)
+        .collect()
+}
+
+/// Assign `N` tenants (their cost models and QoS) to
+/// `options.machines` identical machines described by `space`.
+///
+/// Machines are identical by construction — one `SearchSpace` serves
+/// all of them — which is what lets subset solves be memoized
+/// machine-independently. Heterogeneous fleets are an open ROADMAP
+/// item.
+pub fn place_tenants<M: CostModel>(
+    space: &SearchSpace,
+    qos: &[QoS],
+    models: &[M],
+    options: &FleetOptions,
+) -> PlacementResult {
+    let n = models.len();
+    assert!(n >= 1, "at least one tenant");
+    assert_eq!(qos.len(), n, "one QoS entry per tenant");
+    let k = options.machines;
+    assert!(k >= 1, "at least one machine");
+    let capacity = machine_capacity(space);
+    assert!(
+        capacity * k >= n,
+        "fleet too small: {k} machines of capacity {capacity} for {n} tenants"
+    );
+
+    let solver = FleetSolver::new(space, qos, models, options);
+
+    // Gain-weighted marginal benefit: the cost spread the tenant's
+    // model reports between its minimum share and owning the machine.
+    // Large spread ⇒ resource-sensitive ⇒ placed first, while machines
+    // are still empty.
+    let starved = Allocation {
+        cpu: if space.vary_cpu {
+            space.min_share
+        } else {
+            space.fixed.cpu
+        },
+        memory: if space.vary_memory {
+            space.min_share
+        } else {
+            space.fixed.memory
+        },
+    };
+    let solo = space.solo_allocation();
+    let marginal_benefits: Vec<f64> = (0..n)
+        .map(|i| qos[i].gain * (models[i].cost(starved) - models[i].cost(solo)))
+        .collect();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        marginal_benefits[b]
+            .partial_cmp(&marginal_benefits[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+
+    // Greedy bin-pack: put each tenant on the machine where it raises
+    // the fleet objective least (first such machine on ties, so the
+    // construction is deterministic).
+    let mut assignment = vec![usize::MAX; n];
+    for &t in &order {
+        let mut best: Option<(usize, f64)> = None;
+        for m in 0..k {
+            let mut subset = subset_of(&assignment, m);
+            if subset.len() >= capacity {
+                continue;
+            }
+            let before = solver.objective(&subset);
+            subset.push(t);
+            subset.sort_unstable();
+            let delta = solver.objective(&subset) - before;
+            if best.is_none_or(|(_, d)| delta < d - 1e-12) {
+                best = Some((m, delta));
+            }
+        }
+        let (m, _) = best.expect("capacity check guarantees a machine");
+        assignment[t] = m;
+    }
+
+    // Local search: steepest-descent migrations and swaps.
+    let mut moves = Vec::new();
+    let total = |assignment: &[usize]| -> f64 {
+        (0..k)
+            .map(|m| solver.objective(&subset_of(assignment, m)))
+            .sum()
+    };
+    let mut current = total(&assignment);
+    for _ in 0..options.max_rounds {
+        let mut best: Option<(PlacementMove, Vec<usize>, f64)> = None;
+        // Single-tenant migrations.
+        for t in 0..n {
+            let from = assignment[t];
+            for to in 0..k {
+                if to == from || subset_of(&assignment, to).len() >= capacity {
+                    continue;
+                }
+                let mut cand = assignment.clone();
+                cand[t] = to;
+                let obj = total(&cand);
+                let improvement = current - obj;
+                if improvement > 1e-9 && best.as_ref().is_none_or(|(_, _, b)| improvement > *b) {
+                    best = Some((
+                        PlacementMove::Migrate {
+                            tenant: t,
+                            from,
+                            to,
+                            improvement,
+                        },
+                        cand,
+                        improvement,
+                    ));
+                }
+            }
+        }
+        // Pairwise swaps across machines.
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if assignment[a] == assignment[b] {
+                    continue;
+                }
+                let mut cand = assignment.clone();
+                cand.swap(a, b);
+                let obj = total(&cand);
+                let improvement = current - obj;
+                if improvement > 1e-9 && best.as_ref().is_none_or(|(_, _, i)| improvement > *i) {
+                    best = Some((PlacementMove::Swap { a, b, improvement }, cand, improvement));
+                }
+            }
+        }
+        let Some((mv, cand, improvement)) = best else {
+            break;
+        };
+        assignment = cand;
+        current -= improvement;
+        moves.push(mv);
+    }
+
+    // Materialize per-machine configurations from the memoized solves.
+    let per_machine: Vec<Option<SearchResult>> = (0..k)
+        .map(|m| {
+            let subset = subset_of(&assignment, m);
+            if subset.is_empty() {
+                None
+            } else {
+                solver.objective(&subset); // ensure cached
+                solver.solution(&subset)
+            }
+        })
+        .collect();
+    let total_weighted_cost = per_machine.iter().flatten().map(|r| r.weighted_cost).sum();
+
+    PlacementResult {
+        assignment,
+        per_machine,
+        total_weighted_cost,
+        objective: current,
+        moves,
+        inner_solves: solver.solves.get(),
+        marginal_benefits,
+    }
+}
+
+/// Fleet objective of an explicit assignment (same pricing as
+/// [`place_tenants`]: per-machine inner solves, penalties for unmet
+/// limits). The dynamic fleet manager uses this to price candidate
+/// migrations after a workload change.
+pub fn assignment_objective<M: CostModel>(
+    space: &SearchSpace,
+    qos: &[QoS],
+    models: &[M],
+    assignment: &[usize],
+    options: &FleetOptions,
+) -> f64 {
+    AssignmentPricer::new(space, qos, models, options).objective(assignment)
+}
+
+/// Prices many related assignments with *shared* subset memoization.
+///
+/// The dynamic fleet manager evaluates one base assignment plus every
+/// candidate migration; consecutive candidates differ on only two
+/// machines, so a shared cache turns O(candidates · K) inner solves
+/// into solves of just the subsets that actually changed. One-shot
+/// callers can use [`assignment_objective`] instead.
+pub struct AssignmentPricer<'a, M> {
+    solver: FleetSolver<'a, M>,
+    machines: usize,
+}
+
+impl<'a, M: CostModel> AssignmentPricer<'a, M> {
+    /// A pricer over a fixed (space, QoS, models, options) problem.
+    pub fn new(
+        space: &'a SearchSpace,
+        qos: &'a [QoS],
+        models: &'a [M],
+        options: &'a FleetOptions,
+    ) -> Self {
+        AssignmentPricer {
+            solver: FleetSolver::new(space, qos, models, options),
+            machines: options.machines,
+        }
+    }
+
+    /// Fleet objective of `assignment` (same pricing as
+    /// [`place_tenants`]).
+    pub fn objective(&self, assignment: &[usize]) -> f64 {
+        assert_eq!(assignment.len(), self.solver.models.len());
+        (0..self.machines)
+            .map(|m| self.solver.objective(&subset_of(assignment, m)))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::costmodel::model::FnCostModel;
+
+    fn synth(alphas: Vec<f64>) -> Vec<impl CostModel> {
+        alphas
+            .into_iter()
+            .map(|alpha| FnCostModel::new(move |a: Allocation| alpha / a.cpu + 1.0))
+            .collect()
+    }
+
+    fn qos_n(n: usize) -> Vec<QoS> {
+        vec![QoS::default(); n]
+    }
+
+    #[test]
+    fn placement_spreads_hungry_tenants_across_machines() {
+        let space = SearchSpace::cpu_only(0.5);
+        // Two very hungry tenants and two light ones: each machine
+        // should get one hungry tenant.
+        let models = synth(vec![50.0, 50.0, 1.0, 1.0]);
+        let r = place_tenants(&space, &qos_n(4), &models, &FleetOptions::for_machines(2));
+        assert_ne!(
+            r.assignment[0], r.assignment[1],
+            "hungry tenants must not share: {:?}",
+            r.assignment
+        );
+        assert!(r.total_weighted_cost.is_finite());
+    }
+
+    #[test]
+    fn placement_beats_round_robin_on_skewed_fleet() {
+        let space = SearchSpace::cpu_only(0.5);
+        let models = synth(vec![40.0, 35.0, 30.0, 1.0, 1.0, 1.0]);
+        let qos = qos_n(6);
+        let opts = FleetOptions::for_machines(3);
+        let placed = place_tenants(&space, &qos, &models, &opts);
+        let round_robin: Vec<usize> = (0..6).map(|i| i % 3).collect();
+        let rr = assignment_objective(&space, &qos, &models, &round_robin, &opts);
+        assert!(
+            placed.objective <= rr + 1e-9,
+            "placement {} must not lose to round-robin {}",
+            placed.objective,
+            rr
+        );
+    }
+
+    #[test]
+    fn single_machine_matches_plain_search() {
+        let space = SearchSpace::cpu_only(0.5);
+        let models = synth(vec![9.0, 4.0, 1.0]);
+        let qos = qos_n(3);
+        let r = place_tenants(&space, &qos, &models, &FleetOptions::for_machines(1));
+        let direct = greedy_search_with(&space, &qos, &models, &SearchOptions::default());
+        assert!(r.assignment.iter().all(|&m| m == 0));
+        assert_eq!(r.per_machine[0].as_ref().unwrap(), &direct);
+        assert!((r.total_weighted_cost - direct.weighted_cost).abs() < 1e-12);
+    }
+
+    #[test]
+    fn moves_strictly_improve_the_objective() {
+        let space = SearchSpace::cpu_only(0.5);
+        let models = synth(vec![20.0, 18.0, 2.0, 1.5, 1.0]);
+        let r = place_tenants(&space, &qos_n(5), &models, &FleetOptions::for_machines(2));
+        for mv in &r.moves {
+            let improvement = match mv {
+                PlacementMove::Migrate { improvement, .. } => *improvement,
+                PlacementMove::Swap { improvement, .. } => *improvement,
+            };
+            assert!(improvement > 0.0, "{mv:?}");
+        }
+    }
+
+    #[test]
+    fn capacity_is_respected() {
+        // min_share 0.25 → at most 4 tenants per machine; 6 tenants
+        // need both machines even if one machine would price lower.
+        let mut space = SearchSpace::cpu_only(0.5);
+        space.min_share = 0.25;
+        space.delta = 0.25;
+        let models = synth(vec![1.0; 6]);
+        let r = place_tenants(&space, &qos_n(6), &models, &FleetOptions::for_machines(2));
+        for m in 0..2 {
+            assert!(r.tenants_on(m).len() <= 4, "{:?}", r.assignment);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fleet too small")]
+    fn too_small_fleet_panics() {
+        let mut space = SearchSpace::cpu_only(0.5);
+        space.min_share = 0.5;
+        space.delta = 0.5;
+        let models = synth(vec![1.0; 5]);
+        let _ = place_tenants(&space, &qos_n(5), &models, &FleetOptions::for_machines(2));
+    }
+
+    #[test]
+    fn infeasible_limits_push_tenants_apart() {
+        let space = SearchSpace::cpu_only(0.5);
+        // Both tenants need nearly the whole machine to meet their
+        // limit: any shared machine pays the infeasibility penalty, so
+        // the placer must separate them.
+        let models = synth(vec![10.0, 10.0, 0.1, 0.1]);
+        let qos = vec![
+            QoS::with_limit(1.05),
+            QoS::with_limit(1.05),
+            QoS::default(),
+            QoS::default(),
+        ];
+        let r = place_tenants(&space, &qos, &models, &FleetOptions::for_machines(2));
+        assert_ne!(r.assignment[0], r.assignment[1], "{:?}", r.assignment);
+        assert!(
+            r.objective < 1e6,
+            "penalty must be avoided: {}",
+            r.objective
+        );
+    }
+
+    #[test]
+    fn grid_inner_solve_separates_infeasible_pairs_without_nans() {
+        // Regression: grid inner solves used to price infeasible
+        // subsets at +∞, making seeding deltas and local-search
+        // improvements NaN (∞ − ∞), which froze tenants on infeasible
+        // machines. With finite per-tenant penalties the exhaustive
+        // inner solve must separate the constrained pair too.
+        let space = SearchSpace::cpu_only(0.5);
+        let models = synth(vec![10.0, 10.0, 0.1, 0.1]);
+        let qos = vec![
+            QoS::with_limit(1.05),
+            QoS::with_limit(1.05),
+            QoS::default(),
+            QoS::default(),
+        ];
+        let r = place_tenants(
+            &space,
+            &qos,
+            &models,
+            &FleetOptions {
+                inner: InnerSolve::Exhaustive,
+                ..FleetOptions::for_machines(2)
+            },
+        );
+        assert_ne!(r.assignment[0], r.assignment[1], "{:?}", r.assignment);
+        assert!(r.objective.is_finite());
+        assert!(
+            r.objective < 1e6,
+            "penalty must be avoided: {}",
+            r.objective
+        );
+        // Both machines solved (no machine stuck infeasible).
+        for m in 0..2 {
+            assert!(r.per_machine[m].is_some(), "machine {m} unsolved");
+        }
+    }
+
+    #[test]
+    fn allocation_lookup_is_consistent() {
+        let space = SearchSpace::cpu_only(0.5);
+        let models = synth(vec![12.0, 6.0, 3.0, 1.0]);
+        let r = place_tenants(&space, &qos_n(4), &models, &FleetOptions::for_machines(2));
+        for i in 0..4 {
+            let a = r.allocation_of(i).expect("feasible fleet");
+            assert!(a.cpu >= space.min_share - 1e-9);
+        }
+        // Per machine, shares sum to at most one.
+        for m in 0..2 {
+            let total: f64 = r
+                .tenants_on(m)
+                .iter()
+                .map(|&i| r.allocation_of(i).unwrap().cpu)
+                .sum();
+            assert!(total <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn exhaustive_inner_solve_matches_or_beats_greedy_inner() {
+        let space = SearchSpace::cpu_only(0.5);
+        let models = synth(vec![9.0, 7.0, 2.0, 1.0]);
+        let qos = qos_n(4);
+        let greedy = place_tenants(&space, &qos, &models, &FleetOptions::for_machines(2));
+        let exact = place_tenants(
+            &space,
+            &qos,
+            &models,
+            &FleetOptions {
+                inner: InnerSolve::Exhaustive,
+                ..FleetOptions::for_machines(2)
+            },
+        );
+        assert!(exact.objective <= greedy.objective + 1e-9);
+    }
+
+    #[test]
+    fn subset_memoization_bounds_inner_solves() {
+        let space = SearchSpace::cpu_only(0.5);
+        let models = synth(vec![5.0, 4.0, 3.0, 2.0, 1.0]);
+        let r = place_tenants(&space, &qos_n(5), &models, &FleetOptions::for_machines(2));
+        // 5 tenants over 2 machines: far fewer distinct subsets than
+        // the local search's move evaluations.
+        assert!(r.inner_solves <= 62, "{}", r.inner_solves);
+    }
+}

@@ -1,0 +1,176 @@
+//! Property tests for coarse-to-fine enumeration: windowed refinement
+//! must find the same δ-grid objective as the full-grid DP, across
+//! random workload mixes and QoS/penalty regimes.
+
+use proptest::prelude::*;
+use vda::core::costmodel::{CostModel, FnCostModel};
+use vda::core::enumerate::{
+    coarse_to_fine_search_with, exhaustive_search, try_coarse_to_fine_search_with,
+    try_exhaustive_search_with, CoarseToFineOptions, SearchOptions,
+};
+use vda::core::placement::{place_tenants, FleetOptions};
+use vda::core::problem::{Allocation, QoS, SearchSpace};
+
+/// Per-workload convex resource-cost coefficients (α for CPU, β for
+/// memory, γ flat), the shape real DBMS workload costs take along
+/// each resource axis.
+fn coeffs(n: usize) -> impl Strategy<Value = Vec<(f64, f64, f64)>> {
+    proptest::collection::vec((0.1f64..30.0, 0.1f64..30.0, 0.1f64..5.0), n)
+}
+
+/// Random QoS regimes: mixed gains, and degradation limits that are
+/// sometimes absent, sometimes loose, sometimes tight.
+fn qos_regimes(n: usize) -> impl Strategy<Value = Vec<QoS>> {
+    proptest::collection::vec(
+        (
+            1.0f64..5.0,
+            prop_oneof![Just(f64::INFINITY), boxed(1.3f64..4.0)],
+        ),
+        n,
+    )
+    .prop_map(|entries| {
+        entries
+            .into_iter()
+            .map(|(gain, limit)| QoS {
+                gain,
+                degradation_limit: limit,
+            })
+            .collect()
+    })
+}
+
+fn models(coeffs: &[(f64, f64, f64)]) -> Vec<impl CostModel> {
+    coeffs
+        .iter()
+        .map(|&(alpha, beta, gamma)| {
+            FnCostModel::new(move |a: Allocation| alpha / a.cpu + beta / a.memory + gamma)
+        })
+        .collect()
+}
+
+fn boxed<S: Strategy + 'static>(s: S) -> proptest::BoxedStrategy<S::Value> {
+    proptest::boxed(s)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// CPU-only, fine δ = 0.05 (the paper's grid), N ≤ 6: the windowed
+    /// refinement's objective equals the full-grid DP's within 1e-9,
+    /// across random QoS/penalty regimes. Jointly infeasible limits
+    /// must be reported identically (both `None`).
+    #[test]
+    fn cpu_only_refinement_matches_full_grid(
+        cs in coeffs(6),
+        qos in qos_regimes(6),
+        n in 2usize..=6,
+    ) {
+        let space = SearchSpace::cpu_only(0.5); // δ = 0.05
+        let cs = &cs[..n];
+        let qos = &qos[..n];
+        let models = models(cs);
+        let opts = CoarseToFineOptions::auto(&space, n);
+        prop_assert!(!opts.coarse_deltas.is_empty(), "auto must find a coarse level");
+        let serial = SearchOptions::serial();
+        let full = try_exhaustive_search_with(&space, qos, &models, &serial);
+        let c2f = try_coarse_to_fine_search_with(&space, qos, &models, &opts, &serial);
+        match (&full, &c2f) {
+            (None, None) => {}
+            (Some(f), Some(c)) => prop_assert!(
+                (f.weighted_cost - c.weighted_cost).abs() <= 1e-9,
+                "full {} vs c2f {} (n={n}, qos={qos:?})",
+                f.weighted_cost,
+                c.weighted_cost
+            ),
+            _ => prop_assert!(false, "feasibility verdicts differ: {full:?} vs {c2f:?}"),
+        }
+    }
+
+    /// Joint CPU+memory grids agree too (N ≤ 4 keeps the full DP
+    /// cheap enough for many cases).
+    #[test]
+    fn joint_grid_refinement_matches_full_grid(
+        cs in coeffs(4),
+        qos in qos_regimes(4),
+        n in 2usize..=4,
+    ) {
+        let space = SearchSpace::cpu_and_memory(); // δ = 0.05
+        let cs = &cs[..n];
+        let qos = &qos[..n];
+        let models = models(cs);
+        let opts = CoarseToFineOptions::auto(&space, n);
+        let serial = SearchOptions::serial();
+        let full = try_exhaustive_search_with(&space, qos, &models, &serial);
+        let c2f = try_coarse_to_fine_search_with(&space, qos, &models, &opts, &serial);
+        match (&full, &c2f) {
+            (None, None) => {}
+            (Some(f), Some(c)) => prop_assert!(
+                (f.weighted_cost - c.weighted_cost).abs() <= 1e-9,
+                "full {} vs c2f {} (n={n}, cs={cs:?}, qos={qos:?})",
+                f.weighted_cost,
+                c.weighted_cost
+            ),
+            _ => prop_assert!(false, "feasibility verdicts differ"),
+        }
+    }
+
+    /// A finer fine grid (δ = 0.01) through a two-level ladder still
+    /// matches the full-grid DP on unconstrained regimes.
+    #[test]
+    fn fine_delta_ladder_matches_full_grid(
+        cs in coeffs(4),
+        n in 2usize..=4,
+    ) {
+        let mut space = SearchSpace::cpu_only(0.5);
+        space.delta = 0.01;
+        let cs = &cs[..n];
+        let qos = vec![QoS::default(); n];
+        let models = models(cs);
+        let opts = CoarseToFineOptions {
+            coarse_deltas: vec![0.1, 0.05],
+            window_steps: 1.0,
+        };
+        let full = exhaustive_search(&space, &qos, &models);
+        let c2f = coarse_to_fine_search_with(
+            &space,
+            &qos,
+            &models,
+            &opts,
+            &SearchOptions::serial(),
+        );
+        prop_assert!(
+            (full.weighted_cost - c2f.weighted_cost).abs() <= 1e-9,
+            "full {} vs c2f {} (n={n})",
+            full.weighted_cost,
+            c2f.weighted_cost
+        );
+    }
+
+    /// Fleet placement always produces a feasible fleet: every tenant
+    /// assigned to a real machine, per-machine shares within budget,
+    /// and capacity respected.
+    #[test]
+    fn placement_is_always_feasible(
+        cs in coeffs(8),
+        qos in qos_regimes(8),
+        n in 2usize..=8,
+        k in 2usize..=3,
+    ) {
+        let space = SearchSpace::cpu_only(0.5);
+        let cs = &cs[..n];
+        let qos = &qos[..n];
+        let models = models(cs);
+        let r = place_tenants(&space, qos, &models, &FleetOptions::for_machines(k));
+        prop_assert!(r.assignment.iter().all(|&m| m < k));
+        for m in 0..k {
+            let tenants = r.tenants_on(m);
+            if let Some(res) = &r.per_machine[m] {
+                prop_assert_eq!(res.allocations.len(), tenants.len());
+                let total: f64 = res.allocations.iter().map(|a| a.cpu).sum();
+                prop_assert!(total <= 1.0 + 1e-9, "machine {} oversubscribed: {}", m, total);
+            } else {
+                prop_assert!(tenants.is_empty());
+            }
+        }
+    }
+}
