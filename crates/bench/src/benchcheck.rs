@@ -146,7 +146,16 @@ mod tests {
     { "name": "greedy", "serial_ms": 10.0, "speedup": 1.5,
       "optimizer_calls_serial": 100, "allocations_identical": true }
   ],
-  "coarse_to_fine": { "c2f_ms": 50.0, "c2f_optimizer_calls": 4040, "meets_5x": true }
+  "coarse_to_fine": { "c2f_ms": 50.0, "c2f_optimizer_calls": 4040, "meets_5x": true },
+  "coarse_to_fine_limited": {
+    "degradation_limits": [4, null],
+    "c2f_ms": 60.0,
+    "c2f_optimizer_calls": 5325,
+    "full_weighted_cost": 2853.05,
+    "limits_met": [true, true],
+    "limits_match": true,
+    "meets_3x": true
+  }
 }"#;
 
     #[test]
@@ -180,6 +189,55 @@ mod tests {
         let cand = BASE.replace("\"meets_5x\": true", "\"meets_5x\": false");
         let problems = compare_reports(BASE, &cand);
         assert!(problems.iter().any(|p| p.contains("meets_5x")));
+    }
+
+    #[test]
+    fn limited_section_deterministic_fields_are_gated() {
+        // The finite-limit coarse-to-fine section: optimizer calls,
+        // objectives, limit verdicts, configured limits (nulls
+        // included), and the meets_3x contract boolean are all
+        // deterministic and therefore gated; its wall time is not.
+        for (field, original, replacement) in [
+            (
+                "c2f_optimizer_calls",
+                "\"c2f_optimizer_calls\": 5325",
+                "\"c2f_optimizer_calls\": 9999",
+            ),
+            (
+                "full_weighted_cost",
+                "\"full_weighted_cost\": 2853.05",
+                "\"full_weighted_cost\": 2900.0",
+            ),
+            (
+                "limits_met",
+                "\"limits_met\": [true, true]",
+                "\"limits_met\": [true, false]",
+            ),
+            (
+                "degradation_limits",
+                "\"degradation_limits\": [4, null]",
+                "\"degradation_limits\": [4, 2]",
+            ),
+            (
+                "limits_match",
+                "\"limits_match\": true",
+                "\"limits_match\": false",
+            ),
+            ("meets_3x", "\"meets_3x\": true", "\"meets_3x\": false"),
+        ] {
+            let cand = BASE.replace(original, replacement);
+            assert_ne!(cand, BASE, "{field} must appear in the fixture");
+            let problems = compare_reports(BASE, &cand);
+            assert!(
+                problems.iter().any(|p| p.contains(field)),
+                "{field} drift must fail the gate: {problems:?}"
+            );
+        }
+        let cand = BASE.replace("\"c2f_ms\": 60.0", "\"c2f_ms\": 999.0");
+        assert!(
+            compare_reports(BASE, &cand).is_empty(),
+            "limited-section wall time must stay unguarded"
+        );
     }
 
     #[test]

@@ -497,7 +497,7 @@ impl FleetManager {
         // shared memoization re-solves just the changed subsets.
         let pricer = AssignmentPricer::new(&self.space, &qos, &estimators, &pricing);
         let base = pricer.objective(&assignment);
-        if !base.is_finite() || base <= 0.0 {
+        if !base.is_finite() {
             return None;
         }
         // Global index of (machine, slot).
@@ -520,7 +520,9 @@ impl FleetManager {
                 let mut cand = assignment.clone();
                 cand[g] = to;
                 let obj = pricer.objective(&cand);
-                let gain = (base - obj) / base;
+                let Some(gain) = migration_gain(base, obj) else {
+                    continue;
+                };
                 if gain > self.options.migration_threshold
                     && best.as_ref().is_none_or(|(_, _, b)| gain > *b)
                 {
@@ -539,6 +541,29 @@ impl FleetManager {
         }
         best.map(|(mig, slot, _)| (mig, slot))
     }
+}
+
+/// Smallest fleet objective the relative migration gain may be
+/// divided by. A fleet objective near zero (all tenants idle) would
+/// otherwise turn float dust in the subtraction into an arbitrarily
+/// large relative "gain" and trigger a pointless migration.
+const MIGRATION_BASE_FLOOR: f64 = 1e-6;
+
+/// Smallest absolute objective improvement that counts as a migration
+/// gain at all — the absolute half of the absolute-plus-relative gate.
+const MIGRATION_MIN_IMPROVEMENT: f64 = 1e-9;
+
+/// Relative improvement of moving the fleet objective from `base` to
+/// `obj`, gated absolute-plus-relative: `None` unless the improvement
+/// clears [`MIGRATION_MIN_IMPROVEMENT`], and the denominator is
+/// bounded below by [`MIGRATION_BASE_FLOOR`] so a near-zero `base`
+/// cannot manufacture a spurious gain.
+fn migration_gain(base: f64, obj: f64) -> Option<f64> {
+    let improvement = base - obj;
+    if !improvement.is_finite() || improvement <= MIGRATION_MIN_IMPROVEMENT {
+        return None;
+    }
+    Some(improvement / base.abs().max(MIGRATION_BASE_FLOOR))
 }
 
 /// Distinct mutable borrows of two vector slots.
@@ -777,6 +802,77 @@ mod tests {
             after < before,
             "migration must cut the estimated objective: {after} vs {before}"
         );
+    }
+
+    #[test]
+    fn fleet_repricing_with_c2f_inner_matches_exhaustive_under_limits() {
+        // Fleet re-pricing (estimated_objective / best_migration) goes
+        // through AssignmentPricer with the configured inner solver.
+        // With a finite degradation limit in play, the limit-aware
+        // coarse-to-fine inner must price the fleet exactly like the
+        // full-grid inner — it used to silently *be* the full grid.
+        use crate::enumerate::CoarseToFineOptions;
+        use crate::placement::InnerSolve;
+        let fleet_with = |inner: InnerSolve| {
+            let hv = Hypervisor::new(PhysicalMachine::paper_testbed());
+            let mut adv = VirtualizationDesignAdvisor::new(hv);
+            let cat = tpch::catalog(1.0);
+            adv.add_tenant(
+                Tenant::new(
+                    "a",
+                    Engine::pg(),
+                    cat.clone(),
+                    tpch::query_workload(18, 2.0),
+                )
+                .unwrap(),
+                QoS::with_limit(2.0),
+            );
+            adv.add_tenant(
+                Tenant::new("b", Engine::pg(), cat, tpch::query_workload(6, 1.0)).unwrap(),
+                QoS::default(),
+            );
+            adv.calibrate();
+            FleetManager::new(
+                vec![adv],
+                SearchSpace::cpu_only(0.5),
+                FleetDynamicOptions {
+                    fleet: FleetOptions {
+                        inner,
+                        ..FleetOptions::default()
+                    },
+                    ..FleetDynamicOptions::default()
+                },
+            )
+        };
+        let exact = fleet_with(InnerSolve::Exhaustive).estimated_objective();
+        let c2f = fleet_with(InnerSolve::CoarseToFine(CoarseToFineOptions::default()))
+            .estimated_objective();
+        assert!(
+            (exact - c2f).abs() <= 1e-6 * exact.abs().max(1.0),
+            "c2f {c2f} vs exhaustive {exact}"
+        );
+    }
+
+    #[test]
+    fn migration_gain_is_robust_near_zero_objectives() {
+        // A near-zero base objective used to manufacture huge relative
+        // gains out of float dust (the old gate divided by `base`
+        // unguarded). The absolute-plus-relative gate must reject
+        // noise-sized improvements outright...
+        assert_eq!(migration_gain(1e-12, 0.0), None);
+        assert_eq!(migration_gain(0.0, -1e-12), None);
+        // ...and scale dust-sized improvements by the floor, not the
+        // tiny base: 1e-8 improvement on a 1e-10 base is a 1e8×
+        // relative gain by the old math, but far below any plausible
+        // migration threshold with the floored denominator.
+        let g = migration_gain(1e-10, -1e-8 + 1e-10).unwrap();
+        assert!(g < 0.05, "spurious gain {g}");
+        // Regressions and no-ops are never gains.
+        assert_eq!(migration_gain(10.0, 10.0), None);
+        assert_eq!(migration_gain(10.0, 12.0), None);
+        // Real improvements keep their usual relative value.
+        let g = migration_gain(10.0, 9.0).unwrap();
+        assert!((g - 0.1).abs() < 1e-12);
     }
 
     #[test]

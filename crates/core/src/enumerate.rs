@@ -16,6 +16,14 @@
 //! The paper uses exhaustive search to show greedy is "very often
 //! optimal and always within 5 % of the optimal" (§4.5, §7.6–7.7).
 //!
+//! [`coarse_to_fine_search`] reaches the same grid optimum through a
+//! coarse-δ solve plus windowed fine refinement, at a fraction of the
+//! optimizer calls — including under finite degradation limits, where
+//! the refinement windows track the limit boundary (see the function
+//! docs). All three searches report jointly infeasible limits the
+//! same way: a best-effort allocation with the violations flagged in
+//! [`SearchResult::limits_met`], never a panic.
+//!
 //! Both algorithms consume one [`CostModel`] per workload — what-if
 //! estimators, refined models, the executor oracle, or synthetic
 //! models — and evaluate each iteration's candidate set as a batch.
@@ -29,7 +37,7 @@ use crate::costmodel::model::CostModel;
 use crate::problem::{Allocation, QoS, Resource, SearchSpace};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// One greedy reallocation step, for tracing/benchmarks.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -92,6 +100,22 @@ impl SearchOptions {
 
 /// Minimum weighted-cost improvement for a step to count as progress.
 const PROGRESS_EPS: f64 = 1e-9;
+
+/// Slack used everywhere a cost is compared against a degradation
+/// limit: candidate acceptance in the greedy search, option
+/// feasibility in the grid DP, and the final `limits_met` report. One
+/// constant keeps the verdicts consistent — an allocation accepted
+/// during search can never be reported limit-violating afterwards, and
+/// vice versa. (The search paths used to accept at `1e-12` slack while
+/// the report checked at `1e-9`, so the two could disagree in the
+/// `(1e-12, 1e-9]` band.)
+pub const LIMIT_EPS: f64 = 1e-9;
+
+/// Whether `cost` satisfies the degradation limit `limit` relative to
+/// the workload's solo baseline cost `full`.
+fn within_limit(cost: f64, limit: f64, full: f64) -> bool {
+    cost <= limit * full + LIMIT_EPS
+}
 
 /// Batch evaluator over the per-workload cost models.
 ///
@@ -184,8 +208,8 @@ pub fn greedy_search_with<M: CostModel>(
         let current = eval.costs(&(0..n).map(|i| (i, alloc[i])).collect::<Vec<_>>());
         let violator = (0..n)
             .filter(|&i| qos[i].degradation_limit.is_finite())
+            .filter(|&i| !within_limit(current[i], qos[i].degradation_limit, full_cost[i]))
             .map(|i| (i, current[i] / full_cost[i] - qos[i].degradation_limit))
-            .filter(|&(_, excess)| excess > 1e-9)
             .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
         let Some((v, _)) = violator else { break };
 
@@ -224,7 +248,7 @@ pub fn greedy_search_with<M: CostModel>(
                 if relief <= 0.0 {
                     continue;
                 }
-                if donor_cost > qos[k].degradation_limit * full_cost[k] + 1e-12 {
+                if !within_limit(donor_cost, qos[k].degradation_limit, full_cost[k]) {
                     continue;
                 }
                 let score = relief - (donor_cost - current[k]);
@@ -300,7 +324,7 @@ pub fn greedy_search_with<M: CostModel>(
                     cursor += 1;
                     // Degradation limit: only take resources away if the
                     // reduced allocation still satisfies L_i.
-                    if c_down <= qos[i].degradation_limit * full_cost[i] + 1e-12 {
+                    if within_limit(c_down, qos[i].degradation_limit, full_cost[i]) {
                         let loss = qos[i].gain * c_down - weighted[i];
                         if loss < min_loss {
                             min_loss = loss;
@@ -343,7 +367,7 @@ pub fn greedy_search_with<M: CostModel>(
         .iter()
         .zip(qos)
         .zip(&full_cost)
-        .map(|((c, q), f)| *c <= q.degradation_limit * f + 1e-9)
+        .map(|((c, q), f)| within_limit(*c, q.degradation_limit, *f))
         .collect();
     SearchResult {
         weighted_cost: costs.iter().zip(qos).map(|(c, q)| q.gain * c).sum(),
@@ -366,11 +390,16 @@ pub fn exhaustive_search<M: CostModel>(
 }
 
 /// Exact optimum over the δ-quantized grid, via DP on remaining budget
-/// units. Infeasible points (degradation-limit violations) are
-/// excluded. Equivalent to brute-force enumeration of all feasible
-/// grid allocations because the objective is separable per workload.
-/// The per-workload cost tables over the grid are evaluated as one
-/// batch (in parallel when `options.parallel` is set).
+/// units. Equivalent to brute-force enumeration of all grid
+/// allocations because the objective is separable per workload. The DP
+/// minimizes (unmet degradation limits, weighted cost)
+/// lexicographically, so whenever the limits are jointly satisfiable
+/// it returns the cheapest limit-respecting allocation, and when they
+/// are not it returns the best-effort optimum — fewest violations
+/// first, cheapest second — flagged via [`SearchResult::limits_met`],
+/// consistent with [`greedy_search`]. The per-workload cost tables
+/// over the grid are evaluated as one batch (in parallel when
+/// `options.parallel` is set).
 pub fn exhaustive_search_with<M: CostModel>(
     space: &SearchSpace,
     qos: &[QoS],
@@ -385,51 +414,80 @@ pub fn exhaustive_search_with<M: CostModel>(
         "min_share too large for {n} workloads"
     );
     try_exhaustive_search_with(space, qos, models, options)
-        .expect("no feasible allocation satisfies the degradation limits")
+        .expect("the asserted unit budget hosts every workload")
 }
 
-/// Non-panicking [`exhaustive_search_with`]: `None` when the grid is
-/// too coarse to host every workload or the degradation limits are
-/// jointly infeasible on it. The fleet placement layer uses this to
-/// price machine subsets without aborting on overloaded machines.
+/// Non-panicking [`exhaustive_search_with`]: `None` only when the grid
+/// is too coarse to host every workload (fewer δ units than workloads
+/// times their minimum share). Jointly infeasible degradation limits
+/// are *not* a `None`: the DP returns the best-effort allocation with
+/// the violations flagged in [`SearchResult::limits_met`], exactly
+/// like [`greedy_search`] reports them. The fleet placement layer uses
+/// this to price overloaded machine subsets by their unmet-limit count
+/// instead of aborting.
 pub fn try_exhaustive_search_with<M: CostModel>(
     space: &SearchSpace,
     qos: &[QoS],
     models: &[M],
     options: &SearchOptions,
 ) -> Option<SearchResult> {
-    grid_search(space, qos, models, options, None)
+    grid_search(space, qos, models, options, None).map(|s| s.result)
 }
 
-/// Per-workload refinement window: the previous level's optimum plus a
-/// half-width (in resource shares) around each workload's share.
-struct GridWindow<'a> {
-    centers: &'a [Allocation],
-    half_width: f64,
+/// One evaluated cell of a workload's grid option table.
+#[derive(Debug, Clone, Copy)]
+struct GridCell {
+    /// (cpu units, memory units); 0 stands for a non-varied axis.
+    units: (usize, usize),
+    /// Unweighted cost at the cell.
+    cost: f64,
+    /// Gain-weighted cost at the cell.
+    weighted: f64,
+    /// Whether the cell satisfies the workload's degradation limit.
+    within_limit: bool,
 }
 
-/// The DP grid optimum, optionally restricted to a window around known
-/// centers. Returns `None` when no grid allocation satisfies the
-/// degradation limits (or the window excludes every feasible option).
+/// A grid DP solve plus the per-workload option tables it evaluated.
+/// The limit-aware coarse-to-fine refinement reads a coarse level's
+/// tables to locate the degradation-limit boundary.
+struct GridSolve {
+    result: SearchResult,
+    /// Per workload: every evaluated cell with its limit verdict.
+    tables: Vec<Vec<GridCell>>,
+}
+
+/// `[min_units, max_units]` of one workload's per-axis share on the
+/// δ grid of `space` with `n` workloads; `None` when the grid has too
+/// few units to host them all.
+fn unit_range(space: &SearchSpace, n: usize) -> Option<(usize, usize)> {
+    let units_total = (1.0 / space.delta).round() as usize;
+    let min_units = (space.min_share / space.delta).round().max(1.0) as usize;
+    (units_total >= n * min_units).then(|| (min_units, units_total - (n - 1) * min_units))
+}
+
+/// The DP grid optimum, optionally restricted to explicit per-workload
+/// cell sets (refinement windows). The DP value is the lexicographic
+/// pair (unmet degradation limits, weighted cost): limit-satisfying
+/// configurations always win when one exists, and jointly infeasible
+/// limits yield the cheapest least-violating allocation — reported via
+/// `limits_met` — instead of no answer. Returns `None` only when the
+/// grid cannot host every workload or a window excludes every option
+/// (or every within-budget combination) for some workload.
 fn grid_search<M: CostModel>(
     space: &SearchSpace,
     qos: &[QoS],
     models: &[M],
     options: &SearchOptions,
-    window: Option<GridWindow<'_>>,
-) -> Option<SearchResult> {
+    allowed: Option<&[Vec<(usize, usize)>]>,
+) -> Option<GridSolve> {
     let n = models.len();
     assert!(n >= 1);
     assert_eq!(qos.len(), n);
     let varied = space.varied();
     assert!(!varied.is_empty());
     let delta = space.delta;
+    let (min_units, max_units) = unit_range(space, n)?;
     let units_total = (1.0 / delta).round() as usize;
-    let min_units = (space.min_share / delta).round().max(1.0) as usize;
-    if units_total < n * min_units {
-        return None; // grid too coarse to host n workloads
-    }
-    let max_units = units_total - (n - 1) * min_units;
     let eval = Evaluator::new(models, options);
 
     let solo = space.solo_allocation();
@@ -455,89 +513,77 @@ fn grid_search<M: CostModel>(
         }
     };
 
-    // Feasible own-share options per workload: the full `[min_units,
-    // max_units]` range, or (coarse-to-fine refinement) only the units
-    // within `half_width` of the workload's window center.
-    let options_for = |i: usize, res: Resource| -> Vec<usize> {
-        match &window {
-            None => (min_units..=max_units).collect(),
-            Some(w) => {
-                let center = w.centers[i].get(res);
-                (min_units..=max_units)
-                    .filter(|&u| (u as f64 * delta - center).abs() <= w.half_width + 1e-9)
-                    .collect()
-            }
+    // Option cells per workload: the full product range, or the
+    // caller's explicit (refinement-window) cells.
+    let cells_for = |i: usize| -> Vec<(usize, usize)> {
+        match allowed {
+            Some(sets) => sets[i].clone(),
+            None => full_cells(space, min_units, max_units),
         }
     };
-    let cpu_options: Vec<Vec<usize>> = (0..n)
-        .map(|i| {
-            if vary_cpu {
-                options_for(i, Resource::Cpu)
-            } else {
-                vec![0]
-            }
-        })
-        .collect();
-    let mem_options: Vec<Vec<usize>> = (0..n)
-        .map(|i| {
-            if vary_mem {
-                options_for(i, Resource::Memory)
-            } else {
-                vec![0]
-            }
-        })
-        .collect();
 
-    // Per-workload cost tables over the whole grid, evaluated as one
+    // Per-workload cost tables over the option cells, evaluated as one
     // batch: this is the bulk of the optimizer work, and the
-    // embarrassingly parallel part.
+    // embarrassingly parallel part. Limit-violating cells are kept in
+    // the tables, flagged, so the DP can fall back on them when the
+    // limits are jointly infeasible.
     let mut jobs: Vec<(usize, Allocation)> = Vec::new();
     let mut coords: Vec<(usize, usize, usize)> = Vec::new();
     for i in 0..n {
-        for &cu in &cpu_options[i] {
-            for &mu in &mem_options[i] {
-                jobs.push((i, alloc_for(cu, mu)));
-                coords.push((i, cu, mu));
-            }
+        for (cu, mu) in cells_for(i) {
+            jobs.push((i, alloc_for(cu, mu)));
+            coords.push((i, cu, mu));
         }
     }
     let grid_costs = eval.costs(&jobs);
-    #[allow(clippy::type_complexity)] // ((cpu units, mem units), cost, weighted cost) per option
-    let mut tables: Vec<Vec<((usize, usize), f64, f64)>> = vec![Vec::new(); n];
+    let mut tables: Vec<Vec<GridCell>> = vec![Vec::new(); n];
     for ((i, cu, mu), c) in coords.into_iter().zip(grid_costs) {
-        if c <= qos[i].degradation_limit * full_cost[i] + 1e-12 {
-            tables[i].push(((cu, mu), c, qos[i].gain * c));
-        }
+        tables[i].push(GridCell {
+            units: (cu, mu),
+            cost: c,
+            weighted: qos[i].gain * c,
+            within_limit: within_limit(c, qos[i].degradation_limit, full_cost[i]),
+        });
     }
     if tables.iter().any(Vec::is_empty) {
-        return None; // some workload has no feasible option at all
+        return None; // a window excluded every option for some workload
     }
 
     // DP over (workload index, cpu units left, memory units left):
-    // minimal weighted cost completing workloads i..n.
+    // lexicographically minimal (unmet limits, weighted cost)
+    // completing workloads i..n.
+    const UNREACHABLE: (u32, f64) = (u32::MAX, f64::INFINITY);
+    let lex_less = |a: (u32, f64), b: (u32, f64)| a.0 < b.0 || (a.0 == b.0 && a.1 < b.1);
     let width = cpu_budget + 1;
     let height = mem_budget + 1;
     let idx = |c: usize, m: usize| c * height + m;
     // Base case: all workloads placed; leftover units are fine (the
     // constraint is Σ ≤ 1).
-    let mut next = vec![0.0_f64; width * height];
-    let mut choices: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
+    let mut next: Vec<(u32, f64)> = vec![(0, 0.0); width * height];
 
     // Backward DP with parent reconstruction by re-derivation.
-    let mut layers: Vec<Vec<f64>> = Vec::with_capacity(n + 1);
+    let mut layers: Vec<Vec<(u32, f64)>> = Vec::with_capacity(n + 1);
     layers.push(next.clone());
     for i in (0..n).rev() {
-        let mut cur = vec![f64::INFINITY; width * height];
+        let mut cur = vec![UNREACHABLE; width * height];
         for c_left in 0..width {
             for m_left in 0..height {
-                let mut best = f64::INFINITY;
-                for &((cu, mu), _, wcost) in &tables[i] {
+                let mut best = UNREACHABLE;
+                for cell in &tables[i] {
+                    let (cu, mu) = cell.units;
                     let cu_eff = if vary_cpu { cu } else { 0 };
                     let mu_eff = if vary_mem { mu } else { 0 };
                     if cu_eff <= c_left && mu_eff <= m_left {
                         let rest = next[idx(c_left - cu_eff, m_left - mu_eff)];
-                        if wcost + rest < best {
-                            best = wcost + rest;
+                        if rest.0 == u32::MAX {
+                            continue;
+                        }
+                        let v = (
+                            rest.0 + u32::from(!cell.within_limit),
+                            cell.weighted + rest.1,
+                        );
+                        if lex_less(v, best) {
+                            best = v;
                         }
                     }
                 }
@@ -549,22 +595,32 @@ fn grid_search<M: CostModel>(
     }
     layers.reverse(); // layers[i] = cost-to-go starting at workload i
 
+    if layers[0][idx(cpu_budget, mem_budget)].0 == u32::MAX {
+        return None; // windows exclude every within-budget combination
+    }
+
     // Reconstruct choices greedily from the DP tables.
     let mut c_left = cpu_budget;
     let mut m_left = mem_budget;
+    let mut chosen: Vec<GridCell> = Vec::with_capacity(n);
     for i in 0..n {
         let target = layers[i][idx(c_left, m_left)];
-        if !target.is_finite() {
-            return None; // limits jointly infeasible on this grid
-        }
         let mut found = false;
-        for &((cu, mu), _, wcost) in &tables[i] {
+        for cell in &tables[i] {
+            let (cu, mu) = cell.units;
             let cu_eff = if vary_cpu { cu } else { 0 };
             let mu_eff = if vary_mem { mu } else { 0 };
             if cu_eff <= c_left && mu_eff <= m_left {
                 let rest = layers[i + 1][idx(c_left - cu_eff, m_left - mu_eff)];
-                if (wcost + rest - target).abs() <= 1e-9 * target.max(1.0) {
-                    choices[i] = vec![(cu, mu)];
+                if rest.0 == u32::MAX {
+                    continue;
+                }
+                let v = (
+                    rest.0 + u32::from(!cell.within_limit),
+                    cell.weighted + rest.1,
+                );
+                if v.0 == target.0 && (v.1 - target.1).abs() <= 1e-9 * target.1.abs().max(1.0) {
+                    chosen.push(*cell);
                     c_left -= cu_eff;
                     m_left -= mu_eff;
                     found = true;
@@ -575,36 +631,21 @@ fn grid_search<M: CostModel>(
         assert!(found, "DP reconstruction must find the chosen option");
     }
 
-    let allocations: Vec<Allocation> = (0..n)
-        .map(|i| {
-            let (cu, mu) = choices[i][0];
-            alloc_for(cu, mu)
-        })
-        .collect();
-    let costs: Vec<f64> = (0..n)
-        .map(|i| {
-            let (cu, mu) = choices[i][0];
-            tables[i]
-                .iter()
-                .find(|&&(units, _, _)| units == (cu, mu))
-                .map(|&(_, c, _)| c)
-                .expect("chosen option is in the table")
-        })
-        .collect();
-    let limits_met = costs
+    let allocations: Vec<Allocation> = chosen
         .iter()
-        .zip(qos)
-        .zip(&full_cost)
-        .map(|((c, q), f)| *c <= q.degradation_limit * f + 1e-9)
+        .map(|cell| alloc_for(cell.units.0, cell.units.1))
         .collect();
-    Some(SearchResult {
-        weighted_cost: costs.iter().zip(qos).map(|(c, q)| q.gain * c).sum(),
+    let costs: Vec<f64> = chosen.iter().map(|cell| cell.cost).collect();
+    let limits_met = chosen.iter().map(|cell| cell.within_limit).collect();
+    let result = SearchResult {
+        weighted_cost: chosen.iter().map(|cell| cell.weighted).sum(),
         allocations,
         costs,
         iterations: 0,
         trace: Vec::new(),
         limits_met,
-    })
+    };
+    Some(GridSolve { result, tables })
 }
 
 /// Settings for [`coarse_to_fine_search_with`].
@@ -696,11 +737,21 @@ pub fn coarse_to_fine_search<M: CostModel>(
 /// full-grid optimum while probing far fewer allocations (the
 /// optimizer-call counts of the cost models record exactly how many);
 /// `tests/coarse_to_fine.rs` property-checks the equivalence against
-/// [`exhaustive_search`]. Finite degradation limits disable windowing
-/// (the limit boundary makes the problem non-convex) — the search then
-/// *is* the full-grid DP, so the result always equals
-/// [`exhaustive_search_with`]'s and it panics only when that would
-/// panic too.
+/// [`exhaustive_search`].
+///
+/// Finite degradation limits make the grid problem non-convex (the
+/// fine-grid optimum can hide against the limit boundary, behind
+/// coarse samples that are limit-infeasible), so the refinement
+/// becomes *feasibility-aware* instead of falling back to the full
+/// grid: the coarse solve classifies every coarse cell against the
+/// limits, the fine window is expanded with a **boundary band** — the
+/// fine cells within one coarse step of the limit boundary — and a
+/// workload whose refined optimum lands on the *edge* of its own
+/// window gets that window widened (doubling, then full range)
+/// per-window rather than escalating the whole search. Like greedy
+/// and exhaustive search, jointly infeasible limits yield a
+/// best-effort result flagged via [`SearchResult::limits_met`]; that
+/// verdict is always taken from the full grid, never from a window.
 pub fn coarse_to_fine_search_with<M: CostModel>(
     space: &SearchSpace,
     qos: &[QoS],
@@ -709,11 +760,12 @@ pub fn coarse_to_fine_search_with<M: CostModel>(
     options: &SearchOptions,
 ) -> SearchResult {
     try_coarse_to_fine_search_with(space, qos, models, c2f, options)
-        .expect("no feasible allocation satisfies the degradation limits")
+        .expect("no grid can host the workloads (min_share too large)")
 }
 
 /// Non-panicking [`coarse_to_fine_search_with`]: `None` exactly when
-/// [`try_exhaustive_search_with`] would return `None` too.
+/// [`try_exhaustive_search_with`] would return `None` too (the fine
+/// grid cannot host every workload).
 pub fn try_coarse_to_fine_search_with<M: CostModel>(
     space: &SearchSpace,
     qos: &[QoS],
@@ -724,19 +776,6 @@ pub fn try_coarse_to_fine_search_with<M: CostModel>(
     let n = models.len();
     assert!(n >= 1);
     assert!(c2f.window_steps > 0.0, "window must be positive");
-    // Degradation limits make the grid problem non-convex: the limit
-    // boundary couples a workload's resources, and the optimum can sit
-    // against it in a spot only reachable through limit-infeasible
-    // intermediate configurations — which defeats windowed refinement
-    // *and* its re-centering, even for workloads that are themselves
-    // unconstrained (budget coupling spreads the distortion). With any
-    // finite limit the search therefore runs the full-grid DP, keeping
-    // the equivalence guarantee unconditional; windowed refinement
-    // kicks in exactly where it is provably safe. (Windowing under
-    // limits is an open ROADMAP item.)
-    if qos.iter().any(|q| q.degradation_limit.is_finite()) {
-        return try_exhaustive_search_with(space, qos, models, options);
-    }
     let mut ladder: Vec<f64> = c2f
         .coarse_deltas
         .iter()
@@ -745,16 +784,33 @@ pub fn try_coarse_to_fine_search_with<M: CostModel>(
         .collect();
     ladder.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
 
-    // Each level's optimum becomes the next level's window center.
+    if qos.iter().any(|q| q.degradation_limit.is_finite()) {
+        return limit_aware_refinement(space, qos, models, c2f, options, &ladder);
+    }
+
+    // Unconstrained path: each level's optimum becomes the next
+    // level's window center.
     let mut seed: Option<(Vec<Allocation>, f64)> = None;
     for delta in ladder {
         let coarse_space = SearchSpace { delta, ..*space };
-        let window = seed.as_ref().map(|(centers, prev_delta)| GridWindow {
-            centers,
-            half_width: c2f.window_steps * prev_delta,
+        let allowed = seed.as_ref().and_then(|(centers, prev_delta)| {
+            let (lo, hi) = unit_range(&coarse_space, n)?;
+            Some(
+                (0..n)
+                    .map(|i| {
+                        window_cells(
+                            &coarse_space,
+                            centers[i],
+                            c2f.window_steps * prev_delta,
+                            lo,
+                            hi,
+                        )
+                    })
+                    .collect::<Vec<_>>(),
+            )
         });
-        seed = grid_search(&coarse_space, qos, models, options, window)
-            .map(|r| (r.allocations, delta));
+        seed = grid_search(&coarse_space, qos, models, options, allowed.as_deref())
+            .map(|s| (s.result.allocations, delta));
         // On an infeasible/degenerate level the next one runs unwindowed.
     }
 
@@ -766,29 +822,31 @@ pub fn try_coarse_to_fine_search_with<M: CostModel>(
     // improves (every single-unit exchange lies inside the window),
     // which for separable convex costs is exactly the grid optimum.
     if let Some((centers, prev_delta)) = seed {
-        let half_width = c2f.window_steps * prev_delta;
-        let mut centers = centers;
-        let mut best: Option<SearchResult> = None;
-        for _ in 0..RECENTER_CAP {
-            let window = GridWindow {
-                centers: &centers,
-                half_width,
-            };
-            let Some(r) = grid_search(space, qos, models, options, Some(window)) else {
-                break;
-            };
-            let improved = best
-                .as_ref()
-                .is_none_or(|b| r.weighted_cost < b.weighted_cost - 1e-12);
-            centers.clone_from(&r.allocations);
-            if improved {
-                best = Some(r);
-            } else {
-                break;
+        if let Some((lo, hi)) = unit_range(space, n) {
+            let half_width = c2f.window_steps * prev_delta;
+            let mut centers = centers;
+            let mut best: Option<SearchResult> = None;
+            for _ in 0..RECENTER_CAP {
+                let allowed: Vec<Vec<(usize, usize)>> = (0..n)
+                    .map(|i| window_cells(space, centers[i], half_width, lo, hi))
+                    .collect();
+                let Some(s) = grid_search(space, qos, models, options, Some(&allowed)) else {
+                    break;
+                };
+                let r = s.result;
+                let improved = best
+                    .as_ref()
+                    .is_none_or(|b| r.weighted_cost < b.weighted_cost - 1e-12);
+                centers.clone_from(&r.allocations);
+                if improved {
+                    best = Some(r);
+                } else {
+                    break;
+                }
             }
-        }
-        if best.is_some() {
-            return best;
+            if best.is_some() {
+                return best;
+            }
         }
     }
     // No usable coarse seed, or the window excluded every feasible
@@ -797,9 +855,273 @@ pub fn try_coarse_to_fine_search_with<M: CostModel>(
 }
 
 /// Re-centering round cap for the fine level of coarse-to-fine search;
-/// each round strictly improves the objective on a finite grid, so
-/// this is a safety net, not a tuning knob.
+/// each round strictly improves the objective (or strictly widens some
+/// window) on a finite grid, so this is a safety net, not a tuning
+/// knob.
 const RECENTER_CAP: usize = 100;
+
+/// The limit-aware coarse-to-fine path (some `L_i` is finite).
+///
+/// 1. Solve one ladder level **unwindowed** — the finest level that
+///    solves (finest-first; coarser levels add nothing once a finer
+///    one succeeds). Coarse grids are cheap relative to the fine grid,
+///    and an unwindowed level classifies *every* coarse cell against
+///    the limits, which is exactly the feasibility map the boundary
+///    band needs.
+/// 2. Refine on the fine grid inside per-workload windows around the
+///    coarse optimum, expanded with the boundary band (fine cells
+///    within one coarse step of the limit boundary, where the optimum
+///    can hide behind limit-infeasible coarse samples).
+/// 3. Re-center on each solution; when a workload's chosen cell sits
+///    on the *edge* of its own window, widen that window (doubling,
+///    then full range) — per-window escalation instead of the old
+///    global full-grid fallback.
+/// 4. If the best refined result still violates a limit, run the full
+///    grid: only it can certify joint infeasibility.
+fn limit_aware_refinement<M: CostModel>(
+    space: &SearchSpace,
+    qos: &[QoS],
+    models: &[M],
+    c2f: &CoarseToFineOptions,
+    options: &SearchOptions,
+    ladder: &[f64],
+) -> Option<SearchResult> {
+    let n = models.len();
+    let full_grid = || grid_search(space, qos, models, options, None).map(|s| s.result);
+
+    // Coarse phase: every level is solved unwindowed, so coarser
+    // levels add nothing once a finer one solves — try the finest
+    // first (the ladder is sorted coarsest-first) and keep the first
+    // success.
+    let mut seed: Option<(GridSolve, f64)> = None;
+    for &delta in ladder.iter().rev() {
+        let coarse_space = SearchSpace { delta, ..*space };
+        if let Some(s) = grid_search(&coarse_space, qos, models, options, None) {
+            seed = Some((s, delta));
+            break;
+        }
+    }
+    let Some((coarse, coarse_delta)) = seed else {
+        return full_grid();
+    };
+    let (lo, hi) = unit_range(space, n)?;
+
+    // Boundary band per workload (empty for unconstrained workloads).
+    let band: Vec<Vec<(usize, usize)>> = (0..n)
+        .map(|i| {
+            if qos[i].degradation_limit.is_finite() {
+                boundary_band_cells(space, &coarse.tables[i], coarse_delta, lo, hi)
+            } else {
+                Vec::new()
+            }
+        })
+        .collect();
+
+    // Fine phase: windowed refinement with re-centering and per-window
+    // widening.
+    let mut centers: Vec<Allocation> = coarse.result.allocations.clone();
+    let mut half = vec![c2f.window_steps * coarse_delta; n];
+    let mut full_range = vec![false; n];
+    let mut best: Option<SearchResult> = None;
+    for _ in 0..RECENTER_CAP {
+        let allowed: Vec<Vec<(usize, usize)>> = (0..n)
+            .map(|i| {
+                if full_range[i] {
+                    full_cells(space, lo, hi)
+                } else {
+                    let mut cells = window_cells(space, centers[i], half[i], lo, hi);
+                    cells.extend_from_slice(&band[i]);
+                    cells.sort_unstable();
+                    cells.dedup();
+                    cells
+                }
+            })
+            .collect();
+        let Some(s) = grid_search(space, qos, models, options, Some(&allowed)) else {
+            break;
+        };
+        let r = s.result;
+        let improved = best.as_ref().is_none_or(|b| lex_better(&r, b));
+        // Per-window escalation: a chosen cell on its window's edge
+        // means the window clipped the descent direction there; widen
+        // just that workload's window rather than the whole search.
+        let mut grew = false;
+        for i in 0..n {
+            if full_range[i] {
+                continue;
+            }
+            if on_window_edge(&r.allocations[i], &allowed[i], space, lo, hi) {
+                half[i] *= 2.0;
+                grew = true;
+                if half[i] >= 1.0 {
+                    // Shares live in (0, 1]; this window is the full
+                    // range no matter where its center sits.
+                    full_range[i] = true;
+                }
+            }
+        }
+        centers.clone_from(&r.allocations);
+        if improved {
+            best = Some(r);
+        } else if !grew {
+            break;
+        }
+    }
+    match best {
+        Some(r) if r.limits_met.iter().all(|&m| m) => Some(r),
+        // The windowed search found no limit-satisfying configuration;
+        // only the full grid can certify joint infeasibility (and its
+        // best-effort optimum is the reference answer).
+        _ => full_grid(),
+    }
+}
+
+/// Lexicographically better search result: fewer unmet degradation
+/// limits first, lower weighted cost second.
+fn lex_better(a: &SearchResult, b: &SearchResult) -> bool {
+    let unmet = |r: &SearchResult| r.limits_met.iter().filter(|&&m| !m).count();
+    let (ua, ub) = (unmet(a), unmet(b));
+    ua < ub || (ua == ub && a.weighted_cost < b.weighted_cost - 1e-12)
+}
+
+/// Cartesian product of per-axis unit options, ascending (cpu,
+/// memory) — the sorted order [`on_window_edge`]'s binary search and
+/// the deterministic probe sequence both rely on. A non-varied axis
+/// contributes the single placeholder unit 0.
+fn product_cells(cpu: &[usize], mem: &[usize]) -> Vec<(usize, usize)> {
+    let mut cells = Vec::with_capacity(cpu.len() * mem.len());
+    for &cu in cpu {
+        for &mu in mem {
+            cells.push((cu, mu));
+        }
+    }
+    cells
+}
+
+/// Grid cells of `space` inside a per-axis window of `half_width`
+/// (in shares) around `center`, clamped to `[lo, hi]` units.
+fn window_cells(
+    space: &SearchSpace,
+    center: Allocation,
+    half_width: f64,
+    lo: usize,
+    hi: usize,
+) -> Vec<(usize, usize)> {
+    let axis = |vary: bool, c: f64| -> Vec<usize> {
+        if !vary {
+            return vec![0];
+        }
+        (lo..=hi)
+            .filter(|&u| (u as f64 * space.delta - c).abs() <= half_width + 1e-9)
+            .collect()
+    };
+    product_cells(
+        &axis(space.vary_cpu, center.cpu),
+        &axis(space.vary_memory, center.memory),
+    )
+}
+
+/// Every grid cell of `space` over the `[lo, hi]` unit range.
+fn full_cells(space: &SearchSpace, lo: usize, hi: usize) -> Vec<(usize, usize)> {
+    let axis = |vary: bool| -> Vec<usize> {
+        if vary {
+            (lo..=hi).collect()
+        } else {
+            vec![0]
+        }
+    };
+    product_cells(&axis(space.vary_cpu), &axis(space.vary_memory))
+}
+
+/// The fine cells within one coarse step of the workload's
+/// degradation-limit boundary. Every limit-satisfying coarse cell with
+/// a limit-violating axis neighbor contributes the fine cells inside a
+/// ±`coarse_delta` box around it: the true boundary crosses somewhere
+/// between such neighbor pairs, and the box covers the crossing
+/// wherever in the gap it falls — so fine-grid optima pressed against
+/// the limit (behind coarse-infeasible samples) stay reachable without
+/// paying full-grid cost.
+fn boundary_band_cells(
+    space: &SearchSpace,
+    coarse_table: &[GridCell],
+    coarse_delta: f64,
+    lo: usize,
+    hi: usize,
+) -> Vec<(usize, usize)> {
+    let verdict: HashMap<(usize, usize), bool> = coarse_table
+        .iter()
+        .map(|c| (c.units, c.within_limit))
+        .collect();
+    let mut centers: Vec<(usize, usize)> = Vec::new();
+    for cell in coarse_table {
+        if !cell.within_limit {
+            continue;
+        }
+        let (cu, mu) = cell.units;
+        let neighbors = [
+            (cu.wrapping_sub(1), mu),
+            (cu + 1, mu),
+            (cu, mu.wrapping_sub(1)),
+            (cu, mu + 1),
+        ];
+        if neighbors.iter().any(|u| verdict.get(u) == Some(&false)) {
+            centers.push((cu, mu));
+        }
+    }
+    let fine = space.delta;
+    // Fine units within ±coarse_delta of a coarse unit, clamped.
+    let axis_box = |vary: bool, units: usize| -> (usize, usize) {
+        if !vary {
+            return (0, 0);
+        }
+        let share = units as f64 * coarse_delta;
+        let a = (((share - coarse_delta) / fine) - 1e-9).ceil().max(0.0) as usize;
+        let b = (((share + coarse_delta) / fine) + 1e-9).floor().max(0.0) as usize;
+        (a.clamp(lo, hi), b.clamp(lo, hi))
+    };
+    let mut cells: HashSet<(usize, usize)> = HashSet::new();
+    for (cu, mu) in centers {
+        let (clo, chi) = axis_box(space.vary_cpu, cu);
+        let (mlo, mhi) = axis_box(space.vary_memory, mu);
+        for c in clo..=chi {
+            for m in mlo..=mhi {
+                cells.insert((c, m));
+            }
+        }
+    }
+    let mut cells: Vec<(usize, usize)> = cells.into_iter().collect();
+    cells.sort_unstable();
+    cells
+}
+
+/// Whether workload's chosen allocation sits on the edge of its
+/// allowed cell set: some in-range axis neighbor is missing from the
+/// set. (`cells` must be sorted ascending. A neighbor that was in the
+/// set but limit-infeasible is *not* an edge — the window clipped
+/// nothing there, the limit did.)
+fn on_window_edge(
+    alloc: &Allocation,
+    cells: &[(usize, usize)],
+    space: &SearchSpace,
+    lo: usize,
+    hi: usize,
+) -> bool {
+    let delta = space.delta;
+    let cu = if space.vary_cpu {
+        (alloc.cpu / delta).round() as usize
+    } else {
+        0
+    };
+    let mu = if space.vary_memory {
+        (alloc.memory / delta).round() as usize
+    } else {
+        0
+    };
+    let missing = |c: usize, m: usize| cells.binary_search(&(c, m)).is_err();
+    (space.vary_cpu && ((cu > lo && missing(cu - 1, mu)) || (cu < hi && missing(cu + 1, mu))))
+        || (space.vary_memory
+            && ((mu > lo && missing(cu, mu - 1)) || (mu < hi && missing(cu, mu + 1))))
+}
 
 #[cfg(test)]
 mod tests {
@@ -944,16 +1266,41 @@ mod tests {
     }
 
     #[test]
-    fn exhaustive_excludes_degradation_violations() {
+    fn exhaustive_reports_infeasible_limits_best_effort() {
         let space = SearchSpace::cpu_only(0.5);
         let models = synth(vec![10.0, 10.0]);
         let qos = vec![QoS::with_limit(1.05), QoS::with_limit(1.05)];
-        // Both want nearly everything; the only feasible points keep
-        // both near full — impossible — so the DP must panic.
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            exhaustive_search(&space, &qos, &models)
-        }));
-        assert!(result.is_err(), "infeasible problem must be reported");
+        // Both want nearly everything to meet their limit — jointly
+        // impossible. The DP must report that via `limits_met` (like
+        // greedy does) instead of panicking, and still hand back the
+        // least-violating, cheapest allocation.
+        let r = exhaustive_search(&space, &qos, &models);
+        assert!(
+            r.limits_met.iter().any(|m| !m),
+            "jointly infeasible limits must be reported: {:?}",
+            r.limits_met
+        );
+        let total: f64 = r.allocations.iter().map(|a| a.cpu).sum();
+        assert!(total <= 1.0 + 1e-9);
+        assert!(r.weighted_cost.is_finite());
+        // Symmetric workloads, one violation unavoidable: exactly one
+        // flag is false, not both.
+        assert_eq!(r.limits_met.iter().filter(|&&m| !m).count(), 1, "{r:?}");
+    }
+
+    #[test]
+    fn exhaustive_best_effort_minimizes_violations_before_cost() {
+        let space = SearchSpace::cpu_only(0.5);
+        // Workload 1 can meet its limit only by hogging CPU; workload 0
+        // is unconstrained but expensive when starved. The cheapest
+        // *unconstrained* split would violate workload 1's limit; the
+        // best-effort DP must prefer the zero-violation allocation.
+        let models = synth(vec![10.0, 2.0]);
+        let qos = vec![QoS::default(), QoS::with_limit(1.5)];
+        let r = exhaustive_search(&space, &qos, &models);
+        assert!(r.limits_met.iter().all(|&m| m), "{r:?}");
+        let full = 2.0 / 1.0 + 1.0;
+        assert!(r.costs[1] <= 1.5 * full + 1e-9);
     }
 
     #[test]
@@ -1129,15 +1476,75 @@ mod tests {
     }
 
     #[test]
-    fn coarse_to_fine_infeasible_panics_like_exhaustive() {
+    fn coarse_to_fine_infeasible_matches_exhaustive_best_effort() {
         let mut space = SearchSpace::cpu_only(0.5);
         space.delta = 0.01;
         let models = synth(vec![10.0, 10.0]);
         let qos = vec![QoS::with_limit(1.05), QoS::with_limit(1.05)];
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            coarse_to_fine_search(&space, &qos, &models)
-        }));
-        assert!(result.is_err(), "infeasible problem must be reported");
+        // Jointly infeasible: both must return the same best-effort
+        // allocation with the violation flagged, not panic.
+        let full = exhaustive_search(&space, &qos, &models);
+        let c2f = coarse_to_fine_search(&space, &qos, &models);
+        assert!(full.limits_met.iter().any(|m| !m), "{full:?}");
+        assert_eq!(c2f.limits_met, full.limits_met);
+        assert!((c2f.weighted_cost - full.weighted_cost).abs() <= 1e-9);
+    }
+
+    #[test]
+    fn limit_aware_c2f_matches_exhaustive_and_probes_fewer() {
+        // The tentpole contract: with *finite* degradation limits the
+        // coarse-to-fine search must no longer degrade to the full
+        // grid — same objective and limit verdicts as exhaustive, far
+        // fewer unique probes.
+        use parking_lot::Mutex;
+        let mut space = SearchSpace::cpu_and_memory();
+        space.delta = 0.02;
+        type ProbeSet = Mutex<HashSet<(usize, (u32, u32))>>;
+        let count = |alphas: &[f64]| -> (Vec<_>, &'static ProbeSet) {
+            let probes: &'static ProbeSet = Box::leak(Box::new(Mutex::new(HashSet::new())));
+            let models: Vec<_> = alphas
+                .iter()
+                .enumerate()
+                .map(|(i, &alpha)| {
+                    FnCostModel::new(move |a: Allocation| {
+                        probes.lock().insert((i, a.key()));
+                        alpha / a.cpu + (i + 1) as f64 / a.memory + 1.0
+                    })
+                })
+                .collect();
+            (models, probes)
+        };
+        let qos = vec![
+            QoS::with_limit(2.0),
+            QoS::default(),
+            QoS::with_limit(3.0),
+            QoS::default(),
+        ];
+        let alphas = [8.0, 3.0, 1.0, 0.5];
+        let (full_models, full_probes) = count(&alphas);
+        let full = exhaustive_search_with(&space, &qos, &full_models, &SearchOptions::serial());
+        let (c2f_models, c2f_probes) = count(&alphas);
+        let c2f = coarse_to_fine_search_with(
+            &space,
+            &qos,
+            &c2f_models,
+            &CoarseToFineOptions::auto(&space, 4),
+            &SearchOptions::serial(),
+        );
+        assert!(
+            (c2f.weighted_cost - full.weighted_cost).abs() <= 1e-9,
+            "c2f {} vs full {}",
+            c2f.weighted_cost,
+            full.weighted_cost
+        );
+        assert_eq!(c2f.limits_met, full.limits_met);
+        assert!(c2f.limits_met.iter().all(|&m| m), "limits must be met");
+        let full_n = full_probes.lock().len();
+        let c2f_n = c2f_probes.lock().len();
+        assert!(
+            c2f_n * 2 < full_n,
+            "limit-aware c2f should probe far fewer points: {c2f_n} vs {full_n}"
+        );
     }
 
     #[test]

@@ -22,11 +22,11 @@
 //! the lifetime of one placement (machines are identical, so a
 //! subset's solve is machine-independent).
 //!
-//! Degradation limits make some subsets jointly infeasible; those get
-//! an [`FleetOptions::infeasibility_penalty`] per unmet limit (greedy
-//! inner solves) or per hosted tenant (grid inner solves, which report
-//! joint infeasibility as a whole), steering the local search toward
-//! spreading constrained tenants out rather than aborting.
+//! Degradation limits make some subsets jointly infeasible; every
+//! inner solver (greedy and the grid DPs alike) reports those
+//! best-effort via `limits_met`, and each unmet limit costs an
+//! [`FleetOptions::infeasibility_penalty`], steering the local search
+//! toward spreading constrained tenants out rather than aborting.
 
 use crate::costmodel::model::CostModel;
 use crate::enumerate::{
@@ -195,12 +195,15 @@ impl<'a, M: CostModel> FleetSolver<'a, M> {
     }
 
     /// Objective of hosting `subset` (ascending tenant indices) on one
-    /// machine: gain-weighted cost plus infeasibility penalties. Grid
-    /// inner solves that find the limits jointly infeasible price one
-    /// penalty per hosted tenant — *finite*, so seeding deltas and
-    /// local-search improvements stay comparable (∞ − ∞ would be NaN
-    /// and silently freeze both), and every tenant moved off an
-    /// infeasible machine shrinks the objective.
+    /// machine: gain-weighted cost plus one infeasibility penalty per
+    /// unmet degradation limit — uniform across greedy and grid inner
+    /// solves, since all of them now report joint infeasibility
+    /// best-effort via `limits_met`. Penalties are *finite*, so
+    /// seeding deltas and local-search improvements stay comparable
+    /// (∞ − ∞ would be NaN and silently freeze both), and every
+    /// constrained tenant moved off an overloaded machine shrinks the
+    /// objective. The `None` arm survives only for structural
+    /// infeasibility (a subset the δ grid cannot host at all).
     fn objective(&self, subset: &[usize]) -> f64 {
         if subset.is_empty() {
             return 0.0;
@@ -638,6 +641,56 @@ mod tests {
                 .map(|&i| r.allocation_of(i).unwrap().cpu)
                 .sum();
             assert!(total <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn coarse_to_fine_inner_solve_matches_exhaustive_under_limits() {
+        // The limit-aware coarse-to-fine path must price
+        // limit-constrained tenants exactly like the full grid, so the
+        // two inner solvers produce the same fleet decisions — without
+        // the c2f solver paying full-grid cost per subset.
+        let mut space = SearchSpace::cpu_only(0.5);
+        space.delta = 0.01;
+        let models = synth(vec![12.0, 9.0, 2.0, 1.0]);
+        let qos = vec![
+            QoS::with_limit(2.0),
+            QoS::default(),
+            QoS::with_limit(3.0),
+            QoS::default(),
+        ];
+        let exact = place_tenants(
+            &space,
+            &qos,
+            &models,
+            &FleetOptions {
+                inner: InnerSolve::Exhaustive,
+                ..FleetOptions::for_machines(2)
+            },
+        );
+        let c2f = place_tenants(
+            &space,
+            &qos,
+            &models,
+            &FleetOptions {
+                inner: InnerSolve::CoarseToFine(CoarseToFineOptions::default()),
+                ..FleetOptions::for_machines(2)
+            },
+        );
+        assert!(
+            (c2f.objective - exact.objective).abs() <= 1e-6 * exact.objective.abs().max(1.0),
+            "c2f {} vs exhaustive {}",
+            c2f.objective,
+            exact.objective
+        );
+        assert_eq!(c2f.assignment, exact.assignment);
+        for m in 0..2 {
+            let (a, b) = (c2f.per_machine[m].as_ref(), exact.per_machine[m].as_ref());
+            assert_eq!(
+                a.map(|r| &r.limits_met),
+                b.map(|r| &r.limits_met),
+                "machine {m} limit verdicts differ"
+            );
         }
     }
 

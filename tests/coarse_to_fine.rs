@@ -39,6 +39,20 @@ fn qos_regimes(n: usize) -> impl Strategy<Value = Vec<QoS>> {
     })
 }
 
+/// Random QoS regimes with *every* degradation limit finite — the
+/// regime the limit-aware windowed refinement exists for.
+fn finite_qos_regimes(n: usize) -> impl Strategy<Value = Vec<QoS>> {
+    proptest::collection::vec((1.0f64..5.0, 1.3f64..4.0), n).prop_map(|entries| {
+        entries
+            .into_iter()
+            .map(|(gain, limit)| QoS {
+                gain,
+                degradation_limit: limit,
+            })
+            .collect()
+    })
+}
+
 fn models(coeffs: &[(f64, f64, f64)]) -> Vec<impl CostModel> {
     coeffs
         .iter()
@@ -57,8 +71,10 @@ proptest! {
 
     /// CPU-only, fine δ = 0.05 (the paper's grid), N ≤ 6: the windowed
     /// refinement's objective equals the full-grid DP's within 1e-9,
-    /// across random QoS/penalty regimes. Jointly infeasible limits
-    /// must be reported identically (both `None`).
+    /// across random QoS/penalty regimes, and the two agree on every
+    /// per-workload limit verdict (both searches report jointly
+    /// infeasible limits best-effort via `limits_met` — `None` is
+    /// reserved for grids that cannot host the workloads at all).
     #[test]
     fn cpu_only_refinement_matches_full_grid(
         cs in coeffs(6),
@@ -72,18 +88,17 @@ proptest! {
         let opts = CoarseToFineOptions::auto(&space, n);
         prop_assert!(!opts.coarse_deltas.is_empty(), "auto must find a coarse level");
         let serial = SearchOptions::serial();
-        let full = try_exhaustive_search_with(&space, qos, &models, &serial);
-        let c2f = try_coarse_to_fine_search_with(&space, qos, &models, &opts, &serial);
-        match (&full, &c2f) {
-            (None, None) => {}
-            (Some(f), Some(c)) => prop_assert!(
-                (f.weighted_cost - c.weighted_cost).abs() <= 1e-9,
-                "full {} vs c2f {} (n={n}, qos={qos:?})",
-                f.weighted_cost,
-                c.weighted_cost
-            ),
-            _ => prop_assert!(false, "feasibility verdicts differ: {full:?} vs {c2f:?}"),
-        }
+        let full = try_exhaustive_search_with(&space, qos, &models, &serial)
+            .expect("δ = 0.05 hosts six workloads");
+        let c2f = try_coarse_to_fine_search_with(&space, qos, &models, &opts, &serial)
+            .expect("c2f is None only when exhaustive is");
+        prop_assert!(
+            (full.weighted_cost - c2f.weighted_cost).abs() <= 1e-9,
+            "full {} vs c2f {} (n={n}, qos={qos:?})",
+            full.weighted_cost,
+            c2f.weighted_cost
+        );
+        prop_assert_eq!(&full.limits_met, &c2f.limits_met, "limit verdicts differ");
     }
 
     /// Joint CPU+memory grids agree too (N ≤ 4 keeps the full DP
@@ -100,18 +115,46 @@ proptest! {
         let models = models(cs);
         let opts = CoarseToFineOptions::auto(&space, n);
         let serial = SearchOptions::serial();
-        let full = try_exhaustive_search_with(&space, qos, &models, &serial);
-        let c2f = try_coarse_to_fine_search_with(&space, qos, &models, &opts, &serial);
-        match (&full, &c2f) {
-            (None, None) => {}
-            (Some(f), Some(c)) => prop_assert!(
-                (f.weighted_cost - c.weighted_cost).abs() <= 1e-9,
-                "full {} vs c2f {} (n={n}, cs={cs:?}, qos={qos:?})",
-                f.weighted_cost,
-                c.weighted_cost
-            ),
-            _ => prop_assert!(false, "feasibility verdicts differ"),
-        }
+        let full = try_exhaustive_search_with(&space, qos, &models, &serial)
+            .expect("δ = 0.05 hosts four workloads");
+        let c2f = try_coarse_to_fine_search_with(&space, qos, &models, &opts, &serial)
+            .expect("c2f is None only when exhaustive is");
+        prop_assert!(
+            (full.weighted_cost - c2f.weighted_cost).abs() <= 1e-9,
+            "full {} vs c2f {} (n={n}, cs={cs:?}, qos={qos:?})",
+            full.weighted_cost,
+            c2f.weighted_cost
+        );
+        prop_assert_eq!(&full.limits_met, &c2f.limits_met, "limit verdicts differ");
+    }
+
+    /// The tentpole regime: *every* limit finite, N ≤ 6, δ = 0.05.
+    /// The limit-aware windowed path (boundary band + per-window
+    /// escalation) must match the full grid's objective within 1e-9
+    /// and agree on every `limits_met` flag.
+    #[test]
+    fn finite_limit_refinement_matches_full_grid(
+        cs in coeffs(6),
+        qos in finite_qos_regimes(6),
+        n in 2usize..=6,
+    ) {
+        let space = SearchSpace::cpu_only(0.5); // δ = 0.05
+        let cs = &cs[..n];
+        let qos = &qos[..n];
+        let models = models(cs);
+        let opts = CoarseToFineOptions::auto(&space, n);
+        let serial = SearchOptions::serial();
+        let full = try_exhaustive_search_with(&space, qos, &models, &serial)
+            .expect("δ = 0.05 hosts six workloads");
+        let c2f = try_coarse_to_fine_search_with(&space, qos, &models, &opts, &serial)
+            .expect("c2f is None only when exhaustive is");
+        prop_assert!(
+            (full.weighted_cost - c2f.weighted_cost).abs() <= 1e-9,
+            "full {} vs c2f {} (n={n}, qos={qos:?})",
+            full.weighted_cost,
+            c2f.weighted_cost
+        );
+        prop_assert_eq!(&full.limits_met, &c2f.limits_met, "limit verdicts differ");
     }
 
     /// A finer fine grid (δ = 0.01) through a two-level ladder still
@@ -146,6 +189,39 @@ proptest! {
         );
     }
 
+    /// The two-level ladder down to δ = 0.01 also survives finite
+    /// degradation limits: the limit-aware windows must track the
+    /// boundary across *two* refinement hops and still land on the
+    /// full-grid optimum with identical limit verdicts.
+    #[test]
+    fn fine_delta_ladder_matches_full_grid_under_limits(
+        cs in coeffs(4),
+        qos in finite_qos_regimes(4),
+        n in 2usize..=4,
+    ) {
+        let mut space = SearchSpace::cpu_only(0.5);
+        space.delta = 0.01;
+        let cs = &cs[..n];
+        let qos = &qos[..n];
+        let models = models(cs);
+        let opts = CoarseToFineOptions {
+            coarse_deltas: vec![0.1, 0.05],
+            window_steps: 1.0,
+        };
+        let serial = SearchOptions::serial();
+        let full = try_exhaustive_search_with(&space, qos, &models, &serial)
+            .expect("δ = 0.01 hosts four workloads");
+        let c2f = try_coarse_to_fine_search_with(&space, qos, &models, &opts, &serial)
+            .expect("c2f is None only when exhaustive is");
+        prop_assert!(
+            (full.weighted_cost - c2f.weighted_cost).abs() <= 1e-9,
+            "full {} vs c2f {} (n={n}, qos={qos:?})",
+            full.weighted_cost,
+            c2f.weighted_cost
+        );
+        prop_assert_eq!(&full.limits_met, &c2f.limits_met, "limit verdicts differ");
+    }
+
     /// Fleet placement always produces a feasible fleet: every tenant
     /// assigned to a real machine, per-machine shares within budget,
     /// and capacity respected.
@@ -173,4 +249,36 @@ proptest! {
             }
         }
     }
+}
+
+/// Regression for the jointly-infeasible panic: the non-`try_` grid
+/// paths used to `.expect(...)` when no allocation satisfied every
+/// degradation limit, while `greedy_search` reported the same
+/// situation gracefully. All three searches must now agree: return a
+/// best-effort allocation and flag the violation via `limits_met`.
+#[test]
+fn jointly_infeasible_limits_never_panic() {
+    use vda::core::enumerate::{coarse_to_fine_search, exhaustive_search, greedy_search};
+    let mut space = SearchSpace::cpu_only(0.5);
+    space.delta = 0.01;
+    // Each workload needs essentially the whole machine to stay within
+    // a 1.05× degradation of its solo cost.
+    let cs = vec![(10.0, 0.0, 1.0), (10.0, 0.0, 1.0)];
+    let models = models(&cs);
+    let qos = vec![QoS::with_limit(1.05), QoS::with_limit(1.05)];
+    let greedy = greedy_search(&space, &qos, &models);
+    let full = exhaustive_search(&space, &qos, &models);
+    let c2f = coarse_to_fine_search(&space, &qos, &models);
+    for (name, r) in [("greedy", &greedy), ("exhaustive", &full), ("c2f", &c2f)] {
+        assert!(
+            r.limits_met.iter().any(|m| !m),
+            "{name} must flag the infeasibility: {:?}",
+            r.limits_met
+        );
+        let total: f64 = r.allocations.iter().map(|a| a.cpu).sum();
+        assert!(total <= 1.0 + 1e-9, "{name} oversubscribed: {total}");
+    }
+    // The grid paths agree with each other exactly.
+    assert_eq!(c2f.limits_met, full.limits_met);
+    assert!((c2f.weighted_cost - full.weighted_cost).abs() <= 1e-9);
 }
