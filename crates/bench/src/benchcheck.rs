@@ -155,6 +155,19 @@ mod tests {
     "limits_met": [true, true],
     "limits_match": true,
     "meets_3x": true
+  },
+  "heterogeneous": {
+    "machine_scales_cpu": [0.5, 0.5, 1.0, 1.0],
+    "machine_scales_memory": [0.5, 0.5, 1.0, 1.0],
+    "wall_ms": 22.0,
+    "assignment": [2, 0, 3, 3],
+    "objective": 964.05,
+    "smallest_assumption_assignment": [0, 1, 2, 3],
+    "smallest_assumption_objective": 1089.6,
+    "improvement": 0.115,
+    "inner_solves": 154,
+    "optimizer_calls": 1172,
+    "beats_smallest_assumption": true
   }
 }"#;
 
@@ -237,6 +250,76 @@ mod tests {
         assert!(
             compare_reports(BASE, &cand).is_empty(),
             "limited-section wall time must stay unguarded"
+        );
+    }
+
+    #[test]
+    fn heterogeneous_section_deterministic_fields_are_gated() {
+        // The heterogeneous fleet section of BENCH_placement.json:
+        // assignments (both the aware one and the smallest-machine
+        // baseline's), objectives, the improvement, solve/optimizer
+        // accounting, machine scales, and the contract boolean are all
+        // deterministic and therefore gated; its wall time is not.
+        for (field, original, replacement) in [
+            (
+                "assignment",
+                "\"assignment\": [2, 0, 3, 3]",
+                "\"assignment\": [2, 0, 3, 2]",
+            ),
+            ("objective", "\"objective\": 964.05", "\"objective\": 970.0"),
+            (
+                "smallest_assumption_assignment",
+                "\"smallest_assumption_assignment\": [0, 1, 2, 3]",
+                "\"smallest_assumption_assignment\": [0, 1, 2, 0]",
+            ),
+            (
+                "smallest_assumption_objective",
+                "\"smallest_assumption_objective\": 1089.6",
+                "\"smallest_assumption_objective\": 1100.0",
+            ),
+            (
+                "improvement",
+                "\"improvement\": 0.115",
+                "\"improvement\": 0.01",
+            ),
+            (
+                "inner_solves",
+                "\"inner_solves\": 154",
+                "\"inner_solves\": 200",
+            ),
+            (
+                "optimizer_calls",
+                "\"optimizer_calls\": 1172",
+                "\"optimizer_calls\": 1173",
+            ),
+            (
+                "machine_scales_cpu",
+                "\"machine_scales_cpu\": [0.5, 0.5, 1.0, 1.0]",
+                "\"machine_scales_cpu\": [0.5, 1.0, 1.0, 1.0]",
+            ),
+            (
+                "machine_scales_memory",
+                "\"machine_scales_memory\": [0.5, 0.5, 1.0, 1.0]",
+                "\"machine_scales_memory\": [0.5, 0.5, 0.5, 1.0]",
+            ),
+            (
+                "beats_smallest_assumption",
+                "\"beats_smallest_assumption\": true",
+                "\"beats_smallest_assumption\": false",
+            ),
+        ] {
+            let cand = BASE.replace(original, replacement);
+            assert_ne!(cand, BASE, "{field} must appear in the fixture");
+            let problems = compare_reports(BASE, &cand);
+            assert!(
+                problems.iter().any(|p| p.contains(field)),
+                "heterogeneous {field} drift must fail the gate: {problems:?}"
+            );
+        }
+        let cand = BASE.replace("\"wall_ms\": 22.0", "\"wall_ms\": 9999.0");
+        assert!(
+            compare_reports(BASE, &cand).is_empty(),
+            "heterogeneous wall time must stay unguarded"
         );
     }
 

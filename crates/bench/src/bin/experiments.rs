@@ -51,8 +51,12 @@ fn main() -> ExitCode {
     if let Some(path) = json_flag(&mut args, "--placement-json", "BENCH_placement.json") {
         ran_flag = true;
         match experiments::placement::write_json(&path) {
-            Ok(m) => {
-                println!("{}", experiments::placement::run_from(m));
+            Ok(bench) => {
+                println!("{}", experiments::placement::run_from(bench.homogeneous));
+                println!(
+                    "{}",
+                    experiments::placement::run_heterogeneous_from(bench.heterogeneous)
+                );
                 println!("wrote {path}");
             }
             Err(e) => {

@@ -67,6 +67,7 @@ pub fn registry() -> Vec<(&'static str, fn() -> Report)> {
         ("ablation", ablation::run),
         ("enumbench", enumeration::run),
         ("placement", placement::run),
+        ("placement-het", placement::run_heterogeneous),
     ]
 }
 

@@ -15,13 +15,24 @@ use crate::harness::{fmt_f, fmt_pct, Report, Table};
 use crate::setups::{self, cold_estimators, EngineChoice};
 use std::time::Instant;
 use vda_core::metrics::CostAccounting;
-use vda_core::placement::{assignment_objective, place_tenants, FleetOptions, PlacementResult};
+use vda_core::placement::{
+    assignment_objective, assignment_objective_heterogeneous, place_tenants,
+    place_tenants_heterogeneous, FleetOptions, MachineSpec, PlacementResult,
+};
 use vda_core::problem::{QoS, SearchSpace};
 use vda_core::tenant::Tenant;
 use vda_core::VirtualizationDesignAdvisor;
 
 /// Machines in the fleet scenario.
 pub const MACHINES: usize = 3;
+
+/// Big (reference-sized) machines in the heterogeneous scenario.
+pub const HET_BIG: usize = 2;
+/// Small machines in the heterogeneous scenario.
+pub const HET_SMALL: usize = 2;
+/// The small machines' CPU and memory capacity relative to the big
+/// ones.
+pub const HET_SMALL_SCALE: f64 = 0.5;
 
 /// The placement measurement: the placer's answer plus the round-robin
 /// baseline, with optimizer-call accounting.
@@ -109,9 +120,166 @@ pub fn measure() -> PlacementMeasurement {
     }
 }
 
+/// The heterogeneous fleet measurement: heterogeneity-aware placement
+/// over 2 big + 2 small machines vs the homogeneous assumption
+/// (placing as if every machine were the smallest, then paying the
+/// true fleet).
+#[derive(Debug, Clone)]
+pub struct HeterogeneousMeasurement {
+    /// Tenant count.
+    pub workloads: usize,
+    /// The true fleet's machine specs (small machines first — the
+    /// homogeneous assumption cannot see which slots are big).
+    pub specs: Vec<MachineSpec>,
+    /// The heterogeneity-aware placer's result.
+    pub result: PlacementResult,
+    /// Assignment chosen under the all-machines-are-smallest
+    /// assumption.
+    pub smallest_assignment: Vec<usize>,
+    /// That assignment's objective priced on the TRUE fleet.
+    pub smallest_objective: f64,
+    /// Wall time of the heterogeneity-aware placement run, ms.
+    pub wall_ms: f64,
+    /// Optimizer calls the aware placement issued (cold caches).
+    pub optimizer_calls: u64,
+    /// Per-tenant names, for the report.
+    pub tenant_names: Vec<String>,
+}
+
+impl HeterogeneousMeasurement {
+    /// Relative improvement of heterogeneity-aware placement over the
+    /// smallest-machine assumption.
+    pub fn improvement(&self) -> f64 {
+        (self.smallest_objective - self.result.objective) / self.smallest_objective
+    }
+}
+
+/// The heterogeneous fleet: `HET_SMALL` half-scale machines followed
+/// by `HET_BIG` reference machines, all on the same joint CPU+memory
+/// δ-grid. Small machines come first so the homogeneous baseline —
+/// which sees four interchangeable machines — packs its
+/// most-resource-sensitive tenants onto slots that are, in truth, the
+/// small ones.
+fn het_specs() -> Vec<MachineSpec> {
+    let space = SearchSpace::cpu_and_memory();
+    let mut specs = vec![MachineSpec::scaled(space, HET_SMALL_SCALE, HET_SMALL_SCALE); HET_SMALL];
+    specs.extend(vec![MachineSpec::reference(space); HET_BIG]);
+    specs
+}
+
+/// Run the heterogeneous fleet scenario.
+pub fn measure_heterogeneous() -> HeterogeneousMeasurement {
+    let adv = fleet_advisor();
+    let qos = adv.qos();
+    let n = adv.tenant_count();
+    let specs = het_specs();
+    let options = FleetOptions::for_machines(specs.len());
+
+    let models = cold_estimators(&adv);
+    let t0 = Instant::now();
+    let result = place_tenants_heterogeneous(&specs, qos, &models, &options);
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let optimizer_calls = CostAccounting::tally(&models).optimizer_calls;
+
+    // The homogeneous assumption: every machine is the smallest. Place
+    // under that fiction, then pay the true fleet for the resulting
+    // assignment.
+    let smallest = vec![specs[0]; specs.len()];
+    let blind = place_tenants_heterogeneous(&smallest, qos, &models, &options);
+    let smallest_objective =
+        assignment_objective_heterogeneous(&specs, qos, &models, &blind.assignment, &options);
+
+    HeterogeneousMeasurement {
+        workloads: n,
+        specs,
+        result,
+        smallest_assignment: blind.assignment,
+        smallest_objective,
+        wall_ms,
+        optimizer_calls,
+        tenant_names: (0..n).map(|i| adv.tenant(i).name.clone()).collect(),
+    }
+}
+
+/// Both placement measurements, as emitted into
+/// `BENCH_placement.json`.
+#[derive(Debug, Clone)]
+pub struct PlacementBench {
+    /// The homogeneous 10-tenants-over-3-machines scenario.
+    pub homogeneous: PlacementMeasurement,
+    /// The heterogeneous 2-big + 2-small scenario.
+    pub heterogeneous: HeterogeneousMeasurement,
+}
+
 /// Measure and render as a report.
 pub fn run() -> Report {
     run_from(measure())
+}
+
+/// Measure the heterogeneous scenario and render as a report.
+pub fn run_heterogeneous() -> Report {
+    run_heterogeneous_from(measure_heterogeneous())
+}
+
+/// Render the heterogeneous measurement as a report.
+pub fn run_heterogeneous_from(m: HeterogeneousMeasurement) -> Report {
+    let mut report = Report::new(
+        "placement-heterogeneous",
+        "Heterogeneous fleet: 10 tenants over 2 big + 2 small machines",
+    );
+    let mut table = Table::new(vec!["machine", "cpu/mem scale", "tenants", "weighted cost"]);
+    for (machine, spec) in m.specs.iter().enumerate() {
+        let tenants = m.result.tenants_on(machine);
+        let names: Vec<&str> = tenants
+            .iter()
+            .map(|&i| m.tenant_names[i].as_str())
+            .collect();
+        let cost = match &m.result.per_machine[machine] {
+            Some(r) => fmt_f(r.weighted_cost, 2),
+            None => "-".to_string(),
+        };
+        table.row(vec![
+            machine.to_string(),
+            format!(
+                "{}/{}",
+                fmt_f(spec.scale.cpu, 2),
+                fmt_f(spec.scale.memory, 2)
+            ),
+            names.join(","),
+            cost,
+        ]);
+    }
+    report.section("heterogeneity-aware placement", table);
+
+    let mut summary = Table::new(vec!["metric", "value"]);
+    summary.row(vec![
+        "aware objective".to_string(),
+        fmt_f(m.result.objective, 2),
+    ]);
+    summary.row(vec![
+        "smallest-assumption objective".to_string(),
+        fmt_f(m.smallest_objective, 2),
+    ]);
+    summary.row(vec!["improvement".to_string(), fmt_pct(m.improvement())]);
+    summary.row(vec![
+        "local-search moves".to_string(),
+        m.result.moves.len().to_string(),
+    ]);
+    summary.row(vec![
+        "inner solves (memoized)".to_string(),
+        m.result.inner_solves.to_string(),
+    ]);
+    summary.row(vec![
+        "optimizer calls".to_string(),
+        m.optimizer_calls.to_string(),
+    ]);
+    summary.row(vec!["wall ms".to_string(), fmt_f(m.wall_ms, 1)]);
+    report.section("aware vs smallest-machine assumption", summary);
+    report.note(format!(
+        "heterogeneity-aware placement beats the homogeneous assumption: {}",
+        m.improvement() > 0.0
+    ));
+    report
 }
 
 /// Render an existing measurement as a report.
@@ -175,8 +343,12 @@ pub fn run_from(m: PlacementMeasurement) -> Report {
     report
 }
 
-/// Serialize a measurement as the `BENCH_placement.json` artifact.
-pub fn to_json(m: &PlacementMeasurement) -> String {
+/// Serialize both measurements as the `BENCH_placement.json`
+/// artifact: the homogeneous scenario's fields at the top level (as
+/// before), the heterogeneous scenario nested under
+/// `"heterogeneous"`.
+pub fn to_json(bench: &PlacementBench) -> String {
+    let m = &bench.homogeneous;
     let assignment: Vec<String> = m.result.assignment.iter().map(usize::to_string).collect();
     let per_machine: Vec<String> = (0..m.machines)
         .map(|machine| {
@@ -221,7 +393,8 @@ pub fn to_json(m: &PlacementMeasurement) -> String {
             "  \"moves\": {},\n",
             "  \"inner_solves\": {},\n",
             "  \"optimizer_calls\": {},\n",
-            "  \"per_machine\": [\n{}\n  ]\n",
+            "  \"per_machine\": [\n{}\n  ],\n",
+            "{}",
             "}}\n"
         ),
         m.workloads,
@@ -236,14 +409,77 @@ pub fn to_json(m: &PlacementMeasurement) -> String {
         m.result.inner_solves,
         m.optimizer_calls,
         per_machine.join(",\n"),
+        heterogeneous_json(&bench.heterogeneous),
     )
 }
 
-/// Measure and write `BENCH_placement.json` to `path`.
-pub fn write_json(path: &str) -> std::io::Result<PlacementMeasurement> {
-    let m = measure();
-    std::fs::write(path, to_json(&m))?;
-    Ok(m)
+/// The nested `"heterogeneous"` JSON section. Every field except
+/// `wall_ms` is deterministic and gated by `check_bench`.
+fn heterogeneous_json(m: &HeterogeneousMeasurement) -> String {
+    let assignment: Vec<String> = m.result.assignment.iter().map(usize::to_string).collect();
+    let smallest: Vec<String> = m.smallest_assignment.iter().map(usize::to_string).collect();
+    // Both resource dimensions are gated: an asymmetric scale change
+    // (cpu ≠ memory) must fail the gate too.
+    let cpu_scales: Vec<String> = m
+        .specs
+        .iter()
+        .map(|s| format!("{:.3}", s.scale.cpu))
+        .collect();
+    let memory_scales: Vec<String> = m
+        .specs
+        .iter()
+        .map(|s| format!("{:.3}", s.scale.memory))
+        .collect();
+    format!(
+        concat!(
+            "  \"heterogeneous\": {{\n",
+            "    \"workloads\": {},\n",
+            "    \"machines\": {},\n",
+            "    \"big_machines\": {},\n",
+            "    \"small_machines\": {},\n",
+            "    \"machine_scales_cpu\": [{}],\n",
+            "    \"machine_scales_memory\": [{}],\n",
+            "    \"wall_ms\": {:.3},\n",
+            "    \"assignment\": [{}],\n",
+            "    \"total_weighted_cost\": {:.9},\n",
+            "    \"objective\": {:.9},\n",
+            "    \"smallest_assumption_assignment\": [{}],\n",
+            "    \"smallest_assumption_objective\": {:.9},\n",
+            "    \"improvement\": {:.6},\n",
+            "    \"moves\": {},\n",
+            "    \"inner_solves\": {},\n",
+            "    \"optimizer_calls\": {},\n",
+            "    \"beats_smallest_assumption\": {}\n",
+            "  }}\n",
+        ),
+        m.workloads,
+        m.specs.len(),
+        HET_BIG,
+        HET_SMALL,
+        cpu_scales.join(", "),
+        memory_scales.join(", "),
+        m.wall_ms,
+        assignment.join(", "),
+        m.result.total_weighted_cost,
+        m.result.objective,
+        smallest.join(", "),
+        m.smallest_objective,
+        m.improvement(),
+        m.result.moves.len(),
+        m.result.inner_solves,
+        m.optimizer_calls,
+        m.improvement() > 0.0,
+    )
+}
+
+/// Measure both scenarios and write `BENCH_placement.json` to `path`.
+pub fn write_json(path: &str) -> std::io::Result<PlacementBench> {
+    let bench = PlacementBench {
+        homogeneous: measure(),
+        heterogeneous: measure_heterogeneous(),
+    };
+    std::fs::write(path, to_json(&bench))?;
+    Ok(bench)
 }
 
 #[cfg(test)]
@@ -274,12 +510,51 @@ mod tests {
     }
 
     #[test]
+    fn heterogeneous_scenario_beats_smallest_machine_assumption() {
+        let m = measure_heterogeneous();
+        assert_eq!(m.workloads, 10);
+        assert_eq!(m.specs.len(), HET_BIG + HET_SMALL);
+        assert!(
+            m.result.objective < m.smallest_objective,
+            "aware {} must beat the smallest-machine assumption {}",
+            m.result.objective,
+            m.smallest_objective
+        );
+        assert!(m.improvement() > 0.0);
+        assert!(m.optimizer_calls > 0);
+        // Every machine stays within its own budget (shares of itself).
+        for machine in 0..m.specs.len() {
+            if let Some(r) = &m.result.per_machine[machine] {
+                let cpu: f64 = r.allocations.iter().map(|a| a.cpu).sum();
+                let mem: f64 = r.allocations.iter().map(|a| a.memory).sum();
+                assert!(cpu <= 1.0 + 1e-9);
+                assert!(mem <= 1.0 + 1e-9);
+            }
+        }
+        // The big machines (slots 2, 3) must host more of the fleet
+        // than the small ones.
+        let small_load = m.result.tenants_on(0).len() + m.result.tenants_on(1).len();
+        let big_load = m.result.tenants_on(2).len() + m.result.tenants_on(3).len();
+        assert!(
+            big_load >= small_load,
+            "big machines should carry at least as many tenants: {:?}",
+            m.result.assignment
+        );
+    }
+
+    #[test]
     fn json_shape_is_wellformed_enough() {
-        let m = measure();
-        let json = to_json(&m);
+        let bench = PlacementBench {
+            homogeneous: measure(),
+            heterogeneous: measure_heterogeneous(),
+        };
+        let json = to_json(&bench);
         assert!(json.contains("\"experiment\": \"placement\""));
         assert!(json.contains("\"assignment\""));
         assert!(json.contains("\"per_machine\""));
+        assert!(json.contains("\"heterogeneous\""));
+        assert!(json.contains("\"smallest_assumption_objective\""));
+        assert!(json.contains("\"beats_smallest_assumption\": true"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
     }

@@ -7,12 +7,14 @@
 //! simulated executor, and the actual-cost optimum for
 //! advisor-vs-optimal comparisons (§7.6–7.7).
 //!
-//! Every search runs through the [`CostModel`] interface:
-//! [`Self::recommend`]/[`Self::recommend_exhaustive`] build one
+//! Every search runs through the
+//! [`CostModel`](crate::costmodel::CostModel) interface:
+//! [`VirtualizationDesignAdvisor::recommend`] /
+//! [`VirtualizationDesignAdvisor::recommend_exhaustive`] build one
 //! [`WhatIfEstimator`] per tenant (all sharing the advisor's
 //! per-tenant [`SharedEstimateCache`]s, so repeated searches reuse
-//! optimizer work), and [`Self::optimal_actual`] builds
-//! [`ActualCostModel`] executor oracles.
+//! optimizer work), and [`VirtualizationDesignAdvisor::optimal_actual`]
+//! builds [`ActualCostModel`] executor oracles.
 //!
 //! Calibrated models are stored **per engine kind**, exactly like the
 //! paper's one-time per-DBMS-per-machine calibration. Tenant ↔ model
@@ -42,6 +44,60 @@ pub struct Recommendation {
     pub optimizer_calls: u64,
     /// Estimate-cache hits recorded while producing it.
     pub cache_hits: u64,
+}
+
+/// What happened to a tenant's calibrated model and estimate cache
+/// during [`VirtualizationDesignAdvisor::transfer_tenant`] — the
+/// fleet layer's calibration-management policy, made explicit so a
+/// migration can never *silently* reuse a model fit on different
+/// hardware.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TransferCalibration {
+    /// Machines physically identical and the destination lacked the
+    /// engine kind: the source's calibrated model was copied over and
+    /// the estimate cache traveled (calibration is per-DBMS
+    /// **per-machine**, §4.3 — identical hardware needs no refit).
+    Traveled,
+    /// The destination already held the *identical* calibration:
+    /// nothing to copy, and the estimate cache stayed valid and
+    /// traveled.
+    ReusedIdentical,
+    /// The destination was already calibrated for the kind but
+    /// *differently* (different hardware or calibration run): the
+    /// tenant adopts the destination's model and starts with a cold
+    /// estimate cache.
+    AdoptedDestination,
+    /// The machines are not physically identical and the destination
+    /// has no calibration for the kind: the calibrated model did NOT
+    /// travel. The tenant is demoted to a what-if prior — the
+    /// destination must calibrate (see
+    /// [`VirtualizationDesignAdvisor::ensure_calibrated`]) and the
+    /// refined model is rebuilt lazily by the usual refinement rounds.
+    /// The estimate cache was dropped as stale.
+    Demoted,
+    /// The source itself had no calibration for the kind; the (empty
+    /// or estimate-only) cache traveled untouched.
+    SourceUncalibrated,
+}
+
+impl TransferCalibration {
+    /// Whether the destination can serve estimates for this tenant
+    /// without running its own calibration first.
+    pub fn destination_ready(self) -> bool {
+        !matches!(
+            self,
+            TransferCalibration::Demoted | TransferCalibration::SourceUncalibrated
+        )
+    }
+}
+
+/// Outcome of [`VirtualizationDesignAdvisor::transfer_tenant`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TenantTransfer {
+    /// The tenant's index on the destination advisor.
+    pub index: usize,
+    /// What happened to the calibrated model and estimate cache.
+    pub calibration: TransferCalibration,
 }
 
 /// The advisor: a set of consolidated tenants on one physical machine.
@@ -132,18 +188,27 @@ impl VirtualizationDesignAdvisor {
     }
 
     /// Move tenant `i` — workload, QoS, and estimate cache — onto
-    /// another machine's advisor, returning its index there. The
-    /// fleet layer's migration primitive.
+    /// another machine's advisor. The fleet layer's migration
+    /// primitive. Returns the tenant's destination index plus the
+    /// calibration-management verdict ([`TransferCalibration`]).
     ///
-    /// Per-engine calibrated models travel with the tenant: when the
-    /// destination machine has no calibration for the tenant's engine
-    /// kind and the machines are physically identical (calibration is
-    /// per-DBMS-**per-machine**, §4.3), the source's model is copied
-    /// over, so a migration never forces a recalibration the paper
-    /// says is unnecessary. Cached estimates move along unless the
-    /// destination's calibration differs, in which case they would be
-    /// stale and the tenant starts with a cold cache instead.
-    pub fn transfer_tenant(&mut self, i: usize, dest: &mut VirtualizationDesignAdvisor) -> usize {
+    /// Calibration management: a calibrated model travels with the
+    /// tenant **only to a physically identical machine** (calibration
+    /// is per-DBMS-**per-machine**, §4.3 — identical hardware needs no
+    /// refit, so a migration never forces a recalibration the paper
+    /// says is unnecessary). Across *non-identical* machines the model
+    /// is demoted to a what-if prior: the destination must calibrate
+    /// for itself ([`Self::ensure_calibrated`], or a fleet manager
+    /// installing a per-class model via [`Self::install_calibration`])
+    /// and the refined model is rebuilt lazily by the usual refinement
+    /// rounds. Cached estimates move along only while they remain
+    /// valid — i.e. the destination prices them with the very same
+    /// calibration — and are dropped as stale otherwise.
+    pub fn transfer_tenant(
+        &mut self,
+        i: usize,
+        dest: &mut VirtualizationDesignAdvisor,
+    ) -> TenantTransfer {
         let tenant = self.tenants.remove(i);
         let qos = self.qos.remove(i);
         let cache = self.caches.remove(i);
@@ -155,26 +220,32 @@ impl VirtualizationDesignAdvisor {
             .map(|(_, m)| m.clone());
         let dest_model = dest.models.iter().find(|(k, _)| *k == kind);
         let same_machine = self.hv.machine() == dest.hv.machine();
-        let cache = match (&source_model, dest_model) {
+        let (cache, calibration) = match (&source_model, dest_model) {
             // Destination already calibrated: estimates stay valid only
             // if they were produced by the very same calibration.
-            (Some(m), Some((_, dm))) if dm == m => cache,
-            (_, Some(_)) => SharedEstimateCache::new(),
+            (Some(m), Some((_, dm))) if dm == m => (cache, TransferCalibration::ReusedIdentical),
+            (_, Some(_)) => (
+                SharedEstimateCache::new(),
+                TransferCalibration::AdoptedDestination,
+            ),
             // Model travels with the tenant across identical machines.
             (Some(m), None) if same_machine => {
                 dest.models.push((kind, m.clone()));
-                cache
+                (cache, TransferCalibration::Traveled)
             }
-            // Different physical machine (or uncalibrated source): the
-            // destination must calibrate itself; cached estimates from
-            // the old machine would be wrong there.
-            (Some(_), None) => SharedEstimateCache::new(),
-            (None, None) => cache,
+            // Different physical machine: the model must NOT travel —
+            // the destination calibrates for itself, and cached
+            // estimates from the old machine would be wrong there.
+            (Some(_), None) => (SharedEstimateCache::new(), TransferCalibration::Demoted),
+            (None, None) => (cache, TransferCalibration::SourceUncalibrated),
         };
         dest.tenants.push(tenant);
         dest.qos.push(qos);
         dest.caches.push(cache);
-        dest.tenants.len() - 1
+        TenantTransfer {
+            index: dest.tenants.len() - 1,
+            calibration,
+        }
     }
 
     /// Per-tenant QoS settings.
@@ -204,6 +275,69 @@ impl VirtualizationDesignAdvisor {
         for cache in &mut self.caches {
             *cache = SharedEstimateCache::new();
         }
+    }
+
+    /// Calibrate only the engine kinds that are still missing a model
+    /// (e.g. after a cross-hardware [`Self::transfer_tenant`] demoted
+    /// a tenant's calibration). Existing calibrations — and the
+    /// estimate caches they back — are left untouched, unlike
+    /// [`Self::calibrate`], which refits everything and cold-starts
+    /// every cache.
+    pub fn ensure_calibrated(&mut self) {
+        let calibrator = Calibrator::with_config(&self.hv, self.calibration_config.clone());
+        let mut fresh: Vec<EngineKind> = Vec::new();
+        for t in &self.tenants {
+            let kind = t.engine.kind();
+            if !self.models.iter().any(|(k, _)| *k == kind) {
+                let model = calibrator.calibrate(&t.engine);
+                self.models.push((kind, model));
+                fresh.push(kind);
+            }
+        }
+        // Tenants of a freshly calibrated kind must not serve
+        // estimates produced under no/other calibration.
+        for (t, cache) in self.tenants.iter().zip(&mut self.caches) {
+            if fresh.contains(&t.engine.kind()) {
+                *cache = SharedEstimateCache::new();
+            }
+        }
+    }
+
+    /// Install a calibrated model for `kind` (replacing any existing
+    /// one) and cold-start the estimate caches of that kind's tenants.
+    /// The fleet manager uses this to share one per-machine-class
+    /// calibration across machines of identical hardware instead of
+    /// refitting on every migration.
+    pub fn install_calibration(&mut self, kind: EngineKind, model: CalibratedModel) {
+        match self.models.iter_mut().find(|(k, _)| *k == kind) {
+            Some((_, m)) => {
+                if *m == model {
+                    return; // identical calibration: caches stay warm
+                }
+                *m = model;
+            }
+            None => self.models.push((kind, model)),
+        }
+        for (t, cache) in self.tenants.iter().zip(&mut self.caches) {
+            if t.engine.kind() == kind {
+                *cache = SharedEstimateCache::new();
+            }
+        }
+    }
+
+    /// The calibrated model for an engine kind, if any.
+    pub fn calibration(&self, kind: EngineKind) -> Option<&CalibratedModel> {
+        self.models.iter().find(|(k, _)| *k == kind).map(|(_, m)| m)
+    }
+
+    /// All (engine kind, calibrated model) pairs this machine holds.
+    pub fn calibrations(&self) -> &[(EngineKind, CalibratedModel)] {
+        &self.models
+    }
+
+    /// The calibration settings this advisor calibrates with.
+    pub fn calibration_config(&self) -> &CalibrationConfig {
+        &self.calibration_config
     }
 
     /// Whether every registered tenant's engine kind has a calibrated
@@ -577,35 +711,128 @@ mod tests {
         let warm = src.estimator(0).cost(a); // warms the shared cache
         let mut dst =
             VirtualizationDesignAdvisor::new(Hypervisor::new(PhysicalMachine::paper_testbed()));
-        let j = src.transfer_tenant(0, &mut dst);
+        let t = src.transfer_tenant(0, &mut dst);
         assert_eq!(src.tenant_count(), 1);
         assert_eq!(dst.tenant_count(), 1);
         // Calibrated model traveled: no recalibration needed.
+        assert_eq!(t.calibration, TransferCalibration::Traveled);
+        assert!(t.calibration.destination_ready());
         assert!(dst.is_calibrated(), "model must travel with the tenant");
         // Cached estimates traveled too: same answer, zero new
         // optimizer calls.
-        let est = dst.estimator(j);
+        let est = dst.estimator(t.index);
         assert_eq!(est.cost(a), warm);
         assert_eq!(est.optimizer_calls(), 0);
         assert!(est.cache_hits() > 0);
     }
 
     #[test]
-    fn transfer_tenant_to_different_machine_forces_recalibration() {
+    fn transfer_tenant_to_different_machine_demotes_calibration() {
         let mut src = advisor_two_dss();
         let a = Allocation::new(0.5, 0.5);
         let _ = src.estimator(0).cost(a);
         let mut spec = PhysicalMachine::paper_testbed();
         spec.core_ghz *= 2.0;
         let mut dst = VirtualizationDesignAdvisor::new(Hypervisor::new(spec));
-        let j = src.transfer_tenant(0, &mut dst);
+        let t = src.transfer_tenant(0, &mut dst);
         // Calibration is per-machine: the source's model must not be
         // trusted on different hardware.
+        assert_eq!(t.calibration, TransferCalibration::Demoted);
+        assert!(!t.calibration.destination_ready());
         assert!(!dst.is_calibrated());
-        dst.calibrate();
-        let est = dst.estimator(j);
+        dst.ensure_calibrated();
+        assert!(dst.is_calibrated());
+        let est = dst.estimator(t.index);
         let _ = est.cost(a);
         assert!(est.optimizer_calls() > 0, "stale cache must not be served");
+    }
+
+    #[test]
+    fn transfer_across_hardware_recalibrates_to_destination_oracle() {
+        // The full calibration-management contract of a cross-hardware
+        // migration: the source model must NOT travel, the estimate
+        // cache must be dropped, and — after the destination
+        // calibrates — the usual refinement rounds must converge the
+        // tenant's model to the *destination's* actual-cost oracle,
+        // not the source's.
+        let mut src = advisor_two_dss();
+        let a = Allocation::new(0.5, 0.5);
+        let src_model = src.model(0).clone();
+        let _ = src.estimator(0).cost(a); // warm the cache that must be dropped
+        let mut spec = PhysicalMachine::paper_testbed();
+        spec.core_ghz *= 2.0;
+        spec.memory_mb *= 2.0;
+        let mut dst = VirtualizationDesignAdvisor::new(Hypervisor::new(spec));
+        let t = src.transfer_tenant(0, &mut dst);
+        assert_eq!(t.calibration, TransferCalibration::Demoted);
+        // Cache dropped: nothing is served without optimizer work.
+        dst.ensure_calibrated();
+        assert_ne!(
+            dst.model(t.index),
+            &src_model,
+            "destination must fit its own calibration, not reuse the source's"
+        );
+        let est = dst.estimator(t.index);
+        let _ = est.cost(a);
+        assert!(est.optimizer_calls() > 0, "stale cache must not be served");
+        // Refinement on the destination converges toward the
+        // destination's ground truth within the usual rounds.
+        let space = SearchSpace::cpu_only(0.5);
+        let rec = dst.recommend(&space);
+        let (_, models) =
+            dst.refine_recommendation(&space, &rec.result.allocations, &RefineOptions::default());
+        let check = rec.result.allocations[t.index];
+        let actual = dst.actual_cost(t.index, check);
+        let refined = models[t.index].predict(check);
+        let rel_err = (refined - actual).abs() / actual.max(1e-12);
+        assert!(
+            rel_err < 0.05,
+            "refined model must track the destination oracle: rel err {rel_err}"
+        );
+    }
+
+    #[test]
+    fn transfer_to_identically_calibrated_machine_reuses_calibration() {
+        let mut src = advisor_two_dss();
+        let mut dst = advisor_two_dss(); // same hardware, same calibration
+        let a = Allocation::new(0.5, 0.5);
+        let warm = src.estimator(0).cost(a);
+        let t = src.transfer_tenant(0, &mut dst);
+        assert_eq!(t.calibration, TransferCalibration::ReusedIdentical);
+        // The warm cache traveled and stays valid under the identical
+        // calibration.
+        let est = dst.estimator(t.index);
+        assert_eq!(est.cost(a), warm);
+        assert_eq!(est.optimizer_calls(), 0);
+    }
+
+    #[test]
+    fn install_calibration_replaces_and_cold_starts() {
+        let mut adv = advisor_two_dss();
+        let a = Allocation::new(0.5, 0.5);
+        let _ = adv.estimator(0).cost(a);
+        let kind = adv.tenant(0).engine.kind();
+        let same = adv.model(0).clone();
+        // Identical model: caches stay warm.
+        adv.install_calibration(kind, same);
+        let est = adv.estimator(0);
+        let _ = est.cost(a);
+        assert_eq!(
+            est.optimizer_calls(),
+            0,
+            "identical install must keep caches"
+        );
+        // A genuinely different calibration cold-starts the caches.
+        let mut spec = PhysicalMachine::paper_testbed();
+        spec.core_ghz *= 2.0;
+        let other_hv = Hypervisor::new(spec);
+        let other = Calibrator::with_config(&other_hv, adv.calibration_config().clone())
+            .calibrate(&adv.tenant(0).engine.clone());
+        adv.install_calibration(kind, other.clone());
+        assert_eq!(adv.calibration(kind), Some(&other));
+        let est = adv.estimator(0);
+        let _ = est.cost(a);
+        assert!(est.optimizer_calls() > 0, "stale cache must be dropped");
     }
 
     #[test]

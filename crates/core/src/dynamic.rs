@@ -19,10 +19,16 @@
 //! the refinement scaling instead.
 
 use crate::advisor::VirtualizationDesignAdvisor;
-use crate::placement::{assignment_objective, machine_capacity, AssignmentPricer, FleetOptions};
+use crate::costmodel::calibration::{CalibratedModel, Calibrator};
+use crate::costmodel::whatif::{SharedEstimateCache, WhatIfEstimator};
+use crate::enumerate::MachineClass;
+use crate::placement::{machine_capacity, AssignmentPricer, FleetOptions};
 use crate::problem::{Allocation, QoS, SearchSpace};
 use crate::refine::{refine, RefineOptions, RefinedModel};
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use vda_simdb::engines::EngineKind;
 
 /// How the manager reacts to each period.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -309,6 +315,12 @@ pub struct Migration {
     pub to: usize,
     /// Relative fleet-objective improvement the estimators promised.
     pub estimated_gain: f64,
+    /// Whether the move crossed hardware classes, demoting the
+    /// tenant's calibrated model to a what-if prior and installing the
+    /// destination class's calibration (`false` when the model
+    /// traveled or the destination was already calibrated — see
+    /// [`crate::advisor::TransferCalibration`]).
+    pub recalibrated: bool,
 }
 
 /// What happened across the fleet in one monitoring period.
@@ -334,36 +346,87 @@ pub struct FleetPeriodReport {
 /// travel along, see
 /// [`VirtualizationDesignAdvisor::transfer_tenant`]) and the affected
 /// machines' managers restart from fresh optimizer estimates.
+///
+/// Machines may be **heterogeneous** ([`Self::new_heterogeneous`]):
+/// different hardware and/or different per-machine search spaces. The
+/// manager then keys all pricing and memoization by hardware class and
+/// tracks one calibrated model per (hardware class, engine kind) —
+/// candidate migrations are priced with the *destination* class's
+/// calibration (fit on demand, then reused fleet-wide), and an
+/// executed cross-class migration installs that calibration on the
+/// destination before its manager restarts, so a model fit on one
+/// hardware class is never silently reused on another.
 pub struct FleetManager {
     machines: Vec<VirtualizationDesignAdvisor>,
     managers: Vec<Option<DynamicConfigManager>>,
-    space: SearchSpace,
+    spaces: Vec<SearchSpace>,
     options: FleetDynamicOptions,
     period: usize,
+    /// One calibration per (hardware class, engine kind), shared by
+    /// every machine of that class. Interior mutability: pricing a
+    /// candidate migration may have to fit a missing class model.
+    class_models: RefCell<HashMap<(u64, EngineKind), CalibratedModel>>,
+    /// Estimate caches for cross-machine candidate pricing, keyed by
+    /// (hardware class, tenant fingerprint) — persistent across
+    /// periods so re-pricing the same candidate does not repay its
+    /// optimizer calls. (Home-machine pricing uses the advisors' own
+    /// warm caches; these only back what-if estimators built with
+    /// *other* classes' calibrations. The cache's internal generation
+    /// check invalidates entries when a tenant's workload changes.)
+    pricing_caches: RefCell<HashMap<(u64, u64), SharedEstimateCache>>,
 }
 
 impl FleetManager {
-    /// Start managing a fleet of (identical) machines. Machines with
-    /// tenants must already be calibrated.
+    /// Start managing a fleet of identical machines (one search space
+    /// serves all of them). Machines with tenants must already be
+    /// calibrated.
     pub fn new(
         machines: Vec<VirtualizationDesignAdvisor>,
         space: SearchSpace,
         options: FleetDynamicOptions,
     ) -> Self {
+        let spaces = vec![space; machines.len()];
+        Self::new_heterogeneous(machines, spaces, options)
+    }
+
+    /// Start managing a heterogeneous fleet: `spaces[m]` is machine
+    /// `m`'s search space, and the machines' hypervisors may describe
+    /// different hardware. Machines with tenants must already be
+    /// calibrated (their calibrations seed the per-class registry).
+    pub fn new_heterogeneous(
+        machines: Vec<VirtualizationDesignAdvisor>,
+        spaces: Vec<SearchSpace>,
+        options: FleetDynamicOptions,
+    ) -> Self {
         assert!(!machines.is_empty(), "at least one machine");
+        assert_eq!(machines.len(), spaces.len(), "one search space per machine");
         let managers = machines
             .iter()
-            .map(|adv| {
+            .zip(&spaces)
+            .map(|(adv, space)| {
                 (adv.tenant_count() > 0)
-                    .then(|| DynamicConfigManager::new(adv, space, options.dynamic.clone()))
+                    .then(|| DynamicConfigManager::new(adv, *space, options.dynamic.clone()))
             })
             .collect();
+        // Seed the per-(hardware class, engine kind) registry from
+        // the machines' existing calibrations.
+        let mut class_models = HashMap::new();
+        for adv in &machines {
+            let hw = adv.hypervisor().machine().fingerprint();
+            for (kind, model) in adv.calibrations() {
+                class_models
+                    .entry((hw, *kind))
+                    .or_insert_with(|| model.clone());
+            }
+        }
         FleetManager {
             machines,
             managers,
-            space,
+            spaces,
             options,
             period: 0,
+            class_models: RefCell::new(class_models),
+            pricing_caches: RefCell::new(HashMap::new()),
         }
     }
 
@@ -383,22 +446,168 @@ impl FleetManager {
         &mut self.machines[m]
     }
 
+    /// Machine `m`'s search space.
+    pub fn space(&self, m: usize) -> &SearchSpace {
+        &self.spaces[m]
+    }
+
     /// Allocations currently in force on machine `m` (`None` when the
     /// machine hosts no tenants).
     pub fn allocations(&self, m: usize) -> Option<&[Allocation]> {
         self.managers[m].as_ref().map(|mgr| mgr.allocations())
     }
 
+    /// Machine `m`'s hardware fingerprint (see
+    /// [`vda_vmm::PhysicalMachine::fingerprint`]).
+    fn hardware_class(&self, m: usize) -> u64 {
+        self.machines[m].hypervisor().machine().fingerprint()
+    }
+
+    /// Machine `m`'s pricing class: search space + hardware. Keys the
+    /// placement layer's subset memoization, so two machines share
+    /// inner solves iff both their grids and their hardware match.
+    fn pricing_class(&self, m: usize) -> MachineClass {
+        MachineClass::of(&self.spaces[m]).salted(self.hardware_class(m))
+    }
+
+    /// Whether every machine shares one hardware class and one search
+    /// space (the homogeneous fast path: tenants are priced everywhere
+    /// with their home estimators and warm caches).
+    fn is_uniform(&self) -> bool {
+        (1..self.machines.len()).all(|m| self.pricing_class(m) == self.pricing_class(0))
+    }
+
     /// Estimated fleet objective of the current placement, priced like
-    /// [`place_tenants`](crate::placement::place_tenants).
+    /// [`place_tenants`](crate::placement::place_tenants) — on a
+    /// heterogeneous fleet every tenant is priced with its *host*
+    /// machine's class calibration.
     pub fn estimated_objective(&self) -> f64 {
-        let (qos, assignment) = self.flatten();
-        let estimators: Vec<_> = self
+        let (_, assignment) = self.flatten();
+        self.price_assignments(std::slice::from_ref(&assignment))[0]
+    }
+
+    /// The calibrated model for (hardware class of machine `m`,
+    /// `kind`), fitting and registering it on demand with machine
+    /// `m`'s hypervisor. `engine_of` locates a tenant running that
+    /// engine (calibration needs the engine definition).
+    fn ensure_class_model(&self, m: usize, kind: EngineKind, source: (usize, usize)) {
+        let hw = self.hardware_class(m);
+        if self.class_models.borrow().contains_key(&(hw, kind)) {
+            return;
+        }
+        let (sm, slot) = source;
+        let adv = &self.machines[m];
+        let engine = self.machines[sm].tenant(slot).engine.clone();
+        let model = Calibrator::with_config(adv.hypervisor(), adv.calibration_config().clone())
+            .calibrate(&engine);
+        self.class_models.borrow_mut().insert((hw, kind), model);
+    }
+
+    /// Price a batch of candidate assignments with one shared
+    /// class-keyed memo cache. On a uniform fleet tenants keep their
+    /// home estimators (warm caches, old behavior); on a heterogeneous
+    /// fleet tenant `i` on machine `m` is priced by a what-if
+    /// estimator backed by machine `m`'s class calibration for `i`'s
+    /// engine kind, so cross-class candidates are never priced with a
+    /// model fit on different hardware.
+    fn price_assignments(&self, assignments: &[Vec<usize>]) -> Vec<f64> {
+        let (qos, _) = self.flatten();
+        let pricing = self.pricing();
+        let k = self.machines.len();
+        if self.is_uniform() {
+            let estimators: Vec<_> = self
+                .machines
+                .iter()
+                .flat_map(|adv| (0..adv.tenant_count()).map(move |i| adv.estimator(i)))
+                .collect();
+            let pricer = AssignmentPricer::new(&self.spaces[0], &qos, &estimators, &pricing);
+            return assignments.iter().map(|a| pricer.objective(a)).collect();
+        }
+        // Global tenant list as (machine, slot) pairs.
+        let tenants: Vec<(usize, usize)> = self
             .machines
             .iter()
-            .flat_map(|adv| (0..adv.tenant_count()).map(move |i| adv.estimator(i)))
+            .enumerate()
+            .flat_map(|(m, adv)| (0..adv.tenant_count()).map(move |s| (m, s)))
             .collect();
-        assignment_objective(&self.space, &qos, &estimators, &assignment, &self.pricing())
+        // Fit missing class calibrations only for the (machine,
+        // tenant) pairings the batch actually prices off-home —
+        // calibration is the most expensive operation in the system,
+        // so pricing the base assignment (everyone at home) must fit
+        // nothing. Then hold one immutable borrow of the registry for
+        // the whole pricing.
+        let mut off_home: Vec<Vec<bool>> = vec![vec![false; tenants.len()]; k];
+        for assignment in assignments {
+            for (g, &m) in assignment.iter().enumerate() {
+                if tenants[g].0 != m {
+                    off_home[m][g] = true;
+                }
+            }
+        }
+        for (m, row) in off_home.iter().enumerate() {
+            for (g, &needed) in row.iter().enumerate() {
+                if needed {
+                    let (tm, ts) = tenants[g];
+                    let kind = self.machines[tm].tenant(ts).engine.kind();
+                    self.ensure_class_model(m, kind, (tm, ts));
+                }
+            }
+        }
+        // Drop pricing-cache entries whose tenant fingerprint is no
+        // longer live (a workload change mints a new fingerprint and
+        // would otherwise orphan the old entry forever) — bounds the
+        // map at #hardware-classes × #tenants.
+        {
+            let live: std::collections::HashSet<u64> = tenants
+                .iter()
+                .map(|&(tm, ts)| self.machines[tm].tenant(ts).fingerprint())
+                .collect();
+            self.pricing_caches
+                .borrow_mut()
+                .retain(|(_, fp), _| live.contains(fp));
+        }
+        let registry = self.class_models.borrow();
+        let rows: Vec<Vec<WhatIfEstimator<'_>>> = (0..k)
+            .map(|m| {
+                let hw = self.hardware_class(m);
+                tenants
+                    .iter()
+                    .enumerate()
+                    .map(|(g, &(tm, ts))| {
+                        let tenant = self.machines[tm].tenant(ts);
+                        let kind = tenant.engine.kind();
+                        if tm == m {
+                            // Home machine: warm shared cache.
+                            return self.machines[tm].estimator(ts);
+                        }
+                        match registry.get(&(hw, kind)) {
+                            Some(model) => {
+                                let cache = self
+                                    .pricing_caches
+                                    .borrow_mut()
+                                    .entry((hw, tenant.fingerprint()))
+                                    .or_default()
+                                    .clone();
+                                WhatIfEstimator::with_shared_cache(tenant, model, cache)
+                            }
+                            // No assignment in the batch prices this
+                            // tenant on this machine; the solver never
+                            // consults the cell, so a placeholder
+                            // (home) estimator avoids a pointless
+                            // calibrator fit.
+                            None => {
+                                debug_assert!(!off_home[m][g], "needed cell must have a model");
+                                self.machines[tm].estimator(ts)
+                            }
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let classes: Vec<MachineClass> = (0..k).map(|m| self.pricing_class(m)).collect();
+        let pricer =
+            AssignmentPricer::per_machine(self.spaces.clone(), classes, &qos, rows, &pricing);
+        assignments.iter().map(|a| pricer.objective(a)).collect()
     }
 
     fn pricing(&self) -> FleetOptions {
@@ -449,10 +658,28 @@ impl FleetManager {
         }
 
         let mut migrations = Vec::new();
-        if let Some((migration, slot)) = self.best_migration(&candidates) {
+        if let Some((mut migration, slot)) = self.best_migration(&candidates) {
             let Migration { from, to, .. } = migration;
             let (src, dst) = two_mut(&mut self.machines, from, to);
-            src.transfer_tenant(slot, dst);
+            let transfer = src.transfer_tenant(slot, dst);
+            if !transfer.calibration.destination_ready() {
+                // The destination cannot serve estimates for the
+                // tenant yet (cross-hardware demotion, or a source
+                // that was never calibrated): install the destination
+                // class's calibration (fit during pricing, or now) so
+                // the rebuilt manager starts from valid optimizer
+                // estimates; refinement rounds rebuild the refined
+                // model from there.
+                let kind = self.machines[to].tenant(transfer.index).engine.kind();
+                self.ensure_class_model(to, kind, (to, transfer.index));
+                let model = self.class_models.borrow()[&(self.hardware_class(to), kind)].clone();
+                self.machines[to].install_calibration(kind, model);
+            }
+            // The flag records exactly a cross-hardware-class
+            // demotion — a never-calibrated source getting its first
+            // calibration on an identical machine is not one.
+            migration.recalibrated =
+                transfer.calibration == crate::advisor::TransferCalibration::Demoted;
             // The affected machines' tenant sets changed: restart
             // their managers from fresh optimizer estimates (the same
             // conservative rebuild §6 prescribes after major changes).
@@ -460,7 +687,7 @@ impl FleetManager {
                 self.managers[m] = (self.machines[m].tenant_count() > 0).then(|| {
                     DynamicConfigManager::new(
                         &self.machines[m],
-                        self.space,
+                        self.spaces[m],
                         self.options.dynamic.clone(),
                     )
                 });
@@ -480,26 +707,17 @@ impl FleetManager {
     /// the tenant's *slot* on the source machine (tenant names are
     /// display labels, not identities — slots are what
     /// [`VirtualizationDesignAdvisor::transfer_tenant`] consumes).
+    ///
+    /// The base assignment and every candidate are priced in one
+    /// batch sharing a class-keyed memo cache: candidates differ from
+    /// the base on two machines only, so only the changed subsets are
+    /// re-solved — and each candidate is priced with its *destination*
+    /// machine's space and class calibration.
     fn best_migration(&self, candidates: &[(usize, usize)]) -> Option<(Migration, usize)> {
         if candidates.is_empty() {
             return None;
         }
-        let (qos, assignment) = self.flatten();
-        let estimators: Vec<_> = self
-            .machines
-            .iter()
-            .flat_map(|adv| (0..adv.tenant_count()).map(move |i| adv.estimator(i)))
-            .collect();
-        let pricing = self.pricing();
-        let capacity = machine_capacity(&self.space);
-        // One pricer across the base assignment and every candidate:
-        // candidates differ from the base on two machines only, so the
-        // shared memoization re-solves just the changed subsets.
-        let pricer = AssignmentPricer::new(&self.space, &qos, &estimators, &pricing);
-        let base = pricer.objective(&assignment);
-        if !base.is_finite() {
-            return None;
-        }
+        let (_, assignment) = self.flatten();
         // Global index of (machine, slot).
         let offset: Vec<usize> = self
             .machines
@@ -510,33 +728,48 @@ impl FleetManager {
                 Some(o)
             })
             .collect();
-        let mut best: Option<(Migration, usize, f64)> = None;
+        // Enumerate capacity-respecting candidate assignments.
+        let mut moves: Vec<(usize, usize, usize)> = Vec::new(); // (machine, slot, to)
         for &(m, slot) in candidates {
-            let g = offset[m] + slot;
             for to in 0..self.machines.len() {
-                if to == m || self.machines[to].tenant_count() >= capacity {
-                    continue;
-                }
-                let mut cand = assignment.clone();
-                cand[g] = to;
-                let obj = pricer.objective(&cand);
-                let Some(gain) = migration_gain(base, obj) else {
-                    continue;
-                };
-                if gain > self.options.migration_threshold
-                    && best.as_ref().is_none_or(|(_, _, b)| gain > *b)
+                if to == m || self.machines[to].tenant_count() >= machine_capacity(&self.spaces[to])
                 {
-                    best = Some((
-                        Migration {
-                            tenant: self.machines[m].tenant(slot).name.clone(),
-                            from: m,
-                            to,
-                            estimated_gain: gain,
-                        },
-                        slot,
-                        gain,
-                    ));
+                    continue;
                 }
+                moves.push((m, slot, to));
+            }
+        }
+        let mut batch: Vec<Vec<usize>> = Vec::with_capacity(moves.len() + 1);
+        batch.push(assignment.clone());
+        for &(m, slot, to) in &moves {
+            let mut cand = assignment.clone();
+            cand[offset[m] + slot] = to;
+            batch.push(cand);
+        }
+        let objectives = self.price_assignments(&batch);
+        let base = objectives[0];
+        if !base.is_finite() {
+            return None;
+        }
+        let mut best: Option<(Migration, usize, f64)> = None;
+        for (&(m, slot, to), &obj) in moves.iter().zip(&objectives[1..]) {
+            let Some(gain) = migration_gain(base, obj) else {
+                continue;
+            };
+            if gain > self.options.migration_threshold
+                && best.as_ref().is_none_or(|(_, _, b)| gain > *b)
+            {
+                best = Some((
+                    Migration {
+                        tenant: self.machines[m].tenant(slot).name.clone(),
+                        from: m,
+                        to,
+                        estimated_gain: gain,
+                        recalibrated: false,
+                    },
+                    slot,
+                    gain,
+                ));
             }
         }
         best.map(|(mig, slot, _)| (mig, slot))
@@ -851,6 +1084,117 @@ mod tests {
             (exact - c2f).abs() <= 1e-6 * exact.abs().max(1.0),
             "c2f {c2f} vs exhaustive {exact}"
         );
+    }
+
+    /// A machine on explicit hardware hosting `(name, engine, tpch
+    /// query, multiplicity)` tenants, calibrated.
+    fn machine_on(
+        spec: PhysicalMachine,
+        specs: &[(&str, Engine, usize, f64)],
+    ) -> VirtualizationDesignAdvisor {
+        let hv = Hypervisor::new(spec);
+        let mut adv = VirtualizationDesignAdvisor::new(hv);
+        let cat = tpch::catalog(1.0);
+        for (name, engine, q, mult) in specs {
+            adv.add_tenant(
+                Tenant::new(
+                    *name,
+                    engine.clone(),
+                    cat.clone(),
+                    tpch::query_workload(*q, *mult),
+                )
+                .unwrap(),
+                QoS::default(),
+            );
+        }
+        adv.calibrate();
+        adv
+    }
+
+    #[test]
+    fn heterogeneous_migration_recalibrates_on_the_destination() {
+        // Machine 0 (paper testbed) hosts two pg tenants; machine 1 is
+        // different hardware hosting only a db2 tenant — so when a pg
+        // tenant migrates there, the destination has NO pg calibration
+        // and the hardware differs: the model must be demoted, the
+        // fleet manager must install the destination class's
+        // calibration, and the migration must be flagged
+        // `recalibrated`.
+        let mut fast = PhysicalMachine::paper_testbed();
+        fast.core_ghz *= 2.0;
+        let machines = vec![
+            machine(&[("a", 6, 1.0), ("b", 18, 4.0)]),
+            machine_on(fast, &[("c", Engine::db2(), 6, 1.0)]),
+        ];
+        let mut fleet = FleetManager::new_heterogeneous(
+            machines,
+            vec![SearchSpace::cpu_only(0.5); 2],
+            FleetDynamicOptions {
+                migration_threshold: 0.01,
+                ..FleetDynamicOptions::default()
+            },
+        );
+        fleet.process_period(); // settle
+        fleet
+            .machine_mut(0)
+            .tenant_mut(0)
+            .set_workload(tpch::query_workload(18, 4.0))
+            .unwrap();
+        let report = fleet.process_period();
+        assert_eq!(report.migrations.len(), 1, "{:?}", report.migrations);
+        let mig = &report.migrations[0];
+        assert_eq!((mig.from, mig.to), (0, 1));
+        assert!(
+            mig.recalibrated,
+            "cross-hardware migration must recalibrate: {mig:?}"
+        );
+        // The destination now serves pg estimates from its OWN
+        // hardware class's calibration — not the source's.
+        assert!(fleet.machine(1).is_calibrated());
+        let pg_kind = fleet.machine(0).tenant(0).engine.kind();
+        assert_ne!(
+            fleet.machine(1).calibration(pg_kind),
+            fleet.machine(0).calibration(pg_kind),
+            "destination must not reuse a model fit on different hardware"
+        );
+        // Both managers restarted and keep producing feasible
+        // allocations.
+        let next = fleet.process_period();
+        for report in next.reports.iter().flatten() {
+            let total: f64 = report.allocations.iter().map(|a| a.cpu).sum();
+            assert!(total <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn same_hardware_migration_still_travels() {
+        // Heterogeneous constructor, but both machines are physically
+        // identical: the calibrated model must keep traveling with the
+        // tenant (no recalibration — §4.3 says identical hardware
+        // needs none).
+        let machines = vec![
+            machine(&[("a", 6, 1.0), ("b", 18, 4.0)]),
+            machine(&[("c", 6, 1.0)]),
+        ];
+        let mut fleet = FleetManager::new_heterogeneous(
+            machines,
+            vec![SearchSpace::cpu_only(0.5); 2],
+            FleetDynamicOptions::default(),
+        );
+        fleet.process_period();
+        fleet
+            .machine_mut(0)
+            .tenant_mut(0)
+            .set_workload(tpch::query_workload(18, 4.0))
+            .unwrap();
+        let report = fleet.process_period();
+        assert_eq!(report.migrations.len(), 1);
+        assert!(
+            !report.migrations[0].recalibrated,
+            "identical hardware must not recalibrate: {:?}",
+            report.migrations[0]
+        );
+        assert!(fleet.machine(1).is_calibrated());
     }
 
     #[test]

@@ -38,6 +38,7 @@ use crate::problem::{Allocation, QoS, Resource, SearchSpace};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
+use vda_simdb::hash::Fnv64;
 
 /// One greedy reallocation step, for tracing/benchmarks.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -96,6 +97,67 @@ impl SearchOptions {
     pub fn parallel() -> Self {
         SearchOptions { parallel: true }
     }
+}
+
+/// Identifies a machine's search space (and, via [`Self::salted`], any
+/// extra machine state such as hardware or resource scale) for cache
+/// keying. Two machines of the same class produce identical inner
+/// solves for the same tenant subset, so the fleet layer's subset
+/// memoization is keyed by `(MachineClass, subset)` — never by subset
+/// alone, which would silently reuse one machine's solve on different
+/// hardware.
+///
+/// The fingerprint quantizes the space's float fields at 1e-9 share
+/// resolution (far finer than any δ grid in use), so spaces that
+/// differ only by floating-point dust share a class while genuinely
+/// different grids never do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct MachineClass(u64);
+
+impl MachineClass {
+    /// The class of a search space.
+    pub fn of(space: &SearchSpace) -> Self {
+        let mut h = Fnv64::new();
+        for field in [
+            space.vary_cpu as u64,
+            space.vary_memory as u64,
+            quantize_share(space.fixed.cpu),
+            quantize_share(space.fixed.memory),
+            quantize_share(space.delta),
+            quantize_share(space.min_share),
+        ] {
+            h.write_u64(field);
+        }
+        MachineClass(h.finish())
+    }
+
+    /// A derived class mixing in extra machine-distinguishing state
+    /// (e.g. a hardware fingerprint, or a resource-scale quantization):
+    /// same space + same salt ⇒ same class, any differing salt ⇒ a
+    /// distinct class.
+    #[must_use]
+    pub fn salted(self, salt: u64) -> Self {
+        MachineClass(Fnv64::resume(self.0).write_u64(salt).finish())
+    }
+
+    /// A derived class mixing in a share-like float (e.g. a resource
+    /// scale), quantized at the same 1e-9 resolution as the space
+    /// fields — the single place the class-resolution contract lives.
+    #[must_use]
+    pub fn salted_share(self, share: f64) -> Self {
+        self.salted(quantize_share(share))
+    }
+
+    /// The raw 64-bit fingerprint.
+    pub fn id(self) -> u64 {
+        self.0
+    }
+}
+
+/// Shares and deltas live in [0, 1]; 1e-9 resolution distinguishes
+/// every grid anyone can realistically configure.
+fn quantize_share(x: f64) -> u64 {
+    (x * 1e9).round() as u64
 }
 
 /// Minimum weighted-cost improvement for a step to count as progress.

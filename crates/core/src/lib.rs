@@ -33,11 +33,17 @@
 //!    optimum — the full-grid answer at a fraction of the optimizer
 //!    calls.
 //! 7. **Cross-machine placement** ([`placement`]): assign `N` tenants
-//!    to `K` machines (marginal-benefit bin-packing plus swap/migrate
-//!    local search, per-machine inner solves), and
+//!    to `K` machines — identical or heterogeneous
+//!    ([`placement::MachineSpec`]: per-machine search spaces and
+//!    resource scales, subset solves memoized per
+//!    [`enumerate::MachineClass`]) — via marginal-benefit bin-packing
+//!    plus swap/migrate local search over per-machine inner solves.
 //!    [`dynamic::FleetManager`] lets major workload changes trigger
-//!    live migrations, with calibrated models traveling along
-//!    ([`advisor::VirtualizationDesignAdvisor::transfer_tenant`]).
+//!    live migrations with explicit calibration management
+//!    ([`advisor::VirtualizationDesignAdvisor::transfer_tenant`]
+//!    returns a [`advisor::TransferCalibration`] verdict): calibrated
+//!    models travel only between physically identical machines, and a
+//!    cross-class move recalibrates on the destination.
 //!
 //! [`advisor::VirtualizationDesignAdvisor`] is the façade tying it all
 //! together over the simulated substrate ([`vda_simdb`], [`vda_vmm`]).
@@ -52,7 +58,9 @@ pub mod problem;
 pub mod refine;
 pub mod tenant;
 
-pub use advisor::{Recommendation, VirtualizationDesignAdvisor};
+pub use advisor::{
+    Recommendation, TenantTransfer, TransferCalibration, VirtualizationDesignAdvisor,
+};
 pub use costmodel::{
     ActualCostModel, CalibratedModel, Calibrator, CostModel, Estimate, FnCostModel,
     RegimeFnCostModel, Renormalizer, SharedEstimateCache, WhatIfEstimator,
@@ -64,12 +72,13 @@ pub use dynamic::{
 pub use enumerate::{
     coarse_to_fine_search, coarse_to_fine_search_with, exhaustive_search, exhaustive_search_with,
     greedy_search, greedy_search_with, try_coarse_to_fine_search_with, try_exhaustive_search_with,
-    CoarseToFineOptions, SearchOptions, SearchResult, TraceStep,
+    CoarseToFineOptions, MachineClass, SearchOptions, SearchResult, TraceStep,
 };
 pub use metrics::CostAccounting;
 pub use placement::{
-    assignment_objective, machine_capacity, place_tenants, FleetOptions, InnerSolve, PlacementMove,
-    PlacementResult,
+    assignment_objective, assignment_objective_heterogeneous, machine_capacity, place_tenants,
+    place_tenants_heterogeneous, AssignmentPricer, FleetOptions, InnerSolve, MachineSpec,
+    PlacementMove, PlacementResult, ScaledCostModel,
 };
 pub use problem::{Allocation, QoS, Resource, SearchSpace};
 pub use refine::{RefineOptions, RefinedModel, RefinementOutcome};

@@ -2,25 +2,39 @@
 //!
 //! The paper configures `N` workloads on **one** physical machine; a
 //! production fleet first has to decide *which* tenant lands on
-//! *which* machine. This module assigns `N` tenants to `K` identical
-//! machines:
+//! *which* machine. This module assigns `N` tenants to `K` machines —
+//! identical or **heterogeneous** (capacities, grid resolutions, and
+//! resource ceilings may all differ per machine):
 //!
 //! 1. **Greedy bin-pack seeding**: tenants are ordered by their
 //!    gain-weighted *marginal benefit* — how much a tenant's cost
 //!    model says it gains between starving (minimum share) and owning
-//!    a whole machine — and placed, most resource-sensitive first, on
-//!    the machine where they raise the fleet objective least.
+//!    a whole machine, maximized over the fleet's machine classes —
+//!    and placed, most resource-sensitive first, on the machine where
+//!    they raise the fleet objective least.
 //! 2. **Local search**: single-tenant migrations and pairwise swaps
 //!    across machines, steepest-descent, until no move improves the
-//!    total gain-weighted cost.
+//!    total gain-weighted cost. Every candidate move is priced against
+//!    the *destination* machine's search space and scale.
 //!
 //! Every machine-subset evaluation is a full per-machine inner solve —
 //! [`greedy_search_with`], [`try_exhaustive_search_with`], or
 //! [`try_coarse_to_fine_search_with`] — over the tenants currently on
 //! that machine, so the placer optimizes exactly the objective the
 //! per-machine advisor will realize. Subset solves are memoized for
-//! the lifetime of one placement (machines are identical, so a
-//! subset's solve is machine-independent).
+//! the lifetime of one placement, keyed by `(`[`MachineClass`]`,
+//! subset)`: machines of the same class share solves (the homogeneous
+//! fast path), while different classes never cross-contaminate.
+//!
+//! Heterogeneous fleets enter through [`MachineSpec`]: each machine
+//! carries its own [`SearchSpace`] plus a resource **scale** relative
+//! to the fleet's reference machine. A tenant's cost model is written
+//! in reference-machine units; on a machine of scale `s`, a share `a`
+//! of that machine is priced as `model(a ⊙ s)` (see
+//! [`ScaledCostModel`]). Degradation limits stay machine-relative:
+//! `L_i` bounds the tenant's cost against its solo cost *on the
+//! machine it is placed on*, exactly what the per-machine advisor will
+//! later enforce.
 //!
 //! Degradation limits make some subsets jointly infeasible; every
 //! inner solver (greedy and the grid DPs alike) reports those
@@ -29,9 +43,10 @@
 //! toward spreading constrained tenants out rather than aborting.
 
 use crate::costmodel::model::CostModel;
+use crate::costmodel::whatif::Estimate;
 use crate::enumerate::{
     greedy_search_with, try_coarse_to_fine_search_with, try_exhaustive_search_with,
-    CoarseToFineOptions, SearchOptions, SearchResult,
+    CoarseToFineOptions, MachineClass, SearchOptions, SearchResult,
 };
 use crate::problem::{Allocation, QoS, SearchSpace};
 use serde::{Deserialize, Serialize};
@@ -54,7 +69,9 @@ pub enum InnerSolve {
 /// Fleet-placement settings.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FleetOptions {
-    /// Number of identical machines `K`.
+    /// Number of identical machines `K` (homogeneous entry points
+    /// only; the heterogeneous entry points take one [`MachineSpec`]
+    /// per machine and ignore this field).
     pub machines: usize,
     /// Per-machine solver.
     pub inner: InnerSolve,
@@ -87,6 +104,106 @@ impl FleetOptions {
             machines,
             ..FleetOptions::default()
         }
+    }
+}
+
+/// One machine of a (possibly heterogeneous) fleet: its search space
+/// plus its resource capacity relative to the fleet's reference
+/// machine.
+///
+/// `scale` maps a share of *this* machine into reference-machine
+/// units: a machine with half the reference CPU and memory has `scale
+/// = (0.5, 0.5)`, so giving a tenant the whole small machine prices
+/// like half the reference machine. Cost models passed to the
+/// heterogeneous entry points are written in reference units and
+/// wrapped per machine by [`ScaledCostModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MachineSpec {
+    /// This machine's search space (its own δ, `min_share`, fixed
+    /// shares — capacities and grid resolutions may differ per
+    /// machine).
+    pub space: SearchSpace,
+    /// CPU/memory capacity as a fraction of the reference machine.
+    pub scale: Allocation,
+}
+
+impl MachineSpec {
+    /// A reference-sized machine (scale 1 in both resources).
+    pub fn reference(space: SearchSpace) -> Self {
+        MachineSpec {
+            space,
+            scale: Allocation::full(),
+        }
+    }
+
+    /// A machine with `cpu_scale`/`memory_scale` times the reference
+    /// machine's resources. Scales must be positive and finite (they
+    /// may exceed 1 if some machine outgrows the reference).
+    pub fn scaled(space: SearchSpace, cpu_scale: f64, memory_scale: f64) -> Self {
+        assert!(
+            cpu_scale > 0.0 && cpu_scale.is_finite(),
+            "cpu scale must be positive and finite"
+        );
+        assert!(
+            memory_scale > 0.0 && memory_scale.is_finite(),
+            "memory scale must be positive and finite"
+        );
+        MachineSpec {
+            space,
+            scale: Allocation::new(cpu_scale, memory_scale),
+        }
+    }
+
+    /// The machine's class for cache keying: same space **and** same
+    /// scale ⇒ same class; anything differing ⇒ distinct classes, so
+    /// subset solves can never leak across machine kinds. The scale is
+    /// quantized at the same 1e-9 resolution as the space fields (the
+    /// [`MachineClass`] contract: dust-level differences share a
+    /// class, genuinely different machines never do).
+    pub fn class(&self) -> MachineClass {
+        MachineClass::of(&self.space)
+            .salted_share(self.scale.cpu)
+            .salted_share(self.scale.memory)
+    }
+
+    /// How many tenants this machine can host (every tenant needs at
+    /// least `min_share` of each varied resource).
+    pub fn capacity(&self) -> usize {
+        machine_capacity(&self.space)
+    }
+}
+
+/// A cost model re-based onto one machine of a heterogeneous fleet: a
+/// share `a` of the machine is priced as the wrapped model's cost at
+/// `a ⊙ scale` (reference-machine units). Optimizer-call and
+/// cache-hit accounting delegate to the wrapped model.
+#[derive(Debug, Clone, Copy)]
+pub struct ScaledCostModel<M> {
+    inner: M,
+    scale: Allocation,
+}
+
+impl<M: CostModel> ScaledCostModel<M> {
+    /// Wrap `inner` (reference units) for a machine of `scale`.
+    pub fn new(inner: M, scale: Allocation) -> Self {
+        ScaledCostModel { inner, scale }
+    }
+}
+
+impl<M: CostModel> CostModel for ScaledCostModel<M> {
+    fn estimate(&self, alloc: Allocation) -> Estimate {
+        self.inner.estimate(Allocation::new(
+            alloc.cpu * self.scale.cpu,
+            alloc.memory * self.scale.memory,
+        ))
+    }
+
+    fn optimizer_calls(&self) -> u64 {
+        self.inner.optimizer_calls()
+    }
+
+    fn cache_hits(&self) -> u64 {
+        self.inner.cache_hits()
     }
 }
 
@@ -123,8 +240,11 @@ pub struct PlacementResult {
     pub assignment: Vec<usize>,
     /// Inner-solve result per machine (`None` for empty machines).
     /// `per_machine[m].allocations[j]` configures the `j`-th tenant of
-    /// machine `m` in tenant-index order.
+    /// machine `m` in tenant-index order, in *shares of that machine*.
     pub per_machine: Vec<Option<SearchResult>>,
+    /// Each machine's class (identical fleets have one class; the
+    /// memo cache is keyed by it).
+    pub machine_classes: Vec<MachineClass>,
     /// Total gain-weighted cost over the fleet (without penalties).
     pub total_weighted_cost: f64,
     /// Fleet objective (weighted cost plus infeasibility penalties) —
@@ -132,9 +252,10 @@ pub struct PlacementResult {
     pub objective: f64,
     /// Accepted local-search moves, in order.
     pub moves: Vec<PlacementMove>,
-    /// Distinct machine subsets solved (memoized inner solves).
+    /// Distinct (machine class, tenant subset) inner solves (memoized).
     pub inner_solves: usize,
-    /// The seeding order's gain-weighted marginal benefit per tenant.
+    /// The seeding order's gain-weighted marginal benefit per tenant
+    /// (maximized over the fleet's machine classes).
     pub marginal_benefits: Vec<f64>,
 }
 
@@ -163,15 +284,39 @@ pub fn machine_capacity(space: &SearchSpace) -> usize {
     ((1.0 + 1e-9) / space.min_share).floor() as usize
 }
 
-/// Memoized pricing of one machine subset: fleet objective plus the
-/// inner solve that produced it (`None` when grid-infeasible).
-type SubsetCache = RefCell<HashMap<Vec<usize>, (f64, Option<SearchResult>)>>;
+/// Memoized pricing of machine subsets, keyed by machine class, then
+/// subset: fleet objective plus the inner solve that produced it
+/// (`None` when grid-infeasible). Two levels so cache probes can use
+/// the borrowed `&[usize]` subset without allocating a key.
+type SubsetCache = RefCell<HashMap<MachineClass, HashMap<Vec<usize>, (f64, Option<SearchResult>)>>>;
 
-/// Memoizing fleet evaluator: subset → (objective, inner solve).
+/// Per-(machine, tenant) cost-model access. The homogeneous entry
+/// points share one model slice across all machines; heterogeneous
+/// ones carry a full `machine × tenant` matrix (scaled wrappers, or
+/// per-machine-class estimators).
+enum ModelView<'a, M> {
+    /// `models[i]` prices tenant `i` on every machine.
+    Shared(&'a [M]),
+    /// `models[m][i]` prices tenant `i` on machine `m`.
+    PerMachine(Vec<Vec<M>>),
+}
+
+impl<M: CostModel> ModelView<'_, M> {
+    fn model(&self, machine: usize, tenant: usize) -> &M {
+        match self {
+            ModelView::Shared(models) => &models[tenant],
+            ModelView::PerMachine(rows) => &rows[machine][tenant],
+        }
+    }
+}
+
+/// Memoizing fleet evaluator: (machine, subset) → (objective, inner
+/// solve), with solves shared across machines of the same class.
 struct FleetSolver<'a, M> {
-    space: &'a SearchSpace,
+    spaces: Vec<SearchSpace>,
+    classes: Vec<MachineClass>,
     qos: &'a [QoS],
-    models: &'a [M],
+    models: ModelView<'a, M>,
     options: &'a FleetOptions,
     cache: SubsetCache,
     solves: Cell<usize>,
@@ -179,13 +324,27 @@ struct FleetSolver<'a, M> {
 
 impl<'a, M: CostModel> FleetSolver<'a, M> {
     fn new(
-        space: &'a SearchSpace,
+        spaces: Vec<SearchSpace>,
+        classes: Vec<MachineClass>,
         qos: &'a [QoS],
-        models: &'a [M],
+        models: ModelView<'a, M>,
         options: &'a FleetOptions,
     ) -> Self {
+        assert_eq!(spaces.len(), classes.len());
+        assert!(!spaces.is_empty(), "at least one machine");
+        let n = qos.len();
+        match &models {
+            ModelView::Shared(m) => assert_eq!(m.len(), n, "one model per tenant"),
+            ModelView::PerMachine(rows) => {
+                assert_eq!(rows.len(), spaces.len(), "one model row per machine");
+                for row in rows {
+                    assert_eq!(row.len(), n, "one model per tenant per machine");
+                }
+            }
+        }
         FleetSolver {
-            space,
+            spaces,
+            classes,
             qos,
             models,
             options,
@@ -194,37 +353,67 @@ impl<'a, M: CostModel> FleetSolver<'a, M> {
         }
     }
 
-    /// Objective of hosting `subset` (ascending tenant indices) on one
-    /// machine: gain-weighted cost plus one infeasibility penalty per
-    /// unmet degradation limit — uniform across greedy and grid inner
-    /// solves, since all of them now report joint infeasibility
+    fn machines(&self) -> usize {
+        self.spaces.len()
+    }
+
+    /// Per-machine host capacities.
+    fn capacities(&self) -> Vec<usize> {
+        self.spaces.iter().map(machine_capacity).collect()
+    }
+
+    /// First machine of each distinct class, in machine order — the
+    /// representatives used wherever per-class work must happen
+    /// exactly once (marginal benefits, memo lookups).
+    fn class_representatives(&self) -> Vec<usize> {
+        let mut reps: Vec<usize> = Vec::new();
+        for m in 0..self.machines() {
+            if !reps.iter().any(|&r| self.classes[r] == self.classes[m]) {
+                reps.push(m);
+            }
+        }
+        reps
+    }
+
+    /// Objective of hosting `subset` (ascending tenant indices) on
+    /// machine `m`: gain-weighted cost plus one infeasibility penalty
+    /// per unmet degradation limit — uniform across greedy and grid
+    /// inner solves, since all of them now report joint infeasibility
     /// best-effort via `limits_met`. Penalties are *finite*, so
     /// seeding deltas and local-search improvements stay comparable
     /// (∞ − ∞ would be NaN and silently freeze both), and every
     /// constrained tenant moved off an overloaded machine shrinks the
     /// objective. The `None` arm survives only for structural
     /// infeasibility (a subset the δ grid cannot host at all).
-    fn objective(&self, subset: &[usize]) -> f64 {
+    fn objective(&self, m: usize, subset: &[usize]) -> f64 {
         if subset.is_empty() {
             return 0.0;
         }
-        if let Some((obj, _)) = self.cache.borrow().get(subset) {
+        // Borrowed two-level probe: cache hits (the vast majority of
+        // local-search evaluations) allocate nothing.
+        if let Some((obj, _)) = self
+            .cache
+            .borrow()
+            .get(&self.classes[m])
+            .and_then(|per_class| per_class.get(subset))
+        {
             return *obj;
         }
+        let space = &self.spaces[m];
         let qos_sub: Vec<QoS> = subset.iter().map(|&i| self.qos[i]).collect();
-        let models_sub: Vec<&M> = subset.iter().map(|&i| &self.models[i]).collect();
+        let models_sub: Vec<&M> = subset.iter().map(|&i| self.models.model(m, i)).collect();
         let result = match &self.options.inner {
             InnerSolve::Greedy => Some(greedy_search_with(
-                self.space,
+                space,
                 &qos_sub,
                 &models_sub,
                 &self.options.search,
             )),
             InnerSolve::Exhaustive => {
-                try_exhaustive_search_with(self.space, &qos_sub, &models_sub, &self.options.search)
+                try_exhaustive_search_with(space, &qos_sub, &models_sub, &self.options.search)
             }
             InnerSolve::CoarseToFine(c2f) => try_coarse_to_fine_search_with(
-                self.space,
+                space,
                 &qos_sub,
                 &models_sub,
                 c2f,
@@ -235,19 +424,33 @@ impl<'a, M: CostModel> FleetSolver<'a, M> {
         let obj = match &result {
             None => self.options.infeasibility_penalty * subset.len() as f64,
             Some(r) => {
-                let unmet = r.limits_met.iter().filter(|&&m| !m).count();
+                let unmet = r.limits_met.iter().filter(|&&met| !met).count();
                 r.weighted_cost + self.options.infeasibility_penalty * unmet as f64
             }
         };
         self.cache
             .borrow_mut()
+            .entry(self.classes[m])
+            .or_default()
             .insert(subset.to_vec(), (obj, result));
         obj
     }
 
-    /// Cached inner solve for `subset` (must have been priced already).
-    fn solution(&self, subset: &[usize]) -> Option<SearchResult> {
-        self.cache.borrow().get(subset).and_then(|(_, r)| r.clone())
+    /// Cached inner solve for `subset` on machine `m` (must have been
+    /// priced already).
+    fn solution(&self, m: usize, subset: &[usize]) -> Option<SearchResult> {
+        self.cache
+            .borrow()
+            .get(&self.classes[m])
+            .and_then(|per_class| per_class.get(subset))
+            .and_then(|(_, r)| r.clone())
+    }
+
+    /// Fleet objective of a full assignment.
+    fn total(&self, assignment: &[usize]) -> f64 {
+        (0..self.machines())
+            .map(|m| self.objective(m, &subset_of(assignment, m)))
+            .sum()
     }
 }
 
@@ -257,37 +460,10 @@ fn subset_of(assignment: &[usize], m: usize) -> Vec<usize> {
         .collect()
 }
 
-/// Assign `N` tenants (their cost models and QoS) to
-/// `options.machines` identical machines described by `space`.
-///
-/// Machines are identical by construction — one `SearchSpace` serves
-/// all of them — which is what lets subset solves be memoized
-/// machine-independently. Heterogeneous fleets are an open ROADMAP
-/// item.
-pub fn place_tenants<M: CostModel>(
-    space: &SearchSpace,
-    qos: &[QoS],
-    models: &[M],
-    options: &FleetOptions,
-) -> PlacementResult {
-    let n = models.len();
-    assert!(n >= 1, "at least one tenant");
-    assert_eq!(qos.len(), n, "one QoS entry per tenant");
-    let k = options.machines;
-    assert!(k >= 1, "at least one machine");
-    let capacity = machine_capacity(space);
-    assert!(
-        capacity * k >= n,
-        "fleet too small: {k} machines of capacity {capacity} for {n} tenants"
-    );
-
-    let solver = FleetSolver::new(space, qos, models, options);
-
-    // Gain-weighted marginal benefit: the cost spread the tenant's
-    // model reports between its minimum share and owning the machine.
-    // Large spread ⇒ resource-sensitive ⇒ placed first, while machines
-    // are still empty.
-    let starved = Allocation {
+/// The allocation a tenant holds when starved on `space`: minimum
+/// share of every varied resource, the fixed share otherwise.
+fn starved_allocation(space: &SearchSpace) -> Allocation {
+    Allocation {
         cpu: if space.vary_cpu {
             space.min_share
         } else {
@@ -298,10 +474,110 @@ pub fn place_tenants<M: CostModel>(
         } else {
             space.fixed.memory
         },
-    };
-    let solo = space.solo_allocation();
+    }
+}
+
+/// Assign `N` tenants (their cost models and QoS) to
+/// `options.machines` identical machines described by `space`.
+///
+/// The homogeneous fast path: one `SearchSpace` serves all machines,
+/// so every machine shares one [`MachineClass`] and subset solves are
+/// shared fleet-wide. For fleets whose machines differ, use
+/// [`place_tenants_heterogeneous`].
+pub fn place_tenants<M: CostModel>(
+    space: &SearchSpace,
+    qos: &[QoS],
+    models: &[M],
+    options: &FleetOptions,
+) -> PlacementResult {
+    let k = options.machines;
+    let class = MachineClass::of(space);
+    let solver = FleetSolver::new(
+        vec![*space; k],
+        vec![class; k],
+        qos,
+        ModelView::Shared(models),
+        options,
+    );
+    place_impl(&solver)
+}
+
+/// Assign `N` tenants to a **heterogeneous** fleet: one
+/// [`MachineSpec`] per machine (its own search space, grid resolution,
+/// and resource scale). `models[i]` prices tenant `i` in
+/// reference-machine units; each machine sees it through a
+/// [`ScaledCostModel`] at that machine's scale. `options.machines` is
+/// ignored — the fleet size is `specs.len()`.
+pub fn place_tenants_heterogeneous<M: CostModel>(
+    specs: &[MachineSpec],
+    qos: &[QoS],
+    models: &[M],
+    options: &FleetOptions,
+) -> PlacementResult {
+    let solver = hetero_solver(specs, qos, models, options);
+    place_impl(&solver)
+}
+
+/// Build the per-machine scaled-model solver for a heterogeneous
+/// fleet.
+fn hetero_solver<'a, M: CostModel>(
+    specs: &[MachineSpec],
+    qos: &'a [QoS],
+    models: &'a [M],
+    options: &'a FleetOptions,
+) -> FleetSolver<'a, ScaledCostModel<&'a M>> {
+    assert!(!specs.is_empty(), "at least one machine spec");
+    let rows: Vec<Vec<ScaledCostModel<&M>>> = specs
+        .iter()
+        .map(|spec| {
+            models
+                .iter()
+                .map(|m| ScaledCostModel::new(m, spec.scale))
+                .collect()
+        })
+        .collect();
+    FleetSolver::new(
+        specs.iter().map(|s| s.space).collect(),
+        specs.iter().map(|s| s.class()).collect(),
+        qos,
+        ModelView::PerMachine(rows),
+        options,
+    )
+}
+
+/// The shared placement algorithm: greedy marginal-benefit seeding
+/// plus steepest-descent migrate/swap local search, all priced through
+/// the solver's class-keyed memo cache.
+fn place_impl<M: CostModel>(solver: &FleetSolver<'_, M>) -> PlacementResult {
+    let n = solver.qos.len();
+    assert!(n >= 1, "at least one tenant");
+    let k = solver.machines();
+    let capacities = solver.capacities();
+    let total_capacity: usize = capacities.iter().sum();
+    assert!(
+        total_capacity >= n,
+        "fleet too small: {k} machines with total capacity {total_capacity} for {n} tenants"
+    );
+
+    // Gain-weighted marginal benefit: the cost spread the tenant's
+    // model reports between its minimum share and owning a machine,
+    // maximized over the fleet's distinct machine classes (evaluated
+    // once per class so homogeneous fleets pay exactly one probe
+    // pair per tenant). Large spread ⇒ resource-sensitive ⇒ placed
+    // first, while machines are still empty.
+    let reps = solver.class_representatives();
     let marginal_benefits: Vec<f64> = (0..n)
-        .map(|i| qos[i].gain * (models[i].cost(starved) - models[i].cost(solo)))
+        .map(|i| {
+            reps.iter()
+                .map(|&m| {
+                    let space = &solver.spaces[m];
+                    let model = solver.models.model(m, i);
+                    solver.qos[i].gain
+                        * (model.cost(starved_allocation(space))
+                            - model.cost(space.solo_allocation()))
+                })
+                .fold(f64::NEG_INFINITY, f64::max)
+        })
         .collect();
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by(|&a, &b| {
@@ -313,19 +589,20 @@ pub fn place_tenants<M: CostModel>(
 
     // Greedy bin-pack: put each tenant on the machine where it raises
     // the fleet objective least (first such machine on ties, so the
-    // construction is deterministic).
+    // construction is deterministic). Deltas are priced against each
+    // candidate machine's own space and scale.
     let mut assignment = vec![usize::MAX; n];
     for &t in &order {
         let mut best: Option<(usize, f64)> = None;
-        for m in 0..k {
+        for (m, &capacity) in capacities.iter().enumerate() {
             let mut subset = subset_of(&assignment, m);
             if subset.len() >= capacity {
                 continue;
             }
-            let before = solver.objective(&subset);
+            let before = solver.objective(m, &subset);
             subset.push(t);
             subset.sort_unstable();
-            let delta = solver.objective(&subset) - before;
+            let delta = solver.objective(m, &subset) - before;
             if best.is_none_or(|(_, d)| delta < d - 1e-12) {
                 best = Some((m, delta));
             }
@@ -334,26 +611,22 @@ pub fn place_tenants<M: CostModel>(
         assignment[t] = m;
     }
 
-    // Local search: steepest-descent migrations and swaps.
+    // Local search: steepest-descent migrations and swaps, each
+    // candidate priced on its destination machine.
     let mut moves = Vec::new();
-    let total = |assignment: &[usize]| -> f64 {
-        (0..k)
-            .map(|m| solver.objective(&subset_of(assignment, m)))
-            .sum()
-    };
-    let mut current = total(&assignment);
-    for _ in 0..options.max_rounds {
+    let mut current = solver.total(&assignment);
+    for _ in 0..solver.options.max_rounds {
         let mut best: Option<(PlacementMove, Vec<usize>, f64)> = None;
         // Single-tenant migrations.
         for t in 0..n {
             let from = assignment[t];
-            for to in 0..k {
+            for (to, &capacity) in capacities.iter().enumerate() {
                 if to == from || subset_of(&assignment, to).len() >= capacity {
                     continue;
                 }
                 let mut cand = assignment.clone();
                 cand[t] = to;
-                let obj = total(&cand);
+                let obj = solver.total(&cand);
                 let improvement = current - obj;
                 if improvement > 1e-9 && best.as_ref().is_none_or(|(_, _, b)| improvement > *b) {
                     best = Some((
@@ -377,7 +650,7 @@ pub fn place_tenants<M: CostModel>(
                 }
                 let mut cand = assignment.clone();
                 cand.swap(a, b);
-                let obj = total(&cand);
+                let obj = solver.total(&cand);
                 let improvement = current - obj;
                 if improvement > 1e-9 && best.as_ref().is_none_or(|(_, _, i)| improvement > *i) {
                     best = Some((PlacementMove::Swap { a, b, improvement }, cand, improvement));
@@ -399,8 +672,8 @@ pub fn place_tenants<M: CostModel>(
             if subset.is_empty() {
                 None
             } else {
-                solver.objective(&subset); // ensure cached
-                solver.solution(&subset)
+                solver.objective(m, &subset); // ensure cached
+                solver.solution(m, &subset)
             }
         })
         .collect();
@@ -409,6 +682,7 @@ pub fn place_tenants<M: CostModel>(
     PlacementResult {
         assignment,
         per_machine,
+        machine_classes: solver.classes.clone(),
         total_weighted_cost,
         objective: current,
         moves,
@@ -431,6 +705,18 @@ pub fn assignment_objective<M: CostModel>(
     AssignmentPricer::new(space, qos, models, options).objective(assignment)
 }
 
+/// Fleet objective of an explicit assignment over a **heterogeneous**
+/// fleet (same pricing as [`place_tenants_heterogeneous`]).
+pub fn assignment_objective_heterogeneous<M: CostModel>(
+    specs: &[MachineSpec],
+    qos: &[QoS],
+    models: &[M],
+    assignment: &[usize],
+    options: &FleetOptions,
+) -> f64 {
+    AssignmentPricer::heterogeneous(specs, qos, models, options).objective(assignment)
+}
+
 /// Prices many related assignments with *shared* subset memoization.
 ///
 /// The dynamic fleet manager evaluates one base assignment plus every
@@ -440,30 +726,73 @@ pub fn assignment_objective<M: CostModel>(
 /// callers can use [`assignment_objective`] instead.
 pub struct AssignmentPricer<'a, M> {
     solver: FleetSolver<'a, M>,
-    machines: usize,
 }
 
 impl<'a, M: CostModel> AssignmentPricer<'a, M> {
-    /// A pricer over a fixed (space, QoS, models, options) problem.
+    /// A pricer over a fixed (space, QoS, models, options) problem on
+    /// `options.machines` identical machines.
     pub fn new(
-        space: &'a SearchSpace,
+        space: &SearchSpace,
+        qos: &'a [QoS],
+        models: &'a [M],
+        options: &'a FleetOptions,
+    ) -> Self {
+        let k = options.machines;
+        let class = MachineClass::of(space);
+        AssignmentPricer {
+            solver: FleetSolver::new(
+                vec![*space; k],
+                vec![class; k],
+                qos,
+                ModelView::Shared(models),
+                options,
+            ),
+        }
+    }
+
+    /// A pricer over an explicit per-machine model matrix:
+    /// `models[m][i]` prices tenant `i` on machine `m`, and `classes`
+    /// keys the memo cache (machines sharing a class must be given
+    /// equivalent model rows). The fleet-manager path uses this with
+    /// per-machine-class calibrated estimators.
+    pub fn per_machine(
+        spaces: Vec<SearchSpace>,
+        classes: Vec<MachineClass>,
+        qos: &'a [QoS],
+        models: Vec<Vec<M>>,
+        options: &'a FleetOptions,
+    ) -> Self {
+        AssignmentPricer {
+            solver: FleetSolver::new(spaces, classes, qos, ModelView::PerMachine(models), options),
+        }
+    }
+
+    /// Fleet objective of `assignment` (same pricing as
+    /// [`place_tenants`] / [`place_tenants_heterogeneous`]).
+    pub fn objective(&self, assignment: &[usize]) -> f64 {
+        assert_eq!(assignment.len(), self.solver.qos.len());
+        self.solver.total(assignment)
+    }
+
+    /// Number of machines this pricer covers.
+    pub fn machines(&self) -> usize {
+        self.solver.machines()
+    }
+}
+
+impl<'a, M: CostModel> AssignmentPricer<'a, ScaledCostModel<&'a M>> {
+    /// A pricer over a heterogeneous fleet: one [`MachineSpec`] per
+    /// machine, tenant models in reference-machine units (wrapped per
+    /// machine by [`ScaledCostModel`]). `options.machines` is ignored.
+    pub fn heterogeneous(
+        specs: &[MachineSpec],
         qos: &'a [QoS],
         models: &'a [M],
         options: &'a FleetOptions,
     ) -> Self {
         AssignmentPricer {
-            solver: FleetSolver::new(space, qos, models, options),
-            machines: options.machines,
+            solver: hetero_solver(specs, qos, models, options),
         }
-    }
-
-    /// Fleet objective of `assignment` (same pricing as
-    /// [`place_tenants`]).
-    pub fn objective(&self, assignment: &[usize]) -> f64 {
-        assert_eq!(assignment.len(), self.solver.models.len());
-        (0..self.machines)
-            .map(|m| self.solver.objective(&subset_of(assignment, m)))
-            .sum()
     }
 }
 
@@ -496,6 +825,8 @@ mod tests {
             r.assignment
         );
         assert!(r.total_weighted_cost.is_finite());
+        // Identical machines: one shared class.
+        assert_eq!(r.machine_classes[0], r.machine_classes[1]);
     }
 
     #[test]
@@ -720,5 +1051,168 @@ mod tests {
         // 5 tenants over 2 machines: far fewer distinct subsets than
         // the local search's move evaluations.
         assert!(r.inner_solves <= 62, "{}", r.inner_solves);
+    }
+
+    // ---- heterogeneous fleets ----
+
+    /// A big (reference) and a half-scale small machine over the same
+    /// CPU-only space.
+    fn big_and_small() -> Vec<MachineSpec> {
+        let space = SearchSpace::cpu_only(0.5);
+        vec![
+            MachineSpec::reference(space),
+            MachineSpec::scaled(space, 0.5, 1.0),
+        ]
+    }
+
+    #[test]
+    fn machine_class_separates_specs() {
+        let specs = big_and_small();
+        assert_ne!(specs[0].class(), specs[1].class());
+        // Same spec ⇒ same class; scale dust ⇒ same class.
+        assert_eq!(
+            specs[0].class(),
+            MachineSpec::reference(specs[0].space).class()
+        );
+        let dusty = MachineSpec::scaled(specs[1].space, 0.5 + 1e-13, 1.0);
+        assert_eq!(specs[1].class(), dusty.class());
+        // A different δ is a different class even at the same scale.
+        let mut fine = specs[0].space;
+        fine.delta = 0.01;
+        assert_ne!(specs[0].class(), MachineSpec::reference(fine).class());
+    }
+
+    #[test]
+    fn memo_cache_is_machine_class_specific() {
+        // Regression guard against the old machine-independent memo
+        // key: the SAME tenant subset priced on two machine classes
+        // through one shared pricer must give class-specific
+        // objectives. A subset-only key would serve the big machine's
+        // cached solve for the small machine.
+        let specs = big_and_small();
+        let models = synth(vec![8.0]);
+        let qos = qos_n(1);
+        let opts = FleetOptions::for_machines(2);
+        let pricer = AssignmentPricer::heterogeneous(&specs, &qos, &models, &opts);
+        // Price on the big machine FIRST so a subset-only memo key
+        // would poison the small machine's lookup.
+        let on_big = pricer.objective(&[0]);
+        let on_small = pricer.objective(&[1]);
+        // Solo on big: 8/1 + 1 = 9. Solo on small (scale 0.5):
+        // 8/0.5 + 1 = 17.
+        assert!((on_big - 9.0).abs() < 1e-9, "big {on_big}");
+        assert!((on_small - 17.0).abs() < 1e-9, "small {on_small}");
+        // Re-pricing must hit the class-keyed cache, not cross over.
+        assert!((pricer.objective(&[1]) - on_small).abs() < 1e-12);
+        assert!((pricer.objective(&[0]) - on_big).abs() < 1e-12);
+    }
+
+    #[test]
+    fn same_subset_on_two_classes_yields_class_specific_allocations() {
+        // A saturating model (no benefit beyond 0.6 of the reference
+        // CPU) splits differently on the two classes: on the big
+        // machine the hungry tenant stops at 0.6; on the half-scale
+        // machine every share still helps, so it takes more.
+        let models: Vec<_> = [20.0, 1.0]
+            .into_iter()
+            .map(|alpha| FnCostModel::new(move |a: Allocation| alpha / a.cpu.min(0.6) + 1.0))
+            .collect();
+        let qos = qos_n(2);
+        let opts = FleetOptions::for_machines(1);
+        let space = SearchSpace::cpu_only(0.5);
+        let solve_on = |spec: MachineSpec| {
+            place_tenants_heterogeneous(&[spec], &qos, &models, &opts).per_machine[0]
+                .clone()
+                .expect("solvable")
+        };
+        let big = solve_on(MachineSpec::reference(space));
+        let small = solve_on(MachineSpec::scaled(space, 0.5, 1.0));
+        // Same subset {0,1}, different classes ⇒ different shares.
+        assert_ne!(
+            big.allocations, small.allocations,
+            "class-specific grids must produce class-specific allocations"
+        );
+        // On the big machine neither hungry tenant needs more than 0.6.
+        assert!(
+            big.allocations[0].cpu <= 0.6 + 1e-9,
+            "{:?}",
+            big.allocations
+        );
+    }
+
+    #[test]
+    fn hungry_tenant_lands_on_the_big_machine() {
+        let specs = big_and_small();
+        let models = synth(vec![50.0, 1.0]);
+        let r =
+            place_tenants_heterogeneous(&specs, &qos_n(2), &models, &FleetOptions::for_machines(2));
+        assert_eq!(
+            r.assignment[0], 0,
+            "resource-hungry tenant must take the big machine: {:?}",
+            r.assignment
+        );
+        assert_ne!(r.machine_classes[0], r.machine_classes[1]);
+        assert!(r.objective.is_finite());
+    }
+
+    #[test]
+    fn heterogeneity_aware_placement_beats_smallest_machine_assumption() {
+        // Treating every machine as the smallest (the old homogeneous
+        // assumption) mis-places tenants; pricing that assignment on
+        // the TRUE specs must be no better than heterogeneity-aware
+        // placement.
+        let space = SearchSpace::cpu_only(0.5);
+        let specs = vec![
+            MachineSpec::reference(space),
+            MachineSpec::reference(space),
+            MachineSpec::scaled(space, 0.4, 1.0),
+        ];
+        let models = synth(vec![30.0, 25.0, 20.0, 2.0, 1.0, 0.5]);
+        let qos = qos_n(6);
+        let opts = FleetOptions::for_machines(3);
+        let aware = place_tenants_heterogeneous(&specs, &qos, &models, &opts);
+        // Homogeneous-as-smallest: place as if all machines were the
+        // small one, then price that assignment on the true fleet.
+        let smallest = vec![MachineSpec::scaled(space, 0.4, 1.0); 3];
+        let blind = place_tenants_heterogeneous(&smallest, &qos, &models, &opts);
+        let blind_on_true =
+            assignment_objective_heterogeneous(&specs, &qos, &models, &blind.assignment, &opts);
+        assert!(
+            aware.objective <= blind_on_true + 1e-9,
+            "aware {} vs blind-on-true {}",
+            aware.objective,
+            blind_on_true
+        );
+    }
+
+    #[test]
+    fn scaled_model_delegates_accounting() {
+        let m = FnCostModel::new(|a: Allocation| 4.0 / a.cpu);
+        let scaled = ScaledCostModel::new(&m, Allocation::new(0.5, 1.0));
+        // Full share of the half machine = half the reference machine.
+        assert!((scaled.cost(Allocation::full()) - 8.0).abs() < 1e-12);
+        assert_eq!(scaled.optimizer_calls(), 0);
+        assert_eq!(scaled.cache_hits(), 0);
+    }
+
+    #[test]
+    fn per_machine_capacities_are_respected() {
+        // The small machine's finer min_share hosts more tenants; the
+        // big one's coarse min_share caps at 2. Capacities must be
+        // tracked per machine, not fleet-uniform.
+        let mut coarse = SearchSpace::cpu_only(0.5);
+        coarse.min_share = 0.5;
+        coarse.delta = 0.25;
+        let fine = SearchSpace::cpu_only(0.5);
+        let specs = vec![
+            MachineSpec::reference(coarse),
+            MachineSpec::scaled(fine, 0.5, 1.0),
+        ];
+        assert_eq!(specs[0].capacity(), 2);
+        assert_eq!(specs[1].capacity(), 20);
+        let models = synth(vec![1.0; 5]);
+        let r =
+            place_tenants_heterogeneous(&specs, &qos_n(5), &models, &FleetOptions::for_machines(2));
+        assert!(r.tenants_on(0).len() <= 2, "{:?}", r.assignment);
     }
 }

@@ -26,6 +26,12 @@ impl Fnv64 {
         Self::default()
     }
 
+    /// Continue hashing from a previously [`finish`](Self::finish)ed
+    /// state (used to derive salted variants of an existing hash).
+    pub fn resume(state: u64) -> Self {
+        Fnv64(state)
+    }
+
     /// Absorb raw bytes.
     pub fn write(&mut self, bytes: &[u8]) -> &mut Self {
         for &b in bytes {

@@ -67,6 +67,33 @@ impl PhysicalMachine {
     pub fn total_hz(&self) -> f64 {
         self.cores as f64 * self.core_ghz * 1e9
     }
+
+    /// A 64-bit hardware fingerprint: equal for physically identical
+    /// machines, different whenever any spec field differs beyond
+    /// measurement dust. The fleet layer keys per-machine-class state
+    /// (calibrations, memoized inner solves) by this, so a calibrated
+    /// model fit on one hardware class is never silently reused on
+    /// another.
+    pub fn fingerprint(&self) -> u64 {
+        // FNV-1a over the quantized spec fields (1e-6 relative
+        // resolution — far finer than any spec anyone writes down).
+        // Mirrors `vda_simdb::hash::Fnv64`, which this crate cannot
+        // depend on (vmm sits below simdb in the crate graph).
+        let mut h: u64 = 0xcbf29ce484222325;
+        let mut mix = |word: u64| {
+            for byte in word.to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        };
+        mix(self.cores as u64);
+        mix((self.core_ghz * 1e6).round() as u64);
+        mix((self.memory_mb * 1e3).round() as u64);
+        mix((self.disk.seq_mb_per_s * 1e6).round() as u64);
+        mix((self.disk.rand_iops * 1e3).round() as u64);
+        mix((self.page_kb * 1e3).round() as u64);
+        h
+    }
 }
 
 impl Default for PhysicalMachine {
@@ -84,6 +111,22 @@ mod tests {
         let m = PhysicalMachine::paper_testbed();
         assert_eq!(m.total_hz(), 4.0 * 2.2e9);
         assert_eq!(m.memory_mb, 8192.0);
+    }
+
+    #[test]
+    fn fingerprint_separates_hardware_classes() {
+        let base = PhysicalMachine::paper_testbed();
+        assert_eq!(
+            base.fingerprint(),
+            PhysicalMachine::paper_testbed().fingerprint()
+        );
+        let mut faster = base;
+        faster.core_ghz *= 2.0;
+        assert_ne!(base.fingerprint(), faster.fingerprint());
+        let mut bigger = base;
+        bigger.memory_mb *= 2.0;
+        assert_ne!(base.fingerprint(), bigger.fingerprint());
+        assert_ne!(faster.fingerprint(), bigger.fingerprint());
     }
 
     #[test]
