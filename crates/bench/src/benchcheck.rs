@@ -156,6 +156,16 @@ mod tests {
     "limits_match": true,
     "meets_3x": true
   },
+  "coarse_to_fine_3axis": {
+    "space": "cpu_memory_disk",
+    "disk_calibration_levels": [0.25, 0.5, 1],
+    "c2f_ms": 70.0,
+    "full_optimizer_calls": 20485,
+    "c2f_optimizer_calls": 3230,
+    "full_weighted_cost": 764.788,
+    "objective_match": true,
+    "meets_2x": true
+  },
   "heterogeneous": {
     "machine_scales_cpu": [0.5, 0.5, 1.0, 1.0],
     "machine_scales_memory": [0.5, 0.5, 1.0, 1.0],
@@ -250,6 +260,49 @@ mod tests {
         assert!(
             compare_reports(BASE, &cand).is_empty(),
             "limited-section wall time must stay unguarded"
+        );
+    }
+
+    #[test]
+    fn three_axis_section_deterministic_fields_are_gated() {
+        // The cpu+memory+disk coarse-to-fine section: optimizer calls,
+        // objectives, the calibrated disk levels, and the contract
+        // booleans are deterministic and gated; its wall time is not.
+        for (field, original, replacement) in [
+            (
+                "c2f_optimizer_calls",
+                "\"c2f_optimizer_calls\": 3230",
+                "\"c2f_optimizer_calls\": 9999",
+            ),
+            (
+                "full_weighted_cost",
+                "\"full_weighted_cost\": 764.788",
+                "\"full_weighted_cost\": 800.0",
+            ),
+            (
+                "disk_calibration_levels",
+                "\"disk_calibration_levels\": [0.25, 0.5, 1]",
+                "\"disk_calibration_levels\": [0.5, 0.75, 1]",
+            ),
+            ("meets_2x", "\"meets_2x\": true", "\"meets_2x\": false"),
+            (
+                "space",
+                "\"space\": \"cpu_memory_disk\"",
+                "\"space\": \"cpu_and_memory\"",
+            ),
+        ] {
+            let cand = BASE.replace(original, replacement);
+            assert_ne!(cand, BASE, "{field} must appear in the fixture");
+            let problems = compare_reports(BASE, &cand);
+            assert!(
+                problems.iter().any(|p| p.contains(field)),
+                "3-axis {field} drift must fail the gate: {problems:?}"
+            );
+        }
+        let cand = BASE.replace("\"c2f_ms\": 70.0", "\"c2f_ms\": 5000.0");
+        assert!(
+            compare_reports(BASE, &cand).is_empty(),
+            "3-axis wall time must stay unguarded"
         );
     }
 

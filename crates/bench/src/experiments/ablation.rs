@@ -43,11 +43,8 @@ pub fn run() -> Report {
     ]);
     let mut baseline = None;
     for &delta in &[0.025, 0.05, 0.10] {
-        let space = SearchSpace {
-            delta,
-            min_share: delta,
-            ..SearchSpace::cpu_only(FIXED_512MB_SHARE)
-        };
+        let mut space = SearchSpace::cpu_only(FIXED_512MB_SHARE).with_delta(delta);
+        space.min_share = delta;
         let rec = adv.recommend(&space);
         let cost = rec.result.weighted_cost;
         if delta == 0.05 {

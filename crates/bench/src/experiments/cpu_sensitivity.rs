@@ -55,10 +55,10 @@ fn varying_intensity(id: &str, choice: EngineChoice) -> Report {
         let adv = setups::advisor_for(&engine, &cat, vec![w1, w2]);
         let rec = adv.recommend(&space());
         let imp = adv.estimated_improvement(&space(), &rec.result.allocations);
-        shares.push(rec.result.allocations[1].cpu);
+        shares.push(rec.result.allocations[1].cpu());
         table.row(vec![
             k.to_string(),
-            fmt_f(rec.result.allocations[1].cpu, 2),
+            fmt_f(rec.result.allocations[1].cpu(), 2),
             fmt_pct(imp),
         ]);
     }
@@ -96,10 +96,10 @@ fn varying_size(id: &str, choice: EngineChoice) -> Report {
         let adv = setups::advisor_for(&engine, &cat, vec![w3, w4]);
         let rec = adv.recommend(&space());
         let imp = adv.estimated_improvement(&space(), &rec.result.allocations);
-        shares.push(rec.result.allocations[1].cpu);
+        shares.push(rec.result.allocations[1].cpu());
         table.row(vec![
             k.to_string(),
-            fmt_f(rec.result.allocations[1].cpu, 2),
+            fmt_f(rec.result.allocations[1].cpu(), 2),
             fmt_pct(imp),
         ]);
     }
@@ -132,10 +132,10 @@ fn size_without_intensity(id: &str, choice: EngineChoice) -> Report {
         let adv = setups::advisor_for(&engine, &cat, vec![w5, w6]);
         let rec = adv.recommend(&space());
         let imp = adv.estimated_improvement(&space(), &rec.result.allocations);
-        shares.push(rec.result.allocations[1].cpu);
+        shares.push(rec.result.allocations[1].cpu());
         table.row(vec![
             k.to_string(),
-            fmt_f(rec.result.allocations[1].cpu, 2),
+            fmt_f(rec.result.allocations[1].cpu(), 2),
             fmt_pct(imp),
         ]);
     }

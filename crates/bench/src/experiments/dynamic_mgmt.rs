@@ -94,8 +94,8 @@ fn simulate(mode: ManagementMode) -> Vec<(f64, f64, f64, String)> {
             .collect::<Vec<_>>()
             .join("/");
         out.push((
-            report.allocations[0].cpu,
-            report.allocations[1].cpu,
+            report.allocations[0].cpu(),
+            report.allocations[1].cpu(),
             improvement,
             decisions,
         ));

@@ -35,10 +35,10 @@ pub fn run() -> Report {
         let adv = setups::advisor_for(&engine, &cat, vec![w7, w8]);
         let rec = adv.recommend(&space);
         let imp = adv.estimated_improvement(&space, &rec.result.allocations);
-        shares.push(rec.result.allocations[1].memory);
+        shares.push(rec.result.allocations[1].memory());
         table.row(vec![
             k.to_string(),
-            fmt_f(rec.result.allocations[1].memory, 2),
+            fmt_f(rec.result.allocations[1].memory(), 2),
             fmt_pct(imp),
         ]);
     }

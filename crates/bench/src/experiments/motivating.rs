@@ -47,7 +47,11 @@ pub fn run() -> Report {
         ("postgresql-Q17", rec.result.allocations[0]),
         ("db2-Q18", rec.result.allocations[1]),
     ] {
-        alloc_table.row(vec![name.to_string(), fmt_f(a.cpu, 2), fmt_f(a.memory, 2)]);
+        alloc_table.row(vec![
+            name.to_string(),
+            fmt_f(a.cpu(), 2),
+            fmt_f(a.memory(), 2),
+        ]);
     }
     report.section("recommended configuration", alloc_table);
 
@@ -78,15 +82,15 @@ pub fn run() -> Report {
     let db2_alloc = rec.result.allocations[1];
     report.note(format!(
         "paper: pg gets 15% CPU / 20% memory; measured: {:.0}% / {:.0}%",
-        pg_alloc.cpu * 100.0,
-        pg_alloc.memory * 100.0
+        pg_alloc.cpu() * 100.0,
+        pg_alloc.memory() * 100.0
     ));
     report.note(format!(
         "CPU direction matches the paper (db2 wins CPU: {}); the memory split differs \
          by design: our simulated Q17 runs as an index-probe storm whose heap fetches \
          benefit from cache residency, while the paper's PostgreSQL plan was scan-bound \
          and memory-insensitive (see EXPERIMENTS.md)",
-        db2_alloc.cpu > pg_alloc.cpu,
+        db2_alloc.cpu() > pg_alloc.cpu(),
     ));
     report.note(format!(
         "overall improvement {} (paper: ~24%)",

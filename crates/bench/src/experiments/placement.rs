@@ -242,8 +242,8 @@ pub fn run_heterogeneous_from(m: HeterogeneousMeasurement) -> Report {
             machine.to_string(),
             format!(
                 "{}/{}",
-                fmt_f(spec.scale.cpu, 2),
-                fmt_f(spec.scale.memory, 2)
+                fmt_f(spec.scale.cpu(), 2),
+                fmt_f(spec.scale.memory(), 2)
             ),
             names.join(","),
             cost,
@@ -300,7 +300,7 @@ pub fn run_from(m: PlacementMeasurement) -> Report {
                 fmt_f(r.weighted_cost, 2),
                 r.allocations
                     .iter()
-                    .map(|a| fmt_f(a.cpu, 2))
+                    .map(|a| fmt_f(a.cpu(), 2))
                     .collect::<Vec<_>>()
                     .join("/"),
             ),
@@ -423,12 +423,12 @@ fn heterogeneous_json(m: &HeterogeneousMeasurement) -> String {
     let cpu_scales: Vec<String> = m
         .specs
         .iter()
-        .map(|s| format!("{:.3}", s.scale.cpu))
+        .map(|s| format!("{:.3}", s.scale.cpu()))
         .collect();
     let memory_scales: Vec<String> = m
         .specs
         .iter()
-        .map(|s| format!("{:.3}", s.scale.memory))
+        .map(|s| format!("{:.3}", s.scale.memory()))
         .collect();
     format!(
         concat!(
@@ -502,8 +502,8 @@ mod tests {
             let r = m.result.per_machine[machine]
                 .as_ref()
                 .expect("no machine should sit idle at N=10, K=3");
-            let cpu: f64 = r.allocations.iter().map(|a| a.cpu).sum();
-            let mem: f64 = r.allocations.iter().map(|a| a.memory).sum();
+            let cpu: f64 = r.allocations.iter().map(|a| a.cpu()).sum();
+            let mem: f64 = r.allocations.iter().map(|a| a.memory()).sum();
             assert!(cpu <= 1.0 + 1e-9);
             assert!(mem <= 1.0 + 1e-9);
         }
@@ -525,8 +525,8 @@ mod tests {
         // Every machine stays within its own budget (shares of itself).
         for machine in 0..m.specs.len() {
             if let Some(r) = &m.result.per_machine[machine] {
-                let cpu: f64 = r.allocations.iter().map(|a| a.cpu).sum();
-                let mem: f64 = r.allocations.iter().map(|a| a.memory).sum();
+                let cpu: f64 = r.allocations.iter().map(|a| a.cpu()).sum();
+                let mem: f64 = r.allocations.iter().map(|a| a.memory()).sum();
                 assert!(cpu <= 1.0 + 1e-9);
                 assert!(mem <= 1.0 + 1e-9);
             }

@@ -122,13 +122,13 @@ pub fn run_fig20() -> Report {
         );
         let rec = adv.recommend(&space());
         let a = &rec.result.allocations;
-        let rest = (a[2].cpu + a[3].cpu + a[4].cpu) / 3.0;
-        w9_shares.push(a[0].cpu);
-        w10_shares.push(a[1].cpu);
+        let rest = (a[2].cpu() + a[3].cpu() + a[4].cpu()) / 3.0;
+        w9_shares.push(a[0].cpu());
+        w10_shares.push(a[1].cpu());
         table.row(vec![
             g9.to_string(),
-            fmt_f(a[0].cpu, 2),
-            fmt_f(a[1].cpu, 2),
+            fmt_f(a[0].cpu(), 2),
+            fmt_f(a[1].cpu(), 2),
             fmt_f(rest, 2),
         ]);
     }

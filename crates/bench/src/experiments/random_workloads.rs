@@ -98,8 +98,8 @@ fn allocation_sweep_in(
         let mut shares = Vec::new();
         for i in 0..max_n {
             if i < n {
-                row.push(fmt_f(rec.result.allocations[i].cpu, 2));
-                shares.push(rec.result.allocations[i].cpu);
+                row.push(fmt_f(rec.result.allocations[i].cpu(), 2));
+                shares.push(rec.result.allocations[i].cpu());
             } else {
                 row.push(String::new());
             }

@@ -72,17 +72,17 @@ fn refined_allocations(id: &str, choice: EngineChoice) -> Report {
         // TPC-C tenants are the even indexes.
         let before: f64 = (0..n)
             .step_by(2)
-            .map(|i| rec.result.allocations[i].cpu)
+            .map(|i| rec.result.allocations[i].cpu())
             .sum();
         let after: f64 = (0..n)
             .step_by(2)
-            .map(|i| outcome.final_allocations[i].cpu)
+            .map(|i| outcome.final_allocations[i].cpu())
             .sum();
         tpcc_gain.push(after - before);
         let mut row = vec![n.to_string()];
         for i in 0..10 {
             if i < n {
-                row.push(fmt_f(outcome.final_allocations[i].cpu, 2));
+                row.push(fmt_f(outcome.final_allocations[i].cpu(), 2));
             } else {
                 row.push(String::new());
             }

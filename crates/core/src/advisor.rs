@@ -574,13 +574,13 @@ mod tests {
         let space = SearchSpace::cpu_only(0.5);
         let rec = adv.recommend(&space);
         assert!(
-            rec.result.allocations[0].cpu > 0.5,
+            rec.result.allocations[0].cpu() > 0.5,
             "CPU-heavy tenant should win CPU: {:?}",
             rec.result.allocations
         );
         assert!(rec.optimizer_calls > 0);
         // Feasibility.
-        let total: f64 = rec.result.allocations.iter().map(|a| a.cpu).sum();
+        let total: f64 = rec.result.allocations.iter().map(|a| a.cpu()).sum();
         assert!(total <= 1.0 + 1e-9);
     }
 
@@ -844,7 +844,7 @@ mod tests {
             adv.refine_recommendation(&space, &rec.result.allocations, &RefineOptions::default());
         assert_eq!(models.len(), 2);
         assert!(outcome.iterations >= 1);
-        let total: f64 = outcome.final_allocations.iter().map(|a| a.cpu).sum();
+        let total: f64 = outcome.final_allocations.iter().map(|a| a.cpu()).sum();
         assert!(total <= 1.0 + 1e-9);
     }
 }

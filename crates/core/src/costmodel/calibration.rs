@@ -47,8 +47,20 @@ pub struct CalibrationConfig {
     /// Memory share pinned while measuring CPU parameters (§4.4:
     /// "we calibrate the CPU parameters at 50 % memory allocation").
     pub cpu_mem_level: f64,
-    /// Allocation at which I/O parameters are measured.
+    /// Allocation at which I/O parameters are measured. Its
+    /// disk-bandwidth share is the *reference* against which the
+    /// disk-axis multiplier is fitted.
     pub io_level: Allocation,
+    /// Disk-bandwidth shares at which the I/O-time multiplier is
+    /// measured (analogous to `cpu_levels` for the CPU parameters).
+    /// Empty (the default, and the paper's M = 2 procedure) skips the
+    /// disk calibration entirely: the model then prices every
+    /// allocation as if it held the reference disk share, exactly the
+    /// pre-disk-axis behaviour. Set at least two distinct levels to
+    /// open the [`Resource::DiskBandwidth`] axis to what-if costing.
+    ///
+    /// [`Resource::DiskBandwidth`]: crate::problem::Resource::DiskBandwidth
+    pub disk_levels: Vec<f64>,
     /// Blocks read by each I/O micro-benchmark.
     pub io_bench_blocks: u64,
     /// Instructions timed by the CPU-speed micro-benchmark.
@@ -61,8 +73,24 @@ impl Default for CalibrationConfig {
             cpu_levels: (1..=10).map(|i| i as f64 / 10.0).collect(),
             cpu_mem_level: 0.5,
             io_level: Allocation::new(0.5, 0.5),
+            disk_levels: Vec::new(),
             io_bench_blocks: 10_000,
             cpu_bench_instructions: 100_000_000,
+        }
+    }
+}
+
+impl CalibrationConfig {
+    /// The default procedure plus a disk-axis calibration over the
+    /// given bandwidth shares.
+    pub fn with_disk_levels(levels: Vec<f64>) -> Self {
+        assert!(
+            levels.len() >= 2,
+            "disk calibration needs at least two levels"
+        );
+        CalibrationConfig {
+            disk_levels: levels,
+            ..CalibrationConfig::default()
         }
     }
 }
@@ -115,6 +143,12 @@ pub struct CalibratedModel {
     pub cpu_fits: CpuFits,
     /// Measured I/O constants.
     pub io: IoConstants,
+    /// I/O-time multiplier over `1/disk_share`, relative to the
+    /// reference disk share the I/O constants were measured at
+    /// ([`CalibrationConfig::io_level`]). `None` when the disk axis
+    /// was never calibrated — the model then prices every allocation
+    /// at the reference disk share (the paper's M = 2 behaviour).
+    pub disk_fit: Option<LinearFit>,
     /// Native-cost → seconds conversion.
     pub renorm: Renormalizer,
     /// What the calibration cost.
@@ -158,11 +192,33 @@ pub enum IoConstants {
 }
 
 impl CalibratedModel {
+    /// The I/O-time multiplier at a disk-bandwidth share, relative to
+    /// the reference share the I/O constants were measured at. `1.0`
+    /// exactly when the disk axis was never calibrated (so the M = 2
+    /// paths reproduce their historical results bit for bit).
+    pub fn io_multiplier(&self, disk_share: f64) -> f64 {
+        match &self.disk_fit {
+            None => 1.0,
+            Some(fit) => fit.predict(1.0 / disk_share.max(1e-6)).max(1e-9),
+        }
+    }
+
     /// The engine parameters describing a VM at `alloc` — the R → P
     /// mapping that powers the what-if mode.
+    ///
+    /// The disk axis enters differently per engine, mirroring each
+    /// cost model's unit system. PgSim costs are denominated in
+    /// *sequential page reads*: when the VM's disk slice shrinks, the
+    /// unit itself slows down, so the CPU parameters shrink relative
+    /// to it (and [`Self::to_seconds_at`] stretches the unit);
+    /// `random_page_cost` is a ratio of two I/O times and is
+    /// disk-share-invariant. Db2Sim costs are denominated in
+    /// milliseconds: `overhead`/`transfer_rate` stretch directly and
+    /// `cpuspeed` is untouched.
     pub fn params_at(&self, engine: &Engine, alloc: Allocation) -> EngineParams {
-        let inv = 1.0 / alloc.cpu.max(1e-6);
-        let mem = engine.tuning(alloc.memory * self.machine_mem_mb);
+        let inv = 1.0 / alloc.cpu().max(1e-6);
+        let mem = engine.tuning(alloc.memory() * self.machine_mem_mb);
+        let mult = self.io_multiplier(alloc.disk());
         match (&self.cpu_fits, &self.io) {
             (
                 CpuFits::Pg {
@@ -173,9 +229,9 @@ impl CalibratedModel {
                 IoConstants::Pg { random_page_cost },
             ) => EngineParams::Pg(PgParams {
                 random_page_cost: *random_page_cost,
-                cpu_tuple_cost: tuple.predict(inv).max(1e-9),
-                cpu_operator_cost: operator.predict(inv).max(1e-9),
-                cpu_index_tuple_cost: index_tuple.predict(inv).max(1e-9),
+                cpu_tuple_cost: (tuple.predict(inv) / mult).max(1e-9),
+                cpu_operator_cost: (operator.predict(inv) / mult).max(1e-9),
+                cpu_index_tuple_cost: (index_tuple.predict(inv) / mult).max(1e-9),
                 shared_buffers_mb: mem.buffer_mb,
                 work_mem_mb: mem.work_mb,
                 effective_cache_size_mb: mem.os_cache_mb,
@@ -188,8 +244,8 @@ impl CalibratedModel {
                 },
             ) => EngineParams::Db2(Db2Params {
                 cpuspeed_ms_per_instr: cpuspeed.predict(inv).max(1e-15),
-                overhead_ms: *overhead_ms,
-                transfer_rate_ms: *transfer_rate_ms,
+                overhead_ms: overhead_ms * mult,
+                transfer_rate_ms: transfer_rate_ms * mult,
                 sortheap_mb: mem.work_mb,
                 bufferpool_mb: mem.buffer_mb,
             }),
@@ -197,9 +253,23 @@ impl CalibratedModel {
         }
     }
 
-    /// Renormalize a native cost estimate to seconds.
+    /// Renormalize a native cost estimate to seconds, at the reference
+    /// disk share.
     pub fn to_seconds(&self, native: f64) -> f64 {
         self.renorm.to_seconds(native)
+    }
+
+    /// Renormalize a native cost estimated under
+    /// [`Self::params_at`]`(engine, alloc)` to seconds. For PgSim the
+    /// native unit is one sequential page read, whose duration scales
+    /// with the allocation's disk share; Db2Sim timerons are
+    /// milliseconds and already carry the disk share through the
+    /// stretched I/O parameters.
+    pub fn to_seconds_at(&self, native: f64, alloc: Allocation) -> f64 {
+        match self.kind {
+            EngineKind::PgSim => self.to_seconds(native) * self.io_multiplier(alloc.disk()),
+            EngineKind::Db2Sim => self.to_seconds(native),
+        }
     }
 }
 
@@ -253,7 +323,8 @@ impl<'a> Calibrator<'a> {
     pub fn calibrate(&self, engine: &Engine) -> CalibratedModel {
         let mut cost = CalibrationCost::default();
 
-        let io_point = self.calibrate_io_point(engine, self.config.io_level, &mut cost);
+        let (io_point, io_t_seq) =
+            self.calibrate_io_point_raw(engine, self.config.io_level, &mut cost);
         let io = match engine.kind() {
             EngineKind::PgSim => IoConstants::Pg {
                 random_page_cost: io_point.values[0],
@@ -301,14 +372,63 @@ impl<'a> Calibrator<'a> {
             },
         };
 
+        let disk_fit = self.calibrate_disk_fit(io_t_seq, &mut cost);
+
         CalibratedModel {
             kind: engine.kind(),
             machine_mem_mb: self.hv.machine().memory_mb,
             cpu_fits,
             io,
+            disk_fit,
             renorm,
             cost,
         }
+    }
+
+    /// Fit the I/O-time multiplier over `1/disk_share` (relative to
+    /// the reference disk share of [`CalibrationConfig::io_level`]) by
+    /// re-running the sequential read benchmark at each configured
+    /// disk level. `t_ref` is the sequential page time the I/O
+    /// calibration already measured at `io_level` — the reference
+    /// point is reused, not re-measured (and a level equal to the
+    /// reference share is likewise served from it). `None` — and zero
+    /// extra measurement cost — when no levels are configured, keeping
+    /// the default procedure identical to the paper's.
+    fn calibrate_disk_fit(&self, t_ref: f64, cost: &mut CalibrationCost) -> Option<LinearFit> {
+        if self.config.disk_levels.is_empty() {
+            return None;
+        }
+        assert!(
+            self.config.disk_levels.len() >= 2,
+            "disk calibration needs at least two levels"
+        );
+        let blocks = self.config.io_bench_blocks;
+        let ref_share = self.config.io_level.disk();
+        let mut inv = Vec::with_capacity(self.config.disk_levels.len());
+        let mut mult = Vec::with_capacity(self.config.disk_levels.len());
+        for &d in &self.config.disk_levels {
+            // A level equal to the reference share is the measurement
+            // the I/O calibration already took — don't realize (and
+            // bill) the same VM configuration twice.
+            let t = if (d - ref_share).abs() < 1e-12 {
+                t_ref
+            } else {
+                let perf = self.hv.perf_for(
+                    self.config
+                        .io_level
+                        .with(crate::problem::Resource::DiskBandwidth, d)
+                        .vm_config()
+                        .expect("disk levels are valid shares"),
+                );
+                cost.vm_configurations += 1;
+                let t = sequential_read_bench(&perf, blocks);
+                cost.simulated_seconds += t * blocks as f64;
+                t
+            };
+            inv.push(1.0 / d);
+            mult.push(t / t_ref);
+        }
+        Some(LinearFit::fit(&inv, &mult).expect("disk levels are distinct"))
     }
 
     /// The naive N×M grid calibration (§4.4's strawman): solve the CPU
@@ -354,9 +474,21 @@ impl<'a> Calibrator<'a> {
         alloc: Allocation,
         cost: &mut CalibrationCost,
     ) -> IoPoint {
-        let perf = self.hv.perf_for(
-            VmConfig::new(alloc.cpu, alloc.memory).expect("calibration levels are valid"),
-        );
+        self.calibrate_io_point_raw(engine, alloc, cost).0
+    }
+
+    /// [`Self::calibrate_io_point`] plus the raw sequential page time
+    /// it measured (the disk-axis fit reuses it as its reference
+    /// instead of re-benchmarking the same VM configuration).
+    fn calibrate_io_point_raw(
+        &self,
+        engine: &Engine,
+        alloc: Allocation,
+        cost: &mut CalibrationCost,
+    ) -> (IoPoint, f64) {
+        let perf = self
+            .hv
+            .perf_for(alloc.vm_config().expect("calibration levels are valid"));
         cost.vm_configurations += 1;
         let blocks = self.config.io_bench_blocks;
         let t_seq = sequential_read_bench(&perf, blocks);
@@ -366,11 +498,14 @@ impl<'a> Calibrator<'a> {
             EngineKind::PgSim => vec![t_rand / t_seq],
             EngineKind::Db2Sim => vec![(t_rand - t_seq) * 1e3, t_seq * 1e3],
         };
-        IoPoint {
-            cpu_share: alloc.cpu,
-            memory_share: alloc.memory,
-            values,
-        }
+        (
+            IoPoint {
+                cpu_share: alloc.cpu(),
+                memory_share: alloc.memory(),
+                values,
+            },
+            t_seq,
+        )
     }
 
     /// Solve the CPU parameters at one (cpu, memory) point.
@@ -469,9 +604,9 @@ impl<'a> Calibrator<'a> {
         cost: &mut CalibrationCost,
     ) -> Renormalizer {
         let alloc = self.config.io_level;
-        let perf = self.hv.perf_for(
-            VmConfig::new(alloc.cpu, alloc.memory).expect("calibration levels are valid"),
-        );
+        let perf = self
+            .hv
+            .perf_for(alloc.vm_config().expect("calibration levels are valid"));
         match engine.kind() {
             EngineKind::PgSim => {
                 let blocks = self.config.io_bench_blocks;
@@ -714,6 +849,41 @@ mod tests {
         let a = cal.io_point(&engine, Allocation::new(0.2, 0.2));
         let b = cal.io_point(&engine, Allocation::new(0.9, 0.9));
         assert!((a.values[0] - b.values[0]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disk_calibration_recovers_inverse_share_multiplier() {
+        let hv = hv();
+        let cal = Calibrator::with_config(
+            &hv,
+            CalibrationConfig::with_disk_levels(vec![0.25, 0.5, 1.0]),
+        );
+        let model = cal.calibrate(&Engine::pg());
+        let fit = model.disk_fit.expect("disk calibrated");
+        // The simulated device is exactly share-proportional, so the
+        // fitted multiplier is 1/d to numerical precision.
+        assert!(fit.r_squared > 0.999, "r² = {}", fit.r_squared);
+        for d in [0.2, 0.4, 0.8, 1.0] {
+            let expect = 1.0 / d; // reference disk share is 1.0
+            let got = model.io_multiplier(d);
+            assert!(
+                (got - expect).abs() / expect < 1e-6,
+                "multiplier at {d}: {got} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn default_calibration_leaves_disk_axis_untouched() {
+        let hv = hv();
+        let plain = Calibrator::new(&hv).calibrate(&Engine::pg());
+        assert!(plain.disk_fit.is_none());
+        // Exactly 1.0 — the M = 2 bit-compat contract.
+        assert_eq!(plain.io_multiplier(0.25), 1.0);
+        assert_eq!(
+            plain.to_seconds_at(10.0, Allocation::new(0.5, 0.5)),
+            plain.to_seconds(10.0)
+        );
     }
 
     #[test]

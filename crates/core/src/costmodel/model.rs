@@ -167,7 +167,7 @@ mod tests {
 
     #[test]
     fn fn_model_reports_plain_estimates() {
-        let m = FnCostModel::new(|a: Allocation| 2.0 / a.cpu);
+        let m = FnCostModel::new(|a: Allocation| 2.0 / a.cpu());
         assert_eq!(m.cost(Allocation::new(0.5, 0.5)), 4.0);
         let e = m.estimate(Allocation::new(0.25, 0.5));
         assert_eq!(e.seconds, 8.0);
@@ -178,22 +178,20 @@ mod tests {
 
     #[test]
     fn regime_model_threads_signature() {
-        let m = RegimeFnCostModel::new(
-            |a: Allocation| {
-                if a.memory < 0.5 {
-                    (10.0, 1)
-                } else {
-                    (5.0, 2)
-                }
-            },
-        );
+        let m = RegimeFnCostModel::new(|a: Allocation| {
+            if a.memory() < 0.5 {
+                (10.0, 1)
+            } else {
+                (5.0, 2)
+            }
+        });
         assert_eq!(m.estimate(Allocation::new(0.5, 0.2)).plan_regime, 1);
         assert_eq!(m.estimate(Allocation::new(0.5, 0.8)).plan_regime, 2);
     }
 
     #[test]
     fn references_delegate() {
-        let m = FnCostModel::new(|a: Allocation| a.cpu);
+        let m = FnCostModel::new(|a: Allocation| a.cpu());
         let r: &dyn CostModel = &m;
         assert_eq!((&r).cost(Allocation::new(0.75, 0.5)), 0.75);
     }

@@ -27,7 +27,7 @@
 
 use crate::costmodel::calibration::CalibratedModel;
 use crate::costmodel::model::CostModel;
-use crate::problem::Allocation;
+use crate::problem::{AllocKey, Allocation};
 use crate::tenant::Tenant;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -55,7 +55,7 @@ pub struct Estimate {
 #[derive(Debug, Default)]
 struct CacheGeneration {
     fingerprint: u64,
-    map: HashMap<(u32, u32), Estimate>,
+    map: HashMap<AllocKey, Estimate>,
 }
 
 /// A thread-safe estimate cache shared across estimator instances (and
@@ -78,7 +78,7 @@ impl SharedEstimateCache {
     }
 
     /// Cached estimate for a (fingerprint, allocation) pair.
-    pub fn get(&self, fingerprint: u64, key: (u32, u32)) -> Option<Estimate> {
+    pub fn get(&self, fingerprint: u64, key: AllocKey) -> Option<Estimate> {
         let inner = self.inner.lock();
         if inner.fingerprint != fingerprint {
             return None;
@@ -88,7 +88,7 @@ impl SharedEstimateCache {
 
     /// Store an estimate, evicting any previous generation cached
     /// under a different fingerprint.
-    pub fn insert(&self, fingerprint: u64, key: (u32, u32), estimate: Estimate) {
+    pub fn insert(&self, fingerprint: u64, key: AllocKey, estimate: Estimate) {
         let mut inner = self.inner.lock();
         if inner.fingerprint != fingerprint {
             inner.map.clear();
@@ -116,7 +116,7 @@ impl SharedEstimateCache {
         inner
             .map
             .iter()
-            .map(|(&(c, m), &est)| (Allocation::new(c as f64 / 1e4, m as f64 / 1e4), est))
+            .map(|(&key, &est)| (Allocation::from_key(key), est))
             .collect()
     }
 }
@@ -125,7 +125,7 @@ impl SharedEstimateCache {
 #[derive(Debug)]
 enum CacheBackend {
     /// Private per-instance cache (seed behaviour).
-    Local(Mutex<HashMap<(u32, u32), Estimate>>),
+    Local(Mutex<HashMap<AllocKey, Estimate>>),
     /// Advisor-owned cache surviving across searches.
     Shared {
         cache: SharedEstimateCache,
@@ -227,7 +227,7 @@ impl<'a> WhatIfEstimator<'a> {
         for s in self.tenant.statements() {
             self.optimizer_calls.fetch_add(1, Ordering::Relaxed);
             let plan = optimizer.plan(&s.query);
-            total += self.model.to_seconds(plan.native_cost) * s.count;
+            total += self.model.to_seconds_at(plan.native_cost, alloc) * s.count;
             statements += s.count;
             regime.write_u64(plan.signature);
         }
@@ -261,7 +261,7 @@ impl<'a> WhatIfEstimator<'a> {
             CacheBackend::Local(map) => map
                 .lock()
                 .iter()
-                .map(|(&(c, m), &est)| (Allocation::new(c as f64 / 1e4, m as f64 / 1e4), est))
+                .map(|(&key, &est)| (Allocation::from_key(key), est))
                 .collect(),
             CacheBackend::Shared { cache, fingerprint } => cache.samples_for(*fingerprint),
             CacheBackend::Disabled => Vec::new(),
@@ -417,6 +417,54 @@ mod tests {
                 "estimate {predicted} vs actual {actual} (err {err}) at {alloc:?}"
             );
         }
+    }
+
+    #[test]
+    fn estimate_tracks_actual_across_disk_shares() {
+        // The third axis is *priced*, not just representable: with a
+        // disk-calibrated model, what-if estimates track the
+        // executor's actuals across disk-bandwidth shares.
+        use crate::costmodel::calibration::CalibrationConfig;
+        use crate::problem::Resource;
+        let (hv, tenant) = setup();
+        let cal = Calibrator::with_config(
+            &hv,
+            CalibrationConfig::with_disk_levels(vec![0.25, 0.5, 1.0]),
+        );
+        let model = cal.calibrate(&tenant.engine);
+        let est = WhatIfEstimator::new(&tenant, &model);
+        for &d in &[0.2, 0.4, 0.75, 1.0] {
+            let alloc = Allocation::new(0.5, 0.5).with(Resource::DiskBandwidth, d);
+            let predicted = est.cost(alloc);
+            let actual = tenant.actual_cost(&hv, alloc);
+            let err = (predicted - actual).abs() / actual;
+            assert!(
+                err < 0.1,
+                "estimate {predicted} vs actual {actual} (err {err}) at disk {d}"
+            );
+        }
+        // The axis genuinely moves the estimate: at a quarter of the
+        // disk, the scan workload's I/O time quadruples.
+        let full = est.cost(Allocation::new(0.5, 0.5));
+        let quarter = est.cost(Allocation::new(0.5, 0.5).with(Resource::DiskBandwidth, 0.25));
+        assert!(
+            quarter > full * 1.05,
+            "quartering disk must hurt: {quarter} vs {full}"
+        );
+    }
+
+    #[test]
+    fn uncalibrated_disk_axis_prices_at_reference_share() {
+        // Without disk calibration the estimator must NOT silently
+        // invent a disk price: the estimate is the reference-share
+        // estimate regardless of the allocation's disk component.
+        use crate::problem::Resource;
+        let (hv, tenant) = setup();
+        let model = Calibrator::new(&hv).calibrate(&tenant.engine);
+        let est = WhatIfEstimator::new(&tenant, &model);
+        let a = est.cost(Allocation::new(0.5, 0.5));
+        let b = est.cost(Allocation::new(0.5, 0.5).with(Resource::DiskBandwidth, 0.5));
+        assert_eq!(a, b);
     }
 
     #[test]

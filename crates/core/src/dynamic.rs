@@ -289,6 +289,16 @@ pub struct FleetDynamicOptions {
     /// migration must promise before it is executed (migrations are
     /// disruptive; small gains are not worth moving a database).
     pub migration_threshold: f64,
+    /// Extra relative gain (on top of [`Self::migration_threshold`])
+    /// a migration that crosses **hardware classes** must promise.
+    /// Such a move is strictly more expensive than a same-class one:
+    /// the tenant's calibrated model is demoted (a destination-class
+    /// calibration must be fit or installed), its estimate cache is
+    /// dropped, and refinement restarts from a what-if prior — so
+    /// same-class and cross-class moves must not be priced
+    /// identically. Set to `0.0` to restore the old single-threshold
+    /// gate.
+    pub recalibration_surcharge: f64,
     /// Pricing options for candidate placements (the `machines` field
     /// is overwritten with the fleet's machine count).
     pub fleet: FleetOptions,
@@ -299,6 +309,7 @@ impl Default for FleetDynamicOptions {
         FleetDynamicOptions {
             dynamic: DynamicOptions::default(),
             migration_threshold: 0.05,
+            recalibration_surcharge: 0.02,
             fleet: FleetOptions::default(),
         }
     }
@@ -756,8 +767,22 @@ impl FleetManager {
             let Some(gain) = migration_gain(base, obj) else {
                 continue;
             };
-            if gain > self.options.migration_threshold
-                && best.as_ref().is_none_or(|(_, _, b)| gain > *b)
+            // The migration cost model: a cross-hardware-class move
+            // additionally pays a recalibration (destination-class
+            // model fit/installation, cache drop, refinement restart
+            // from a what-if prior), so it must promise the surcharge
+            // on top of the base threshold — and candidates are
+            // *ranked* net of that surcharge too, so a same-class move
+            // with a slightly lower raw gain still beats a cross-class
+            // one whose extra gain doesn't cover its recalibration.
+            let surcharge = if self.hardware_class(m) != self.hardware_class(to) {
+                self.options.recalibration_surcharge
+            } else {
+                0.0
+            };
+            let net = gain - surcharge;
+            if gain > self.options.migration_threshold + surcharge
+                && best.as_ref().is_none_or(|(_, _, b)| net > *b)
             {
                 best = Some((
                     Migration {
@@ -768,7 +793,7 @@ impl FleetManager {
                         recalibrated: false,
                     },
                     slot,
-                    gain,
+                    net,
                 ));
             }
         }
@@ -980,7 +1005,7 @@ mod tests {
         // allocations stay feasible per machine.
         let next = fleet.process_period();
         for report in next.reports.iter().flatten() {
-            let total: f64 = report.allocations.iter().map(|a| a.cpu).sum();
+            let total: f64 = report.allocations.iter().map(|a| a.cpu()).sum();
             assert!(total <= 1.0 + 1e-9);
         }
     }
@@ -1161,9 +1186,86 @@ mod tests {
         // allocations.
         let next = fleet.process_period();
         for report in next.reports.iter().flatten() {
-            let total: f64 = report.allocations.iter().map(|a| a.cpu).sum();
+            let total: f64 = report.allocations.iter().map(|a| a.cpu()).sum();
             assert!(total <= 1.0 + 1e-9);
         }
+    }
+
+    #[test]
+    fn recalibration_surcharge_rejects_cross_class_moves() {
+        // The migration cost model: the same workload change, the same
+        // candidate move, the same relative gain — but across hardware
+        // classes the move also pays a recalibration, so a gain that
+        // clears the relative threshold alone must be rejected once the
+        // surcharge is stacked on top.
+        let mut fast = PhysicalMachine::paper_testbed();
+        fast.core_ghz *= 2.0;
+        let fleet_with = |surcharge: f64| {
+            let machines = vec![
+                machine(&[("a", 6, 1.0), ("b", 18, 4.0)]),
+                machine_on(fast, &[("c", Engine::db2(), 6, 1.0)]),
+            ];
+            let mut fleet = FleetManager::new_heterogeneous(
+                machines,
+                vec![SearchSpace::cpu_only(0.5); 2],
+                FleetDynamicOptions {
+                    migration_threshold: 0.01,
+                    recalibration_surcharge: surcharge,
+                    ..FleetDynamicOptions::default()
+                },
+            );
+            fleet.process_period(); // settle
+            fleet
+                .machine_mut(0)
+                .tenant_mut(0)
+                .set_workload(tpch::query_workload(18, 4.0))
+                .unwrap();
+            fleet
+        };
+        // Without the surcharge the move clears the 1 % relative gate.
+        let mut cheap = fleet_with(0.0);
+        let report = cheap.process_period();
+        assert_eq!(report.migrations.len(), 1, "{:?}", report.migrations);
+        let gain = report.migrations[0].estimated_gain;
+        assert!(gain > 0.01, "scenario must clear the relative gate: {gain}");
+        // With a surcharge above the observed gain, the identical move
+        // is rejected — cross-class moves are no longer priced like
+        // same-class ones.
+        let mut priced = fleet_with(gain + 0.01);
+        let report = priced.process_period();
+        assert!(
+            report.migrations.is_empty(),
+            "surcharge must reject the cross-class move: {:?}",
+            report.migrations
+        );
+        assert_eq!(priced.machine(0).tenant_count(), 2);
+    }
+
+    #[test]
+    fn same_class_moves_pay_no_recalibration_surcharge() {
+        // Identical hardware: even an enormous surcharge must not gate
+        // the move — only cross-class migrations pay it.
+        let machines = vec![
+            machine(&[("a", 6, 1.0), ("b", 18, 4.0)]),
+            machine(&[("c", 6, 1.0)]),
+        ];
+        let mut fleet = FleetManager::new(
+            machines,
+            SearchSpace::cpu_only(0.5),
+            FleetDynamicOptions {
+                recalibration_surcharge: 1e9,
+                ..FleetDynamicOptions::default()
+            },
+        );
+        fleet.process_period();
+        fleet
+            .machine_mut(0)
+            .tenant_mut(0)
+            .set_workload(tpch::query_workload(18, 4.0))
+            .unwrap();
+        let report = fleet.process_period();
+        assert_eq!(report.migrations.len(), 1, "{:?}", report.migrations);
+        assert!(!report.migrations[0].recalibrated);
     }
 
     #[test]
@@ -1229,7 +1331,7 @@ mod tests {
                 adv.tenant_mut(0).scale_workload(1.5);
             }
             let report = mgr.process_period(&adv);
-            let total: f64 = report.allocations.iter().map(|a| a.cpu).sum();
+            let total: f64 = report.allocations.iter().map(|a| a.cpu()).sum();
             assert!(total <= 1.0 + 1e-9, "period {p}: {total}");
         }
     }

@@ -1,4 +1,4 @@
-//! Configuration enumeration (§4.5).
+//! Configuration enumeration (§4.5), over an arbitrary axis set.
 //!
 //! [`greedy_search`] is the paper's Figure 11 algorithm verbatim:
 //! start from equal shares, and in each iteration consider shifting a
@@ -24,6 +24,15 @@
 //! same way: a best-effort allocation with the violations flagged in
 //! [`SearchResult::limits_met`], never a panic.
 //!
+//! Every algorithm here is **M-dimensional**: the varied axes come
+//! from the search space's [`AxisSet`](crate::problem::AxisSet), the DP budget lattice has one
+//! dimension per varied axis (each with its own δ), and windows /
+//! boundary bands are per-axis boxes. Restricted to the paper's
+//! `{Cpu, Memory}` the code paths reduce exactly to the historical
+//! two-axis implementation — probe sequences, tie-breaking, and
+//! results are bit-identical (`tests/m_axes.rs` pins this against a
+//! frozen copy of the legacy 2-axis DP).
+//!
 //! Both algorithms consume one [`CostModel`] per workload — what-if
 //! estimators, refined models, the executor oracle, or synthetic
 //! models — and evaluate each iteration's candidate set as a batch.
@@ -34,7 +43,7 @@
 //! selection logic, and therefore tie-breaking, is always serial).
 
 use crate::costmodel::model::CostModel;
-use crate::problem::{Allocation, QoS, Resource, SearchSpace};
+use crate::problem::{AllocKey, Allocation, QoS, Resource, SearchSpace};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
@@ -107,10 +116,13 @@ impl SearchOptions {
 /// alone, which would silently reuse one machine's solve on different
 /// hardware.
 ///
-/// The fingerprint quantizes the space's float fields at 1e-9 share
-/// resolution (far finer than any δ grid in use), so spaces that
+/// The fingerprint covers the full axis set: the varied
+/// [`AxisSet`](crate::problem::AxisSet) bitmask plus every axis's
+/// fixed share and δ, quantized at 1e-9
+/// share resolution (far finer than any δ grid in use), so spaces that
 /// differ only by floating-point dust share a class while genuinely
-/// different grids never do.
+/// different grids — including grids differing on a *new* axis —
+/// never do.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct MachineClass(u64);
 
@@ -118,16 +130,12 @@ impl MachineClass {
     /// The class of a search space.
     pub fn of(space: &SearchSpace) -> Self {
         let mut h = Fnv64::new();
-        for field in [
-            space.vary_cpu as u64,
-            space.vary_memory as u64,
-            quantize_share(space.fixed.cpu),
-            quantize_share(space.fixed.memory),
-            quantize_share(space.delta),
-            quantize_share(space.min_share),
-        ] {
-            h.write_u64(field);
+        h.write_u64(space.varied.bits() as u64);
+        for r in Resource::ALL {
+            h.write_u64(quantize_share(space.fixed.get(r)));
+            h.write_u64(quantize_share(space.delta_for(r)));
         }
+        h.write_u64(quantize_share(space.min_share));
         MachineClass(h.finish())
     }
 
@@ -201,7 +209,7 @@ impl<'m, M: CostModel> Evaluator<'m, M> {
     /// Costs for a batch of (workload, allocation) jobs, in job order.
     fn costs(&self, jobs: &[(usize, Allocation)]) -> Vec<f64> {
         let mut unique: Vec<(usize, Allocation)> = Vec::with_capacity(jobs.len());
-        let mut slot: HashMap<(usize, (u32, u32)), usize> = HashMap::with_capacity(jobs.len());
+        let mut slot: HashMap<(usize, AllocKey), usize> = HashMap::with_capacity(jobs.len());
         let mut job_slots: Vec<usize> = Vec::with_capacity(jobs.len());
         for &(i, a) in jobs {
             let key = (i, a.key());
@@ -244,7 +252,6 @@ pub fn greedy_search_with<M: CostModel>(
     assert_eq!(qos.len(), n, "one QoS entry per workload");
     let varied = space.varied();
     assert!(!varied.is_empty(), "at least one resource must be varied");
-    let delta = space.delta;
     let eval = Evaluator::new(models, options);
 
     // Degradation baselines: Cost(W_i, [1,…,1]) over the varied
@@ -281,6 +288,7 @@ pub fn greedy_search_with<M: CostModel>(
         // (resource, donor) pair are evaluated as one batch.
         let mut jobs: Vec<(usize, Allocation)> = Vec::new();
         for &res in &varied {
+            let delta = space.delta_for(res);
             if alloc[v].get(res) + delta > 1.0 + 1e-9 {
                 continue;
             }
@@ -296,6 +304,7 @@ pub fn greedy_search_with<M: CostModel>(
         let mut cursor = 0;
         let mut best: Option<(Resource, usize, f64)> = None;
         for &res in &varied {
+            let delta = space.delta_for(res);
             if alloc[v].get(res) + delta > 1.0 + 1e-9 {
                 continue;
             }
@@ -323,6 +332,7 @@ pub fn greedy_search_with<M: CostModel>(
         let Some((res, donor, _)) = best else {
             break; // jointly infeasible: report via limits_met
         };
+        let delta = space.delta_for(res);
         alloc[v] = alloc[v].shifted(res, delta);
         alloc[donor] = alloc[donor].shifted(res, -delta);
     }
@@ -341,6 +351,7 @@ pub fn greedy_search_with<M: CostModel>(
         // Candidate batch: ±δ probes for every (resource, workload).
         let mut jobs: Vec<(usize, Allocation)> = Vec::new();
         for &res in &varied {
+            let delta = space.delta_for(res);
             for (i, a) in alloc.iter().enumerate() {
                 let share = a.get(res);
                 if share + delta <= 1.0 + 1e-9 {
@@ -359,6 +370,7 @@ pub fn greedy_search_with<M: CostModel>(
         let mut best_down_cost = 0.0;
 
         for &res in &varied {
+            let delta = space.delta_for(res);
             // Who benefits most from +δ?
             let mut max_gain = 0.0;
             let mut i_gain = None;
@@ -416,6 +428,7 @@ pub fn greedy_search_with<M: CostModel>(
         }
 
         let Some(step) = best else { break };
+        let delta = space.delta_for(step.resource);
         alloc[step.winner] = alloc[step.winner].shifted(step.resource, delta);
         alloc[step.loser] = alloc[step.loser].shifted(step.resource, -delta);
         weighted[step.winner] = qos[step.winner].gain * best_up_cost;
@@ -452,16 +465,17 @@ pub fn exhaustive_search<M: CostModel>(
 }
 
 /// Exact optimum over the δ-quantized grid, via DP on remaining budget
-/// units. Equivalent to brute-force enumeration of all grid
-/// allocations because the objective is separable per workload. The DP
-/// minimizes (unmet degradation limits, weighted cost)
-/// lexicographically, so whenever the limits are jointly satisfiable
-/// it returns the cheapest limit-respecting allocation, and when they
-/// are not it returns the best-effort optimum — fewest violations
-/// first, cheapest second — flagged via [`SearchResult::limits_met`],
-/// consistent with [`greedy_search`]. The per-workload cost tables
-/// over the grid are evaluated as one batch (in parallel when
-/// `options.parallel` is set).
+/// units (one budget dimension per varied axis). Equivalent to
+/// brute-force enumeration of all grid allocations because the
+/// objective is separable per workload. The DP minimizes (unmet
+/// degradation limits, weighted cost) lexicographically, so whenever
+/// the limits are jointly satisfiable it returns the cheapest
+/// limit-respecting allocation, and when they are not it returns the
+/// best-effort optimum — fewest violations first, cheapest second —
+/// flagged via [`SearchResult::limits_met`], consistent with
+/// [`greedy_search`]. The per-workload cost tables over the grid are
+/// evaluated as one batch (in parallel when `options.parallel` is
+/// set).
 pub fn exhaustive_search_with<M: CostModel>(
     space: &SearchSpace,
     qos: &[QoS],
@@ -469,24 +483,29 @@ pub fn exhaustive_search_with<M: CostModel>(
     options: &SearchOptions,
 ) -> SearchResult {
     let n = models.len();
-    let units_total = (1.0 / space.delta).round() as usize;
-    let min_units = (space.min_share / space.delta).round().max(1.0) as usize;
-    assert!(
-        units_total >= n * min_units,
-        "min_share too large for {n} workloads"
-    );
+    for r in space.varied.iter() {
+        let delta = space.delta_for(r);
+        let units_total = (1.0 / delta).round() as usize;
+        let min_units = (space.min_share / delta).round().max(1.0) as usize;
+        assert!(
+            units_total >= n * min_units,
+            "min_share too large for {n} workloads on the {} axis",
+            r.name()
+        );
+    }
     try_exhaustive_search_with(space, qos, models, options)
         .expect("the asserted unit budget hosts every workload")
 }
 
 /// Non-panicking [`exhaustive_search_with`]: `None` only when the grid
 /// is too coarse to host every workload (fewer δ units than workloads
-/// times their minimum share). Jointly infeasible degradation limits
-/// are *not* a `None`: the DP returns the best-effort allocation with
-/// the violations flagged in [`SearchResult::limits_met`], exactly
-/// like [`greedy_search`] reports them. The fleet placement layer uses
-/// this to price overloaded machine subsets by their unmet-limit count
-/// instead of aborting.
+/// times their minimum share on some axis). Jointly infeasible
+/// degradation limits are *not* a `None`: the DP returns the
+/// best-effort allocation with the violations flagged in
+/// [`SearchResult::limits_met`], exactly like [`greedy_search`]
+/// reports them. The fleet placement layer uses this to price
+/// overloaded machine subsets by their unmet-limit count instead of
+/// aborting.
 pub fn try_exhaustive_search_with<M: CostModel>(
     space: &SearchSpace,
     qos: &[QoS],
@@ -496,11 +515,17 @@ pub fn try_exhaustive_search_with<M: CostModel>(
     grid_search(space, qos, models, options, None).map(|s| s.result)
 }
 
+/// One grid point's per-axis unit coordinates, in [`Resource::ALL`]
+/// order; `0` stands for a non-varied axis. The derived lexicographic
+/// `Ord` matches the historical `(cpu units, memory units)` tuple
+/// order on 2-axis spaces.
+pub(crate) type Units = [usize; Resource::COUNT];
+
 /// One evaluated cell of a workload's grid option table.
 #[derive(Debug, Clone, Copy)]
 struct GridCell {
-    /// (cpu units, memory units); 0 stands for a non-varied axis.
-    units: (usize, usize),
+    /// Per-axis units of the cell.
+    units: Units,
     /// Unweighted cost at the cell.
     cost: f64,
     /// Gain-weighted cost at the cell.
@@ -518,13 +543,133 @@ struct GridSolve {
     tables: Vec<Vec<GridCell>>,
 }
 
-/// `[min_units, max_units]` of one workload's per-axis share on the
-/// δ grid of `space` with `n` workloads; `None` when the grid has too
-/// few units to host them all.
-fn unit_range(space: &SearchSpace, n: usize) -> Option<(usize, usize)> {
-    let units_total = (1.0 / space.delta).round() as usize;
-    let min_units = (space.min_share / space.delta).round().max(1.0) as usize;
+/// Per-axis `[min_units, max_units]` of one workload's share on the
+/// δ grid of `space` with `n` workloads; non-varied axes carry the
+/// placeholder `(0, 0)`. `None` when some varied axis has too few
+/// units to host them all.
+fn axis_ranges(space: &SearchSpace, n: usize) -> Option<[(usize, usize); Resource::COUNT]> {
+    let mut ranges = [(0usize, 0usize); Resource::COUNT];
+    for r in space.varied.iter() {
+        ranges[r.index()] = unit_range_axis(space, r, n)?;
+    }
+    Some(ranges)
+}
+
+/// `[min_units, max_units]` of one workload's share on one varied
+/// axis; `None` when the axis's grid has too few units to host `n`
+/// workloads.
+fn unit_range_axis(space: &SearchSpace, r: Resource, n: usize) -> Option<(usize, usize)> {
+    let delta = space.delta_for(r);
+    let units_total = (1.0 / delta).round() as usize;
+    let min_units = (space.min_share / delta).round().max(1.0) as usize;
     (units_total >= n * min_units).then(|| (min_units, units_total - (n - 1) * min_units))
+}
+
+/// The per-axis budget lattice: total units per axis (0 for non-varied
+/// axes), the dimension strides of the flattened state array, and the
+/// decoded per-axis remainder of every state index.
+struct BudgetLattice {
+    budgets: Units,
+    strides: Units,
+    /// `lefts[s]` = per-axis units left at state index `s`.
+    lefts: Vec<Units>,
+    /// Varied axis indices (into [`Resource::ALL`]), for the inner
+    /// feasibility checks.
+    varied_idx: Vec<usize>,
+}
+
+/// One 16-bit lane per axis in the packed unit representation; bit 15
+/// of every lane is the [`GUARD`] bit the SWAR feasibility check
+/// borrows against.
+const LANE_BITS: usize = 16;
+
+/// The guard bits of the packed representation (bit 15 of each lane).
+const GUARD: u64 = 0x8000_8000_8000_8000;
+
+/// Packed per-axis units: one 15-bit value per lane. Lane `j` holds
+/// axis `j`'s units, so a single guarded subtraction compares all
+/// axes at once (see [`BudgetLattice::new`]'s lane-width assertion).
+fn pack_units(units: &Units) -> u64 {
+    let mut p = 0u64;
+    for (j, &u) in units.iter().enumerate() {
+        p |= (u as u64) << (LANE_BITS * j);
+    }
+    p
+}
+
+impl BudgetLattice {
+    fn new(space: &SearchSpace) -> Self {
+        let mut budgets = [0usize; Resource::COUNT];
+        for r in space.varied.iter() {
+            budgets[r.index()] = (1.0 / space.delta_for(r)).round() as usize;
+        }
+        // The SWAR feasibility check packs each axis into a 15-bit
+        // lane; a grid finer than 2^15 units per axis (δ < ~3e-5, far
+        // below the 1e-4 cache-key resolution) is not representable.
+        assert!(
+            budgets.iter().all(|&b| b < 1 << (LANE_BITS - 1)),
+            "axis grid too fine for the packed DP lanes"
+        );
+        // Later axes vary fastest, mirroring the historical
+        // `cpu_left * height + mem_left` indexing.
+        let mut strides = [0usize; Resource::COUNT];
+        let mut stride = 1usize;
+        for j in (0..Resource::COUNT).rev() {
+            strides[j] = stride;
+            stride *= budgets[j] + 1;
+        }
+        let state_count = stride;
+        let mut lefts = Vec::with_capacity(state_count);
+        let mut cur = [0usize; Resource::COUNT];
+        for _ in 0..state_count {
+            // `cur` counts up with the last axis fastest — the inverse
+            // of the stride layout above, so index(cur) enumerates
+            // 0..state_count in order.
+            lefts.push(cur);
+            for j in (0..Resource::COUNT).rev() {
+                if cur[j] < budgets[j] {
+                    cur[j] += 1;
+                    break;
+                }
+                cur[j] = 0;
+            }
+        }
+        let varied_idx = space.varied.iter().map(Resource::index).collect();
+        BudgetLattice {
+            budgets,
+            strides,
+            lefts,
+            varied_idx,
+        }
+    }
+
+    fn state_count(&self) -> usize {
+        self.lefts.len()
+    }
+
+    /// Flattened index of a per-axis remainder.
+    fn index(&self, left: &Units) -> usize {
+        left.iter()
+            .zip(&self.strides)
+            .map(|(l, s)| l * s)
+            .sum::<usize>()
+    }
+
+    /// Whether a cell fits into the per-axis remainder.
+    fn fits(&self, cell: &Units, left: &Units) -> bool {
+        self.varied_idx.iter().all(|&j| cell[j] <= left[j])
+    }
+}
+
+/// The allocation realizing per-axis `units` on `space`'s grid.
+fn alloc_for(space: &SearchSpace, units: &Units) -> Allocation {
+    Allocation::from_fn(|r| {
+        if space.is_varied(r) {
+            units[r.index()] as f64 * space.delta_for(r)
+        } else {
+            space.fixed.get(r)
+        }
+    })
 }
 
 /// The DP grid optimum, optionally restricted to explicit per-workload
@@ -540,47 +685,26 @@ fn grid_search<M: CostModel>(
     qos: &[QoS],
     models: &[M],
     options: &SearchOptions,
-    allowed: Option<&[Vec<(usize, usize)>]>,
+    allowed: Option<&[Vec<Units>]>,
 ) -> Option<GridSolve> {
     let n = models.len();
     assert!(n >= 1);
     assert_eq!(qos.len(), n);
-    let varied = space.varied();
-    assert!(!varied.is_empty());
-    let delta = space.delta;
-    let (min_units, max_units) = unit_range(space, n)?;
-    let units_total = (1.0 / delta).round() as usize;
+    assert!(!space.varied.is_empty());
+    let ranges = axis_ranges(space, n)?;
     let eval = Evaluator::new(models, options);
 
     let solo = space.solo_allocation();
     let full_cost = eval.costs(&(0..n).map(|i| (i, solo)).collect::<Vec<_>>());
 
-    let vary_cpu = varied.contains(&Resource::Cpu);
-    let vary_mem = varied.contains(&Resource::Memory);
-    let cpu_budget = if vary_cpu { units_total } else { 0 };
-    let mem_budget = if vary_mem { units_total } else { 0 };
-
-    let alloc_for = |cu: usize, mu: usize| -> Allocation {
-        Allocation {
-            cpu: if vary_cpu {
-                cu as f64 * delta
-            } else {
-                space.fixed.cpu
-            },
-            memory: if vary_mem {
-                mu as f64 * delta
-            } else {
-                space.fixed.memory
-            },
-        }
-    };
+    let lattice = BudgetLattice::new(space);
 
     // Option cells per workload: the full product range, or the
     // caller's explicit (refinement-window) cells.
-    let cells_for = |i: usize| -> Vec<(usize, usize)> {
+    let cells_for = |i: usize| -> Vec<Units> {
         match allowed {
             Some(sets) => sets[i].clone(),
-            None => full_cells(space, min_units, max_units),
+            None => full_cells(space, &ranges),
         }
     };
 
@@ -590,18 +714,18 @@ fn grid_search<M: CostModel>(
     // the tables, flagged, so the DP can fall back on them when the
     // limits are jointly infeasible.
     let mut jobs: Vec<(usize, Allocation)> = Vec::new();
-    let mut coords: Vec<(usize, usize, usize)> = Vec::new();
+    let mut coords: Vec<(usize, Units)> = Vec::new();
     for i in 0..n {
-        for (cu, mu) in cells_for(i) {
-            jobs.push((i, alloc_for(cu, mu)));
-            coords.push((i, cu, mu));
+        for units in cells_for(i) {
+            jobs.push((i, alloc_for(space, &units)));
+            coords.push((i, units));
         }
     }
     let grid_costs = eval.costs(&jobs);
     let mut tables: Vec<Vec<GridCell>> = vec![Vec::new(); n];
-    for ((i, cu, mu), c) in coords.into_iter().zip(grid_costs) {
+    for ((i, units), c) in coords.into_iter().zip(grid_costs) {
         tables[i].push(GridCell {
-            units: (cu, mu),
+            units,
             cost: c,
             weighted: qos[i].gain * c,
             within_limit: within_limit(c, qos[i].degradation_limit, full_cost[i]),
@@ -611,69 +735,90 @@ fn grid_search<M: CostModel>(
         return None; // a window excluded every option for some workload
     }
 
-    // DP over (workload index, cpu units left, memory units left):
-    // lexicographically minimal (unmet limits, weighted cost)
-    // completing workloads i..n.
+    // DP over (workload index, per-axis units left): lexicographically
+    // minimal (unmet limits, weighted cost) completing workloads i..n.
     const UNREACHABLE: (u32, f64) = (u32::MAX, f64::INFINITY);
     let lex_less = |a: (u32, f64), b: (u32, f64)| a.0 < b.0 || (a.0 == b.0 && a.1 < b.1);
-    let width = cpu_budget + 1;
-    let height = mem_budget + 1;
-    let idx = |c: usize, m: usize| c * height + m;
+    let state_count = lattice.state_count();
+    // Hot per-cell data for the inner loop, contiguous per table: the
+    // flattened state offset, the SWAR-packed units (one guarded
+    // subtraction compares every axis at once instead of a per-axis
+    // loop — the M-axis generalization must not tax the 2-axis hot
+    // path), the unmet-limit increment, and the weighted cost.
+    struct HotCell {
+        offset: usize,
+        packed: u64,
+        unmet: u32,
+        weighted: f64,
+    }
+    let hot: Vec<Vec<HotCell>> = tables
+        .iter()
+        .map(|table| {
+            table
+                .iter()
+                .map(|c| HotCell {
+                    offset: lattice.index(&c.units),
+                    packed: pack_units(&c.units),
+                    unmet: u32::from(!c.within_limit),
+                    weighted: c.weighted,
+                })
+                .collect()
+        })
+        .collect();
+    // Guard-carrying packed remainders per state: lane `j` of
+    // `pleft - cell.packed` keeps its guard bit iff `left_j >=
+    // cell_j` (a lane that would go negative borrows exactly its own
+    // guard bit, never its neighbour's).
+    let packed_lefts: Vec<u64> = lattice
+        .lefts
+        .iter()
+        .map(|l| pack_units(l) | GUARD)
+        .collect();
     // Base case: all workloads placed; leftover units are fine (the
     // constraint is Σ ≤ 1).
-    let mut next: Vec<(u32, f64)> = vec![(0, 0.0); width * height];
+    let mut next: Vec<(u32, f64)> = vec![(0, 0.0); state_count];
 
     // Backward DP with parent reconstruction by re-derivation.
     let mut layers: Vec<Vec<(u32, f64)>> = Vec::with_capacity(n + 1);
     layers.push(next.clone());
     for i in (0..n).rev() {
-        let mut cur = vec![UNREACHABLE; width * height];
-        for c_left in 0..width {
-            for m_left in 0..height {
-                let mut best = UNREACHABLE;
-                for cell in &tables[i] {
-                    let (cu, mu) = cell.units;
-                    let cu_eff = if vary_cpu { cu } else { 0 };
-                    let mu_eff = if vary_mem { mu } else { 0 };
-                    if cu_eff <= c_left && mu_eff <= m_left {
-                        let rest = next[idx(c_left - cu_eff, m_left - mu_eff)];
-                        if rest.0 == u32::MAX {
-                            continue;
-                        }
-                        let v = (
-                            rest.0 + u32::from(!cell.within_limit),
-                            cell.weighted + rest.1,
-                        );
-                        if lex_less(v, best) {
-                            best = v;
-                        }
+        let mut cur = vec![UNREACHABLE; state_count];
+        for (s, &pleft) in packed_lefts.iter().enumerate() {
+            let mut best = UNREACHABLE;
+            for cell in &hot[i] {
+                if (pleft - cell.packed) & GUARD == GUARD {
+                    let rest = next[s - cell.offset];
+                    if rest.0 == u32::MAX {
+                        continue;
+                    }
+                    let v = (rest.0 + cell.unmet, cell.weighted + rest.1);
+                    if lex_less(v, best) {
+                        best = v;
                     }
                 }
-                cur[idx(c_left, m_left)] = best;
             }
+            cur[s] = best;
         }
         layers.push(cur.clone());
         next = cur;
     }
     layers.reverse(); // layers[i] = cost-to-go starting at workload i
 
-    if layers[0][idx(cpu_budget, mem_budget)].0 == u32::MAX {
+    let start = lattice.index(&lattice.budgets);
+    if layers[0][start].0 == u32::MAX {
         return None; // windows exclude every within-budget combination
     }
 
     // Reconstruct choices greedily from the DP tables.
-    let mut c_left = cpu_budget;
-    let mut m_left = mem_budget;
+    let mut left = lattice.budgets;
     let mut chosen: Vec<GridCell> = Vec::with_capacity(n);
     for i in 0..n {
-        let target = layers[i][idx(c_left, m_left)];
+        let s = lattice.index(&left);
+        let target = layers[i][s];
         let mut found = false;
-        for cell in &tables[i] {
-            let (cu, mu) = cell.units;
-            let cu_eff = if vary_cpu { cu } else { 0 };
-            let mu_eff = if vary_mem { mu } else { 0 };
-            if cu_eff <= c_left && mu_eff <= m_left {
-                let rest = layers[i + 1][idx(c_left - cu_eff, m_left - mu_eff)];
+        for (cell, hot_cell) in tables[i].iter().zip(&hot[i]) {
+            if lattice.fits(&cell.units, &left) {
+                let rest = layers[i + 1][s - hot_cell.offset];
                 if rest.0 == u32::MAX {
                     continue;
                 }
@@ -683,8 +828,9 @@ fn grid_search<M: CostModel>(
                 );
                 if v.0 == target.0 && (v.1 - target.1).abs() <= 1e-9 * target.1.abs().max(1.0) {
                     chosen.push(*cell);
-                    c_left -= cu_eff;
-                    m_left -= mu_eff;
+                    for &j in &lattice.varied_idx {
+                        left[j] -= cell.units[j];
+                    }
                     found = true;
                     break;
                 }
@@ -695,7 +841,7 @@ fn grid_search<M: CostModel>(
 
     let allocations: Vec<Allocation> = chosen
         .iter()
-        .map(|cell| alloc_for(cell.units.0, cell.units.1))
+        .map(|cell| alloc_for(space, &cell.units))
         .collect();
     let costs: Vec<f64> = chosen.iter().map(|cell| cell.cost).collect();
     let limits_met = chosen.iter().map(|cell| cell.within_limit).collect();
@@ -716,14 +862,16 @@ fn grid_search<M: CostModel>(
 /// turn, then restricts the next (finer) level to a window of
 /// `window_steps` previous-level steps around each workload's share at
 /// the previous optimum. The final level is always the search space's
-/// own δ. Degenerate coarse levels (a grid too coarse to host all
-/// workloads) and levels made infeasible by the degradation limits are
-/// skipped — the following level then runs unwindowed, so the result
-/// is always feasible whenever the full-grid DP is.
+/// own (per-axis) δ. Degenerate coarse levels (a grid too coarse to
+/// host all workloads) and levels made infeasible by the degradation
+/// limits are skipped — the following level then runs unwindowed, so
+/// the result is always feasible whenever the full-grid DP is.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CoarseToFineOptions {
-    /// Refinement ladder of coarse δ values, coarsest first. Values
-    /// not strictly coarser than the search space's δ are ignored.
+    /// Refinement ladder of coarse δ values, coarsest first. Each
+    /// coarse level applies its δ uniformly to every varied axis;
+    /// values not strictly coarser than every varied axis's fine δ are
+    /// ignored.
     pub coarse_deltas: Vec<f64>,
     /// Refinement-window half-width around the previous level's
     /// optimum, in multiples of the previous level's δ. For separable
@@ -760,7 +908,7 @@ impl CoarseToFineOptions {
     pub fn auto(space: &SearchSpace, n: usize) -> Self {
         const CANDIDATES: [f64; 5] = [0.2, 0.1, 0.05, 0.04, 0.025];
         for &c in &CANDIDATES {
-            if c <= space.delta * 1.5 {
+            if c <= space.max_varied_delta() * 1.5 {
                 continue;
             }
             let units = (1.0 / c).round() as usize;
@@ -842,7 +990,7 @@ pub fn try_coarse_to_fine_search_with<M: CostModel>(
         .coarse_deltas
         .iter()
         .copied()
-        .filter(|&d| d > space.delta + 1e-12)
+        .filter(|&d| d > space.max_varied_delta() + 1e-12)
         .collect();
     ladder.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
 
@@ -854,9 +1002,9 @@ pub fn try_coarse_to_fine_search_with<M: CostModel>(
     // level's window center.
     let mut seed: Option<(Vec<Allocation>, f64)> = None;
     for delta in ladder {
-        let coarse_space = SearchSpace { delta, ..*space };
+        let coarse_space = space.with_delta(delta);
         let allowed = seed.as_ref().and_then(|(centers, prev_delta)| {
-            let (lo, hi) = unit_range(&coarse_space, n)?;
+            let ranges = axis_ranges(&coarse_space, n)?;
             Some(
                 (0..n)
                     .map(|i| {
@@ -864,8 +1012,7 @@ pub fn try_coarse_to_fine_search_with<M: CostModel>(
                             &coarse_space,
                             centers[i],
                             c2f.window_steps * prev_delta,
-                            lo,
-                            hi,
+                            &ranges,
                         )
                     })
                     .collect::<Vec<_>>(),
@@ -884,13 +1031,13 @@ pub fn try_coarse_to_fine_search_with<M: CostModel>(
     // improves (every single-unit exchange lies inside the window),
     // which for separable convex costs is exactly the grid optimum.
     if let Some((centers, prev_delta)) = seed {
-        if let Some((lo, hi)) = unit_range(space, n) {
+        if let Some(ranges) = axis_ranges(space, n) {
             let half_width = c2f.window_steps * prev_delta;
             let mut centers = centers;
             let mut best: Option<SearchResult> = None;
             for _ in 0..RECENTER_CAP {
-                let allowed: Vec<Vec<(usize, usize)>> = (0..n)
-                    .map(|i| window_cells(space, centers[i], half_width, lo, hi))
+                let allowed: Vec<Vec<Units>> = (0..n)
+                    .map(|i| window_cells(space, centers[i], half_width, &ranges))
                     .collect();
                 let Some(s) = grid_search(space, qos, models, options, Some(&allowed)) else {
                     break;
@@ -957,7 +1104,7 @@ fn limit_aware_refinement<M: CostModel>(
     // success.
     let mut seed: Option<(GridSolve, f64)> = None;
     for &delta in ladder.iter().rev() {
-        let coarse_space = SearchSpace { delta, ..*space };
+        let coarse_space = space.with_delta(delta);
         if let Some(s) = grid_search(&coarse_space, qos, models, options, None) {
             seed = Some((s, delta));
             break;
@@ -966,13 +1113,13 @@ fn limit_aware_refinement<M: CostModel>(
     let Some((coarse, coarse_delta)) = seed else {
         return full_grid();
     };
-    let (lo, hi) = unit_range(space, n)?;
+    let ranges = axis_ranges(space, n)?;
 
     // Boundary band per workload (empty for unconstrained workloads).
-    let band: Vec<Vec<(usize, usize)>> = (0..n)
+    let band: Vec<Vec<Units>> = (0..n)
         .map(|i| {
             if qos[i].degradation_limit.is_finite() {
-                boundary_band_cells(space, &coarse.tables[i], coarse_delta, lo, hi)
+                boundary_band_cells(space, &coarse.tables[i], coarse_delta, &ranges)
             } else {
                 Vec::new()
             }
@@ -986,12 +1133,12 @@ fn limit_aware_refinement<M: CostModel>(
     let mut full_range = vec![false; n];
     let mut best: Option<SearchResult> = None;
     for _ in 0..RECENTER_CAP {
-        let allowed: Vec<Vec<(usize, usize)>> = (0..n)
+        let allowed: Vec<Vec<Units>> = (0..n)
             .map(|i| {
                 if full_range[i] {
-                    full_cells(space, lo, hi)
+                    full_cells(space, &ranges)
                 } else {
-                    let mut cells = window_cells(space, centers[i], half[i], lo, hi);
+                    let mut cells = window_cells(space, centers[i], half[i], &ranges);
                     cells.extend_from_slice(&band[i]);
                     cells.sort_unstable();
                     cells.dedup();
@@ -1012,7 +1159,7 @@ fn limit_aware_refinement<M: CostModel>(
             if full_range[i] {
                 continue;
             }
-            if on_window_edge(&r.allocations[i], &allowed[i], space, lo, hi) {
+            if on_window_edge(&r.allocations[i], &allowed[i], space, &ranges) {
                 half[i] *= 2.0;
                 grew = true;
                 if half[i] >= 1.0 {
@@ -1046,53 +1193,68 @@ fn lex_better(a: &SearchResult, b: &SearchResult) -> bool {
     ua < ub || (ua == ub && a.weighted_cost < b.weighted_cost - 1e-12)
 }
 
-/// Cartesian product of per-axis unit options, ascending (cpu,
-/// memory) — the sorted order [`on_window_edge`]'s binary search and
-/// the deterministic probe sequence both rely on. A non-varied axis
-/// contributes the single placeholder unit 0.
-fn product_cells(cpu: &[usize], mem: &[usize]) -> Vec<(usize, usize)> {
-    let mut cells = Vec::with_capacity(cpu.len() * mem.len());
-    for &cu in cpu {
-        for &mu in mem {
-            cells.push((cu, mu));
+/// Cartesian product of per-axis unit options, ascending in canonical
+/// axis order (earlier axes outermost) — the sorted order
+/// [`on_window_edge`]'s binary search and the deterministic probe
+/// sequence both rely on. A non-varied axis contributes the single
+/// placeholder unit 0.
+fn product_cells(axes: &[Vec<usize>; Resource::COUNT]) -> Vec<Units> {
+    let mut cells = Vec::with_capacity(axes.iter().map(Vec::len).product());
+    let mut cur = [0usize; Resource::COUNT];
+    fn rec(axes: &[Vec<usize>; Resource::COUNT], j: usize, cur: &mut Units, out: &mut Vec<Units>) {
+        if j == Resource::COUNT {
+            out.push(*cur);
+            return;
+        }
+        for &u in &axes[j] {
+            cur[j] = u;
+            rec(axes, j + 1, cur, out);
         }
     }
+    rec(axes, 0, &mut cur, &mut cells);
     cells
 }
 
+/// Per-axis option lists for a window/full-range construction: the
+/// closure supplies a varied axis's units, non-varied axes contribute
+/// the placeholder `[0]`.
+fn axis_options(
+    space: &SearchSpace,
+    mut f: impl FnMut(Resource) -> Vec<usize>,
+) -> [Vec<usize>; Resource::COUNT] {
+    let mut axes: [Vec<usize>; Resource::COUNT] = std::array::from_fn(|_| vec![0]);
+    for r in space.varied.iter() {
+        axes[r.index()] = f(r);
+    }
+    axes
+}
+
 /// Grid cells of `space` inside a per-axis window of `half_width`
-/// (in shares) around `center`, clamped to `[lo, hi]` units.
+/// (in shares) around `center`, clamped to the per-axis unit ranges.
 fn window_cells(
     space: &SearchSpace,
     center: Allocation,
     half_width: f64,
-    lo: usize,
-    hi: usize,
-) -> Vec<(usize, usize)> {
-    let axis = |vary: bool, c: f64| -> Vec<usize> {
-        if !vary {
-            return vec![0];
-        }
+    ranges: &[(usize, usize); Resource::COUNT],
+) -> Vec<Units> {
+    let axes = axis_options(space, |r| {
+        let (lo, hi) = ranges[r.index()];
+        let delta = space.delta_for(r);
+        let c = center.get(r);
         (lo..=hi)
-            .filter(|&u| (u as f64 * space.delta - c).abs() <= half_width + 1e-9)
+            .filter(|&u| (u as f64 * delta - c).abs() <= half_width + 1e-9)
             .collect()
-    };
-    product_cells(
-        &axis(space.vary_cpu, center.cpu),
-        &axis(space.vary_memory, center.memory),
-    )
+    });
+    product_cells(&axes)
 }
 
-/// Every grid cell of `space` over the `[lo, hi]` unit range.
-fn full_cells(space: &SearchSpace, lo: usize, hi: usize) -> Vec<(usize, usize)> {
-    let axis = |vary: bool| -> Vec<usize> {
-        if vary {
-            (lo..=hi).collect()
-        } else {
-            vec![0]
-        }
-    };
-    product_cells(&axis(space.vary_cpu), &axis(space.vary_memory))
+/// Every grid cell of `space` over the per-axis unit ranges.
+fn full_cells(space: &SearchSpace, ranges: &[(usize, usize); Resource::COUNT]) -> Vec<Units> {
+    let axes = axis_options(space, |r| {
+        let (lo, hi) = ranges[r.index()];
+        (lo..=hi).collect()
+    });
+    product_cells(&axes)
 }
 
 /// The fine cells within one coarse step of the workload's
@@ -1107,51 +1269,49 @@ fn boundary_band_cells(
     space: &SearchSpace,
     coarse_table: &[GridCell],
     coarse_delta: f64,
-    lo: usize,
-    hi: usize,
-) -> Vec<(usize, usize)> {
-    let verdict: HashMap<(usize, usize), bool> = coarse_table
+    ranges: &[(usize, usize); Resource::COUNT],
+) -> Vec<Units> {
+    let verdict: HashMap<Units, bool> = coarse_table
         .iter()
         .map(|c| (c.units, c.within_limit))
         .collect();
-    let mut centers: Vec<(usize, usize)> = Vec::new();
+    let varied_idx: Vec<usize> = space.varied.iter().map(Resource::index).collect();
+    let mut centers: Vec<Units> = Vec::new();
     for cell in coarse_table {
         if !cell.within_limit {
             continue;
         }
-        let (cu, mu) = cell.units;
-        let neighbors = [
-            (cu.wrapping_sub(1), mu),
-            (cu + 1, mu),
-            (cu, mu.wrapping_sub(1)),
-            (cu, mu + 1),
-        ];
-        if neighbors.iter().any(|u| verdict.get(u) == Some(&false)) {
-            centers.push((cu, mu));
+        let is_boundary = varied_idx.iter().any(|&j| {
+            let mut lo = cell.units;
+            lo[j] = lo[j].wrapping_sub(1);
+            let mut hi = cell.units;
+            hi[j] += 1;
+            verdict.get(&lo) == Some(&false) || verdict.get(&hi) == Some(&false)
+        });
+        if is_boundary {
+            centers.push(cell.units);
         }
     }
-    let fine = space.delta;
     // Fine units within ±coarse_delta of a coarse unit, clamped.
-    let axis_box = |vary: bool, units: usize| -> (usize, usize) {
-        if !vary {
-            return (0, 0);
-        }
+    let axis_box = |r: Resource, units: usize| -> (usize, usize) {
+        let (lo, hi) = ranges[r.index()];
+        let fine = space.delta_for(r);
         let share = units as f64 * coarse_delta;
         let a = (((share - coarse_delta) / fine) - 1e-9).ceil().max(0.0) as usize;
         let b = (((share + coarse_delta) / fine) + 1e-9).floor().max(0.0) as usize;
         (a.clamp(lo, hi), b.clamp(lo, hi))
     };
-    let mut cells: HashSet<(usize, usize)> = HashSet::new();
-    for (cu, mu) in centers {
-        let (clo, chi) = axis_box(space.vary_cpu, cu);
-        let (mlo, mhi) = axis_box(space.vary_memory, mu);
-        for c in clo..=chi {
-            for m in mlo..=mhi {
-                cells.insert((c, m));
-            }
+    let mut cells: HashSet<Units> = HashSet::new();
+    for units in centers {
+        let axes = axis_options(space, |r| {
+            let (blo, bhi) = axis_box(r, units[r.index()]);
+            (blo..=bhi).collect()
+        });
+        for cell in product_cells(&axes) {
+            cells.insert(cell);
         }
     }
-    let mut cells: Vec<(usize, usize)> = cells.into_iter().collect();
+    let mut cells: Vec<Units> = cells.into_iter().collect();
     cells.sort_unstable();
     cells
 }
@@ -1163,26 +1323,29 @@ fn boundary_band_cells(
 /// nothing there, the limit did.)
 fn on_window_edge(
     alloc: &Allocation,
-    cells: &[(usize, usize)],
+    cells: &[Units],
     space: &SearchSpace,
-    lo: usize,
-    hi: usize,
+    ranges: &[(usize, usize); Resource::COUNT],
 ) -> bool {
-    let delta = space.delta;
-    let cu = if space.vary_cpu {
-        (alloc.cpu / delta).round() as usize
-    } else {
-        0
-    };
-    let mu = if space.vary_memory {
-        (alloc.memory / delta).round() as usize
-    } else {
-        0
-    };
-    let missing = |c: usize, m: usize| cells.binary_search(&(c, m)).is_err();
-    (space.vary_cpu && ((cu > lo && missing(cu - 1, mu)) || (cu < hi && missing(cu + 1, mu))))
-        || (space.vary_memory
-            && ((mu > lo && missing(cu, mu - 1)) || (mu < hi && missing(cu, mu + 1))))
+    let mut units = [0usize; Resource::COUNT];
+    for r in space.varied.iter() {
+        units[r.index()] = (alloc.get(r) / space.delta_for(r)).round() as usize;
+    }
+    let missing = |u: &Units| cells.binary_search(u).is_err();
+    space.varied.iter().any(|r| {
+        let j = r.index();
+        let (lo, hi) = ranges[j];
+        let u = units[j];
+        (u > lo && {
+            let mut v = units;
+            v[j] = u - 1;
+            missing(&v)
+        }) || (u < hi && {
+            let mut v = units;
+            v[j] = u + 1;
+            missing(&v)
+        })
+    })
 }
 
 #[cfg(test)]
@@ -1194,7 +1357,7 @@ mod tests {
     fn synth(alphas: Vec<f64>) -> Vec<impl CostModel> {
         alphas
             .into_iter()
-            .map(|alpha| FnCostModel::new(move |a: Allocation| alpha / a.cpu + 1.0))
+            .map(|alpha| FnCostModel::new(move |a: Allocation| alpha / a.cpu() + 1.0))
             .collect()
     }
 
@@ -1207,8 +1370,8 @@ mod tests {
         let space = SearchSpace::cpu_only(0.5);
         let models = synth(vec![10.0, 1.0]);
         let r = greedy_search(&space, &qos_n(2), &models);
-        assert!(r.allocations[0].cpu > 0.6, "{:?}", r.allocations);
-        assert!((r.allocations[0].cpu + r.allocations[1].cpu - 1.0).abs() < 1e-9);
+        assert!(r.allocations[0].cpu() > 0.6, "{:?}", r.allocations);
+        assert!((r.allocations[0].cpu() + r.allocations[1].cpu() - 1.0).abs() < 1e-9);
     }
 
     #[test]
@@ -1217,7 +1380,7 @@ mod tests {
         let models = synth(vec![5.0, 5.0]);
         let r = greedy_search(&space, &qos_n(2), &models);
         assert_eq!(r.iterations, 0);
-        assert!((r.allocations[0].cpu - 0.5).abs() < 1e-9);
+        assert!((r.allocations[0].cpu() - 0.5).abs() < 1e-9);
     }
 
     #[test]
@@ -1232,13 +1395,14 @@ mod tests {
             alloc
                 .iter()
                 .enumerate()
-                .map(|(i, a)| alphas[i] / a.cpu + 1.0)
+                .map(|(i, a)| alphas[i] / a.cpu() + 1.0)
                 .sum()
         };
         let mut prev = total(&alloc);
         for step in &r.trace {
-            alloc[step.winner] = alloc[step.winner].shifted(step.resource, space.delta);
-            alloc[step.loser] = alloc[step.loser].shifted(step.resource, -space.delta);
+            let delta = space.delta_for(step.resource);
+            alloc[step.winner] = alloc[step.winner].shifted(step.resource, delta);
+            alloc[step.loser] = alloc[step.loser].shifted(step.resource, -delta);
             let now = total(&alloc);
             assert!(now < prev + 1e-12, "step worsened cost");
             prev = now;
@@ -1263,10 +1427,10 @@ mod tests {
             r.costs[1],
             2.0 * full
         );
-        assert!(r.allocations[1].cpu >= 0.4 - 1e-9, "{:?}", r.allocations);
+        assert!(r.allocations[1].cpu() >= 0.4 - 1e-9, "{:?}", r.allocations);
         // The limit must actually bind: without it workload 1 gives up
         // more CPU.
-        assert!(free.allocations[1].cpu < r.allocations[1].cpu);
+        assert!(free.allocations[1].cpu() < r.allocations[1].cpu());
     }
 
     #[test]
@@ -1277,7 +1441,7 @@ mod tests {
         let r_plain = greedy_search(&space, &qos_n(2), &models);
         let qos = vec![QoS::with_gain(5.0), QoS::default()];
         let r_gain = greedy_search(&space, &qos, &models);
-        assert!(r_gain.allocations[0].cpu > r_plain.allocations[0].cpu);
+        assert!(r_gain.allocations[0].cpu() > r_plain.allocations[0].cpu());
     }
 
     #[test]
@@ -1300,16 +1464,16 @@ mod tests {
         let space = SearchSpace::cpu_only(0.5);
         // cost_0 dominated by CPU, cost_1 flat: optimum pushes
         // workload 0 to the max share.
-        let m0 = FnCostModel::new(|a: Allocation| 100.0 / a.cpu);
-        let m1 = FnCostModel::new(|a: Allocation| 10.0 + 0.001 / a.cpu);
+        let m0 = FnCostModel::new(|a: Allocation| 100.0 / a.cpu());
+        let m1 = FnCostModel::new(|a: Allocation| 10.0 + 0.001 / a.cpu());
         let models: Vec<&dyn CostModel> = vec![&m0, &m1];
         let r = exhaustive_search(&space, &qos_n(2), &models);
         assert!(
-            (r.allocations[0].cpu - 0.95).abs() < 1e-9,
+            (r.allocations[0].cpu() - 0.95).abs() < 1e-9,
             "{:?}",
             r.allocations
         );
-        assert!((r.allocations[1].cpu - 0.05).abs() < 1e-9);
+        assert!((r.allocations[1].cpu() - 0.05).abs() < 1e-9);
     }
 
     #[test]
@@ -1317,14 +1481,113 @@ mod tests {
         let space = SearchSpace::cpu_and_memory();
         let models: Vec<_> = (0..3)
             .map(|i| {
-                FnCostModel::new(move |a: Allocation| (i as f64 + 1.0) / a.cpu + 2.0 / a.memory)
+                FnCostModel::new(move |a: Allocation| (i as f64 + 1.0) / a.cpu() + 2.0 / a.memory())
             })
             .collect();
         let r = exhaustive_search(&space, &qos_n(3), &models);
-        let cpu_sum: f64 = r.allocations.iter().map(|a| a.cpu).sum();
-        let mem_sum: f64 = r.allocations.iter().map(|a| a.memory).sum();
+        let cpu_sum: f64 = r.allocations.iter().map(|a| a.cpu()).sum();
+        let mem_sum: f64 = r.allocations.iter().map(|a| a.memory()).sum();
         assert!(cpu_sum <= 1.0 + 1e-9);
         assert!(mem_sum <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn exhaustive_three_axes_respects_every_budget() {
+        // The M > 2 contract: the DP budget lattice enforces Σ ≤ 1 on
+        // every varied axis, disk included.
+        let mut space = SearchSpace::cpu_memory_disk();
+        space.set_delta(0.25);
+        space.min_share = 0.25;
+        let models: Vec<_> = (0..2)
+            .map(|i| {
+                FnCostModel::new(move |a: Allocation| {
+                    (i as f64 + 1.0) / a.cpu() + 2.0 / a.memory() + 3.0 / a.disk()
+                })
+            })
+            .collect();
+        let r = exhaustive_search(&space, &qos_n(2), &models);
+        for res in [Resource::Cpu, Resource::Memory, Resource::DiskBandwidth] {
+            let sum: f64 = r.allocations.iter().map(|a| a.get(res)).sum();
+            assert!(sum <= 1.0 + 1e-9, "{res:?} oversubscribed: {sum}");
+            for a in &r.allocations {
+                assert!(a.get(res) >= space.min_share - 1e-9);
+            }
+        }
+        // The disk-hungriest coefficient (3.0) dominates: both get
+        // valid, positive shares and costs are finite.
+        assert!(r.weighted_cost.is_finite());
+    }
+
+    #[test]
+    fn exhaustive_three_axes_matches_brute_force() {
+        // Pin the M-axis DP against literal composition enumeration at
+        // a size where brute force is tractable.
+        let mut space = SearchSpace::cpu_memory_disk();
+        space.set_delta(0.25);
+        space.min_share = 0.25;
+        let alphas = [(4.0, 1.0, 0.5), (1.0, 3.0, 2.0)];
+        let models: Vec<_> = alphas
+            .iter()
+            .map(|&(c, m, d)| {
+                FnCostModel::new(move |a: Allocation| c / a.cpu() + m / a.memory() + d / a.disk())
+            })
+            .collect();
+        let r = exhaustive_search(&space, &qos_n(2), &models);
+        // Brute force: all (u0, u1) per axis with u0 + u1 <= 4,
+        // 1 <= u <= 3 per workload.
+        let mut best = f64::INFINITY;
+        let cost = |i: usize, u: (usize, usize, usize)| -> f64 {
+            let (c, m, d) = alphas[i];
+            c / (u.0 as f64 * 0.25) + m / (u.1 as f64 * 0.25) + d / (u.2 as f64 * 0.25)
+        };
+        for c0 in 1..=3 {
+            for m0 in 1..=3 {
+                for d0 in 1..=3 {
+                    for c1 in 1..=(4 - c0).min(3) {
+                        for m1 in 1..=(4 - m0).min(3) {
+                            for d1 in 1..=(4 - d0).min(3) {
+                                let total = cost(0, (c0, m0, d0)) + cost(1, (c1, m1, d1));
+                                if total < best {
+                                    best = total;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        assert!(
+            (r.weighted_cost - best).abs() <= 1e-9 * best,
+            "DP {} vs brute force {}",
+            r.weighted_cost,
+            best
+        );
+    }
+
+    #[test]
+    fn per_axis_deltas_give_each_axis_its_own_grid() {
+        // CPU on a 0.25 grid, memory on a 0.5 grid: the optimum's
+        // shares must be multiples of their own axis's δ.
+        let mut space = SearchSpace::cpu_and_memory();
+        space.deltas = space
+            .deltas
+            .with(Resource::Cpu, 0.25)
+            .with(Resource::Memory, 0.5);
+        space.min_share = 0.25;
+        let models: Vec<_> = [(8.0, 1.0), (1.0, 4.0)]
+            .into_iter()
+            .map(|(c, m)| FnCostModel::new(move |a: Allocation| c / a.cpu() + m / a.memory()))
+            .collect();
+        let r = exhaustive_search(&space, &qos_n(2), &models);
+        for a in &r.allocations {
+            let cpu_units = a.cpu() / 0.25;
+            let mem_units = a.memory() / 0.5;
+            assert!((cpu_units - cpu_units.round()).abs() < 1e-9, "{a:?}");
+            assert!((mem_units - mem_units.round()).abs() < 1e-9, "{a:?}");
+        }
+        // CPU-hungry workload 0 wins CPU; memory-hungry workload 1
+        // wins memory (the only grid choice is 0.5 each there).
+        assert!(r.allocations[0].cpu() > r.allocations[1].cpu());
     }
 
     #[test]
@@ -1342,7 +1605,7 @@ mod tests {
             "jointly infeasible limits must be reported: {:?}",
             r.limits_met
         );
-        let total: f64 = r.allocations.iter().map(|a| a.cpu).sum();
+        let total: f64 = r.allocations.iter().map(|a| a.cpu()).sum();
         assert!(total <= 1.0 + 1e-9);
         assert!(r.weighted_cost.is_finite());
         // Symmetric workloads, one violation unavoidable: exactly one
@@ -1369,12 +1632,31 @@ mod tests {
     fn greedy_two_resources_splits_by_affinity() {
         let space = SearchSpace::cpu_and_memory();
         // Workload 0 is CPU-bound, workload 1 memory-bound.
-        let m0 = FnCostModel::new(|a: Allocation| 20.0 / a.cpu + 1.0 / a.memory);
-        let m1 = FnCostModel::new(|a: Allocation| 1.0 / a.cpu + 20.0 / a.memory);
+        let m0 = FnCostModel::new(|a: Allocation| 20.0 / a.cpu() + 1.0 / a.memory());
+        let m1 = FnCostModel::new(|a: Allocation| 1.0 / a.cpu() + 20.0 / a.memory());
         let models: Vec<&dyn CostModel> = vec![&m0, &m1];
         let r = greedy_search(&space, &qos_n(2), &models);
-        assert!(r.allocations[0].cpu > 0.6, "{:?}", r.allocations);
-        assert!(r.allocations[1].memory > 0.6, "{:?}", r.allocations);
+        assert!(r.allocations[0].cpu() > 0.6, "{:?}", r.allocations);
+        assert!(r.allocations[1].memory() > 0.6, "{:?}", r.allocations);
+    }
+
+    #[test]
+    fn greedy_three_resources_splits_by_affinity() {
+        let space = SearchSpace::cpu_memory_disk();
+        // Three workloads, each bound to a different axis.
+        let m0 =
+            FnCostModel::new(|a: Allocation| 20.0 / a.cpu() + 1.0 / a.memory() + 1.0 / a.disk());
+        let m1 =
+            FnCostModel::new(|a: Allocation| 1.0 / a.cpu() + 20.0 / a.memory() + 1.0 / a.disk());
+        let m2 =
+            FnCostModel::new(|a: Allocation| 1.0 / a.cpu() + 1.0 / a.memory() + 20.0 / a.disk());
+        let models: Vec<&dyn CostModel> = vec![&m0, &m1, &m2];
+        let r = greedy_search(&space, &qos_n(3), &models);
+        assert!(r.allocations[0].cpu() > 0.5, "{:?}", r.allocations);
+        assert!(r.allocations[1].memory() > 0.5, "{:?}", r.allocations);
+        assert!(r.allocations[2].disk() > 0.5, "{:?}", r.allocations);
+        let disk_sum: f64 = r.allocations.iter().map(|a| a.disk()).sum();
+        assert!(disk_sum <= 1.0 + 1e-9);
     }
 
     #[test]
@@ -1391,9 +1673,9 @@ mod tests {
         assert!(r.limits_met[0], "{:?}", r);
         let full = 5.0 + 1.0;
         assert!(r.costs[0] <= 2.5 * full + 1e-9);
-        assert!(r.allocations[0].cpu > 0.2, "{:?}", r.allocations);
+        assert!(r.allocations[0].cpu() > 0.2, "{:?}", r.allocations);
         // Feasibility must not oversubscribe.
-        let total: f64 = r.allocations.iter().map(|a| a.cpu).sum();
+        let total: f64 = r.allocations.iter().map(|a| a.cpu()).sum();
         assert!(total <= 1.0 + 1e-9);
     }
 
@@ -1418,7 +1700,7 @@ mod tests {
         let models = synth(vec![5.0]);
         let r = greedy_search(&space, &qos_n(1), &models);
         assert_eq!(r.iterations, 0);
-        assert!((r.allocations[0].cpu - 1.0).abs() < 1e-9);
+        assert!((r.allocations[0].cpu() - 1.0).abs() < 1e-9);
     }
 
     #[test]
@@ -1428,7 +1710,9 @@ mod tests {
             .into_iter()
             .enumerate()
             .map(|(i, alpha)| {
-                FnCostModel::new(move |a: Allocation| alpha / a.cpu + (i as f64 + 1.0) / a.memory)
+                FnCostModel::new(move |a: Allocation| {
+                    alpha / a.cpu() + (i as f64 + 1.0) / a.memory()
+                })
             })
             .collect();
         let qos = vec![
@@ -1448,7 +1732,7 @@ mod tests {
     #[test]
     fn coarse_to_fine_matches_full_grid_on_fine_delta() {
         let mut space = SearchSpace::cpu_only(0.5);
-        space.delta = 0.01;
+        space.set_delta(0.01);
         let models = synth(vec![9.0, 4.0, 1.0]);
         let qos = qos_n(3);
         let full = exhaustive_search(&space, &qos, &models);
@@ -1465,7 +1749,7 @@ mod tests {
     #[test]
     fn coarse_to_fine_respects_degradation_limits() {
         let mut space = SearchSpace::cpu_only(0.5);
-        space.delta = 0.01;
+        space.set_delta(0.01);
         let models = synth(vec![10.0, 2.0]);
         let qos = vec![QoS::default(), QoS::with_limit(2.0)];
         let full = exhaustive_search(&space, &qos, &models);
@@ -1484,8 +1768,8 @@ mod tests {
         // Two varied resources: the per-workload option table is the
         // square of the per-axis range, which is where windowing pays.
         let mut space = SearchSpace::cpu_and_memory();
-        space.delta = 0.02;
-        type ProbeSet = Mutex<HashSet<(usize, (u32, u32))>>;
+        space.set_delta(0.02);
+        type ProbeSet = Mutex<HashSet<(usize, AllocKey)>>;
         let count = |alphas: &[f64]| -> (Vec<_>, &'static ProbeSet) {
             // Leak one shared probe set per call; tests only.
             let probes: &'static ProbeSet = Box::leak(Box::new(Mutex::new(HashSet::new())));
@@ -1495,7 +1779,7 @@ mod tests {
                 .map(|(i, &alpha)| {
                     FnCostModel::new(move |a: Allocation| {
                         probes.lock().insert((i, a.key()));
-                        alpha / a.cpu + (i + 1) as f64 / a.memory + 1.0
+                        alpha / a.cpu() + (i + 1) as f64 / a.memory() + 1.0
                     })
                 })
                 .collect();
@@ -1523,6 +1807,56 @@ mod tests {
     }
 
     #[test]
+    fn coarse_to_fine_three_axes_matches_full_grid() {
+        // The new axis end to end at enumeration level: c2f over
+        // cpu+memory+disk equals the full-grid DP with fewer probes.
+        use parking_lot::Mutex;
+        use std::collections::HashSet;
+        let mut space = SearchSpace::cpu_memory_disk();
+        space.set_delta(0.05);
+        type ProbeSet = Mutex<HashSet<(usize, AllocKey)>>;
+        let count = |alphas: &[(f64, f64, f64)]| -> (Vec<_>, &'static ProbeSet) {
+            let probes: &'static ProbeSet = Box::leak(Box::new(Mutex::new(HashSet::new())));
+            let models: Vec<_> = alphas
+                .iter()
+                .enumerate()
+                .map(|(i, &(c, m, d))| {
+                    FnCostModel::new(move |a: Allocation| {
+                        probes.lock().insert((i, a.key()));
+                        c / a.cpu() + m / a.memory() + d / a.disk() + 1.0
+                    })
+                })
+                .collect();
+            (models, probes)
+        };
+        let alphas = [(8.0, 1.0, 2.0), (1.0, 6.0, 1.0), (2.0, 2.0, 7.0)];
+        let qos = qos_n(3);
+        let (full_models, full_probes) = count(&alphas);
+        let full = exhaustive_search_with(&space, &qos, &full_models, &SearchOptions::serial());
+        let (c2f_models, c2f_probes) = count(&alphas);
+        let c2f = coarse_to_fine_search_with(
+            &space,
+            &qos,
+            &c2f_models,
+            &CoarseToFineOptions::auto(&space, 3),
+            &SearchOptions::serial(),
+        );
+        assert!(
+            (c2f.weighted_cost - full.weighted_cost).abs()
+                <= 1e-9 * full.weighted_cost.abs().max(1.0),
+            "c2f {} vs full {}",
+            c2f.weighted_cost,
+            full.weighted_cost
+        );
+        let full_n = full_probes.lock().len();
+        let c2f_n = c2f_probes.lock().len();
+        assert!(
+            c2f_n * 2 < full_n,
+            "3-axis c2f should probe far fewer points: {c2f_n} vs {full_n}"
+        );
+    }
+
+    #[test]
     fn coarse_to_fine_falls_back_when_ladder_is_empty() {
         let space = SearchSpace::cpu_only(0.5); // δ = 0.05
         let models = synth(vec![9.0, 4.0]);
@@ -1540,7 +1874,7 @@ mod tests {
     #[test]
     fn coarse_to_fine_infeasible_matches_exhaustive_best_effort() {
         let mut space = SearchSpace::cpu_only(0.5);
-        space.delta = 0.01;
+        space.set_delta(0.01);
         let models = synth(vec![10.0, 10.0]);
         let qos = vec![QoS::with_limit(1.05), QoS::with_limit(1.05)];
         // Jointly infeasible: both must return the same best-effort
@@ -1560,8 +1894,8 @@ mod tests {
         // fewer unique probes.
         use parking_lot::Mutex;
         let mut space = SearchSpace::cpu_and_memory();
-        space.delta = 0.02;
-        type ProbeSet = Mutex<HashSet<(usize, (u32, u32))>>;
+        space.set_delta(0.02);
+        type ProbeSet = Mutex<HashSet<(usize, AllocKey)>>;
         let count = |alphas: &[f64]| -> (Vec<_>, &'static ProbeSet) {
             let probes: &'static ProbeSet = Box::leak(Box::new(Mutex::new(HashSet::new())));
             let models: Vec<_> = alphas
@@ -1570,7 +1904,7 @@ mod tests {
                 .map(|(i, &alpha)| {
                     FnCostModel::new(move |a: Allocation| {
                         probes.lock().insert((i, a.key()));
-                        alpha / a.cpu + (i + 1) as f64 / a.memory + 1.0
+                        alpha / a.cpu() + (i + 1) as f64 / a.memory() + 1.0
                     })
                 })
                 .collect();
@@ -1613,12 +1947,12 @@ mod tests {
     fn auto_options_degenerate_ladder_for_coarse_space() {
         // δ = 0.2 leaves no useful coarser level.
         let mut space = SearchSpace::cpu_only(0.5);
-        space.delta = 0.2;
+        space.set_delta(0.2);
         let opts = CoarseToFineOptions::auto(&space, 2);
         assert!(opts.coarse_deltas.is_empty());
         // δ = 0.01 with 10 workloads: 0.1 is degenerate (one option
         // per workload), so auto must pick 0.05.
-        space.delta = 0.01;
+        space.set_delta(0.01);
         let opts = CoarseToFineOptions::auto(&space, 10);
         assert_eq!(opts.coarse_deltas, vec![0.05]);
     }
@@ -1629,7 +1963,7 @@ mod tests {
         let calls = AtomicU64::new(0);
         let model = FnCostModel::new(|a: Allocation| {
             calls.fetch_add(1, Ordering::Relaxed);
-            1.0 / a.cpu
+            1.0 / a.cpu()
         });
         let models = [&model, &model];
         let eval = Evaluator::new(&models, &SearchOptions::serial());

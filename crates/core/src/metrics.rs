@@ -50,7 +50,7 @@ mod tests {
     #[test]
     fn accounting_tallies_zero_for_synthetic_models() {
         let models: Vec<_> = (0..3)
-            .map(|_| FnCostModel::new(|a: Allocation| 1.0 / a.cpu))
+            .map(|_| FnCostModel::new(|a: Allocation| 1.0 / a.cpu()))
             .collect();
         models.iter().for_each(|m| {
             use crate::costmodel::model::CostModel;

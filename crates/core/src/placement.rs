@@ -48,7 +48,7 @@ use crate::enumerate::{
     greedy_search_with, try_coarse_to_fine_search_with, try_exhaustive_search_with,
     CoarseToFineOptions, MachineClass, SearchOptions, SearchResult,
 };
-use crate::problem::{Allocation, QoS, SearchSpace};
+use crate::problem::{Allocation, QoS, Resource, ResourceVector, SearchSpace};
 use serde::{Deserialize, Serialize};
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
@@ -123,7 +123,7 @@ pub struct MachineSpec {
     /// shares — capacities and grid resolutions may differ per
     /// machine).
     pub space: SearchSpace,
-    /// CPU/memory capacity as a fraction of the reference machine.
+    /// Per-axis capacity as a fraction of the reference machine.
     pub scale: Allocation,
 }
 
@@ -137,33 +137,43 @@ impl MachineSpec {
     }
 
     /// A machine with `cpu_scale`/`memory_scale` times the reference
-    /// machine's resources. Scales must be positive and finite (they
-    /// may exceed 1 if some machine outgrows the reference).
+    /// machine's resources (disk and network stay at the reference
+    /// scale; see [`Self::scaled_vector`] for the full axis set).
+    /// Scales must be positive and finite (they may exceed 1 if some
+    /// machine outgrows the reference).
     pub fn scaled(space: SearchSpace, cpu_scale: f64, memory_scale: f64) -> Self {
-        assert!(
-            cpu_scale > 0.0 && cpu_scale.is_finite(),
-            "cpu scale must be positive and finite"
-        );
-        assert!(
-            memory_scale > 0.0 && memory_scale.is_finite(),
-            "memory scale must be positive and finite"
-        );
-        MachineSpec {
-            space,
-            scale: Allocation::new(cpu_scale, memory_scale),
+        Self::scaled_vector(space, Allocation::new(cpu_scale, memory_scale))
+    }
+
+    /// A machine whose capacity differs from the reference on an
+    /// arbitrary axis set: `scale.get(r)` is this machine's capacity
+    /// of resource `r` as a fraction (or multiple) of the reference
+    /// machine's.
+    pub fn scaled_vector(space: SearchSpace, scale: ResourceVector) -> Self {
+        for r in Resource::ALL {
+            let v = scale.get(r);
+            assert!(
+                v > 0.0 && v.is_finite(),
+                "{} scale must be positive and finite",
+                r.name()
+            );
         }
+        MachineSpec { space, scale }
     }
 
     /// The machine's class for cache keying: same space **and** same
-    /// scale ⇒ same class; anything differing ⇒ distinct classes, so
-    /// subset solves can never leak across machine kinds. The scale is
-    /// quantized at the same 1e-9 resolution as the space fields (the
-    /// [`MachineClass`] contract: dust-level differences share a
-    /// class, genuinely different machines never do).
+    /// scale (on every axis) ⇒ same class; anything differing ⇒
+    /// distinct classes, so subset solves can never leak across
+    /// machine kinds. The scale is quantized at the same 1e-9
+    /// resolution as the space fields (the [`MachineClass`] contract:
+    /// dust-level differences share a class, genuinely different
+    /// machines never do).
     pub fn class(&self) -> MachineClass {
-        MachineClass::of(&self.space)
-            .salted_share(self.scale.cpu)
-            .salted_share(self.scale.memory)
+        Resource::ALL
+            .into_iter()
+            .fold(MachineClass::of(&self.space), |class, r| {
+                class.salted_share(self.scale.get(r))
+            })
     }
 
     /// How many tenants this machine can host (every tenant needs at
@@ -192,10 +202,7 @@ impl<M: CostModel> ScaledCostModel<M> {
 
 impl<M: CostModel> CostModel for ScaledCostModel<M> {
     fn estimate(&self, alloc: Allocation) -> Estimate {
-        self.inner.estimate(Allocation::new(
-            alloc.cpu * self.scale.cpu,
-            alloc.memory * self.scale.memory,
-        ))
+        self.inner.estimate(alloc.scaled_by(&self.scale))
     }
 
     fn optimizer_calls(&self) -> u64 {
@@ -463,18 +470,13 @@ fn subset_of(assignment: &[usize], m: usize) -> Vec<usize> {
 /// The allocation a tenant holds when starved on `space`: minimum
 /// share of every varied resource, the fixed share otherwise.
 fn starved_allocation(space: &SearchSpace) -> Allocation {
-    Allocation {
-        cpu: if space.vary_cpu {
+    Allocation::from_fn(|r| {
+        if space.is_varied(r) {
             space.min_share
         } else {
-            space.fixed.cpu
-        },
-        memory: if space.vary_memory {
-            space.min_share
-        } else {
-            space.fixed.memory
-        },
-    }
+            space.fixed.get(r)
+        }
+    })
 }
 
 /// Assign `N` tenants (their cost models and QoS) to
@@ -804,7 +806,7 @@ mod tests {
     fn synth(alphas: Vec<f64>) -> Vec<impl CostModel> {
         alphas
             .into_iter()
-            .map(|alpha| FnCostModel::new(move |a: Allocation| alpha / a.cpu + 1.0))
+            .map(|alpha| FnCostModel::new(move |a: Allocation| alpha / a.cpu() + 1.0))
             .collect()
     }
 
@@ -878,7 +880,7 @@ mod tests {
         // need both machines even if one machine would price lower.
         let mut space = SearchSpace::cpu_only(0.5);
         space.min_share = 0.25;
-        space.delta = 0.25;
+        space.set_delta(0.25);
         let models = synth(vec![1.0; 6]);
         let r = place_tenants(&space, &qos_n(6), &models, &FleetOptions::for_machines(2));
         for m in 0..2 {
@@ -891,7 +893,7 @@ mod tests {
     fn too_small_fleet_panics() {
         let mut space = SearchSpace::cpu_only(0.5);
         space.min_share = 0.5;
-        space.delta = 0.5;
+        space.set_delta(0.5);
         let models = synth(vec![1.0; 5]);
         let _ = place_tenants(&space, &qos_n(5), &models, &FleetOptions::for_machines(2));
     }
@@ -962,14 +964,14 @@ mod tests {
         let r = place_tenants(&space, &qos_n(4), &models, &FleetOptions::for_machines(2));
         for i in 0..4 {
             let a = r.allocation_of(i).expect("feasible fleet");
-            assert!(a.cpu >= space.min_share - 1e-9);
+            assert!(a.cpu() >= space.min_share - 1e-9);
         }
         // Per machine, shares sum to at most one.
         for m in 0..2 {
             let total: f64 = r
                 .tenants_on(m)
                 .iter()
-                .map(|&i| r.allocation_of(i).unwrap().cpu)
+                .map(|&i| r.allocation_of(i).unwrap().cpu())
                 .sum();
             assert!(total <= 1.0 + 1e-9);
         }
@@ -982,7 +984,7 @@ mod tests {
         // two inner solvers produce the same fleet decisions — without
         // the c2f solver paying full-grid cost per subset.
         let mut space = SearchSpace::cpu_only(0.5);
-        space.delta = 0.01;
+        space.set_delta(0.01);
         let models = synth(vec![12.0, 9.0, 2.0, 1.0]);
         let qos = vec![
             QoS::with_limit(2.0),
@@ -1069,6 +1071,13 @@ mod tests {
     fn machine_class_separates_specs() {
         let specs = big_and_small();
         assert_ne!(specs[0].class(), specs[1].class());
+        // A scale difference on the NEW axis separates classes too: no
+        // layer may silently ignore the third axis.
+        let slow_disk = MachineSpec::scaled_vector(
+            specs[0].space,
+            ResourceVector::full().with(Resource::DiskBandwidth, 0.5),
+        );
+        assert_ne!(specs[0].class(), slow_disk.class());
         // Same spec ⇒ same class; scale dust ⇒ same class.
         assert_eq!(
             specs[0].class(),
@@ -1078,7 +1087,7 @@ mod tests {
         assert_eq!(specs[1].class(), dusty.class());
         // A different δ is a different class even at the same scale.
         let mut fine = specs[0].space;
-        fine.delta = 0.01;
+        fine.set_delta(0.01);
         assert_ne!(specs[0].class(), MachineSpec::reference(fine).class());
     }
 
@@ -1115,7 +1124,7 @@ mod tests {
         // machine every share still helps, so it takes more.
         let models: Vec<_> = [20.0, 1.0]
             .into_iter()
-            .map(|alpha| FnCostModel::new(move |a: Allocation| alpha / a.cpu.min(0.6) + 1.0))
+            .map(|alpha| FnCostModel::new(move |a: Allocation| alpha / a.cpu().min(0.6) + 1.0))
             .collect();
         let qos = qos_n(2);
         let opts = FleetOptions::for_machines(1);
@@ -1134,7 +1143,7 @@ mod tests {
         );
         // On the big machine neither hungry tenant needs more than 0.6.
         assert!(
-            big.allocations[0].cpu <= 0.6 + 1e-9,
+            big.allocations[0].cpu() <= 0.6 + 1e-9,
             "{:?}",
             big.allocations
         );
@@ -1187,12 +1196,39 @@ mod tests {
 
     #[test]
     fn scaled_model_delegates_accounting() {
-        let m = FnCostModel::new(|a: Allocation| 4.0 / a.cpu);
+        let m = FnCostModel::new(|a: Allocation| 4.0 / a.cpu());
         let scaled = ScaledCostModel::new(&m, Allocation::new(0.5, 1.0));
         // Full share of the half machine = half the reference machine.
         assert!((scaled.cost(Allocation::full()) - 8.0).abs() < 1e-12);
         assert_eq!(scaled.optimizer_calls(), 0);
         assert_eq!(scaled.cache_hits(), 0);
+    }
+
+    #[test]
+    fn three_axis_placement_spreads_disk_hogs() {
+        // Two disk-bound tenants on a cpu+memory+disk grid: the placer
+        // must separate them, and every machine's disk budget holds.
+        let mut space = SearchSpace::cpu_memory_disk();
+        space.set_delta(0.25);
+        space.min_share = 0.25;
+        let models: Vec<_> = [40.0, 40.0, 1.0, 1.0]
+            .into_iter()
+            .map(|alpha| {
+                FnCostModel::new(move |a: Allocation| alpha / a.disk() + 1.0 / a.cpu() + 1.0)
+            })
+            .collect();
+        let r = place_tenants(&space, &qos_n(4), &models, &FleetOptions::for_machines(2));
+        assert_ne!(
+            r.assignment[0], r.assignment[1],
+            "disk hogs must not share: {:?}",
+            r.assignment
+        );
+        for m in 0..2 {
+            if let Some(res) = &r.per_machine[m] {
+                let disk: f64 = res.allocations.iter().map(|a| a.disk()).sum();
+                assert!(disk <= 1.0 + 1e-9, "machine {m} disk oversubscribed");
+            }
+        }
     }
 
     #[test]
@@ -1202,7 +1238,7 @@ mod tests {
         // tracked per machine, not fleet-uniform.
         let mut coarse = SearchSpace::cpu_only(0.5);
         coarse.min_share = 0.5;
-        coarse.delta = 0.25;
+        coarse.set_delta(0.25);
         let fine = SearchSpace::cpu_only(0.5);
         let specs = vec![
             MachineSpec::reference(coarse),

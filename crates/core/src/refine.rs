@@ -114,7 +114,7 @@ impl RefinedModel {
                 let alloc = if varied.contains(&Resource::Cpu) {
                     Allocation::new(mid, m)
                 } else {
-                    Allocation::new(space.fixed.cpu, m)
+                    Allocation::new(space.fixed.cpu(), m)
                 };
                 let (_, regime) = estimate(alloc);
                 match pieces.last_mut() {
@@ -149,12 +149,12 @@ impl RefinedModel {
         let cpu_levels: Vec<f64> = if varied.contains(&Resource::Cpu) {
             levels.clone()
         } else {
-            vec![space.fixed.cpu]
+            vec![space.fixed.cpu()]
         };
         let mem_levels: Vec<f64> = if piecewise_memory {
             levels.clone()
         } else {
-            vec![space.fixed.memory]
+            vec![space.fixed.memory()]
         };
         for &c in &cpu_levels {
             for &m in &mem_levels {
@@ -203,7 +203,7 @@ impl RefinedModel {
 
     fn piecewise_share(&self, alloc: Allocation) -> f64 {
         if self.varied.contains(&Resource::Memory) {
-            alloc.memory
+            alloc.memory()
         } else {
             0.5
         }
@@ -429,8 +429,10 @@ pub fn refine<A: CostModel>(
             greedy_search_with(space, qos, &clamped, &SearchOptions::serial());
 
         let same = result.allocations.iter().zip(&current).all(|(a, b)| {
-            (a.cpu - b.cpu).abs() < space.delta / 2.0
-                && (a.memory - b.memory).abs() < space.delta / 2.0
+            space
+                .varied
+                .iter()
+                .all(|r| (a.get(r) - b.get(r)).abs() < space.delta_for(r) / 2.0)
         });
         current = result.allocations;
         if same {
@@ -466,7 +468,7 @@ mod tests {
     /// A synthetic "truth" the optimizer misjudges by a constant
     /// factor: true cost = bias · (α/r_cpu) + β.
     fn make_model(space: &SearchSpace, alpha: f64, beta: f64) -> RefinedModel {
-        let est = RegimeFnCostModel::new(move |a: Allocation| (alpha / a.cpu + beta, 1));
+        let est = RegimeFnCostModel::new(move |a: Allocation| (alpha / a.cpu() + beta, 1));
         RefinedModel::fit_initial(space, 8, &est)
     }
 
@@ -522,10 +524,10 @@ mod tests {
         // Two regimes: spilling below 40 % memory (steep), in-memory
         // above (flat).
         let est = RegimeFnCostModel::new(|a: Allocation| {
-            if a.memory < 0.4 {
-                (50.0 / a.memory + 10.0, 111)
+            if a.memory() < 0.4 {
+                (50.0 / a.memory() + 10.0, 111)
             } else {
-                (5.0 / a.memory + 20.0, 222)
+                (5.0 / a.memory() + 20.0, 222)
             }
         });
         let m = RefinedModel::fit_initial(&space, 12, &est);
@@ -540,10 +542,10 @@ mod tests {
     fn later_observations_scale_only_their_piece() {
         let space = SearchSpace::memory_only(0.5);
         let est = RegimeFnCostModel::new(|a: Allocation| {
-            if a.memory < 0.4 {
-                (50.0 / a.memory, 111)
+            if a.memory() < 0.4 {
+                (50.0 / a.memory(), 111)
             } else {
-                (5.0 / a.memory, 222)
+                (5.0 / a.memory(), 222)
             }
         });
         let mut m = RefinedModel::fit_initial(&space, 12, &est);
@@ -568,7 +570,7 @@ mod tests {
         let start = vec![Allocation::new(0.5, 0.5), Allocation::new(0.5, 0.5)];
         let actuals: Vec<_> = [50.0, 10.0]
             .into_iter()
-            .map(|alpha| FnCostModel::new(move |a: Allocation| alpha / a.cpu + 1.0))
+            .map(|alpha| FnCostModel::new(move |a: Allocation| alpha / a.cpu() + 1.0))
             .collect();
         let mut models = vec![make_model(&space, 10.0, 1.0), make_model(&space, 10.0, 1.0)];
         let out = refine(
@@ -582,7 +584,7 @@ mod tests {
         assert!(out.converged, "refinement should converge");
         // Workload 0 is really 5× hungrier: it must end with more CPU.
         assert!(
-            out.final_allocations[0].cpu > 0.6,
+            out.final_allocations[0].cpu() > 0.6,
             "{:?}",
             out.final_allocations
         );
@@ -597,7 +599,7 @@ mod tests {
         let ticks = AtomicU64::new(0);
         let oscillating = move |a: Allocation| {
             let flip = ticks.fetch_add(1, Ordering::Relaxed) % 2 == 1;
-            (10.0 + if flip { 40.0 } else { 0.0 }) / a.cpu
+            (10.0 + if flip { 40.0 } else { 0.0 }) / a.cpu()
         };
         let actuals = vec![
             FnCostModel::new(&oscillating),
@@ -622,7 +624,7 @@ mod tests {
     #[test]
     fn delta_max_clamps_untrusted_resource() {
         let space = SearchSpace::cpu_and_memory();
-        let est = RegimeFnCostModel::new(|a: Allocation| (10.0 / a.cpu + 10.0 / a.memory, 1));
+        let est = RegimeFnCostModel::new(|a: Allocation| (10.0 / a.cpu() + 10.0 / a.memory(), 1));
         let mut models = vec![
             RefinedModel::fit_initial(&space, 8, &est),
             RefinedModel::fit_initial(&space, 8, &est),
@@ -631,7 +633,7 @@ mod tests {
         let actuals: Vec<_> = [100.0, 1.0]
             .into_iter()
             .map(|mem_alpha| {
-                FnCostModel::new(move |a: Allocation| 10.0 / a.cpu + mem_alpha / a.memory)
+                FnCostModel::new(move |a: Allocation| 10.0 / a.cpu() + mem_alpha / a.memory())
             })
             .collect();
         let opts = RefineOptions {
@@ -650,7 +652,7 @@ mod tests {
         );
         for (a, s) in out.final_allocations.iter().zip(&start) {
             assert!(
-                (a.memory - s.memory).abs() <= 0.1 + 1e-9,
+                (a.memory() - s.memory()).abs() <= 0.1 + 1e-9,
                 "memory moved beyond delta_max: {a:?}"
             );
         }
@@ -660,7 +662,7 @@ mod tests {
     fn history_records_est_and_actual() {
         let space = SearchSpace::cpu_only(0.5);
         let mut models = vec![make_model(&space, 10.0, 1.0)];
-        let actuals = vec![FnCostModel::new(|a: Allocation| 20.0 / a.cpu + 1.0)];
+        let actuals = vec![FnCostModel::new(|a: Allocation| 20.0 / a.cpu() + 1.0)];
         let start = vec![Allocation::new(1.0, 0.5)];
         let out = refine(
             &mut models,

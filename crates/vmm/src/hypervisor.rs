@@ -7,28 +7,46 @@ use serde::{Deserialize, Serialize};
 
 /// Requested configuration for one virtual machine, expressed as
 /// *shares* of the physical machine — exactly the decision variables
-/// `R_i = [r_CPU, r_mem]` of the virtualization design problem.
+/// `R_i = [r_i1 … r_iM]` of the virtualization design problem. The
+/// paper's VMM controls CPU and memory only; `disk_share` opens the
+/// disk-bandwidth axis (default `1.0` — the whole, uncontrolled disk,
+/// which reproduces the paper's environment exactly).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct VmConfig {
     /// Fraction of total CPU capacity in `(0, 1]`.
     pub cpu_share: f64,
     /// Fraction of total physical memory in `(0, 1]`.
     pub memory_share: f64,
+    /// Fraction of the disk subsystem's bandwidth in `(0, 1]`. A VM
+    /// holding `d` sees every page read take `1/d` times longer (see
+    /// [`PhysicalMachine::disk_slice`]).
+    pub disk_share: f64,
 }
 
 impl VmConfig {
-    /// A convenience constructor that validates shares eagerly.
+    /// A convenience constructor that validates shares eagerly. The
+    /// disk share defaults to `1.0` (the paper's M = 2 environment).
     pub fn new(cpu_share: f64, memory_share: f64) -> Result<Self, VmmError> {
+        Self::with_disk(cpu_share, memory_share, 1.0)
+    }
+
+    /// A constructor naming all three controllable shares.
+    pub fn with_disk(cpu_share: f64, memory_share: f64, disk_share: f64) -> Result<Self, VmmError> {
         let cfg = VmConfig {
             cpu_share,
             memory_share,
+            disk_share,
         };
         cfg.validate()?;
         Ok(cfg)
     }
 
     fn validate(&self) -> Result<(), VmmError> {
-        for (name, v) in [("cpu", self.cpu_share), ("memory", self.memory_share)] {
+        for (name, v) in [
+            ("cpu", self.cpu_share),
+            ("memory", self.memory_share),
+            ("disk", self.disk_share),
+        ] {
             if !(v > 0.0 && v <= 1.0 && v.is_finite()) {
                 return Err(VmmError::InvalidShare {
                     resource: name,
@@ -84,16 +102,29 @@ impl std::error::Error for VmmError {}
 /// The simulated virtual machine monitor.
 ///
 /// Mirrors the paper's execution setup (§7.1): VMs receive hard CPU
-/// and memory shares, while disk bandwidth is *not* isolated — an
-/// always-on I/O-contention VM inflates everyone's I/O service times
-/// by a constant factor, which is also active during calibration so
-/// that calibrated parameters describe the contended environment.
+/// and memory shares, while disk bandwidth is *not* isolated by
+/// default — an always-on I/O-contention VM inflates everyone's I/O
+/// service times by a constant factor, which is also active during
+/// calibration so that calibrated parameters describe the contended
+/// environment.
+///
+/// Beyond the paper, the hypervisor can also *throttle* each VM's disk
+/// bandwidth to its [`VmConfig::disk_share`]: the VM then sees
+/// [`PhysicalMachine::disk_slice`] of the device (on top of the
+/// contention factor). With the default share of `1.0` nothing
+/// changes. Admission enforces `Σ disk_share ≤ 1` only when
+/// [`Hypervisor::set_disk_isolation`] enables it — legacy M = 2
+/// configurations all carry the default full disk share, which is not
+/// an allocation claim.
 #[derive(Debug, Clone)]
 pub struct Hypervisor {
     machine: PhysicalMachine,
     /// Disk service-time multiplier (≥ 1) modelling the I/O-contention
     /// VM that the paper keeps running next to every workload VM.
     io_contention: f64,
+    /// Whether admission enforces `Σ disk_share ≤ 1` (off by default:
+    /// the paper's VMM does not isolate disk bandwidth).
+    disk_isolation: bool,
     vms: Vec<VmConfig>,
 }
 
@@ -105,6 +136,7 @@ impl Hypervisor {
         Hypervisor {
             machine,
             io_contention: 2.0,
+            disk_isolation: false,
             vms: Vec::new(),
         }
     }
@@ -116,6 +148,7 @@ impl Hypervisor {
         Hypervisor {
             machine,
             io_contention: factor,
+            disk_isolation: false,
             vms: Vec::new(),
         }
     }
@@ -130,20 +163,32 @@ impl Hypervisor {
         self.io_contention
     }
 
-    /// Sum of shares currently admitted for (cpu, memory).
-    pub fn committed_shares(&self) -> (f64, f64) {
-        self.vms.iter().fold((0.0, 0.0), |(c, m), vm| {
-            (c + vm.cpu_share, m + vm.memory_share)
+    /// Enable/disable disk-bandwidth admission control (`Σ disk_share
+    /// ≤ 1`). Leave off for the paper's environment, turn on when the
+    /// advisor controls the [`disk axis`](VmConfig::disk_share).
+    pub fn set_disk_isolation(&mut self, enabled: bool) {
+        self.disk_isolation = enabled;
+    }
+
+    /// Whether disk-bandwidth admission control is enforced.
+    pub fn disk_isolation(&self) -> bool {
+        self.disk_isolation
+    }
+
+    /// Sum of shares currently admitted for (cpu, memory, disk).
+    pub fn committed_shares(&self) -> (f64, f64, f64) {
+        self.vms.iter().fold((0.0, 0.0, 0.0), |(c, m, d), vm| {
+            (c + vm.cpu_share, m + vm.memory_share, d + vm.disk_share)
         })
     }
 
-    /// Admit a VM, enforcing `Σ r_ij ≤ 1` per resource.
-    pub fn create_vm(&mut self, cfg: VmConfig) -> Result<VmHandle, VmmError> {
-        cfg.validate()?;
-        let (cpu, mem) = self.committed_shares();
+    /// Shares the admission check enforces for a VM entering a pool
+    /// that already committed `(cpu, mem, disk)`.
+    fn check_capacity(&self, cfg: &VmConfig, committed: (f64, f64, f64)) -> Result<(), VmmError> {
         // A small epsilon absorbs the floating-point dust produced by
         // repeated ±delta share shifts during greedy search.
         const EPS: f64 = 1e-9;
+        let (cpu, mem, disk) = committed;
         if cpu + cfg.cpu_share > 1.0 + EPS {
             return Err(VmmError::Oversubscribed {
                 resource: "cpu",
@@ -156,6 +201,19 @@ impl Hypervisor {
                 total: mem + cfg.memory_share,
             });
         }
+        if self.disk_isolation && disk + cfg.disk_share > 1.0 + EPS {
+            return Err(VmmError::Oversubscribed {
+                resource: "disk",
+                total: disk + cfg.disk_share,
+            });
+        }
+        Ok(())
+    }
+
+    /// Admit a VM, enforcing `Σ r_ij ≤ 1` per isolated resource.
+    pub fn create_vm(&mut self, cfg: VmConfig) -> Result<VmHandle, VmmError> {
+        cfg.validate()?;
+        self.check_capacity(&cfg, self.committed_shares())?;
         self.vms.push(cfg);
         Ok(VmHandle(self.vms.len() - 1))
     }
@@ -168,22 +226,11 @@ impl Hypervisor {
         if vm.0 >= self.vms.len() {
             return Err(VmmError::UnknownVm(vm.0));
         }
-        let (mut cpu, mut mem) = self.committed_shares();
+        let (mut cpu, mut mem, mut disk) = self.committed_shares();
         cpu -= self.vms[vm.0].cpu_share;
         mem -= self.vms[vm.0].memory_share;
-        const EPS: f64 = 1e-9;
-        if cpu + cfg.cpu_share > 1.0 + EPS {
-            return Err(VmmError::Oversubscribed {
-                resource: "cpu",
-                total: cpu + cfg.cpu_share,
-            });
-        }
-        if mem + cfg.memory_share > 1.0 + EPS {
-            return Err(VmmError::Oversubscribed {
-                resource: "memory",
-                total: mem + cfg.memory_share,
-            });
-        }
+        disk -= self.vms[vm.0].disk_share;
+        self.check_capacity(&cfg, (cpu, mem, disk))?;
         self.vms[vm.0] = cfg;
         Ok(())
     }
@@ -203,12 +250,11 @@ impl Hypervisor {
     /// use: "if the VM were configured like this, how would the
     /// hardware behave?"
     pub fn perf_for(&self, cfg: VmConfig) -> VmPerf {
+        let disk = self.machine.disk_slice(cfg.disk_share);
         VmPerf {
             cpu_hz: self.machine.total_hz() * cfg.cpu_share,
-            seq_page_secs: self.machine.disk.seq_page_secs(self.machine.page_kb)
-                * self.io_contention,
-            rand_page_secs: self.machine.disk.rand_page_secs(self.machine.page_kb)
-                * self.io_contention,
+            seq_page_secs: disk.seq_page_secs(self.machine.page_kb) * self.io_contention,
+            rand_page_secs: disk.rand_page_secs(self.machine.page_kb) * self.io_contention,
             memory_mb: self.machine.memory_mb * cfg.memory_share,
             page_kb: self.machine.page_kb,
         }
@@ -229,7 +275,7 @@ mod tests {
         let a = h.create_vm(VmConfig::new(0.5, 0.5).unwrap()).unwrap();
         let b = h.create_vm(VmConfig::new(0.5, 0.5).unwrap()).unwrap();
         assert_ne!(a, b);
-        let (c, m) = h.committed_shares();
+        let (c, m, _) = h.committed_shares();
         assert!((c - 1.0).abs() < 1e-12);
         assert!((m - 1.0).abs() < 1e-12);
     }
@@ -253,6 +299,8 @@ mod tests {
         assert!(VmConfig::new(0.0, 0.5).is_err());
         assert!(VmConfig::new(1.2, 0.5).is_err());
         assert!(VmConfig::new(0.5, f64::NAN).is_err());
+        assert!(VmConfig::with_disk(0.5, 0.5, 0.0).is_err());
+        assert!(VmConfig::with_disk(0.5, 0.5, 1.5).is_err());
     }
 
     #[test]
@@ -270,6 +318,56 @@ mod tests {
         let h = hv();
         let p = h.perf_for(VmConfig::new(0.5, 0.25).unwrap());
         assert!((p.memory_mb - 2048.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn full_disk_share_reproduces_the_legacy_io_times() {
+        // The compat contract: disk_share = 1.0 must be bit-identical
+        // to the pre-disk-axis hypervisor.
+        let h = hv();
+        let legacy_seq = h.machine().disk.seq_page_secs(h.machine().page_kb) * h.io_contention();
+        let legacy_rand = h.machine().disk.rand_page_secs(h.machine().page_kb) * h.io_contention();
+        let p = h.perf_for(VmConfig::new(0.5, 0.5).unwrap());
+        assert_eq!(p.seq_page_secs, legacy_seq);
+        assert_eq!(p.rand_page_secs, legacy_rand);
+    }
+
+    #[test]
+    fn disk_share_inflates_io_times_only() {
+        let h = hv();
+        let full = h.perf_for(VmConfig::new(0.5, 0.5).unwrap());
+        let half = h.perf_for(VmConfig::with_disk(0.5, 0.5, 0.5).unwrap());
+        // Sequential reads take exactly 1/share times longer.
+        assert!((half.seq_page_secs / full.seq_page_secs - 2.0).abs() < 1e-12);
+        // Random reads: both the seek rate and the transfer scale.
+        assert!(half.rand_page_secs > full.rand_page_secs);
+        assert_eq!(half.cpu_hz, full.cpu_hz);
+        assert_eq!(half.memory_mb, full.memory_mb);
+    }
+
+    #[test]
+    fn disk_isolation_gates_admission() {
+        let mut h = hv();
+        // Off (default): two full-disk VMs coexist, as in the paper.
+        h.create_vm(VmConfig::new(0.3, 0.3).unwrap()).unwrap();
+        h.create_vm(VmConfig::new(0.3, 0.3).unwrap()).unwrap();
+        // On: the sum is enforced.
+        let mut h = hv();
+        h.set_disk_isolation(true);
+        h.create_vm(VmConfig::with_disk(0.3, 0.3, 0.6).unwrap())
+            .unwrap();
+        let err = h
+            .create_vm(VmConfig::with_disk(0.3, 0.3, 0.6).unwrap())
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            VmmError::Oversubscribed {
+                resource: "disk",
+                ..
+            }
+        ));
+        h.create_vm(VmConfig::with_disk(0.3, 0.3, 0.4).unwrap())
+            .unwrap();
     }
 
     #[test]

@@ -48,6 +48,24 @@ pub struct PhysicalMachine {
 }
 
 impl PhysicalMachine {
+    /// The slice of the disk subsystem a VM holding a `share` of the
+    /// machine's disk bandwidth sees: `share` of the sequential
+    /// throughput and `share` of the random IOPS. This is what makes
+    /// disk bandwidth an *allocatable* resource axis — a
+    /// [`VmConfig::disk_share`](crate::VmConfig::disk_share) of `d`
+    /// prices every page read `1/d` times slower, exactly like a CPU
+    /// share prices cycles.
+    pub fn disk_slice(&self, share: f64) -> DiskSpec {
+        assert!(
+            share > 0.0 && share.is_finite(),
+            "disk share must be positive"
+        );
+        DiskSpec {
+            seq_mb_per_s: self.disk.seq_mb_per_s * share,
+            rand_iops: self.disk.rand_iops * share,
+        }
+    }
+
     /// The paper's testbed: two 2.2 GHz dual-core Opteron 275 packages
     /// (4 cores total) and 8 GB of memory, with 2008-class disks.
     pub fn paper_testbed() -> Self {

@@ -35,15 +35,33 @@ proptest! {
     }
 
     /// Admission control: any sequence of VM creations keeps total
-    /// committed shares at or below 1 per resource.
+    /// committed shares at or below 1 per isolated resource.
     #[test]
     fn admission_never_oversubscribes(shares in proptest::collection::vec((share(), share()), 1..8)) {
         let mut hv = Hypervisor::new(PhysicalMachine::paper_testbed());
         for (c, m) in shares {
             let _ = hv.create_vm(VmConfig::new(c, m).expect("valid"));
-            let (tc, tm) = hv.committed_shares();
+            let (tc, tm, _) = hv.committed_shares();
             prop_assert!(tc <= 1.0 + 1e-9, "cpu oversubscribed: {tc}");
             prop_assert!(tm <= 1.0 + 1e-9, "memory oversubscribed: {tm}");
+        }
+    }
+
+    /// Disk isolation: with admission enabled, the committed disk
+    /// shares also stay at or below 1, and the perf view scales I/O
+    /// times by exactly 1/share.
+    #[test]
+    fn disk_isolation_never_oversubscribes(shares in proptest::collection::vec((share(), share()), 1..8)) {
+        let mut hv = Hypervisor::new(PhysicalMachine::paper_testbed());
+        hv.set_disk_isolation(true);
+        for (c, d) in shares {
+            let cfg = VmConfig::with_disk(c, 0.1, d).expect("valid");
+            let scaled = hv.perf_for(cfg);
+            let full = hv.perf_for(VmConfig::new(c, 0.1).expect("valid"));
+            prop_assert!((scaled.seq_page_secs / full.seq_page_secs - 1.0 / d).abs() < 1e-9);
+            let _ = hv.create_vm(cfg);
+            let (_, _, td) = hv.committed_shares();
+            prop_assert!(td <= 1.0 + 1e-9, "disk oversubscribed: {td}");
         }
     }
 

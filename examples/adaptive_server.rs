@@ -70,8 +70,8 @@ fn main() {
         println!(
             "{:<8} {:>7.0}% {:>7.0}% {:>+11.1}%  {:?}",
             period,
-            report.allocations[0].cpu * 100.0,
-            report.allocations[1].cpu * 100.0,
+            report.allocations[0].cpu() * 100.0,
+            report.allocations[1].cpu() * 100.0,
             improvement * 100.0,
             report.decisions,
         );

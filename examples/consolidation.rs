@@ -91,8 +91,8 @@ fn main() {
         println!(
             "{:<18} {:>5.0}% {:>7.0}%",
             advisor.tenant(i).name,
-            alloc.cpu * 100.0,
-            alloc.memory * 100.0
+            alloc.cpu() * 100.0,
+            alloc.memory() * 100.0
         );
     }
     println!(

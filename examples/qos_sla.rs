@@ -47,7 +47,7 @@ fn show(title: &str, advisor: &VirtualizationDesignAdvisor, space: &SearchSpace)
         let solo = advisor.estimator(i).cost(space.solo_allocation());
         println!(
             "  tenant-{i}: {:>3.0}% CPU, degradation {:.2}x (limit met: {})",
-            alloc.cpu * 100.0,
+            alloc.cpu() * 100.0,
             rec.result.costs[i] / solo,
             rec.result.limits_met[i],
         );

@@ -60,7 +60,7 @@ fn main() {
         println!(
             "  {:<10} -> {:>3.0}% CPU (estimated workload time {:>7.1}s)",
             advisor.tenant(i).name,
-            alloc.cpu * 100.0,
+            alloc.cpu() * 100.0,
             rec.result.costs[i],
         );
     }

@@ -57,7 +57,7 @@ fn models(coeffs: &[(f64, f64, f64)]) -> Vec<impl CostModel> {
     coeffs
         .iter()
         .map(|&(alpha, beta, gamma)| {
-            FnCostModel::new(move |a: Allocation| alpha / a.cpu + beta / a.memory + gamma)
+            FnCostModel::new(move |a: Allocation| alpha / a.cpu() + beta / a.memory() + gamma)
         })
         .collect()
 }
@@ -165,7 +165,7 @@ proptest! {
         n in 2usize..=4,
     ) {
         let mut space = SearchSpace::cpu_only(0.5);
-        space.delta = 0.01;
+        space.set_delta(0.01);
         let cs = &cs[..n];
         let qos = vec![QoS::default(); n];
         let models = models(cs);
@@ -200,7 +200,7 @@ proptest! {
         n in 2usize..=4,
     ) {
         let mut space = SearchSpace::cpu_only(0.5);
-        space.delta = 0.01;
+        space.set_delta(0.01);
         let cs = &cs[..n];
         let qos = &qos[..n];
         let models = models(cs);
@@ -242,7 +242,7 @@ proptest! {
             let tenants = r.tenants_on(m);
             if let Some(res) = &r.per_machine[m] {
                 prop_assert_eq!(res.allocations.len(), tenants.len());
-                let total: f64 = res.allocations.iter().map(|a| a.cpu).sum();
+                let total: f64 = res.allocations.iter().map(|a| a.cpu()).sum();
                 prop_assert!(total <= 1.0 + 1e-9, "machine {} oversubscribed: {}", m, total);
             } else {
                 prop_assert!(tenants.is_empty());
@@ -260,7 +260,7 @@ proptest! {
 fn jointly_infeasible_limits_never_panic() {
     use vda::core::enumerate::{coarse_to_fine_search, exhaustive_search, greedy_search};
     let mut space = SearchSpace::cpu_only(0.5);
-    space.delta = 0.01;
+    space.set_delta(0.01);
     // Each workload needs essentially the whole machine to stay within
     // a 1.05× degradation of its solo cost.
     let cs = vec![(10.0, 0.0, 1.0), (10.0, 0.0, 1.0)];
@@ -275,7 +275,7 @@ fn jointly_infeasible_limits_never_panic() {
             "{name} must flag the infeasibility: {:?}",
             r.limits_met
         );
-        let total: f64 = r.allocations.iter().map(|a| a.cpu).sum();
+        let total: f64 = r.allocations.iter().map(|a| a.cpu()).sum();
         assert!(total <= 1.0 + 1e-9, "{name} oversubscribed: {total}");
     }
     // The grid paths agree with each other exactly.

@@ -50,7 +50,7 @@ fn mixed_engines_greedy_agrees_with_exhaustive() {
     );
     // Costs are renormalized to seconds, so the cross-engine sum is
     // meaningful and the budget holds.
-    let total: f64 = greedy.result.allocations.iter().map(|a| a.cpu).sum();
+    let total: f64 = greedy.result.allocations.iter().map(|a| a.cpu()).sum();
     assert!(total <= 1.0 + 1e-9);
 }
 
@@ -136,7 +136,7 @@ fn heterogeneous_model_sets_enumerate_through_dyn() {
     let actuals = adv.actual_models();
     let models: Vec<&dyn CostModel> = vec![&est, &actuals[1]];
     let r = vda::core::enumerate::greedy_search(&space, adv.qos(), &models);
-    let total: f64 = r.allocations.iter().map(|a| a.cpu).sum();
+    let total: f64 = r.allocations.iter().map(|a| a.cpu()).sum();
     assert!(total <= 1.0 + 1e-9);
     assert!(r.limits_met.iter().all(|&m| m));
 }
@@ -158,6 +158,6 @@ fn swap_regression_mixed_engines_survive_dynamic_management() {
     assert_eq!(adv.estimator(1).cost(a), pre_pg);
 
     let rec = adv.recommend(&space);
-    let total: f64 = rec.result.allocations.iter().map(|x| x.cpu).sum();
+    let total: f64 = rec.result.allocations.iter().map(|x| x.cpu()).sum();
     assert!(total <= 1.0 + 1e-9);
 }

@@ -35,7 +35,7 @@ fn cpu_heavy_tenant_wins_cpu_on_both_engines() {
         let space = SearchSpace::cpu_only(0.25);
         let rec = adv.recommend(&space);
         assert!(
-            rec.result.allocations[0].cpu > rec.result.allocations[1].cpu,
+            rec.result.allocations[0].cpu() > rec.result.allocations[1].cpu(),
             "{:?}: Q18 should out-demand Q21 on CPU: {:?}",
             engine.kind(),
             rec.result.allocations
@@ -64,12 +64,12 @@ fn allocations_always_feasible() {
         SearchSpace::cpu_and_memory(),
     ] {
         let rec = adv.recommend(&space);
-        let cpu: f64 = rec.result.allocations.iter().map(|a| a.cpu).sum();
-        let mem: f64 = rec.result.allocations.iter().map(|a| a.memory).sum();
-        if space.vary_cpu {
+        let cpu: f64 = rec.result.allocations.iter().map(|a| a.cpu()).sum();
+        let mem: f64 = rec.result.allocations.iter().map(|a| a.memory()).sum();
+        if space.is_varied(vda::core::problem::Resource::Cpu) {
             assert!(cpu <= 1.0 + 1e-9, "CPU oversubscribed: {cpu}");
         }
-        if space.vary_memory {
+        if space.is_varied(vda::core::problem::Resource::Memory) {
             assert!(mem <= 1.0 + 1e-9, "memory oversubscribed: {mem}");
         }
         for a in &rec.result.allocations {
@@ -189,7 +189,7 @@ fn gain_factor_pulls_resources() {
     adv.calibrate();
     let rec = adv.recommend(&SearchSpace::cpu_only(0.25));
     assert!(
-        rec.result.allocations[0].cpu > rec.result.allocations[1].cpu,
+        rec.result.allocations[0].cpu() > rec.result.allocations[1].cpu(),
         "gain factor ignored: {:?}",
         rec.result.allocations
     );

@@ -16,7 +16,7 @@ fn alphas(n: usize) -> impl Strategy<Value = Vec<f64>> {
 fn reciprocal_models(a: &[f64], betas: &[f64]) -> Vec<impl CostModel> {
     a.iter()
         .zip(betas)
-        .map(|(&alpha, &beta)| FnCostModel::new(move |al: Allocation| alpha / al.cpu + beta))
+        .map(|(&alpha, &beta)| FnCostModel::new(move |al: Allocation| alpha / al.cpu() + beta))
         .collect()
 }
 
@@ -30,11 +30,11 @@ proptest! {
         let space = SearchSpace::cpu_only(0.5);
         let models = reciprocal_models(&a, &betas);
         let r = greedy_search(&space, &[QoS::default(); 4], &models);
-        let total: f64 = r.allocations.iter().map(|al| al.cpu).sum();
+        let total: f64 = r.allocations.iter().map(|al| al.cpu()).sum();
         prop_assert!(total <= 1.0 + 1e-9);
         for al in &r.allocations {
-            prop_assert!(al.cpu >= space.min_share - 1e-9);
-            prop_assert!(al.cpu <= 1.0 + 1e-9);
+            prop_assert!(al.cpu() >= space.min_share - 1e-9);
+            prop_assert!(al.cpu() <= 1.0 + 1e-9);
         }
     }
 
@@ -43,7 +43,7 @@ proptest! {
     fn greedy_never_worse_than_default(a in alphas(3), betas in alphas(3)) {
         let space = SearchSpace::cpu_only(0.5);
         let default_cost: f64 = (0..3)
-            .map(|i| a[i] / space.default_allocation(3).cpu + betas[i])
+            .map(|i| a[i] / space.default_allocation(3).cpu() + betas[i])
             .sum();
         let models = reciprocal_models(&a, &betas);
         let r = greedy_search(&space, &[QoS::default(); 3], &models);
@@ -69,12 +69,12 @@ proptest! {
             .iter()
             .zip(&b)
             .map(|(&ca, &cb)| {
-                FnCostModel::new(move |al: Allocation| ca / al.cpu + cb / al.memory)
+                FnCostModel::new(move |al: Allocation| ca / al.cpu() + cb / al.memory())
             })
             .collect();
         let r = exhaustive_search(&space, &[QoS::default(); 3], &models);
-        let cpu: f64 = r.allocations.iter().map(|al| al.cpu).sum();
-        let mem: f64 = r.allocations.iter().map(|al| al.memory).sum();
+        let cpu: f64 = r.allocations.iter().map(|al| al.cpu()).sum();
+        let mem: f64 = r.allocations.iter().map(|al| al.memory()).sum();
         prop_assert!(cpu <= 1.0 + 1e-9);
         prop_assert!(mem <= 1.0 + 1e-9);
     }
@@ -155,7 +155,7 @@ proptest! {
         factor in 0.2f64..5.0,
     ) {
         let space = SearchSpace::cpu_only(0.5);
-        let est = RegimeFnCostModel::new(move |a: Allocation| (alpha / a.cpu + 1.0, 1));
+        let est = RegimeFnCostModel::new(move |a: Allocation| (alpha / a.cpu() + 1.0, 1));
         let mut model = RefinedModel::fit_initial(&space, 8, &est);
         let at = Allocation::new(0.5, 0.5);
         let actual = factor * (alpha / 0.5 + 1.0);
@@ -174,7 +174,7 @@ proptest! {
     fn piece_lookup_total(share in 0.01f64..1.0) {
         let space = SearchSpace::memory_only(0.5);
         let est = RegimeFnCostModel::new(|a: Allocation| {
-            if a.memory < 0.35 { (50.0 / a.memory, 1) } else { (5.0 / a.memory + 20.0, 2) }
+            if a.memory() < 0.35 { (50.0 / a.memory(), 1) } else { (5.0 / a.memory() + 20.0, 2) }
         });
         let model = RefinedModel::fit_initial(&space, 10, &est);
         let idx = model.piece_for(share);

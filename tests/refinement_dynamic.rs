@@ -117,8 +117,8 @@ fn workload_swap_triggers_rebuild_and_reallocation() {
     );
     // The allocation must follow the workloads to their new VMs.
     let settle = mgr.process_period(&adv).allocations;
-    let moved = (settle[0].cpu - before[0].cpu).abs() > 0.04
-        || (settle[1].cpu - before[1].cpu).abs() > 0.04;
+    let moved = (settle[0].cpu() - before[0].cpu()).abs() > 0.04
+        || (settle[1].cpu() - before[1].cpu()).abs() > 0.04;
     assert!(moved, "allocations did not react: {before:?} -> {settle:?}");
 }
 
