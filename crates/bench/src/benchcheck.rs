@@ -166,6 +166,21 @@ mod tests {
     "objective_match": true,
     "meets_2x": true
   },
+  "dynamic": {
+    "periods": 20,
+    "cold_wall_ms": 140.0,
+    "warm_wall_ms": 25.0,
+    "steady_optimizer_calls_cold": 24729,
+    "steady_optimizer_calls_incremental": 1256,
+    "incremental_calls_per_period": [157, 98, 0, 5],
+    "delta_solves": 20,
+    "lattice_reuses": 48,
+    "probe_hits": 12285,
+    "final_objectives": [890.642, 222.932],
+    "speedup": 19.689,
+    "results_match": true,
+    "meets_10x": true
+  },
   "heterogeneous": {
     "machine_scales_cpu": [0.5, 0.5, 1.0, 1.0],
     "machine_scales_memory": [0.5, 0.5, 1.0, 1.0],
@@ -373,6 +388,71 @@ mod tests {
         assert!(
             compare_reports(BASE, &cand).is_empty(),
             "heterogeneous wall time must stay unguarded"
+        );
+    }
+
+    #[test]
+    fn dynamic_section_deterministic_fields_are_gated() {
+        // The incremental re-optimization section of
+        // BENCH_dynamic.json: optimizer-call totals and per-period
+        // series, warm-solve/lattice/probe counters, objectives, and
+        // the two contract booleans are deterministic and gated; both
+        // wall times (and the environment-dependent speedup ratio)
+        // are not.
+        for (field, original, replacement) in [
+            (
+                "steady_optimizer_calls_cold",
+                "\"steady_optimizer_calls_cold\": 24729",
+                "\"steady_optimizer_calls_cold\": 24000",
+            ),
+            (
+                "steady_optimizer_calls_incremental",
+                "\"steady_optimizer_calls_incremental\": 1256",
+                "\"steady_optimizer_calls_incremental\": 2000",
+            ),
+            (
+                "incremental_calls_per_period",
+                "\"incremental_calls_per_period\": [157, 98, 0, 5]",
+                "\"incremental_calls_per_period\": [157, 98, 7, 5]",
+            ),
+            (
+                "delta_solves",
+                "\"delta_solves\": 20",
+                "\"delta_solves\": 23",
+            ),
+            (
+                "lattice_reuses",
+                "\"lattice_reuses\": 48",
+                "\"lattice_reuses\": 0",
+            ),
+            ("probe_hits", "\"probe_hits\": 12285", "\"probe_hits\": 12"),
+            (
+                "final_objectives",
+                "\"final_objectives\": [890.642, 222.932]",
+                "\"final_objectives\": [890.642, 230.0]",
+            ),
+            (
+                "results_match",
+                "\"results_match\": true",
+                "\"results_match\": false",
+            ),
+            ("meets_10x", "\"meets_10x\": true", "\"meets_10x\": false"),
+        ] {
+            let cand = BASE.replace(original, replacement);
+            assert_ne!(cand, BASE, "{field} must appear in the fixture");
+            let problems = compare_reports(BASE, &cand);
+            assert!(
+                problems.iter().any(|p| p.contains(field)),
+                "dynamic {field} drift must fail the gate: {problems:?}"
+            );
+        }
+        let cand = BASE
+            .replace("\"cold_wall_ms\": 140.0", "\"cold_wall_ms\": 9000.0")
+            .replace("\"warm_wall_ms\": 25.0", "\"warm_wall_ms\": 2.0")
+            .replace("\"speedup\": 19.689", "\"speedup\": 4.0");
+        assert!(
+            compare_reports(BASE, &cand).is_empty(),
+            "dynamic wall times and the speedup ratio must stay unguarded"
         );
     }
 

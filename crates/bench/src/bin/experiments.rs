@@ -14,6 +14,10 @@
 //!                               run the fleet-placement scenario and
 //!                               write BENCH_placement.json (same path
 //!                               rules as --enumeration-json)
+//! experiments --dynamic-json [path.json]
+//!                               run the steady-state incremental
+//!                               re-optimization scenario and write
+//!                               BENCH_dynamic.json (same path rules)
 //! ```
 
 use std::process::ExitCode;
@@ -65,12 +69,25 @@ fn main() -> ExitCode {
             }
         }
     }
+    if let Some(path) = json_flag(&mut args, "--dynamic-json", "BENCH_dynamic.json") {
+        ran_flag = true;
+        match experiments::dynbench::write_json(&path) {
+            Ok(m) => {
+                println!("{}", experiments::dynbench::run_from(m));
+                println!("wrote {path}");
+            }
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     if ran_flag && args.is_empty() {
         return ExitCode::SUCCESS;
     }
     if args.is_empty() || args[0] == "help" || args[0] == "--help" {
         eprintln!(
-            "usage: experiments <id>... | all | list | --enumeration-json [path] | --placement-json [path]"
+            "usage: experiments <id>... | all | list | --enumeration-json [path] | --placement-json [path] | --dynamic-json [path]"
         );
         eprintln!("ids: {}", id_list().join(" "));
         return ExitCode::from(2);

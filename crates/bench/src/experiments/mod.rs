@@ -9,6 +9,7 @@ pub mod ablation;
 pub mod calibration_figs;
 pub mod cpu_sensitivity;
 pub mod dynamic_mgmt;
+pub mod dynbench;
 pub mod enumeration;
 pub mod estcosts;
 pub mod memory_sensitivity;
@@ -66,6 +67,7 @@ pub fn registry() -> Vec<(&'static str, fn() -> Report)> {
         ("sec72", sec72_costs::run),
         ("ablation", ablation::run),
         ("enumbench", enumeration::run),
+        ("dynbench", dynbench::run),
         ("placement", placement::run),
         ("placement-het", placement::run_heterogeneous),
     ]

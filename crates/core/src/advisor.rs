@@ -24,14 +24,19 @@
 
 use crate::costmodel::calibration::{CalibratedModel, CalibrationConfig, Calibrator};
 use crate::costmodel::model::ActualCostModel;
-use crate::costmodel::whatif::{SharedEstimateCache, WhatIfEstimator};
-use crate::enumerate::{exhaustive_search_with, greedy_search_with, SearchOptions, SearchResult};
+use crate::costmodel::whatif::{ProbeCache, SharedEstimateCache, WhatIfEstimator};
+use crate::enumerate::{
+    coarse_to_fine_search_warm, exhaustive_search_with, greedy_search_with, CoarseToFineOptions,
+    SearchOptions, SearchResult, WarmStart,
+};
 use crate::metrics::CostAccounting;
 use crate::problem::{Allocation, QoS, SearchSpace};
 use crate::refine::{refine, RefineOptions, RefinedModel, RefinementOutcome};
 use crate::tenant::Tenant;
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 use vda_simdb::engines::EngineKind;
+use vda_simdb::hash::Fnv64;
 use vda_vmm::Hypervisor;
 
 /// A recommendation produced by the advisor.
@@ -112,6 +117,15 @@ pub struct VirtualizationDesignAdvisor {
     /// One shared estimate cache per tenant slot; estimates persist
     /// across searches and estimator instances.
     caches: Vec<SharedEstimateCache>,
+    /// Optional fleet-wide probe cache. When attached, estimators key
+    /// their entries by `(calibrated-model fingerprint, tenant
+    /// fingerprint, allocation)` in this cache instead of the
+    /// per-tenant slot caches, so identical probes are shared across
+    /// machines and across periods.
+    probe: Option<ProbeCache>,
+    /// Warm-start state for [`Self::recommend_c2f_warm`]; interior
+    /// mutability keeps the recommend API `&self` like its siblings.
+    warm: RefCell<WarmStart>,
     calibration_config: CalibrationConfig,
     search_options: SearchOptions,
 }
@@ -125,9 +139,25 @@ impl VirtualizationDesignAdvisor {
             qos: Vec::new(),
             models: Vec::new(),
             caches: Vec::new(),
+            probe: None,
+            warm: RefCell::new(WarmStart::new()),
             calibration_config: CalibrationConfig::default(),
             search_options: SearchOptions::default(),
         }
+    }
+
+    /// Back every estimator with a fleet-wide [`ProbeCache`] instead of
+    /// the per-tenant slot caches. Entries are keyed by calibrated
+    /// model and tenant fingerprint, so a recalibration or workload
+    /// drift never reads stale estimates — and two machines pricing
+    /// the same tenant under the same calibration share probes.
+    pub fn attach_probe_cache(&mut self, cache: ProbeCache) {
+        self.probe = Some(cache);
+    }
+
+    /// The attached fleet probe cache, if any.
+    pub fn probe_cache(&self) -> Option<&ProbeCache> {
+        self.probe.as_ref()
     }
 
     /// Override calibration settings (must be called before
@@ -242,6 +272,10 @@ impl VirtualizationDesignAdvisor {
         dest.tenants.push(tenant);
         dest.qos.push(qos);
         dest.caches.push(cache);
+        // Both tenant sets changed; neither machine's previous-period
+        // solve describes its current workloads.
+        self.warm.get_mut().invalidate();
+        dest.warm.get_mut().invalidate();
         TenantTransfer {
             index: dest.tenants.len() - 1,
             calibration,
@@ -275,6 +309,9 @@ impl VirtualizationDesignAdvisor {
         for cache in &mut self.caches {
             *cache = SharedEstimateCache::new();
         }
+        // New calibration ⇒ new model fingerprints; warm-start state
+        // and cached coarse lattices are stale.
+        self.warm.get_mut().invalidate();
     }
 
     /// Calibrate only the engine kinds that are still missing a model
@@ -323,6 +360,9 @@ impl VirtualizationDesignAdvisor {
                 *cache = SharedEstimateCache::new();
             }
         }
+        // A genuinely different calibration invalidates the previous
+        // period's solve and coarse lattices.
+        self.warm.get_mut().invalidate();
     }
 
     /// The calibrated model for an engine kind, if any.
@@ -361,11 +401,21 @@ impl VirtualizationDesignAdvisor {
             .expect("call calibrate() first")
     }
 
-    /// A what-if estimator for tenant `i`, backed by the tenant slot's
-    /// shared estimate cache.
+    /// A what-if estimator for tenant `i`, backed by the fleet probe
+    /// cache when one is attached ([`Self::attach_probe_cache`]), by
+    /// the tenant slot's shared estimate cache otherwise.
     pub fn estimator(&self, i: usize) -> WhatIfEstimator<'_> {
         assert!(self.is_calibrated(), "call calibrate() first");
-        WhatIfEstimator::with_shared_cache(&self.tenants[i], self.model(i), self.caches[i].clone())
+        match &self.probe {
+            Some(cache) => {
+                WhatIfEstimator::with_probe_cache(&self.tenants[i], self.model(i), cache.clone())
+            }
+            None => WhatIfEstimator::with_shared_cache(
+                &self.tenants[i],
+                self.model(i),
+                self.caches[i].clone(),
+            ),
+        }
     }
 
     /// One estimator per tenant, for a full search.
@@ -405,6 +455,54 @@ impl VirtualizationDesignAdvisor {
             optimizer_calls: accounting.optimizer_calls,
             cache_hits: accounting.cache_hits,
         }
+    }
+
+    /// Warm-started coarse-to-fine recommendation: bit-identical to a
+    /// cold [`coarse_to_fine_search_with`](crate::enumerate::coarse_to_fine_search_with)
+    /// over the same estimators, but period-over-period re-runs reuse
+    /// the previous solve. The warm key folds in every calibrated
+    /// model's fingerprint, so a recalibration (or QoS / search-space
+    /// change) cold re-solves automatically; per-tenant workload
+    /// fingerprints route unchanged tenants to the cached coarse
+    /// tables ([`WarmStart`] delta-solves).
+    pub fn recommend_c2f_warm(&self, space: &SearchSpace) -> Recommendation {
+        let estimators = self.estimators();
+        let c2f = CoarseToFineOptions::auto(space, estimators.len());
+        let mut salt_h = Fnv64::new();
+        for i in 0..self.tenants.len() {
+            salt_h.write_u64(self.model(i).fingerprint());
+        }
+        let salt = salt_h.finish();
+        let fingerprints: Vec<u64> = self.tenants.iter().map(Tenant::fingerprint).collect();
+        let mut warm = self.warm.borrow_mut();
+        let result = coarse_to_fine_search_warm(
+            space,
+            &self.qos,
+            &estimators,
+            &c2f,
+            &self.search_options,
+            salt,
+            &fingerprints,
+            &mut warm,
+        )
+        .expect("no grid can host the workloads (min_share too large)");
+        let accounting = CostAccounting::tally(&estimators);
+        Recommendation {
+            result,
+            optimizer_calls: accounting.optimizer_calls,
+            cache_hits: accounting.cache_hits,
+        }
+    }
+
+    /// Cumulative warm-start counters of [`Self::recommend_c2f_warm`]:
+    /// `(cold_solves, delta_solves, lattice_reuses)`.
+    pub fn warm_stats(&self) -> (u64, u64, u64) {
+        let warm = self.warm.borrow();
+        (
+            warm.cold_solves(),
+            warm.delta_solves(),
+            warm.lattice_reuses(),
+        )
     }
 
     /// Actual cost (seconds) of tenant `i` under `alloc` — the
@@ -846,5 +944,74 @@ mod tests {
         assert!(outcome.iterations >= 1);
         let total: f64 = outcome.final_allocations.iter().map(|a| a.cpu()).sum();
         assert!(total <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn warm_recommend_caches_and_delta_solves_on_drift() {
+        let mut adv = advisor_two_dss();
+        let space = SearchSpace::cpu_only(0.5);
+        let first = adv.recommend_c2f_warm(&space);
+        assert_eq!(adv.warm_stats().0, 1, "first call is cold");
+        assert!(first.optimizer_calls > 0);
+        // Unchanged period: cached result, zero optimizer calls.
+        let second = adv.recommend_c2f_warm(&space);
+        assert_eq!(adv.warm_stats(), (1, 0, adv.warm_stats().2));
+        assert_eq!(second.optimizer_calls, 0, "{second:?}");
+        assert_eq!(first.result, second.result);
+        // One tenant drifts: delta-solve, matching a cold solve on a
+        // fresh identical advisor bit-for-bit.
+        adv.tenant_mut(0).scale_workload(3.0);
+        let drifted = adv.recommend_c2f_warm(&space);
+        assert_eq!(adv.warm_stats().1, 1, "drift must delta-solve");
+        let mut cold = advisor_two_dss();
+        cold.tenant_mut(0).scale_workload(3.0);
+        let reference = cold.recommend_c2f_warm(&space);
+        assert_eq!(drifted.result, reference.result);
+    }
+
+    #[test]
+    fn warm_recommend_cold_resolves_after_calibration_flip() {
+        let mut adv = advisor_two_dss();
+        let space = SearchSpace::cpu_only(0.5);
+        let before = adv.recommend_c2f_warm(&space);
+        let _ = adv.recommend_c2f_warm(&space);
+        assert_eq!(adv.warm_stats().0, 1, "second call must stay cached");
+        // Flip the calibration (a genuinely different model): the warm
+        // state and cached lattices must be invalidated — the next
+        // recommend is a full cold re-solve, not a cache hit.
+        let kind = adv.tenant(0).engine.kind();
+        let mut model = adv.calibration(kind).unwrap().clone();
+        let old_fingerprint = model.fingerprint();
+        model.machine_mem_mb *= 2.0;
+        assert_ne!(model.fingerprint(), old_fingerprint);
+        adv.install_calibration(kind, model);
+        let after = adv.recommend_c2f_warm(&space);
+        assert_eq!(adv.warm_stats().0, 2, "calibration flip must cold re-solve");
+        assert!(after.optimizer_calls > 0);
+        // The re-solve runs against the flipped model; for this
+        // CPU-only space its answer must still be self-consistent.
+        assert_eq!(
+            after.result.allocations.len(),
+            before.result.allocations.len()
+        );
+    }
+
+    #[test]
+    fn probe_cache_shares_probes_across_advisors() {
+        let cache = ProbeCache::new();
+        let mut a = advisor_two_dss();
+        let mut b = advisor_two_dss();
+        a.attach_probe_cache(cache.clone());
+        b.attach_probe_cache(cache.clone());
+        let space = SearchSpace::cpu_only(0.5);
+        let ra = a.recommend(&space);
+        assert!(ra.optimizer_calls > 0);
+        // Identical hardware ⇒ identical calibration fingerprints, and
+        // the same tenants ⇒ identical probe keys: machine B prices the
+        // whole search from machine A's probes.
+        let rb = b.recommend(&space);
+        assert_eq!(rb.optimizer_calls, 0, "{rb:?}");
+        assert_eq!(ra.result, rb.result);
+        assert!(cache.hits() > 0);
     }
 }

@@ -192,6 +192,26 @@ pub enum IoConstants {
 }
 
 impl CalibratedModel {
+    /// Stable 64-bit fingerprint over everything that determines this
+    /// model's estimates: engine kind, machine memory, every fitted
+    /// parameter, the I/O constants, the disk fit, and the
+    /// renormalization. Two models compare [`PartialEq`]-equal iff
+    /// their fingerprints agree, so caches keyed by it (the fleet
+    /// [`ProbeCache`](crate::costmodel::whatif::ProbeCache), the
+    /// warm-start state of
+    /// [`coarse_to_fine_search_warm`](crate::enumerate::coarse_to_fine_search_warm))
+    /// are invalidated exactly when a recalibration actually changed
+    /// the model — an estimate priced under an old calibration is
+    /// never served under a new one.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = vda_simdb::hash::Fnv64::new();
+        // Debug renders every f64 at round-trip precision, so any
+        // numeric difference between two calibrations changes the
+        // string (and equal models render identically).
+        h.write_str(&format!("{self:?}"));
+        h.finish()
+    }
+
     /// The I/O-time multiplier at a disk-bandwidth share, relative to
     /// the reference share the I/O constants were measured at. `1.0`
     /// exactly when the disk axis was never calibrated (so the M = 2

@@ -31,4 +31,4 @@ pub mod whatif;
 pub use calibration::{CalibratedModel, CalibrationConfig, CalibrationCost, Calibrator};
 pub use model::{ActualCostModel, CostModel, FnCostModel, RegimeFnCostModel};
 pub use renormalize::Renormalizer;
-pub use whatif::{Estimate, SharedEstimateCache, WhatIfEstimator};
+pub use whatif::{Estimate, ProbeCache, SharedEstimateCache, WhatIfEstimator};

@@ -11,7 +11,7 @@
 //! (§5.1), and the paper harvests them "during configuration
 //! enumeration ... to minimize the number of optimizer calls".
 //!
-//! Estimates can be cached three ways:
+//! Estimates can be cached four ways:
 //!
 //! * **local** ([`WhatIfEstimator::new`]) — a private per-instance
 //!   cache, the seed behaviour;
@@ -22,6 +22,15 @@
 //!   optimizer probe once. Entries are keyed by the tenant's
 //!   [`fingerprint`](crate::tenant::Tenant::fingerprint), which makes
 //!   stale entries unreachable when the workload changes;
+//! * **fleet-wide** ([`WhatIfEstimator::with_probe_cache`]) — a
+//!   [`ProbeCache`] keyed by *(calibrated-model fingerprint, tenant
+//!   fingerprint, allocation)*, shared by every estimator in a fleet.
+//!   Unlike a [`SharedEstimateCache`] it holds many generations at
+//!   once, so cross-period re-optimization and cross-machine candidate
+//!   pricing never re-probe a (tenant, model, allocation) point that
+//!   any machine probed before; entries priced under a replaced
+//!   calibration become unreachable because the model fingerprint
+//!   changes;
 //! * **disabled** ([`WhatIfEstimator::without_cache`]) — the §4.5
 //!   caching ablation.
 
@@ -121,6 +130,122 @@ impl SharedEstimateCache {
     }
 }
 
+/// The fleet-wide probe cache: what-if estimates keyed by
+/// *(calibrated-model fingerprint, tenant fingerprint)* generation,
+/// then by allocation. Cloning is cheap and shares the underlying map.
+///
+/// This is the cross-period, cross-machine generalization of
+/// [`SharedEstimateCache`]: where the shared cache serves one tenant
+/// slot and keeps a single live generation, the probe cache holds many
+/// `(model, tenant)` generations simultaneously, so
+///
+/// * re-optimizing a fleet after one tenant's workload drifted pays
+///   optimizer calls only for that tenant — every other tenant's
+///   probes, at whatever allocation any search requests, are hits;
+/// * candidate-migration pricing that evaluates the same tenant under
+///   the same class calibration on several machines probes each
+///   (allocation) point once fleet-wide;
+/// * a recalibration never serves stale estimates: the model
+///   fingerprint ([`CalibratedModel::fingerprint`]) changes, so old
+///   entries become unreachable (and reclaimable via
+///   [`Self::retain_tenants`]).
+///
+/// Hit/miss counters live in the cache itself, so cross-period cache
+/// effectiveness is observable even though estimator instances (and
+/// their per-instance counters) are rebuilt every search.
+#[derive(Debug, Clone, Default)]
+pub struct ProbeCache {
+    inner: Arc<Mutex<ProbeCacheInner>>,
+}
+
+#[derive(Debug, Default)]
+struct ProbeCacheInner {
+    map: HashMap<(u64, u64), HashMap<AllocKey, Estimate>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl ProbeCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cached estimate for a (model, tenant, allocation) triple,
+    /// counting the lookup as a hit or a miss.
+    fn get(&self, model: u64, tenant: u64, key: AllocKey) -> Option<Estimate> {
+        let mut inner = self.inner.lock();
+        let hit = inner
+            .map
+            .get(&(model, tenant))
+            .and_then(|g| g.get(&key))
+            .copied();
+        match hit {
+            Some(_) => inner.hits += 1,
+            None => inner.misses += 1,
+        }
+        hit
+    }
+
+    /// Store an estimate under its (model, tenant) generation.
+    fn insert(&self, model: u64, tenant: u64, key: AllocKey, estimate: Estimate) {
+        self.inner
+            .lock()
+            .map
+            .entry((model, tenant))
+            .or_default()
+            .insert(key, estimate);
+    }
+
+    /// All cached (allocation, estimate) pairs of one generation.
+    fn samples_for(&self, model: u64, tenant: u64) -> Vec<(Allocation, Estimate)> {
+        self.inner
+            .lock()
+            .map
+            .get(&(model, tenant))
+            .map(|g| {
+                g.iter()
+                    .map(|(&key, &est)| (Allocation::from_key(key), est))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Drop every generation whose *tenant* fingerprint is not in
+    /// `live` — the periodic pruning hook: workload drift mints new
+    /// tenant fingerprints each period, and without pruning the dead
+    /// generations would accumulate forever. (Stale *model*
+    /// generations of a live tenant are bounded by the number of
+    /// recalibrations and are dropped here too once the tenant's
+    /// workload moves on.)
+    pub fn retain_tenants(&self, live: &std::collections::HashSet<u64>) {
+        self.inner
+            .lock()
+            .map
+            .retain(|&(_, tenant), _| live.contains(&tenant));
+    }
+
+    /// Cache hits recorded over the cache's lifetime.
+    pub fn hits(&self) -> u64 {
+        self.inner.lock().hits
+    }
+
+    /// Cache misses recorded over the cache's lifetime.
+    pub fn misses(&self) -> u64 {
+        self.inner.lock().misses
+    }
+
+    /// Total cached estimates across all generations.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.values().map(HashMap::len).sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().map.is_empty()
+    }
+}
+
 /// Where an estimator keeps (or doesn't keep) its estimates.
 #[derive(Debug)]
 enum CacheBackend {
@@ -130,6 +255,12 @@ enum CacheBackend {
     Shared {
         cache: SharedEstimateCache,
         fingerprint: u64,
+    },
+    /// Fleet-owned cache surviving across periods and machines.
+    Probe {
+        cache: ProbeCache,
+        model: u64,
+        tenant: u64,
     },
     /// §4.5 ablation: recompute every probe.
     Disabled,
@@ -168,6 +299,25 @@ impl<'a> WhatIfEstimator<'a> {
         Self::with_backend(tenant, model, CacheBackend::Shared { cache, fingerprint })
     }
 
+    /// Create an estimator backed by a fleet-wide [`ProbeCache`].
+    /// Entries are keyed by the calibrated model's
+    /// [`fingerprint`](CalibratedModel::fingerprint) *and* the
+    /// tenant's [`fingerprint`](Tenant::fingerprint), so they survive
+    /// estimator churn, monitoring periods, and machine boundaries —
+    /// but never serve a changed workload or a replaced calibration.
+    pub fn with_probe_cache(
+        tenant: &'a Tenant,
+        model: &'a CalibratedModel,
+        cache: ProbeCache,
+    ) -> Self {
+        let backend = CacheBackend::Probe {
+            cache,
+            model: model.fingerprint(),
+            tenant: tenant.fingerprint(),
+        };
+        Self::with_backend(tenant, model, backend)
+    }
+
     /// Create an estimator with the cache disabled (the §4.5 caching
     /// ablation).
     pub fn without_cache(tenant: &'a Tenant, model: &'a CalibratedModel) -> Self {
@@ -195,6 +345,11 @@ impl<'a> WhatIfEstimator<'a> {
         let hit = match &self.cache {
             CacheBackend::Local(map) => map.lock().get(&key).copied(),
             CacheBackend::Shared { cache, fingerprint } => cache.get(*fingerprint, key),
+            CacheBackend::Probe {
+                cache,
+                model,
+                tenant,
+            } => cache.get(*model, *tenant, key),
             CacheBackend::Disabled => None,
         };
         if let Some(est) = hit {
@@ -207,6 +362,11 @@ impl<'a> WhatIfEstimator<'a> {
                 map.lock().insert(key, est);
             }
             CacheBackend::Shared { cache, fingerprint } => cache.insert(*fingerprint, key, est),
+            CacheBackend::Probe {
+                cache,
+                model,
+                tenant,
+            } => cache.insert(*model, *tenant, key, est),
             CacheBackend::Disabled => {}
         }
         est
@@ -264,6 +424,11 @@ impl<'a> WhatIfEstimator<'a> {
                 .map(|(&key, &est)| (Allocation::from_key(key), est))
                 .collect(),
             CacheBackend::Shared { cache, fingerprint } => cache.samples_for(*fingerprint),
+            CacheBackend::Probe {
+                cache,
+                model,
+                tenant,
+            } => cache.samples_for(*model, *tenant),
             CacheBackend::Disabled => Vec::new(),
         }
     }
@@ -385,6 +550,79 @@ mod tests {
         assert!(after.optimizer_calls() > 0, "stale entry served");
         assert_ne!(e_before.seconds, e_after.seconds);
         assert_eq!(cache.len(), 1, "old generation must be evicted");
+    }
+
+    #[test]
+    fn probe_cache_survives_estimator_churn_and_counts() {
+        let (hv, tenant) = setup();
+        let model = Calibrator::new(&hv).calibrate(&tenant.engine);
+        let cache = ProbeCache::new();
+        let a = Allocation::new(0.5, 0.5);
+
+        let first = WhatIfEstimator::with_probe_cache(&tenant, &model, cache.clone());
+        let e1 = first.estimate(a);
+        assert!(first.optimizer_calls() > 0);
+        assert_eq!(cache.misses(), 1);
+
+        let second = WhatIfEstimator::with_probe_cache(&tenant, &model, cache.clone());
+        let e2 = second.estimate(a);
+        assert_eq!(e1, e2);
+        assert_eq!(second.optimizer_calls(), 0);
+        assert_eq!(second.cache_hits(), 1);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn probe_cache_keeps_generations_side_by_side() {
+        // Unlike SharedEstimateCache, a workload change must NOT evict
+        // the previous generation: cross-period re-optimization wants
+        // the unchanged tenants' probes to stay warm while the drifted
+        // tenant re-probes under its new fingerprint.
+        let (hv, mut tenant) = setup();
+        let model = Calibrator::new(&hv).calibrate(&tenant.engine);
+        let cache = ProbeCache::new();
+        let a = Allocation::new(0.5, 0.5);
+        let old_fp = tenant.fingerprint();
+
+        let before = WhatIfEstimator::with_probe_cache(&tenant, &model, cache.clone());
+        let e_before = before.estimate(a);
+        drop(before);
+
+        tenant.set_workload(tpch::query_workload(18, 1.0)).unwrap();
+        let after = WhatIfEstimator::with_probe_cache(&tenant, &model, cache.clone());
+        let e_after = after.estimate(a);
+        assert!(after.optimizer_calls() > 0, "stale entry served");
+        assert_ne!(e_before.seconds, e_after.seconds);
+        assert_eq!(cache.len(), 2, "both generations must coexist");
+
+        // Pruning against the live fingerprint set reclaims the old
+        // generation.
+        let live = std::collections::HashSet::from([tenant.fingerprint()]);
+        cache.retain_tenants(&live);
+        assert_eq!(cache.len(), 1);
+        assert!(!live.contains(&old_fp));
+    }
+
+    #[test]
+    fn probe_cache_keys_by_calibration() {
+        // A replaced calibration changes the model fingerprint, so old
+        // entries are unreachable: a stale estimate priced under the
+        // old calibration is never served under the new one.
+        let (hv, tenant) = setup();
+        let model = Calibrator::new(&hv).calibrate(&tenant.engine);
+        let mut spec = vda_vmm::PhysicalMachine::paper_testbed();
+        spec.core_ghz *= 2.0;
+        let other = Calibrator::new(&Hypervisor::new(spec)).calibrate(&tenant.engine);
+        assert_ne!(model.fingerprint(), other.fingerprint());
+
+        let cache = ProbeCache::new();
+        let a = Allocation::new(0.5, 0.5);
+        let _ = WhatIfEstimator::with_probe_cache(&tenant, &model, cache.clone()).estimate(a);
+        let recal = WhatIfEstimator::with_probe_cache(&tenant, &other, cache.clone());
+        let _ = recal.estimate(a);
+        assert!(recal.optimizer_calls() > 0, "stale calibration served");
+        assert_eq!(cache.len(), 2);
     }
 
     #[test]

@@ -20,7 +20,7 @@
 
 use crate::advisor::VirtualizationDesignAdvisor;
 use crate::costmodel::calibration::{CalibratedModel, Calibrator};
-use crate::costmodel::whatif::{SharedEstimateCache, WhatIfEstimator};
+use crate::costmodel::whatif::{ProbeCache, WhatIfEstimator};
 use crate::enumerate::MachineClass;
 use crate::placement::{machine_capacity, AssignmentPricer, FleetOptions};
 use crate::problem::{Allocation, QoS, SearchSpace};
@@ -377,14 +377,17 @@ pub struct FleetManager {
     /// every machine of that class. Interior mutability: pricing a
     /// candidate migration may have to fit a missing class model.
     class_models: RefCell<HashMap<(u64, EngineKind), CalibratedModel>>,
-    /// Estimate caches for cross-machine candidate pricing, keyed by
-    /// (hardware class, tenant fingerprint) — persistent across
-    /// periods so re-pricing the same candidate does not repay its
-    /// optimizer calls. (Home-machine pricing uses the advisors' own
-    /// warm caches; these only back what-if estimators built with
-    /// *other* classes' calibrations. The cache's internal generation
-    /// check invalidates entries when a tenant's workload changes.)
-    pricing_caches: RefCell<HashMap<(u64, u64), SharedEstimateCache>>,
+    /// The fleet-wide probe cache, shared by **every** estimator the
+    /// fleet builds: home-machine period solves (it is attached to
+    /// each machine's advisor, see
+    /// [`VirtualizationDesignAdvisor::attach_probe_cache`]) and
+    /// cross-machine candidate pricing alike. Entries are keyed by
+    /// (calibrated-model fingerprint, tenant fingerprint, allocation),
+    /// so two machines of one hardware class pricing the same tenant
+    /// probe each point once fleet-wide, entries survive monitoring
+    /// periods, and a recalibration or workload drift can never serve
+    /// a stale estimate.
+    probe: ProbeCache,
 }
 
 impl FleetManager {
@@ -405,12 +408,18 @@ impl FleetManager {
     /// different hardware. Machines with tenants must already be
     /// calibrated (their calibrations seed the per-class registry).
     pub fn new_heterogeneous(
-        machines: Vec<VirtualizationDesignAdvisor>,
+        mut machines: Vec<VirtualizationDesignAdvisor>,
         spaces: Vec<SearchSpace>,
         options: FleetDynamicOptions,
     ) -> Self {
         assert!(!machines.is_empty(), "at least one machine");
         assert_eq!(machines.len(), spaces.len(), "one search space per machine");
+        // One probe cache for the whole fleet, attached *before* the
+        // managers' initial solves so even those populate it.
+        let probe = ProbeCache::new();
+        for adv in &mut machines {
+            adv.attach_probe_cache(probe.clone());
+        }
         let managers = machines
             .iter()
             .zip(&spaces)
@@ -437,8 +446,15 @@ impl FleetManager {
             options,
             period: 0,
             class_models: RefCell::new(class_models),
-            pricing_caches: RefCell::new(HashMap::new()),
+            probe,
         }
+    }
+
+    /// The fleet-wide probe cache (cross-period, cross-machine
+    /// hit/miss counters live here — see
+    /// [`CostAccounting::with_probe_cache`](crate::metrics::CostAccounting::with_probe_cache)).
+    pub fn probe_cache(&self) -> &ProbeCache {
+        &self.probe
     }
 
     /// Number of machines.
@@ -564,18 +580,16 @@ impl FleetManager {
                 }
             }
         }
-        // Drop pricing-cache entries whose tenant fingerprint is no
+        // Drop probe-cache generations whose tenant fingerprint is no
         // longer live (a workload change mints a new fingerprint and
-        // would otherwise orphan the old entry forever) — bounds the
-        // map at #hardware-classes × #tenants.
+        // would otherwise orphan the old generation forever) — bounds
+        // the cache at #calibrations × #tenants.
         {
             let live: std::collections::HashSet<u64> = tenants
                 .iter()
                 .map(|&(tm, ts)| self.machines[tm].tenant(ts).fingerprint())
                 .collect();
-            self.pricing_caches
-                .borrow_mut()
-                .retain(|(_, fp), _| live.contains(fp));
+            self.probe.retain_tenants(&live);
         }
         let registry = self.class_models.borrow();
         let rows: Vec<Vec<WhatIfEstimator<'_>>> = (0..k)
@@ -588,18 +602,14 @@ impl FleetManager {
                         let tenant = self.machines[tm].tenant(ts);
                         let kind = tenant.engine.kind();
                         if tm == m {
-                            // Home machine: warm shared cache.
+                            // Home machine: the advisor's estimator
+                            // (probe-cache-backed since the fleet
+                            // attached its cache at construction).
                             return self.machines[tm].estimator(ts);
                         }
                         match registry.get(&(hw, kind)) {
                             Some(model) => {
-                                let cache = self
-                                    .pricing_caches
-                                    .borrow_mut()
-                                    .entry((hw, tenant.fingerprint()))
-                                    .or_default()
-                                    .clone();
-                                WhatIfEstimator::with_shared_cache(tenant, model, cache)
+                                WhatIfEstimator::with_probe_cache(tenant, model, self.probe.clone())
                             }
                             // No assignment in the batch prices this
                             // tenant on this machine; the solver never
@@ -1060,6 +1070,47 @@ mod tests {
             after < before,
             "migration must cut the estimated objective: {after} vs {before}"
         );
+    }
+
+    #[test]
+    fn fleet_probe_cache_backs_repeated_pricing_at_zero_new_probes() {
+        // Heterogeneous spaces force the class-keyed pricing path, so
+        // a major change makes process_period price off-home
+        // candidates through the fleet probe cache rather than the
+        // advisors' home estimators.
+        let machines = vec![
+            machine(&[("a", 6, 1.0), ("b", 18, 4.0)]),
+            machine(&[("c", 6, 1.0)]),
+        ];
+        let spaces = vec![
+            SearchSpace::cpu_only(0.5),
+            SearchSpace::cpu_only(0.5).with_delta(0.1),
+        ];
+        let mut fleet =
+            FleetManager::new_heterogeneous(machines, spaces, FleetDynamicOptions::default());
+        fleet.process_period();
+        assert!(
+            fleet.probe_cache().hits() > 0,
+            "period solves must share probes with the construction-time solves"
+        );
+        fleet
+            .machine_mut(0)
+            .tenant_mut(0)
+            .set_workload(tpch::query_workload(18, 4.0))
+            .unwrap();
+        fleet.process_period();
+        // Re-pricing the settled fleet is pure cache hits: every probe
+        // point was cached by the pricing above.
+        let _ = fleet.estimated_objective();
+        let misses = fleet.probe_cache().misses();
+        let hits = fleet.probe_cache().hits();
+        let _ = fleet.estimated_objective();
+        assert_eq!(
+            fleet.probe_cache().misses(),
+            misses,
+            "identical re-pricing must not pay new optimizer probes"
+        );
+        assert!(fleet.probe_cache().hits() > hits);
     }
 
     #[test]

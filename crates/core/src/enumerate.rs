@@ -568,6 +568,7 @@ fn unit_range_axis(space: &SearchSpace, r: Resource, n: usize) -> Option<(usize,
 /// The per-axis budget lattice: total units per axis (0 for non-varied
 /// axes), the dimension strides of the flattened state array, and the
 /// decoded per-axis remainder of every state index.
+#[derive(Debug)]
 struct BudgetLattice {
     budgets: Units,
     strides: Units,
@@ -576,6 +577,11 @@ struct BudgetLattice {
     /// Varied axis indices (into [`Resource::ALL`]), for the inner
     /// feasibility checks.
     varied_idx: Vec<usize>,
+    /// Whether the DP must use the 64-bit-lane feasibility path: some
+    /// axis budget does not fit a 15-bit SWAR lane (δ < ~3e-5). The
+    /// two paths are bit-identical (pinned by proptest); the narrow
+    /// one just checks all axes in a single guarded subtraction.
+    wide: bool,
 }
 
 /// One 16-bit lane per axis in the packed unit representation; bit 15
@@ -586,13 +592,29 @@ const LANE_BITS: usize = 16;
 /// The guard bits of the packed representation (bit 15 of each lane).
 const GUARD: u64 = 0x8000_8000_8000_8000;
 
+/// The guard bit of one 64-bit lane in the wide representation.
+const WIDE_GUARD: u64 = 1 << 63;
+
 /// Packed per-axis units: one 15-bit value per lane. Lane `j` holds
 /// axis `j`'s units, so a single guarded subtraction compares all
-/// axes at once (see [`BudgetLattice::new`]'s lane-width assertion).
+/// axes at once. Only valid when every budget fits a lane
+/// (`!BudgetLattice::wide`).
 fn pack_units(units: &Units) -> u64 {
     let mut p = 0u64;
     for (j, &u) in units.iter().enumerate() {
         p |= (u as u64) << (LANE_BITS * j);
+    }
+    p
+}
+
+/// Wide packing: one full 64-bit lane per axis (bit 63 is the guard
+/// the feasibility subtraction borrows against). Handles any axis grid
+/// a `usize` unit count can express, at one guarded subtraction per
+/// axis instead of one for all axes.
+fn pack_units_wide(units: &Units) -> [u64; Resource::COUNT] {
+    let mut p = [0u64; Resource::COUNT];
+    for (j, &u) in units.iter().enumerate() {
+        p[j] = u as u64;
     }
     p
 }
@@ -605,11 +627,9 @@ impl BudgetLattice {
         }
         // The SWAR feasibility check packs each axis into a 15-bit
         // lane; a grid finer than 2^15 units per axis (δ < ~3e-5, far
-        // below the 1e-4 cache-key resolution) is not representable.
-        assert!(
-            budgets.iter().all(|&b| b < 1 << (LANE_BITS - 1)),
-            "axis grid too fine for the packed DP lanes"
-        );
+        // below the 1e-4 cache-key resolution) falls back to the
+        // bit-identical 64-bit-lane path instead of being rejected.
+        let wide = budgets.iter().any(|&b| b >= 1 << (LANE_BITS - 1));
         // Later axes vary fastest, mirroring the historical
         // `cpu_left * height + mem_left` indexing.
         let mut strides = [0usize; Resource::COUNT];
@@ -640,6 +660,7 @@ impl BudgetLattice {
             strides,
             lefts,
             varied_idx,
+            wide,
         }
     }
 
@@ -735,16 +756,109 @@ fn grid_search<M: CostModel>(
         return None; // a window excluded every option for some workload
     }
 
-    // DP over (workload index, per-axis units left): lexicographically
-    // minimal (unmet limits, weighted cost) completing workloads i..n.
-    const UNREACHABLE: (u32, f64) = (u32::MAX, f64::INFINITY);
-    let lex_less = |a: (u32, f64), b: (u32, f64)| a.0 < b.0 || (a.0 == b.0 && a.1 < b.1);
+    let result = solve_dp(space, &lattice, &tables)?;
+    Some(GridSolve { result, tables })
+}
+
+/// Unreachable DP state: no within-budget completion exists.
+const UNREACHABLE: (u32, f64) = (u32::MAX, f64::INFINITY);
+
+/// Lexicographic DP order: fewer unmet limits first, then weighted
+/// cost.
+fn lex_less(a: (u32, f64), b: (u32, f64)) -> bool {
+    a.0 < b.0 || (a.0 == b.0 && a.1 < b.1)
+}
+
+/// The DP core over pre-evaluated option tables, factored out of
+/// [`grid_search`] so delta-solves can re-run it over *retained*
+/// tables (rebuilding only a drifted workload's cells) without paying
+/// a single optimizer call. DP over (workload index, per-axis units
+/// left): lexicographically minimal (unmet limits, weighted cost)
+/// completing workloads `i..n`. Dispatches to the 16-bit-lane SWAR
+/// inner loop or the bit-identical 64-bit-lane fallback depending on
+/// `lattice.wide`.
+fn solve_dp(
+    space: &SearchSpace,
+    lattice: &BudgetLattice,
+    tables: &[Vec<GridCell>],
+) -> Option<SearchResult> {
+    let n = tables.len();
+    let state_count = lattice.state_count();
+    // Base case: all workloads placed; leftover units are fine (the
+    // constraint is Σ ≤ 1). Backward DP with parent reconstruction by
+    // re-derivation; layers are built last-workload-first and reversed.
+    let mut layers: Vec<Vec<(u32, f64)>> = Vec::with_capacity(n + 1);
+    layers.push(vec![(0, 0.0); state_count]);
+    if lattice.wide {
+        dp_layers_wide(lattice, tables, &mut layers);
+    } else {
+        dp_layers_narrow(lattice, tables, &mut layers);
+    }
+    layers.reverse(); // layers[i] = cost-to-go starting at workload i
+
+    let start = lattice.index(&lattice.budgets);
+    if layers[0][start].0 == u32::MAX {
+        return None; // windows exclude every within-budget combination
+    }
+
+    // Reconstruct choices greedily from the DP tables.
+    let mut left = lattice.budgets;
+    let mut chosen: Vec<GridCell> = Vec::with_capacity(n);
+    for i in 0..n {
+        let s = lattice.index(&left);
+        let target = layers[i][s];
+        let mut found = false;
+        for cell in &tables[i] {
+            if lattice.fits(&cell.units, &left) {
+                let rest = layers[i + 1][s - lattice.index(&cell.units)];
+                if rest.0 == u32::MAX {
+                    continue;
+                }
+                let v = (
+                    rest.0 + u32::from(!cell.within_limit),
+                    cell.weighted + rest.1,
+                );
+                if v.0 == target.0 && (v.1 - target.1).abs() <= 1e-9 * target.1.abs().max(1.0) {
+                    chosen.push(*cell);
+                    for &j in &lattice.varied_idx {
+                        left[j] -= cell.units[j];
+                    }
+                    found = true;
+                    break;
+                }
+            }
+        }
+        assert!(found, "DP reconstruction must find the chosen option");
+    }
+
+    let allocations: Vec<Allocation> = chosen
+        .iter()
+        .map(|cell| alloc_for(space, &cell.units))
+        .collect();
+    let costs: Vec<f64> = chosen.iter().map(|cell| cell.cost).collect();
+    let limits_met = chosen.iter().map(|cell| cell.within_limit).collect();
+    Some(SearchResult {
+        weighted_cost: chosen.iter().map(|cell| cell.weighted).sum(),
+        allocations,
+        costs,
+        iterations: 0,
+        trace: Vec::new(),
+        limits_met,
+    })
+}
+
+/// The 16-bit-lane DP inner loop: every axis packed into one `u64`, a
+/// single guarded subtraction compares all axes at once (the M-axis
+/// generalization must not tax the 2-axis hot path).
+fn dp_layers_narrow(
+    lattice: &BudgetLattice,
+    tables: &[Vec<GridCell>],
+    layers: &mut Vec<Vec<(u32, f64)>>,
+) {
     let state_count = lattice.state_count();
     // Hot per-cell data for the inner loop, contiguous per table: the
-    // flattened state offset, the SWAR-packed units (one guarded
-    // subtraction compares every axis at once instead of a per-axis
-    // loop — the M-axis generalization must not tax the 2-axis hot
-    // path), the unmet-limit increment, and the weighted cost.
+    // flattened state offset, the SWAR-packed units, the unmet-limit
+    // increment, and the weighted cost.
     struct HotCell {
         offset: usize,
         packed: u64,
@@ -774,14 +888,8 @@ fn grid_search<M: CostModel>(
         .iter()
         .map(|l| pack_units(l) | GUARD)
         .collect();
-    // Base case: all workloads placed; leftover units are fine (the
-    // constraint is Σ ≤ 1).
-    let mut next: Vec<(u32, f64)> = vec![(0, 0.0); state_count];
-
-    // Backward DP with parent reconstruction by re-derivation.
-    let mut layers: Vec<Vec<(u32, f64)>> = Vec::with_capacity(n + 1);
-    layers.push(next.clone());
-    for i in (0..n).rev() {
+    let mut next: Vec<(u32, f64)> = layers[0].clone();
+    for i in (0..tables.len()).rev() {
         let mut cur = vec![UNREACHABLE; state_count];
         for (s, &pleft) in packed_lefts.iter().enumerate() {
             let mut best = UNREACHABLE;
@@ -802,58 +910,77 @@ fn grid_search<M: CostModel>(
         layers.push(cur.clone());
         next = cur;
     }
-    layers.reverse(); // layers[i] = cost-to-go starting at workload i
+}
 
-    let start = lattice.index(&lattice.budgets);
-    if layers[0][start].0 == u32::MAX {
-        return None; // windows exclude every within-budget combination
+/// The 64-bit-lane DP inner loop for grids too fine for 15-bit SWAR
+/// lanes: one guarded `u64` per axis. Same accumulation order and
+/// tie-breaking as the narrow loop, so the two are bit-identical on
+/// any table set both can represent (pinned by a proptest).
+fn dp_layers_wide(
+    lattice: &BudgetLattice,
+    tables: &[Vec<GridCell>],
+    layers: &mut Vec<Vec<(u32, f64)>>,
+) {
+    let state_count = lattice.state_count();
+    struct WideCell {
+        offset: usize,
+        packed: [u64; Resource::COUNT],
+        unmet: u32,
+        weighted: f64,
     }
-
-    // Reconstruct choices greedily from the DP tables.
-    let mut left = lattice.budgets;
-    let mut chosen: Vec<GridCell> = Vec::with_capacity(n);
-    for i in 0..n {
-        let s = lattice.index(&left);
-        let target = layers[i][s];
-        let mut found = false;
-        for (cell, hot_cell) in tables[i].iter().zip(&hot[i]) {
-            if lattice.fits(&cell.units, &left) {
-                let rest = layers[i + 1][s - hot_cell.offset];
-                if rest.0 == u32::MAX {
-                    continue;
-                }
-                let v = (
-                    rest.0 + u32::from(!cell.within_limit),
-                    cell.weighted + rest.1,
-                );
-                if v.0 == target.0 && (v.1 - target.1).abs() <= 1e-9 * target.1.abs().max(1.0) {
-                    chosen.push(*cell);
-                    for &j in &lattice.varied_idx {
-                        left[j] -= cell.units[j];
+    let hot: Vec<Vec<WideCell>> = tables
+        .iter()
+        .map(|table| {
+            table
+                .iter()
+                .map(|c| WideCell {
+                    offset: lattice.index(&c.units),
+                    packed: pack_units_wide(&c.units),
+                    unmet: u32::from(!c.within_limit),
+                    weighted: c.weighted,
+                })
+                .collect()
+        })
+        .collect();
+    let packed_lefts: Vec<[u64; Resource::COUNT]> = lattice
+        .lefts
+        .iter()
+        .map(|l| {
+            let mut p = pack_units_wide(l);
+            for w in &mut p {
+                *w |= WIDE_GUARD;
+            }
+            p
+        })
+        .collect();
+    let fits = |pleft: &[u64; Resource::COUNT], packed: &[u64; Resource::COUNT]| {
+        pleft
+            .iter()
+            .zip(packed)
+            .all(|(&l, &c)| (l - c) & WIDE_GUARD == WIDE_GUARD)
+    };
+    let mut next: Vec<(u32, f64)> = layers[0].clone();
+    for i in (0..tables.len()).rev() {
+        let mut cur = vec![UNREACHABLE; state_count];
+        for (s, pleft) in packed_lefts.iter().enumerate() {
+            let mut best = UNREACHABLE;
+            for cell in &hot[i] {
+                if fits(pleft, &cell.packed) {
+                    let rest = next[s - cell.offset];
+                    if rest.0 == u32::MAX {
+                        continue;
                     }
-                    found = true;
-                    break;
+                    let v = (rest.0 + cell.unmet, cell.weighted + rest.1);
+                    if lex_less(v, best) {
+                        best = v;
+                    }
                 }
             }
+            cur[s] = best;
         }
-        assert!(found, "DP reconstruction must find the chosen option");
+        layers.push(cur.clone());
+        next = cur;
     }
-
-    let allocations: Vec<Allocation> = chosen
-        .iter()
-        .map(|cell| alloc_for(space, &cell.units))
-        .collect();
-    let costs: Vec<f64> = chosen.iter().map(|cell| cell.cost).collect();
-    let limits_met = chosen.iter().map(|cell| cell.within_limit).collect();
-    let result = SearchResult {
-        weighted_cost: chosen.iter().map(|cell| cell.weighted).sum(),
-        allocations,
-        costs,
-        iterations: 0,
-        trace: Vec::new(),
-        limits_met,
-    };
-    Some(GridSolve { result, tables })
 }
 
 /// Settings for [`coarse_to_fine_search_with`].
@@ -995,7 +1122,7 @@ pub fn try_coarse_to_fine_search_with<M: CostModel>(
     ladder.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
 
     if qos.iter().any(|q| q.degradation_limit.is_finite()) {
-        return limit_aware_refinement(space, qos, models, c2f, options, &ladder);
+        return limit_aware_refinement(space, qos, models, c2f, options, &ladder, None);
     }
 
     // Unconstrained path: each level's optimum becomes the next
@@ -1069,6 +1196,11 @@ pub fn try_coarse_to_fine_search_with<M: CostModel>(
 /// knob.
 const RECENTER_CAP: usize = 100;
 
+/// An evaluated coarse level handed out of [`limit_aware_refinement`]
+/// for warm-start caching: the coarse δ plus the per-workload
+/// option-cell tables evaluated at that δ.
+type CoarseCapture = Option<(f64, Vec<Vec<GridCell>>)>;
+
 /// The limit-aware coarse-to-fine path (some `L_i` is finite).
 ///
 /// 1. Solve one ladder level **unwindowed** — the finest level that
@@ -1087,6 +1219,9 @@ const RECENTER_CAP: usize = 100;
 ///    global full-grid fallback.
 /// 4. If the best refined result still violates a limit, run the full
 ///    grid: only it can certify joint infeasibility.
+///
+/// A caller that wants the evaluated coarse level for a warm-start
+/// cache passes a [`CoarseCapture`] slot.
 fn limit_aware_refinement<M: CostModel>(
     space: &SearchSpace,
     qos: &[QoS],
@@ -1094,6 +1229,7 @@ fn limit_aware_refinement<M: CostModel>(
     c2f: &CoarseToFineOptions,
     options: &SearchOptions,
     ladder: &[f64],
+    capture: Option<&mut CoarseCapture>,
 ) -> Option<SearchResult> {
     let n = models.len();
     let full_grid = || grid_search(space, qos, models, options, None).map(|s| s.result);
@@ -1113,32 +1249,86 @@ fn limit_aware_refinement<M: CostModel>(
     let Some((coarse, coarse_delta)) = seed else {
         return full_grid();
     };
+    // Hand the evaluated coarse level to a warm-start cache, so the
+    // next period can delta-solve it instead of re-evaluating it.
+    if let Some(slot) = capture {
+        *slot = Some((coarse_delta, coarse.tables.clone()));
+    }
     let ranges = axis_ranges(space, n)?;
 
-    // Boundary band per workload (empty for unconstrained workloads).
-    let band: Vec<Vec<Units>> = (0..n)
+    let band = band_for(space, qos, &coarse.tables, coarse_delta, &ranges);
+    let best = windowed_fine_loop(
+        space,
+        qos,
+        models,
+        options,
+        coarse.result.allocations.clone(),
+        c2f.window_steps * coarse_delta,
+        &band,
+        &ranges,
+    );
+    match best {
+        Some(r) if r.limits_met.iter().all(|&m| m) => Some(r),
+        // The windowed search found no limit-satisfying configuration;
+        // only the full grid can certify joint infeasibility (and its
+        // best-effort optimum is the reference answer).
+        _ => full_grid(),
+    }
+}
+
+/// Boundary-band cells per workload from a coarse level's evaluated
+/// tables (empty for unconstrained workloads).
+fn band_for(
+    space: &SearchSpace,
+    qos: &[QoS],
+    tables: &[Vec<GridCell>],
+    coarse_delta: f64,
+    ranges: &[(usize, usize); Resource::COUNT],
+) -> Vec<Vec<Units>> {
+    (0..qos.len())
         .map(|i| {
             if qos[i].degradation_limit.is_finite() {
-                boundary_band_cells(space, &coarse.tables[i], coarse_delta, &ranges)
+                boundary_band_cells(space, &tables[i], coarse_delta, ranges)
             } else {
                 Vec::new()
             }
         })
-        .collect();
+        .collect()
+}
 
-    // Fine phase: windowed refinement with re-centering and per-window
-    // widening.
-    let mut centers: Vec<Allocation> = coarse.result.allocations.clone();
-    let mut half = vec![c2f.window_steps * coarse_delta; n];
+/// The fine phase shared by the cold limit-aware path and the
+/// warm-started search: windowed refinement around `centers` with
+/// re-centering and per-window widening. A chosen cell on its window's
+/// edge means the window clipped the descent direction there; that
+/// workload's window is widened (doubling, then full range) rather
+/// than escalating the whole search. Returns the lexicographically
+/// best result seen; the *caller* certifies limit verdicts (via the
+/// full grid) before trusting a limit-violating best.
+// Mirrors the grid-search parameter list plus the three window knobs
+// shared by both callers; bundling them into a struct would only move
+// the argument count into a builder.
+#[allow(clippy::too_many_arguments)]
+fn windowed_fine_loop<M: CostModel>(
+    space: &SearchSpace,
+    qos: &[QoS],
+    models: &[M],
+    options: &SearchOptions,
+    mut centers: Vec<Allocation>,
+    initial_half: f64,
+    band: &[Vec<Units>],
+    ranges: &[(usize, usize); Resource::COUNT],
+) -> Option<SearchResult> {
+    let n = models.len();
+    let mut half = vec![initial_half; n];
     let mut full_range = vec![false; n];
     let mut best: Option<SearchResult> = None;
     for _ in 0..RECENTER_CAP {
         let allowed: Vec<Vec<Units>> = (0..n)
             .map(|i| {
                 if full_range[i] {
-                    full_cells(space, &ranges)
+                    full_cells(space, ranges)
                 } else {
-                    let mut cells = window_cells(space, centers[i], half[i], &ranges);
+                    let mut cells = window_cells(space, centers[i], half[i], ranges);
                     cells.extend_from_slice(&band[i]);
                     cells.sort_unstable();
                     cells.dedup();
@@ -1151,15 +1341,13 @@ fn limit_aware_refinement<M: CostModel>(
         };
         let r = s.result;
         let improved = best.as_ref().is_none_or(|b| lex_better(&r, b));
-        // Per-window escalation: a chosen cell on its window's edge
-        // means the window clipped the descent direction there; widen
-        // just that workload's window rather than the whole search.
+        // Per-window escalation.
         let mut grew = false;
         for i in 0..n {
             if full_range[i] {
                 continue;
             }
-            if on_window_edge(&r.allocations[i], &allowed[i], space, &ranges) {
+            if on_window_edge(&r.allocations[i], &allowed[i], space, ranges) {
                 half[i] *= 2.0;
                 grew = true;
                 if half[i] >= 1.0 {
@@ -1176,13 +1364,377 @@ fn limit_aware_refinement<M: CostModel>(
             break;
         }
     }
-    match best {
-        Some(r) if r.limits_met.iter().all(|&m| m) => Some(r),
-        // The windowed search found no limit-satisfying configuration;
-        // only the full grid can certify joint infeasibility (and its
-        // best-effort optimum is the reference answer).
-        _ => full_grid(),
+    best
+}
+
+/// Persistent warm-start state for one machine's period-over-period
+/// coarse-to-fine solves ([`coarse_to_fine_search_warm`]).
+///
+/// Holds the previous period's optimum (the fine windows' seed), the
+/// evaluated coarse level (δ, DP lattice, per-workload option tables —
+/// the substrate of delta-solves), and the per-workload fingerprints
+/// the cached state was computed under. All of it is guarded by a
+/// validity key covering the machine class, the calibration salt, the
+/// QoS vector, and the coarse-to-fine settings: *any* change — a
+/// different δ grid, a recalibrated model, a new degradation limit —
+/// misses the key and triggers a full cold re-solve. The warm path is
+/// an optimizer-call optimization only: it returns the same objective,
+/// allocations, and `limits_met` the cold solve would (pinned by
+/// `tests/warm_start.rs`).
+#[derive(Debug, Default)]
+pub struct WarmStart {
+    /// Validity key; `None` until the first successful cold solve.
+    key: Option<u64>,
+    /// Per-workload fingerprints behind the cached state.
+    fingerprints: Vec<u64>,
+    /// Previous optimum — the fine windows' seed.
+    centers: Vec<Allocation>,
+    /// Retained coarse level for delta-solves (limit-aware path only;
+    /// the unconstrained path needs no coarse feasibility map).
+    coarse: Option<CoarseCache>,
+    /// Previous result, returned verbatim on a no-drift period.
+    last: Option<SearchResult>,
+    /// Cumulative per-workload coarse tables retained (not re-evaluated)
+    /// across delta-solves.
+    lattice_reuses: u64,
+    /// Cumulative full cold solves (first call, or after invalidation).
+    cold_solves: u64,
+    /// Cumulative delta-solves (some but not all workloads drifted).
+    delta_solves: u64,
+}
+
+/// A retained coarse level: its δ, the DP budget lattice over it, and
+/// the per-workload evaluated option tables.
+#[derive(Debug)]
+struct CoarseCache {
+    delta: f64,
+    lattice: BudgetLattice,
+    tables: Vec<Vec<GridCell>>,
+}
+
+impl WarmStart {
+    /// Empty (cold) state.
+    pub fn new() -> Self {
+        Self::default()
     }
+
+    /// Whether a cached solve is present (the next matching call can
+    /// warm-start).
+    pub fn is_warm(&self) -> bool {
+        self.key.is_some()
+    }
+
+    /// Cumulative count of per-workload coarse option tables retained
+    /// across delta-solves instead of re-evaluated.
+    pub fn lattice_reuses(&self) -> u64 {
+        self.lattice_reuses
+    }
+
+    /// Cumulative count of full cold solves (including the first).
+    pub fn cold_solves(&self) -> u64 {
+        self.cold_solves
+    }
+
+    /// Cumulative count of delta-solves.
+    pub fn delta_solves(&self) -> u64 {
+        self.delta_solves
+    }
+
+    /// Drop all cached state (counters survive). The next call cold
+    /// re-solves unconditionally. Callers must invalidate whenever
+    /// machine state *outside* the warm key changes — the key already
+    /// covers the search space, QoS, ladder, and calibration salt.
+    pub fn invalidate(&mut self) {
+        *self = WarmStart {
+            lattice_reuses: self.lattice_reuses,
+            cold_solves: self.cold_solves,
+            delta_solves: self.delta_solves,
+            ..WarmStart::default()
+        };
+    }
+}
+
+/// The warm-start validity key: machine class (axis set, δs, fixed
+/// shares, min share) ⊕ caller salt (calibration identity) ⊕ the full
+/// QoS vector ⊕ the coarse-to-fine settings.
+fn warm_key(space: &SearchSpace, qos: &[QoS], c2f: &CoarseToFineOptions, salt: u64) -> u64 {
+    let mut h = Fnv64::resume(MachineClass::of(space).id());
+    h.write_u64(salt);
+    h.write_u64(qos.len() as u64);
+    for q in qos {
+        h.write_u64(q.fingerprint());
+    }
+    h.write_u64(c2f.coarse_deltas.len() as u64);
+    for &d in &c2f.coarse_deltas {
+        h.write_u64(d.to_bits());
+    }
+    h.write_u64(c2f.window_steps.to_bits());
+    h.finish()
+}
+
+/// Drop option cells that cannot matter to the DP: cell `a` is
+/// dominated when some `b` in the same table needs no more units on
+/// *every* varied axis, violates no more limits, and is strictly
+/// cheaper by a safety margin (1e-6 relative — three orders above the
+/// DP reconstruction tolerance, so pruning can never flip a
+/// near-tie). `b` fits every budget `a` fits, so reachability is
+/// preserved exactly and the DP optimum is unchanged. Used only on
+/// the warm delta-solve's coarse DP; cold paths keep their full
+/// tables bit-for-bit.
+fn prune_dominated(lattice: &BudgetLattice, tables: &[Vec<GridCell>]) -> Vec<Vec<GridCell>> {
+    tables
+        .iter()
+        .map(|table| {
+            table
+                .iter()
+                .filter(|a| {
+                    !table.iter().any(|b| {
+                        lattice.varied_idx.iter().all(|&j| b.units[j] <= a.units[j])
+                            && u32::from(!b.within_limit) <= u32::from(!a.within_limit)
+                            && b.weighted < a.weighted - 1e-6 * a.weighted.abs().max(1.0)
+                    })
+                })
+                .copied()
+                .collect()
+        })
+        .collect()
+}
+
+/// Re-evaluate only the `changed` workloads' cells of a retained
+/// coarse level, in place. The cell *coordinates* are kept (the
+/// lattice and the other workloads' tables are untouched); costs,
+/// weights, and limit verdicts are recomputed against the current
+/// models, including a fresh solo baseline for each changed workload.
+fn rebuild_tables<M: CostModel>(
+    space: &SearchSpace,
+    qos: &[QoS],
+    models: &[M],
+    options: &SearchOptions,
+    changed: &[usize],
+    tables: &mut [Vec<GridCell>],
+) {
+    let eval = Evaluator::new(models, options);
+    let solo = space.solo_allocation();
+    let solo_costs = eval.costs(&changed.iter().map(|&i| (i, solo)).collect::<Vec<_>>());
+    let mut jobs: Vec<(usize, Allocation)> = Vec::new();
+    for &i in changed {
+        for cell in &tables[i] {
+            jobs.push((i, alloc_for(space, &cell.units)));
+        }
+    }
+    let costs = eval.costs(&jobs);
+    let mut cursor = 0;
+    for (k, &i) in changed.iter().enumerate() {
+        let full = solo_costs[k];
+        for cell in &mut tables[i] {
+            let c = costs[cursor];
+            cursor += 1;
+            *cell = GridCell {
+                units: cell.units,
+                cost: c,
+                weighted: qos[i].gain * c,
+                within_limit: within_limit(c, qos[i].degradation_limit, full),
+            };
+        }
+    }
+}
+
+/// Warm-started [`coarse_to_fine_search_with`]: bit-identical results,
+/// fewer optimizer calls when little changed since the previous call.
+///
+/// `fingerprints[i]` identifies workload `i`'s content (e.g.
+/// [`Tenant::fingerprint`](crate::tenant::Tenant::fingerprint)); `salt`
+/// identifies everything else the models depend on (e.g. a fold of the
+/// calibrated-model fingerprints). Three regimes:
+///
+/// * **Cold** — the validity key misses (first call, or the space /
+///   QoS / ladder / salt changed): full cold solve, caching the
+///   evaluated coarse level for later delta-solves.
+/// * **Hit** — key matches and no fingerprint changed: the cached
+///   result is returned with *zero* optimizer calls (the cold solve is
+///   deterministic, so re-running it would reproduce the cached answer
+///   bit-for-bit).
+/// * **Delta** — key matches, some fingerprints changed: only the
+///   drifted workloads' coarse option cells are re-evaluated (retained
+///   tables count into [`WarmStart::lattice_reuses`]), dominated cells
+///   are pruned, the DP re-runs over the retained lattice, and the
+///   fine windows are seeded at the *previous optimum* (falling back
+///   to the fresh coarse optimum for any workload whose optimum left
+///   the seed window). The usual edge-detection / window-doubling /
+///   full-grid re-certification machinery then guarantees the cold
+///   answer.
+///
+/// Returns `None` exactly when [`try_coarse_to_fine_search_with`]
+/// would (the fine grid cannot host every workload).
+#[allow(clippy::too_many_arguments)]
+pub fn coarse_to_fine_search_warm<M: CostModel>(
+    space: &SearchSpace,
+    qos: &[QoS],
+    models: &[M],
+    c2f: &CoarseToFineOptions,
+    options: &SearchOptions,
+    salt: u64,
+    fingerprints: &[u64],
+    warm: &mut WarmStart,
+) -> Option<SearchResult> {
+    let n = models.len();
+    assert!(n >= 1);
+    assert_eq!(qos.len(), n);
+    assert_eq!(fingerprints.len(), n, "one fingerprint per workload");
+    assert!(c2f.window_steps > 0.0, "window must be positive");
+    let key = warm_key(space, qos, c2f, salt);
+    if warm.key != Some(key) || warm.fingerprints.len() != n {
+        return cold_resolve(space, qos, models, c2f, options, key, fingerprints, warm);
+    }
+    if warm.fingerprints == fingerprints {
+        // No drift: the cold solve is deterministic, so its answer is
+        // the cached one — at zero optimizer calls.
+        return warm.last.clone();
+    }
+
+    let Some(ranges) = axis_ranges(space, n) else {
+        warm.key = None;
+        return try_exhaustive_search_with(space, qos, models, options);
+    };
+    let changed: Vec<usize> = (0..n)
+        .filter(|&i| warm.fingerprints[i] != fingerprints[i])
+        .collect();
+    warm.delta_solves += 1;
+
+    // Delta-solve the retained coarse level: re-evaluate only the
+    // drifted workloads' cells, prune dominated cells, re-run the DP
+    // over the retained lattice.
+    let mut coarse_opt: Option<SearchResult> = None;
+    let (band, initial_half) = match warm.coarse.as_mut() {
+        Some(cache) => {
+            let coarse_space = space.with_delta(cache.delta);
+            rebuild_tables(
+                &coarse_space,
+                qos,
+                models,
+                options,
+                &changed,
+                &mut cache.tables,
+            );
+            warm.lattice_reuses += (n - changed.len()) as u64;
+            let pruned = prune_dominated(&cache.lattice, &cache.tables);
+            coarse_opt = solve_dp(&coarse_space, &cache.lattice, &pruned);
+            let band = band_for(space, qos, &cache.tables, cache.delta, &ranges);
+            (band, c2f.window_steps * cache.delta)
+        }
+        None => {
+            // Unconstrained path: no coarse feasibility map to keep.
+            // Window size mirrors what the cold ladder would use.
+            let finest = c2f
+                .coarse_deltas
+                .iter()
+                .copied()
+                .filter(|&d| d > space.max_varied_delta() + 1e-12)
+                .fold(f64::INFINITY, f64::min);
+            let step = if finest.is_finite() {
+                finest
+            } else {
+                space.max_varied_delta()
+            };
+            (vec![Vec::new(); n], c2f.window_steps * step)
+        }
+    };
+
+    // Seed the fine windows at the previous optimum; any workload
+    // whose delta-solved coarse optimum left that window is re-seeded
+    // from the coarse solve (its old optimum is stale).
+    let mut centers = warm.centers.clone();
+    if let Some(coarse) = &coarse_opt {
+        for (center, fresh) in centers.iter_mut().zip(&coarse.allocations) {
+            let stale = space
+                .varied
+                .iter()
+                .any(|r| (fresh.get(r) - center.get(r)).abs() > initial_half + 1e-9);
+            if stale {
+                *center = *fresh;
+            }
+        }
+    }
+
+    let best = windowed_fine_loop(
+        space,
+        qos,
+        models,
+        options,
+        centers,
+        initial_half,
+        &band,
+        &ranges,
+    );
+    let result = match best {
+        Some(r) if r.limits_met.iter().all(|&m| m) => Some(r),
+        // Same certification rule as the cold path: only the full grid
+        // may certify joint infeasibility (or a window that excluded
+        // everything).
+        _ => grid_search(space, qos, models, options, None).map(|s| s.result),
+    };
+    let Some(result) = result else {
+        warm.key = None;
+        return None;
+    };
+    warm.fingerprints = fingerprints.to_vec();
+    warm.centers.clone_from(&result.allocations);
+    warm.last = Some(result.clone());
+    Some(result)
+}
+
+/// The cold leg of [`coarse_to_fine_search_warm`]: run the ordinary
+/// cold solve, capture the evaluated coarse level (limit-aware path),
+/// and prime the warm state.
+#[allow(clippy::too_many_arguments)]
+fn cold_resolve<M: CostModel>(
+    space: &SearchSpace,
+    qos: &[QoS],
+    models: &[M],
+    c2f: &CoarseToFineOptions,
+    options: &SearchOptions,
+    key: u64,
+    fingerprints: &[u64],
+    warm: &mut WarmStart,
+) -> Option<SearchResult> {
+    warm.cold_solves += 1;
+    warm.key = None;
+    warm.coarse = None;
+    let result = if qos.iter().any(|q| q.degradation_limit.is_finite()) {
+        let mut ladder: Vec<f64> = c2f
+            .coarse_deltas
+            .iter()
+            .copied()
+            .filter(|&d| d > space.max_varied_delta() + 1e-12)
+            .collect();
+        ladder.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+        let mut captured: CoarseCapture = None;
+        let r = limit_aware_refinement(
+            space,
+            qos,
+            models,
+            c2f,
+            options,
+            &ladder,
+            Some(&mut captured),
+        );
+        if let Some((delta, tables)) = captured {
+            warm.coarse = Some(CoarseCache {
+                delta,
+                lattice: BudgetLattice::new(&space.with_delta(delta)),
+                tables,
+            });
+        }
+        r
+    } else {
+        try_coarse_to_fine_search_with(space, qos, models, c2f, options)
+    };
+    let result = result?;
+    warm.key = Some(key);
+    warm.fingerprints = fingerprints.to_vec();
+    warm.centers.clone_from(&result.allocations);
+    warm.last = Some(result.clone());
+    Some(result)
 }
 
 /// Lexicographically better search result: fewer unmet degradation
@@ -1973,5 +2525,211 @@ mod tests {
         assert_eq!(out[0], out[2]);
         // (0,a) twice dedups; (1,a) is a distinct workload slot.
         assert_eq!(calls.load(Ordering::Relaxed), 3);
+    }
+
+    /// Per-workload tables over the full cell set with pseudo-random
+    /// costs drawn from `costs` (cyclically), limits flagged from the
+    /// cost value — enough variety to exercise every DP branch.
+    fn synth_tables(space: &SearchSpace, n: usize, costs: &[f64]) -> Vec<Vec<GridCell>> {
+        let ranges = axis_ranges(space, n).unwrap();
+        let cells = full_cells(space, &ranges);
+        (0..n)
+            .map(|i| {
+                cells
+                    .iter()
+                    .enumerate()
+                    .map(|(k, &units)| {
+                        let c = costs[(i * cells.len() + k) % costs.len()];
+                        GridCell {
+                            units,
+                            cost: c,
+                            weighted: c,
+                            within_limit: c < 5.0,
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn assert_bit_identical(a: &SearchResult, b: &SearchResult) {
+        assert_eq!(a.weighted_cost.to_bits(), b.weighted_cost.to_bits());
+        assert_eq!(a.allocations, b.allocations);
+        assert_eq!(a.limits_met, b.limits_met);
+        assert_eq!(a.costs.len(), b.costs.len());
+        for (x, y) in a.costs.iter().zip(&b.costs) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    mod dp_paths {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+            /// The 64-bit-lane DP and the dominated-cell pruning are
+            /// both bit-identical to the 16-bit-lane DP on any table
+            /// set all of them can represent.
+            #[test]
+            fn wide_lanes_and_pruning_preserve_the_dp_bitwise(
+                costs in proptest::collection::vec(0.01f64..10.0, 96)
+            ) {
+                let space = SearchSpace::cpu_and_memory().with_delta(0.1);
+                let n = 3;
+                let tables = synth_tables(&space, n, &costs);
+                let lattice = BudgetLattice::new(&space);
+                assert!(!lattice.wide);
+                let narrow = solve_dp(&space, &lattice, &tables).unwrap();
+                let mut forced = BudgetLattice::new(&space);
+                forced.wide = true;
+                let wide = solve_dp(&space, &forced, &tables).unwrap();
+                assert_bit_identical(&narrow, &wide);
+                let pruned = prune_dominated(&lattice, &tables);
+                assert!(pruned.iter().zip(&tables).all(|(p, t)| p.len() <= t.len()));
+                let from_pruned = solve_dp(&space, &lattice, &pruned).unwrap();
+                assert_bit_identical(&narrow, &from_pruned);
+            }
+        }
+    }
+
+    #[test]
+    fn wide_lattice_engages_beyond_15_bit_lanes() {
+        // δ = 1/40000 puts 40000 units on the CPU axis — beyond the
+        // 15-bit SWAR lanes, which used to be a hard assert. The wide
+        // path now solves it (windowed, to keep the test fast).
+        let mut space = SearchSpace::cpu_only(0.5);
+        space.set_delta(1.0 / 40_000.0);
+        assert!(BudgetLattice::new(&space).wide);
+        let models = synth(vec![3.0, 1.0]);
+        let mk = |u: usize| {
+            let mut c = [0usize; Resource::COUNT];
+            c[Resource::Cpu.index()] = u;
+            c
+        };
+        // Cells spaced 8 units (2e-4 share) apart so each maps to a
+        // distinct evaluator probe key (keys quantize at 1e-4).
+        let allowed = vec![
+            (12_000..=12_032).step_by(8).map(mk).collect::<Vec<_>>(),
+            (24_000..=24_032).step_by(8).map(mk).collect::<Vec<_>>(),
+        ];
+        let s = grid_search(
+            &space,
+            &qos_n(2),
+            &models,
+            &SearchOptions::serial(),
+            Some(&allowed),
+        )
+        .unwrap();
+        // α/cpu is decreasing, so both take the top of their window.
+        assert!(
+            (s.result.allocations[0].cpu() - 12_032.0 / 40_000.0).abs() < 1e-9,
+            "allocations: {:?}",
+            s.result.allocations
+        );
+        assert!((s.result.allocations[1].cpu() - 24_032.0 / 40_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn warm_start_returns_cached_result_at_zero_probes_without_drift() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        let calls = Arc::new(AtomicU64::new(0));
+        let mk = |alpha: f64| {
+            let calls = Arc::clone(&calls);
+            FnCostModel::new(move |a: Allocation| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                alpha / a.cpu() + 1.0
+            })
+        };
+        let models = vec![mk(4.0), mk(1.5)];
+        let space = SearchSpace::cpu_only(0.5);
+        let qos = qos_n(2);
+        let c2f = CoarseToFineOptions::default();
+        let opts = SearchOptions::serial();
+        let mut warm = WarmStart::new();
+        let cold =
+            coarse_to_fine_search_warm(&space, &qos, &models, &c2f, &opts, 7, &[10, 20], &mut warm)
+                .unwrap();
+        assert_eq!(warm.cold_solves(), 1);
+        assert!(warm.is_warm());
+        let probes_after_cold = calls.load(Ordering::Relaxed);
+        assert!(probes_after_cold > 0);
+        let hit =
+            coarse_to_fine_search_warm(&space, &qos, &models, &c2f, &opts, 7, &[10, 20], &mut warm)
+                .unwrap();
+        assert_eq!(calls.load(Ordering::Relaxed), probes_after_cold);
+        assert_eq!(cold, hit);
+    }
+
+    #[test]
+    fn warm_delta_solve_matches_cold_after_single_workload_drift() {
+        // Workload 1 drifts each period; 0 and 2 stay (finite limits
+        // keep the limit-aware path and the boundary band engaged).
+        let space = SearchSpace::cpu_only(0.4);
+        let qos = vec![QoS::with_limit(2.0), QoS::default(), QoS::with_limit(3.0)];
+        let c2f = CoarseToFineOptions::default();
+        let opts = SearchOptions::serial();
+        let mk =
+            |alpha: f64, beta: f64| FnCostModel::new(move |a: Allocation| alpha / a.cpu() + beta);
+        let models_at = |phase: f64| vec![mk(3.0, 1.0), mk(1.0 + phase, 0.5), mk(2.0, 2.0)];
+        let mut warm = WarmStart::new();
+        let m0 = models_at(0.0);
+        let first =
+            coarse_to_fine_search_warm(&space, &qos, &m0, &c2f, &opts, 1, &[1, 100, 3], &mut warm)
+                .unwrap();
+        let first_cold = coarse_to_fine_search_with(&space, &qos, &m0, &c2f, &opts);
+        assert_eq!(first, first_cold);
+        for (p, fp) in [(2.0, 200u64), (0.5, 201), (6.0, 202)] {
+            let m = models_at(p);
+            let w = coarse_to_fine_search_warm(
+                &space,
+                &qos,
+                &m,
+                &c2f,
+                &opts,
+                1,
+                &[1, fp, 3],
+                &mut warm,
+            )
+            .unwrap();
+            let c = coarse_to_fine_search_with(&space, &qos, &m, &c2f, &opts);
+            assert_eq!(w, c, "warm delta-solve must match the cold solve");
+        }
+        assert_eq!(warm.cold_solves(), 1);
+        assert_eq!(warm.delta_solves(), 3);
+        // Two untouched workloads' coarse tables retained per delta-solve.
+        assert_eq!(warm.lattice_reuses(), 6);
+    }
+
+    #[test]
+    fn warm_key_misses_on_salt_qos_or_invalidation() {
+        let space = SearchSpace::cpu_only(0.5);
+        let qos = qos_n(2);
+        let c2f = CoarseToFineOptions::default();
+        let opts = SearchOptions::serial();
+        let models = synth(vec![2.0, 1.0]);
+        let mut warm = WarmStart::new();
+        let fps = [5u64, 6];
+        let _ = coarse_to_fine_search_warm(&space, &qos, &models, &c2f, &opts, 1, &fps, &mut warm);
+        assert_eq!(warm.cold_solves(), 1);
+        // Different calibration salt → cold re-solve.
+        let _ = coarse_to_fine_search_warm(&space, &qos, &models, &c2f, &opts, 2, &fps, &mut warm);
+        assert_eq!(warm.cold_solves(), 2);
+        // Different QoS → cold re-solve.
+        let strict = vec![QoS::with_limit(1.5), QoS::default()];
+        let _ =
+            coarse_to_fine_search_warm(&space, &strict, &models, &c2f, &opts, 2, &fps, &mut warm);
+        assert_eq!(warm.cold_solves(), 3);
+        // Same everything → cached, no new cold solve.
+        let _ =
+            coarse_to_fine_search_warm(&space, &strict, &models, &c2f, &opts, 2, &fps, &mut warm);
+        assert_eq!(warm.cold_solves(), 3);
+        // Explicit invalidation → cold re-solve.
+        warm.invalidate();
+        assert!(!warm.is_warm());
+        let _ =
+            coarse_to_fine_search_warm(&space, &strict, &models, &c2f, &opts, 2, &fps, &mut warm);
+        assert_eq!(warm.cold_solves(), 4);
     }
 }

@@ -62,7 +62,7 @@ pub use advisor::{
     Recommendation, TenantTransfer, TransferCalibration, VirtualizationDesignAdvisor,
 };
 pub use costmodel::{
-    ActualCostModel, CalibratedModel, Calibrator, CostModel, Estimate, FnCostModel,
+    ActualCostModel, CalibratedModel, Calibrator, CostModel, Estimate, FnCostModel, ProbeCache,
     RegimeFnCostModel, Renormalizer, SharedEstimateCache, WhatIfEstimator,
 };
 pub use dynamic::{
@@ -70,9 +70,10 @@ pub use dynamic::{
     ManagementMode, Migration, PeriodReport,
 };
 pub use enumerate::{
-    coarse_to_fine_search, coarse_to_fine_search_with, exhaustive_search, exhaustive_search_with,
-    greedy_search, greedy_search_with, try_coarse_to_fine_search_with, try_exhaustive_search_with,
-    CoarseToFineOptions, MachineClass, SearchOptions, SearchResult, TraceStep,
+    coarse_to_fine_search, coarse_to_fine_search_warm, coarse_to_fine_search_with,
+    exhaustive_search, exhaustive_search_with, greedy_search, greedy_search_with,
+    try_coarse_to_fine_search_with, try_exhaustive_search_with, CoarseToFineOptions, MachineClass,
+    SearchOptions, SearchResult, TraceStep, WarmStart,
 };
 pub use metrics::CostAccounting;
 pub use placement::{

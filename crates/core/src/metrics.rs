@@ -6,13 +6,29 @@ use crate::costmodel::model::CostModel;
 use serde::{Deserialize, Serialize};
 
 /// Aggregated optimizer-call/cache-hit accounting over a set of cost
-/// models (one search's worth of estimators, typically).
+/// models (one search's worth of estimators, typically), plus the
+/// cross-period counters of incremental re-optimization: fleet-wide
+/// probe-cache hits/misses and warm-start lattice reuses. The
+/// per-search counters come from [`Self::tally`]; the cross-period
+/// counters are zero there (estimator instances die with the search)
+/// and are filled in from the persistent carriers via
+/// [`Self::with_probe_cache`] and [`Self::with_lattice_reuses`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct CostAccounting {
     /// Total query-optimizer invocations.
     pub optimizer_calls: u64,
     /// Total estimate-cache hits.
     pub cache_hits: u64,
+    /// Fleet-wide [`ProbeCache`](crate::costmodel::whatif::ProbeCache)
+    /// hits (cross-period and cross-machine, unlike `cache_hits` which
+    /// an estimator instance only accumulates within one search).
+    pub probe_hits: u64,
+    /// Fleet-wide probe-cache misses.
+    pub probe_misses: u64,
+    /// Warm-start delta-solves that reused a retained DP lattice /
+    /// option-table instead of rebuilding it (see
+    /// [`WarmStart`](crate::enumerate::WarmStart)).
+    pub lattice_reuses: u64,
 }
 
 impl CostAccounting {
@@ -21,7 +37,24 @@ impl CostAccounting {
         CostAccounting {
             optimizer_calls: models.iter().map(|m| m.optimizer_calls()).sum(),
             cache_hits: models.iter().map(|m| m.cache_hits()).sum(),
+            ..CostAccounting::default()
         }
+    }
+
+    /// Copy with the cross-period probe-cache counters taken from a
+    /// fleet [`ProbeCache`](crate::costmodel::whatif::ProbeCache).
+    #[must_use]
+    pub fn with_probe_cache(mut self, cache: &crate::costmodel::whatif::ProbeCache) -> Self {
+        self.probe_hits = cache.hits();
+        self.probe_misses = cache.misses();
+        self
+    }
+
+    /// Copy with the lattice-reuse counter set.
+    #[must_use]
+    pub fn with_lattice_reuses(mut self, reuses: u64) -> Self {
+        self.lattice_reuses = reuses;
+        self
     }
 }
 

@@ -301,6 +301,18 @@ impl QoS {
             ..QoS::default()
         }
     }
+
+    /// Stable 64-bit fingerprint of the QoS settings (bit patterns of
+    /// the limit and the gain). Warm-start state for incremental
+    /// re-optimization keys on it: a changed limit or gain changes the
+    /// optimum even when no workload moved, so it must force a cold
+    /// re-solve.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = vda_simdb::hash::Fnv64::new();
+        h.write_u64(self.degradation_limit.to_bits());
+        h.write_u64(self.gain.to_bits());
+        h.finish()
+    }
 }
 
 /// Search-space settings shared by the enumeration algorithms: which

@@ -1,0 +1,99 @@
+//! Warm-started incremental re-optimization: period-over-period
+//! delta-solves against a persistent DP lattice, backed by a shared
+//! probe cache.
+//!
+//! Two machines each host two tenants. Every monitoring period one
+//! tenant drifts (its workload intensifies or relaxes) and both
+//! machines re-solve. With [`recommend_c2f_warm`] the advisor keeps
+//! its coarse lattice and per-workload option tables between periods,
+//! so a drift on one tenant rebuilds only that tenant's cells; the
+//! shared [`ProbeCache`] means identical (model, workload, allocation)
+//! probes are priced once fleet-wide. The answers are bit-for-bit the
+//! same as a cold solve — only the optimizer-call bill shrinks.
+//!
+//! ```text
+//! cargo run --release --example incremental_reopt
+//! ```
+//!
+//! [`recommend_c2f_warm`]: vda::core::VirtualizationDesignAdvisor::recommend_c2f_warm
+//! [`ProbeCache`]: vda::core::costmodel::whatif::ProbeCache
+
+use vda::core::costmodel::whatif::ProbeCache;
+use vda::core::problem::{QoS, SearchSpace};
+use vda::core::tenant::Tenant;
+use vda::core::VirtualizationDesignAdvisor;
+use vda::simdb::engines::Engine;
+use vda::vmm::{Hypervisor, PhysicalMachine};
+use vda::workloads::tpch;
+
+fn advisor(queries: [usize; 2], limits: [f64; 2]) -> VirtualizationDesignAdvisor {
+    let hv = Hypervisor::new(PhysicalMachine::paper_testbed());
+    let mut advisor = VirtualizationDesignAdvisor::new(hv);
+    for (i, (&q, &limit)) in queries.iter().zip(&limits).enumerate() {
+        advisor.add_tenant(
+            Tenant::new(
+                format!("tenant-{i}-q{q}"),
+                Engine::db2(),
+                tpch::catalog(1.0),
+                tpch::query_workload(q, 1.0 + i as f64),
+            )
+            .expect("binds"),
+            QoS::with_limit(limit),
+        );
+    }
+    advisor.calibrate();
+    advisor
+}
+
+fn main() {
+    // One shared probe cache across the fleet: what-if prices computed
+    // on either machine are visible to both.
+    let probe = ProbeCache::new();
+    let mut fleet = vec![
+        advisor([18, 6], [6.0, f64::INFINITY]),
+        advisor([21, 7], [4.0, f64::INFINITY]),
+    ];
+    for adv in &mut fleet {
+        adv.attach_probe_cache(probe.clone());
+    }
+
+    let space = SearchSpace::cpu_only(0.5);
+    println!(
+        "{:<8} {:>10} {:>10} {:>14} {:>12}",
+        "period", "m0 calls", "m1 calls", "objectives", "probe hits"
+    );
+    for period in 1..=6 {
+        // One tenant drifts per period; everyone re-solves.
+        let machine = (period - 1) % fleet.len();
+        let factor = if period <= 3 { 1.3 } else { 1.0 / 1.3 };
+        fleet[machine].tenant_mut(0).scale_workload(factor);
+
+        let recs: Vec<_> = fleet
+            .iter()
+            .map(|adv| adv.recommend_c2f_warm(&space))
+            .collect();
+        println!(
+            "{:<8} {:>10} {:>10} {:>6.1} {:>7.1} {:>12}",
+            period,
+            recs[0].optimizer_calls,
+            recs[1].optimizer_calls,
+            recs[0].result.weighted_cost,
+            recs[1].result.weighted_cost,
+            probe.hits(),
+        );
+    }
+
+    for (i, adv) in fleet.iter().enumerate() {
+        let (cold, delta, reuses) = adv.warm_stats();
+        println!(
+            "machine {i}: {cold} cold solve(s), {delta} delta solve(s), \
+             {reuses} lattice reuse(s)"
+        );
+    }
+    println!(
+        "probe cache: {} entries, {} hits, {} misses",
+        probe.len(),
+        probe.hits(),
+        probe.misses()
+    );
+}
