@@ -181,6 +181,22 @@ mod tests {
     "results_match": true,
     "meets_10x": true
   },
+  "fleet": {
+    "shards": 4,
+    "warm_wall_ms": 9000.0,
+    "cold_wall_ms": 30000.0,
+    "p99_ms": 45.2,
+    "mean_latency_ms": 12.1,
+    "construction_optimizer_calls": 181000,
+    "event_optimizer_calls_incremental": 21000,
+    "event_optimizer_calls_cold": 240000,
+    "call_ratio": 11.4,
+    "event_kinds": { "scaled": 121, "changed_major": 9, "changed_minor": 6 },
+    "snapshot_bytes": 3100000,
+    "snapshot_roundtrip": true,
+    "resume_matches": true,
+    "meets_5x": true
+  },
   "heterogeneous": {
     "machine_scales_cpu": [0.5, 0.5, 1.0, 1.0],
     "machine_scales_memory": [0.5, 0.5, 1.0, 1.0],
@@ -453,6 +469,71 @@ mod tests {
         assert!(
             compare_reports(BASE, &cand).is_empty(),
             "dynamic wall times and the speedup ratio must stay unguarded"
+        );
+    }
+
+    #[test]
+    fn fleet_section_deterministic_fields_are_gated() {
+        // The control-plane fleet section of BENCH_fleet.json:
+        // optimizer-call totals, the call ratio (deterministic, unlike
+        // a wall-clock speedup), shard/event tallies, snapshot size,
+        // and the three contract booleans are gated; the wall times
+        // and latency percentiles are not.
+        for (field, original, replacement) in [
+            ("shards", "\"shards\": 4", "\"shards\": 3"),
+            (
+                "construction_optimizer_calls",
+                "\"construction_optimizer_calls\": 181000",
+                "\"construction_optimizer_calls\": 200000",
+            ),
+            (
+                "event_optimizer_calls_incremental",
+                "\"event_optimizer_calls_incremental\": 21000",
+                "\"event_optimizer_calls_incremental\": 90000",
+            ),
+            (
+                "event_optimizer_calls_cold",
+                "\"event_optimizer_calls_cold\": 240000",
+                "\"event_optimizer_calls_cold\": 100000",
+            ),
+            ("call_ratio", "\"call_ratio\": 11.4", "\"call_ratio\": 2.0"),
+            (
+                "changed_major",
+                "\"changed_major\": 9",
+                "\"changed_major\": 2",
+            ),
+            (
+                "snapshot_bytes",
+                "\"snapshot_bytes\": 3100000",
+                "\"snapshot_bytes\": 17",
+            ),
+            (
+                "snapshot_roundtrip",
+                "\"snapshot_roundtrip\": true",
+                "\"snapshot_roundtrip\": false",
+            ),
+            (
+                "resume_matches",
+                "\"resume_matches\": true",
+                "\"resume_matches\": false",
+            ),
+        ] {
+            let cand = BASE.replace(original, replacement);
+            assert_ne!(cand, BASE, "{field} must appear in the fixture");
+            let problems = compare_reports(BASE, &cand);
+            assert!(
+                problems.iter().any(|p| p.contains(field)),
+                "fleet {field} drift must fail the gate: {problems:?}"
+            );
+        }
+        let cand = BASE
+            .replace("\"warm_wall_ms\": 9000.0", "\"warm_wall_ms\": 1.0")
+            .replace("\"cold_wall_ms\": 30000.0", "\"cold_wall_ms\": 2.0")
+            .replace("\"p99_ms\": 45.2", "\"p99_ms\": 9000.0")
+            .replace("\"mean_latency_ms\": 12.1", "\"mean_latency_ms\": 500.0");
+        assert!(
+            compare_reports(BASE, &cand).is_empty(),
+            "fleet wall times and latency percentiles must stay unguarded"
         );
     }
 

@@ -18,6 +18,11 @@
 //!                               run the steady-state incremental
 //!                               re-optimization scenario and write
 //!                               BENCH_dynamic.json (same path rules)
+//! experiments --fleet-json [path.json]
+//!                               run the sharded control-plane fleet
+//!                               scenario (event stream + snapshot/
+//!                               resume) and write BENCH_fleet.json
+//!                               (same path rules)
 //! ```
 
 use std::process::ExitCode;
@@ -82,12 +87,25 @@ fn main() -> ExitCode {
             }
         }
     }
+    if let Some(path) = json_flag(&mut args, "--fleet-json", "BENCH_fleet.json") {
+        ran_flag = true;
+        match experiments::fleetbench::write_json(&path) {
+            Ok(m) => {
+                println!("{}", experiments::fleetbench::run_from(m));
+                println!("wrote {path}");
+            }
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     if ran_flag && args.is_empty() {
         return ExitCode::SUCCESS;
     }
     if args.is_empty() || args[0] == "help" || args[0] == "--help" {
         eprintln!(
-            "usage: experiments <id>... | all | list | --enumeration-json [path] | --placement-json [path] | --dynamic-json [path]"
+            "usage: experiments <id>... | all | list | --enumeration-json [path] | --placement-json [path] | --dynamic-json [path] | --fleet-json [path]"
         );
         eprintln!("ids: {}", id_list().join(" "));
         return ExitCode::from(2);

@@ -1,0 +1,689 @@
+//! Fleet-scale control plane under a sustained event stream.
+//!
+//! The `BENCH_fleet.json` scenario: a 202-machine / 1000-tenant fleet
+//! (200 populated machines plus two spares) across four hardware
+//! classes, driven through 150 deterministic events (workload drift,
+//! intensity scaling, tenant arrivals and departures, spare-machine
+//! decommissions) three times over:
+//!
+//! * **incremental** — [`ControlPlane`] with its default warm path:
+//!   per-event delta re-solves over persistent warm-start lattices and
+//!   the fleet-wide probe cache;
+//! * **cold** — the same events with
+//!   [`ControlPlaneOptions::incremental`] off: every event invalidates
+//!   all warm state and cold-starts the probe cache, the baseline the
+//!   5× contract is measured against;
+//! * **resumed** — the incremental plane snapshotted mid-stream
+//!   (serialized through the real `FleetSnapshot` JSON format),
+//!   restored into a freshly built fleet, and driven through the
+//!   remaining events.
+//!
+//! The contracts, all gated by `check_bench` against the committed
+//! baseline: every event's decision (action, re-solved machines,
+//! migration, objective bits) identical between the incremental and
+//! cold legs (`results_match`); the restored plane's immediate
+//! re-snapshot byte-identical to the saved one (`snapshot_roundtrip`);
+//! the resumed run's decision log, placements, and final objective
+//! identical to the uninterrupted run (`resume_matches`); and the
+//! incremental leg paying at least 5× fewer event-phase optimizer
+//! calls than the cold leg (`meets_5x` — the call totals themselves
+//! are deterministic and gated, unlike wall-clock). The per-event p99
+//! decision latency is recorded as `p99_ms` (environment-dependent,
+//! ignored by the gate).
+//!
+//! Every tenant's workload carries an intensity salt derived from its
+//! global index, so no two tenants share a workload fingerprint: probe-cache entries are
+//! then never contended across concurrently solving machines, which
+//! keeps hit/miss counters and optimizer-call totals identical across
+//! `RAYON_NUM_THREADS` settings (both CI matrix legs diff against the
+//! same baseline).
+
+use crate::harness::{fmt_f, Report, Table};
+use crate::setups::{self, EngineChoice};
+use std::time::Instant;
+use vda_core::problem::{QoS, SearchSpace};
+use vda_core::tenant::Tenant;
+use vda_core::VirtualizationDesignAdvisor;
+use vda_core::{ControlPlane, ControlPlaneOptions, EventOutcome, FleetEvent, FleetSnapshot};
+use vda_simdb::catalog::Catalog;
+use vda_simdb::engines::Engine;
+use vda_vmm::{Hypervisor, PhysicalMachine};
+
+/// Scenario dimensions. [`FULL`] is the committed `BENCH_fleet.json`
+/// scale; unit tests use a miniature with the same event recipe.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetScale {
+    /// Machines hosting tenants at construction.
+    pub populated: usize,
+    /// Empty spare machines, decommissioned by the first events.
+    pub spares: usize,
+    /// Tenants per populated machine at construction.
+    pub tenants_per_machine: usize,
+    /// Events in the stream.
+    pub events: usize,
+    /// Event index before which the incremental plane snapshots.
+    pub snapshot_event: usize,
+}
+
+/// The committed-baseline scale: 202 machines (200 populated + 2
+/// spares), 1000 tenants, 150 events, snapshot mid-stream. Five
+/// tenants per machine keeps the automatic coarse ladder
+/// ([`vda_core::CoarseToFineOptions::auto`]) non-degenerate on the
+/// 20-share CPU grid, so drift events exercise warm *delta*-solves
+/// over retained lattices, not just probe-cache reuse.
+pub const FULL: FleetScale = FleetScale {
+    populated: 200,
+    spares: 2,
+    tenants_per_machine: 5,
+    events: 150,
+    snapshot_event: 75,
+};
+
+/// Per-core clock multipliers defining the fleet's hardware classes
+/// (machine `m` is `paper_testbed` with `core_ghz` scaled by entry
+/// `m % 4`).
+const GHZ_STEPS: [f64; 4] = [1.0, 1.25, 1.5, 2.0];
+
+/// The mixed-DSS tenant population (same query pool as the placement
+/// and dynamic scenarios): CPU-hungry Q18/Q21 and scan/memory-leaning
+/// Q6/Q7/Q16.
+const MIX: [(usize, f64); 10] = [
+    (18, 6.0),
+    (18, 1.0),
+    (21, 4.0),
+    (6, 2.0),
+    (7, 3.0),
+    (16, 1.0),
+    (6, 5.0),
+    (7, 1.0),
+    (21, 1.0),
+    (16, 3.0),
+];
+
+/// Queries cycled through by drift and arrival events.
+const CYCLE: [usize; 5] = [18, 6, 21, 7, 16];
+
+/// Degradation limit on each machine's first tenant: finite, so every
+/// machine exercises the limit-aware coarse-to-fine path (the one that
+/// retains a coarse lattice for delta-solves).
+const FIRST_TENANT_LIMIT: f64 = 6.0;
+
+/// Control-plane knobs for the scenario. The migration threshold and
+/// recalibration surcharge are scaled down from their single-machine
+/// defaults: both gate on *fleet-relative* objective gain, and no
+/// single-tenant move can clear 5 % of a 100-machine objective.
+fn options(incremental: bool) -> ControlPlaneOptions {
+    ControlPlaneOptions {
+        migration_threshold: 1e-4,
+        recalibration_surcharge: 1e-3,
+        incremental,
+        ..ControlPlaneOptions::default()
+    }
+}
+
+/// Machine `m`'s hardware: the paper testbed with a per-class clock.
+fn spec_for(m: usize) -> PhysicalMachine {
+    let mut spec = PhysicalMachine::paper_testbed();
+    spec.core_ghz *= GHZ_STEPS[m % GHZ_STEPS.len()];
+    spec
+}
+
+/// Build one leg's fleet: populated machines first, spares last (so
+/// decommissioning the current last machine always hits a spare).
+/// Workload intensities carry a global-index salt — see the module
+/// docs for why fingerprint uniqueness matters.
+fn fleet(scale: &FleetScale) -> (Vec<VirtualizationDesignAdvisor>, Vec<SearchSpace>) {
+    let engine = EngineChoice::Db2.engine();
+    let cat = setups::sf(1.0);
+    let total = scale.populated + scale.spares;
+    let mut machines = Vec::with_capacity(total);
+    for m in 0..total {
+        let mut adv = VirtualizationDesignAdvisor::new(Hypervisor::new(spec_for(m)));
+        if m < scale.populated {
+            for s in 0..scale.tenants_per_machine {
+                let (q, base) = MIX[(m + s) % MIX.len()];
+                // Salted by the *global* tenant index: for fewer than
+                // 1000 tenants no two (query, salted-intensity) pairs
+                // coincide, so workload fingerprints are fleet-unique.
+                let g = m * scale.tenants_per_machine + s;
+                let mult = base * (1.0 + 0.001 * g as f64);
+                let name = format!("M{m}-S{s}-Q{q}");
+                let w = vda_workloads::tpch::query_workload(q, mult).named(name.clone());
+                let qos = if s == 0 {
+                    QoS::with_limit(FIRST_TENANT_LIMIT)
+                } else {
+                    QoS::default()
+                };
+                adv.add_tenant(
+                    Tenant::new(name, engine.clone(), cat.clone(), w)
+                        .expect("bench workloads bind"),
+                    qos,
+                );
+            }
+        }
+        machines.push(adv);
+    }
+    let space = SearchSpace::cpu_only(setups::FIXED_512MB_SHARE);
+    (machines, vec![space; total])
+}
+
+/// The deterministic event recipe for event `e`, generated against the
+/// plane's *current* state (tenant counts and machine count shift as
+/// events land, and the bit-identical contract guarantees every leg
+/// sees the same state when the recorded stream is replayed).
+fn next_event(
+    plane: &ControlPlane,
+    e: usize,
+    scale: &FleetScale,
+    engine: &Engine,
+    cat: &Catalog,
+) -> FleetEvent {
+    let count = plane.machine_count();
+    if e < scale.spares {
+        // The spares sit at the end and nothing has migrated onto them
+        // yet, so the current last machine is empty by construction.
+        return FleetEvent::MachineDecommissioned { machine: count - 1 };
+    }
+    let occupied = |mut m: usize| {
+        while plane.machine(m).tenant_count() == 0 {
+            m = (m + 1) % count;
+        }
+        m
+    };
+    if e % 10 == 5 {
+        let machine = occupied((e * 17) % count);
+        let slot = e % plane.machine(machine).tenant_count();
+        let q = CYCLE[e % CYCLE.len()];
+        let workload = vda_workloads::tpch::query_workload(q, 2.0 + 0.001 * e as f64)
+            .named(format!("drift-{e}-Q{q}"));
+        FleetEvent::WorkloadChanged {
+            machine,
+            slot,
+            workload,
+        }
+    } else if e % 25 == 7 {
+        let machine = occupied((e * 11) % count);
+        FleetEvent::TenantDeparted {
+            machine,
+            slot: plane.machine(machine).tenant_count() - 1,
+        }
+    } else if e % 25 == 17 {
+        let machine = (e * 11) % count;
+        let q = CYCLE[e % CYCLE.len()];
+        let name = format!("A{e}-Q{q}");
+        let w = vda_workloads::tpch::query_workload(q, 1.5 + 0.001 * e as f64).named(name.clone());
+        let tenant =
+            Tenant::new(name, engine.clone(), cat.clone(), w).expect("bench workloads bind");
+        FleetEvent::TenantArrived {
+            machine,
+            tenant: Box::new(tenant),
+            qos: QoS::default(),
+        }
+    } else {
+        let machine = occupied((e * 13) % count);
+        let slot = e % plane.machine(machine).tenant_count();
+        let factor = if e.is_multiple_of(2) { 1.25 } else { 0.8 };
+        FleetEvent::WorkloadScaled {
+            machine,
+            slot,
+            factor,
+        }
+    }
+}
+
+/// The snapshot-time fleet topology: per machine, its hardware spec,
+/// search space, and `(tenant, qos)` slots — what a restarted process
+/// reconstructs before calling [`ControlPlane::restore`].
+type Topology = Vec<(PhysicalMachine, SearchSpace, Vec<(Tenant, QoS)>)>;
+
+fn topology_of(plane: &ControlPlane) -> Topology {
+    (0..plane.machine_count())
+        .map(|m| {
+            let adv = plane.machine(m);
+            let qos = adv.qos();
+            let slots = (0..adv.tenant_count())
+                .map(|i| (adv.tenant(i).clone(), qos[i]))
+                .collect();
+            (*adv.hypervisor().machine(), *plane.space(m), slots)
+        })
+        .collect()
+}
+
+/// Fresh *uncalibrated* advisors from a captured topology (restore
+/// reinstalls the calibrations — no refitting).
+fn rebuild(topology: Topology) -> (Vec<VirtualizationDesignAdvisor>, Vec<SearchSpace>) {
+    let mut machines = Vec::with_capacity(topology.len());
+    let mut spaces = Vec::with_capacity(topology.len());
+    for (spec, space, slots) in topology {
+        let mut adv = VirtualizationDesignAdvisor::new(Hypervisor::new(spec));
+        for (tenant, qos) in slots {
+            adv.add_tenant(tenant, qos);
+        }
+        machines.push(adv);
+        spaces.push(space);
+    }
+    (machines, spaces)
+}
+
+/// Per-kind event tallies (from the incremental leg's decision log).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EventKinds {
+    /// Intensity scalings (always minor per §6.1).
+    pub scaled: u64,
+    /// Workload replacements classified major.
+    pub changed_major: u64,
+    /// Workload replacements classified minor.
+    pub changed_minor: u64,
+    /// Tenant arrivals.
+    pub arrived: u64,
+    /// Tenant departures.
+    pub departed: u64,
+    /// Machine decommissions.
+    pub decommissioned: u64,
+}
+
+/// The fleet scenario's measurement, as emitted into `BENCH_fleet.json`.
+#[derive(Debug, Clone)]
+pub struct FleetBench {
+    /// The scenario dimensions measured.
+    pub scale: FleetScale,
+    /// Pricing-class shards after construction.
+    pub shards: usize,
+    /// Optimizer calls paid standing the plane up (calibration probes
+    /// plus the initial full-fleet solve).
+    pub construction_calls: u64,
+    /// Fleet objective after the initial solve (`{:.9}`-gated).
+    pub initial_objective: f64,
+    /// Event-phase optimizer calls, incremental leg.
+    pub warm_event_calls: u64,
+    /// Event-phase optimizer calls, cold leg.
+    pub cold_event_calls: u64,
+    /// Event tallies by kind.
+    pub kinds: EventKinds,
+    /// Reconcile migrations executed (incremental leg).
+    pub migrations: u64,
+    /// Per-machine re-solves performed (incremental leg, including
+    /// construction).
+    pub resolves: u64,
+    /// Fleet probe-cache hits / misses (incremental leg).
+    pub probe_hits: u64,
+    /// See [`Self::probe_hits`].
+    pub probe_misses: u64,
+    /// Summed warm-start counters over the incremental leg's machines:
+    /// `(cold_solves, delta_solves, lattice_reuses)`.
+    pub warm_solve_stats: (u64, u64, u64),
+    /// Fleet objective after the final event (`{:.9}`-gated).
+    pub final_objective: f64,
+    /// Size of the serialized mid-stream snapshot, bytes.
+    pub snapshot_bytes: usize,
+    /// Snapshot JSON parsed back equal, and the restored plane's
+    /// immediate re-snapshot byte-identical to the saved document.
+    pub snapshot_roundtrip: bool,
+    /// Resumed run's decision log, placements, and final objective
+    /// identical to the uninterrupted incremental run.
+    pub resume_matches: bool,
+    /// Every event's decision identical between the incremental and
+    /// cold legs (action, resolved set, migration, objective bits).
+    pub results_match: bool,
+    /// Nearest-rank p99 of per-event decision latency, incremental leg
+    /// (recorded, not gated).
+    pub p99_ms: f64,
+    /// Mean per-event decision latency, incremental leg.
+    pub mean_ms: f64,
+    /// Wall time of the incremental leg (construction + events).
+    pub warm_wall_ms: f64,
+    /// Wall time of the cold leg.
+    pub cold_wall_ms: f64,
+}
+
+impl FleetBench {
+    /// Event-phase optimizer-call ratio, cold over incremental. Unlike
+    /// a wall-clock speedup this is deterministic, so it is gated.
+    pub fn call_ratio(&self) -> f64 {
+        self.cold_event_calls as f64 / self.warm_event_calls.max(1) as f64
+    }
+
+    /// The contract: incremental event handling pays at least 5× fewer
+    /// optimizer calls than per-event cold re-solves.
+    pub fn meets_5x(&self) -> bool {
+        self.call_ratio() >= 5.0
+    }
+}
+
+/// Run all three legs of the fleet scenario at the given scale.
+pub fn measure_with(scale: FleetScale) -> FleetBench {
+    assert!(
+        scale.snapshot_event < scale.events,
+        "snapshot must be mid-stream"
+    );
+    let engine = EngineChoice::Db2.engine();
+    let cat = setups::sf(1.0);
+
+    // Incremental leg: drives the event stream (events reference live
+    // tenant counts, and the bit-identical contract makes the recorded
+    // stream valid for every other leg).
+    let (machines, spaces) = fleet(&scale);
+    let t0 = Instant::now();
+    let mut warm = ControlPlane::new(machines, spaces, options(true));
+    let construction_calls = warm.stats().optimizer_calls;
+    let initial_objective = warm.objective();
+    let shards = warm.shards().len();
+    let mut events: Vec<FleetEvent> = Vec::with_capacity(scale.events);
+    let mut warm_outcomes: Vec<EventOutcome> = Vec::with_capacity(scale.events);
+    let mut snapshot = None;
+    let mut topology = Vec::new();
+    for e in 0..scale.events {
+        if e == scale.snapshot_event {
+            snapshot = Some(warm.snapshot());
+            topology = topology_of(&warm);
+        }
+        let ev = next_event(&warm, e, &scale, &engine, &cat);
+        events.push(ev.clone());
+        warm_outcomes.push(warm.process_event(ev));
+    }
+    let warm_wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let warm_event_calls: u64 = warm_outcomes.iter().map(|o| o.optimizer_calls).sum();
+
+    // Cold leg: identical events, warm state invalidated per event.
+    let (machines, spaces) = fleet(&scale);
+    let t0 = Instant::now();
+    let mut cold = ControlPlane::new(machines, spaces, options(false));
+    let mut results_match = true;
+    let mut cold_event_calls = 0;
+    for (ev, w) in events.iter().zip(&warm_outcomes) {
+        let c = cold.process_event(ev.clone());
+        cold_event_calls += c.optimizer_calls;
+        results_match &= c.action == w.action
+            && c.resolved == w.resolved
+            && c.migration == w.migration
+            && c.objective.to_bits() == w.objective.to_bits();
+    }
+    let cold_wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // Resumed leg: restore from the serialized mid-stream snapshot and
+    // replay the remaining events.
+    let snapshot = snapshot.expect("snapshot event within stream");
+    let snap_json = snapshot.to_json();
+    let parsed = FleetSnapshot::from_json(&snap_json).expect("snapshot parses");
+    let (machines, spaces) = rebuild(topology);
+    let mut resumed =
+        ControlPlane::restore(machines, spaces, options(true), &parsed).expect("topology matches");
+    let snapshot_roundtrip = parsed == snapshot && resumed.snapshot().to_json() == snap_json;
+    for ev in &events[scale.snapshot_event..] {
+        resumed.process_event(ev.clone());
+    }
+    let resume_matches = resumed.decision_log() == warm.decision_log()
+        && resumed.placements() == warm.placements()
+        && resumed.objective().to_bits() == warm.objective().to_bits();
+
+    let mut kinds = EventKinds::default();
+    for o in &warm_outcomes {
+        match o.action.split(' ').next().unwrap_or("") {
+            "workload-scaled" => kinds.scaled += 1,
+            "workload-changed" if o.action.ends_with("(major)") => kinds.changed_major += 1,
+            "workload-changed" => kinds.changed_minor += 1,
+            "tenant-arrived" => kinds.arrived += 1,
+            "tenant-departed" => kinds.departed += 1,
+            "machine-decommissioned" => kinds.decommissioned += 1,
+            other => unreachable!("unknown action {other:?}"),
+        }
+    }
+    let stats = warm.stats();
+    let mut warm_solve_stats = (0, 0, 0);
+    for m in 0..warm.machine_count() {
+        let (c, d, l) = warm.machine(m).warm_stats();
+        warm_solve_stats.0 += c;
+        warm_solve_stats.1 += d;
+        warm_solve_stats.2 += l;
+    }
+    let latencies = warm.latencies_ms();
+    let mean_ms = latencies.iter().sum::<f64>() / latencies.len().max(1) as f64;
+
+    FleetBench {
+        scale,
+        shards,
+        construction_calls,
+        initial_objective,
+        warm_event_calls,
+        cold_event_calls,
+        kinds,
+        migrations: stats.migrations,
+        resolves: stats.resolves,
+        probe_hits: stats.probe_hits,
+        probe_misses: stats.probe_misses,
+        warm_solve_stats,
+        final_objective: warm.objective(),
+        snapshot_bytes: snap_json.len(),
+        snapshot_roundtrip,
+        resume_matches,
+        results_match,
+        p99_ms: warm.p99_latency_ms(),
+        mean_ms,
+        warm_wall_ms,
+        cold_wall_ms,
+    }
+}
+
+/// Run the committed-baseline scale.
+pub fn measure() -> FleetBench {
+    measure_with(FULL)
+}
+
+/// Measure and render as a report.
+pub fn run() -> Report {
+    run_from(measure())
+}
+
+/// Render an existing measurement as a report.
+pub fn run_from(m: FleetBench) -> Report {
+    let mut report = Report::new(
+        "fleetbench",
+        "Sharded control plane: 1000 tenants / 202 machines / 150 events, snapshot + resume",
+    );
+    let mut table = Table::new(vec!["leg", "event calls", "wall ms"]);
+    table.row(vec![
+        "cold".to_string(),
+        m.cold_event_calls.to_string(),
+        fmt_f(m.cold_wall_ms, 1),
+    ]);
+    table.row(vec![
+        "incremental".to_string(),
+        m.warm_event_calls.to_string(),
+        fmt_f(m.warm_wall_ms, 1),
+    ]);
+    report.section("cold vs incremental event handling", table);
+
+    let mut counters = Table::new(vec!["counter", "value"]);
+    counters.row(vec!["shards".to_string(), m.shards.to_string()]);
+    counters.row(vec![
+        "construction calls".to_string(),
+        m.construction_calls.to_string(),
+    ]);
+    counters.row(vec!["migrations".to_string(), m.migrations.to_string()]);
+    counters.row(vec!["re-solves".to_string(), m.resolves.to_string()]);
+    let (cold_solves, delta_solves, lattice_reuses) = m.warm_solve_stats;
+    counters.row(vec!["cold solves".to_string(), cold_solves.to_string()]);
+    counters.row(vec!["delta solves".to_string(), delta_solves.to_string()]);
+    counters.row(vec![
+        "lattice reuses".to_string(),
+        lattice_reuses.to_string(),
+    ]);
+    counters.row(vec!["probe hits".to_string(), m.probe_hits.to_string()]);
+    counters.row(vec!["probe misses".to_string(), m.probe_misses.to_string()]);
+    counters.row(vec![
+        "snapshot bytes".to_string(),
+        m.snapshot_bytes.to_string(),
+    ]);
+    counters.row(vec!["p99 latency ms".to_string(), fmt_f(m.p99_ms, 3)]);
+    counters.row(vec!["call ratio".to_string(), fmt_f(m.call_ratio(), 1)]);
+    report.section("incremental-leg counters", counters);
+    report.note(format!(
+        "cold ≡ incremental decisions: {}; snapshot round-trips: {}; resume ≡ uninterrupted: {}; ≥5× fewer event optimizer calls: {}",
+        m.results_match,
+        m.snapshot_roundtrip,
+        m.resume_matches,
+        m.meets_5x()
+    ));
+    report
+}
+
+/// Serialize the measurement as the `BENCH_fleet.json` artifact.
+/// Everything except the `*_ms` fields is deterministic and gated by
+/// `check_bench` (including `call_ratio` — it counts optimizer calls,
+/// not wall-clock).
+pub fn to_json(m: &FleetBench) -> String {
+    let (cold_solves, delta_solves, lattice_reuses) = m.warm_solve_stats;
+    format!(
+        concat!(
+            "{{\n",
+            "  \"experiment\": \"fleetbench\",\n",
+            "  \"machines\": {},\n",
+            "  \"spares\": {},\n",
+            "  \"tenants\": {},\n",
+            "  \"hardware_classes\": {},\n",
+            "  \"events\": {},\n",
+            "  \"snapshot_event\": {},\n",
+            "  \"space\": \"cpu_only_512mb\",\n",
+            "  \"shards\": {},\n",
+            "  \"warm_wall_ms\": {:.3},\n",
+            "  \"cold_wall_ms\": {:.3},\n",
+            "  \"p99_ms\": {:.3},\n",
+            "  \"mean_latency_ms\": {:.3},\n",
+            "  \"construction_optimizer_calls\": {},\n",
+            "  \"event_optimizer_calls_incremental\": {},\n",
+            "  \"event_optimizer_calls_cold\": {},\n",
+            "  \"call_ratio\": {:.3},\n",
+            "  \"event_kinds\": {{\n",
+            "    \"scaled\": {},\n",
+            "    \"changed_major\": {},\n",
+            "    \"changed_minor\": {},\n",
+            "    \"arrived\": {},\n",
+            "    \"departed\": {},\n",
+            "    \"decommissioned\": {}\n",
+            "  }},\n",
+            "  \"migrations\": {},\n",
+            "  \"resolves\": {},\n",
+            "  \"cold_solves\": {},\n",
+            "  \"delta_solves\": {},\n",
+            "  \"lattice_reuses\": {},\n",
+            "  \"probe_hits\": {},\n",
+            "  \"probe_misses\": {},\n",
+            "  \"initial_objective\": {:.9},\n",
+            "  \"final_objective\": {:.9},\n",
+            "  \"snapshot_bytes\": {},\n",
+            "  \"snapshot_roundtrip\": {},\n",
+            "  \"resume_matches\": {},\n",
+            "  \"results_match\": {},\n",
+            "  \"meets_5x\": {}\n",
+            "}}\n"
+        ),
+        m.scale.populated + m.scale.spares,
+        m.scale.spares,
+        m.scale.populated * m.scale.tenants_per_machine,
+        GHZ_STEPS.len(),
+        m.scale.events,
+        m.scale.snapshot_event,
+        m.shards,
+        m.warm_wall_ms,
+        m.cold_wall_ms,
+        m.p99_ms,
+        m.mean_ms,
+        m.construction_calls,
+        m.warm_event_calls,
+        m.cold_event_calls,
+        m.call_ratio(),
+        m.kinds.scaled,
+        m.kinds.changed_major,
+        m.kinds.changed_minor,
+        m.kinds.arrived,
+        m.kinds.departed,
+        m.kinds.decommissioned,
+        m.migrations,
+        m.resolves,
+        cold_solves,
+        delta_solves,
+        lattice_reuses,
+        m.probe_hits,
+        m.probe_misses,
+        m.initial_objective,
+        m.final_objective,
+        m.snapshot_bytes,
+        m.snapshot_roundtrip,
+        m.resume_matches,
+        m.results_match,
+        m.meets_5x(),
+    )
+}
+
+/// Measure the full scale and write `BENCH_fleet.json` to `path`.
+pub fn write_json(path: &str) -> std::io::Result<FleetBench> {
+    let m = measure();
+    std::fs::write(path, to_json(&m))?;
+    Ok(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Miniature scale exercising every event kind (decommission at
+    /// event 0, drift at 5/15/25, departure at 7, arrival at 17) at
+    /// unit-test cost.
+    const TINY: FleetScale = FleetScale {
+        populated: 5,
+        spares: 1,
+        tenants_per_machine: 3,
+        events: 26,
+        snapshot_event: 13,
+    };
+
+    #[test]
+    fn tiny_fleet_holds_every_contract() {
+        let m = measure_with(TINY);
+        assert!(m.results_match, "cold and incremental decisions diverged");
+        assert!(m.snapshot_roundtrip, "snapshot did not round-trip");
+        assert!(m.resume_matches, "resumed run diverged from uninterrupted");
+        assert!(
+            m.warm_event_calls < m.cold_event_calls,
+            "incremental {} vs cold {}",
+            m.warm_event_calls,
+            m.cold_event_calls
+        );
+        assert_eq!(
+            m.kinds.decommissioned, 1,
+            "the spare must be decommissioned"
+        );
+        assert!(m.kinds.arrived >= 1 && m.kinds.departed >= 1);
+        assert!(m.kinds.changed_major + m.kinds.changed_minor >= 1);
+        assert_eq!(m.shards, 4, "four hardware classes, one space");
+        assert!(
+            m.warm_solve_stats.1 > 0,
+            "drift events must hit the warm delta-solve path, got {:?}",
+            m.warm_solve_stats
+        );
+
+        let json = to_json(&m);
+        assert!(json.contains("\"experiment\": \"fleetbench\""));
+        assert!(json.contains("\"results_match\": true"));
+        assert!(json.contains("\"resume_matches\": true"));
+        assert!(json.contains("\"snapshot_roundtrip\": true"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn tenant_fingerprints_are_fleet_unique() {
+        // The thread-count determinism of the gated counters rests on
+        // this (see the module docs): no two tenants may share a
+        // workload fingerprint.
+        let (machines, _) = fleet(&TINY);
+        let mut fps: Vec<u64> = machines
+            .iter()
+            .flat_map(|adv| (0..adv.tenant_count()).map(|i| adv.tenant(i).fingerprint()))
+            .collect();
+        let total = fps.len();
+        fps.sort_unstable();
+        fps.dedup();
+        assert_eq!(fps.len(), total, "duplicate tenant fingerprints");
+    }
+}

@@ -12,6 +12,7 @@ pub mod dynamic_mgmt;
 pub mod dynbench;
 pub mod enumeration;
 pub mod estcosts;
+pub mod fleetbench;
 pub mod memory_sensitivity;
 pub mod motivating;
 pub mod multi_resource;
@@ -68,6 +69,7 @@ pub fn registry() -> Vec<(&'static str, fn() -> Report)> {
         ("ablation", ablation::run),
         ("enumbench", enumeration::run),
         ("dynbench", dynbench::run),
+        ("fleetbench", fleetbench::run),
         ("placement", placement::run),
         ("placement-het", placement::run_heterogeneous),
     ]

@@ -1,307 +1,9 @@
 //! A minimal JSON reader for the CI bench-regression gate.
 //!
-//! The vendored `serde` is a marker-only stub (ROADMAP: "nothing
-//! serializes yet"), so the `BENCH_*.json` artifacts are written by
-//! hand-rolled formatters — and read back by this hand-rolled
-//! recursive-descent parser. It supports exactly the JSON the bench
-//! writers emit: objects, arrays, strings (no escapes beyond `\"`,
-//! `\\`, `\n`, `\t`), numbers, booleans, and `null`.
+//! This module used to own the hand-rolled recursive-descent parser;
+//! the control plane's snapshot format (`vda_core::snapshot`)
+//! promoted the value type, parser, and a new writer into
+//! [`vda_core::jsonio`]. The bench crate re-exports it so
+//! `check_bench` and the benchcheck fixtures keep their import paths.
 
-use std::collections::BTreeMap;
-use std::fmt;
-
-/// A parsed JSON value.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    /// `null`.
-    Null,
-    /// `true` / `false`.
-    Bool(bool),
-    /// Any number (f64 precision suffices for the bench artifacts).
-    Num(f64),
-    /// A string.
-    Str(String),
-    /// An array.
-    Arr(Vec<Json>),
-    /// An object, in source order.
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    /// Member of an object by key.
-    pub fn get(&self, key: &str) -> Option<&Json> {
-        match self {
-            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-
-    /// The numeric value, if this is a number.
-    pub fn as_f64(&self) -> Option<f64> {
-        match self {
-            Json::Num(x) => Some(*x),
-            _ => None,
-        }
-    }
-
-    /// The boolean value, if this is a boolean.
-    pub fn as_bool(&self) -> Option<bool> {
-        match self {
-            Json::Bool(b) => Some(*b),
-            _ => None,
-        }
-    }
-
-    /// Every scalar leaf under this value, keyed by its path
-    /// (`algorithms[0].serial_ms`-style). Arrays index, objects dot.
-    pub fn leaves(&self) -> BTreeMap<String, Json> {
-        let mut out = BTreeMap::new();
-        self.collect_leaves(String::new(), &mut out);
-        out
-    }
-
-    fn collect_leaves(&self, path: String, out: &mut BTreeMap<String, Json>) {
-        match self {
-            Json::Obj(members) => {
-                for (k, v) in members {
-                    let sub = if path.is_empty() {
-                        k.clone()
-                    } else {
-                        format!("{path}.{k}")
-                    };
-                    v.collect_leaves(sub, out);
-                }
-            }
-            Json::Arr(items) => {
-                for (i, v) in items.iter().enumerate() {
-                    v.collect_leaves(format!("{path}[{i}]"), out);
-                }
-            }
-            leaf => {
-                out.insert(path, leaf.clone());
-            }
-        }
-    }
-}
-
-impl fmt::Display for Json {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Json::Null => write!(f, "null"),
-            Json::Bool(b) => write!(f, "{b}"),
-            Json::Num(x) => write!(f, "{x}"),
-            Json::Str(s) => write!(f, "{s:?}"),
-            Json::Arr(items) => write!(f, "[{} items]", items.len()),
-            Json::Obj(members) => write!(f, "{{{} members}}", members.len()),
-        }
-    }
-}
-
-/// Parse a JSON document.
-pub fn parse(input: &str) -> Result<Json, String> {
-    let bytes = input.as_bytes();
-    let mut pos = 0;
-    let value = parse_value(bytes, &mut pos)?;
-    skip_ws(bytes, &mut pos);
-    if pos != bytes.len() {
-        return Err(format!("trailing data at byte {pos}"));
-    }
-    Ok(value)
-}
-
-fn skip_ws(bytes: &[u8], pos: &mut usize) {
-    while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
-        *pos += 1;
-    }
-}
-
-fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
-    skip_ws(bytes, pos);
-    if *pos < bytes.len() && bytes[*pos] == b {
-        *pos += 1;
-        Ok(())
-    } else {
-        Err(format!(
-            "expected {:?} at byte {} (found {:?})",
-            b as char,
-            *pos,
-            bytes.get(*pos).map(|&c| c as char)
-        ))
-    }
-}
-
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
-    skip_ws(bytes, pos);
-    match bytes.get(*pos) {
-        None => Err("unexpected end of input".to_string()),
-        Some(b'{') => parse_object(bytes, pos),
-        Some(b'[') => parse_array(bytes, pos),
-        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
-        Some(b't') => parse_lit(bytes, pos, "true", Json::Bool(true)),
-        Some(b'f') => parse_lit(bytes, pos, "false", Json::Bool(false)),
-        Some(b'n') => parse_lit(bytes, pos, "null", Json::Null),
-        Some(_) => parse_number(bytes, pos),
-    }
-}
-
-fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
-    if bytes[*pos..].starts_with(lit.as_bytes()) {
-        *pos += lit.len();
-        Ok(value)
-    } else {
-        Err(format!("invalid literal at byte {pos}"))
-    }
-}
-
-fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
-    let start = *pos;
-    while *pos < bytes.len()
-        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
-    {
-        *pos += 1;
-    }
-    std::str::from_utf8(&bytes[start..*pos])
-        .ok()
-        .and_then(|s| s.parse::<f64>().ok())
-        .map(Json::Num)
-        .ok_or_else(|| format!("invalid number at byte {start}"))
-}
-
-fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
-    expect(bytes, pos, b'"')?;
-    let mut out = String::new();
-    while *pos < bytes.len() {
-        match bytes[*pos] {
-            b'"' => {
-                *pos += 1;
-                return Ok(out);
-            }
-            b'\\' => {
-                *pos += 1;
-                let escaped = match bytes.get(*pos) {
-                    Some(b'"') => '"',
-                    Some(b'\\') => '\\',
-                    Some(b'n') => '\n',
-                    Some(b't') => '\t',
-                    other => {
-                        return Err(format!("unsupported escape {other:?} at byte {pos}"));
-                    }
-                };
-                out.push(escaped);
-                *pos += 1;
-            }
-            b => {
-                out.push(b as char);
-                *pos += 1;
-            }
-        }
-    }
-    Err("unterminated string".to_string())
-}
-
-fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
-    expect(bytes, pos, b'[')?;
-    let mut items = Vec::new();
-    skip_ws(bytes, pos);
-    if bytes.get(*pos) == Some(&b']') {
-        *pos += 1;
-        return Ok(Json::Arr(items));
-    }
-    loop {
-        items.push(parse_value(bytes, pos)?);
-        skip_ws(bytes, pos);
-        match bytes.get(*pos) {
-            Some(b',') => *pos += 1,
-            Some(b']') => {
-                *pos += 1;
-                return Ok(Json::Arr(items));
-            }
-            other => return Err(format!("expected ',' or ']' (found {other:?})")),
-        }
-    }
-}
-
-fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
-    expect(bytes, pos, b'{')?;
-    let mut members = Vec::new();
-    skip_ws(bytes, pos);
-    if bytes.get(*pos) == Some(&b'}') {
-        *pos += 1;
-        return Ok(Json::Obj(members));
-    }
-    loop {
-        skip_ws(bytes, pos);
-        let key = parse_string(bytes, pos)?;
-        expect(bytes, pos, b':')?;
-        let value = parse_value(bytes, pos)?;
-        members.push((key, value));
-        skip_ws(bytes, pos);
-        match bytes.get(*pos) {
-            Some(b',') => *pos += 1,
-            Some(b'}') => {
-                *pos += 1;
-                return Ok(Json::Obj(members));
-            }
-            other => return Err(format!("expected ',' or '}}' (found {other:?})")),
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn parses_the_bench_artifact_shape() {
-        let doc = r#"{
-  "experiment": "enumeration",
-  "threads": 1,
-  "algorithms": [
-    { "name": "greedy", "serial_ms": 12.5, "identical": true },
-    { "name": "exhaustive", "serial_ms": 80.25, "identical": true }
-  ],
-  "coarse_to_fine": { "meets_5x": true, "calls": 4040 }
-}"#;
-        let v = parse(doc).unwrap();
-        assert_eq!(
-            v.get("experiment"),
-            Some(&Json::Str("enumeration".to_string()))
-        );
-        assert_eq!(v.get("threads").and_then(Json::as_f64), Some(1.0));
-        let leaves = v.leaves();
-        assert_eq!(
-            leaves.get("algorithms[1].serial_ms"),
-            Some(&Json::Num(80.25))
-        );
-        assert_eq!(
-            leaves.get("coarse_to_fine.meets_5x"),
-            Some(&Json::Bool(true))
-        );
-    }
-
-    #[test]
-    fn rejects_malformed_documents() {
-        assert!(parse("{").is_err());
-        assert!(parse("[1, 2,]").is_err());
-        assert!(parse("{\"a\": 1} junk").is_err());
-        assert!(parse("").is_err());
-    }
-
-    #[test]
-    fn round_trips_empty_containers_and_null() {
-        let v = parse("{\"a\": [], \"b\": {}, \"c\": null}").unwrap();
-        assert_eq!(v.get("a"), Some(&Json::Arr(vec![])));
-        assert_eq!(v.get("b"), Some(&Json::Obj(vec![])));
-        assert_eq!(v.get("c"), Some(&Json::Null));
-        // Null is a leaf.
-        assert_eq!(v.leaves().get("c"), Some(&Json::Null));
-    }
-
-    #[test]
-    fn negative_and_scientific_numbers() {
-        let v = parse("[-1.5, 2e3, 0.000001]").unwrap();
-        let leaves = v.leaves();
-        assert_eq!(leaves.get("[0]"), Some(&Json::Num(-1.5)));
-        assert_eq!(leaves.get("[1]"), Some(&Json::Num(2000.0)));
-    }
-}
+pub use vda_core::jsonio::{parse, write, Json};

@@ -282,6 +282,19 @@ impl VirtualizationDesignAdvisor {
         }
     }
 
+    /// Deregister tenant `i` — the fleet layer's departure primitive.
+    /// Returns the tenant and its QoS settings. The slot's estimate
+    /// cache is dropped; calibrated models stay (they are per engine
+    /// kind per machine, not per tenant). The warm-start state is
+    /// invalidated: the machine's tenant set changed.
+    pub fn remove_tenant(&mut self, i: usize) -> (Tenant, QoS) {
+        let tenant = self.tenants.remove(i);
+        let qos = self.qos.remove(i);
+        self.caches.remove(i);
+        self.warm.get_mut().invalidate();
+        (tenant, qos)
+    }
+
     /// Per-tenant QoS settings.
     pub fn qos(&self) -> &[QoS] {
         &self.qos
@@ -503,6 +516,36 @@ impl VirtualizationDesignAdvisor {
             warm.delta_solves(),
             warm.lattice_reuses(),
         )
+    }
+
+    /// The durable part of this machine's warm-start state (see
+    /// [`WarmStart::export`]), or `None` when cold — what a
+    /// [`crate::snapshot::FleetSnapshot`] persists per machine.
+    pub fn export_warm(&self) -> Option<(u64, Vec<u64>, Vec<Allocation>, SearchResult)> {
+        self.warm.borrow().export()
+    }
+
+    /// Reinstall a previously [`export_warm`](Self::export_warm)ed
+    /// state plus its [`WarmStart::counters`]. The key is re-checked on
+    /// the next [`Self::recommend_c2f_warm`], so restoring a snapshot
+    /// taken under different calibrations/QoS simply cold re-solves.
+    pub fn restore_warm(
+        &mut self,
+        key: u64,
+        fingerprints: Vec<u64>,
+        centers: Vec<Allocation>,
+        last: SearchResult,
+        counters: (u64, u64, u64),
+    ) {
+        *self.warm.get_mut() = WarmStart::restore(key, fingerprints, centers, last, counters);
+    }
+
+    /// Drop the warm-start state so the next
+    /// [`Self::recommend_c2f_warm`] is a full cold solve. The control
+    /// plane's cold-baseline mode uses this to measure what the
+    /// incremental path saves.
+    pub fn invalidate_warm(&mut self) {
+        self.warm.get_mut().invalidate();
     }
 
     /// Actual cost (seconds) of tenant `i` under `alloc` — the

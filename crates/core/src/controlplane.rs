@@ -1,0 +1,1275 @@
+//! The sharded fleet **control plane**: event-driven re-optimization
+//! at production scale.
+//!
+//! [`FleetManager`](crate::dynamic::FleetManager) runs the paper's §6
+//! loop as synchronous monitoring periods: every machine re-solves
+//! every period. That is the right shape for tens of machines and the
+//! paper's experiments, but a fleet of hundreds of machines and
+//! thousands of tenants does not change in lockstep — it emits a
+//! stream of *events* (a workload drifts, a tenant arrives or leaves,
+//! a machine is decommissioned), and only a handful of machines are
+//! affected by each one. [`ControlPlane`] is the event-driven layer:
+//!
+//! 1. **Shard** the fleet by pricing class
+//!    ([`MachineClass::of`]`(space).salted(hardware)` — see
+//!    [`ControlPlane::shards`]): machines of one shard share
+//!    calibrations (the class registry), probe-cache entries (the
+//!    fleet-wide [`ProbeCache`]), and therefore most of each other's
+//!    optimizer work.
+//! 2. **Re-solve only the dirty machines** of an event, in parallel,
+//!    each through its advisor's warm-started coarse-to-fine search
+//!    ([`VirtualizationDesignAdvisor::recommend_c2f_warm`]): unchanged
+//!    machines keep their placements, drifted machines delta-solve
+//!    against their retained DP lattices, and everything stays
+//!    bit-identical to a cold re-solve of the whole fleet.
+//! 3. **Reconcile**: a *major* workload change (the §6.1 per-query
+//!    estimate metric against
+//!    [`ControlPlaneOptions::change_threshold`]) or a tenant arrival
+//!    makes that tenant a cross-shard migration candidate. Candidate
+//!    destinations (the least-loaded machines with capacity,
+//!    [`ControlPlaneOptions::reconcile_fanout`] of them) are priced
+//!    non-destructively with hypothetical estimator sets; the merge is
+//!    deterministic — candidates are visited in `(tenant count,
+//!    machine index)` order and a move is taken only if its
+//!    surcharge-netted gain strictly beats the best so far and clears
+//!    [`ControlPlaneOptions::migration_threshold`]. Calibration
+//!    management follows
+//!    [`VirtualizationDesignAdvisor::transfer_tenant`]: cross-class
+//!    moves install the destination class's registry model instead of
+//!    trusting one fit on different hardware.
+//! 4. **Record**: each event appends a [`Decision`] to the log and a
+//!    wall-clock decision latency to the (non-durable) latency ring;
+//!    [`ControlPlane::p99_latency_ms`] summarizes via
+//!    [`crate::metrics::percentile`].
+//!
+//! The whole control-plane state — calibrations, class registry,
+//! placements, warm-start exports, probe entries, decision log — is
+//! durable: [`ControlPlane::snapshot`] captures a
+//! [`crate::snapshot::FleetSnapshot`] and
+//! [`ControlPlane::restore`] resumes from one at delta-solve cost, with
+//! results bit-identical to a process that never restarted.
+
+use crate::advisor::{Recommendation, VirtualizationDesignAdvisor};
+use crate::costmodel::calibration::{CalibratedModel, Calibrator};
+use crate::costmodel::whatif::{ProbeCache, WhatIfEstimator};
+use crate::dynamic::{migration_gain, two_mut, Migration};
+use crate::enumerate::{
+    try_coarse_to_fine_search_with, CoarseToFineOptions, MachineClass, SearchOptions, SearchResult,
+};
+use crate::metrics::{percentile, CostAccounting};
+use crate::placement::machine_capacity;
+use crate::problem::{QoS, SearchSpace};
+use crate::snapshot::{FleetSnapshot, MachineSnapshot, WarmSnapshot};
+use crate::tenant::Tenant;
+use parking_lot::Mutex;
+use rayon::prelude::ParallelMapSlice;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::time::Instant;
+use vda_simdb::engines::EngineKind;
+use vda_workloads::Workload;
+
+/// One fleet state change, applied by [`ControlPlane::process_event`].
+///
+/// Machine and slot indices refer to the control plane's *current*
+/// numbering; [`FleetEvent::MachineDecommissioned`] swap-removes, so
+/// the last machine takes the removed machine's index.
+#[derive(Debug, Clone)]
+pub enum FleetEvent {
+    /// A tenant's workload was replaced (the §6 drift scenario).
+    /// Classified major/minor by the per-query cost-estimate metric;
+    /// major changes become migration candidates.
+    WorkloadChanged {
+        /// Host machine index.
+        machine: usize,
+        /// Tenant slot on that machine.
+        slot: usize,
+        /// The new workload (must bind against the tenant's catalog).
+        workload: Workload,
+    },
+    /// A tenant's workload intensity was scaled (statement counts
+    /// multiplied by `factor`). Per §6.1 the per-query metric is
+    /// deliberately insensitive to intensity, so this classifies minor:
+    /// the host re-solves (relative weights shifted) but no migration
+    /// is considered.
+    WorkloadScaled {
+        /// Host machine index.
+        machine: usize,
+        /// Tenant slot on that machine.
+        slot: usize,
+        /// Multiplier applied to every statement count.
+        factor: f64,
+    },
+    /// A new tenant was provisioned onto a machine. The control plane
+    /// calibrates the host for the tenant's engine kind if needed
+    /// (through the class registry — one fit per hardware class per
+    /// kind) and immediately treats the tenant as a migration
+    /// candidate, so a bad initial placement is corrected in the same
+    /// event.
+    TenantArrived {
+        /// Host machine index (must have a free capacity slot).
+        machine: usize,
+        /// The tenant (boxed: tenants carry their catalog + workload).
+        tenant: Box<Tenant>,
+        /// The tenant's service-level settings.
+        qos: QoS,
+    },
+    /// A tenant was deprovisioned.
+    TenantDeparted {
+        /// Host machine index.
+        machine: usize,
+        /// Tenant slot on that machine.
+        slot: usize,
+    },
+    /// An *empty* machine left the fleet (swap-remove: the last
+    /// machine takes index `machine`). Dead calibrations and their
+    /// probe-cache entries are pruned immediately — see
+    /// [`ProbeCache::retain_models`].
+    MachineDecommissioned {
+        /// Index of the machine to remove; it must host no tenants.
+        machine: usize,
+    },
+}
+
+/// Tuning knobs of the [`ControlPlane`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ControlPlaneOptions {
+    /// λ of the §6.1 major/minor classifier on the per-query
+    /// cost-estimate change (the paper uses 10 %). Only major changes
+    /// become migration candidates.
+    pub change_threshold: f64,
+    /// Minimum relative fleet-objective gain (net of any surcharge)
+    /// before a reconcile migration is taken.
+    pub migration_threshold: f64,
+    /// Gain penalty applied to cross-hardware-class candidates — the
+    /// destination must recalibrate the tenant's model, so the move
+    /// has to promise strictly more than a same-class one.
+    pub recalibration_surcharge: f64,
+    /// How many candidate destinations (least-loaded first) the
+    /// reconcile pass prices per migration candidate.
+    pub reconcile_fanout: usize,
+    /// Prune the probe cache and class registry every this many events
+    /// (`0` disables periodic pruning; decommissions always prune).
+    pub prune_every: u64,
+    /// `true` (the default): warm-started delta solves over persistent
+    /// caches. `false`: every event invalidates all warm state and
+    /// cold-starts the probe cache first — the baseline the incremental
+    /// path is measured against. Results are bit-identical either way.
+    pub incremental: bool,
+}
+
+impl Default for ControlPlaneOptions {
+    fn default() -> Self {
+        ControlPlaneOptions {
+            change_threshold: 0.10,
+            migration_threshold: 0.05,
+            recalibration_surcharge: 0.02,
+            reconcile_fanout: 4,
+            prune_every: 64,
+            incremental: true,
+        }
+    }
+}
+
+/// One entry of the durable decision log: what an event changed.
+/// Deliberately excludes wall-clock measurements so snapshots of two
+/// runs over the same event stream compare bit-identically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decision {
+    /// Event sequence number (1-based; `seq` events processed so far).
+    pub seq: u64,
+    /// Compact human-readable description of the event and its
+    /// classification, e.g. `"workload-changed m12 t3 (major)"`.
+    pub action: String,
+    /// Machines re-solved by this event (sorted).
+    pub resolved: Vec<usize>,
+    /// The reconcile migration taken, if any.
+    pub migration: Option<Migration>,
+    /// Estimated fleet objective after the event.
+    pub objective: f64,
+}
+
+/// What [`ControlPlane::process_event`] returns to the caller: the
+/// durable [`Decision`] fields plus the non-durable measurements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventOutcome {
+    /// Event sequence number.
+    pub seq: u64,
+    /// Compact description (same string as the logged [`Decision`]).
+    pub action: String,
+    /// Machines re-solved by this event (sorted).
+    pub resolved: Vec<usize>,
+    /// The reconcile migration taken, if any.
+    pub migration: Option<Migration>,
+    /// Estimated fleet objective after the event.
+    pub objective: f64,
+    /// Wall-clock decision latency of this event, milliseconds.
+    pub latency_ms: f64,
+    /// Query-optimizer invocations this event paid (re-solves plus
+    /// reconcile pricing plus classification estimates).
+    pub optimizer_calls: u64,
+}
+
+/// Cumulative control-plane counters, from [`ControlPlane::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ControlPlaneStats {
+    /// Machines currently in the fleet.
+    pub machines: usize,
+    /// Tenants currently hosted.
+    pub tenants: usize,
+    /// Distinct pricing classes (shards) present.
+    pub shards: usize,
+    /// Events processed.
+    pub events: u64,
+    /// Per-machine re-solves performed.
+    pub resolves: u64,
+    /// Reconcile migrations executed.
+    pub migrations: u64,
+    /// Total query-optimizer invocations (construction + events).
+    pub optimizer_calls: u64,
+    /// Fleet probe-cache hits.
+    pub probe_hits: u64,
+    /// Fleet probe-cache misses.
+    pub probe_misses: u64,
+}
+
+/// The event-driven fleet controller. See the [module docs](self) for
+/// the event lifecycle.
+#[derive(Debug)]
+pub struct ControlPlane {
+    machines: Vec<VirtualizationDesignAdvisor>,
+    spaces: Vec<SearchSpace>,
+    options: ControlPlaneOptions,
+    /// Fleet-wide probe cache, shared by every advisor and by the
+    /// reconcile pass's hypothetical estimators.
+    probe: ProbeCache,
+    /// Class calibration registry: one fitted model per (hardware
+    /// fingerprint, engine kind), installed on machines instead of
+    /// refitting per machine.
+    class_models: HashMap<(u64, EngineKind), CalibratedModel>,
+    /// Current placement per machine (`None` while a machine is
+    /// empty).
+    placements: Vec<Option<SearchResult>>,
+    log: Vec<Decision>,
+    seq: u64,
+    latencies_ms: Vec<f64>,
+    optimizer_calls: u64,
+    resolves: u64,
+    migrations: u64,
+}
+
+impl ControlPlane {
+    /// Stand up the control plane: attach the shared probe cache,
+    /// calibrate every tenant-hosting machine through the class
+    /// registry (one fit per hardware class per engine kind — machines
+    /// already calibrated seed the registry), and solve every machine
+    /// for the initial placements.
+    ///
+    /// # Panics
+    ///
+    /// If `machines` and `spaces` lengths differ, the fleet is empty,
+    /// or any machine hosts more tenants than its space has capacity
+    /// for.
+    pub fn new(
+        machines: Vec<VirtualizationDesignAdvisor>,
+        spaces: Vec<SearchSpace>,
+        options: ControlPlaneOptions,
+    ) -> Self {
+        assert_eq!(machines.len(), spaces.len(), "one search space per machine");
+        assert!(!machines.is_empty(), "fleet must not be empty");
+        let k = machines.len();
+        let placements = vec![None; k];
+        let mut plane = ControlPlane {
+            machines,
+            spaces,
+            options,
+            probe: ProbeCache::new(),
+            class_models: HashMap::new(),
+            placements,
+            log: Vec::new(),
+            seq: 0,
+            latencies_ms: Vec::new(),
+            optimizer_calls: 0,
+            resolves: 0,
+            migrations: 0,
+        };
+        for m in 0..k {
+            assert!(
+                plane.machines[m].tenant_count() <= machine_capacity(&plane.spaces[m]),
+                "machine {m} over capacity"
+            );
+            plane.machines[m].attach_probe_cache(plane.probe.clone());
+            // Pre-calibrated machines seed the registry for their class.
+            let hw = plane.hardware_class(m);
+            for (kind, model) in plane.machines[m].calibrations().to_vec() {
+                plane.class_models.entry((hw, kind)).or_insert(model);
+            }
+        }
+        for m in 0..k {
+            plane.ensure_machine_calibrated(m);
+        }
+        let all: Vec<usize> = (0..k).collect();
+        plane.resolve(&all);
+        plane
+    }
+
+    /// Machine `m`'s advisor.
+    pub fn machine(&self, m: usize) -> &VirtualizationDesignAdvisor {
+        &self.machines[m]
+    }
+
+    /// Number of machines currently in the fleet.
+    pub fn machine_count(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// Machine `m`'s search space.
+    pub fn space(&self, m: usize) -> &SearchSpace {
+        &self.spaces[m]
+    }
+
+    /// The control plane's tuning knobs.
+    pub fn options(&self) -> &ControlPlaneOptions {
+        &self.options
+    }
+
+    /// Current placement per machine (`None` while a machine is
+    /// empty).
+    pub fn placements(&self) -> &[Option<SearchResult>] {
+        &self.placements
+    }
+
+    /// The durable decision log, one [`Decision`] per processed event.
+    pub fn decision_log(&self) -> &[Decision] {
+        &self.log
+    }
+
+    /// Events processed so far.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// The shared fleet probe cache.
+    pub fn probe_cache(&self) -> &ProbeCache {
+        &self.probe
+    }
+
+    /// Estimated fleet objective: the sum of every machine's current
+    /// weighted placement cost.
+    pub fn objective(&self) -> f64 {
+        self.placements
+            .iter()
+            .flatten()
+            .map(|r| r.weighted_cost)
+            .sum()
+    }
+
+    /// Per-event wall-clock decision latencies (ms) since this process
+    /// started. Deliberately *not* part of snapshots: wall-clock is not
+    /// deterministic state.
+    pub fn latencies_ms(&self) -> &[f64] {
+        &self.latencies_ms
+    }
+
+    /// Nearest-rank p99 over [`Self::latencies_ms`].
+    pub fn p99_latency_ms(&self) -> f64 {
+        percentile(&self.latencies_ms, 99.0)
+    }
+
+    /// Cumulative counters.
+    pub fn stats(&self) -> ControlPlaneStats {
+        ControlPlaneStats {
+            machines: self.machines.len(),
+            tenants: self.machines.iter().map(|a| a.tenant_count()).sum(),
+            shards: self.shards().len(),
+            events: self.seq,
+            resolves: self.resolves,
+            migrations: self.migrations,
+            optimizer_calls: self.optimizer_calls,
+            probe_hits: self.probe.hits(),
+            probe_misses: self.probe.misses(),
+        }
+    }
+
+    /// The fleet's shards: machine indices grouped by pricing class
+    /// (search space + hardware, see [`MachineClass`]). Machines of one
+    /// shard share class calibrations and probe-cache entries, so one
+    /// shard member's optimizer work warms the whole shard.
+    pub fn shards(&self) -> BTreeMap<u64, Vec<usize>> {
+        let mut map: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+        for m in 0..self.machines.len() {
+            map.entry(self.pricing_class(m).id()).or_default().push(m);
+        }
+        map
+    }
+
+    /// Apply one fleet event: re-solve the dirty machines (in
+    /// parallel, warm), reconcile migration candidates, log the
+    /// [`Decision`], and record the decision latency.
+    pub fn process_event(&mut self, event: FleetEvent) -> EventOutcome {
+        let started = Instant::now();
+        let calls_before = self.optimizer_calls;
+        if !self.options.incremental {
+            self.cold_start();
+        }
+        let (action, mut dirty, candidate) = self.apply(event);
+        self.resolve(&dirty);
+        let migration = candidate.and_then(|(m, slot)| self.reconcile(m, slot));
+        if let Some(mig) = &migration {
+            dirty.push(mig.from);
+            dirty.push(mig.to);
+        }
+        dirty.sort_unstable();
+        dirty.dedup();
+        self.seq += 1;
+        if self.options.prune_every > 0 && self.seq.is_multiple_of(self.options.prune_every) {
+            self.prune_caches();
+        }
+        let objective = self.objective();
+        self.log.push(Decision {
+            seq: self.seq,
+            action: action.clone(),
+            resolved: dirty.clone(),
+            migration: migration.clone(),
+            objective,
+        });
+        let latency_ms = started.elapsed().as_secs_f64() * 1e3;
+        self.latencies_ms.push(latency_ms);
+        EventOutcome {
+            seq: self.seq,
+            action,
+            resolved: dirty,
+            migration,
+            objective,
+            latency_ms,
+            optimizer_calls: self.optimizer_calls - calls_before,
+        }
+    }
+
+    /// Capture the durable control-plane state — see
+    /// [`FleetSnapshot`] for the format and
+    /// [`Self::restore`] for the other half of the round trip.
+    pub fn snapshot(&self) -> FleetSnapshot {
+        let machines = (0..self.machines.len())
+            .map(|m| {
+                let adv = &self.machines[m];
+                MachineSnapshot {
+                    hardware: self.hardware_class(m),
+                    tenants: (0..adv.tenant_count())
+                        .map(|i| adv.tenant(i).fingerprint())
+                        .collect(),
+                    calibrations: adv.calibrations().to_vec(),
+                    placement: self.placements[m].clone(),
+                    warm: adv.export_warm().map(|(key, fingerprints, centers, last)| {
+                        WarmSnapshot {
+                            key,
+                            fingerprints,
+                            centers,
+                            last,
+                        }
+                    }),
+                    warm_counters: adv.warm_stats(),
+                }
+            })
+            .collect();
+        let mut registry: Vec<(u64, EngineKind, CalibratedModel)> = self
+            .class_models
+            .iter()
+            .map(|(&(hw, kind), model)| (hw, kind, model.clone()))
+            .collect();
+        registry.sort_by_key(|(hw, kind, _)| (*hw, kind.name()));
+        FleetSnapshot {
+            seq: self.seq,
+            optimizer_calls: self.optimizer_calls,
+            resolves: self.resolves,
+            migrations: self.migrations,
+            machines,
+            registry,
+            probes: self.probe.export(),
+            log: self.log.clone(),
+        }
+    }
+
+    /// Resume from a [`FleetSnapshot`]. The caller reconstructs the
+    /// snapshot-time fleet topology — one *uncalibrated* advisor per
+    /// machine with the same hardware, tenants (in order), and QoS —
+    /// and `restore` reinstalls everything durable: calibrations (no
+    /// refit), the class registry, probe-cache entries, placements,
+    /// per-machine warm-start state, and the decision log. Subsequent
+    /// events then cost delta solves, and their results are
+    /// bit-identical to a process that never restarted.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description when the provided fleet does not
+    /// match the snapshot (machine count, per-machine hardware
+    /// fingerprint, or per-slot tenant fingerprints).
+    pub fn restore(
+        mut machines: Vec<VirtualizationDesignAdvisor>,
+        spaces: Vec<SearchSpace>,
+        options: ControlPlaneOptions,
+        snapshot: &FleetSnapshot,
+    ) -> Result<Self, String> {
+        if machines.len() != snapshot.machines.len() {
+            return Err(format!(
+                "snapshot holds {} machines, {} provided",
+                snapshot.machines.len(),
+                machines.len()
+            ));
+        }
+        if machines.len() != spaces.len() {
+            return Err("one search space per machine required".to_string());
+        }
+        let probe = ProbeCache::new();
+        probe.import(&snapshot.probes);
+        for (m, (adv, ms)) in machines.iter_mut().zip(&snapshot.machines).enumerate() {
+            let hw = adv.hypervisor().machine().fingerprint();
+            if hw != ms.hardware {
+                return Err(format!("machine {m}: hardware fingerprint mismatch"));
+            }
+            let tenants: Vec<u64> = (0..adv.tenant_count())
+                .map(|i| adv.tenant(i).fingerprint())
+                .collect();
+            if tenants != ms.tenants {
+                return Err(format!("machine {m}: tenant set mismatch"));
+            }
+            for (kind, model) in &ms.calibrations {
+                adv.install_calibration(*kind, model.clone());
+            }
+            adv.attach_probe_cache(probe.clone());
+            if let Some(w) = &ms.warm {
+                adv.restore_warm(
+                    w.key,
+                    w.fingerprints.clone(),
+                    w.centers.clone(),
+                    w.last.clone(),
+                    ms.warm_counters,
+                );
+            }
+        }
+        let class_models = snapshot
+            .registry
+            .iter()
+            .map(|(hw, kind, model)| ((*hw, *kind), model.clone()))
+            .collect();
+        let placements = snapshot
+            .machines
+            .iter()
+            .map(|ms| ms.placement.clone())
+            .collect();
+        Ok(ControlPlane {
+            machines,
+            spaces,
+            options,
+            probe,
+            class_models,
+            placements,
+            log: snapshot.log.clone(),
+            seq: snapshot.seq,
+            latencies_ms: Vec::new(),
+            optimizer_calls: snapshot.optimizer_calls,
+            resolves: snapshot.resolves,
+            migrations: snapshot.migrations,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Event application
+    // ------------------------------------------------------------------
+
+    /// Mutate the fleet per the event. Returns the action description,
+    /// the dirty machine set, and the migration candidate (machine,
+    /// slot), if the event produced one.
+    fn apply(&mut self, event: FleetEvent) -> (String, Vec<usize>, Option<(usize, usize)>) {
+        match event {
+            FleetEvent::WorkloadChanged {
+                machine,
+                slot,
+                workload,
+            } => {
+                let before = self.per_query_estimate(machine, slot);
+                self.machines[machine]
+                    .tenant_mut(slot)
+                    .set_workload(workload)
+                    .expect("new workload must bind against the tenant's catalog");
+                let major = self.classify_major(machine, slot, before);
+                let label = if major { "major" } else { "minor" };
+                (
+                    format!("workload-changed m{machine} t{slot} ({label})"),
+                    vec![machine],
+                    major.then_some((machine, slot)),
+                )
+            }
+            FleetEvent::WorkloadScaled {
+                machine,
+                slot,
+                factor,
+            } => {
+                let before = self.per_query_estimate(machine, slot);
+                self.machines[machine]
+                    .tenant_mut(slot)
+                    .scale_workload(factor);
+                let major = self.classify_major(machine, slot, before);
+                let label = if major { "major" } else { "minor" };
+                (
+                    format!("workload-scaled m{machine} t{slot} ({label})"),
+                    vec![machine],
+                    major.then_some((machine, slot)),
+                )
+            }
+            FleetEvent::TenantArrived {
+                machine,
+                tenant,
+                qos,
+            } => {
+                assert!(
+                    self.machines[machine].tenant_count() < machine_capacity(&self.spaces[machine]),
+                    "machine {machine} has no free capacity slot"
+                );
+                let slot = self.machines[machine].add_tenant(*tenant, qos);
+                self.ensure_machine_calibrated(machine);
+                (
+                    format!("tenant-arrived m{machine} t{slot}"),
+                    vec![machine],
+                    Some((machine, slot)),
+                )
+            }
+            FleetEvent::TenantDeparted { machine, slot } => {
+                let (tenant, _) = self.machines[machine].remove_tenant(slot);
+                (
+                    format!("tenant-departed m{machine} ({})", tenant.name),
+                    vec![machine],
+                    None,
+                )
+            }
+            FleetEvent::MachineDecommissioned { machine } => {
+                assert_eq!(
+                    self.machines[machine].tenant_count(),
+                    0,
+                    "decommissioned machine must be empty"
+                );
+                self.machines.swap_remove(machine);
+                self.spaces.swap_remove(machine);
+                self.placements.swap_remove(machine);
+                // Models only this machine's class used are now dead
+                // weight in the probe cache; reclaim immediately.
+                self.prune_caches();
+                (format!("machine-decommissioned m{machine}"), vec![], None)
+            }
+        }
+    }
+
+    /// §6.1 change metric at a fixed reference allocation, after the
+    /// workload mutated: relative per-query estimate change vs
+    /// `before`, classified against
+    /// [`ControlPlaneOptions::change_threshold`].
+    fn classify_major(&mut self, m: usize, slot: usize, before: f64) -> bool {
+        let after = self.per_query_estimate(m, slot);
+        let change = if before > 0.0 {
+            (after - before).abs() / before
+        } else {
+            0.0
+        };
+        change > self.options.change_threshold
+    }
+
+    /// Per-query cost estimate of tenant `slot` on machine `m` at the
+    /// machine's reference (1/N) allocation.
+    fn per_query_estimate(&mut self, m: usize, slot: usize) -> f64 {
+        let reference = self.spaces[m].default_allocation(self.machines[m].tenant_count());
+        let est = self.machines[m].estimator(slot);
+        let per_query = est.estimate(reference).avg_cost_per_statement;
+        let calls = est.optimizer_calls();
+        self.optimizer_calls += calls;
+        per_query
+    }
+
+    // ------------------------------------------------------------------
+    // Solving
+    // ------------------------------------------------------------------
+
+    /// Re-solve the given machines in parallel through their warm
+    /// advisors, shard-ordered so same-class machines run adjacently
+    /// and feed each other's probe entries. Empty machines get a
+    /// `None` placement.
+    fn resolve(&mut self, dirty: &[usize]) {
+        let mut dirty: Vec<usize> = dirty.to_vec();
+        dirty.sort_unstable();
+        dirty.dedup();
+        // Deterministic shard ordering of the work list.
+        dirty.sort_by_key(|&m| (self.pricing_class(m).id(), m));
+        let dirty_set: HashSet<usize> = dirty.iter().copied().collect();
+        let spaces = &self.spaces;
+        // Advisors are !Sync (interior warm-start state), so the
+        // vendored rayon's `par_map` cannot iterate them directly;
+        // per-machine mutexes make the work list `Sync` while each
+        // advisor is still touched by exactly one task.
+        let work: Vec<(usize, Mutex<&mut VirtualizationDesignAdvisor>)> = self
+            .machines
+            .iter_mut()
+            .enumerate()
+            .filter(|(m, adv)| dirty_set.contains(m) && adv.tenant_count() > 0)
+            .map(|(m, adv)| (m, Mutex::new(adv)))
+            .collect();
+        let solved: Vec<(usize, Recommendation)> =
+            work.par_map(|(m, cell)| (*m, cell.lock().recommend_c2f_warm(&spaces[*m])));
+        for (m, rec) in solved {
+            self.optimizer_calls += rec.optimizer_calls;
+            self.resolves += 1;
+            self.placements[m] = Some(rec.result);
+        }
+        for &m in &dirty {
+            if self.machines[m].tenant_count() == 0 {
+                self.placements[m] = None;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Reconciliation
+    // ------------------------------------------------------------------
+
+    /// Price moving tenant `slot` off machine `from` onto each of the
+    /// least-loaded candidate destinations, and execute the best move
+    /// whose net gain clears the threshold. Deterministic: candidates
+    /// are visited in `(tenant count, machine index)` order and only a
+    /// strictly better net gain displaces the incumbent.
+    fn reconcile(&mut self, from: usize, slot: usize) -> Option<Migration> {
+        let base_total = self.objective();
+        let mut dests: Vec<usize> = (0..self.machines.len())
+            .filter(|&d| {
+                d != from && self.machines[d].tenant_count() < machine_capacity(&self.spaces[d])
+            })
+            .collect();
+        dests.sort_by_key(|&d| (self.machines[d].tenant_count(), d));
+        dests.truncate(self.options.reconcile_fanout);
+        if dests.is_empty() {
+            return None;
+        }
+        let kind = self.machines[from].tenant(slot).engine.kind();
+        for &d in &dests {
+            self.ensure_class_model_for(d, kind, (from, slot));
+        }
+
+        let src_cur = self.current_cost(from);
+        let (src_new, src_calls) = self.price_without(from, slot);
+        self.optimizer_calls += src_calls;
+        let src_new = src_new?;
+
+        let from_class = self.pricing_class(from);
+        let mut best: Option<(f64, usize, f64)> = None; // (net, dest, raw gain)
+        for &d in &dests {
+            let (dst_new, dst_calls) = self.price_with_extra(d, from, slot);
+            self.optimizer_calls += dst_calls;
+            let Some(dst_new) = dst_new else { continue };
+            let candidate_total = base_total - src_cur - self.current_cost(d) + src_new + dst_new;
+            let Some(gain) = migration_gain(base_total, candidate_total) else {
+                continue;
+            };
+            let net = if self.pricing_class(d) != from_class {
+                gain - self.options.recalibration_surcharge
+            } else {
+                gain
+            };
+            if net <= self.options.migration_threshold {
+                continue;
+            }
+            if best.map(|(bn, _, _)| net > bn).unwrap_or(true) {
+                best = Some((net, d, gain));
+            }
+        }
+        let (_, to, gain) = best?;
+
+        let tenant = self.machines[from].tenant(slot).name.clone();
+        let hw_to = self.hardware_class(to);
+        let (src_adv, dst_adv) = two_mut(&mut self.machines, from, to);
+        let transfer = src_adv.transfer_tenant(slot, dst_adv);
+        let recalibrated = !transfer.calibration.destination_ready();
+        if recalibrated {
+            // The model could not travel across hardware classes; the
+            // registry holds the destination class's fit (ensured
+            // above), so installation costs no calibration run.
+            let model = self.class_models[&(hw_to, kind)].clone();
+            self.machines[to].install_calibration(kind, model);
+        }
+        self.resolve(&[from, to]);
+        self.migrations += 1;
+        Some(Migration {
+            tenant,
+            from,
+            to,
+            estimated_gain: gain,
+            recalibrated,
+        })
+    }
+
+    /// Machine `m`'s current placement cost (0 while empty).
+    fn current_cost(&self, m: usize) -> f64 {
+        self.placements[m]
+            .as_ref()
+            .map(|r| r.weighted_cost)
+            .unwrap_or(0.0)
+    }
+
+    /// Hypothetical cost of machine `m` without tenant `skip`
+    /// (`Some(0.0)` if that empties the machine), plus the optimizer
+    /// calls spent pricing it.
+    fn price_without(&self, m: usize, skip: usize) -> (Option<f64>, u64) {
+        let adv = &self.machines[m];
+        let n = adv.tenant_count();
+        if n <= 1 {
+            return (Some(0.0), 0);
+        }
+        let estimators: Vec<WhatIfEstimator<'_>> = (0..n)
+            .filter(|&i| i != skip)
+            .map(|i| adv.estimator(i))
+            .collect();
+        let qos: Vec<QoS> = adv
+            .qos()
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != skip)
+            .map(|(_, q)| *q)
+            .collect();
+        self.solve_hypothetical(m, &qos, &estimators)
+    }
+
+    /// Hypothetical cost of machine `d` hosting its tenants plus
+    /// tenant `slot` of machine `from` — priced with `d`'s own
+    /// calibration for the moved tenant's kind when present, the class
+    /// registry's otherwise (see [`Self::ensure_class_model_for`]).
+    fn price_with_extra(&self, d: usize, from: usize, slot: usize) -> (Option<f64>, u64) {
+        let adv = &self.machines[d];
+        let moved = self.machines[from].tenant(slot);
+        let kind = moved.engine.kind();
+        let model = match adv.calibration(kind) {
+            Some(model) => model,
+            None => &self.class_models[&(self.hardware_class(d), kind)],
+        };
+        let mut estimators: Vec<WhatIfEstimator<'_>> =
+            (0..adv.tenant_count()).map(|i| adv.estimator(i)).collect();
+        estimators.push(WhatIfEstimator::with_probe_cache(
+            moved,
+            model,
+            self.probe.clone(),
+        ));
+        let mut qos: Vec<QoS> = adv.qos().to_vec();
+        qos.push(self.machines[from].qos()[slot]);
+        self.solve_hypothetical(d, &qos, &estimators)
+    }
+
+    /// One non-destructive coarse-to-fine solve over a hypothetical
+    /// estimator set (`None` when no grid can host the set).
+    fn solve_hypothetical(
+        &self,
+        m: usize,
+        qos: &[QoS],
+        estimators: &[WhatIfEstimator<'_>],
+    ) -> (Option<f64>, u64) {
+        let space = &self.spaces[m];
+        let c2f = CoarseToFineOptions::auto(space, estimators.len());
+        let result =
+            try_coarse_to_fine_search_with(space, qos, estimators, &c2f, &SearchOptions::default());
+        let calls = CostAccounting::tally(estimators).optimizer_calls;
+        (result.map(|r| r.weighted_cost), calls)
+    }
+
+    // ------------------------------------------------------------------
+    // Calibration management
+    // ------------------------------------------------------------------
+
+    fn hardware_class(&self, m: usize) -> u64 {
+        self.machines[m].hypervisor().machine().fingerprint()
+    }
+
+    fn pricing_class(&self, m: usize) -> MachineClass {
+        MachineClass::of(&self.spaces[m]).salted(self.hardware_class(m))
+    }
+
+    /// Calibrate machine `m` for every engine kind its tenants need,
+    /// through the class registry: an existing registry model installs
+    /// without a fit; a missing one is fitted once on `m` and
+    /// registered for the whole hardware class.
+    fn ensure_machine_calibrated(&mut self, m: usize) {
+        let hw = self.hardware_class(m);
+        let kinds: Vec<(usize, EngineKind)> = (0..self.machines[m].tenant_count())
+            .map(|i| (i, self.machines[m].tenant(i).engine.kind()))
+            .collect();
+        for (slot, kind) in kinds {
+            if self.machines[m].calibration(kind).is_some() {
+                continue;
+            }
+            let model = match self.class_models.get(&(hw, kind)) {
+                Some(model) => model.clone(),
+                None => {
+                    let adv = &self.machines[m];
+                    let engine = adv.tenant(slot).engine.clone();
+                    let model =
+                        Calibrator::with_config(adv.hypervisor(), adv.calibration_config().clone())
+                            .calibrate(&engine);
+                    self.class_models.insert((hw, kind), model.clone());
+                    model
+                }
+            };
+            self.machines[m].install_calibration(kind, model);
+        }
+    }
+
+    /// Make sure the registry holds a model for machine `d`'s hardware
+    /// class and `kind`, fitting on `d` if needed (the engine instance
+    /// comes from the migration-source tenant, like
+    /// [`crate::dynamic::FleetManager`] does).
+    fn ensure_class_model_for(&mut self, d: usize, kind: EngineKind, source: (usize, usize)) {
+        let hw = self.hardware_class(d);
+        if let Some(model) = self.machines[d].calibration(kind) {
+            let model = model.clone();
+            self.class_models.entry((hw, kind)).or_insert(model);
+            return;
+        }
+        if self.class_models.contains_key(&(hw, kind)) {
+            return;
+        }
+        let engine = self.machines[source.0].tenant(source.1).engine.clone();
+        let adv = &self.machines[d];
+        let model = Calibrator::with_config(adv.hypervisor(), adv.calibration_config().clone())
+            .calibrate(&engine);
+        self.class_models.insert((hw, kind), model);
+    }
+
+    // ------------------------------------------------------------------
+    // Cache management
+    // ------------------------------------------------------------------
+
+    /// Drop probe entries and registry models that nothing in the
+    /// fleet can read anymore: registry entries of departed hardware
+    /// classes, probe rows of dead model generations
+    /// ([`ProbeCache::retain_models`]) and of departed tenants
+    /// ([`ProbeCache::retain_tenants`]).
+    fn prune_caches(&mut self) {
+        let hw_live: HashSet<u64> = (0..self.machines.len())
+            .map(|m| self.hardware_class(m))
+            .collect();
+        self.class_models.retain(|(hw, _), _| hw_live.contains(hw));
+        let live_models: HashSet<u64> = self
+            .machines
+            .iter()
+            .flat_map(|a| a.calibrations().iter().map(|(_, m)| m.fingerprint()))
+            .chain(self.class_models.values().map(|m| m.fingerprint()))
+            .collect();
+        self.probe.retain_models(&live_models);
+        let live_tenants: HashSet<u64> = self
+            .machines
+            .iter()
+            .flat_map(|a| (0..a.tenant_count()).map(|i| a.tenant(i).fingerprint()))
+            .collect();
+        self.probe.retain_tenants(&live_tenants);
+    }
+
+    /// Cold-baseline mode: drop every persistent cache so the next
+    /// event pays full price — a fresh probe cache on every advisor
+    /// and no warm-start state anywhere.
+    fn cold_start(&mut self) {
+        self.probe = ProbeCache::new();
+        for adv in &mut self.machines {
+            adv.attach_probe_cache(self.probe.clone());
+            adv.invalidate_warm();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::Allocation;
+    use vda_simdb::engines::Engine;
+    use vda_vmm::{Hypervisor, PhysicalMachine};
+    use vda_workloads::tpch;
+
+    fn machine_with(tenants: &[(&str, usize, f64)]) -> VirtualizationDesignAdvisor {
+        machine_on(PhysicalMachine::paper_testbed(), tenants)
+    }
+
+    fn machine_on(
+        spec: PhysicalMachine,
+        tenants: &[(&str, usize, f64)],
+    ) -> VirtualizationDesignAdvisor {
+        let mut adv = VirtualizationDesignAdvisor::new(Hypervisor::new(spec));
+        let cat = tpch::catalog(0.1);
+        for &(name, q, mult) in tenants {
+            adv.add_tenant(
+                Tenant::new(
+                    name,
+                    Engine::pg(),
+                    cat.clone(),
+                    tpch::query_workload(q, mult),
+                )
+                .unwrap(),
+                QoS::default(),
+            );
+        }
+        adv
+    }
+
+    fn small_fleet() -> ControlPlane {
+        let machines = vec![
+            machine_with(&[("a0", 18, 2.0), ("a1", 6, 2.0)]),
+            machine_with(&[("b0", 1, 1.0)]),
+            machine_with(&[]),
+        ];
+        let spaces = vec![SearchSpace::cpu_only(0.25); 3];
+        ControlPlane::new(machines, spaces, ControlPlaneOptions::default())
+    }
+
+    #[test]
+    fn construction_solves_all_occupied_machines() {
+        let plane = small_fleet();
+        assert!(plane.placements()[0].is_some());
+        assert!(plane.placements()[1].is_some());
+        assert!(
+            plane.placements()[2].is_none(),
+            "empty machine stays unsolved"
+        );
+        let stats = plane.stats();
+        assert_eq!(stats.machines, 3);
+        assert_eq!(stats.tenants, 3);
+        assert_eq!(stats.shards, 1, "identical hardware + space = one shard");
+        assert!(stats.optimizer_calls > 0);
+        assert!(plane.objective() > 0.0);
+    }
+
+    #[test]
+    fn registry_calibrates_once_per_class() {
+        let plane = small_fleet();
+        // Same hardware class: both occupied machines hold the *same*
+        // calibrated model, fitted exactly once through the registry.
+        let kind = plane.machine(0).tenant(0).engine.kind();
+        assert_eq!(
+            plane.machine(0).calibration(kind),
+            plane.machine(1).calibration(kind)
+        );
+    }
+
+    #[test]
+    fn minor_drift_resolves_only_the_dirty_machine() {
+        let mut plane = small_fleet();
+        let outcome = plane.process_event(FleetEvent::WorkloadScaled {
+            machine: 0,
+            slot: 0,
+            factor: 1.5,
+        });
+        assert_eq!(outcome.resolved, vec![0], "only the host re-solves");
+        assert!(
+            outcome.migration.is_none(),
+            "intensity scaling is minor (§6.1)"
+        );
+        assert!(outcome.action.contains("minor"), "{}", outcome.action);
+        assert_eq!(plane.seq(), 1);
+        assert_eq!(plane.decision_log().len(), 1);
+    }
+
+    #[test]
+    fn unchanged_event_stream_costs_no_optimizer_calls_when_warm() {
+        let mut plane = small_fleet();
+        // Scaling by 1.0 leaves fingerprints unchanged: the warm solve
+        // returns the cached placement without touching the optimizer
+        // (the classification estimates hit the probe cache after the
+        // first event).
+        let first = plane.process_event(FleetEvent::WorkloadScaled {
+            machine: 1,
+            slot: 0,
+            factor: 1.0,
+        });
+        let second = plane.process_event(FleetEvent::WorkloadScaled {
+            machine: 1,
+            slot: 0,
+            factor: 1.0,
+        });
+        assert!(second.optimizer_calls <= first.optimizer_calls);
+        assert_eq!(second.optimizer_calls, 0, "{second:?}");
+    }
+
+    #[test]
+    fn cold_mode_matches_incremental_results_at_higher_cost() {
+        let build = || {
+            vec![
+                machine_with(&[("a0", 18, 2.0), ("a1", 6, 2.0)]),
+                machine_with(&[("b0", 1, 1.0)]),
+                machine_with(&[]),
+            ]
+        };
+        let spaces = vec![SearchSpace::cpu_only(0.25); 3];
+        let mut warm = ControlPlane::new(build(), spaces.clone(), ControlPlaneOptions::default());
+        let mut cold = ControlPlane::new(
+            build(),
+            spaces,
+            ControlPlaneOptions {
+                incremental: false,
+                ..ControlPlaneOptions::default()
+            },
+        );
+        let events = |_: ()| {
+            vec![
+                FleetEvent::WorkloadScaled {
+                    machine: 0,
+                    slot: 0,
+                    factor: 2.0,
+                },
+                FleetEvent::WorkloadScaled {
+                    machine: 0,
+                    slot: 0,
+                    factor: 1.0 / 2.0,
+                },
+                FleetEvent::WorkloadScaled {
+                    machine: 1,
+                    slot: 0,
+                    factor: 3.0,
+                },
+            ]
+        };
+        let mut warm_calls = 0;
+        let mut cold_calls = 0;
+        for (we, ce) in events(()).into_iter().zip(events(())) {
+            let w = warm.process_event(we);
+            let c = cold.process_event(ce);
+            assert_eq!(w.resolved, c.resolved);
+            assert_eq!(w.migration, c.migration);
+            assert_eq!(
+                w.objective.to_bits(),
+                c.objective.to_bits(),
+                "incremental and cold paths must agree bit-for-bit"
+            );
+            warm_calls += w.optimizer_calls;
+            cold_calls += c.optimizer_calls;
+        }
+        assert!(
+            warm_calls < cold_calls,
+            "warm {warm_calls} vs cold {cold_calls}"
+        );
+    }
+
+    #[test]
+    fn arrival_on_loaded_machine_reconciles_to_idle_machine() {
+        let mut plane = small_fleet();
+        let cat = tpch::catalog(0.1);
+        let tenant = Tenant::new("hot", Engine::pg(), cat, tpch::query_workload(18, 3.0)).unwrap();
+        // Arrives on the busiest machine while machine 2 sits idle: the
+        // reconcile pass should move it (no surcharge — same class).
+        let outcome = plane.process_event(FleetEvent::TenantArrived {
+            machine: 0,
+            tenant: Box::new(tenant),
+            qos: QoS::default(),
+        });
+        let mig = outcome.migration.as_ref().expect("expected a migration");
+        assert_eq!(mig.tenant, "hot");
+        assert_eq!(mig.from, 0);
+        assert_eq!(mig.to, 2, "least-loaded destination wins");
+        assert!(!mig.recalibrated, "same hardware class: model travels");
+        assert!(mig.estimated_gain > plane.options().migration_threshold);
+        assert_eq!(plane.machine(2).tenant_count(), 1);
+        assert!(plane.placements()[2].is_some());
+        assert_eq!(plane.stats().migrations, 1);
+    }
+
+    #[test]
+    fn departure_and_decommission_prune_dead_state() {
+        let mut plane = small_fleet();
+        let models_before = plane.probe_cache().export().len();
+        assert!(models_before > 0);
+        plane.process_event(FleetEvent::TenantDeparted {
+            machine: 1,
+            slot: 0,
+        });
+        assert_eq!(plane.machine(1).tenant_count(), 0);
+        assert!(plane.placements()[1].is_none());
+        // Decommission the now-empty machine: fleet shrinks, and the
+        // prune drops probe rows no live (model, tenant) can read.
+        plane.process_event(FleetEvent::MachineDecommissioned { machine: 1 });
+        assert_eq!(plane.machine_count(), 2);
+        let fingerprints: HashSet<u64> = plane
+            .probe_cache()
+            .export()
+            .iter()
+            .map(|&(_, tenant, _, _)| tenant)
+            .collect();
+        let live: HashSet<u64> = (0..plane.machine_count())
+            .flat_map(|m| (0..plane.machine(m).tenant_count()).map(move |i| (m, i)))
+            .map(|(m, i)| plane.machine(m).tenant(i).fingerprint())
+            .collect();
+        assert!(
+            fingerprints.is_subset(&live),
+            "pruned cache must only hold live tenants"
+        );
+    }
+
+    #[test]
+    fn decision_latencies_are_recorded_but_not_durable() {
+        let mut plane = small_fleet();
+        plane.process_event(FleetEvent::WorkloadScaled {
+            machine: 0,
+            slot: 0,
+            factor: 1.2,
+        });
+        assert_eq!(plane.latencies_ms().len(), 1);
+        assert!(plane.p99_latency_ms() >= 0.0);
+        let snap = plane.snapshot();
+        assert_eq!(snap.log.len(), 1);
+        // Latency is measurement, not state: Decision carries none.
+        assert!(plane.machine(0).tenant_count() > 0);
+    }
+
+    #[test]
+    fn heterogeneous_arrival_pays_recalibration_surcharge() {
+        let mut fast = PhysicalMachine::paper_testbed();
+        fast.core_ghz *= 2.0;
+        let machines = vec![
+            machine_with(&[("a0", 18, 2.0), ("a1", 6, 2.0)]),
+            machine_on(fast, &[]),
+        ];
+        let spaces = vec![SearchSpace::cpu_only(0.25); 2];
+        let mut plane = ControlPlane::new(
+            machines,
+            spaces,
+            ControlPlaneOptions {
+                // Surcharge so high no cross-class move can clear it.
+                recalibration_surcharge: 1e6,
+                ..ControlPlaneOptions::default()
+            },
+        );
+        let cat = tpch::catalog(0.1);
+        let tenant = Tenant::new("hot", Engine::pg(), cat, tpch::query_workload(18, 3.0)).unwrap();
+        let outcome = plane.process_event(FleetEvent::TenantArrived {
+            machine: 0,
+            tenant: Box::new(tenant),
+            qos: QoS::default(),
+        });
+        assert!(
+            outcome.migration.is_none(),
+            "prohibitive surcharge must gate the cross-class move: {outcome:?}"
+        );
+        assert_eq!(plane.machine(0).tenant_count(), 3);
+    }
+
+    #[test]
+    fn shards_group_by_hardware_and_space() {
+        let mut fast = PhysicalMachine::paper_testbed();
+        fast.core_ghz *= 2.0;
+        let machines = vec![
+            machine_with(&[("a", 6, 1.0)]),
+            machine_with(&[("b", 6, 1.0)]),
+            machine_on(fast, &[("c", 6, 1.0)]),
+        ];
+        let spaces = vec![SearchSpace::cpu_only(0.25); 3];
+        let plane = ControlPlane::new(machines, spaces, ControlPlaneOptions::default());
+        let shards = plane.shards();
+        assert_eq!(shards.len(), 2);
+        let sizes: Vec<usize> = shards.values().map(|v| v.len()).collect();
+        assert!(sizes.contains(&2) && sizes.contains(&1), "{shards:?}");
+    }
+
+    #[test]
+    fn default_allocation_reference_is_stable() {
+        // Guards the classification metric's reference point.
+        let space = SearchSpace::cpu_only(0.25);
+        let r = space.default_allocation(2);
+        assert_eq!(r, Allocation::new(0.5, 0.25));
+    }
+}

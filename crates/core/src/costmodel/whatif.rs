@@ -225,6 +225,53 @@ impl ProbeCache {
             .retain(|&(_, tenant), _| live.contains(&tenant));
     }
 
+    /// Drop every generation whose *model* fingerprint is not in
+    /// `live`. [`Self::retain_tenants`] reclaims drifted-workload
+    /// generations, but a machine *removed from the fleet* leaves its
+    /// calibration's generations behind with perfectly live tenant
+    /// fingerprints — nothing ever made them unreachable. Call this
+    /// with the fingerprints of the calibrations still installed
+    /// somewhere in the fleet whenever machines are decommissioned.
+    pub fn retain_models(&self, live: &std::collections::HashSet<u64>) {
+        self.inner
+            .lock()
+            .map
+            .retain(|&(model, _), _| live.contains(&model));
+    }
+
+    /// Every cached entry, flattened to `(model fingerprint, tenant
+    /// fingerprint, allocation key, estimate)` rows in a deterministic
+    /// order (sorted by generation, then allocation key) — the
+    /// snapshot export. Pair with [`Self::import`] to rebuild the
+    /// cache in a restarted process.
+    pub fn export(&self) -> Vec<(u64, u64, AllocKey, Estimate)> {
+        let inner = self.inner.lock();
+        let mut rows: Vec<(u64, u64, AllocKey, Estimate)> = inner
+            .map
+            .iter()
+            .flat_map(|(&(model, tenant), g)| {
+                g.iter().map(move |(&key, &est)| (model, tenant, key, est))
+            })
+            .collect();
+        rows.sort_by_key(|r| (r.0, r.1, r.2));
+        rows
+    }
+
+    /// Insert previously [`export`](Self::export)ed rows. Existing
+    /// entries under the same keys are overwritten; hit/miss counters
+    /// are untouched (they describe this process's lookups, not the
+    /// imported history).
+    pub fn import(&self, rows: &[(u64, u64, AllocKey, Estimate)]) {
+        let mut inner = self.inner.lock();
+        for &(model, tenant, key, est) in rows {
+            inner
+                .map
+                .entry((model, tenant))
+                .or_default()
+                .insert(key, est);
+        }
+    }
+
     /// Cache hits recorded over the cache's lifetime.
     pub fn hits(&self) -> u64 {
         self.inner.lock().hits
@@ -623,6 +670,70 @@ mod tests {
         let _ = recal.estimate(a);
         assert!(recal.optimizer_calls() > 0, "stale calibration served");
         assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn probe_cache_retain_models_evicts_removed_machines() {
+        // Regression: retain_tenants only keys on the tenant
+        // fingerprint, so decommissioning a machine left its
+        // calibration's generations alive forever — the tenants still
+        // exist, their fingerprints stay live, and the dead model's
+        // entries were never reclaimed.
+        let (hv, tenant) = setup();
+        let model = Calibrator::new(&hv).calibrate(&tenant.engine);
+        let mut spec = vda_vmm::PhysicalMachine::paper_testbed();
+        spec.core_ghz *= 2.0;
+        let removed = Calibrator::new(&Hypervisor::new(spec)).calibrate(&tenant.engine);
+
+        let cache = ProbeCache::new();
+        let a = Allocation::new(0.5, 0.5);
+        let _ = WhatIfEstimator::with_probe_cache(&tenant, &model, cache.clone()).estimate(a);
+        let _ = WhatIfEstimator::with_probe_cache(&tenant, &removed, cache.clone()).estimate(a);
+        assert_eq!(cache.len(), 2);
+
+        // Pruning by live tenants alone reclaims nothing — the tenant
+        // is still live under both models. This was the leak.
+        let live_tenants = std::collections::HashSet::from([tenant.fingerprint()]);
+        cache.retain_tenants(&live_tenants);
+        assert_eq!(cache.len(), 2, "tenant pruning cannot see dead machines");
+
+        // Pruning by the calibrations still installed in the fleet
+        // reclaims the removed machine's generation — and keeps the
+        // live one's entries warm.
+        let live_models = std::collections::HashSet::from([model.fingerprint()]);
+        cache.retain_models(&live_models);
+        assert_eq!(cache.len(), 1);
+        let warm = WhatIfEstimator::with_probe_cache(&tenant, &model, cache.clone());
+        warm.estimate(a);
+        assert_eq!(warm.optimizer_calls(), 0, "survivor entry must stay warm");
+    }
+
+    #[test]
+    fn probe_cache_export_import_round_trips() {
+        let (hv, tenant) = setup();
+        let model = Calibrator::new(&hv).calibrate(&tenant.engine);
+        let cache = ProbeCache::new();
+        let est = WhatIfEstimator::with_probe_cache(&tenant, &model, cache.clone());
+        est.estimate(Allocation::new(0.25, 0.5));
+        est.estimate(Allocation::new(0.75, 0.5));
+
+        let rows = cache.export();
+        assert_eq!(rows.len(), 2);
+        // Deterministic order: sorted by (model, tenant, key).
+        assert!(rows
+            .windows(2)
+            .all(|w| (w[0].0, w[0].1, w[0].2) < (w[1].0, w[1].1, w[1].2)));
+
+        // A restored cache serves the imported entries without
+        // re-probing.
+        let restored = ProbeCache::new();
+        restored.import(&rows);
+        assert_eq!(restored.len(), 2);
+        let warm = WhatIfEstimator::with_probe_cache(&tenant, &model, restored.clone());
+        let e = warm.estimate(Allocation::new(0.25, 0.5));
+        assert_eq!(warm.optimizer_calls(), 0);
+        assert_eq!(e, est.estimate(Allocation::new(0.25, 0.5)));
+        assert_eq!(restored.export(), rows);
     }
 
     #[test]

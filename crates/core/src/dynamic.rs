@@ -826,7 +826,7 @@ const MIGRATION_MIN_IMPROVEMENT: f64 = 1e-9;
 /// clears [`MIGRATION_MIN_IMPROVEMENT`], and the denominator is
 /// bounded below by [`MIGRATION_BASE_FLOOR`] so a near-zero `base`
 /// cannot manufacture a spurious gain.
-fn migration_gain(base: f64, obj: f64) -> Option<f64> {
+pub(crate) fn migration_gain(base: f64, obj: f64) -> Option<f64> {
     let improvement = base - obj;
     if !improvement.is_finite() || improvement <= MIGRATION_MIN_IMPROVEMENT {
         return None;
@@ -835,7 +835,7 @@ fn migration_gain(base: f64, obj: f64) -> Option<f64> {
 }
 
 /// Distinct mutable borrows of two vector slots.
-fn two_mut<T>(v: &mut [T], a: usize, b: usize) -> (&mut T, &mut T) {
+pub(crate) fn two_mut<T>(v: &mut [T], a: usize, b: usize) -> (&mut T, &mut T) {
     assert_ne!(a, b);
     if a < b {
         let (lo, hi) = v.split_at_mut(b);

@@ -1452,6 +1452,53 @@ impl WarmStart {
             ..WarmStart::default()
         };
     }
+
+    /// The durable part of the warm state: `(validity key,
+    /// per-workload fingerprints, window centers, last result)`, or
+    /// `None` when cold. The retained coarse DP lattice is *not*
+    /// exported — snapshots carry only what [`Self::restore`] needs,
+    /// and a restored drift-solve under finite limits falls back to a
+    /// cold re-solve whose probes the restored
+    /// [`ProbeCache`](crate::costmodel::ProbeCache) serves (see
+    /// `crate::snapshot`).
+    pub fn export(&self) -> Option<(u64, Vec<u64>, Vec<Allocation>, SearchResult)> {
+        let key = self.key?;
+        let last = self.last.clone()?;
+        Some((key, self.fingerprints.clone(), self.centers.clone(), last))
+    }
+
+    /// Cumulative counters as `(cold_solves, delta_solves,
+    /// lattice_reuses)` — exported alongside [`Self::export`] so the
+    /// solve-regime history survives a restart.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (self.cold_solves, self.delta_solves, self.lattice_reuses)
+    }
+
+    /// Rebuild a warm state from an [`export`](Self::export) and
+    /// [`counters`](Self::counters). The restored state serves a
+    /// no-drift period verbatim (zero optimizer calls) and seeds
+    /// drift-solves from the snapshot's optimum; it carries no coarse
+    /// lattice, so a drift under finite degradation limits cold
+    /// re-solves (the limit-boundary band cannot be reconstructed
+    /// without it — see [`coarse_to_fine_search_warm`]).
+    pub fn restore(
+        key: u64,
+        fingerprints: Vec<u64>,
+        centers: Vec<Allocation>,
+        last: SearchResult,
+        counters: (u64, u64, u64),
+    ) -> Self {
+        WarmStart {
+            key: Some(key),
+            fingerprints,
+            centers,
+            coarse: None,
+            last: Some(last),
+            cold_solves: counters.0,
+            delta_solves: counters.1,
+            lattice_reuses: counters.2,
+        }
+    }
 }
 
 /// The warm-start validity key: machine class (axis set, δs, fixed
@@ -1596,6 +1643,18 @@ pub fn coarse_to_fine_search_warm<M: CostModel>(
         warm.key = None;
         return try_exhaustive_search_with(space, qos, models, options);
     };
+    if warm.coarse.is_none() && qos.iter().any(|q| q.degradation_limit.is_finite()) {
+        // Finite limits but no retained coarse level — a snapshot-
+        // restored state (restore() drops the lattice), or a ladder
+        // that never produced one. The limit-boundary band cannot be
+        // rebuilt from what we have, and a band-less fine window may
+        // miss an optimum pressed against the limit boundary, so the
+        // bit-identical-to-cold contract forces a cold re-solve. The
+        // probes it issues are exactly the ones a restored ProbeCache
+        // holds, so a post-restart cold re-solve stays cheap in
+        // optimizer calls.
+        return cold_resolve(space, qos, models, c2f, options, key, fingerprints, warm);
+    }
     let changed: Vec<usize> = (0..n)
         .filter(|&i| warm.fingerprints[i] != fingerprints[i])
         .collect();

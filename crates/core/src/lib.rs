@@ -49,17 +49,23 @@
 //! together over the simulated substrate ([`vda_simdb`], [`vda_vmm`]).
 
 pub mod advisor;
+pub mod controlplane;
 pub mod costmodel;
 pub mod dynamic;
 pub mod enumerate;
+pub mod jsonio;
 pub mod metrics;
 pub mod placement;
 pub mod problem;
 pub mod refine;
+pub mod snapshot;
 pub mod tenant;
 
 pub use advisor::{
     Recommendation, TenantTransfer, TransferCalibration, VirtualizationDesignAdvisor,
+};
+pub use controlplane::{
+    ControlPlane, ControlPlaneOptions, ControlPlaneStats, Decision, EventOutcome, FleetEvent,
 };
 pub use costmodel::{
     ActualCostModel, CalibratedModel, Calibrator, CostModel, Estimate, FnCostModel, ProbeCache,
@@ -83,4 +89,5 @@ pub use placement::{
 };
 pub use problem::{Allocation, QoS, Resource, SearchSpace};
 pub use refine::{RefineOptions, RefinedModel, RefinementOutcome};
+pub use snapshot::{FleetSnapshot, MachineSnapshot, WarmSnapshot};
 pub use tenant::{BoundStatement, Tenant};

@@ -74,6 +74,23 @@ pub fn degradation(cost_at_alloc: f64, cost_at_full: f64) -> f64 {
     cost_at_alloc / cost_at_full
 }
 
+/// Nearest-rank percentile of a sample set (`p` in `[0, 100]`), the
+/// convention operators expect from latency dashboards: the smallest
+/// sample ≥ `p`% of the distribution. The control plane reports its
+/// per-event decision latency through this (`p = 99.0` for the bench's
+/// p99). Non-finite samples are ignored; returns `0.0` for an empty
+/// (or all-non-finite) set.
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+    let mut sorted: Vec<f64> = samples.iter().copied().filter(|x| x.is_finite()).collect();
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -109,5 +126,21 @@ mod tests {
     #[should_panic(expected = "default cost")]
     fn improvement_rejects_zero_baseline() {
         let _ = relative_improvement(0.0, 1.0);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let samples = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(percentile(&samples, 0.0), 1.0);
+        assert_eq!(percentile(&samples, 50.0), 3.0);
+        assert_eq!(percentile(&samples, 90.0), 5.0);
+        assert_eq!(percentile(&samples, 100.0), 5.0);
+        // Single sample: every percentile is that sample.
+        assert_eq!(percentile(&[7.0], 99.0), 7.0);
+        // Empty and non-finite inputs degrade to zero.
+        assert_eq!(percentile(&[], 99.0), 0.0);
+        assert_eq!(percentile(&[f64::NAN, f64::INFINITY], 99.0), 0.0);
+        // Non-finite samples are skipped, not counted.
+        assert_eq!(percentile(&[f64::NAN, 2.0, 1.0], 50.0), 1.0);
     }
 }

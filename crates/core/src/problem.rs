@@ -164,6 +164,12 @@ impl ResourceVector {
     /// Compat shim: the paper's two-field constructor. Disk and
     /// network default to a full share (the M = 2 environment: the VM
     /// sees the whole, uncontrolled device).
+    ///
+    /// **Deprecation note:** this is the legacy `(cpu, memory)` pair
+    /// kept for the paper-era call sites; new code should build
+    /// vectors axis-by-axis with [`ResourceVector::from_fn`],
+    /// [`ResourceVector::splat`], or [`ResourceVector::with`], which
+    /// extend to every [`Resource`] axis instead of hard-coding two.
     pub const fn new(cpu: f64, memory: f64) -> Self {
         let mut shares = [1.0; Resource::COUNT];
         shares[Resource::Cpu.index()] = cpu;
@@ -178,11 +184,19 @@ impl ResourceVector {
     }
 
     /// Compat accessor: the CPU share.
+    ///
+    /// **Deprecation note:** shorthand for
+    /// `get(Resource::Cpu)` — prefer [`ResourceVector::get`] in code
+    /// that iterates or abstracts over axes.
     pub const fn cpu(&self) -> f64 {
         self.shares[Resource::Cpu.index()]
     }
 
     /// Compat accessor: the memory share.
+    ///
+    /// **Deprecation note:** shorthand for
+    /// `get(Resource::Memory)` — prefer [`ResourceVector::get`] in
+    /// code that iterates or abstracts over axes.
     pub const fn memory(&self) -> f64 {
         self.shares[Resource::Memory.index()]
     }
@@ -348,6 +362,11 @@ impl SearchSpace {
 
     /// CPU-only search (§7.3, §7.6): memory fixed at `mem_share` for
     /// every VM.
+    ///
+    /// **Deprecation note:** one of the three paper-era presets over
+    /// [`SearchSpace::over`]; code choosing axes dynamically should
+    /// call `over` with an explicit [`AxisSet`] rather than matching
+    /// on preset names.
     pub fn cpu_only(mem_share: f64) -> Self {
         Self::over(
             AxisSet::of(&[Resource::Cpu]),
@@ -356,6 +375,10 @@ impl SearchSpace {
     }
 
     /// Memory-only search (§7.4): CPU fixed at `cpu_share`.
+    ///
+    /// **Deprecation note:** paper-era preset — see the note on
+    /// [`SearchSpace::cpu_only`]; prefer [`SearchSpace::over`] for
+    /// axis-generic code.
     pub fn memory_only(cpu_share: f64) -> Self {
         Self::over(
             AxisSet::of(&[Resource::Memory]),
@@ -364,6 +387,10 @@ impl SearchSpace {
     }
 
     /// Joint CPU + memory search (§7.7).
+    ///
+    /// **Deprecation note:** paper-era preset — see the note on
+    /// [`SearchSpace::cpu_only`]; prefer [`SearchSpace::over`] for
+    /// axis-generic code.
     pub fn cpu_and_memory() -> Self {
         Self::over(
             AxisSet::of(&[Resource::Cpu, Resource::Memory]),

@@ -1,0 +1,865 @@
+//! Durable control-plane snapshots.
+//!
+//! [`FleetSnapshot`] is the serialized form of everything a
+//! [`ControlPlane`](crate::controlplane::ControlPlane) has *earned*:
+//! calibrated models (expensive benchmark runs), the class registry,
+//! current placements, each machine's warm-start export, the fleet
+//! probe cache, and the decision log. A restarted process feeds it to
+//! [`ControlPlane::restore`](crate::controlplane::ControlPlane::restore)
+//! and resumes at delta-solve cost with bit-identical results.
+//!
+//! The wire format is the repo's hand-rolled JSON ([`crate::jsonio`]),
+//! with two schema-level conventions on top of it:
+//!
+//! - every `f64` round-trips **exactly** (shortest-round-trip
+//!   formatting, see the [`crate::jsonio`] module docs), which is what
+//!   makes restored calibrations keep their fingerprints and restored
+//!   solves stay bit-identical;
+//! - `u64` fingerprints and keys are encoded as 16-char hex *strings*
+//!   ([`crate::jsonio::Json::hex_u64`]) — values above 2⁵³ do not
+//!   survive a JSON number.
+//!
+//! See `docs/FORMATS.md` for the field-by-field schema.
+
+use crate::controlplane::Decision;
+use crate::costmodel::calibration::{CalibratedModel, CalibrationCost, CpuFits, IoConstants};
+use crate::costmodel::whatif::Estimate;
+use crate::costmodel::Renormalizer;
+use crate::dynamic::Migration;
+use crate::enumerate::{SearchResult, TraceStep};
+use crate::jsonio::{self, Json};
+use crate::problem::{AllocKey, Allocation, Resource, ResourceVector};
+use vda_simdb::engines::EngineKind;
+use vda_stats::LinearFit;
+
+/// Format marker written into every snapshot.
+const FORMAT: &str = "vda-fleet-snapshot";
+/// Schema version this module reads and writes.
+const VERSION: f64 = 1.0;
+
+/// One machine's durable state inside a [`FleetSnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineSnapshot {
+    /// Hardware fingerprint
+    /// ([`vda_vmm::PhysicalMachine::fingerprint`]) — restore-time
+    /// validation: a snapshot never resumes onto different hardware.
+    pub hardware: u64,
+    /// Per-slot tenant fingerprints, in slot order — restore-time
+    /// validation of the reconstructed tenant set.
+    pub tenants: Vec<u64>,
+    /// Every calibrated model the machine holds, by engine kind.
+    pub calibrations: Vec<(EngineKind, CalibratedModel)>,
+    /// The machine's current placement (`None` while empty).
+    pub placement: Option<SearchResult>,
+    /// The warm-start export (`None` when the machine was cold).
+    pub warm: Option<WarmSnapshot>,
+    /// Cumulative `(cold_solves, delta_solves, lattice_reuses)`.
+    pub warm_counters: (u64, u64, u64),
+}
+
+/// A machine's exported warm-start state (see
+/// [`crate::enumerate::WarmStart::export`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WarmSnapshot {
+    /// The warm key (space + QoS + models + ladder fingerprint).
+    pub key: u64,
+    /// Per-tenant workload fingerprints of the last solve.
+    pub fingerprints: Vec<u64>,
+    /// Fine-window centers of the last solve.
+    pub centers: Vec<Allocation>,
+    /// The last solve's full result.
+    pub last: SearchResult,
+}
+
+/// The durable state of a whole
+/// [`ControlPlane`](crate::controlplane::ControlPlane).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetSnapshot {
+    /// Events processed when the snapshot was taken.
+    pub seq: u64,
+    /// Cumulative optimizer-call counter.
+    pub optimizer_calls: u64,
+    /// Cumulative per-machine re-solve counter.
+    pub resolves: u64,
+    /// Cumulative migration counter.
+    pub migrations: u64,
+    /// Per-machine durable state, in machine-index order.
+    pub machines: Vec<MachineSnapshot>,
+    /// The class calibration registry: `(hardware fingerprint, engine
+    /// kind, model)` rows, sorted for deterministic output.
+    pub registry: Vec<(u64, EngineKind, CalibratedModel)>,
+    /// The fleet probe cache: `(model fingerprint, tenant fingerprint,
+    /// allocation key, estimate)` rows, sorted (see
+    /// [`crate::costmodel::whatif::ProbeCache::export`]).
+    pub probes: Vec<(u64, u64, AllocKey, Estimate)>,
+    /// The decision log.
+    pub log: Vec<Decision>,
+}
+
+impl FleetSnapshot {
+    /// Serialize to the snapshot JSON format (compact, deterministic:
+    /// the same snapshot always produces the same bytes).
+    pub fn to_json(&self) -> String {
+        let machines = Json::Arr(self.machines.iter().map(machine_to_json).collect());
+        let registry = Json::Arr(
+            self.registry
+                .iter()
+                .map(|(hw, kind, model)| {
+                    obj(vec![
+                        ("hardware", Json::hex_u64(*hw)),
+                        ("kind", kind_to_json(*kind)),
+                        ("model", model_to_json(model)),
+                    ])
+                })
+                .collect(),
+        );
+        let probes = Json::Arr(
+            self.probes
+                .iter()
+                .map(|(model, tenant, key, est)| {
+                    obj(vec![
+                        ("model", Json::hex_u64(*model)),
+                        ("tenant", Json::hex_u64(*tenant)),
+                        (
+                            "key",
+                            Json::Arr(key.iter().map(|&k| Json::Num(k as f64)).collect()),
+                        ),
+                        ("estimate", estimate_to_json(est)),
+                    ])
+                })
+                .collect(),
+        );
+        let log = Json::Arr(self.log.iter().map(decision_to_json).collect());
+        let root = obj(vec![
+            ("format", Json::Str(FORMAT.to_string())),
+            ("version", Json::Num(VERSION)),
+            ("seq", Json::Num(self.seq as f64)),
+            ("optimizer_calls", Json::Num(self.optimizer_calls as f64)),
+            ("resolves", Json::Num(self.resolves as f64)),
+            ("migrations", Json::Num(self.migrations as f64)),
+            ("machines", machines),
+            ("registry", registry),
+            ("probes", probes),
+            ("log", log),
+        ]);
+        jsonio::write(&root)
+    }
+
+    /// Parse a snapshot previously produced by [`Self::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first structural problem
+    /// (bad JSON, wrong format marker, unknown version, missing or
+    /// mistyped field).
+    pub fn from_json(input: &str) -> Result<FleetSnapshot, String> {
+        let root = jsonio::parse(input)?;
+        let format = str_field(&root, "format")?;
+        if format != FORMAT {
+            return Err(format!("not a fleet snapshot (format {format:?})"));
+        }
+        let version = f64_field(&root, "version")?;
+        if version != VERSION {
+            return Err(format!("unsupported snapshot version {version}"));
+        }
+        let machines = arr_field(&root, "machines")?
+            .iter()
+            .map(machine_from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        let registry = arr_field(&root, "registry")?
+            .iter()
+            .map(|j| {
+                Ok((
+                    hex_field(j, "hardware")?,
+                    kind_from_json(field(j, "kind")?)?,
+                    model_from_json(field(j, "model")?)?,
+                ))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let probes = arr_field(&root, "probes")?
+            .iter()
+            .map(|j| {
+                let key_arr = arr_field(j, "key")?;
+                if key_arr.len() != Resource::COUNT {
+                    return Err(format!("probe key must have {} axes", Resource::COUNT));
+                }
+                let mut key: AllocKey = [0; Resource::COUNT];
+                for (slot, item) in key.iter_mut().zip(key_arr) {
+                    *slot = item.as_f64().ok_or("probe key entries must be numbers")? as u32;
+                }
+                Ok((
+                    hex_field(j, "model")?,
+                    hex_field(j, "tenant")?,
+                    key,
+                    estimate_from_json(field(j, "estimate")?)?,
+                ))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let log = arr_field(&root, "log")?
+            .iter()
+            .map(decision_from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(FleetSnapshot {
+            seq: u64_field(&root, "seq")?,
+            optimizer_calls: u64_field(&root, "optimizer_calls")?,
+            resolves: u64_field(&root, "resolves")?,
+            migrations: u64_field(&root, "migrations")?,
+            machines,
+            registry,
+            probes,
+            log,
+        })
+    }
+}
+
+// ----------------------------------------------------------------------
+// Building blocks: writers
+// ----------------------------------------------------------------------
+
+fn obj(fields: Vec<(&str, Json)>) -> Json {
+    Json::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn machine_to_json(m: &MachineSnapshot) -> Json {
+    let calibrations = Json::Arr(
+        m.calibrations
+            .iter()
+            .map(|(kind, model)| {
+                obj(vec![
+                    ("kind", kind_to_json(*kind)),
+                    ("model", model_to_json(model)),
+                ])
+            })
+            .collect(),
+    );
+    let warm = match &m.warm {
+        None => Json::Null,
+        Some(w) => obj(vec![
+            ("key", Json::hex_u64(w.key)),
+            (
+                "fingerprints",
+                Json::Arr(w.fingerprints.iter().map(|&f| Json::hex_u64(f)).collect()),
+            ),
+            (
+                "centers",
+                Json::Arr(w.centers.iter().map(alloc_to_json).collect()),
+            ),
+            ("last", result_to_json(&w.last)),
+        ]),
+    };
+    let (cold, delta, reuses) = m.warm_counters;
+    obj(vec![
+        ("hardware", Json::hex_u64(m.hardware)),
+        (
+            "tenants",
+            Json::Arr(m.tenants.iter().map(|&f| Json::hex_u64(f)).collect()),
+        ),
+        ("calibrations", calibrations),
+        (
+            "placement",
+            m.placement.as_ref().map_or(Json::Null, result_to_json),
+        ),
+        ("warm", warm),
+        (
+            "warm_counters",
+            Json::Arr(vec![
+                Json::Num(cold as f64),
+                Json::Num(delta as f64),
+                Json::Num(reuses as f64),
+            ]),
+        ),
+    ])
+}
+
+fn kind_to_json(kind: EngineKind) -> Json {
+    Json::Str(kind.name().to_string())
+}
+
+fn alloc_to_json(a: &Allocation) -> Json {
+    Json::Arr(Resource::ALL.iter().map(|&r| Json::Num(a.get(r))).collect())
+}
+
+fn result_to_json(r: &SearchResult) -> Json {
+    obj(vec![
+        (
+            "allocations",
+            Json::Arr(r.allocations.iter().map(alloc_to_json).collect()),
+        ),
+        ("weighted_cost", Json::Num(r.weighted_cost)),
+        (
+            "costs",
+            Json::Arr(r.costs.iter().map(|&c| Json::Num(c)).collect()),
+        ),
+        ("iterations", Json::Num(r.iterations as f64)),
+        (
+            "trace",
+            Json::Arr(
+                r.trace
+                    .iter()
+                    .map(|s| {
+                        obj(vec![
+                            ("resource", Json::Num(s.resource.index() as f64)),
+                            ("winner", Json::Num(s.winner as f64)),
+                            ("loser", Json::Num(s.loser as f64)),
+                            ("improvement", Json::Num(s.improvement)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "limits_met",
+            Json::Arr(r.limits_met.iter().map(|&b| Json::Bool(b)).collect()),
+        ),
+    ])
+}
+
+fn estimate_to_json(e: &Estimate) -> Json {
+    obj(vec![
+        ("seconds", Json::Num(e.seconds)),
+        ("plan_regime", Json::hex_u64(e.plan_regime)),
+        (
+            "avg_cost_per_statement",
+            Json::Num(e.avg_cost_per_statement),
+        ),
+    ])
+}
+
+fn fit_to_json(f: &LinearFit) -> Json {
+    obj(vec![
+        ("intercept", Json::Num(f.intercept)),
+        ("slope", Json::Num(f.slope)),
+        ("r_squared", Json::Num(f.r_squared)),
+    ])
+}
+
+fn model_to_json(m: &CalibratedModel) -> Json {
+    let cpu_fits = match &m.cpu_fits {
+        CpuFits::Pg {
+            tuple,
+            operator,
+            index_tuple,
+        } => obj(vec![
+            ("variant", Json::Str("pg".to_string())),
+            ("tuple", fit_to_json(tuple)),
+            ("operator", fit_to_json(operator)),
+            ("index_tuple", fit_to_json(index_tuple)),
+        ]),
+        CpuFits::Db2 { cpuspeed } => obj(vec![
+            ("variant", Json::Str("db2".to_string())),
+            ("cpuspeed", fit_to_json(cpuspeed)),
+        ]),
+    };
+    let io = match m.io {
+        IoConstants::Pg { random_page_cost } => obj(vec![
+            ("variant", Json::Str("pg".to_string())),
+            ("random_page_cost", Json::Num(random_page_cost)),
+        ]),
+        IoConstants::Db2 {
+            overhead_ms,
+            transfer_rate_ms,
+        } => obj(vec![
+            ("variant", Json::Str("db2".to_string())),
+            ("overhead_ms", Json::Num(overhead_ms)),
+            ("transfer_rate_ms", Json::Num(transfer_rate_ms)),
+        ]),
+    };
+    let renorm = match m.renorm {
+        Renormalizer::SecondsPerUnit { secs_per_unit } => obj(vec![
+            ("variant", Json::Str("seconds_per_unit".to_string())),
+            ("secs_per_unit", Json::Num(secs_per_unit)),
+        ]),
+        Renormalizer::Regression { slope, intercept } => obj(vec![
+            ("variant", Json::Str("regression".to_string())),
+            ("slope", Json::Num(slope)),
+            ("intercept", Json::Num(intercept)),
+        ]),
+    };
+    obj(vec![
+        ("kind", kind_to_json(m.kind)),
+        ("machine_mem_mb", Json::Num(m.machine_mem_mb)),
+        ("cpu_fits", cpu_fits),
+        ("io", io),
+        (
+            "disk_fit",
+            m.disk_fit.as_ref().map_or(Json::Null, fit_to_json),
+        ),
+        ("renorm", renorm),
+        (
+            "cost",
+            obj(vec![
+                ("simulated_seconds", Json::Num(m.cost.simulated_seconds)),
+                (
+                    "vm_configurations",
+                    Json::Num(m.cost.vm_configurations as f64),
+                ),
+                ("queries_run", Json::Num(m.cost.queries_run as f64)),
+            ]),
+        ),
+    ])
+}
+
+fn decision_to_json(d: &Decision) -> Json {
+    let migration = match &d.migration {
+        None => Json::Null,
+        Some(m) => obj(vec![
+            ("tenant", Json::Str(m.tenant.clone())),
+            ("from", Json::Num(m.from as f64)),
+            ("to", Json::Num(m.to as f64)),
+            ("estimated_gain", Json::Num(m.estimated_gain)),
+            ("recalibrated", Json::Bool(m.recalibrated)),
+        ]),
+    };
+    obj(vec![
+        ("seq", Json::Num(d.seq as f64)),
+        ("action", Json::Str(d.action.clone())),
+        (
+            "resolved",
+            Json::Arr(d.resolved.iter().map(|&m| Json::Num(m as f64)).collect()),
+        ),
+        ("migration", migration),
+        ("objective", Json::Num(d.objective)),
+    ])
+}
+
+// ----------------------------------------------------------------------
+// Building blocks: readers
+// ----------------------------------------------------------------------
+
+fn field<'a>(j: &'a Json, key: &str) -> Result<&'a Json, String> {
+    j.get(key).ok_or_else(|| format!("missing field {key:?}"))
+}
+
+fn f64_field(j: &Json, key: &str) -> Result<f64, String> {
+    field(j, key)?
+        .as_f64()
+        .ok_or_else(|| format!("field {key:?} must be a number"))
+}
+
+fn u64_field(j: &Json, key: &str) -> Result<u64, String> {
+    let x = f64_field(j, key)?;
+    if x < 0.0 || x.fract() != 0.0 {
+        return Err(format!("field {key:?} must be a non-negative integer"));
+    }
+    Ok(x as u64)
+}
+
+fn usize_field(j: &Json, key: &str) -> Result<usize, String> {
+    Ok(u64_field(j, key)? as usize)
+}
+
+fn hex_field(j: &Json, key: &str) -> Result<u64, String> {
+    field(j, key)?
+        .as_hex_u64()
+        .ok_or_else(|| format!("field {key:?} must be a hex-u64 string"))
+}
+
+fn str_field<'a>(j: &'a Json, key: &str) -> Result<&'a str, String> {
+    field(j, key)?
+        .as_str()
+        .ok_or_else(|| format!("field {key:?} must be a string"))
+}
+
+fn bool_field(j: &Json, key: &str) -> Result<bool, String> {
+    field(j, key)?
+        .as_bool()
+        .ok_or_else(|| format!("field {key:?} must be a boolean"))
+}
+
+fn arr_field<'a>(j: &'a Json, key: &str) -> Result<&'a [Json], String> {
+    field(j, key)?
+        .as_arr()
+        .ok_or_else(|| format!("field {key:?} must be an array"))
+}
+
+fn hex_arr(j: &Json, key: &str) -> Result<Vec<u64>, String> {
+    arr_field(j, key)?
+        .iter()
+        .map(|v| {
+            v.as_hex_u64()
+                .ok_or_else(|| format!("field {key:?} entries must be hex-u64 strings"))
+        })
+        .collect()
+}
+
+fn kind_from_json(j: &Json) -> Result<EngineKind, String> {
+    match j.as_str() {
+        Some("pgsim") => Ok(EngineKind::PgSim),
+        Some("db2sim") => Ok(EngineKind::Db2Sim),
+        other => Err(format!("unknown engine kind {other:?}")),
+    }
+}
+
+fn alloc_from_json(j: &Json) -> Result<Allocation, String> {
+    let items = j.as_arr().ok_or("allocation must be an array")?;
+    if items.len() != Resource::COUNT {
+        return Err(format!("allocation must have {} axes", Resource::COUNT));
+    }
+    let mut shares = [0.0; Resource::COUNT];
+    for (slot, item) in shares.iter_mut().zip(items) {
+        *slot = item.as_f64().ok_or("allocation entries must be numbers")?;
+    }
+    Ok(ResourceVector::from_fn(|r| shares[r.index()]))
+}
+
+fn result_from_json(j: &Json) -> Result<SearchResult, String> {
+    let allocations = arr_field(j, "allocations")?
+        .iter()
+        .map(alloc_from_json)
+        .collect::<Result<Vec<_>, _>>()?;
+    let costs = arr_field(j, "costs")?
+        .iter()
+        .map(|v| {
+            v.as_f64()
+                .ok_or("costs entries must be numbers".to_string())
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let trace = arr_field(j, "trace")?
+        .iter()
+        .map(|s| {
+            let idx = usize_field(s, "resource")?;
+            let resource = *Resource::ALL
+                .get(idx)
+                .ok_or_else(|| format!("unknown resource index {idx}"))?;
+            Ok(TraceStep {
+                resource,
+                winner: usize_field(s, "winner")?,
+                loser: usize_field(s, "loser")?,
+                improvement: f64_field(s, "improvement")?,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let limits_met = arr_field(j, "limits_met")?
+        .iter()
+        .map(|v| {
+            v.as_bool()
+                .ok_or("limits_met entries must be booleans".to_string())
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(SearchResult {
+        allocations,
+        weighted_cost: f64_field(j, "weighted_cost")?,
+        costs,
+        iterations: usize_field(j, "iterations")?,
+        trace,
+        limits_met,
+    })
+}
+
+fn estimate_from_json(j: &Json) -> Result<Estimate, String> {
+    Ok(Estimate {
+        seconds: f64_field(j, "seconds")?,
+        plan_regime: hex_field(j, "plan_regime")?,
+        avg_cost_per_statement: f64_field(j, "avg_cost_per_statement")?,
+    })
+}
+
+fn fit_from_json(j: &Json) -> Result<LinearFit, String> {
+    Ok(LinearFit {
+        intercept: f64_field(j, "intercept")?,
+        slope: f64_field(j, "slope")?,
+        r_squared: f64_field(j, "r_squared")?,
+    })
+}
+
+fn model_from_json(j: &Json) -> Result<CalibratedModel, String> {
+    let cpu = field(j, "cpu_fits")?;
+    let cpu_fits = match str_field(cpu, "variant")? {
+        "pg" => CpuFits::Pg {
+            tuple: fit_from_json(field(cpu, "tuple")?)?,
+            operator: fit_from_json(field(cpu, "operator")?)?,
+            index_tuple: fit_from_json(field(cpu, "index_tuple")?)?,
+        },
+        "db2" => CpuFits::Db2 {
+            cpuspeed: fit_from_json(field(cpu, "cpuspeed")?)?,
+        },
+        other => return Err(format!("unknown cpu_fits variant {other:?}")),
+    };
+    let io_j = field(j, "io")?;
+    let io = match str_field(io_j, "variant")? {
+        "pg" => IoConstants::Pg {
+            random_page_cost: f64_field(io_j, "random_page_cost")?,
+        },
+        "db2" => IoConstants::Db2 {
+            overhead_ms: f64_field(io_j, "overhead_ms")?,
+            transfer_rate_ms: f64_field(io_j, "transfer_rate_ms")?,
+        },
+        other => return Err(format!("unknown io variant {other:?}")),
+    };
+    let renorm_j = field(j, "renorm")?;
+    let renorm = match str_field(renorm_j, "variant")? {
+        "seconds_per_unit" => Renormalizer::SecondsPerUnit {
+            secs_per_unit: f64_field(renorm_j, "secs_per_unit")?,
+        },
+        "regression" => Renormalizer::Regression {
+            slope: f64_field(renorm_j, "slope")?,
+            intercept: f64_field(renorm_j, "intercept")?,
+        },
+        other => return Err(format!("unknown renorm variant {other:?}")),
+    };
+    let disk_fit = match field(j, "disk_fit")? {
+        Json::Null => None,
+        fit => Some(fit_from_json(fit)?),
+    };
+    let cost_j = field(j, "cost")?;
+    Ok(CalibratedModel {
+        kind: kind_from_json(field(j, "kind")?)?,
+        machine_mem_mb: f64_field(j, "machine_mem_mb")?,
+        cpu_fits,
+        io,
+        disk_fit,
+        renorm,
+        cost: CalibrationCost {
+            simulated_seconds: f64_field(cost_j, "simulated_seconds")?,
+            vm_configurations: usize_field(cost_j, "vm_configurations")?,
+            queries_run: usize_field(cost_j, "queries_run")?,
+        },
+    })
+}
+
+fn decision_from_json(j: &Json) -> Result<Decision, String> {
+    let migration = match field(j, "migration")? {
+        Json::Null => None,
+        m => Some(Migration {
+            tenant: str_field(m, "tenant")?.to_string(),
+            from: usize_field(m, "from")?,
+            to: usize_field(m, "to")?,
+            estimated_gain: f64_field(m, "estimated_gain")?,
+            recalibrated: bool_field(m, "recalibrated")?,
+        }),
+    };
+    let resolved = arr_field(j, "resolved")?
+        .iter()
+        .map(|v| {
+            v.as_f64()
+                .filter(|x| *x >= 0.0 && x.fract() == 0.0)
+                .map(|x| x as usize)
+                .ok_or("resolved entries must be machine indices".to_string())
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(Decision {
+        seq: u64_field(j, "seq")?,
+        action: str_field(j, "action")?.to_string(),
+        resolved,
+        migration,
+        objective: f64_field(j, "objective")?,
+    })
+}
+
+fn machine_from_json(j: &Json) -> Result<MachineSnapshot, String> {
+    let calibrations = arr_field(j, "calibrations")?
+        .iter()
+        .map(|c| {
+            Ok((
+                kind_from_json(field(c, "kind")?)?,
+                model_from_json(field(c, "model")?)?,
+            ))
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let placement = match field(j, "placement")? {
+        Json::Null => None,
+        p => Some(result_from_json(p)?),
+    };
+    let warm = match field(j, "warm")? {
+        Json::Null => None,
+        w => Some(WarmSnapshot {
+            key: hex_field(w, "key")?,
+            fingerprints: hex_arr(w, "fingerprints")?,
+            centers: arr_field(w, "centers")?
+                .iter()
+                .map(alloc_from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+            last: result_from_json(field(w, "last")?)?,
+        }),
+    };
+    let counters = arr_field(j, "warm_counters")?;
+    if counters.len() != 3 {
+        return Err("warm_counters must have 3 entries".to_string());
+    }
+    let counter = |i: usize| -> Result<u64, String> {
+        counters[i]
+            .as_f64()
+            .filter(|x| *x >= 0.0 && x.fract() == 0.0)
+            .map(|x| x as u64)
+            .ok_or("warm_counters entries must be non-negative integers".to_string())
+    };
+    Ok(MachineSnapshot {
+        hardware: hex_field(j, "hardware")?,
+        tenants: hex_arr(j, "tenants")?,
+        calibrations,
+        placement,
+        warm,
+        warm_counters: (counter(0)?, counter(1)?, counter(2)?),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_model() -> CalibratedModel {
+        CalibratedModel {
+            kind: EngineKind::PgSim,
+            machine_mem_mb: 1024.0,
+            cpu_fits: CpuFits::Pg {
+                tuple: LinearFit {
+                    intercept: 0.01,
+                    slope: 0.1,
+                    r_squared: 0.999,
+                },
+                operator: LinearFit {
+                    intercept: 0.0025,
+                    slope: 1.0 / 3.0,
+                    r_squared: 1.0,
+                },
+                index_tuple: LinearFit {
+                    intercept: 0.005,
+                    slope: 0.05,
+                    r_squared: 0.98,
+                },
+            },
+            io: IoConstants::Pg {
+                random_page_cost: 4.0,
+            },
+            disk_fit: Some(LinearFit {
+                intercept: 0.1,
+                slope: 0.9,
+                r_squared: 0.97,
+            }),
+            renorm: Renormalizer::SecondsPerUnit {
+                secs_per_unit: 1e-4,
+            },
+            cost: CalibrationCost {
+                simulated_seconds: 12.5,
+                vm_configurations: 6,
+                queries_run: 42,
+            },
+        }
+    }
+
+    fn sample_result() -> SearchResult {
+        SearchResult {
+            allocations: vec![Allocation::new(0.6, 0.5), Allocation::new(0.4, 0.5)],
+            weighted_cost: 123.456789,
+            costs: vec![100.0 / 3.0, 90.1],
+            iterations: 7,
+            trace: vec![TraceStep {
+                resource: Resource::Cpu,
+                winner: 0,
+                loser: 1,
+                improvement: 0.25,
+            }],
+            limits_met: vec![true, false],
+        }
+    }
+
+    fn sample_snapshot() -> FleetSnapshot {
+        let model = sample_model();
+        FleetSnapshot {
+            seq: 75,
+            optimizer_calls: 4321,
+            resolves: 99,
+            migrations: 3,
+            machines: vec![
+                MachineSnapshot {
+                    hardware: u64::MAX - 17,
+                    tenants: vec![(1 << 60) + 3, 42],
+                    calibrations: vec![(EngineKind::PgSim, model.clone())],
+                    placement: Some(sample_result()),
+                    warm: Some(WarmSnapshot {
+                        key: 0xdead_beef_cafe_f00d,
+                        fingerprints: vec![(1 << 60) + 3, 42],
+                        centers: vec![Allocation::new(0.6, 0.5), Allocation::new(0.4, 0.5)],
+                        last: sample_result(),
+                    }),
+                    warm_counters: (4, 17, 9),
+                },
+                MachineSnapshot {
+                    hardware: 7,
+                    tenants: vec![],
+                    calibrations: vec![],
+                    placement: None,
+                    warm: None,
+                    warm_counters: (0, 0, 0),
+                },
+            ],
+            registry: vec![(u64::MAX - 17, EngineKind::PgSim, model)],
+            probes: vec![(
+                0x0123_4567_89ab_cdef,
+                42,
+                [5000, 5000, 10000, 10000],
+                Estimate {
+                    seconds: 0.1 + 0.2, // deliberately awkward bits
+                    plan_regime: (1 << 53) + 1,
+                    avg_cost_per_statement: 1e-300,
+                },
+            )],
+            log: vec![Decision {
+                seq: 75,
+                action: "workload-changed m0 t1 (major)".to_string(),
+                resolved: vec![0, 1],
+                migration: Some(Migration {
+                    tenant: "hot".to_string(),
+                    from: 0,
+                    to: 1,
+                    estimated_gain: 0.0625,
+                    recalibrated: true,
+                }),
+                objective: 98.7654321,
+            }],
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips_bit_for_bit() {
+        let snap = sample_snapshot();
+        let json = snap.to_json();
+        let back = FleetSnapshot::from_json(&json).unwrap();
+        assert_eq!(snap, back);
+        // Exactness down to the float bits that PartialEq would let
+        // slide (e.g. -0.0 == 0.0).
+        assert_eq!(
+            snap.probes[0].3.seconds.to_bits(),
+            back.probes[0].3.seconds.to_bits()
+        );
+        // Determinism: same state, same bytes.
+        assert_eq!(json, back.to_json());
+    }
+
+    #[test]
+    fn snapshot_rejects_foreign_and_versioned_input() {
+        assert!(FleetSnapshot::from_json("{}").is_err());
+        assert!(FleetSnapshot::from_json("not json").is_err());
+        let wrong_format = r#"{"format": "other", "version": 1}"#;
+        assert!(FleetSnapshot::from_json(wrong_format)
+            .unwrap_err()
+            .contains("format"));
+        let wrong_version = sample_snapshot()
+            .to_json()
+            .replace("\"version\":1", "\"version\":2");
+        assert!(FleetSnapshot::from_json(&wrong_version)
+            .unwrap_err()
+            .contains("version"));
+    }
+
+    #[test]
+    fn snapshot_reports_missing_fields_by_name() {
+        let broken = sample_snapshot().to_json().replace("\"resolves\"", "\"x\"");
+        let err = FleetSnapshot::from_json(&broken).unwrap_err();
+        assert!(err.contains("resolves"), "{err}");
+    }
+
+    #[test]
+    fn fingerprints_above_2_53_survive() {
+        let snap = sample_snapshot();
+        let back = FleetSnapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(back.machines[0].tenants[0], (1 << 60) + 3);
+        assert_eq!(back.machines[0].hardware, u64::MAX - 17);
+        assert_eq!(back.probes[0].3.plan_regime, (1 << 53) + 1);
+    }
+}

@@ -1,0 +1,262 @@
+//! Property tests for durable control-plane snapshots: across random
+//! drift sequences and arbitrary mid-sequence restarts, save → restore
+//! → resume must be bit-identical to the uninterrupted run — same
+//! decision log, same placements, same objective bits — and the
+//! snapshot JSON itself must round-trip byte-for-byte.
+
+use proptest::prelude::*;
+use vda::core::problem::{QoS, SearchSpace};
+use vda::core::tenant::Tenant;
+use vda::core::VirtualizationDesignAdvisor;
+use vda::core::{ControlPlane, ControlPlaneOptions, FleetEvent, FleetSnapshot};
+use vda::simdb::engines::Engine;
+use vda::vmm::{Hypervisor, PhysicalMachine};
+use vda::workloads::tpch;
+
+/// Queries cycled through by drift events (scan-leaning: cheap to
+/// probe, so the tests stay affordable in debug builds).
+const CYCLE: [usize; 3] = [6, 16, 7];
+
+/// A miniature two-class fleet: machine 0 a stock paper testbed,
+/// machine 1 a faster clock, two tenants each.
+fn fleet() -> (Vec<VirtualizationDesignAdvisor>, Vec<SearchSpace>) {
+    let mut machines = Vec::new();
+    for m in 0..2usize {
+        let mut spec = PhysicalMachine::paper_testbed();
+        if m == 1 {
+            spec.core_ghz *= 1.5;
+        }
+        let mut adv = VirtualizationDesignAdvisor::new(Hypervisor::new(spec));
+        for s in 0..2usize {
+            let q = CYCLE[(m * 2 + s) % CYCLE.len()];
+            let name = format!("m{m}-t{s}-q{q}");
+            adv.add_tenant(
+                Tenant::new(
+                    name.clone(),
+                    Engine::db2(),
+                    tpch::catalog(1.0),
+                    tpch::query_workload(q, 1.0 + (m * 2 + s) as f64 * 0.5).named(name),
+                )
+                .expect("bench workloads bind"),
+                if s == 0 {
+                    QoS::with_limit(6.0)
+                } else {
+                    QoS::default()
+                },
+            );
+        }
+        machines.push(adv);
+    }
+    let space = SearchSpace::cpu_only(512.0 / 8192.0);
+    (machines, vec![space; 2])
+}
+
+fn options() -> ControlPlaneOptions {
+    ControlPlaneOptions {
+        migration_threshold: 1e-3,
+        recalibration_surcharge: 1e-2,
+        ..ControlPlaneOptions::default()
+    }
+}
+
+/// Decode one drift event against the plane's *live* state, so every
+/// generated event is valid whatever the earlier events did to slot
+/// counts. `(kind, msel, ssel, factor)` come from the proptest
+/// strategy.
+fn decode_event(
+    plane: &ControlPlane,
+    e: usize,
+    kind: u32,
+    msel: usize,
+    ssel: usize,
+    factor: f64,
+) -> FleetEvent {
+    let count = plane.machine_count();
+    // Walk to a machine that still hosts tenants (departures may have
+    // emptied one).
+    let mut m = msel % count;
+    while plane.machine(m).tenant_count() == 0 {
+        m = (m + 1) % count;
+    }
+    let tcount = plane.machine(m).tenant_count();
+    let slot = ssel % tcount;
+    let q = CYCLE[e % CYCLE.len()];
+    match kind % 4 {
+        0 => FleetEvent::WorkloadScaled {
+            machine: m,
+            slot,
+            factor,
+        },
+        1 => FleetEvent::WorkloadChanged {
+            machine: m,
+            slot,
+            workload: tpch::query_workload(q, 1.0 + factor).named(format!("drift-{e}-q{q}")),
+        },
+        2 if tcount > 1 => FleetEvent::TenantDeparted {
+            machine: m,
+            slot: tcount - 1,
+        },
+        _ => FleetEvent::TenantArrived {
+            machine: msel % count,
+            tenant: Box::new(
+                Tenant::new(
+                    format!("arrival-{e}-q{q}"),
+                    Engine::db2(),
+                    tpch::catalog(1.0),
+                    tpch::query_workload(q, 1.0 + 0.125 * e as f64)
+                        .named(format!("arrival-{e}-q{q}")),
+                )
+                .expect("bench workloads bind"),
+            ),
+            qos: QoS::default(),
+        },
+    }
+}
+
+/// Reconstruct the plane's current topology as fresh, uncalibrated
+/// advisors — what a restarted process rebuilds before feeding the
+/// snapshot to `ControlPlane::restore`.
+fn rebuild(plane: &ControlPlane) -> (Vec<VirtualizationDesignAdvisor>, Vec<SearchSpace>) {
+    let mut machines = Vec::new();
+    let mut spaces = Vec::new();
+    for m in 0..plane.machine_count() {
+        let live = plane.machine(m);
+        let mut adv =
+            VirtualizationDesignAdvisor::new(Hypervisor::new(*live.hypervisor().machine()));
+        for (i, &q) in live.qos().iter().enumerate() {
+            adv.add_tenant(live.tenant(i).clone(), q);
+        }
+        machines.push(adv);
+        spaces.push(*plane.space(m));
+    }
+    (machines, spaces)
+}
+
+/// Drive `plane` through the drift sequence, recording the concrete
+/// events so a second leg can replay them verbatim.
+fn drive(
+    plane: &mut ControlPlane,
+    drifts: &[(u32, usize, usize, f64)],
+    from: usize,
+    recorded: &mut Vec<FleetEvent>,
+) {
+    for (e, &(kind, msel, ssel, factor)) in drifts.iter().enumerate().skip(from) {
+        let event = decode_event(plane, e, kind, msel, ssel, factor);
+        recorded.push(event.clone());
+        plane.process_event(event);
+    }
+}
+
+/// The core contract check: run the sequence uninterrupted; run it
+/// again with a snapshot/restore at `restart`; the two runs must agree
+/// bit-for-bit, and the snapshot JSON must round-trip exactly.
+fn check_restart_at(drifts: &[(u32, usize, usize, f64)], restart: usize) {
+    // Uninterrupted leg (also the event recorder: the bit-identical
+    // contract means the interrupted leg sees the same live state at
+    // every step, so replaying the recorded events is faithful).
+    let (machines, spaces) = fleet();
+    let mut reference = ControlPlane::new(machines, spaces, options());
+    let mut recorded = Vec::new();
+    drive(&mut reference, drifts, 0, &mut recorded);
+
+    // Interrupted leg: replay to the restart point, snapshot, restore
+    // into a freshly built (uncalibrated) fleet, replay the rest.
+    let (machines, spaces) = fleet();
+    let mut first = ControlPlane::new(machines, spaces, options());
+    for event in &recorded[..restart] {
+        first.process_event(event.clone());
+    }
+    let snapshot = first.snapshot();
+    let json = snapshot.to_json();
+    let parsed = FleetSnapshot::from_json(&json).expect("snapshot parses");
+    assert_eq!(parsed, snapshot, "parse must invert to_json");
+
+    let (fresh, spaces) = rebuild(&first);
+    let mut resumed =
+        ControlPlane::restore(fresh, spaces, options(), &parsed).expect("snapshot restores");
+    assert_eq!(
+        resumed.snapshot().to_json(),
+        json,
+        "restored plane must re-serialize byte-identically"
+    );
+    for event in &recorded[restart..] {
+        resumed.process_event(event.clone());
+    }
+
+    assert_eq!(
+        resumed.decision_log(),
+        reference.decision_log(),
+        "restart at {restart}: decision logs diverge"
+    );
+    assert_eq!(
+        resumed.placements(),
+        reference.placements(),
+        "restart at {restart}: placements diverge"
+    );
+    assert_eq!(
+        resumed.objective().to_bits(),
+        reference.objective().to_bits(),
+        "restart at {restart}: objective bits diverge"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Random drift sequences, random restart point: resume must be
+    /// bit-identical to never having stopped.
+    #[test]
+    fn resume_is_bit_identical_across_random_drift_sequences(
+        drifts in proptest::collection::vec(
+            (0u32..4, 0usize..8, 0usize..8, 0.4f64..2.5),
+            2..6,
+        ),
+        cut in 0usize..64,
+    ) {
+        let restart = cut % (drifts.len() + 1);
+        check_restart_at(&drifts, restart);
+    }
+}
+
+/// Every restart point of one fixed sequence — including restart 0 (a
+/// snapshot of the freshly built, never-evented plane) and a restart
+/// after the final event (nothing left to replay).
+#[test]
+fn every_restart_point_of_a_fixed_sequence_resumes_bit_identically() {
+    // One of each kind: a scale, a major change, a departure, an
+    // arrival.
+    let drifts = [
+        (0u32, 0usize, 1usize, 1.6f64),
+        (1, 1, 0, 2.0),
+        (2, 0, 1, 1.0),
+        (3, 1, 0, 1.2),
+    ];
+    for restart in 0..=drifts.len() {
+        check_restart_at(&drifts, restart);
+    }
+}
+
+/// A restored plane rejects topologies that do not match the snapshot:
+/// wrong machine count, wrong hardware, wrong tenants.
+#[test]
+fn restore_validates_the_rebuilt_topology() {
+    let (machines, spaces) = fleet();
+    let plane = ControlPlane::new(machines, spaces, options());
+    let snapshot = plane.snapshot();
+
+    let (mut machines, mut spaces) = fleet();
+    machines.pop();
+    spaces.pop();
+    let err = ControlPlane::restore(machines, spaces, options(), &snapshot).unwrap_err();
+    assert!(err.contains("machines"), "{err}");
+
+    let (mut machines, spaces) = fleet();
+    machines.swap(0, 1); // swaps both hardware and tenant sets
+    let err = ControlPlane::restore(machines, spaces, options(), &snapshot).unwrap_err();
+    assert!(err.contains("machine 0"), "{err}");
+
+    let (mut machines, spaces) = fleet();
+    machines[0].remove_tenant(1);
+    let err = ControlPlane::restore(machines, spaces, options(), &snapshot).unwrap_err();
+    assert!(err.contains("tenant"), "{err}");
+}
