@@ -31,6 +31,7 @@ use vda_core::enumerate::{
     coarse_to_fine_search_with, exhaustive_search_with, greedy_search_with, CoarseToFineOptions,
     SearchOptions, SearchResult,
 };
+use vda_core::jsonio::fmt_f64;
 use vda_core::metrics::CostAccounting;
 use vda_core::problem::{Resource, SearchSpace};
 use vda_core::tenant::Tenant;
@@ -463,7 +464,7 @@ pub fn run_from(bench: EnumerationBench) -> Report {
         "weighted cost",
     ]);
     c2f_table.row(vec![
-        format!("full grid (N={}, δ={})", c2f.workloads, c2f.delta),
+        format!("full grid (N={}, δ={})", c2f.workloads, fmt_f64(c2f.delta)),
         fmt_f(c2f.full_ms, 1),
         c2f.full_optimizer_calls.to_string(),
         fmt_f(c2f.full_weighted_cost, 6),
@@ -489,7 +490,7 @@ pub fn run_from(bench: EnumerationBench) -> Report {
         format!(
             "full grid (N={}, δ={}, {} finite limits)",
             lim.base.workloads,
-            lim.base.delta,
+            fmt_f64(lim.base.delta),
             lim.degradation_limits
                 .iter()
                 .filter(|l| l.is_finite())
@@ -523,7 +524,8 @@ pub fn run_from(bench: EnumerationBench) -> Report {
     ax3_table.row(vec![
         format!(
             "3-axis full grid (N={}, cpu+memory+disk, δ={})",
-            ax3.workloads, ax3.delta
+            ax3.workloads,
+            fmt_f64(ax3.delta)
         ),
         fmt_f(ax3.full_ms, 1),
         ax3.full_optimizer_calls.to_string(),
@@ -600,20 +602,15 @@ pub fn to_json(bench: &EnumerationBench) -> String {
         })
         .collect();
     let c2f = &bench.c2f;
-    let ladder: Vec<String> = c2f.coarse_deltas.iter().map(|d| format!("{d}")).collect();
+    let ladder: Vec<String> = c2f.coarse_deltas.iter().map(|d| fmt_f64(*d)).collect();
     let lim = &bench.c2f_limited;
-    let lim_ladder: Vec<String> = lim
-        .base
-        .coarse_deltas
-        .iter()
-        .map(|d| format!("{d}"))
-        .collect();
+    let lim_ladder: Vec<String> = lim.base.coarse_deltas.iter().map(|d| fmt_f64(*d)).collect();
     let lim_limits: Vec<String> = lim
         .degradation_limits
         .iter()
         .map(|l| {
             if l.is_finite() {
-                format!("{l}")
+                fmt_f64(*l)
             } else {
                 "null".to_string()
             }
@@ -621,7 +618,7 @@ pub fn to_json(bench: &EnumerationBench) -> String {
         .collect();
     let lim_met: Vec<String> = lim.full_limits_met.iter().map(|m| format!("{m}")).collect();
     let ax3 = &bench.c2f_3axis;
-    let ax3_ladder: Vec<String> = ax3.coarse_deltas.iter().map(|d| format!("{d}")).collect();
+    let ax3_ladder: Vec<String> = ax3.coarse_deltas.iter().map(|d| fmt_f64(*d)).collect();
     format!(
         concat!(
             "{{\n",
@@ -685,7 +682,7 @@ pub fn to_json(bench: &EnumerationBench) -> String {
         rayon::current_num_threads(),
         algos.join(",\n"),
         c2f.workloads,
-        c2f.delta,
+        fmt_f64(c2f.delta),
         ladder.join(", "),
         c2f.full_ms,
         c2f.c2f_ms,
@@ -697,7 +694,7 @@ pub fn to_json(bench: &EnumerationBench) -> String {
         c2f.objective_match(),
         c2f.meets_5x(),
         lim.base.workloads,
-        lim.base.delta,
+        fmt_f64(lim.base.delta),
         lim_limits.join(", "),
         lim_ladder.join(", "),
         lim.base.full_ms,
@@ -712,10 +709,10 @@ pub fn to_json(bench: &EnumerationBench) -> String {
         lim.limits_match,
         lim.meets_3x(),
         ax3.workloads,
-        ax3.delta,
+        fmt_f64(ax3.delta),
         DISK_CALIBRATION_LEVELS
             .iter()
-            .map(|d| format!("{d}"))
+            .map(|d| fmt_f64(*d))
             .collect::<Vec<_>>()
             .join(", "),
         ax3_ladder.join(", "),

@@ -351,7 +351,11 @@ impl FleetBench {
 }
 
 /// Run all three legs of the fleet scenario at the given scale.
-pub fn measure_with(scale: FleetScale) -> FleetBench {
+///
+/// Errors instead of panicking when the resume leg's load path fails
+/// (snapshot missing from the stream, JSON that does not parse back,
+/// or a restore-time topology mismatch).
+pub fn measure_with(scale: FleetScale) -> Result<FleetBench, String> {
     assert!(
         scale.snapshot_event < scale.events,
         "snapshot must be mid-stream"
@@ -402,12 +406,13 @@ pub fn measure_with(scale: FleetScale) -> FleetBench {
 
     // Resumed leg: restore from the serialized mid-stream snapshot and
     // replay the remaining events.
-    let snapshot = snapshot.expect("snapshot event within stream");
+    let snapshot = snapshot.ok_or("snapshot event index beyond the end of the stream")?;
     let snap_json = snapshot.to_json();
-    let parsed = FleetSnapshot::from_json(&snap_json).expect("snapshot parses");
+    let parsed = FleetSnapshot::from_json(&snap_json)
+        .map_err(|e| format!("mid-stream snapshot failed to parse back: {e}"))?;
     let (machines, spaces) = rebuild(topology);
-    let mut resumed =
-        ControlPlane::restore(machines, spaces, options(true), &parsed).expect("topology matches");
+    let mut resumed = ControlPlane::restore(machines, spaces, options(true), &parsed)
+        .map_err(|e| format!("restore rejected the rebuilt topology: {e}"))?;
     let snapshot_roundtrip = parsed == snapshot && resumed.snapshot().to_json() == snap_json;
     for ev in &events[scale.snapshot_event..] {
         resumed.process_event(ev.clone());
@@ -439,7 +444,7 @@ pub fn measure_with(scale: FleetScale) -> FleetBench {
     let latencies = warm.latencies_ms();
     let mean_ms = latencies.iter().sum::<f64>() / latencies.len().max(1) as f64;
 
-    FleetBench {
+    Ok(FleetBench {
         scale,
         shards,
         construction_calls,
@@ -461,17 +466,30 @@ pub fn measure_with(scale: FleetScale) -> FleetBench {
         mean_ms,
         warm_wall_ms,
         cold_wall_ms,
-    }
+    })
 }
 
 /// Run the committed-baseline scale.
-pub fn measure() -> FleetBench {
+pub fn measure() -> Result<FleetBench, String> {
     measure_with(FULL)
 }
 
-/// Measure and render as a report.
+/// Measure and render as a report. A failed measurement renders as an
+/// error report instead of panicking.
 pub fn run() -> Report {
-    run_from(measure())
+    match measure() {
+        Ok(m) => run_from(m),
+        Err(e) => {
+            let mut report = Report::new(
+                "fleetbench",
+                "Sharded control plane: 1000 tenants / 202 machines / 150 events, snapshot + resume",
+            );
+            let mut table = Table::new(vec!["error"]);
+            table.row(vec![e]);
+            report.section("measurement failed", table);
+            report
+        }
+    }
 }
 
 /// Render an existing measurement as a report.
@@ -617,7 +635,7 @@ pub fn to_json(m: &FleetBench) -> String {
 
 /// Measure the full scale and write `BENCH_fleet.json` to `path`.
 pub fn write_json(path: &str) -> std::io::Result<FleetBench> {
-    let m = measure();
+    let m = measure().map_err(std::io::Error::other)?;
     std::fs::write(path, to_json(&m))?;
     Ok(m)
 }
@@ -639,7 +657,7 @@ mod tests {
 
     #[test]
     fn tiny_fleet_holds_every_contract() {
-        let m = measure_with(TINY);
+        let m = measure_with(TINY).expect("tiny fleet scenario measures");
         assert!(m.results_match, "cold and incremental decisions diverged");
         assert!(m.snapshot_roundtrip, "snapshot did not round-trip");
         assert!(m.resume_matches, "resumed run diverged from uninterrupted");

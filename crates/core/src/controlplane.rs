@@ -56,15 +56,14 @@ use crate::dynamic::{migration_gain, two_mut, Migration};
 use crate::enumerate::{
     try_coarse_to_fine_search_with, CoarseToFineOptions, MachineClass, SearchOptions, SearchResult,
 };
-use crate::metrics::{percentile, CostAccounting};
+use crate::metrics::{percentile, Clock, CostAccounting};
 use crate::placement::machine_capacity;
 use crate::problem::{QoS, SearchSpace};
 use crate::snapshot::{FleetSnapshot, MachineSnapshot, WarmSnapshot};
 use crate::tenant::Tenant;
 use parking_lot::Mutex;
 use rayon::prelude::ParallelMapSlice;
-use std::collections::{BTreeMap, HashMap, HashSet};
-use std::time::Instant;
+use std::collections::{BTreeMap, HashSet};
 use vda_simdb::engines::EngineKind;
 use vda_workloads::Workload;
 
@@ -244,13 +243,18 @@ pub struct ControlPlane {
     probe: ProbeCache,
     /// Class calibration registry: one fitted model per (hardware
     /// fingerprint, engine kind), installed on machines instead of
-    /// refitting per machine.
-    class_models: HashMap<(u64, EngineKind), CalibratedModel>,
+    /// refitting per machine. Ordered so every traversal (snapshot
+    /// registry, cache pruning) is independent of insertion history.
+    class_models: BTreeMap<(u64, EngineKind), CalibratedModel>,
     /// Current placement per machine (`None` while a machine is
     /// empty).
     placements: Vec<Option<SearchResult>>,
     log: Vec<Decision>,
     seq: u64,
+    /// Latency source for [`process_event`](Self::process_event):
+    /// wall by default, injectable ([`Self::set_clock`]) so tests and
+    /// replays get deterministic latency reports.
+    clock: Clock,
     latencies_ms: Vec<f64>,
     optimizer_calls: u64,
     resolves: u64,
@@ -283,10 +287,11 @@ impl ControlPlane {
             spaces,
             options,
             probe: ProbeCache::new(),
-            class_models: HashMap::new(),
+            class_models: BTreeMap::new(),
             placements,
             log: Vec::new(),
             seq: 0,
+            clock: Clock::wall(),
             latencies_ms: Vec::new(),
             optimizer_calls: 0,
             resolves: 0,
@@ -375,6 +380,13 @@ impl ControlPlane {
         percentile(&self.latencies_ms, 99.0)
     }
 
+    /// Replace the latency clock. Wall by default; inject a
+    /// [`Clock::manual`] to make [`Self::latencies_ms`] deterministic
+    /// (tests, replay harnesses). Takes effect from the next event.
+    pub fn set_clock(&mut self, clock: Clock) {
+        self.clock = clock;
+    }
+
     /// Cumulative counters.
     pub fn stats(&self) -> ControlPlaneStats {
         ControlPlaneStats {
@@ -406,7 +418,7 @@ impl ControlPlane {
     /// parallel, warm), reconcile migration candidates, log the
     /// [`Decision`], and record the decision latency.
     pub fn process_event(&mut self, event: FleetEvent) -> EventOutcome {
-        let started = Instant::now();
+        let started_ms = self.clock.now_ms();
         let calls_before = self.optimizer_calls;
         if !self.options.incremental {
             self.cold_start();
@@ -432,7 +444,7 @@ impl ControlPlane {
             migration: migration.clone(),
             objective,
         });
-        let latency_ms = started.elapsed().as_secs_f64() * 1e3;
+        let latency_ms = self.clock.now_ms() - started_ms;
         self.latencies_ms.push(latency_ms);
         EventOutcome {
             seq: self.seq,
@@ -565,6 +577,7 @@ impl ControlPlane {
             placements,
             log: snapshot.log.clone(),
             seq: snapshot.seq,
+            clock: Clock::wall(),
             latencies_ms: Vec::new(),
             optimizer_calls: snapshot.optimizer_calls,
             resolves: snapshot.resolves,
@@ -1214,6 +1227,28 @@ mod tests {
         assert_eq!(snap.log.len(), 1);
         // Latency is measurement, not state: Decision carries none.
         assert!(plane.machine(0).tenant_count() > 0);
+    }
+
+    #[test]
+    fn injected_manual_clock_makes_latencies_deterministic() {
+        let mut plane = small_fleet();
+        let clock = Clock::manual();
+        plane.set_clock(clock.clone());
+        // The clock never advances during the event, so the measured
+        // latency is exactly zero — bit-identical on every run.
+        plane.process_event(FleetEvent::WorkloadScaled {
+            machine: 0,
+            slot: 0,
+            factor: 1.2,
+        });
+        clock.advance_ms(7.25);
+        plane.process_event(FleetEvent::WorkloadScaled {
+            machine: 0,
+            slot: 0,
+            factor: 1.1,
+        });
+        assert_eq!(plane.latencies_ms(), &[0.0, 0.0]);
+        assert_eq!(plane.p99_latency_ms(), 0.0);
     }
 
     #[test]

@@ -29,7 +29,7 @@
 //! in Figures 5–8.
 
 use crate::costmodel::renormalize::Renormalizer;
-use crate::problem::Allocation;
+use crate::problem::{Allocation, Resource};
 use serde::{Deserialize, Serialize};
 use vda_simdb::bind::{bind_statement, BoundQuery};
 use vda_simdb::catalog::{table, Catalog, IndexDef};
@@ -72,7 +72,9 @@ impl Default for CalibrationConfig {
         CalibrationConfig {
             cpu_levels: (1..=10).map(|i| i as f64 / 10.0).collect(),
             cpu_mem_level: 0.5,
-            io_level: Allocation::new(0.5, 0.5),
+            io_level: Allocation::full()
+                .with(Resource::Cpu, 0.5)
+                .with(Resource::Memory, 0.5),
             disk_levels: Vec::new(),
             io_bench_blocks: 10_000,
             cpu_bench_instructions: 100_000_000,

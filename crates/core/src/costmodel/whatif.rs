@@ -40,7 +40,7 @@ use crate::problem::{AllocKey, Allocation};
 use crate::tenant::Tenant;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use vda_simdb::hash::Fnv64;
@@ -64,7 +64,10 @@ pub struct Estimate {
 #[derive(Debug, Default)]
 struct CacheGeneration {
     fingerprint: u64,
-    map: HashMap<AllocKey, Estimate>,
+    // BTreeMap, not HashMap: `samples_for` feeds refinement's model
+    // fits, whose float sums are order-sensitive — the traversal
+    // order must not depend on a per-process RandomState.
+    map: BTreeMap<AllocKey, Estimate>,
 }
 
 /// A thread-safe estimate cache shared across estimator instances (and
@@ -160,7 +163,9 @@ pub struct ProbeCache {
 
 #[derive(Debug, Default)]
 struct ProbeCacheInner {
-    map: HashMap<(u64, u64), HashMap<AllocKey, Estimate>>,
+    // Ordered for the same reason as `CacheGeneration::map`, and so
+    // `export` is deterministic by construction.
+    map: BTreeMap<(u64, u64), BTreeMap<AllocKey, Estimate>>,
     hits: u64,
     misses: u64,
 }
@@ -284,7 +289,7 @@ impl ProbeCache {
 
     /// Total cached estimates across all generations.
     pub fn len(&self) -> usize {
-        self.inner.lock().map.values().map(HashMap::len).sum()
+        self.inner.lock().map.values().map(BTreeMap::len).sum()
     }
 
     /// Whether the cache holds no entries.
@@ -297,7 +302,7 @@ impl ProbeCache {
 #[derive(Debug)]
 enum CacheBackend {
     /// Private per-instance cache (seed behaviour).
-    Local(Mutex<HashMap<AllocKey, Estimate>>),
+    Local(Mutex<BTreeMap<AllocKey, Estimate>>),
     /// Advisor-owned cache surviving across searches.
     Shared {
         cache: SharedEstimateCache,
@@ -329,7 +334,7 @@ impl<'a> WhatIfEstimator<'a> {
         Self::with_backend(
             tenant,
             model,
-            CacheBackend::Local(Mutex::new(HashMap::new())),
+            CacheBackend::Local(Mutex::new(BTreeMap::new())),
         )
     }
 

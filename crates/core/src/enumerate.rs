@@ -46,7 +46,7 @@ use crate::costmodel::model::CostModel;
 use crate::problem::{AllocKey, Allocation, QoS, Resource, SearchSpace};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap};
 use vda_simdb::hash::Fnv64;
 
 /// One greedy reallocation step, for tracing/benchmarks.
@@ -1912,7 +1912,10 @@ fn boundary_band_cells(
         let b = (((share + coarse_delta) / fine) + 1e-9).floor().max(0.0) as usize;
         (a.clamp(lo, hi), b.clamp(lo, hi))
     };
-    let mut cells: HashSet<Units> = HashSet::new();
+    // BTreeSet: dedup and ordering in one structure — ascending
+    // traversal yields exactly what the old collect-then-sort did,
+    // without ever holding the cells in RandomState order.
+    let mut cells: BTreeSet<Units> = BTreeSet::new();
     for units in centers {
         let axes = axis_options(space, |r| {
             let (blo, bhi) = axis_box(r, units[r.index()]);
@@ -1922,9 +1925,7 @@ fn boundary_band_cells(
             cells.insert(cell);
         }
     }
-    let mut cells: Vec<Units> = cells.into_iter().collect();
-    cells.sort_unstable();
-    cells
+    cells.into_iter().collect()
 }
 
 /// Whether workload's chosen allocation sits on the edge of its
@@ -2504,6 +2505,7 @@ mod tests {
         // grid — same objective and limit verdicts as exhaustive, far
         // fewer unique probes.
         use parking_lot::Mutex;
+        use std::collections::HashSet;
         let mut space = SearchSpace::cpu_and_memory();
         space.set_delta(0.02);
         type ProbeSet = Mutex<HashSet<(usize, AllocKey)>>;

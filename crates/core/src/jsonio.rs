@@ -161,6 +161,17 @@ pub fn write(value: &Json) -> String {
     out
 }
 
+/// Format one `f64` exactly as [`write()`] would inside a document:
+/// shortest-round-trip digits for finite values, `null` for NaN and
+/// the infinities. This is the blessed spelling for code that emits
+/// floats into hand-assembled JSON (e.g. the bench artifact writers)
+/// instead of a bare `{}` placeholder.
+pub fn fmt_f64(x: f64) -> String {
+    let mut out = String::new();
+    write_num(x, &mut out);
+    out
+}
+
 fn write_value(value: &Json, out: &mut String) {
     match value {
         Json::Null => out.push_str("null"),
@@ -221,11 +232,17 @@ fn write_string(s: &str, out: &mut String) {
     out.push('"');
 }
 
+/// Nesting ceiling for the recursive-descent parser. Snapshot and
+/// bench documents nest a handful of levels; anything deeper is a
+/// malformed or adversarial input, and rejecting it with an error
+/// beats overflowing the stack.
+const MAX_DEPTH: usize = 512;
+
 /// Parse a JSON document.
 pub fn parse(input: &str) -> Result<Json, String> {
     let bytes = input.as_bytes();
     let mut pos = 0;
-    let value = parse_value(bytes, &mut pos)?;
+    let value = parse_value(bytes, &mut pos, 0)?;
     skip_ws(bytes, &mut pos);
     if pos != bytes.len() {
         return Err(format!("trailing data at byte {pos}"));
@@ -254,12 +271,15 @@ fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
     }
 }
 
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
+    if depth > MAX_DEPTH {
+        return Err(format!("nesting deeper than {MAX_DEPTH} at byte {pos}"));
+    }
     skip_ws(bytes, pos);
     match bytes.get(*pos) {
         None => Err("unexpected end of input".to_string()),
-        Some(b'{') => parse_object(bytes, pos),
-        Some(b'[') => parse_array(bytes, pos),
+        Some(b'{') => parse_object(bytes, pos, depth),
+        Some(b'[') => parse_array(bytes, pos, depth),
         Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
         Some(b't') => parse_lit(bytes, pos, "true", Json::Bool(true)),
         Some(b'f') => parse_lit(bytes, pos, "false", Json::Bool(false)),
@@ -293,20 +313,24 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
 
 fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
     expect(bytes, pos, b'"')?;
-    let mut out = String::new();
+    // Accumulate raw bytes and validate once at the closing quote:
+    // pushing each byte as a `char` would re-encode bytes >= 0x80 and
+    // mangle multi-byte UTF-8 sequences.
+    let mut out: Vec<u8> = Vec::new();
     while *pos < bytes.len() {
         match bytes[*pos] {
             b'"' => {
                 *pos += 1;
-                return Ok(out);
+                return String::from_utf8(out)
+                    .map_err(|e| format!("string is not valid UTF-8: {e}"));
             }
             b'\\' => {
                 *pos += 1;
                 let escaped = match bytes.get(*pos) {
-                    Some(b'"') => '"',
-                    Some(b'\\') => '\\',
-                    Some(b'n') => '\n',
-                    Some(b't') => '\t',
+                    Some(b'"') => b'"',
+                    Some(b'\\') => b'\\',
+                    Some(b'n') => b'\n',
+                    Some(b't') => b'\t',
                     other => {
                         return Err(format!("unsupported escape {other:?} at byte {pos}"));
                     }
@@ -315,7 +339,7 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                 *pos += 1;
             }
             b => {
-                out.push(b as char);
+                out.push(b);
                 *pos += 1;
             }
         }
@@ -323,7 +347,7 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
     Err("unterminated string".to_string())
 }
 
-fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_array(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
     expect(bytes, pos, b'[')?;
     let mut items = Vec::new();
     skip_ws(bytes, pos);
@@ -332,7 +356,7 @@ fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
         return Ok(Json::Arr(items));
     }
     loop {
-        items.push(parse_value(bytes, pos)?);
+        items.push(parse_value(bytes, pos, depth + 1)?);
         skip_ws(bytes, pos);
         match bytes.get(*pos) {
             Some(b',') => *pos += 1,
@@ -345,7 +369,7 @@ fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
     }
 }
 
-fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_object(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
     expect(bytes, pos, b'{')?;
     let mut members = Vec::new();
     skip_ws(bytes, pos);
@@ -357,7 +381,7 @@ fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
         skip_ws(bytes, pos);
         let key = parse_string(bytes, pos)?;
         expect(bytes, pos, b':')?;
-        let value = parse_value(bytes, pos)?;
+        let value = parse_value(bytes, pos, depth + 1)?;
         members.push((key, value));
         skip_ws(bytes, pos);
         match bytes.get(*pos) {
@@ -454,17 +478,67 @@ mod tests {
             1.0 / 3.0,
             f64::MIN_POSITIVE,
             f64::MAX,
+            -f64::MAX,
             -0.0,
             1e-300,
             123_456_789.123_456_78,
             2f64.powi(60),
+            // Subnormals: the smallest positive f64 and the largest
+            // subnormal (all-ones mantissa, zero exponent).
+            f64::from_bits(1),
+            f64::from_bits(0x000F_FFFF_FFFF_FFFF),
+            -f64::from_bits(1),
         ];
         for &x in &values {
             let doc = Json::Arr(vec![Json::Num(x)]);
             let back = parse(&write(&doc)).unwrap();
             let y = back.as_arr().unwrap()[0].as_f64().unwrap();
             assert_eq!(x.to_bits(), y.to_bits(), "{x:?} did not round-trip");
+            // fmt_f64 must agree with the in-document spelling.
+            assert_eq!(write(&Json::Num(x)), fmt_f64(x));
         }
+        assert_eq!(fmt_f64(f64::NAN), "null");
+        assert_eq!(fmt_f64(f64::NEG_INFINITY), "null");
+    }
+
+    #[test]
+    fn negative_zero_keeps_its_sign_bit() {
+        let back = parse(&write(&Json::Num(-0.0))).unwrap();
+        assert_eq!(back.as_f64().unwrap().to_bits(), (-0.0_f64).to_bits());
+    }
+
+    #[test]
+    fn deep_nesting_errors_instead_of_overflowing() {
+        let depth = 100_000;
+        let mut doc = String::new();
+        doc.push_str(&"[".repeat(depth));
+        doc.push('1');
+        doc.push_str(&"]".repeat(depth));
+        let err = parse(&doc).unwrap_err();
+        assert!(err.contains("nesting"), "{err}");
+        // A fat but legal document still parses.
+        let legal = format!("{}1{}", "[".repeat(64), "]".repeat(64));
+        assert!(parse(&legal).is_ok());
+    }
+
+    #[test]
+    fn multi_byte_utf8_strings_round_trip() {
+        for s in [
+            "héllo",
+            "δ=0.05",
+            "日本語",
+            "emoji 🦀 crab",
+            "mixed π≈3.14159",
+        ] {
+            let doc = Json::Obj(vec![(s.to_string(), Json::Str(s.to_string()))]);
+            let back = parse(&write(&doc)).unwrap();
+            assert_eq!(back.get(s).and_then(Json::as_str), Some(s), "{s}");
+        }
+        // Raw multi-byte bytes inside an incoming document (not
+        // produced by `write`) must decode, not be mangled byte-wise.
+        let incoming = "{\"label\": \"δ grid\"}";
+        let v = parse(incoming).unwrap();
+        assert_eq!(v.get("label").and_then(Json::as_str), Some("δ grid"));
     }
 
     #[test]

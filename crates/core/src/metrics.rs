@@ -1,9 +1,93 @@
 //! Performance metrics shared by the experiments (§7.1), plus
 //! optimizer-call accounting over [`CostModel`] sets (§7.2 reports the
-//! advisor's search cost in optimizer invocations).
+//! advisor's search cost in optimizer invocations) and the injectable
+//! [`Clock`] every latency measurement outside the bench harness must
+//! route through.
+//!
+//! This module is the workspace's *designated wall-clock scope* (see
+//! the determinism rules in `docs/ARCHITECTURE.md`): it is the only
+//! core module allowed to touch `std::time` directly, so that every
+//! other module can be driven by a [`Clock::manual`] in tests and
+//! replays.
 
 use crate::costmodel::model::CostModel;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A millisecond clock that is either the process wall clock or a
+/// manually advanced counter.
+///
+/// Components that report latencies (e.g.
+/// [`ControlPlane`](crate::controlplane::ControlPlane)) hold a `Clock`
+/// instead of calling `Instant::now` themselves. Production uses
+/// [`Clock::wall`]; tests and deterministic replays use
+/// [`Clock::manual`], advancing it explicitly so reported latencies
+/// are bit-identical run to run.
+///
+/// Cloning shares the underlying source: advancing one clone of a
+/// manual clock advances them all.
+#[derive(Debug, Clone)]
+pub struct Clock {
+    source: ClockSource,
+}
+
+#[derive(Debug, Clone)]
+enum ClockSource {
+    /// Milliseconds since the clock was created.
+    Wall(Instant),
+    /// Milliseconds advanced by hand.
+    Manual(Arc<parking_lot::Mutex<f64>>),
+}
+
+impl Clock {
+    /// The process wall clock, measuring from now.
+    pub fn wall() -> Self {
+        Clock {
+            source: ClockSource::Wall(Instant::now()),
+        }
+    }
+
+    /// A deterministic clock starting at zero; advance it with
+    /// [`advance_ms`](Self::advance_ms).
+    pub fn manual() -> Self {
+        Clock {
+            source: ClockSource::Manual(Arc::new(parking_lot::Mutex::new(0.0))),
+        }
+    }
+
+    /// Milliseconds elapsed since the clock's epoch.
+    pub fn now_ms(&self) -> f64 {
+        match &self.source {
+            ClockSource::Wall(epoch) => epoch.elapsed().as_secs_f64() * 1e3,
+            ClockSource::Manual(ms) => *ms.lock(),
+        }
+    }
+
+    /// Advance a manual clock by `ms` milliseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a wall clock — real time cannot be steered, and a
+    /// caller that thinks it can has wired the wrong clock.
+    pub fn advance_ms(&self, ms: f64) {
+        match &self.source {
+            ClockSource::Wall(_) => panic!("advance_ms on a wall clock"),
+            ClockSource::Manual(total) => *total.lock() += ms,
+        }
+    }
+
+    /// Whether this is a manual (deterministic) clock.
+    pub fn is_manual(&self) -> bool {
+        matches!(self.source, ClockSource::Manual(_))
+    }
+}
+
+impl Default for Clock {
+    fn default() -> Self {
+        Clock::wall()
+    }
+}
 
 /// Aggregated optimizer-call/cache-hit accounting over a set of cost
 /// models (one search's worth of estimators, typically), plus the
@@ -142,5 +226,33 @@ mod tests {
         assert_eq!(percentile(&[f64::NAN, f64::INFINITY], 99.0), 0.0);
         // Non-finite samples are skipped, not counted.
         assert_eq!(percentile(&[f64::NAN, 2.0, 1.0], 50.0), 1.0);
+    }
+
+    #[test]
+    fn manual_clock_is_deterministic_and_shared() {
+        let clock = Clock::manual();
+        assert!(clock.is_manual());
+        assert_eq!(clock.now_ms(), 0.0);
+        let clone = clock.clone();
+        clock.advance_ms(12.5);
+        clone.advance_ms(0.5);
+        assert_eq!(clock.now_ms(), 13.0);
+        assert_eq!(clone.now_ms(), 13.0);
+    }
+
+    #[test]
+    fn wall_clock_is_monotonic() {
+        let clock = Clock::wall();
+        assert!(!clock.is_manual());
+        let a = clock.now_ms();
+        let b = clock.now_ms();
+        assert!(b >= a);
+        assert!(a >= 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "advance_ms on a wall clock")]
+    fn wall_clock_rejects_manual_advance() {
+        Clock::wall().advance_ms(1.0);
     }
 }

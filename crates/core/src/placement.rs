@@ -142,7 +142,12 @@ impl MachineSpec {
     /// Scales must be positive and finite (they may exceed 1 if some
     /// machine outgrows the reference).
     pub fn scaled(space: SearchSpace, cpu_scale: f64, memory_scale: f64) -> Self {
-        Self::scaled_vector(space, Allocation::new(cpu_scale, memory_scale))
+        Self::scaled_vector(
+            space,
+            Allocation::full()
+                .with(Resource::Cpu, cpu_scale)
+                .with(Resource::Memory, memory_scale),
+        )
     }
 
     /// A machine whose capacity differs from the reference on an

@@ -111,11 +111,14 @@ impl RefinedModel {
         let mut pieces: Vec<ModelPiece> = Vec::new();
         if piecewise_memory {
             for &m in &levels {
-                let alloc = if varied.contains(&Resource::Cpu) {
-                    Allocation::new(mid, m)
+                let cpu = if varied.contains(&Resource::Cpu) {
+                    mid
                 } else {
-                    Allocation::new(space.fixed.cpu(), m)
+                    space.fixed.cpu()
                 };
+                let alloc = Allocation::full()
+                    .with(Resource::Cpu, cpu)
+                    .with(Resource::Memory, m);
                 let (_, regime) = estimate(alloc);
                 match pieces.last_mut() {
                     Some(last) if last.plan_regime == regime => last.hi = m,
@@ -158,7 +161,9 @@ impl RefinedModel {
         };
         for &c in &cpu_levels {
             for &m in &mem_levels {
-                let alloc = Allocation::new(c, m);
+                let alloc = Allocation::full()
+                    .with(Resource::Cpu, c)
+                    .with(Resource::Memory, m);
                 let (cost, _) = estimate(alloc);
                 let inv: Vec<f64> = varied.iter().map(|r| 1.0 / alloc.get(*r)).collect();
                 let piece = piece_index(&pieces, if piecewise_memory { m } else { 0.5 });

@@ -1,0 +1,6 @@
+// detlint fixture: D4 axis-compat must fire exactly once (the
+// deprecated two-field constructor). The blessed accessor must NOT.
+pub fn legacy(a: Allocation) -> f64 {
+    let v = Allocation::new(0.5, 0.5);
+    v.get(Resource::Cpu) + a.get(Resource::Memory)
+}

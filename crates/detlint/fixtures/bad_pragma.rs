@@ -1,0 +1,8 @@
+// detlint fixture: a pragma without a reason is itself a finding
+// (bad-pragma) and suppresses nothing, so hash-iter fires too.
+use std::collections::HashMap;
+
+// detlint:allow(hash-iter)
+pub fn count(map: &HashMap<u64, u64>) -> usize {
+    map.keys().count()
+}

@@ -1,0 +1,6 @@
+// detlint fixture: D3 float-fmt must fire exactly once (the bare
+// `{x}` on an f64). The explicit-precision line must NOT fire.
+pub fn emit(x: f64) -> String {
+    let _display_choice_is_fine = format!("{x:.3}");
+    format!("{x}")
+}

@@ -1,0 +1,8 @@
+// detlint fixture: D1 hash-iter must fire exactly once (the `.keys()`
+// call). The `.get` lookup on the same map must NOT fire.
+use std::collections::HashMap;
+
+pub fn first_key(map: &HashMap<u64, u64>) -> Option<u64> {
+    let _lookup_is_fine = map.get(&7);
+    map.keys().min().copied()
+}

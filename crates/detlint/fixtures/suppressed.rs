@@ -1,0 +1,7 @@
+// detlint fixture: a violation with a reasoned pragma on the same
+// line is suppressed — this file must lint clean.
+use std::collections::HashMap;
+
+pub fn total(map: &HashMap<u64, u64>) -> u64 {
+    map.values().sum() // detlint:allow(hash-iter, reason = "sum of u64 is order-insensitive")
+}

@@ -1,0 +1,4 @@
+// detlint fixture: D5 unseeded-rng must fire exactly once.
+pub fn roll() -> u64 {
+    rand::thread_rng().next_u64()
+}

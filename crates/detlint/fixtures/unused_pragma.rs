@@ -1,0 +1,7 @@
+// detlint fixture: a well-formed pragma that suppresses nothing must
+// fire unused-pragma exactly once.
+
+// detlint:allow(hash-iter, reason = "nothing here iterates a hash map")
+pub fn forty_two() -> u64 {
+    42
+}

@@ -1,0 +1,5 @@
+// detlint fixture: D2 wall-clock must fire exactly once (the single
+// `Instant` mention below).
+pub fn stamp() -> f64 {
+    std::time::Instant::now().elapsed().as_secs_f64()
+}

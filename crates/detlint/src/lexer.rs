@@ -1,0 +1,514 @@
+//! A minimal Rust lexer: enough token structure for the determinism
+//! rules, hand-rolled like [`vda_core::jsonio`]'s parser. Handles the
+//! syntax that would otherwise corrupt a naive scan — nested block
+//! comments, string/raw-string/byte-string literals, char literals vs
+//! lifetimes — and extracts `detlint:` pragmas from line comments
+//! while it goes.
+
+use crate::Rule;
+
+/// What kind of token a [`Tok`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword.
+    Ident,
+    /// Punctuation (single char, plus the joined `::` and `->`).
+    Punct,
+    /// A string literal (text holds the *contents*, escapes intact).
+    Str,
+    /// A char or byte literal.
+    Char,
+    /// A numeric literal.
+    Num,
+    /// A lifetime (`'a`, `'static`).
+    Lifetime,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Token text (for [`TokKind::Str`], the unquoted contents).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Tok {
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation `s`.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+}
+
+/// A parsed `detlint:allow(...)` / `detlint:allow-file(...)` comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pragma {
+    /// 1-based line the pragma comment sits on.
+    pub line: u32,
+    /// Whether the comment is alone on its line (then it suppresses
+    /// the *next* line) or trails code (then it suppresses its own).
+    pub standalone: bool,
+    /// Whether this is the file-scoped `allow-file` form.
+    pub file_scope: bool,
+    /// The named rule; `None` if the name is unknown.
+    pub rule: Option<Rule>,
+    /// The reason string; `None` if missing or empty.
+    pub reason: Option<String>,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// The token stream, comments and whitespace stripped.
+    pub toks: Vec<Tok>,
+    /// Every `detlint:` pragma found in line comments.
+    pub pragmas: Vec<Pragma>,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lex `src` into tokens and pragmas. Unterminated constructs consume
+/// to end of input rather than erroring: the linter's job is to scan
+/// code that already compiles.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    // Whether only whitespace has been seen since the last newline —
+    // decides if a pragma comment is standalone.
+    let mut line_blank_so_far = true;
+    let mut out = Lexed::default();
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                line_blank_so_far = true;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                if let Some(p) = parse_pragma(text, line, line_blank_so_far) {
+                    out.pragmas.push(p);
+                }
+                // The comment itself does not make the line non-blank
+                // for *subsequent* content (nothing follows on it).
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                // Nested block comments.
+                let mut depth = 1;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        line_blank_so_far = true;
+                        i += 1;
+                    } else if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                let (text, ni, nl) = scan_string(src, i + 1, line);
+                out.toks.push(Tok {
+                    kind: TokKind::Str,
+                    text,
+                    line,
+                });
+                line = nl;
+                i = ni;
+                line_blank_so_far = false;
+            }
+            b'\'' => {
+                let (tok, ni) = scan_quote(src, i, line);
+                out.toks.push(tok);
+                i = ni;
+                line_blank_so_far = false;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                i += 1;
+                while i < b.len() {
+                    let d = b[i];
+                    if d.is_ascii_alphanumeric() || d == b'_' {
+                        // Exponent sign: 1e-9, 2E+3.
+                        if (d == b'e' || d == b'E')
+                            && i + 1 < b.len()
+                            && (b[i + 1] == b'+' || b[i + 1] == b'-')
+                            && start < i
+                            && b[start..i].iter().all(|x| !x.is_ascii_alphabetic())
+                        {
+                            i += 2;
+                            continue;
+                        }
+                        i += 1;
+                    } else if d == b'.' && i + 1 < b.len() && b[i + 1].is_ascii_digit() {
+                        // 1.5 — but not the range 0..n.
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Num,
+                    text: src[start..i].to_string(),
+                    line,
+                });
+                line_blank_so_far = false;
+            }
+            c if is_ident_start(c) => {
+                // Raw/byte string prefixes: r", r#", b", br", br#".
+                if let Some((text, ni, nl)) = scan_prefixed_string(src, i, line) {
+                    out.toks.push(Tok {
+                        kind: TokKind::Str,
+                        text,
+                        line,
+                    });
+                    line = nl;
+                    i = ni;
+                    line_blank_so_far = false;
+                    continue;
+                }
+                if c == b'b' && i + 1 < b.len() && b[i + 1] == b'\'' {
+                    // Byte char literal b'x'.
+                    let (tok, ni) = scan_quote(src, i + 1, line);
+                    out.toks.push(tok);
+                    i = ni;
+                    line_blank_so_far = false;
+                    continue;
+                }
+                let start = i;
+                while i < b.len() && is_ident_continue(b[i]) {
+                    i += 1;
+                }
+                let mut text = &src[start..i];
+                // Raw identifiers: lint r#try as try.
+                if text == "r" && i < b.len() && b[i] == b'#' && i + 1 < b.len() {
+                    let rs = i + 1;
+                    i += 1;
+                    while i < b.len() && is_ident_continue(b[i]) {
+                        i += 1;
+                    }
+                    text = &src[rs..i];
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: text.to_string(),
+                    line,
+                });
+                line_blank_so_far = false;
+            }
+            _ => {
+                // Punctuation; join `::` and `->` (the rules split on
+                // single `:` vs path separators).
+                let two = if i + 1 < b.len() { &src[i..i + 2] } else { "" };
+                let text = if two == "::" || two == "->" {
+                    i += 2;
+                    two.to_string()
+                } else {
+                    i += 1;
+                    (c as char).to_string()
+                };
+                out.toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text,
+                    line,
+                });
+                line_blank_so_far = false;
+            }
+        }
+    }
+    out
+}
+
+/// Scan a normal string body from just after the opening quote.
+/// Returns (contents, next index, current line).
+fn scan_string(src: &str, mut i: usize, mut line: u32) -> (String, usize, u32) {
+    let b = src.as_bytes();
+    let start = i;
+    while i < b.len() {
+        match b[i] {
+            b'"' => return (src[start..i].to_string(), i + 1, line),
+            b'\\' => i += 2,
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    (src[start..].to_string(), b.len(), line)
+}
+
+/// Scan raw/byte string forms starting at an `r`/`b` prefix, if the
+/// following bytes actually form one. Returns (contents, next index,
+/// current line).
+fn scan_prefixed_string(src: &str, i: usize, mut line: u32) -> Option<(String, usize, u32)> {
+    let b = src.as_bytes();
+    let rest = &b[i..];
+    let (raw, mut j) = match rest {
+        [b'r', b'"', ..] => (true, i + 1),
+        [b'r', b'#', ..] => (true, i + 1),
+        [b'b', b'"', ..] => (false, i + 1),
+        [b'b', b'r', b'"', ..] | [b'b', b'r', b'#', ..] => (true, i + 2),
+        _ => return None,
+    };
+    if raw {
+        // j points at `"` or the first `#`.
+        let mut hashes = 0;
+        while j < b.len() && b[j] == b'#' {
+            hashes += 1;
+            j += 1;
+        }
+        if j >= b.len() || b[j] != b'"' {
+            return None; // r#ident, not a raw string
+        }
+        j += 1;
+        let start = j;
+        // Find `"` followed by `hashes` hashes.
+        while j < b.len() {
+            if b[j] == b'\n' {
+                line += 1;
+                j += 1;
+            } else if b[j] == b'"'
+                && b[j + 1..].iter().take_while(|&&h| h == b'#').count() >= hashes
+            {
+                return Some((src[start..j].to_string(), j + 1 + hashes, line));
+            } else {
+                j += 1;
+            }
+        }
+        Some((src[start..].to_string(), b.len(), line))
+    } else {
+        // b"..." with escapes.
+        let (text, ni, nl) = scan_string(src, j + 1, line);
+        Some((text, ni, nl))
+    }
+}
+
+/// Scan from a `'`: a char literal or a lifetime.
+fn scan_quote(src: &str, i: usize, line: u32) -> (Tok, usize) {
+    let b = src.as_bytes();
+    let mut j = i + 1; // past the quote
+    if j < b.len() && b[j] == b'\\' {
+        // Escaped char literal: consume escape, then to closing quote.
+        j += 2;
+        while j < b.len() && b[j] != b'\'' {
+            j += 1;
+        }
+        let end = (j + 1).min(b.len());
+        return (
+            Tok {
+                kind: TokKind::Char,
+                text: src[i..end].to_string(),
+                line,
+            },
+            end,
+        );
+    }
+    // Single non-identifier char then a quote: a punctuation char
+    // literal like '"' or '(' (and b'"'), never a lifetime.
+    if j + 1 < b.len() && !is_ident_continue(b[j]) && b[j] != b'\'' && b[j + 1] == b'\'' {
+        return (
+            Tok {
+                kind: TokKind::Char,
+                text: src[i..j + 2].to_string(),
+                line,
+            },
+            j + 2,
+        );
+    }
+    // Consume ident-continue bytes; a closing quote right after makes
+    // it a char literal ('a', 'π'), otherwise it is a lifetime ('a>).
+    while j < b.len() && is_ident_continue(b[j]) {
+        j += 1;
+    }
+    if j < b.len() && b[j] == b'\'' && j > i + 1 {
+        (
+            Tok {
+                kind: TokKind::Char,
+                text: src[i..j + 1].to_string(),
+                line,
+            },
+            j + 1,
+        )
+    } else if j < b.len() && b[j] == b'\'' && j == i + 1 {
+        // Degenerate `''` — treat as a char token.
+        (
+            Tok {
+                kind: TokKind::Char,
+                text: src[i..j + 1].to_string(),
+                line,
+            },
+            j + 1,
+        )
+    } else {
+        (
+            Tok {
+                kind: TokKind::Lifetime,
+                text: src[i..j].to_string(),
+                line,
+            },
+            j,
+        )
+    }
+}
+
+/// Parse a `detlint:` pragma out of one line-comment's text, if
+/// present. Comment text includes the leading `//`.
+fn parse_pragma(comment: &str, line: u32, standalone: bool) -> Option<Pragma> {
+    let body = comment.trim_start_matches('/').trim();
+    let (file_scope, rest) = if let Some(r) = body.strip_prefix("detlint:allow-file(") {
+        (true, r)
+    } else if let Some(r) = body.strip_prefix("detlint:allow(") {
+        (false, r)
+    } else {
+        return None;
+    };
+    let inner = rest.strip_suffix(')').unwrap_or(rest);
+    let (rule_name, reason_part) = match inner.split_once(',') {
+        Some((r, rest)) => (r.trim(), Some(rest.trim())),
+        None => (inner.trim(), None),
+    };
+    let rule = Rule::from_name(rule_name);
+    let reason = reason_part.and_then(|r| {
+        let r = r.strip_prefix("reason")?.trim_start().strip_prefix('=')?;
+        let r = r.trim().trim_matches('"').trim();
+        if r.is_empty() {
+            None
+        } else {
+            Some(r.to_string())
+        }
+    });
+    Some(Pragma {
+        line,
+        standalone,
+        file_scope,
+        rule,
+        reason,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_their_contents() {
+        let src = r##"
+// Instant in a comment
+/* HashMap in a /* nested */ block */
+let s = "Instant::now()";
+let r = r#"SystemTime "quoted" inside"#;
+let c = 'I';
+let b = b'"';
+fn real(x: Instant) {}
+"##;
+        let ids = idents(src);
+        assert_eq!(
+            ids.iter().filter(|t| t.as_str() == "Instant").count(),
+            1,
+            "{ids:?}"
+        );
+        assert!(!ids.contains(&"SystemTime".to_string()));
+        assert!(!ids.contains(&"HashMap".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_following_tokens() {
+        let src = "impl<'a> Foo<'a> for Bar<'static> { fn f(&'a self) {} }";
+        let lexed = lex(src);
+        let lifetimes: Vec<&str> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a", "'static", "'a"]);
+        assert!(lexed.toks.iter().any(|t| t.is_ident("Bar")));
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_constructs() {
+        let src = "let a = \"two\nlines\";\nlet b = 1;";
+        let lexed = lex(src);
+        let b_tok = lexed.toks.iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!(b_tok.line, 3);
+    }
+
+    #[test]
+    fn joined_puncts() {
+        let lexed = lex("fn f() -> A { B::c() }");
+        assert!(lexed.toks.iter().any(|t| t.is_punct("->")));
+        assert!(lexed.toks.iter().any(|t| t.is_punct("::")));
+    }
+
+    #[test]
+    fn pragma_parsing_trailing_and_standalone() {
+        let src = "\
+// detlint:allow(hash-iter, reason = \"sorted below\")
+x.iter(); // detlint:allow(wall-clock, reason = \"test shim\")
+// detlint:allow-file(unseeded-rng, reason = \"fixture\")
+// detlint:allow(hash-iter)
+// detlint:allow(no-such-rule, reason = \"x\")
+";
+        let lexed = lex(src);
+        assert_eq!(lexed.pragmas.len(), 5);
+        let p0 = &lexed.pragmas[0];
+        assert!(p0.standalone && !p0.file_scope);
+        assert_eq!(p0.rule, Some(Rule::HashIter));
+        assert_eq!(p0.reason.as_deref(), Some("sorted below"));
+        let p1 = &lexed.pragmas[1];
+        assert!(!p1.standalone);
+        assert_eq!(p1.line, 2);
+        assert!(lexed.pragmas[2].file_scope);
+        assert_eq!(lexed.pragmas[3].reason, None, "missing reason");
+        assert_eq!(lexed.pragmas[4].rule, None, "unknown rule");
+    }
+
+    #[test]
+    fn numeric_forms_stay_single_tokens() {
+        let lexed = lex("let x = 1e-9 + 0xff_u64 + 1.5f64; for i in 0..10 {}");
+        let nums: Vec<&str> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(nums, vec!["1e-9", "0xff_u64", "1.5f64", "0", "10"]);
+    }
+}

@@ -1,0 +1,304 @@
+//! `detlint`: a token-level determinism lint for this workspace.
+//!
+//! Every layer of the advisor stakes its correctness on a
+//! bit-identical determinism contract — warm ≡ cold solves,
+//! thread-count-invariant decisions, same-state-same-bytes snapshots.
+//! The benches and property tests enforce that contract *dynamically*;
+//! this crate is the static half: a hand-rolled lexer (in the style of
+//! [`vda_core::jsonio`]'s recursive-descent parser — no `syn`, the
+//! registry is unreachable) walks every workspace `.rs` file and
+//! flags the code shapes that have historically produced silent
+//! nondeterminism, deny-by-default:
+//!
+//! | rule | what it flags |
+//! |---|---|
+//! | `hash-iter` | iteration over `std::collections::HashMap`/`HashSet` (`iter`, `keys`, `values`, `into_iter`, `drain`, for-loops) — lookups are fine; ordered traversal must use `BTreeMap`/`BTreeSet` or an explicit sort |
+//! | `wall-clock` | `Instant` / `SystemTime` outside the designated wall-clock modules (`metrics`, the bench harness) |
+//! | `float-fmt` | `{}` / `{:?}` / `.to_string()` formatting of an `f64` in serialization paths — exact printing must go through `jsonio` |
+//! | `axis-compat` | the deprecated `problem.rs` compat shims (`cpu_only`, `memory_only`, `cpu_and_memory`, `ResourceVector::new`) and raw `.cpu`/`.memory` field access outside their definitions and pinned legacy tests |
+//! | `unseeded-rng` | `rand::thread_rng` / `from_entropy` anywhere, tests included |
+//!
+//! Findings are suppressed with a *reasoned* pragma:
+//!
+//! ```text
+//! // detlint:allow(hash-iter, reason = "integer sum, order-insensitive")
+//! ```
+//!
+//! either trailing on the offending line or standalone on the line
+//! above it; `detlint:allow-file(rule, reason = "...")` suppresses a
+//! rule for the whole file. A pragma without a reason is itself a
+//! finding (`bad-pragma`), and a pragma that suppresses nothing is too
+//! (`unused-pragma`) — suppressions must stay attached to live code.
+//!
+//! The analysis is heuristic by design: it tracks file-local bindings
+//! whose declared type (or direct constructor) names `HashMap`/
+//! `HashSet`, attributes method chains like `map.lock().iter()` back
+//! to their root, and maps format-string placeholders to `f64`-typed
+//! arguments. A token-level pass cannot resolve types across files —
+//! where it over-approximates, the pragma (with its mandatory reason)
+//! is the escape hatch, and the reasons double as an audit log of
+//! every place the workspace deliberately steps around the contract.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+
+mod lexer;
+mod rules;
+mod scope;
+
+pub use lexer::{lex, Lexed, Pragma, Tok, TokKind};
+pub use scope::{scope_for, FileScope};
+
+/// One determinism rule (or pragma-hygiene meta rule).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// D1: `HashMap`/`HashSet` iteration in deterministic modules.
+    HashIter,
+    /// D2: `Instant`/`SystemTime` outside wall-clock modules.
+    WallClock,
+    /// D3: `{}`/`{:?}`/`to_string()` on `f64` in serialization paths.
+    FloatFmt,
+    /// D4: deprecated axis compat shims / raw `.cpu`/`.memory` access.
+    AxisCompat,
+    /// D5: unseeded randomness (`thread_rng`, `from_entropy`).
+    UnseededRng,
+    /// A malformed suppression pragma (unknown rule, missing reason).
+    BadPragma,
+    /// A valid pragma that suppressed nothing.
+    UnusedPragma,
+}
+
+impl Rule {
+    /// The five determinism rules (the meta rules are not listed: they
+    /// fire on pragma hygiene, not on code).
+    pub const LINTS: [Rule; 5] = [
+        Rule::HashIter,
+        Rule::WallClock,
+        Rule::FloatFmt,
+        Rule::AxisCompat,
+        Rule::UnseededRng,
+    ];
+
+    /// The rule's kebab-case name, as written in pragmas and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::HashIter => "hash-iter",
+            Rule::WallClock => "wall-clock",
+            Rule::FloatFmt => "float-fmt",
+            Rule::AxisCompat => "axis-compat",
+            Rule::UnseededRng => "unseeded-rng",
+            Rule::BadPragma => "bad-pragma",
+            Rule::UnusedPragma => "unused-pragma",
+        }
+    }
+
+    /// Parse a rule name as written in a pragma.
+    pub fn from_name(name: &str) -> Option<Rule> {
+        match name {
+            "hash-iter" => Some(Rule::HashIter),
+            "wall-clock" => Some(Rule::WallClock),
+            "float-fmt" => Some(Rule::FloatFmt),
+            "axis-compat" => Some(Rule::AxisCompat),
+            "unseeded-rng" => Some(Rule::UnseededRng),
+            "bad-pragma" => Some(Rule::BadPragma),
+            "unused-pragma" => Some(Rule::UnusedPragma),
+            _ => None,
+        }
+    }
+
+    /// The `--explain` text: what the rule flags and why it exists.
+    pub fn explain(self) -> &'static str {
+        match self {
+            Rule::HashIter => {
+                "hash-iter (D1): iteration over std::collections::HashMap/HashSet in \
+                 deterministic modules.\n\n\
+                 std's hash containers seed RandomState per process, so their iteration \
+                 order differs run to run. Any hash-order traversal that feeds Decision \
+                 ordering, snapshot bytes, float accumulation, or cache pruning is silent \
+                 nondeterminism. Lookups (get/insert/entry/contains/remove) are fine.\n\n\
+                 Fix: use BTreeMap/BTreeSet when the traversal order matters, or collect \
+                 and sort by a stable key before consuming. If the consumer is provably \
+                 order-insensitive (an integer sum, a re-sorted collection), suppress with \
+                 a reasoned pragma."
+            }
+            Rule::WallClock => {
+                "wall-clock (D2): Instant/SystemTime outside the designated wall-clock \
+                 modules (vda-core's metrics module and the bench harness).\n\n\
+                 Wall-clock reads are inherently nondeterministic; anything downstream of \
+                 one cannot be replayed bit-identically. Measurement belongs in the bench \
+                 crate or behind metrics::Clock, which is injectable (Clock::manual) so \
+                 tests and replays control time."
+            }
+            Rule::FloatFmt => {
+                "float-fmt (D3): formatting an f64 with bare {}, {:?}, or .to_string() in \
+                 a serialization path (snapshot.rs, the bench experiment emitters).\n\n\
+                 Exact f64 bytes are part of the snapshot contract (same state, same \
+                 bytes; parse(write(x)) == x bit for bit) and jsonio::write is the one \
+                 blessed printer. Bare Display on an f64 scattered through emitters \
+                 invites drift between writers. Explicit-precision formats ({x:.3}) are \
+                 allowed: deliberate rounding of display-only fields is not an exactness \
+                 path."
+            }
+            Rule::AxisCompat => {
+                "axis-compat (D4): the deprecated problem.rs compat shims — cpu_only, \
+                 memory_only, cpu_and_memory, ResourceVector::new (and its Allocation \
+                 alias) — and raw .cpu/.memory field access, outside the shims' own \
+                 definitions and pinned legacy tests.\n\n\
+                 The resource model is an M-axis vector (Resource::ALL); the two-field \
+                 (cpu, memory) shims hard-code M = 2 and silently pin every other axis to \
+                 a full share. New code must build vectors axis-by-axis \
+                 (ResourceVector::from_fn/with/splat, SearchSpace::over) so opening the \
+                 next axis is a data change, not a code hunt."
+            }
+            Rule::UnseededRng => {
+                "unseeded-rng (D5): rand::thread_rng / SeedableRng::from_entropy anywhere, \
+                 tests included.\n\n\
+                 Entropy-seeded randomness makes failures unreproducible. Every random \
+                 stream in this workspace derives from an explicit, logged seed (the \
+                 vendored proptest stub seeds from the test name for the same reason)."
+            }
+            Rule::BadPragma => {
+                "bad-pragma: a detlint:allow pragma with an unknown rule name or a \
+                 missing/empty reason string.\n\n\
+                 Suppressions are part of the audit surface: a pragma must name a real \
+                 rule and say *why* the flagged code is safe."
+            }
+            Rule::UnusedPragma => {
+                "unused-pragma: a well-formed pragma that suppressed no finding.\n\n\
+                 Stale suppressions hide future violations on the lines they shadow; \
+                 delete them when the code they excused changes."
+            }
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One unsuppressed lint finding.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Path of the offending file, as given to the linter.
+    pub file: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// The rule that fired.
+    pub rule: Rule,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.file,
+            self.line,
+            self.rule.name(),
+            self.message
+        )
+    }
+}
+
+/// Lint one source text under the scope rules its path selects.
+/// `path` is used both for the findings' `file` field and for scope
+/// resolution (see [`scope_for`]).
+pub fn lint_source(path: &str, src: &str) -> Vec<Finding> {
+    let scope = scope_for(path);
+    let lexed = lex(src);
+    rules::run(path, &lexed, &scope)
+}
+
+/// Lint one file on disk.
+pub fn lint_file(path: &Path) -> io::Result<Vec<Finding>> {
+    let src = std::fs::read_to_string(path)?;
+    Ok(lint_source(&path.display().to_string(), &src))
+}
+
+/// Every lintable `.rs` file under a workspace root, sorted. Skips
+/// `target/`, `vendor/` (external stubs), `.git/`, and the lint's own
+/// known-bad `fixtures/` (linted explicitly by the self-tests and the
+/// seeded-violation CI leg, never as part of the workspace).
+pub fn workspace_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    collect_rs(root, &mut files)?;
+    files.sort();
+    Ok(files)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if matches!(name.as_ref(), "target" | "vendor" | ".git" | "fixtures") {
+                continue;
+            }
+            collect_rs(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lint a set of files, labeling findings with paths relative to
+/// `root` when they fall under it (stable report paths for CI).
+pub fn lint_files(files: &[PathBuf], root: Option<&Path>) -> io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    for path in files {
+        let label = match root.and_then(|r| path.strip_prefix(r).ok()) {
+            Some(rel) => rel.display().to_string(),
+            None => path.display().to_string(),
+        };
+        let src = std::fs::read_to_string(path)?;
+        findings.extend(lint_source(&label, &src));
+    }
+    findings.sort();
+    Ok(findings)
+}
+
+/// Render findings as the machine-readable `--json` report, via the
+/// workspace's own exact-JSON writer.
+pub fn json_report(findings: &[Finding], files_scanned: usize) -> String {
+    use vda_core::jsonio::Json;
+    let rows: Vec<Json> = findings
+        .iter()
+        .map(|f| {
+            Json::Obj(vec![
+                ("file".into(), Json::Str(f.file.clone())),
+                ("line".into(), Json::Num(f.line as f64)),
+                ("rule".into(), Json::Str(f.rule.name().into())),
+                ("message".into(), Json::Str(f.message.clone())),
+            ])
+        })
+        .collect();
+    let doc = Json::Obj(vec![
+        ("files_scanned".into(), Json::Num(files_scanned as f64)),
+        ("findings".into(), Json::Arr(rows)),
+    ]);
+    vda_core::jsonio::write(&doc)
+}
+
+/// Count findings per rule, for the text-mode summary line.
+pub fn tally_by_rule(findings: &[Finding]) -> BTreeMap<&'static str, usize> {
+    let mut tally: BTreeMap<&'static str, usize> = BTreeMap::new();
+    for f in findings {
+        *tally.entry(f.rule.name()).or_default() += 1;
+    }
+    tally
+}
+
+/// The names bound (by annotation, constructor, or alias) to hash
+/// container types in one token stream — exposed for tests.
+pub fn hash_typed_names(lexed: &Lexed) -> BTreeSet<String> {
+    rules::hash_typed_names(&lexed.toks)
+}

@@ -1,0 +1,143 @@
+//! detlint CLI.
+//!
+//! ```text
+//! detlint --workspace [--json]     lint every workspace .rs file
+//! detlint <FILES..> [--json]       lint specific files (fixtures are strict)
+//! detlint --explain <rule>         print a rule's rationale
+//! ```
+//!
+//! Exit codes: 0 clean, 1 unsuppressed findings, 2 usage or I/O error.
+
+use detlint::{json_report, lint_files, tally_by_rule, workspace_files, Rule};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: detlint [--workspace | FILES..] [--json]
+       detlint --explain <rule>
+
+rules: hash-iter wall-clock float-fmt axis-compat unseeded-rng";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json = false;
+    let mut workspace = false;
+    let mut explain: Option<String> = None;
+    let mut files: Vec<PathBuf> = Vec::new();
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--workspace" => workspace = true,
+            "--explain" => match it.next() {
+                Some(name) => explain = Some(name.clone()),
+                None => {
+                    eprintln!("--explain needs a rule name\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("unknown flag `{flag}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            path => files.push(PathBuf::from(path)),
+        }
+    }
+
+    if let Some(name) = explain {
+        return match Rule::from_name(&name) {
+            Some(rule) => {
+                println!("{}: {}\n\n{}", rule.name(), rule, rule.explain());
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!("unknown rule `{name}`\n{USAGE}");
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    let root = if workspace {
+        match find_workspace_root() {
+            Some(root) => Some(root),
+            None => {
+                eprintln!("detlint: no workspace root (Cargo.toml with [workspace]) above cwd");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        None
+    };
+
+    if workspace {
+        let root = root.as_deref().unwrap();
+        match workspace_files(root) {
+            Ok(found) => files = found,
+            Err(e) => {
+                eprintln!("detlint: walking {}: {e}", root.display());
+                return ExitCode::from(2);
+            }
+        }
+    } else if files.is_empty() {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    }
+
+    let findings = match lint_files(&files, root.as_deref()) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("detlint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        println!("{}", json_report(&findings, files.len()));
+    } else {
+        for f in &findings {
+            println!("{f}");
+        }
+        if findings.is_empty() {
+            eprintln!("detlint: {} files clean", files.len());
+        } else {
+            let tally: Vec<String> = tally_by_rule(&findings)
+                .into_iter()
+                .map(|(rule, n)| format!("{n} {rule}"))
+                .collect();
+            eprintln!(
+                "detlint: {} finding(s) in {} file(s): {}",
+                findings.len(),
+                files.len(),
+                tally.join(", ")
+            );
+        }
+    }
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+/// Nearest ancestor of the cwd whose Cargo.toml declares `[workspace]`.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if has_workspace_manifest(&dir) {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn has_workspace_manifest(dir: &Path) -> bool {
+    std::fs::read_to_string(dir.join("Cargo.toml"))
+        .map(|s| s.lines().any(|l| l.trim() == "[workspace]"))
+        .unwrap_or(false)
+}

@@ -1,0 +1,1020 @@
+//! The determinism rules, run over one file's token stream.
+
+use crate::lexer::{Lexed, Tok, TokKind};
+use crate::scope::FileScope;
+use crate::{Finding, Rule};
+use std::collections::BTreeSet;
+
+/// Hash-container iteration methods (D1). Lookup/maintenance methods
+/// (`get`, `insert`, `entry`, `contains_key`, `remove`, `retain`,
+/// `len`) are deliberately absent: they don't expose iteration order.
+const ITER_METHODS: [&str; 9] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+];
+
+/// Format-emitting macros whose format strings D3 inspects.
+const FMT_MACROS: [&str; 7] = [
+    "format", "write", "writeln", "print", "println", "eprint", "eprintln",
+];
+
+/// Macros whose first argument is a writer, not the format string.
+const WRITER_MACROS: [&str; 2] = ["write", "writeln"];
+
+/// Run every applicable rule and the pragma pass over one file.
+pub fn run(path: &str, lexed: &Lexed, scope: &FileScope) -> Vec<Finding> {
+    let toks = &lexed.toks;
+    let test_regions = test_regions(toks);
+    let in_test = |line: u32| {
+        scope.test_file
+            || test_regions
+                .iter()
+                .any(|&(lo, hi)| line >= lo && line <= hi)
+    };
+
+    let mut raw: Vec<Finding> = Vec::new();
+    let mut push = |line: u32, rule: Rule, message: String| {
+        raw.push(Finding {
+            file: path.to_string(),
+            line,
+            rule,
+            message,
+        });
+    };
+
+    hash_iter_rule(toks, &mut push);
+    wall_clock_rule(toks, scope, &mut push);
+    float_fmt_rule(toks, scope, &mut push);
+    axis_compat_rule(toks, scope, &mut push);
+    unseeded_rng_rule(toks, &mut push);
+
+    // Test scope exempts everything but D5: an entropy-seeded test is
+    // unreproducible no matter where it lives.
+    raw.retain(|f| f.rule == Rule::UnseededRng || !in_test(f.line));
+    raw.sort();
+    raw.dedup();
+
+    apply_pragmas(path, lexed, raw, &|line| in_test(line))
+}
+
+// ---------------------------------------------------------------------
+// Test regions
+// ---------------------------------------------------------------------
+
+/// Line ranges of `#[cfg(test)] mod ... { ... }` items, by brace
+/// matching from the token stream.
+fn test_regions(toks: &[Tok]) -> Vec<(u32, u32)> {
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i + 6 < toks.len() {
+        let is_cfg_test = toks[i].is_punct("#")
+            && toks[i + 1].is_punct("[")
+            && toks[i + 2].is_ident("cfg")
+            && toks[i + 3].is_punct("(")
+            && toks[i + 4].is_ident("test")
+            && toks[i + 5].is_punct(")")
+            && toks[i + 6].is_punct("]");
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        // Skip any further attributes, then expect a `mod` item.
+        let mut j = i + 7;
+        while j + 1 < toks.len() && toks[j].is_punct("#") && toks[j + 1].is_punct("[") {
+            j = match skip_balanced(toks, j + 1, "[", "]") {
+                Some(after) => after,
+                None => return regions,
+            };
+        }
+        if j < toks.len() && toks[j].is_ident("mod") {
+            // Find the opening brace, then its match.
+            let mut k = j;
+            while k < toks.len() && !toks[k].is_punct("{") && !toks[k].is_punct(";") {
+                k += 1;
+            }
+            if k < toks.len() && toks[k].is_punct("{") {
+                let start_line = toks[i].line;
+                let end = skip_balanced(toks, k, "{", "}").unwrap_or(toks.len());
+                let end_line = toks[end.saturating_sub(1).min(toks.len() - 1)].line;
+                regions.push((start_line, end_line));
+                i = end;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    regions
+}
+
+/// From an opening delimiter at `open_idx`, return the index just past
+/// its matching close.
+fn skip_balanced(toks: &[Tok], open_idx: usize, open: &str, close: &str) -> Option<usize> {
+    let mut depth = 0usize;
+    for (k, t) in toks.iter().enumerate().skip(open_idx) {
+        if t.is_punct(open) {
+            depth += 1;
+        } else if t.is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k + 1);
+            }
+        }
+    }
+    None
+}
+
+/// From a closing delimiter at `close_idx`, return the index of its
+/// matching open (walking backwards).
+fn open_of(toks: &[Tok], close_idx: usize, open: &str, close: &str) -> Option<usize> {
+    let mut depth = 0usize;
+    let mut k = close_idx;
+    loop {
+        let t = &toks[k];
+        if t.is_punct(close) {
+            depth += 1;
+        } else if t.is_punct(open) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+        if k == 0 {
+            return None;
+        }
+        k -= 1;
+    }
+}
+
+// ---------------------------------------------------------------------
+// D1: hash-iter
+// ---------------------------------------------------------------------
+
+/// File-local names bound to `HashMap`/`HashSet`: type annotations
+/// (`name: HashMap<..>`, fields, params), direct constructors
+/// (`let name = HashMap::new()`), and annotations through one level of
+/// local `type` alias.
+pub(crate) fn hash_typed_names(toks: &[Tok]) -> BTreeSet<String> {
+    let mut hash_types: BTreeSet<String> = ["HashMap", "HashSet"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    // Local aliases: `type X = ...HashMap...;`
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_ident("type") && i + 2 < toks.len() && toks[i + 1].kind == TokKind::Ident {
+            let alias = toks[i + 1].text.clone();
+            let mut j = i + 2;
+            let mut rhs_hash = false;
+            while j < toks.len() && !toks[j].is_punct(";") {
+                if toks[j].kind == TokKind::Ident && hash_types.contains(&toks[j].text) {
+                    rhs_hash = true;
+                }
+                j += 1;
+            }
+            if rhs_hash {
+                hash_types.insert(alias);
+            }
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+
+    let mut names = BTreeSet::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || !hash_types.contains(&t.text) || i == 0 {
+            continue;
+        }
+        if let Some(name) = binding_name_before(toks, i) {
+            names.insert(name);
+        }
+    }
+    names
+}
+
+/// Walk back from a hash-type token over type syntax to the binding it
+/// annotates (`name: ...T...`) or the binding a constructor
+/// initializes (`let name = T::new()`).
+fn binding_name_before(toks: &[Tok], type_idx: usize) -> Option<String> {
+    let mut k = type_idx;
+    for _ in 0..48 {
+        if k == 0 {
+            return None;
+        }
+        k -= 1;
+        let t = &toks[k];
+        match t.kind {
+            TokKind::Ident if matches!(t.text.as_str(), "mut" | "dyn" | "impl" | "box") => {}
+            TokKind::Ident => {}
+            TokKind::Lifetime => {}
+            TokKind::Punct => match t.text.as_str() {
+                "<" | ">" | "," | "::" | "&" | "(" | ")" | "[" | "]" | ";" => {
+                    if t.text == ";" {
+                        return None;
+                    }
+                }
+                ":" => {
+                    // Annotation: the ident just before the colon.
+                    return (k > 0 && toks[k - 1].kind == TokKind::Ident)
+                        .then(|| toks[k - 1].text.clone());
+                }
+                "=" => {
+                    // Constructor: `let name = HashMap::new()`.
+                    return (k > 0 && toks[k - 1].kind == TokKind::Ident)
+                        .then(|| toks[k - 1].text.clone());
+                }
+                _ => return None,
+            },
+            _ => return None,
+        }
+    }
+    None
+}
+
+fn hash_iter_rule(toks: &[Tok], push: &mut impl FnMut(u32, Rule, String)) {
+    let names = hash_typed_names(toks);
+    if names.is_empty() {
+        return;
+    }
+
+    // Method chains: `.iter()` etc. whose receiver chain contains a
+    // hash-typed name (handles `map.lock().iter()`, `inner.map.keys()`).
+    for i in 1..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident || !ITER_METHODS.contains(&t.text.as_str()) {
+            continue;
+        }
+        if !toks[i - 1].is_punct(".") {
+            continue;
+        }
+        if i + 1 >= toks.len() || !toks[i + 1].is_punct("(") {
+            continue;
+        }
+        if let Some(root) = chain_hash_root(toks, i - 1, &names) {
+            push(
+                t.line,
+                Rule::HashIter,
+                format!(
+                    "`{}.{}()` iterates a std hash container; iteration order is \
+                     nondeterministic — use BTreeMap/BTreeSet or sort by a stable key",
+                    root, t.text
+                ),
+            );
+        }
+    }
+
+    // For-loops whose head mentions a hash-typed name:
+    // `for (k, v) in &map { ... }`.
+    let mut i = 0;
+    while i < toks.len() {
+        if !toks[i].is_ident("for") {
+            i += 1;
+            continue;
+        }
+        // Find `in` at delimiter depth 0, bail at `{` (impl Trait for
+        // Type has no bare `in` before its brace).
+        let mut j = i + 1;
+        let mut depth = 0i32;
+        let mut in_idx = None;
+        while j < toks.len() && j < i + 64 {
+            let t = &toks[j];
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    "{" if depth == 0 => break,
+                    _ => {}
+                }
+            }
+            if depth == 0 && t.is_ident("in") {
+                in_idx = Some(j);
+                break;
+            }
+            j += 1;
+        }
+        let Some(in_idx) = in_idx else {
+            i += 1;
+            continue;
+        };
+        // Head: tokens from `in` to the loop body `{` at depth 0.
+        let mut k = in_idx + 1;
+        let mut depth = 0i32;
+        let mut offender = None;
+        while k < toks.len() {
+            let t = &toks[k];
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    "{" if depth == 0 => break,
+                    "{" => depth += 1,
+                    "}" => depth -= 1,
+                    _ => {}
+                }
+            }
+            if t.kind == TokKind::Ident && names.contains(&t.text) {
+                // Skip if an iteration method already flagged this
+                // expression (avoid double-reporting the same line).
+                let already = k + 2 < toks.len()
+                    && toks[k + 1].is_punct(".")
+                    && ITER_METHODS.contains(&toks[k + 2].text.as_str());
+                if !already {
+                    offender = Some((t.line, t.text.clone()));
+                }
+            }
+            k += 1;
+        }
+        if let Some((line, name)) = offender {
+            push(
+                line,
+                Rule::HashIter,
+                format!(
+                    "for-loop over `{name}` traverses a std hash container in \
+                     nondeterministic order — use BTreeMap/BTreeSet or sort first"
+                ),
+            );
+        }
+        i = in_idx + 1;
+    }
+}
+
+/// If the postfix chain ending at the `.` before an iteration method
+/// contains a hash-typed name, return that name.
+fn chain_hash_root(toks: &[Tok], dot_idx: usize, names: &BTreeSet<String>) -> Option<String> {
+    let mut k = dot_idx; // the `.` before the method
+    loop {
+        if k == 0 {
+            return None;
+        }
+        k -= 1;
+        // One postfix segment: `ident`, `ident(...)`, `(...)`, `[...]`, `?`.
+        loop {
+            let t = &toks[k];
+            if t.is_punct(")") {
+                k = open_of(toks, k, "(", ")")?;
+                if k == 0 {
+                    return None;
+                }
+                k -= 1;
+                if toks[k].kind != TokKind::Ident {
+                    // Parenthesized expression, not a call: scan its
+                    // interior? Keep it simple: stop the walk.
+                    return None;
+                }
+                // Method/fn name: not a receiver binding, fall through.
+            } else if t.is_punct("]") {
+                k = open_of(toks, k, "[", "]")?;
+                if k == 0 {
+                    return None;
+                }
+                k -= 1;
+                continue;
+            } else if t.is_punct("?") {
+                if k == 0 {
+                    return None;
+                }
+                k -= 1;
+                continue;
+            }
+            break;
+        }
+        let t = &toks[k];
+        if t.kind == TokKind::Ident {
+            if names.contains(&t.text) {
+                return Some(t.text.clone());
+            }
+        } else {
+            return None;
+        }
+        // Continue the chain only through a preceding `.`.
+        if k == 0 || !toks[k - 1].is_punct(".") {
+            return None;
+        }
+        k -= 1; // now at the `.`, loop continues past it
+    }
+}
+
+// ---------------------------------------------------------------------
+// D2: wall-clock
+// ---------------------------------------------------------------------
+
+fn wall_clock_rule(toks: &[Tok], scope: &FileScope, push: &mut impl FnMut(u32, Rule, String)) {
+    if scope.wall_clock_ok {
+        return;
+    }
+    for t in toks {
+        if t.kind == TokKind::Ident && (t.text == "Instant" || t.text == "SystemTime") {
+            push(
+                t.line,
+                Rule::WallClock,
+                format!(
+                    "`{}` outside the designated wall-clock modules (metrics, bench \
+                     harness) — route measurement through metrics::Clock",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// D3: float-fmt
+// ---------------------------------------------------------------------
+
+/// File-local names known to be `f64`: annotations (`x: f64`,
+/// `x: &f64`) and functions declared `-> f64`.
+fn f64_names(toks: &[Tok]) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for i in 0..toks.len() {
+        // `name : [&][mut] f64`
+        if toks[i].kind == TokKind::Ident && i + 2 < toks.len() && toks[i + 1].is_punct(":") {
+            let mut j = i + 2;
+            while j < toks.len()
+                && (toks[j].is_punct("&")
+                    || toks[j].is_ident("mut")
+                    || toks[j].kind == TokKind::Lifetime)
+            {
+                j += 1;
+            }
+            if j < toks.len() && toks[j].is_ident("f64") {
+                names.insert(toks[i].text.clone());
+            }
+        }
+        // `fn name ( ... ) -> f64`
+        if toks[i].is_ident("fn") && i + 2 < toks.len() && toks[i + 1].kind == TokKind::Ident {
+            let name = &toks[i + 1].text;
+            let mut j = i + 2;
+            while j < toks.len() && !toks[j].is_punct("(") && !toks[j].is_punct("{") {
+                j += 1;
+            }
+            if j < toks.len() && toks[j].is_punct("(") {
+                if let Some(after) = skip_balanced(toks, j, "(", ")") {
+                    if after + 1 < toks.len()
+                        && toks[after].is_punct("->")
+                        && toks[after + 1].is_ident("f64")
+                    {
+                        names.insert(name.clone());
+                    }
+                }
+            }
+        }
+    }
+    names
+}
+
+fn float_fmt_rule(toks: &[Tok], scope: &FileScope, push: &mut impl FnMut(u32, Rule, String)) {
+    if !scope.float_fmt_applies {
+        return;
+    }
+    let f64s = f64_names(toks);
+
+    // `.to_string()` on an f64-typed name.
+    for i in 1..toks.len().saturating_sub(2) {
+        if toks[i].is_punct(".")
+            && toks[i + 1].is_ident("to_string")
+            && toks[i + 2].is_punct("(")
+            && toks[i - 1].kind == TokKind::Ident
+            && f64s.contains(&toks[i - 1].text)
+        {
+            push(
+                toks[i + 1].line,
+                Rule::FloatFmt,
+                format!(
+                    "`{}.to_string()` on an f64 in a serialization path — exact printing \
+                     must go through jsonio",
+                    toks[i - 1].text
+                ),
+            );
+        }
+    }
+
+    // Format macros: inspect the format string's placeholders.
+    let mut i = 0;
+    while i + 2 < toks.len() {
+        if !(toks[i].kind == TokKind::Ident
+            && FMT_MACROS.contains(&toks[i].text.as_str())
+            && toks[i + 1].is_punct("!")
+            && toks[i + 2].is_punct("("))
+        {
+            i += 1;
+            continue;
+        }
+        let open = i + 2;
+        let Some(end) = skip_balanced(toks, open, "(", ")") else {
+            i += 1;
+            continue;
+        };
+        let args = split_top_level(&toks[open + 1..end - 1]);
+        let skip_writer = WRITER_MACROS.contains(&toks[i].text.as_str()) as usize;
+        if args.len() > skip_writer {
+            let fmt_arg = &args[skip_writer];
+            if let Some((fmt_text, fmt_line)) = format_string_of(fmt_arg) {
+                let value_args = &args[skip_writer + 1..];
+                check_placeholders(&fmt_text, fmt_line, value_args, &f64s, push);
+            }
+        }
+        i = end;
+    }
+}
+
+/// Split a token slice at top-level commas.
+fn split_top_level(toks: &[Tok]) -> Vec<&[Tok]> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut start = 0;
+    for (k, t) in toks.iter().enumerate() {
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth -= 1,
+                "," if depth == 0 => {
+                    out.push(&toks[start..k]);
+                    start = k + 1;
+                }
+                _ => {}
+            }
+        }
+    }
+    if start < toks.len() {
+        out.push(&toks[start..]);
+    }
+    out
+}
+
+/// The format string of a macro's format argument: a plain string
+/// literal, or every string literal inside a `concat!(...)` glued
+/// together.
+fn format_string_of(arg: &[Tok]) -> Option<(String, u32)> {
+    match arg {
+        [t] if t.kind == TokKind::Str => Some((t.text.clone(), t.line)),
+        [m, bang, ..] if m.is_ident("concat") && bang.is_punct("!") => {
+            let parts: String = arg
+                .iter()
+                .filter(|t| t.kind == TokKind::Str)
+                .map(|t| t.text.as_str())
+                .collect();
+            Some((parts, m.line))
+        }
+        _ => None,
+    }
+}
+
+/// Walk a format string's placeholders, flagging bare `{}`/`{:?}`
+/// (inline-named or positional) that reference an f64.
+fn check_placeholders(
+    fmt: &str,
+    line: u32,
+    value_args: &[&[Tok]],
+    f64s: &BTreeSet<String>,
+    push: &mut impl FnMut(u32, Rule, String),
+) {
+    let bytes = fmt.as_bytes();
+    let mut i = 0;
+    let mut next_positional = 0usize;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'{' if i + 1 < bytes.len() && bytes[i + 1] == b'{' => i += 2,
+            b'}' if i + 1 < bytes.len() && bytes[i + 1] == b'}' => i += 2,
+            b'{' => {
+                let close = match fmt[i + 1..].find('}') {
+                    Some(off) => i + 1 + off,
+                    None => break,
+                };
+                let inner = &fmt[i + 1..close];
+                let (name_part, spec) = match inner.split_once(':') {
+                    Some((n, s)) => (n, s),
+                    None => (inner, ""),
+                };
+                // Bare Display/Debug only; any other spec (precision,
+                // width, scientific) is a deliberate formatting choice.
+                let bare = spec.is_empty() || spec == "?";
+                let flagged_name: Option<String> = if name_part.is_empty() {
+                    let idx = next_positional;
+                    next_positional += 1;
+                    value_args.get(idx).and_then(|a| arg_f64_name(a, f64s))
+                } else if name_part.bytes().all(|b| b.is_ascii_digit()) {
+                    let idx: usize = name_part.parse().unwrap_or(usize::MAX);
+                    value_args.get(idx).and_then(|a| arg_f64_name(a, f64s))
+                } else {
+                    f64s.contains(name_part).then(|| name_part.to_string())
+                };
+                if bare {
+                    if let Some(name) = flagged_name {
+                        push(
+                            line,
+                            Rule::FloatFmt,
+                            format!(
+                                "f64 `{name}` formatted with a bare `{{{}}}` in a \
+                                 serialization path — exact printing must go through \
+                                 jsonio (explicit precision like `{{:.3}}` is allowed \
+                                 for display-only fields)",
+                                if spec.is_empty() {
+                                    String::new()
+                                } else {
+                                    format!(":{spec}")
+                                }
+                            ),
+                        );
+                    }
+                }
+                i = close + 1;
+            }
+            _ => i += 1,
+        }
+    }
+}
+
+/// If an argument expression's value is a known f64 — a lone ident, a
+/// field path ending in one, or a call of an `-> f64` function —
+/// return the name that proves it.
+fn arg_f64_name(arg: &[Tok], f64s: &BTreeSet<String>) -> Option<String> {
+    let mut toks = arg;
+    while let Some(t) = toks.first() {
+        if t.is_punct("&") || t.is_punct("*") {
+            toks = &toks[1..];
+        } else {
+            break;
+        }
+    }
+    match toks {
+        [t] if t.kind == TokKind::Ident => f64s.contains(&t.text).then(|| t.text.clone()),
+        [.., prev, last] if last.kind == TokKind::Ident && prev.is_punct(".") => {
+            f64s.contains(&last.text).then(|| last.text.clone())
+        }
+        [name, open, ..] if name.kind == TokKind::Ident && open.is_punct("(") => {
+            f64s.contains(&name.text).then(|| name.text.clone())
+        }
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------
+// D4: axis-compat
+// ---------------------------------------------------------------------
+
+fn axis_compat_rule(toks: &[Tok], scope: &FileScope, push: &mut impl FnMut(u32, Rule, String)) {
+    if scope.axis_compat_exempt {
+        return;
+    }
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind == TokKind::Ident
+            && matches!(
+                t.text.as_str(),
+                "cpu_only" | "memory_only" | "cpu_and_memory"
+            )
+        {
+            push(
+                t.line,
+                Rule::AxisCompat,
+                format!(
+                    "deprecated paper-era preset `{}` — build the axis set explicitly \
+                     with SearchSpace::over(AxisSet::of(..), ..)",
+                    t.text
+                ),
+            );
+        }
+        // `ResourceVector::new` / `Allocation::new` (type alias).
+        if t.kind == TokKind::Ident
+            && (t.text == "ResourceVector" || t.text == "Allocation")
+            && i + 2 < toks.len()
+            && toks[i + 1].is_punct("::")
+            && toks[i + 2].is_ident("new")
+        {
+            push(
+                toks[i + 2].line,
+                Rule::AxisCompat,
+                format!(
+                    "deprecated two-field constructor `{}::new(cpu, memory)` — build \
+                     vectors axis-by-axis (from_fn/splat/with over Resource::ALL)",
+                    t.text
+                ),
+            );
+        }
+        // Raw field access `.cpu` / `.memory` (not the `()` accessors).
+        if t.is_punct(".")
+            && i + 1 < toks.len()
+            && toks[i + 1].kind == TokKind::Ident
+            && matches!(toks[i + 1].text.as_str(), "cpu" | "memory")
+            && !(i + 2 < toks.len() && toks[i + 2].is_punct("("))
+        {
+            push(
+                toks[i + 1].line,
+                Rule::AxisCompat,
+                format!(
+                    "raw `.{}` field access hard-codes the M = 2 axis pair — go through \
+                     ResourceVector::get(Resource::..)",
+                    toks[i + 1].text
+                ),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// D5: unseeded-rng
+// ---------------------------------------------------------------------
+
+fn unseeded_rng_rule(toks: &[Tok], push: &mut impl FnMut(u32, Rule, String)) {
+    for t in toks {
+        if t.kind == TokKind::Ident && (t.text == "thread_rng" || t.text == "from_entropy") {
+            push(
+                t.line,
+                Rule::UnseededRng,
+                format!(
+                    "`{}` draws entropy-seeded randomness — every random stream must \
+                     derive from an explicit seed",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pragmas
+// ---------------------------------------------------------------------
+
+/// Apply suppression pragmas to the raw findings and emit the
+/// pragma-hygiene findings (`bad-pragma`, `unused-pragma`).
+fn apply_pragmas(
+    path: &str,
+    lexed: &Lexed,
+    raw: Vec<Finding>,
+    in_test: &dyn Fn(u32) -> bool,
+) -> Vec<Finding> {
+    let pragmas = &lexed.pragmas;
+    let mut used = vec![false; pragmas.len()];
+    let mut out = Vec::new();
+
+    for f in raw {
+        let mut suppressed = false;
+        for (pi, p) in pragmas.iter().enumerate() {
+            if p.rule != Some(f.rule) || p.reason.is_none() {
+                continue;
+            }
+            let matches = p.file_scope
+                || (p.standalone && p.line + 1 == f.line)
+                || (!p.standalone && p.line == f.line);
+            if matches {
+                used[pi] = true;
+                suppressed = true;
+            }
+        }
+        if !suppressed {
+            out.push(f);
+        }
+    }
+
+    for (pi, p) in pragmas.iter().enumerate() {
+        // Pragmas inside test regions suppress nothing (tests are
+        // already exempt) and are not held to hygiene rules.
+        if in_test(p.line) {
+            continue;
+        }
+        if p.rule.is_none() || p.reason.is_none() {
+            let what = if p.rule.is_none() {
+                "unknown rule name"
+            } else {
+                "missing or empty reason"
+            };
+            out.push(Finding {
+                file: path.to_string(),
+                line: p.line,
+                rule: Rule::BadPragma,
+                message: format!(
+                    "malformed pragma ({what}) — use \
+                     // detlint:allow(rule, reason = \"why this is safe\")"
+                ),
+            });
+        } else if !used[pi] {
+            out.push(Finding {
+                file: path.to_string(),
+                line: p.line,
+                rule: Rule::UnusedPragma,
+                message: format!(
+                    "pragma for `{}` suppressed nothing — delete it or move it next to \
+                     the code it excuses",
+                    p.rule.map(Rule::name).unwrap_or("?")
+                ),
+            });
+        }
+    }
+    out.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lint_source;
+
+    const CORE: &str = "crates/core/src/controlplane.rs";
+
+    fn rules_fired(path: &str, src: &str) -> Vec<Rule> {
+        lint_source(path, src).into_iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn hash_lookup_is_clean_iteration_is_not() {
+        let lookups = r#"
+use std::collections::HashMap;
+fn f(map: &mut HashMap<u64, u64>) -> Option<u64> {
+    map.insert(1, 2);
+    map.entry(3).or_default();
+    map.retain(|_, v| *v > 0);
+    map.get(&1).copied()
+}
+"#;
+        assert!(rules_fired(CORE, lookups).is_empty());
+
+        let iteration = r#"
+use std::collections::HashMap;
+fn f(map: &HashMap<u64, u64>) -> u64 {
+    map.values().sum()
+}
+"#;
+        assert_eq!(rules_fired(CORE, iteration), vec![Rule::HashIter]);
+    }
+
+    #[test]
+    fn chained_receivers_and_fields_are_attributed() {
+        let src = r#"
+use std::collections::HashMap;
+struct Inner { map: HashMap<u64, u64> }
+struct Outer { inner: Mutex<Inner> }
+fn f(o: &Outer) -> Vec<u64> {
+    o.inner.lock().map.keys().copied().collect()
+}
+"#;
+        assert_eq!(rules_fired(CORE, src), vec![Rule::HashIter]);
+    }
+
+    #[test]
+    fn for_loops_over_hash_containers_fire() {
+        let src = r#"
+use std::collections::HashSet;
+fn f(set: &HashSet<u64>) {
+    for x in set {
+        drop(x);
+    }
+}
+"#;
+        assert_eq!(rules_fired(CORE, src), vec![Rule::HashIter]);
+    }
+
+    #[test]
+    fn type_aliases_carry_hashness() {
+        let src = r#"
+use std::collections::HashMap;
+type Cache = RefCell<HashMap<u64, u64>>;
+struct S { cache: Cache }
+fn f(s: &S) -> usize {
+    s.cache.borrow().iter().count()
+}
+"#;
+        assert_eq!(rules_fired(CORE, src), vec![Rule::HashIter]);
+    }
+
+    #[test]
+    fn btree_iteration_is_clean() {
+        let src = r#"
+use std::collections::BTreeMap;
+fn f(map: &BTreeMap<u64, u64>) -> u64 {
+    map.values().sum()
+}
+"#;
+        assert!(rules_fired(CORE, src).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_regions_are_exempt_except_rng() {
+        let src = r#"
+fn shipping() {}
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+    #[test]
+    fn t() {
+        let m: HashMap<u32, u32> = HashMap::new();
+        for (k, v) in &m {}
+        let t = std::time::Instant::now();
+        let r = rand::thread_rng();
+    }
+}
+"#;
+        assert_eq!(rules_fired(CORE, src), vec![Rule::UnseededRng]);
+    }
+
+    #[test]
+    fn wall_clock_respects_scope() {
+        let src = "fn f() { let t = std::time::Instant::now(); }";
+        assert_eq!(rules_fired(CORE, src), vec![Rule::WallClock]);
+        assert!(rules_fired("crates/core/src/metrics.rs", src).is_empty());
+        assert!(rules_fired("crates/bench/src/experiments/fleetbench.rs", src).is_empty());
+    }
+
+    #[test]
+    fn float_fmt_flags_bare_and_allows_precision() {
+        let snap = "crates/core/src/snapshot.rs";
+        let bare = r#"
+fn emit(x: f64) -> String {
+    format!("{x}")
+}
+"#;
+        assert_eq!(rules_fired(snap, bare), vec![Rule::FloatFmt]);
+        let debug_positional = r#"
+fn emit(x: f64) -> String {
+    format!("{:?}", x)
+}
+"#;
+        assert_eq!(rules_fired(snap, debug_positional), vec![Rule::FloatFmt]);
+        let precise = r#"
+fn emit(x: f64) -> String {
+    format!("{x:.9} and {0:.3}", x)
+}
+"#;
+        assert!(rules_fired(snap, precise).is_empty());
+        let to_string = r#"
+fn emit(x: f64) -> String {
+    x.to_string()
+}
+"#;
+        assert_eq!(rules_fired(snap, to_string), vec![Rule::FloatFmt]);
+        // Outside serialization paths the rule stays silent.
+        assert!(rules_fired(CORE, bare).is_empty());
+    }
+
+    #[test]
+    fn float_fmt_sees_through_concat_and_fn_returns() {
+        let snap = "crates/bench/src/experiments/dynbench.rs";
+        let src = r#"
+fn objective() -> f64 { 1.0 }
+fn emit() -> String {
+    format!(concat!("a", "{}", "b"), objective())
+}
+"#;
+        assert_eq!(rules_fired(snap, src), vec![Rule::FloatFmt]);
+    }
+
+    #[test]
+    fn axis_compat_flags_shims_and_raw_fields() {
+        let src = r#"
+fn f() {
+    let s = SearchSpace::cpu_only(0.5);
+    let a = Allocation::new(0.5, 0.5);
+    let v = ResourceVector::new(1.0, 1.0);
+    let c = a.cpu;
+}
+"#;
+        let fired = rules_fired(CORE, src);
+        assert_eq!(fired.len(), 4, "{fired:?}");
+        assert!(fired.iter().all(|r| *r == Rule::AxisCompat));
+        // The accessor *methods* and the definitions file stay clean.
+        let methods = "fn f(a: Allocation) -> f64 { a.cpu() + a.memory() }";
+        assert!(rules_fired(CORE, methods).is_empty());
+        assert!(rules_fired("crates/core/src/problem.rs", src).is_empty());
+        assert!(rules_fired("crates/bench/src/experiments/placement.rs", src).is_empty());
+    }
+
+    #[test]
+    fn pragma_suppression_requires_reason_and_use() {
+        let violation = "fn f(m: &std::collections::HashMap<u8, u8>) -> usize { m.keys().count() }";
+        let with_reason = format!(
+            "// detlint:allow(hash-iter, reason = \"count is order-insensitive\")\n{violation}"
+        );
+        assert!(rules_fired(CORE, &with_reason).is_empty());
+
+        let no_reason = format!("// detlint:allow(hash-iter)\n{violation}");
+        let fired = rules_fired(CORE, &no_reason);
+        assert_eq!(fired, vec![Rule::BadPragma, Rule::HashIter], "{fired:?}");
+
+        let wrong_line =
+            format!("// detlint:allow(hash-iter, reason = \"misplaced\")\n\n{violation}");
+        let fired = rules_fired(CORE, &wrong_line);
+        assert!(fired.contains(&Rule::HashIter));
+        assert!(fired.contains(&Rule::UnusedPragma));
+
+        let trailing = format!(
+            "{violation} // detlint:allow(hash-iter, reason = \"count is order-insensitive\")"
+        );
+        assert!(rules_fired(CORE, &trailing).is_empty());
+    }
+
+    #[test]
+    fn file_pragma_suppresses_everywhere_in_the_file() {
+        let src = r#"
+// detlint:allow-file(wall-clock, reason = "latency probe staging area")
+fn a() { let t = std::time::Instant::now(); }
+fn b() { let t = std::time::Instant::now(); }
+"#;
+        assert!(rules_fired(CORE, src).is_empty());
+    }
+}

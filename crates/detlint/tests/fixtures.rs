@@ -1,0 +1,113 @@
+//! Self-test over the known-bad fixture snippets: each determinism
+//! rule must fire exactly once on its fixture, the pragma-hygiene
+//! rules must catch malformed and unused pragmas, and a reasoned
+//! pragma must suppress cleanly. The same files back the seeded leg
+//! of the CI `detlint` job, which asserts the binary exits nonzero.
+
+use detlint::{lint_file, Finding, Rule};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name)
+}
+
+fn findings(name: &str) -> Vec<Finding> {
+    lint_file(&fixture(name)).expect("fixture reads")
+}
+
+fn count_of(findings: &[Finding], rule: Rule) -> usize {
+    findings.iter().filter(|f| f.rule == rule).count()
+}
+
+#[test]
+fn each_rule_fires_exactly_once_on_its_fixture() {
+    for (file, rule) in [
+        ("hash_iter.rs", Rule::HashIter),
+        ("wall_clock.rs", Rule::WallClock),
+        ("float_fmt.rs", Rule::FloatFmt),
+        ("axis_compat.rs", Rule::AxisCompat),
+        ("unseeded_rng.rs", Rule::UnseededRng),
+    ] {
+        let found = findings(file);
+        assert_eq!(
+            found.len(),
+            1,
+            "{file} must produce exactly one finding, got {found:?}"
+        );
+        assert_eq!(found[0].rule, rule, "{file} fired the wrong rule");
+    }
+}
+
+#[test]
+fn reasonless_pragma_is_a_finding_and_suppresses_nothing() {
+    let found = findings("bad_pragma.rs");
+    assert_eq!(count_of(&found, Rule::BadPragma), 1, "{found:?}");
+    assert_eq!(count_of(&found, Rule::HashIter), 1, "{found:?}");
+    assert_eq!(found.len(), 2, "{found:?}");
+}
+
+#[test]
+fn well_formed_but_idle_pragma_is_flagged_unused() {
+    let found = findings("unused_pragma.rs");
+    assert_eq!(found.len(), 1, "{found:?}");
+    assert_eq!(found[0].rule, Rule::UnusedPragma);
+}
+
+#[test]
+fn reasoned_pragma_suppresses_the_violation() {
+    let found = findings("suppressed.rs");
+    assert!(found.is_empty(), "{found:?}");
+}
+
+#[test]
+fn cli_exits_nonzero_on_a_seeded_violation_and_zero_when_clean() {
+    let bin = env!("CARGO_BIN_EXE_detlint");
+    let bad = Command::new(bin)
+        .arg(fixture("hash_iter.rs"))
+        .output()
+        .expect("binary runs");
+    assert_eq!(bad.status.code(), Some(1), "seeded violation must fail");
+    let stdout = String::from_utf8_lossy(&bad.stdout);
+    assert!(stdout.contains("hash-iter"), "{stdout}");
+
+    let clean = Command::new(bin)
+        .arg(fixture("suppressed.rs"))
+        .output()
+        .expect("binary runs");
+    assert_eq!(clean.status.code(), Some(0), "suppressed file must pass");
+
+    let explain = Command::new(bin)
+        .args(["--explain", "hash-iter"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(explain.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&explain.stdout).contains("RandomState"));
+}
+
+#[test]
+fn json_report_is_parseable_and_complete() {
+    let bin = env!("CARGO_BIN_EXE_detlint");
+    let out = Command::new(bin)
+        .args([
+            fixture("bad_pragma.rs").to_str().unwrap(),
+            fixture("wall_clock.rs").to_str().unwrap(),
+            "--json",
+        ])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1));
+    let doc = vda_core::jsonio::parse(&String::from_utf8_lossy(&out.stdout))
+        .expect("report parses as JSON");
+    assert_eq!(doc.get("files_scanned").and_then(|v| v.as_f64()), Some(2.0));
+    let rows = doc.get("findings").and_then(|v| v.as_arr()).unwrap();
+    assert_eq!(rows.len(), 3, "bad-pragma + hash-iter + wall-clock");
+    for row in rows {
+        assert!(row.get("file").is_some());
+        assert!(row.get("line").is_some());
+        assert!(row.get("rule").is_some());
+        assert!(row.get("message").is_some());
+    }
+}

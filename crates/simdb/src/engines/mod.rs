@@ -36,7 +36,11 @@ use vda_vmm::VmPerf;
 pub const PAGES_PER_MB: f64 = 128.0;
 
 /// Which engine a component refers to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+///
+/// `Ord` follows declaration order (PgSim < Db2Sim), which is *not*
+/// alphabetical by [`name`](Self::name) — code that needs name order
+/// (e.g. the snapshot registry) must sort by name explicitly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum EngineKind {
     /// The PostgreSQL-like engine.
     PgSim,

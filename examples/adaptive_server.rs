@@ -13,7 +13,7 @@
 //! ```
 
 use vda::core::dynamic::{DynamicConfigManager, DynamicOptions};
-use vda::core::problem::{QoS, SearchSpace};
+use vda::core::problem::{AxisSet, QoS, Resource, ResourceVector, SearchSpace};
 use vda::core::tenant::Tenant;
 use vda::core::VirtualizationDesignAdvisor;
 use vda::simdb::engines::Engine;
@@ -45,7 +45,10 @@ fn main() {
     );
     advisor.calibrate();
 
-    let space = SearchSpace::cpu_only(0.25);
+    let space = SearchSpace::over(
+        AxisSet::of(&[Resource::Cpu]),
+        ResourceVector::full().with(Resource::Memory, 0.25),
+    );
     let mut manager = DynamicConfigManager::new(&advisor, space, DynamicOptions::default());
 
     println!(

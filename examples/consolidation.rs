@@ -7,7 +7,7 @@
 //! cargo run --release --example consolidation
 //! ```
 
-use vda::core::problem::{QoS, SearchSpace};
+use vda::core::problem::{AxisSet, QoS, Resource, ResourceVector, SearchSpace};
 use vda::core::refine::RefineOptions;
 use vda::core::tenant::Tenant;
 use vda::core::VirtualizationDesignAdvisor;
@@ -83,7 +83,10 @@ fn main() {
 
     advisor.calibrate();
 
-    let space = SearchSpace::cpu_and_memory();
+    let space = SearchSpace::over(
+        AxisSet::of(&[Resource::Cpu, Resource::Memory]),
+        ResourceVector::full(),
+    );
     let rec = advisor.recommend(&space);
 
     println!("{:<18} {:>6} {:>8}", "tenant", "cpu", "memory");

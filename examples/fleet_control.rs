@@ -20,7 +20,7 @@
 //! [`ControlPlane`]: vda::core::ControlPlane
 //! [`FleetSnapshot`]: vda::core::FleetSnapshot
 
-use vda::core::problem::{QoS, SearchSpace};
+use vda::core::problem::{AxisSet, QoS, Resource, ResourceVector, SearchSpace};
 use vda::core::tenant::Tenant;
 use vda::core::VirtualizationDesignAdvisor;
 use vda::core::{ControlPlane, ControlPlaneOptions, FleetEvent, FleetSnapshot};
@@ -59,7 +59,10 @@ fn fleet() -> (Vec<VirtualizationDesignAdvisor>, Vec<SearchSpace>) {
         }
         machines.push(adv);
     }
-    let space = SearchSpace::cpu_only(512.0 / 8192.0);
+    let space = SearchSpace::over(
+        AxisSet::of(&[Resource::Cpu]),
+        ResourceVector::full().with(Resource::Memory, 512.0 / 8192.0),
+    );
     let spaces = vec![space; machines.len()];
     (machines, spaces)
 }

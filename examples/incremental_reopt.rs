@@ -19,7 +19,7 @@
 //! [`ProbeCache`]: vda::core::costmodel::whatif::ProbeCache
 
 use vda::core::costmodel::whatif::ProbeCache;
-use vda::core::problem::{QoS, SearchSpace};
+use vda::core::problem::{AxisSet, QoS, Resource, ResourceVector, SearchSpace};
 use vda::core::tenant::Tenant;
 use vda::core::VirtualizationDesignAdvisor;
 use vda::simdb::engines::Engine;
@@ -57,7 +57,10 @@ fn main() {
         adv.attach_probe_cache(probe.clone());
     }
 
-    let space = SearchSpace::cpu_only(0.5);
+    let space = SearchSpace::over(
+        AxisSet::of(&[Resource::Cpu]),
+        ResourceVector::full().with(Resource::Memory, 0.5),
+    );
     println!(
         "{:<8} {:>10} {:>10} {:>14} {:>12}",
         "period", "m0 calls", "m1 calls", "objectives", "probe hits"

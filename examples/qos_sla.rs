@@ -13,7 +13,7 @@
 //! cargo run --release --example qos_sla
 //! ```
 
-use vda::core::problem::{QoS, SearchSpace};
+use vda::core::problem::{AxisSet, QoS, Resource, ResourceVector, SearchSpace};
 use vda::core::tenant::Tenant;
 use vda::core::VirtualizationDesignAdvisor;
 use vda::simdb::engines::Engine;
@@ -56,7 +56,10 @@ fn show(title: &str, advisor: &VirtualizationDesignAdvisor, space: &SearchSpace)
 }
 
 fn main() {
-    let space = SearchSpace::cpu_only(0.25);
+    let space = SearchSpace::over(
+        AxisSet::of(&[Resource::Cpu]),
+        ResourceVector::full().with(Resource::Memory, 0.25),
+    );
 
     // Baseline: five equals.
     let advisor = build_advisor(vec![QoS::default(); 5]);

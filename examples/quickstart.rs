@@ -8,7 +8,7 @@
 //! and a scan-bound workload in two VMs, calibrates the optimizer cost
 //! models, and asks the virtualization design advisor for CPU shares.
 
-use vda::core::problem::{QoS, SearchSpace};
+use vda::core::problem::{AxisSet, QoS, Resource, ResourceVector, SearchSpace};
 use vda::core::tenant::Tenant;
 use vda::core::VirtualizationDesignAdvisor;
 use vda::simdb::engines::Engine;
@@ -49,7 +49,10 @@ fn main() {
     advisor.calibrate();
 
     // Recommend CPU shares; each VM keeps a fixed 2 GB memory grant.
-    let space = SearchSpace::cpu_only(0.25);
+    let space = SearchSpace::over(
+        AxisSet::of(&[Resource::Cpu]),
+        ResourceVector::full().with(Resource::Memory, 0.25),
+    );
     let rec = advisor.recommend(&space);
 
     println!(

@@ -181,4 +181,32 @@ proptest! {
         prop_assert!(idx < model.pieces.len());
         prop_assert!(model.predict(Allocation::new(0.5, share)).is_finite());
     }
+
+    /// The serialization contract over the *entire* f64 bit space:
+    /// any finite bit pattern — normal, subnormal, signed zero —
+    /// written by jsonio parses back to the identical bits, and the
+    /// non-finite patterns all collapse to the null sentinel. Two u32
+    /// draws make up the u64 (the full-width `0..=u64::MAX` range
+    /// strategy would overflow its span arithmetic).
+    #[test]
+    fn jsonio_round_trips_arbitrary_f64_bit_patterns(
+        hi in 0u32..=u32::MAX,
+        lo in 0u32..=u32::MAX,
+    ) {
+        use vda::core::jsonio::{self, Json};
+        let bits = ((hi as u64) << 32) | lo as u64;
+        let x = f64::from_bits(bits);
+        let written = jsonio::write(&Json::Num(x));
+        prop_assert_eq!(&written, &jsonio::fmt_f64(x));
+        if x.is_finite() {
+            let back = jsonio::parse(&written).unwrap();
+            let y = back.as_f64().unwrap();
+            prop_assert_eq!(
+                x.to_bits(), y.to_bits(),
+                "bits 0x{:016x} did not round-trip ({} -> {})", bits, x, y
+            );
+        } else {
+            prop_assert_eq!(written.as_str(), "null");
+        }
+    }
 }
