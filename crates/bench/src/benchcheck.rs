@@ -195,7 +195,24 @@ mod tests {
     "snapshot_bytes": 3100000,
     "snapshot_roundtrip": true,
     "resume_matches": true,
-    "meets_5x": true
+    "meets_5x": true,
+    "scaled": {
+      "batch_size": 25,
+      "probe_cache_rows": 120000,
+      "per_event_wall_ms": 2400.0,
+      "batched_wall_ms": 2200.0,
+      "capped_wall_ms": 8600.0,
+      "event_optimizer_calls_batched": 5850,
+      "waves_per_event": 501,
+      "waves_batched": 21,
+      "coalesced_events": 200,
+      "log_dropped_batched": 8,
+      "probe_evictions": 26075,
+      "probe_bytes_capped": 9304480,
+      "serial_equivalence": true,
+      "batching_cuts_waves": true,
+      "cache_bounded": true
+    }
   },
   "heterogeneous": {
     "machine_scales_cpu": [0.5, 0.5, 1.0, 1.0],
@@ -534,6 +551,93 @@ mod tests {
         assert!(
             compare_reports(BASE, &cand).is_empty(),
             "fleet wall times and latency percentiles must stay unguarded"
+        );
+    }
+
+    #[test]
+    fn fleet_scaled_section_deterministic_fields_are_gated() {
+        // The nested batched-ingestion section of BENCH_fleet.json:
+        // dimensions and knobs, optimizer-call totals, wave counts,
+        // coalescing/eviction/ring counters, resident-byte accounting
+        // (a deterministic size model, not a heap measurement), and
+        // the four contract booleans are gated; the three per-leg wall
+        // times are not.
+        for (field, original, replacement) in [
+            ("batch_size", "\"batch_size\": 25", "\"batch_size\": 50"),
+            (
+                "probe_cache_rows",
+                "\"probe_cache_rows\": 120000",
+                "\"probe_cache_rows\": 60000",
+            ),
+            (
+                "event_optimizer_calls_batched",
+                "\"event_optimizer_calls_batched\": 5850",
+                "\"event_optimizer_calls_batched\": 7000",
+            ),
+            (
+                "waves_per_event",
+                "\"waves_per_event\": 501",
+                "\"waves_per_event\": 500",
+            ),
+            (
+                "waves_batched",
+                "\"waves_batched\": 21",
+                "\"waves_batched\": 501",
+            ),
+            (
+                "coalesced_events",
+                "\"coalesced_events\": 200",
+                "\"coalesced_events\": 0",
+            ),
+            (
+                "log_dropped_batched",
+                "\"log_dropped_batched\": 8",
+                "\"log_dropped_batched\": 0",
+            ),
+            (
+                "probe_evictions",
+                "\"probe_evictions\": 26075",
+                "\"probe_evictions\": 0",
+            ),
+            (
+                "probe_bytes_capped",
+                "\"probe_bytes_capped\": 9304480",
+                "\"probe_bytes_capped\": 11144960",
+            ),
+            (
+                "serial_equivalence",
+                "\"serial_equivalence\": true",
+                "\"serial_equivalence\": false",
+            ),
+            (
+                "batching_cuts_waves",
+                "\"batching_cuts_waves\": true",
+                "\"batching_cuts_waves\": false",
+            ),
+            (
+                "cache_bounded",
+                "\"cache_bounded\": true",
+                "\"cache_bounded\": false",
+            ),
+        ] {
+            let cand = BASE.replace(original, replacement);
+            assert_ne!(cand, BASE, "{field} must appear in the fixture");
+            let problems = compare_reports(BASE, &cand);
+            assert!(
+                problems.iter().any(|p| p.contains(field)),
+                "scaled {field} drift must fail the gate: {problems:?}"
+            );
+        }
+        let cand = BASE
+            .replace(
+                "\"per_event_wall_ms\": 2400.0",
+                "\"per_event_wall_ms\": 1.0",
+            )
+            .replace("\"batched_wall_ms\": 2200.0", "\"batched_wall_ms\": 2.0")
+            .replace("\"capped_wall_ms\": 8600.0", "\"capped_wall_ms\": 3.0");
+        assert!(
+            compare_reports(BASE, &cand).is_empty(),
+            "scaled per-leg wall times must stay unguarded"
         );
     }
 

@@ -90,8 +90,9 @@ fn main() -> ExitCode {
     if let Some(path) = json_flag(&mut args, "--fleet-json", "BENCH_fleet.json") {
         ran_flag = true;
         match experiments::fleetbench::write_json(&path) {
-            Ok(m) => {
+            Ok((m, s)) => {
                 println!("{}", experiments::fleetbench::run_from(m));
+                println!("{}", experiments::fleetbench::run_scaled_from(&s));
                 println!("wrote {path}");
             }
             Err(e) => {

@@ -37,11 +37,52 @@
 //! keeps hit/miss counters and optimizer-call totals identical across
 //! `RAYON_NUM_THREADS` settings (both CI matrix legs diff against the
 //! same baseline).
+//!
+//! # The scaled batched-ingestion section
+//!
+//! The 202-machine scenario above stays as the fast smoke tier; the
+//! `"scaled"` section of `BENCH_fleet.json` ([`SCALED`],
+//! [`measure_scaled`]) stresses the batched-ingestion and
+//! bounded-memory machinery at 1000 machines / 20,000 tenants, driven
+//! through 500 workload-storm events three times over:
+//!
+//! * **per-event** — [`ControlPlane::process_event`] per event, the
+//!   wave-count baseline (one re-solve wave per event);
+//! * **batched** — the same events through
+//!   [`ControlPlane::process_batch`] in batches of 25, coalescing
+//!   same-slot touches and paying one wave per batch;
+//! * **batched + capped** — the batched leg re-run with
+//!   [`ControlPlaneOptions::probe_cache_capacity`] low enough that the
+//!   LRU evicts live rows.
+//!
+//! Gated contracts: the batched leg's final placements and objective
+//! bits equal the per-event leg's (`serial_equivalence` — batching
+//! reorders *work*, never *state*); the capped leg's per-batch
+//! decisions equal the uncapped leg's decision for decision
+//! (`results_match` — eviction costs recomputation, never accuracy);
+//! the batched legs dispatch strictly fewer re-solve waves
+//! (`batching_cuts_waves`, with both wave counts gated exactly); and
+//! the cap actually binds (`cache_bounded`: evictions observed, capped
+//! resident bytes no larger than uncapped). Wall times per leg are
+//! recorded but not gated. The scaled fleet has no spares and its
+//! event storm takes no arrivals/departures, so every leg sees a
+//! constant 20-tenants-per-machine topology; the migration threshold
+//! is set high enough that reconcile never moves a tenant, which is
+//! what pins `serial_equivalence` to bit-for-bit (batched
+//! classification is documented last-write-wins and *may* diverge from
+//! per-event classification on drift-then-revert patterns — decisions
+//! may differ in wording, state may not).
+//!
+//! Fingerprint uniqueness at this scale is by construction rather than
+//! by coincidence: construction salts are `1.0 + 1e-4·g` (distinct for
+//! every global index `g < 20,000`, topping out below 3.0) and drift
+//! events use intensities at 4.0 and above, so no drifted workload can
+//! ever collide with a construction salt either.
 
 use crate::harness::{fmt_f, Report, Table};
 use crate::setups::{self, EngineChoice};
 use std::time::Instant;
-use vda_core::problem::{QoS, SearchSpace};
+use vda_core::problem::{QoS, ResourceVector, SearchSpace};
 use vda_core::tenant::Tenant;
 use vda_core::VirtualizationDesignAdvisor;
 use vda_core::{ControlPlane, ControlPlaneOptions, EventOutcome, FleetEvent, FleetSnapshot};
@@ -78,6 +119,46 @@ pub const FULL: FleetScale = FleetScale {
     events: 150,
     snapshot_event: 75,
 };
+
+/// Dimensions of the batched-ingestion stress scenario (the `"scaled"`
+/// section — see the module docs).
+#[derive(Debug, Clone, Copy)]
+pub struct BatchScale {
+    /// Machines, all populated (the storm has no spares).
+    pub populated: usize,
+    /// Tenants per machine at construction (constant throughout: the
+    /// storm carries no arrivals or departures).
+    pub tenants_per_machine: usize,
+    /// Events in the storm.
+    pub events: usize,
+    /// Events per [`ControlPlane::process_batch`] call in the batched
+    /// legs (must divide `events`).
+    pub batch: usize,
+    /// [`ControlPlaneOptions::probe_cache_capacity`] of the capped leg
+    /// (rows). Low enough that the LRU must evict live rows.
+    pub probe_cache_rows: usize,
+    /// [`ControlPlaneOptions::decision_log_capacity`] for every leg.
+    /// Below the per-leg decision count, so the ring wraps at scale.
+    pub log_horizon: usize,
+}
+
+/// The committed `"scaled"` dimensions: 1000 machines, 20,000 tenants,
+/// 500 events in batches of 25.
+pub const SCALED: BatchScale = BatchScale {
+    populated: 1000,
+    tenants_per_machine: 20,
+    events: 500,
+    batch: 25,
+    probe_cache_rows: 120_000,
+    log_horizon: 12,
+};
+
+/// Fixed memory share (and CPU `min_share`/δ) of the scaled scenario's
+/// search space: 4 % each, so a machine fits 25 CPU grid shares — 20
+/// resident tenants plus slack for the optimizer to shift, without the
+/// degenerate everyone-gets-the-minimum grid that 20 tenants on the
+/// default 5 % grid would force.
+const SCALED_SHARE: f64 = 0.04;
 
 /// Per-core clock multipliers defining the fleet's hardware classes
 /// (machine `m` is `paper_testbed` with `core_ghz` scaled by entry
@@ -227,6 +308,98 @@ fn next_event(
             machine,
             slot,
             factor,
+        }
+    }
+}
+
+/// Control-plane knobs for the scaled batched scenario. The migration
+/// threshold is deliberately prohibitive (no reconcile move can gain
+/// half the fleet objective): with migrations off and the storm free
+/// of structural events, the per-event and batched legs must agree on
+/// final state bit for bit, which is the `serial_equivalence` gate.
+fn scaled_options(probe_cache_rows: usize, log_horizon: usize) -> ControlPlaneOptions {
+    ControlPlaneOptions {
+        migration_threshold: 0.5,
+        recalibration_surcharge: 1e-3,
+        incremental: true,
+        probe_cache_capacity: probe_cache_rows,
+        decision_log_capacity: log_horizon,
+        ..ControlPlaneOptions::default()
+    }
+}
+
+/// The scaled scenario's search space: CPU-only over a 4 % grid with
+/// memory fixed at 4 % per VM (see [`SCALED_SHARE`]).
+fn scaled_space() -> SearchSpace {
+    let mut space = SearchSpace::cpu_only(SCALED_SHARE);
+    space.min_share = SCALED_SHARE;
+    space.deltas = ResourceVector::splat(SCALED_SHARE);
+    space
+}
+
+/// Build one scaled leg's fleet. Salts are `1.0 + 1e-4·g` over the
+/// global tenant index `g`: distinct for every `g` up to 20,000, so
+/// workload fingerprints are fleet-unique regardless of which query a
+/// tenant drew (unlike [`fleet`], whose uniqueness argument leans on
+/// the query mix and only stretches to 1000 tenants).
+fn scaled_fleet(scale: &BatchScale) -> (Vec<VirtualizationDesignAdvisor>, Vec<SearchSpace>) {
+    let engine = EngineChoice::Db2.engine();
+    let cat = setups::sf(1.0);
+    let mut machines = Vec::with_capacity(scale.populated);
+    for m in 0..scale.populated {
+        let mut adv = VirtualizationDesignAdvisor::new(Hypervisor::new(spec_for(m)));
+        for s in 0..scale.tenants_per_machine {
+            let (q, _) = MIX[(m + s) % MIX.len()];
+            let g = m * scale.tenants_per_machine + s;
+            let mult = 1.0 + 1e-4 * g as f64;
+            let name = format!("S{m}-T{s}-Q{q}");
+            let w = vda_workloads::tpch::query_workload(q, mult).named(name.clone());
+            let qos = if s == 0 {
+                QoS::with_limit(FIRST_TENANT_LIMIT)
+            } else {
+                QoS::default()
+            };
+            adv.add_tenant(
+                Tenant::new(name, engine.clone(), cat.clone(), w).expect("bench workloads bind"),
+                qos,
+            );
+        }
+        machines.push(adv);
+    }
+    let space = scaled_space();
+    (machines, vec![space; scale.populated])
+}
+
+/// The scaled storm's event `e` — a pure function of the index (no
+/// plane peeks), so the same stream drives every leg whether it is
+/// applied one event or 25 events at a time.
+///
+/// Events come in aligned groups of five on one machine, touching
+/// slots `[0, 7, 14, 0, 7]` — two slots per group are touched twice,
+/// so every batch coalesces a deterministic share of its events.
+/// Every fourth event is a workload *change* (drift to a new query at
+/// intensity `4.0 + 1e-4·e` — distinct per event, and disjoint from
+/// every construction salt); the rest are intensity scalings. The
+/// factors 1.21 / 0.83 are deliberately not reciprocal on the f64
+/// lattice, so repeated scalings never reproduce another tenant's
+/// workload fingerprint.
+fn scaled_event(e: usize, scale: &BatchScale) -> FleetEvent {
+    let machine = ((e / 5) * 131) % scale.populated;
+    let slot = ((e % 5) % 3) * 7 % scale.tenants_per_machine;
+    if e % 4 == 1 {
+        let q = CYCLE[(e / 4) % CYCLE.len()];
+        let workload = vda_workloads::tpch::query_workload(q, 4.0 + 1e-4 * e as f64)
+            .named(format!("storm-{e}-Q{q}"));
+        FleetEvent::WorkloadChanged {
+            machine,
+            slot,
+            workload,
+        }
+    } else {
+        FleetEvent::WorkloadScaled {
+            machine,
+            slot,
+            factor: if e.is_multiple_of(2) { 1.21 } else { 0.83 },
         }
     }
 }
@@ -474,6 +647,200 @@ pub fn measure() -> Result<FleetBench, String> {
     measure_with(FULL)
 }
 
+/// The scaled batched-ingestion measurement, as emitted into the
+/// `"scaled"` section of `BENCH_fleet.json`. Everything except the
+/// `*_wall_ms` fields is deterministic and gated.
+#[derive(Debug, Clone)]
+pub struct ScaledBench {
+    /// The dimensions measured.
+    pub scale: BatchScale,
+    /// Pricing-class shards after construction.
+    pub shards: usize,
+    /// Optimizer calls standing one leg's plane up (identical across
+    /// legs — the fleets are clones).
+    pub construction_calls: u64,
+    /// Fleet objective after the initial solve (`{:.9}`-gated).
+    pub initial_objective: f64,
+    /// Event-phase optimizer calls, per-event leg.
+    pub per_event_calls: u64,
+    /// Event-phase optimizer calls, batched uncapped leg.
+    pub batched_calls: u64,
+    /// Event-phase optimizer calls, batched capped leg (≥ the uncapped
+    /// leg's: evicted rows are recomputed on demand).
+    pub capped_calls: u64,
+    /// Re-solve waves dispatched by the per-event leg (construction's
+    /// initial wave plus one per event).
+    pub waves_per_event: u64,
+    /// Re-solve waves dispatched by the batched legs (construction
+    /// plus one per batch; the capped leg must match or
+    /// `results_match` goes false).
+    pub waves_batched: u64,
+    /// Events absorbed by same-slot coalescing across all batches
+    /// (summed from the batch decisions' action strings).
+    pub coalesced: u64,
+    /// Ring-buffer decisions dropped by the per-event leg
+    /// (`events − log_horizon`).
+    pub log_dropped_per_event: u64,
+    /// Decisions resident in the batched leg's ring at the end.
+    pub log_len_batched: usize,
+    /// Ring-buffer decisions dropped by the batched leg.
+    pub log_dropped_batched: u64,
+    /// Probe-cache misses, batched uncapped leg.
+    pub probe_misses_uncapped: u64,
+    /// Probe-cache misses, batched capped leg.
+    pub probe_misses_capped: u64,
+    /// Rows the capped leg's LRU evicted (the cap must bind).
+    pub probe_evictions: u64,
+    /// Final probe-cache resident bytes, uncapped leg (deterministic
+    /// size model, not a heap measurement).
+    pub probe_bytes_uncapped: u64,
+    /// Final probe-cache resident bytes, capped leg.
+    pub probe_bytes_capped: u64,
+    /// Fleet objective after the storm (`{:.9}`-gated).
+    pub final_objective: f64,
+    /// Batched leg's final placements and objective bits equal the
+    /// per-event leg's.
+    pub serial_equivalence: bool,
+    /// Capped leg's per-batch decisions (action, resolved set,
+    /// migrations, objective bits) and wave count identical to the
+    /// uncapped leg's.
+    pub results_match: bool,
+    /// Wall time of the per-event leg, construction included
+    /// (recorded, not gated).
+    pub per_event_wall_ms: f64,
+    /// Wall time of the batched uncapped leg.
+    pub batched_wall_ms: f64,
+    /// Wall time of the batched capped leg.
+    pub capped_wall_ms: f64,
+}
+
+impl ScaledBench {
+    /// The headline contract: batching dispatches strictly fewer
+    /// re-solve waves than per-event ingestion.
+    pub fn batching_cuts_waves(&self) -> bool {
+        self.waves_batched < self.waves_per_event
+    }
+
+    /// The bounded-memory contract held *and* bound: rows were
+    /// evicted, and the capped cache never outgrew the uncapped one.
+    pub fn cache_bounded(&self) -> bool {
+        self.probe_evictions > 0 && self.probe_bytes_capped <= self.probe_bytes_uncapped
+    }
+}
+
+/// Events a batch decision reports as coalesced, parsed back out of
+/// its action string (`"batch n25 (…; 3 major, 10 coalesced)"`).
+fn coalesced_in(action: &str) -> u64 {
+    action
+        .strip_suffix(" coalesced)")
+        .and_then(|head| head.rsplit(' ').next())
+        .and_then(|n| n.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Run all three legs of the scaled batched scenario.
+pub fn measure_scaled_with(scale: BatchScale) -> ScaledBench {
+    assert!(
+        scale.events.is_multiple_of(scale.batch),
+        "batch size must divide the event count"
+    );
+    let events: Vec<FleetEvent> = (0..scale.events).map(|e| scaled_event(e, &scale)).collect();
+
+    // Per-event leg: the wave-count baseline.
+    let (machines, spaces) = scaled_fleet(&scale);
+    let t0 = Instant::now();
+    let mut plane = ControlPlane::new(machines, spaces, scaled_options(0, scale.log_horizon));
+    let construction_calls = plane.stats().optimizer_calls;
+    let initial_objective = plane.objective();
+    let shards = plane.shards().len();
+    for ev in &events {
+        plane.process_event(ev.clone());
+    }
+    let per_event_wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let per_event_stats = plane.stats();
+    let log_dropped_per_event = plane.decision_log().dropped();
+    // Keep only what `serial_equivalence` needs and release the rest —
+    // three live 20k-tenant planes would triple peak memory for
+    // nothing.
+    let per_event_placements = plane.placements().to_vec();
+    let per_event_objective = plane.objective();
+    drop(plane);
+
+    // Batched leg, unbounded cache.
+    let (machines, spaces) = scaled_fleet(&scale);
+    let t0 = Instant::now();
+    let mut plane = ControlPlane::new(machines, spaces, scaled_options(0, scale.log_horizon));
+    let batched_construction = plane.stats().optimizer_calls;
+    let mut batched_outcomes = Vec::with_capacity(scale.events / scale.batch);
+    for chunk in events.chunks(scale.batch) {
+        batched_outcomes.push(plane.process_batch(chunk));
+    }
+    let batched_wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let batched_stats = plane.stats();
+    let serial_equivalence = plane.placements() == &per_event_placements[..]
+        && plane.objective().to_bits() == per_event_objective.to_bits();
+    let log_len_batched = plane.decision_log().len();
+    let log_dropped_batched = plane.decision_log().dropped();
+    let final_objective = plane.objective();
+    drop(plane);
+
+    // Batched leg, capped cache: decisions must not move.
+    let (machines, spaces) = scaled_fleet(&scale);
+    let t0 = Instant::now();
+    let mut plane = ControlPlane::new(
+        machines,
+        spaces,
+        scaled_options(scale.probe_cache_rows, scale.log_horizon),
+    );
+    let capped_construction = plane.stats().optimizer_calls;
+    let mut results_match = true;
+    for (chunk, uncapped) in events.chunks(scale.batch).zip(&batched_outcomes) {
+        let capped = plane.process_batch(chunk);
+        results_match &= capped.action == uncapped.action
+            && capped.resolved == uncapped.resolved
+            && capped.migrations == uncapped.migrations
+            && capped.objective.to_bits() == uncapped.objective.to_bits();
+    }
+    let capped_wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let capped_stats = plane.stats();
+    results_match &= capped_stats.waves == batched_stats.waves;
+
+    ScaledBench {
+        scale,
+        shards,
+        construction_calls,
+        initial_objective,
+        per_event_calls: per_event_stats.optimizer_calls - construction_calls,
+        batched_calls: batched_stats.optimizer_calls - batched_construction,
+        capped_calls: capped_stats.optimizer_calls - capped_construction,
+        waves_per_event: per_event_stats.waves,
+        waves_batched: batched_stats.waves,
+        coalesced: batched_outcomes
+            .iter()
+            .map(|o| coalesced_in(&o.action))
+            .sum(),
+        log_dropped_per_event,
+        log_len_batched,
+        log_dropped_batched,
+        probe_misses_uncapped: batched_stats.probe_misses,
+        probe_misses_capped: capped_stats.probe_misses,
+        probe_evictions: capped_stats.probe_evictions,
+        probe_bytes_uncapped: batched_stats.probe_bytes,
+        probe_bytes_capped: capped_stats.probe_bytes,
+        final_objective,
+        serial_equivalence,
+        results_match,
+        per_event_wall_ms,
+        batched_wall_ms,
+        capped_wall_ms,
+    }
+}
+
+/// Run the committed scaled dimensions.
+pub fn measure_scaled() -> ScaledBench {
+    measure_scaled_with(SCALED)
+}
+
 /// Measure and render as a report. A failed measurement renders as an
 /// error report instead of panicking.
 pub fn run() -> Report {
@@ -633,11 +1000,162 @@ pub fn to_json(m: &FleetBench) -> String {
     )
 }
 
-/// Measure the full scale and write `BENCH_fleet.json` to `path`.
-pub fn write_json(path: &str) -> std::io::Result<FleetBench> {
+/// The nested `"scaled"` object of `BENCH_fleet.json` (no trailing
+/// comma or newline — [`full_json`] splices it into the root
+/// document). Everything except the `*_wall_ms` leaves is
+/// deterministic and gated by `check_bench`.
+pub fn scaled_section_json(s: &ScaledBench) -> String {
+    format!(
+        concat!(
+            "  \"scaled\": {{\n",
+            "    \"machines\": {},\n",
+            "    \"tenants\": {},\n",
+            "    \"hardware_classes\": {},\n",
+            "    \"events\": {},\n",
+            "    \"batch_size\": {},\n",
+            "    \"batches\": {},\n",
+            "    \"space\": \"cpu_only_4pct\",\n",
+            "    \"shards\": {},\n",
+            "    \"probe_cache_rows\": {},\n",
+            "    \"decision_log_horizon\": {},\n",
+            "    \"per_event_wall_ms\": {:.3},\n",
+            "    \"batched_wall_ms\": {:.3},\n",
+            "    \"capped_wall_ms\": {:.3},\n",
+            "    \"construction_optimizer_calls\": {},\n",
+            "    \"event_optimizer_calls_per_event\": {},\n",
+            "    \"event_optimizer_calls_batched\": {},\n",
+            "    \"event_optimizer_calls_capped\": {},\n",
+            "    \"waves_per_event\": {},\n",
+            "    \"waves_batched\": {},\n",
+            "    \"coalesced_events\": {},\n",
+            "    \"log_dropped_per_event\": {},\n",
+            "    \"log_len_batched\": {},\n",
+            "    \"log_dropped_batched\": {},\n",
+            "    \"probe_misses_uncapped\": {},\n",
+            "    \"probe_misses_capped\": {},\n",
+            "    \"probe_evictions\": {},\n",
+            "    \"probe_bytes_uncapped\": {},\n",
+            "    \"probe_bytes_capped\": {},\n",
+            "    \"initial_objective\": {:.9},\n",
+            "    \"final_objective\": {:.9},\n",
+            "    \"serial_equivalence\": {},\n",
+            "    \"results_match\": {},\n",
+            "    \"batching_cuts_waves\": {},\n",
+            "    \"cache_bounded\": {}\n",
+            "  }}"
+        ),
+        s.scale.populated,
+        s.scale.populated * s.scale.tenants_per_machine,
+        GHZ_STEPS.len(),
+        s.scale.events,
+        s.scale.batch,
+        s.scale.events / s.scale.batch,
+        s.shards,
+        s.scale.probe_cache_rows,
+        s.scale.log_horizon,
+        s.per_event_wall_ms,
+        s.batched_wall_ms,
+        s.capped_wall_ms,
+        s.construction_calls,
+        s.per_event_calls,
+        s.batched_calls,
+        s.capped_calls,
+        s.waves_per_event,
+        s.waves_batched,
+        s.coalesced,
+        s.log_dropped_per_event,
+        s.log_len_batched,
+        s.log_dropped_batched,
+        s.probe_misses_uncapped,
+        s.probe_misses_capped,
+        s.probe_evictions,
+        s.probe_bytes_uncapped,
+        s.probe_bytes_capped,
+        s.initial_objective,
+        s.final_objective,
+        s.serial_equivalence,
+        s.results_match,
+        s.batching_cuts_waves(),
+        s.cache_bounded(),
+    )
+}
+
+/// The complete `BENCH_fleet.json` document: the 202-machine smoke
+/// section at the root plus the nested `"scaled"` batched section.
+pub fn full_json(m: &FleetBench, s: &ScaledBench) -> String {
+    let root = to_json(m);
+    let head = root
+        .strip_suffix("\n}\n")
+        .expect("root fleet json ends with its closing brace");
+    format!("{head},\n{}\n}}\n", scaled_section_json(s))
+}
+
+/// Render a scaled measurement as a report.
+pub fn run_scaled_from(s: &ScaledBench) -> Report {
+    let mut report = Report::new(
+        "fleetbench-scaled",
+        "Batched ingestion: 20,000 tenants / 1000 machines / 500 events in batches of 25",
+    );
+    let mut table = Table::new(vec!["leg", "event calls", "waves", "wall ms"]);
+    table.row(vec![
+        "per-event".to_string(),
+        s.per_event_calls.to_string(),
+        s.waves_per_event.to_string(),
+        fmt_f(s.per_event_wall_ms, 1),
+    ]);
+    table.row(vec![
+        "batched".to_string(),
+        s.batched_calls.to_string(),
+        s.waves_batched.to_string(),
+        fmt_f(s.batched_wall_ms, 1),
+    ]);
+    table.row(vec![
+        "batched+capped".to_string(),
+        s.capped_calls.to_string(),
+        s.waves_batched.to_string(),
+        fmt_f(s.capped_wall_ms, 1),
+    ]);
+    report.section("per-event vs batched ingestion", table);
+
+    let mut counters = Table::new(vec!["counter", "value"]);
+    counters.row(vec![
+        "coalesced events".to_string(),
+        s.coalesced.to_string(),
+    ]);
+    counters.row(vec![
+        "probe evictions (capped)".to_string(),
+        s.probe_evictions.to_string(),
+    ]);
+    counters.row(vec![
+        "probe bytes uncapped".to_string(),
+        s.probe_bytes_uncapped.to_string(),
+    ]);
+    counters.row(vec![
+        "probe bytes capped".to_string(),
+        s.probe_bytes_capped.to_string(),
+    ]);
+    counters.row(vec![
+        "ring decisions dropped (batched)".to_string(),
+        s.log_dropped_batched.to_string(),
+    ]);
+    report.section("bounded-memory counters", counters);
+    report.note(format!(
+        "batched ≡ per-event state: {}; capped ≡ uncapped decisions: {}; fewer waves batched: {}; cache cap bound: {}",
+        s.serial_equivalence,
+        s.results_match,
+        s.batching_cuts_waves(),
+        s.cache_bounded()
+    ));
+    report
+}
+
+/// Measure both sections at full scale and write `BENCH_fleet.json` to
+/// `path`.
+pub fn write_json(path: &str) -> std::io::Result<(FleetBench, ScaledBench)> {
     let m = measure().map_err(std::io::Error::other)?;
-    std::fs::write(path, to_json(&m))?;
-    Ok(m)
+    let s = measure_scaled();
+    std::fs::write(path, full_json(&m, &s))?;
+    Ok((m, s))
 }
 
 #[cfg(test)]
@@ -689,6 +1207,70 @@ mod tests {
         assert_eq!(json.matches('[').count(), json.matches(']').count());
     }
 
+    /// Miniature batched scenario: small enough for debug-mode unit
+    /// tests, large enough that batches coalesce, the ring wraps, and
+    /// the probe-cache cap binds.
+    const TINY_SCALED: BatchScale = BatchScale {
+        populated: 6,
+        tenants_per_machine: 4,
+        events: 40,
+        batch: 10,
+        probe_cache_rows: 96,
+        log_horizon: 3,
+    };
+
+    #[test]
+    fn tiny_batched_scenario_holds_every_contract() {
+        let s = measure_scaled_with(TINY_SCALED);
+        assert!(s.serial_equivalence, "batched state diverged from serial");
+        assert!(s.results_match, "capped decisions diverged from uncapped");
+        assert!(s.batching_cuts_waves());
+        assert_eq!(s.waves_per_event, 1 + TINY_SCALED.events as u64);
+        assert_eq!(
+            s.waves_batched,
+            1 + (TINY_SCALED.events / TINY_SCALED.batch) as u64
+        );
+        assert!(s.coalesced > 0, "the storm must produce same-slot touches");
+        assert!(s.probe_evictions > 0, "the cache cap must bind");
+        assert!(s.cache_bounded());
+        assert!(
+            s.probe_misses_capped >= s.probe_misses_uncapped,
+            "eviction can only add misses"
+        );
+        assert!(
+            s.batched_calls <= s.per_event_calls,
+            "batched {} vs per-event {}",
+            s.batched_calls,
+            s.per_event_calls
+        );
+        assert_eq!(s.log_len_batched, TINY_SCALED.log_horizon);
+        assert_eq!(
+            s.log_dropped_batched,
+            (TINY_SCALED.events / TINY_SCALED.batch - TINY_SCALED.log_horizon) as u64
+        );
+        assert_eq!(
+            s.log_dropped_per_event,
+            (TINY_SCALED.events - TINY_SCALED.log_horizon) as u64
+        );
+
+        let json = scaled_section_json(&s);
+        assert!(json.contains("\"results_match\": true"));
+        assert!(json.contains("\"serial_equivalence\": true"));
+        assert!(json.contains("\"cache_bounded\": true"));
+        assert!(json.ends_with("  }"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn coalesced_counts_parse_back_out_of_action_strings() {
+        assert_eq!(
+            coalesced_in("batch n25 (changed 6, scaled 19; 3 major, 10 coalesced)"),
+            10
+        );
+        assert_eq!(coalesced_in("batch n1 (scaled 1; 0 major, 0 coalesced)"), 0);
+        assert_eq!(coalesced_in("workload-scaled M3 S1 x1.25 (minor)"), 0);
+    }
+
     #[test]
     fn tenant_fingerprints_are_fleet_unique() {
         // The thread-count determinism of the gated counters rests on
@@ -703,5 +1285,16 @@ mod tests {
         fps.sort_unstable();
         fps.dedup();
         assert_eq!(fps.len(), total, "duplicate tenant fingerprints");
+
+        // Same property for the scaled fleet's by-construction salts.
+        let (machines, _) = scaled_fleet(&TINY_SCALED);
+        let mut fps: Vec<u64> = machines
+            .iter()
+            .flat_map(|adv| (0..adv.tenant_count()).map(|i| adv.tenant(i).fingerprint()))
+            .collect();
+        let total = fps.len();
+        fps.sort_unstable();
+        fps.dedup();
+        assert_eq!(fps.len(), total, "duplicate scaled-fleet fingerprints");
     }
 }

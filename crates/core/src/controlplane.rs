@@ -42,6 +42,20 @@
 //!    [`ControlPlane::p99_latency_ms`] summarizes via
 //!    [`crate::metrics::percentile`].
 //!
+//! Events can also be ingested **in batches**
+//! ([`ControlPlane::process_batch`]): same-slot workload events are
+//! coalesced (last-write-wins — see the method docs for the exact
+//! rule), every dirty machine is marked once, and the whole batch is
+//! re-solved in a *single* parallel wave instead of one wave per
+//! event. At scale both the probe cache and the decision log run in
+//! **bounded-memory modes**: a row-capped [`ProbeCache`] with
+//! deterministic logical-epoch LRU eviction
+//! ([`ControlPlaneOptions::probe_cache_capacity`]) and a ring-buffer
+//! [`DecisionLog`] with a configurable retention horizon
+//! ([`ControlPlaneOptions::decision_log_capacity`]). Capping either
+//! never changes any decision — only the optimizer-call bill and the
+//! retained history.
+//!
 //! The whole control-plane state — calibrations, class registry,
 //! placements, warm-start exports, probe entries, decision log — is
 //! durable: [`ControlPlane::snapshot`] captures a
@@ -154,6 +168,19 @@ pub struct ControlPlaneOptions {
     /// cold-starts the probe cache first — the baseline the incremental
     /// path is measured against. Results are bit-identical either way.
     pub incremental: bool,
+    /// Row capacity of the fleet [`ProbeCache`] (`0`, the default:
+    /// unbounded). When set, least-recently-used `(model, tenant)`
+    /// generations are evicted at the end of each event or batch —
+    /// recency is the logical event sequence, so eviction (and every
+    /// gated counter downstream of it) is bit-identical across thread
+    /// counts. Decisions never change: the cache is read-through, a
+    /// capped run just pays more optimizer calls.
+    pub probe_cache_capacity: usize,
+    /// Retention horizon of the [`DecisionLog`] in entries (`0`, the
+    /// default: unbounded). When set, the log becomes a ring buffer:
+    /// the oldest decision is overwritten and counted in
+    /// [`DecisionLog::dropped`].
+    pub decision_log_capacity: usize,
 }
 
 impl Default for ControlPlaneOptions {
@@ -165,26 +192,143 @@ impl Default for ControlPlaneOptions {
             reconcile_fanout: 4,
             prune_every: 64,
             incremental: true,
+            probe_cache_capacity: 0,
+            decision_log_capacity: 0,
         }
     }
 }
 
-/// One entry of the durable decision log: what an event changed.
-/// Deliberately excludes wall-clock measurements so snapshots of two
-/// runs over the same event stream compare bit-identically.
+/// One entry of the durable decision log: what an event (or batch)
+/// changed. Deliberately excludes wall-clock measurements so snapshots
+/// of two runs over the same event stream compare bit-identically.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Decision {
     /// Event sequence number (1-based; `seq` events processed so far).
+    /// A batch decision carries the sequence number of its *last*
+    /// event.
     pub seq: u64,
     /// Compact human-readable description of the event and its
-    /// classification, e.g. `"workload-changed m12 t3 (major)"`.
+    /// classification, e.g. `"workload-changed m12 t3 (major)"`, or of
+    /// the batch composition.
     pub action: String,
     /// Machines re-solved by this event (sorted).
     pub resolved: Vec<usize>,
-    /// The reconcile migration taken, if any.
-    pub migration: Option<Migration>,
+    /// The reconcile migrations taken — at most one per single event,
+    /// possibly several for a batch.
+    pub migrations: Vec<Migration>,
     /// Estimated fleet objective after the event.
     pub objective: f64,
+}
+
+/// The decision log: unbounded by default, a fixed-capacity **ring
+/// buffer** when [`ControlPlaneOptions::decision_log_capacity`] is
+/// set. Once full, each push overwrites the oldest entry and bumps
+/// [`Self::dropped`]; iteration ([`Self::iter`], [`Self::to_vec`]) is
+/// always oldest → newest regardless of where the ring's head sits.
+///
+/// Equality is *logical*: two logs are equal when they hold the same
+/// decisions in the same order and dropped the same count — the
+/// internal head position does not participate. Snapshots serialize
+/// the log in logical order plus the dropped counter
+/// (`docs/FORMATS.md`), so a restored ring (head reset to `0`)
+/// re-serializes byte-identically.
+#[derive(Debug, Clone)]
+pub struct DecisionLog {
+    capacity: usize,
+    buf: Vec<Decision>,
+    head: usize,
+    dropped: u64,
+}
+
+impl DecisionLog {
+    /// An empty log: ring of `capacity` entries, unbounded when `0`.
+    pub fn with_capacity(capacity: usize) -> Self {
+        DecisionLog {
+            capacity,
+            buf: Vec::new(),
+            head: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Rebuild from snapshot state: `entries` in logical order plus
+    /// the historical drop counter. If `entries` exceeds the
+    /// configured capacity, the oldest excess is dropped (and
+    /// counted) — the snapshot may have been taken with a larger
+    /// horizon than the restoring process is configured with.
+    pub(crate) fn restore(capacity: usize, mut entries: Vec<Decision>, dropped: u64) -> Self {
+        let mut dropped = dropped;
+        if capacity > 0 && entries.len() > capacity {
+            let excess = entries.len() - capacity;
+            entries.drain(..excess);
+            dropped += excess as u64;
+        }
+        DecisionLog {
+            capacity,
+            buf: entries,
+            head: 0,
+            dropped,
+        }
+    }
+
+    /// The configured retention horizon (`0` = unbounded).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Append a decision, overwriting the oldest entry once the ring
+    /// is full.
+    pub fn push(&mut self, decision: Decision) {
+        if self.capacity == 0 || self.buf.len() < self.capacity {
+            self.buf.push(decision);
+        } else {
+            self.buf[self.head] = decision;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// Retained decisions, oldest → newest.
+    pub fn iter(&self) -> impl Iterator<Item = &Decision> {
+        self.buf[self.head..]
+            .iter()
+            .chain(self.buf[..self.head].iter())
+    }
+
+    /// The retained decisions as a vector, oldest → newest.
+    pub fn to_vec(&self) -> Vec<Decision> {
+        self.iter().cloned().collect()
+    }
+
+    /// The most recent decision, if any.
+    pub fn latest(&self) -> Option<&Decision> {
+        if self.head == 0 {
+            self.buf.last()
+        } else {
+            Some(&self.buf[self.head - 1])
+        }
+    }
+
+    /// Number of retained decisions (≤ capacity once bounded).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the log holds no decisions.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Decisions overwritten (dropped) since the log was created.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+impl PartialEq for DecisionLog {
+    fn eq(&self, other: &Self) -> bool {
+        self.dropped == other.dropped && self.iter().eq(other.iter())
+    }
 }
 
 /// What [`ControlPlane::process_event`] returns to the caller: the
@@ -208,6 +352,30 @@ pub struct EventOutcome {
     pub optimizer_calls: u64,
 }
 
+/// What [`ControlPlane::process_batch`] returns: the durable
+/// [`Decision`] fields of the one batch decision plus the non-durable
+/// measurements for the whole batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchOutcome {
+    /// Event sequence number after the batch (the last event's).
+    pub seq: u64,
+    /// Number of events the batch carried.
+    pub events: usize,
+    /// Compact description of the batch composition (same string as
+    /// the logged [`Decision`]).
+    pub action: String,
+    /// Machines re-solved by this batch (sorted).
+    pub resolved: Vec<usize>,
+    /// The reconcile migrations taken, in candidate order.
+    pub migrations: Vec<Migration>,
+    /// Estimated fleet objective after the batch.
+    pub objective: f64,
+    /// Wall-clock decision latency of the whole batch, milliseconds.
+    pub latency_ms: f64,
+    /// Query-optimizer invocations the batch paid.
+    pub optimizer_calls: u64,
+}
+
 /// Cumulative control-plane counters, from [`ControlPlane::stats`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ControlPlaneStats {
@@ -221,6 +389,11 @@ pub struct ControlPlaneStats {
     pub events: u64,
     /// Per-machine re-solves performed.
     pub resolves: u64,
+    /// Parallel re-solve waves dispatched (one [`resolve`] pass over a
+    /// non-empty dirty set — batching exists to keep this low).
+    ///
+    /// [`resolve`]: ControlPlane::process_batch
+    pub waves: u64,
     /// Reconcile migrations executed.
     pub migrations: u64,
     /// Total query-optimizer invocations (construction + events).
@@ -229,6 +402,51 @@ pub struct ControlPlaneStats {
     pub probe_hits: u64,
     /// Fleet probe-cache misses.
     pub probe_misses: u64,
+    /// Probe rows evicted by the bounded-memory LRU (`0` while the
+    /// cache runs unbounded — see
+    /// [`ControlPlaneOptions::probe_cache_capacity`]).
+    pub probe_evictions: u64,
+    /// Approximate probe-cache resident bytes under its deterministic
+    /// size model ([`ProbeCache::approx_bytes`]).
+    pub probe_bytes: u64,
+}
+
+/// Per-kind event tally of one batch, for the batch decision's action
+/// string.
+#[derive(Debug, Default)]
+struct BatchKinds {
+    changed: usize,
+    scaled: usize,
+    arrived: usize,
+    departed: usize,
+    decommissioned: usize,
+    coalesced: usize,
+    major: usize,
+}
+
+impl BatchKinds {
+    /// Deterministic, compact batch description, e.g.
+    /// `"batch n4 (changed 2, scaled 1, arrived 1; 1 major, 1 coalesced)"`.
+    fn describe(&self, n: usize) -> String {
+        let mut parts: Vec<String> = Vec::new();
+        for (label, count) in [
+            ("changed", self.changed),
+            ("scaled", self.scaled),
+            ("arrived", self.arrived),
+            ("departed", self.departed),
+            ("decommissioned", self.decommissioned),
+        ] {
+            if count > 0 {
+                parts.push(format!("{label} {count}"));
+            }
+        }
+        format!(
+            "batch n{n} ({}; {} major, {} coalesced)",
+            parts.join(", "),
+            self.major,
+            self.coalesced
+        )
+    }
 }
 
 /// The event-driven fleet controller. See the [module docs](self) for
@@ -249,7 +467,7 @@ pub struct ControlPlane {
     /// Current placement per machine (`None` while a machine is
     /// empty).
     placements: Vec<Option<SearchResult>>,
-    log: Vec<Decision>,
+    log: DecisionLog,
     seq: u64,
     /// Latency source for [`process_event`](Self::process_event):
     /// wall by default, injectable ([`Self::set_clock`]) so tests and
@@ -258,6 +476,7 @@ pub struct ControlPlane {
     latencies_ms: Vec<f64>,
     optimizer_calls: u64,
     resolves: u64,
+    waves: u64,
     migrations: u64,
 }
 
@@ -282,19 +501,23 @@ impl ControlPlane {
         assert!(!machines.is_empty(), "fleet must not be empty");
         let k = machines.len();
         let placements = vec![None; k];
+        let probe = ProbeCache::new();
+        probe.set_capacity(options.probe_cache_capacity);
+        let log = DecisionLog::with_capacity(options.decision_log_capacity);
         let mut plane = ControlPlane {
             machines,
             spaces,
             options,
-            probe: ProbeCache::new(),
+            probe,
             class_models: BTreeMap::new(),
             placements,
-            log: Vec::new(),
+            log,
             seq: 0,
             clock: Clock::wall(),
             latencies_ms: Vec::new(),
             optimizer_calls: 0,
             resolves: 0,
+            waves: 0,
             migrations: 0,
         };
         for m in 0..k {
@@ -314,6 +537,7 @@ impl ControlPlane {
         }
         let all: Vec<usize> = (0..k).collect();
         plane.resolve(&all);
+        plane.probe.enforce_capacity();
         plane
     }
 
@@ -343,8 +567,10 @@ impl ControlPlane {
         &self.placements
     }
 
-    /// The durable decision log, one [`Decision`] per processed event.
-    pub fn decision_log(&self) -> &[Decision] {
+    /// The durable decision log: one [`Decision`] per processed event
+    /// or batch, ring-bounded when
+    /// [`ControlPlaneOptions::decision_log_capacity`] is set.
+    pub fn decision_log(&self) -> &DecisionLog {
         &self.log
     }
 
@@ -395,10 +621,13 @@ impl ControlPlane {
             shards: self.shards().len(),
             events: self.seq,
             resolves: self.resolves,
+            waves: self.waves,
             migrations: self.migrations,
             optimizer_calls: self.optimizer_calls,
             probe_hits: self.probe.hits(),
             probe_misses: self.probe.misses(),
+            probe_evictions: self.probe.evictions(),
+            probe_bytes: self.probe.approx_bytes(),
         }
     }
 
@@ -423,6 +652,9 @@ impl ControlPlane {
         if !self.options.incremental {
             self.cold_start();
         }
+        // Probe recency for this event's lookups is the event's own
+        // 1-based sequence number — a logical epoch, never wall clock.
+        self.probe.set_epoch(self.seq + 1);
         let (action, mut dirty, candidate) = self.apply(event);
         self.resolve(&dirty);
         let migration = candidate.and_then(|(m, slot)| self.reconcile(m, slot));
@@ -436,12 +668,16 @@ impl ControlPlane {
         if self.options.prune_every > 0 && self.seq.is_multiple_of(self.options.prune_every) {
             self.prune_caches();
         }
+        // The serial sync point: no solve wave is in flight, so the
+        // LRU eviction scan sees a thread-count-independent recency
+        // map.
+        self.probe.enforce_capacity();
         let objective = self.objective();
         self.log.push(Decision {
             seq: self.seq,
             action: action.clone(),
             resolved: dirty.clone(),
-            migration: migration.clone(),
+            migrations: migration.clone().into_iter().collect(),
             objective,
         });
         let latency_ms = self.clock.now_ms() - started_ms;
@@ -454,6 +690,314 @@ impl ControlPlane {
             objective,
             latency_ms,
             optimizer_calls: self.optimizer_calls - calls_before,
+        }
+    }
+
+    /// Apply a batch of fleet events with **one** parallel re-solve
+    /// wave, instead of one wave per event.
+    ///
+    /// # The coalescing rule (deterministic, last-write-wins)
+    ///
+    /// Event *mutations* are applied strictly in order, so the fleet
+    /// state after the batch is identical to what serial
+    /// [`process_event`](Self::process_event) replay would leave
+    /// behind — and since every placement is recomputed
+    /// deterministically from that state, the re-solved placements and
+    /// the batch objective are bit-identical to the serial replay's
+    /// (on unconstrained machines, i.e. when the serial replay takes
+    /// no intermediate migration). What *is* coalesced:
+    ///
+    /// * **Major/minor classification** runs once per touched `(machine,
+    ///   slot)`, comparing the per-query estimate *before the slot's
+    ///   first mutation in the batch* against the estimate *after its
+    ///   last* — last-write-wins per tenant slot. Two sub-threshold
+    ///   drifts that compose to a major change classify **major** here
+    ///   where serial replay would have said minor twice; the reverse
+    ///   (a change and its revert) classifies minor. This is the
+    ///   explicit divergence, pinned by
+    ///   `batch_classification_is_last_write_wins_per_slot`.
+    /// * **Dirty machines are marked once** and re-solved in a single
+    ///   wave (one [`ControlPlaneStats::waves`] increment), no matter
+    ///   how many events touched them.
+    /// * **Reconcile candidates** (arrivals, in event order, then
+    ///   major-classified slots in ascending `(machine, slot)` order)
+    ///   are priced *after* the wave, against the batch-final state.
+    ///
+    /// Structural events keep their serial semantics: indices inside
+    /// the batch refer to the fleet numbering *at that point in the
+    /// batch*, exactly as if the events were applied one at a time
+    /// (departures shift higher slots down,
+    /// [`FleetEvent::MachineDecommissioned`] swap-removes).
+    ///
+    /// One [`Decision`] is logged per batch; `seq` advances by the
+    /// number of events carried, so the probe cache's logical epoch
+    /// and [`ControlPlaneOptions::prune_every`] see the same event
+    /// arithmetic as serial ingestion.
+    ///
+    /// # Example
+    ///
+    /// Three events, two of them touching the same slot: one re-solve
+    /// wave, one coalesced classification.
+    ///
+    /// ```
+    /// use vda_core::{ControlPlane, ControlPlaneOptions, FleetEvent};
+    /// # use vda_core::problem::{QoS, SearchSpace};
+    /// # use vda_core::tenant::Tenant;
+    /// # use vda_core::VirtualizationDesignAdvisor;
+    /// # use vda_vmm::{Hypervisor, PhysicalMachine};
+    /// # let mut adv =
+    /// #     VirtualizationDesignAdvisor::new(Hypervisor::new(PhysicalMachine::paper_testbed()));
+    /// # for (i, q) in [6usize, 16].into_iter().enumerate() {
+    /// #     let name = format!("t{i}-q{q}");
+    /// #     adv.add_tenant(
+    /// #         Tenant::new(
+    /// #             name.clone(),
+    /// #             vda_simdb::engines::Engine::db2(),
+    /// #             vda_workloads::tpch::catalog(1.0),
+    /// #             vda_workloads::tpch::query_workload(q, 1.0 + i as f64).named(name),
+    /// #         )
+    /// #         .unwrap(),
+    /// #         QoS::default(),
+    /// #     );
+    /// # }
+    /// # let space = SearchSpace::cpu_only(512.0 / 8192.0);
+    ///
+    /// // `adv` hosts two tenants on one machine (setup hidden).
+    /// let mut plane = ControlPlane::new(vec![adv], vec![space], ControlPlaneOptions::default());
+    /// let waves_before = plane.stats().waves;
+    ///
+    /// let outcome = plane.process_batch(&[
+    ///     FleetEvent::WorkloadScaled { machine: 0, slot: 0, factor: 1.25 },
+    ///     FleetEvent::WorkloadScaled { machine: 0, slot: 1, factor: 0.8 },
+    ///     FleetEvent::WorkloadScaled { machine: 0, slot: 0, factor: 1.25 },
+    /// ]);
+    ///
+    /// assert_eq!(plane.stats().waves, waves_before + 1); // one wave, not three
+    /// assert_eq!(outcome.action, "batch n3 (scaled 3; 0 major, 1 coalesced)");
+    /// assert_eq!(outcome.resolved, vec![0]);
+    /// assert_eq!(plane.seq(), 3); // seq advances by events carried
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// On an empty batch, and under the same conditions as
+    /// [`process_event`](Self::process_event) (capacity, binding,
+    /// decommissioning a non-empty machine).
+    pub fn process_batch(&mut self, events: &[FleetEvent]) -> BatchOutcome {
+        assert!(!events.is_empty(), "batch must carry at least one event");
+        let started_ms = self.clock.now_ms();
+        let calls_before = self.optimizer_calls;
+        if !self.options.incremental {
+            self.cold_start();
+        }
+        // One logical epoch for the whole batch: the first event's
+        // sequence number.
+        self.probe.set_epoch(self.seq + 1);
+
+        // Per-slot classification records: first-touch pre-estimate,
+        // keyed by (machine, slot). BTreeMap so the end-of-batch
+        // classification pass runs in deterministic key order.
+        let mut pending: BTreeMap<(usize, usize), f64> = BTreeMap::new();
+        // Arrival candidates, in event order.
+        let mut arrivals: Vec<(usize, usize)> = Vec::new();
+        let mut dirty: Vec<usize> = Vec::new();
+        let mut kinds = BatchKinds::default();
+
+        for event in events.iter().cloned() {
+            match event {
+                FleetEvent::WorkloadChanged {
+                    machine,
+                    slot,
+                    workload,
+                } => {
+                    self.note_first_touch(&mut pending, &mut kinds, machine, slot);
+                    self.machines[machine]
+                        .tenant_mut(slot)
+                        .set_workload(workload)
+                        .expect("new workload must bind against the tenant's catalog");
+                    dirty.push(machine);
+                    kinds.changed += 1;
+                }
+                FleetEvent::WorkloadScaled {
+                    machine,
+                    slot,
+                    factor,
+                } => {
+                    self.note_first_touch(&mut pending, &mut kinds, machine, slot);
+                    self.machines[machine]
+                        .tenant_mut(slot)
+                        .scale_workload(factor);
+                    dirty.push(machine);
+                    kinds.scaled += 1;
+                }
+                FleetEvent::TenantArrived {
+                    machine,
+                    tenant,
+                    qos,
+                } => {
+                    assert!(
+                        self.machines[machine].tenant_count()
+                            < machine_capacity(&self.spaces[machine]),
+                        "machine {machine} has no free capacity slot"
+                    );
+                    let slot = self.machines[machine].add_tenant(*tenant, qos);
+                    self.ensure_machine_calibrated(machine);
+                    arrivals.push((machine, slot));
+                    dirty.push(machine);
+                    kinds.arrived += 1;
+                }
+                FleetEvent::TenantDeparted { machine, slot } => {
+                    self.machines[machine].remove_tenant(slot);
+                    // The departed slot's records die with it; higher
+                    // slots shift down (Vec::remove semantics).
+                    pending.remove(&(machine, slot));
+                    pending = pending
+                        .into_iter()
+                        .map(|((m, s), v)| {
+                            if m == machine && s > slot {
+                                ((m, s - 1), v)
+                            } else {
+                                ((m, s), v)
+                            }
+                        })
+                        .collect();
+                    arrivals.retain(|&(m, s)| !(m == machine && s == slot));
+                    for a in arrivals.iter_mut() {
+                        if a.0 == machine && a.1 > slot {
+                            a.1 -= 1;
+                        }
+                    }
+                    dirty.push(machine);
+                    kinds.departed += 1;
+                }
+                FleetEvent::MachineDecommissioned { machine } => {
+                    assert_eq!(
+                        self.machines[machine].tenant_count(),
+                        0,
+                        "decommissioned machine must be empty"
+                    );
+                    let last = self.machines.len() - 1;
+                    self.machines.swap_remove(machine);
+                    self.spaces.swap_remove(machine);
+                    self.placements.swap_remove(machine);
+                    // Swap-remove renumbering: records on the removed
+                    // (empty) machine are gone, the former last
+                    // machine now answers to `machine`.
+                    pending = pending
+                        .into_iter()
+                        .filter(|&((m, _), _)| m != machine)
+                        .map(|((m, s), v)| {
+                            if m == last {
+                                ((machine, s), v)
+                            } else {
+                                ((m, s), v)
+                            }
+                        })
+                        .collect();
+                    arrivals.retain(|&(m, _)| m != machine);
+                    for a in arrivals.iter_mut() {
+                        if a.0 == last {
+                            a.0 = machine;
+                        }
+                    }
+                    dirty.retain(|&m| m != machine);
+                    for d in dirty.iter_mut() {
+                        if *d == last {
+                            *d = machine;
+                        }
+                    }
+                    self.prune_caches();
+                    kinds.decommissioned += 1;
+                }
+            }
+        }
+
+        // Classify every coalesced workload mutation once, against the
+        // batch-final workload (last-write-wins). Major slots join the
+        // candidate list unless an in-batch arrival already put them
+        // there.
+        let mut candidates = arrivals;
+        for (&(machine, slot), &before) in &pending {
+            if self.classify_major(machine, slot, before) {
+                kinds.major += 1;
+                if !candidates.contains(&(machine, slot)) {
+                    candidates.push((machine, slot));
+                }
+            }
+        }
+
+        dirty.sort_unstable();
+        dirty.dedup();
+        // The single wave.
+        self.resolve(&dirty);
+
+        let mut migrations: Vec<Migration> = Vec::new();
+        let mut i = 0;
+        while i < candidates.len() {
+            let (machine, slot) = candidates[i];
+            i += 1;
+            if let Some(mig) = self.reconcile(machine, slot) {
+                dirty.push(mig.from);
+                dirty.push(mig.to);
+                // The executed transfer removed `slot` from `from`;
+                // later candidates on that machine shift down.
+                for c in candidates[i..].iter_mut() {
+                    if c.0 == mig.from && c.1 > slot {
+                        c.1 -= 1;
+                    }
+                }
+                migrations.push(mig);
+            }
+        }
+        dirty.sort_unstable();
+        dirty.dedup();
+
+        let seq_before = self.seq;
+        self.seq += events.len() as u64;
+        if self.options.prune_every > 0
+            && seq_before / self.options.prune_every < self.seq / self.options.prune_every
+        {
+            self.prune_caches();
+        }
+        // Serial sync point, as in process_event.
+        self.probe.enforce_capacity();
+        let objective = self.objective();
+        let action = kinds.describe(events.len());
+        self.log.push(Decision {
+            seq: self.seq,
+            action: action.clone(),
+            resolved: dirty.clone(),
+            migrations: migrations.clone(),
+            objective,
+        });
+        let latency_ms = self.clock.now_ms() - started_ms;
+        self.latencies_ms.push(latency_ms);
+        BatchOutcome {
+            seq: self.seq,
+            events: events.len(),
+            action,
+            resolved: dirty,
+            migrations,
+            objective,
+            latency_ms,
+            optimizer_calls: self.optimizer_calls - calls_before,
+        }
+    }
+
+    /// Record the pre-mutation per-query estimate the first time a
+    /// batch touches `(machine, slot)`; later touches coalesce.
+    fn note_first_touch(
+        &mut self,
+        pending: &mut BTreeMap<(usize, usize), f64>,
+        kinds: &mut BatchKinds,
+        machine: usize,
+        slot: usize,
+    ) {
+        if let std::collections::btree_map::Entry::Vacant(e) = pending.entry((machine, slot)) {
+            let before = self.per_query_estimate(machine, slot);
+            e.insert(before);
+        } else {
+            kinds.coalesced += 1;
         }
     }
 
@@ -493,11 +1037,13 @@ impl ControlPlane {
             seq: self.seq,
             optimizer_calls: self.optimizer_calls,
             resolves: self.resolves,
+            waves: self.waves,
             migrations: self.migrations,
             machines,
             registry,
             probes: self.probe.export(),
-            log: self.log.clone(),
+            log: self.log.to_vec(),
+            log_dropped: self.log.dropped(),
         }
     }
 
@@ -532,6 +1078,11 @@ impl ControlPlane {
             return Err("one search space per machine required".to_string());
         }
         let probe = ProbeCache::new();
+        probe.set_capacity(options.probe_cache_capacity);
+        // Recency is runtime state: imported generations are stamped
+        // with the restore-time epoch (the snapshot's seq), so the
+        // restored cache treats everything as just-used.
+        probe.set_epoch(snapshot.seq);
         probe.import(&snapshot.probes);
         for (m, (adv, ms)) in machines.iter_mut().zip(&snapshot.machines).enumerate() {
             let hw = adv.hypervisor().machine().fingerprint();
@@ -568,6 +1119,11 @@ impl ControlPlane {
             .iter()
             .map(|ms| ms.placement.clone())
             .collect();
+        let log = DecisionLog::restore(
+            options.decision_log_capacity,
+            snapshot.log.clone(),
+            snapshot.log_dropped,
+        );
         Ok(ControlPlane {
             machines,
             spaces,
@@ -575,12 +1131,13 @@ impl ControlPlane {
             probe,
             class_models,
             placements,
-            log: snapshot.log.clone(),
+            log,
             seq: snapshot.seq,
             clock: Clock::wall(),
             latencies_ms: Vec::new(),
             optimizer_calls: snapshot.optimizer_calls,
             resolves: snapshot.resolves,
+            waves: snapshot.waves,
             migrations: snapshot.migrations,
         })
     }
@@ -723,8 +1280,12 @@ impl ControlPlane {
             .filter(|(m, adv)| dirty_set.contains(m) && adv.tenant_count() > 0)
             .map(|(m, adv)| (m, Mutex::new(adv)))
             .collect();
+        let wave = !work.is_empty();
         let solved: Vec<(usize, Recommendation)> =
             work.par_map(|(m, cell)| (*m, cell.lock().recommend_c2f_warm(&spaces[*m])));
+        if wave {
+            self.waves += 1;
+        }
         for (m, rec) in solved {
             self.optimizer_calls += rec.optimizer_calls;
             self.resolves += 1;
@@ -982,6 +1543,7 @@ impl ControlPlane {
     /// and no warm-start state anywhere.
     fn cold_start(&mut self) {
         self.probe = ProbeCache::new();
+        self.probe.set_capacity(self.options.probe_cache_capacity);
         for adv in &mut self.machines {
             adv.attach_probe_cache(self.probe.clone());
             adv.invalidate_warm();
@@ -1306,5 +1868,240 @@ mod tests {
         let space = SearchSpace::cpu_only(0.25);
         let r = space.default_allocation(2);
         assert_eq!(r, Allocation::new(0.5, 0.25));
+    }
+
+    #[test]
+    fn batch_matches_serial_replay_bit_for_bit() {
+        // Minor-only workload events: serial replay takes no migration,
+        // so the batch contract promises bit-identical placements and
+        // objective — with fewer waves.
+        let mut serial = small_fleet();
+        let mut batched = small_fleet();
+        let events = vec![
+            FleetEvent::WorkloadScaled {
+                machine: 0,
+                slot: 0,
+                factor: 1.5,
+            },
+            FleetEvent::WorkloadScaled {
+                machine: 1,
+                slot: 0,
+                factor: 0.8,
+            },
+            FleetEvent::WorkloadScaled {
+                machine: 0,
+                slot: 1,
+                factor: 2.0,
+            },
+        ];
+        let waves_before_serial = serial.stats().waves;
+        for e in events.clone() {
+            serial.process_event(e);
+        }
+        let waves_before_batch = batched.stats().waves;
+        let outcome = batched.process_batch(&events);
+        assert_eq!(outcome.events, 3);
+        assert_eq!(outcome.resolved, vec![0, 1], "each dirty machine once");
+        assert!(outcome.migrations.is_empty());
+        assert_eq!(
+            outcome.objective.to_bits(),
+            serial.objective().to_bits(),
+            "batch-final state must equal serial replay"
+        );
+        for (b, s) in batched.placements().iter().zip(serial.placements()) {
+            assert_eq!(b, s, "placements must be bit-identical");
+        }
+        assert_eq!(
+            batched.seq(),
+            serial.seq(),
+            "seq counts events, not batches"
+        );
+        let serial_waves = serial.stats().waves - waves_before_serial;
+        let batch_waves = batched.stats().waves - waves_before_batch;
+        assert_eq!(serial_waves, 3, "serial: one wave per event");
+        assert_eq!(batch_waves, 1, "batched: one wave for the whole batch");
+    }
+
+    #[test]
+    fn batch_classification_is_last_write_wins_per_slot() {
+        // A drift and its revert: serial replay classifies the first
+        // change major; the batch compares first-touch against the
+        // batch-final workload, sees no net change, and says minor.
+        // This is the documented coalescing divergence.
+        let original = tpch::query_workload(18, 2.0);
+        let drifted = tpch::query_workload(21, 5.0);
+        let mut serial = small_fleet();
+        let first = serial.process_event(FleetEvent::WorkloadChanged {
+            machine: 0,
+            slot: 0,
+            workload: drifted.clone(),
+        });
+        assert!(first.action.contains("major"), "{}", first.action);
+
+        let mut batched = small_fleet();
+        let outcome = batched.process_batch(&[
+            FleetEvent::WorkloadChanged {
+                machine: 0,
+                slot: 0,
+                workload: drifted,
+            },
+            FleetEvent::WorkloadChanged {
+                machine: 0,
+                slot: 0,
+                workload: original,
+            },
+        ]);
+        assert!(
+            outcome.action.contains("0 major") && outcome.action.contains("1 coalesced"),
+            "net-zero drift coalesces to minor: {}",
+            outcome.action
+        );
+        assert!(outcome.migrations.is_empty());
+        assert_eq!(batched.decision_log().len(), 1, "one decision per batch");
+    }
+
+    #[test]
+    fn batch_rekeys_slots_and_machines_through_structural_events() {
+        // Departure inside a batch shifts later slots; decommission
+        // swap-removes. The batch must keep its pending records and
+        // dirty set consistent through both.
+        let mut plane = small_fleet();
+        let outcome = plane.process_batch(&[
+            // Touch slot 1 of machine 0 (record keyed (0, 1))...
+            FleetEvent::WorkloadScaled {
+                machine: 0,
+                slot: 1,
+                factor: 1.5,
+            },
+            // ...then remove slot 0: the record must re-key to (0, 0).
+            FleetEvent::TenantDeparted {
+                machine: 0,
+                slot: 0,
+            },
+            // Empty machine 1 and decommission it: machine 2 (empty)
+            // takes index 1.
+            FleetEvent::TenantDeparted {
+                machine: 1,
+                slot: 0,
+            },
+            FleetEvent::MachineDecommissioned { machine: 1 },
+        ]);
+        assert_eq!(plane.machine_count(), 2);
+        assert_eq!(plane.machine(0).tenant_count(), 1);
+        assert_eq!(plane.machine(0).tenant(0).name, "a1");
+        assert!(
+            outcome.resolved.iter().all(|&m| m < 2),
+            "no stale machine indices: {:?}",
+            outcome.resolved
+        );
+        assert_eq!(plane.seq(), 4);
+        assert!(
+            outcome.action.contains("decommissioned 1"),
+            "{}",
+            outcome.action
+        );
+    }
+
+    #[test]
+    fn batch_reconciles_arrivals_after_the_single_wave() {
+        let mut plane = small_fleet();
+        let cat = tpch::catalog(0.1);
+        let tenant = Tenant::new("hot", Engine::pg(), cat, tpch::query_workload(18, 3.0)).unwrap();
+        let outcome = plane.process_batch(&[
+            FleetEvent::WorkloadScaled {
+                machine: 1,
+                slot: 0,
+                factor: 1.1,
+            },
+            FleetEvent::TenantArrived {
+                machine: 0,
+                tenant: Box::new(tenant),
+                qos: QoS::default(),
+            },
+        ]);
+        assert_eq!(outcome.migrations.len(), 1, "{outcome:?}");
+        assert_eq!(outcome.migrations[0].tenant, "hot");
+        assert_eq!(outcome.migrations[0].to, 2, "least-loaded destination wins");
+        assert_eq!(plane.machine(2).tenant_count(), 1);
+        assert_eq!(plane.stats().migrations, 1);
+        let logged = plane.decision_log().latest().unwrap().clone();
+        assert_eq!(logged.migrations, outcome.migrations);
+    }
+
+    #[test]
+    fn ring_log_retains_horizon_and_counts_drops() {
+        let machines = vec![
+            machine_with(&[("a0", 18, 2.0), ("a1", 6, 2.0)]),
+            machine_with(&[("b0", 1, 1.0)]),
+            machine_with(&[]),
+        ];
+        let spaces = vec![SearchSpace::cpu_only(0.25); 3];
+        let mut plane = ControlPlane::new(
+            machines,
+            spaces,
+            ControlPlaneOptions {
+                decision_log_capacity: 2,
+                ..ControlPlaneOptions::default()
+            },
+        );
+        for i in 0..5 {
+            plane.process_event(FleetEvent::WorkloadScaled {
+                machine: 0,
+                slot: 0,
+                factor: 1.0 + 0.1 * (i as f64),
+            });
+        }
+        let log = plane.decision_log();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.dropped(), 3);
+        let seqs: Vec<u64> = log.iter().map(|d| d.seq).collect();
+        assert_eq!(seqs, vec![4, 5], "oldest → newest across the ring head");
+        assert_eq!(log.latest().unwrap().seq, 5);
+    }
+
+    #[test]
+    fn capped_probe_cache_evicts_but_never_changes_decisions() {
+        let build = || {
+            vec![
+                machine_with(&[("a0", 18, 2.0), ("a1", 6, 2.0)]),
+                machine_with(&[("b0", 1, 1.0)]),
+                machine_with(&[]),
+            ]
+        };
+        let spaces = vec![SearchSpace::cpu_only(0.25); 3];
+        let mut uncapped =
+            ControlPlane::new(build(), spaces.clone(), ControlPlaneOptions::default());
+        let mut capped = ControlPlane::new(
+            build(),
+            spaces,
+            ControlPlaneOptions {
+                probe_cache_capacity: 8,
+                ..ControlPlaneOptions::default()
+            },
+        );
+        for i in 0..4u32 {
+            let e = |_: ()| FleetEvent::WorkloadScaled {
+                machine: (i as usize) % 2,
+                slot: 0,
+                factor: 1.0 + 0.2 * (i as f64),
+            };
+            let u = uncapped.process_event(e(()));
+            let c = capped.process_event(e(()));
+            assert_eq!(u.action, c.action);
+            assert_eq!(u.resolved, c.resolved);
+            assert_eq!(
+                u.objective.to_bits(),
+                c.objective.to_bits(),
+                "capped cache must not change any decision"
+            );
+        }
+        assert!(capped.probe_cache().len() <= 8);
+        assert!(capped.probe_cache().evictions() > 0, "cap must bind");
+        assert_eq!(uncapped.probe_cache().evictions(), 0);
+        assert!(
+            capped.probe_cache().misses() >= uncapped.probe_cache().misses(),
+            "a capped cache pays with misses, not answers"
+        );
+        assert!(capped.probe_cache().approx_bytes() <= uncapped.probe_cache().approx_bytes());
     }
 }

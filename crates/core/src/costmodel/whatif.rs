@@ -156,18 +156,90 @@ impl SharedEstimateCache {
 /// Hit/miss counters live in the cache itself, so cross-period cache
 /// effectiveness is observable even though estimator instances (and
 /// their per-instance counters) are rebuilt every search.
+///
+/// # Bounded-memory mode and the eviction policy
+///
+/// By default the cache is unbounded (capacity `0`). Setting a row
+/// capacity with [`Self::set_capacity`] arms a **deterministic
+/// per-generation LRU**:
+///
+/// * Recency is the *logical epoch* installed by [`Self::set_epoch`]
+///   (the control plane's event sequence number), never wall-clock
+///   time — the recency a generation gets depends only on *which*
+///   epoch touched it, not on when or on which thread.
+/// * Lookups and inserts stamp the whole `(model, tenant)` generation
+///   with the current epoch. Within one parallel solve wave every
+///   stamp writes the same epoch, so the resulting recency map is
+///   independent of thread interleaving.
+/// * Eviction happens only at serial sync points, when the owner calls
+///   [`Self::enforce_capacity`]: whole generations are dropped in
+///   ascending `(last_used_epoch, model, tenant)` order until the row
+///   count fits. The key order tie-break makes the victim sequence
+///   reproducible bit-for-bit across runs and thread counts.
+///
+/// Because the cache is strictly read-through (a miss recomputes the
+/// identical deterministic estimate), a capped cache returns the same
+/// answers as an unbounded one — only the hit/miss/eviction counters
+/// and the optimizer-call bill differ. That equivalence is pinned by
+/// `tests/bounded_probe_cache.rs`.
+///
+/// ```
+/// use vda_core::costmodel::{Estimate, ProbeCache};
+///
+/// let cache = ProbeCache::new();
+/// let est = Estimate {
+///     seconds: 1.0,
+///     plan_regime: 7,
+///     avg_cost_per_statement: 0.5,
+/// };
+/// // Three single-row generations, touched at epochs 1, 2, 3.
+/// for (epoch, tenant) in [(1, 10), (2, 11), (3, 12)] {
+///     cache.set_epoch(epoch);
+///     cache.import(&[(42, tenant, [0; 4], est)]);
+/// }
+/// cache.set_capacity(2);
+/// assert_eq!(cache.enforce_capacity(), 1); // evicts the oldest …
+/// assert_eq!(cache.evictions(), 1); // … which is (42, tenant 10)
+/// assert_eq!(cache.len(), 2);
+/// ```
 #[derive(Debug, Clone, Default)]
 pub struct ProbeCache {
     inner: Arc<Mutex<ProbeCacheInner>>,
 }
+
+/// Deterministic size model for [`ProbeCache::approx_bytes`]: one
+/// cached row is an `AllocKey` + [`Estimate`] plus ordered-map
+/// overhead. A fixed per-row figure (not a platform `size_of`) so the
+/// byte counter is part of the bit-identical surface and can be gated.
+const PROBE_ROW_BYTES: u64 = 64;
+/// Per-generation overhead in the same size model: the outer map node
+/// and the recency stamp.
+const PROBE_GENERATION_BYTES: u64 = 96;
 
 #[derive(Debug, Default)]
 struct ProbeCacheInner {
     // Ordered for the same reason as `CacheGeneration::map`, and so
     // `export` is deterministic by construction.
     map: BTreeMap<(u64, u64), BTreeMap<AllocKey, Estimate>>,
+    // Last logical epoch that read or wrote each generation. BTreeMap
+    // so the eviction scan's tie-break is key order, not hash order.
+    last_used: BTreeMap<(u64, u64), u64>,
+    epoch: u64,
+    capacity: usize,
     hits: u64,
     misses: u64,
+    evictions: u64,
+}
+
+impl ProbeCacheInner {
+    fn rows(&self) -> usize {
+        self.map.values().map(BTreeMap::len).sum()
+    }
+
+    fn touch(&mut self, model: u64, tenant: u64) {
+        let epoch = self.epoch;
+        self.last_used.insert((model, tenant), epoch);
+    }
 }
 
 impl ProbeCache {
@@ -177,7 +249,8 @@ impl ProbeCache {
     }
 
     /// Cached estimate for a (model, tenant, allocation) triple,
-    /// counting the lookup as a hit or a miss.
+    /// counting the lookup as a hit or a miss. A hit refreshes the
+    /// generation's recency stamp (see the eviction policy above).
     fn get(&self, model: u64, tenant: u64, key: AllocKey) -> Option<Estimate> {
         let mut inner = self.inner.lock();
         let hit = inner
@@ -186,20 +259,25 @@ impl ProbeCache {
             .and_then(|g| g.get(&key))
             .copied();
         match hit {
-            Some(_) => inner.hits += 1,
+            Some(_) => {
+                inner.hits += 1;
+                inner.touch(model, tenant);
+            }
             None => inner.misses += 1,
         }
         hit
     }
 
-    /// Store an estimate under its (model, tenant) generation.
+    /// Store an estimate under its (model, tenant) generation,
+    /// stamping the generation with the current epoch.
     fn insert(&self, model: u64, tenant: u64, key: AllocKey, estimate: Estimate) {
-        self.inner
-            .lock()
+        let mut inner = self.inner.lock();
+        inner
             .map
             .entry((model, tenant))
             .or_default()
             .insert(key, estimate);
+        inner.touch(model, tenant);
     }
 
     /// All cached (allocation, estimate) pairs of one generation.
@@ -224,9 +302,10 @@ impl ProbeCache {
     /// recalibrations and are dropped here too once the tenant's
     /// workload moves on.)
     pub fn retain_tenants(&self, live: &std::collections::HashSet<u64>) {
-        self.inner
-            .lock()
-            .map
+        let mut inner = self.inner.lock();
+        inner.map.retain(|&(_, tenant), _| live.contains(&tenant));
+        inner
+            .last_used
             .retain(|&(_, tenant), _| live.contains(&tenant));
     }
 
@@ -238,9 +317,10 @@ impl ProbeCache {
     /// with the fingerprints of the calibrations still installed
     /// somewhere in the fleet whenever machines are decommissioned.
     pub fn retain_models(&self, live: &std::collections::HashSet<u64>) {
-        self.inner
-            .lock()
-            .map
+        let mut inner = self.inner.lock();
+        inner.map.retain(|&(model, _), _| live.contains(&model));
+        inner
+            .last_used
             .retain(|&(model, _), _| live.contains(&model));
     }
 
@@ -265,7 +345,10 @@ impl ProbeCache {
     /// Insert previously [`export`](Self::export)ed rows. Existing
     /// entries under the same keys are overwritten; hit/miss counters
     /// are untouched (they describe this process's lookups, not the
-    /// imported history).
+    /// imported history). Imported generations are stamped with the
+    /// *current* epoch: recency is runtime state, not durable state,
+    /// so a restored cache treats everything it was handed as
+    /// just-used (see `docs/FORMATS.md`).
     pub fn import(&self, rows: &[(u64, u64, AllocKey, Estimate)]) {
         let mut inner = self.inner.lock();
         for &(model, tenant, key, est) in rows {
@@ -274,7 +357,78 @@ impl ProbeCache {
                 .entry((model, tenant))
                 .or_default()
                 .insert(key, est);
+            inner.touch(model, tenant);
         }
+    }
+
+    /// Set the row capacity of the bounded-memory mode; `0` (the
+    /// default) means unbounded. The cap is *not* enforced here — it
+    /// takes effect at the next [`Self::enforce_capacity`] call, so
+    /// arming a cap mid-wave cannot race a parallel solve.
+    pub fn set_capacity(&self, rows: usize) {
+        self.inner.lock().capacity = rows;
+    }
+
+    /// The configured row capacity (`0` = unbounded).
+    pub fn capacity(&self) -> usize {
+        self.inner.lock().capacity
+    }
+
+    /// Install the logical epoch used to stamp generation recency.
+    /// The control plane calls this serially with its event sequence
+    /// number before dispatching each event or batch; it is never
+    /// derived from wall-clock time.
+    pub fn set_epoch(&self, epoch: u64) {
+        self.inner.lock().epoch = epoch;
+    }
+
+    /// Evict least-recently-used generations until the total row count
+    /// fits the configured capacity, returning the number of rows
+    /// evicted by this call. Victims are whole `(model, tenant)`
+    /// generations in ascending `(last_used_epoch, model, tenant)`
+    /// order — a total, deterministic order, so the victim sequence is
+    /// identical across runs and thread counts. Must only be called at
+    /// serial sync points (the control plane calls it after each event
+    /// or batch, never from inside a solve wave).
+    pub fn enforce_capacity(&self) -> u64 {
+        let mut inner = self.inner.lock();
+        if inner.capacity == 0 {
+            return 0;
+        }
+        let mut evicted = 0u64;
+        while inner.rows() > inner.capacity {
+            let victim = inner
+                .map
+                .keys()
+                .map(|&gen| (inner.last_used.get(&gen).copied().unwrap_or(0), gen))
+                .min()
+                .map(|(_, gen)| gen);
+            match victim {
+                Some(gen) => {
+                    let rows = inner.map.remove(&gen).map(|g| g.len()).unwrap_or(0) as u64;
+                    inner.last_used.remove(&gen);
+                    evicted += rows;
+                }
+                None => break,
+            }
+        }
+        inner.evictions += evicted;
+        evicted
+    }
+
+    /// Rows evicted by [`Self::enforce_capacity`] over the cache's
+    /// lifetime.
+    pub fn evictions(&self) -> u64 {
+        self.inner.lock().evictions
+    }
+
+    /// Approximate resident size under a *fixed, deterministic* size
+    /// model (64 bytes per row plus 96 per generation) — an accounting
+    /// figure that is bit-identical across platforms and thread
+    /// counts, not a heap measurement.
+    pub fn approx_bytes(&self) -> u64 {
+        let inner = self.inner.lock();
+        inner.rows() as u64 * PROBE_ROW_BYTES + inner.map.len() as u64 * PROBE_GENERATION_BYTES
     }
 
     /// Cache hits recorded over the cache's lifetime.
@@ -289,7 +443,7 @@ impl ProbeCache {
 
     /// Total cached estimates across all generations.
     pub fn len(&self) -> usize {
-        self.inner.lock().map.values().map(BTreeMap::len).sum()
+        self.inner.lock().rows()
     }
 
     /// Whether the cache holds no entries.

@@ -65,7 +65,8 @@ pub use advisor::{
     Recommendation, TenantTransfer, TransferCalibration, VirtualizationDesignAdvisor,
 };
 pub use controlplane::{
-    ControlPlane, ControlPlaneOptions, ControlPlaneStats, Decision, EventOutcome, FleetEvent,
+    BatchOutcome, ControlPlane, ControlPlaneOptions, ControlPlaneStats, Decision, DecisionLog,
+    EventOutcome, FleetEvent,
 };
 pub use costmodel::{
     ActualCostModel, CalibratedModel, Calibrator, CostModel, Estimate, FnCostModel, ProbeCache,

@@ -109,6 +109,15 @@ pub struct CostAccounting {
     pub probe_hits: u64,
     /// Fleet-wide probe-cache misses.
     pub probe_misses: u64,
+    /// Probe rows evicted by the bounded-memory LRU
+    /// ([`ProbeCache::enforce_capacity`](crate::costmodel::whatif::ProbeCache::enforce_capacity));
+    /// `0` while the cache runs unbounded.
+    pub probe_evictions: u64,
+    /// Approximate probe-cache resident size under the cache's fixed
+    /// size model
+    /// ([`ProbeCache::approx_bytes`](crate::costmodel::whatif::ProbeCache::approx_bytes)) —
+    /// deterministic accounting, not a heap measurement.
+    pub probe_bytes: u64,
     /// Warm-start delta-solves that reused a retained DP lattice /
     /// option-table instead of rebuilding it (see
     /// [`WarmStart`](crate::enumerate::WarmStart)).
@@ -131,6 +140,8 @@ impl CostAccounting {
     pub fn with_probe_cache(mut self, cache: &crate::costmodel::whatif::ProbeCache) -> Self {
         self.probe_hits = cache.hits();
         self.probe_misses = cache.misses();
+        self.probe_evictions = cache.evictions();
+        self.probe_bytes = cache.approx_bytes();
         self
     }
 

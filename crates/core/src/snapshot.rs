@@ -34,8 +34,12 @@ use vda_stats::LinearFit;
 
 /// Format marker written into every snapshot.
 const FORMAT: &str = "vda-fleet-snapshot";
-/// Schema version this module reads and writes.
-const VERSION: f64 = 1.0;
+/// Schema version this module reads and writes. Version 2 added the
+/// re-solve wave counter (`waves`), the ring-buffer decision log's
+/// drop counter (`log_dropped`), and turned each decision's
+/// `migration` (object or null) into a `migrations` array — batches
+/// can take several.
+const VERSION: f64 = 2.0;
 
 /// One machine's durable state inside a [`FleetSnapshot`].
 #[derive(Debug, Clone, PartialEq)]
@@ -81,6 +85,8 @@ pub struct FleetSnapshot {
     pub optimizer_calls: u64,
     /// Cumulative per-machine re-solve counter.
     pub resolves: u64,
+    /// Cumulative re-solve wave counter (parallel dispatches).
+    pub waves: u64,
     /// Cumulative migration counter.
     pub migrations: u64,
     /// Per-machine durable state, in machine-index order.
@@ -92,8 +98,13 @@ pub struct FleetSnapshot {
     /// allocation key, estimate)` rows, sorted (see
     /// [`crate::costmodel::whatif::ProbeCache::export`]).
     pub probes: Vec<(u64, u64, AllocKey, Estimate)>,
-    /// The decision log.
+    /// The decision log's retained entries, oldest → newest (the ring
+    /// buffer's *logical* order — the head position is not durable
+    /// state, see [`crate::controlplane::DecisionLog`]).
     pub log: Vec<Decision>,
+    /// Decisions the ring-buffer log overwrote before the snapshot was
+    /// taken (`0` for an unbounded log).
+    pub log_dropped: u64,
 }
 
 impl FleetSnapshot {
@@ -136,11 +147,13 @@ impl FleetSnapshot {
             ("seq", Json::Num(self.seq as f64)),
             ("optimizer_calls", Json::Num(self.optimizer_calls as f64)),
             ("resolves", Json::Num(self.resolves as f64)),
+            ("waves", Json::Num(self.waves as f64)),
             ("migrations", Json::Num(self.migrations as f64)),
             ("machines", machines),
             ("registry", registry),
             ("probes", probes),
             ("log", log),
+            ("log_dropped", Json::Num(self.log_dropped as f64)),
         ]);
         jsonio::write(&root)
     }
@@ -203,11 +216,13 @@ impl FleetSnapshot {
             seq: u64_field(&root, "seq")?,
             optimizer_calls: u64_field(&root, "optimizer_calls")?,
             resolves: u64_field(&root, "resolves")?,
+            waves: u64_field(&root, "waves")?,
             migrations: u64_field(&root, "migrations")?,
             machines,
             registry,
             probes,
             log,
+            log_dropped: u64_field(&root, "log_dropped")?,
         })
     }
 }
@@ -405,16 +420,20 @@ fn model_to_json(m: &CalibratedModel) -> Json {
 }
 
 fn decision_to_json(d: &Decision) -> Json {
-    let migration = match &d.migration {
-        None => Json::Null,
-        Some(m) => obj(vec![
-            ("tenant", Json::Str(m.tenant.clone())),
-            ("from", Json::Num(m.from as f64)),
-            ("to", Json::Num(m.to as f64)),
-            ("estimated_gain", Json::Num(m.estimated_gain)),
-            ("recalibrated", Json::Bool(m.recalibrated)),
-        ]),
-    };
+    let migrations = Json::Arr(
+        d.migrations
+            .iter()
+            .map(|m| {
+                obj(vec![
+                    ("tenant", Json::Str(m.tenant.clone())),
+                    ("from", Json::Num(m.from as f64)),
+                    ("to", Json::Num(m.to as f64)),
+                    ("estimated_gain", Json::Num(m.estimated_gain)),
+                    ("recalibrated", Json::Bool(m.recalibrated)),
+                ])
+            })
+            .collect(),
+    );
     obj(vec![
         ("seq", Json::Num(d.seq as f64)),
         ("action", Json::Str(d.action.clone())),
@@ -422,7 +441,7 @@ fn decision_to_json(d: &Decision) -> Json {
             "resolved",
             Json::Arr(d.resolved.iter().map(|&m| Json::Num(m as f64)).collect()),
         ),
-        ("migration", migration),
+        ("migrations", migrations),
         ("objective", Json::Num(d.objective)),
     ])
 }
@@ -623,16 +642,18 @@ fn model_from_json(j: &Json) -> Result<CalibratedModel, String> {
 }
 
 fn decision_from_json(j: &Json) -> Result<Decision, String> {
-    let migration = match field(j, "migration")? {
-        Json::Null => None,
-        m => Some(Migration {
-            tenant: str_field(m, "tenant")?.to_string(),
-            from: usize_field(m, "from")?,
-            to: usize_field(m, "to")?,
-            estimated_gain: f64_field(m, "estimated_gain")?,
-            recalibrated: bool_field(m, "recalibrated")?,
-        }),
-    };
+    let migrations = arr_field(j, "migrations")?
+        .iter()
+        .map(|m| {
+            Ok(Migration {
+                tenant: str_field(m, "tenant")?.to_string(),
+                from: usize_field(m, "from")?,
+                to: usize_field(m, "to")?,
+                estimated_gain: f64_field(m, "estimated_gain")?,
+                recalibrated: bool_field(m, "recalibrated")?,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
     let resolved = arr_field(j, "resolved")?
         .iter()
         .map(|v| {
@@ -646,7 +667,7 @@ fn decision_from_json(j: &Json) -> Result<Decision, String> {
         seq: u64_field(j, "seq")?,
         action: str_field(j, "action")?.to_string(),
         resolved,
-        migration,
+        migrations,
         objective: f64_field(j, "objective")?,
     })
 }
@@ -764,6 +785,7 @@ mod tests {
             seq: 75,
             optimizer_calls: 4321,
             resolves: 99,
+            waves: 61,
             migrations: 3,
             machines: vec![
                 MachineSnapshot {
@@ -803,15 +825,16 @@ mod tests {
                 seq: 75,
                 action: "workload-changed m0 t1 (major)".to_string(),
                 resolved: vec![0, 1],
-                migration: Some(Migration {
+                migrations: vec![Migration {
                     tenant: "hot".to_string(),
                     from: 0,
                     to: 1,
                     estimated_gain: 0.0625,
                     recalibrated: true,
-                }),
+                }],
                 objective: 98.7654321,
             }],
+            log_dropped: 7,
         }
     }
 
@@ -841,7 +864,7 @@ mod tests {
             .contains("format"));
         let wrong_version = sample_snapshot()
             .to_json()
-            .replace("\"version\":1", "\"version\":2");
+            .replace("\"version\":2", "\"version\":3");
         assert!(FleetSnapshot::from_json(&wrong_version)
             .unwrap_err()
             .contains("version"));

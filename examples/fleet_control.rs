@@ -11,7 +11,9 @@
 //! [`FleetSnapshot`] JSON format, restore it into a freshly built
 //! fleet, and finish the event stream on the restored plane: the
 //! decisions and placements are bit-identical to the uninterrupted
-//! run, at delta-solve cost instead of recalibration cost.
+//! run, at delta-solve cost instead of recalibration cost. A final
+//! burst goes through `ControlPlane::process_batch` — same-slot
+//! events coalesce and the batch re-solves in one parallel wave.
 //!
 //! ```text
 //! cargo run --release --example fleet_control
@@ -176,6 +178,37 @@ fn main() {
     }
     assert_eq!(plane.decision_log(), restored.decision_log());
     assert_eq!(plane.placements(), restored.placements());
+
+    // Batched ingestion: a burst lands as one call — the two events on
+    // machine 1 slot 0 coalesce, the dirty machines re-solve in a
+    // single parallel wave, one decision is logged, and the running
+    // and restored planes still agree bit for bit.
+    let burst = vec![
+        FleetEvent::WorkloadScaled {
+            machine: 1,
+            slot: 0,
+            factor: 1.2,
+        },
+        FleetEvent::WorkloadScaled {
+            machine: 2,
+            slot: 0,
+            factor: 0.9,
+        },
+        FleetEvent::WorkloadScaled {
+            machine: 1,
+            slot: 0,
+            factor: 1.1,
+        },
+    ];
+    let a = plane.process_batch(&burst);
+    let b = restored.process_batch(&burst);
+    assert_eq!(a.action, b.action);
+    assert_eq!(a.resolved, b.resolved);
+    assert_eq!(a.objective.to_bits(), b.objective.to_bits());
+    println!(
+        "  batch #{}: {:<30} re-solved {:?}  objective {:.4}",
+        a.seq, a.action, a.resolved, a.objective
+    );
 
     let stats = plane.stats();
     println!(

@@ -236,6 +236,80 @@ fn every_restart_point_of_a_fixed_sequence_resumes_bit_identically() {
     }
 }
 
+/// Ring-buffer snapshots at a non-trivial head position: with a
+/// three-decision horizon, five events wrap the ring before the
+/// snapshot, so the log's logical order differs from its physical
+/// buffer order (the head sits mid-buffer). The snapshot serializes
+/// the *logical* order and the drop counter — head position is not
+/// durable state — so restore must rebuild an equivalent ring, the
+/// immediate re-snapshot must be byte-identical, and the resumed run
+/// must keep overwriting oldest-first exactly like the uninterrupted
+/// one.
+#[test]
+fn ring_buffer_snapshot_restores_at_a_wrapped_head_position() {
+    let ring_options = || ControlPlaneOptions {
+        decision_log_capacity: 3,
+        ..options()
+    };
+    // Scales and changes only: slot counts stay fixed, so the recorded
+    // stream is trivially valid for every leg.
+    let drifts = [
+        (0u32, 0usize, 1usize, 1.6f64),
+        (1, 1, 0, 2.0),
+        (0, 0, 0, 0.7),
+        (1, 0, 1, 1.3),
+        (0, 1, 1, 1.9),
+        (0, 0, 1, 1.1),
+        (1, 1, 1, 1.7),
+    ];
+
+    let (machines, spaces) = fleet();
+    let mut reference = ControlPlane::new(machines, spaces, ring_options());
+    let mut recorded = Vec::new();
+    drive(&mut reference, &drifts, 0, &mut recorded);
+    assert_eq!(reference.decision_log().len(), 3);
+    assert_eq!(reference.decision_log().dropped(), 4);
+
+    // Interrupted leg, cut after five events: two decisions already
+    // overwritten, head wrapped to the middle of the buffer.
+    let (machines, spaces) = fleet();
+    let mut first = ControlPlane::new(machines, spaces, ring_options());
+    for event in &recorded[..5] {
+        first.process_event(event.clone());
+    }
+    assert_eq!(first.decision_log().len(), 3);
+    assert_eq!(first.decision_log().dropped(), 2);
+
+    let snapshot = first.snapshot();
+    let json = snapshot.to_json();
+    let parsed = FleetSnapshot::from_json(&json).expect("snapshot parses");
+    assert_eq!(parsed, snapshot, "parse must invert to_json");
+
+    let (fresh, spaces) = rebuild(&first);
+    let mut resumed =
+        ControlPlane::restore(fresh, spaces, ring_options(), &parsed).expect("snapshot restores");
+    assert_eq!(
+        resumed.snapshot().to_json(),
+        json,
+        "re-snapshot at a wrapped head must be byte-identical"
+    );
+    for event in &recorded[5..] {
+        resumed.process_event(event.clone());
+    }
+
+    assert_eq!(
+        resumed.decision_log(),
+        reference.decision_log(),
+        "ring contents after resume diverge"
+    );
+    assert_eq!(resumed.decision_log().dropped(), 4);
+    assert_eq!(resumed.placements(), reference.placements());
+    assert_eq!(
+        resumed.objective().to_bits(),
+        reference.objective().to_bits()
+    );
+}
+
 /// A restored plane rejects topologies that do not match the snapshot:
 /// wrong machine count, wrong hardware, wrong tenants.
 #[test]
