@@ -214,6 +214,30 @@ mod tests {
       "cache_bounded": true
     }
   },
+  "adaptive": {
+    "drift_events": 12,
+    "actuals_events": 30,
+    "adaptive_wall_ms": 35.5,
+    "frozen_wall_ms": 18.4,
+    "event_optimizer_calls_adaptive": 9000,
+    "event_optimizer_calls_frozen": 5268,
+    "shadow_reports": 6,
+    "canary_deployments": 20,
+    "promotions": 2,
+    "rollbacks": 0,
+    "frozen_actual_seconds": 14042.156,
+    "adaptive_actual_seconds": 13515.704,
+    "frozen_mape": 0.201479,
+    "adaptive_mape": 0.007372,
+    "all_promoted": true,
+    "adaptive_improves": true,
+    "reduces_error": true,
+    "rollback": {
+      "rollback_wall_ms": 11.2,
+      "diverged_during_canary": true,
+      "state_restored": true
+    }
+  },
   "heterogeneous": {
     "machine_scales_cpu": [0.5, 0.5, 1.0, 1.0],
     "machine_scales_memory": [0.5, 0.5, 1.0, 1.0],
@@ -486,6 +510,110 @@ mod tests {
         assert!(
             compare_reports(BASE, &cand).is_empty(),
             "dynamic wall times and the speedup ratio must stay unguarded"
+        );
+    }
+
+    #[test]
+    fn adaptive_section_deterministic_fields_are_gated() {
+        // The adaptive-calibration section of BENCH_adaptive.json:
+        // event tallies, optimizer-call totals, guardrail lifecycle
+        // counts, actual-seconds totals, prediction errors, the
+        // contract booleans, and the nested rollback-leg booleans are
+        // deterministic and gated; all three wall times are not.
+        for (field, original, replacement) in [
+            (
+                "drift_events",
+                "\"drift_events\": 12",
+                "\"drift_events\": 11",
+            ),
+            (
+                "actuals_events",
+                "\"actuals_events\": 30",
+                "\"actuals_events\": 31",
+            ),
+            (
+                "event_optimizer_calls_adaptive",
+                "\"event_optimizer_calls_adaptive\": 9000",
+                "\"event_optimizer_calls_adaptive\": 9001",
+            ),
+            (
+                "event_optimizer_calls_frozen",
+                "\"event_optimizer_calls_frozen\": 5268",
+                "\"event_optimizer_calls_frozen\": 5300",
+            ),
+            (
+                "shadow_reports",
+                "\"shadow_reports\": 6",
+                "\"shadow_reports\": 7",
+            ),
+            (
+                "canary_deployments",
+                "\"canary_deployments\": 20",
+                "\"canary_deployments\": 2",
+            ),
+            ("promotions", "\"promotions\": 2", "\"promotions\": 1"),
+            ("rollbacks", "\"rollbacks\": 0", "\"rollbacks\": 3"),
+            (
+                "frozen_actual_seconds",
+                "\"frozen_actual_seconds\": 14042.156",
+                "\"frozen_actual_seconds\": 14000.0",
+            ),
+            (
+                "adaptive_actual_seconds",
+                "\"adaptive_actual_seconds\": 13515.704",
+                "\"adaptive_actual_seconds\": 13600.0",
+            ),
+            (
+                "frozen_mape",
+                "\"frozen_mape\": 0.201479",
+                "\"frozen_mape\": 0.25",
+            ),
+            (
+                "adaptive_mape",
+                "\"adaptive_mape\": 0.007372",
+                "\"adaptive_mape\": 0.4",
+            ),
+            (
+                "all_promoted",
+                "\"all_promoted\": true",
+                "\"all_promoted\": false",
+            ),
+            (
+                "adaptive_improves",
+                "\"adaptive_improves\": true",
+                "\"adaptive_improves\": false",
+            ),
+            (
+                "reduces_error",
+                "\"reduces_error\": true",
+                "\"reduces_error\": false",
+            ),
+            (
+                "diverged_during_canary",
+                "\"diverged_during_canary\": true",
+                "\"diverged_during_canary\": false",
+            ),
+            (
+                "state_restored",
+                "\"state_restored\": true",
+                "\"state_restored\": false",
+            ),
+        ] {
+            let cand = BASE.replace(original, replacement);
+            assert_ne!(cand, BASE, "{field} must appear in the fixture");
+            let problems = compare_reports(BASE, &cand);
+            assert!(
+                problems.iter().any(|p| p.contains(field)),
+                "adaptive {field} drift must fail the gate: {problems:?}"
+            );
+        }
+        let cand = BASE
+            .replace("\"adaptive_wall_ms\": 35.5", "\"adaptive_wall_ms\": 900.0")
+            .replace("\"frozen_wall_ms\": 18.4", "\"frozen_wall_ms\": 2.0")
+            .replace("\"rollback_wall_ms\": 11.2", "\"rollback_wall_ms\": 777.0");
+        assert!(
+            compare_reports(BASE, &cand).is_empty(),
+            "adaptive wall times must stay unguarded"
         );
     }
 

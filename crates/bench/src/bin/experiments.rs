@@ -23,6 +23,12 @@
 //!                               scenario (event stream + snapshot/
 //!                               resume) and write BENCH_fleet.json
 //!                               (same path rules)
+//! experiments --adaptive-json [path.json]
+//!                               run the adaptive-calibration drift
+//!                               scenario (frozen vs guardrail-promoted
+//!                               models, plus the forced-rollback leg)
+//!                               and write BENCH_adaptive.json (same
+//!                               path rules)
 //! ```
 
 use std::process::ExitCode;
@@ -101,12 +107,25 @@ fn main() -> ExitCode {
             }
         }
     }
+    if let Some(path) = json_flag(&mut args, "--adaptive-json", "BENCH_adaptive.json") {
+        ran_flag = true;
+        match experiments::adaptbench::write_json(&path) {
+            Ok((m, r)) => {
+                println!("{}", experiments::adaptbench::run_from(&m, &r));
+                println!("wrote {path}");
+            }
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     if ran_flag && args.is_empty() {
         return ExitCode::SUCCESS;
     }
     if args.is_empty() || args[0] == "help" || args[0] == "--help" {
         eprintln!(
-            "usage: experiments <id>... | all | list | --enumeration-json [path] | --placement-json [path] | --dynamic-json [path] | --fleet-json [path]"
+            "usage: experiments <id>... | all | list | --enumeration-json [path] | --placement-json [path] | --dynamic-json [path] | --fleet-json [path] | --adaptive-json [path]"
         );
         eprintln!("ids: {}", id_list().join(" "));
         return ExitCode::from(2);

@@ -6,6 +6,7 @@
 //! crossovers fall").
 
 pub mod ablation;
+pub mod adaptbench;
 pub mod calibration_figs;
 pub mod cpu_sensitivity;
 pub mod dynamic_mgmt;
@@ -67,6 +68,7 @@ pub fn registry() -> Vec<(&'static str, fn() -> Report)> {
         ("tab3", tables::run_tab3),
         ("sec72", sec72_costs::run),
         ("ablation", ablation::run),
+        ("adaptbench", adaptbench::run),
         ("enumbench", enumeration::run),
         ("dynbench", dynbench::run),
         ("fleetbench", fleetbench::run),

@@ -554,6 +554,34 @@ impl VirtualizationDesignAdvisor {
         self.tenants[i].actual_cost(&self.hv, alloc)
     }
 
+    /// Price tenant `i` at `alloc`, observe the executor's actual, and
+    /// record the residual into `storage`. The prediction is reduced to
+    /// the **base** (un-adapted) model — any
+    /// [`Adaption`](crate::costmodel::Adaption) overlay on the
+    /// installed calibration is divided back out — so refits over the
+    /// store always correct the analytic fit, never a correction of a
+    /// correction (the same rule the control plane's
+    /// `ActualsReported` path follows). Returns `(base predicted,
+    /// actual)` seconds.
+    pub fn record_actual(
+        &self,
+        i: usize,
+        alloc: Allocation,
+        storage: &mut crate::costmodel::RuntimeAdaptionStorage,
+    ) -> (f64, f64) {
+        let est = self.estimator(i);
+        let installed = est.estimate(alloc).seconds;
+        let kind = self.tenants[i].engine.kind();
+        let factor = self
+            .calibration(kind)
+            .and_then(|model| model.adaption)
+            .map_or(1.0, |a| a.factor(alloc));
+        let predicted = installed / factor;
+        let actual = self.actual_cost(i, alloc);
+        storage.record(self.tenants[i].fingerprint(), alloc, predicted, actual);
+        (predicted, actual)
+    }
+
     /// Total actual cost over all tenants for a full allocation vector.
     pub fn total_actual(&self, allocations: &[Allocation]) -> f64 {
         allocations

@@ -64,16 +64,20 @@
 //! results bit-identical to a process that never restarted.
 
 use crate::advisor::{Recommendation, VirtualizationDesignAdvisor};
+use crate::costmodel::adaptive::{refit, Adaption, AdaptionOptions, RuntimeAdaptionStorage};
 use crate::costmodel::calibration::{CalibratedModel, Calibrator};
 use crate::costmodel::whatif::{ProbeCache, WhatIfEstimator};
 use crate::dynamic::{migration_gain, two_mut, Migration};
 use crate::enumerate::{
     try_coarse_to_fine_search_with, CoarseToFineOptions, MachineClass, SearchOptions, SearchResult,
 };
+use crate::guardrail::{GuardrailOptions, GuardrailState, GuardrailTracker};
 use crate::metrics::{percentile, Clock, CostAccounting};
 use crate::placement::machine_capacity;
 use crate::problem::{QoS, SearchSpace};
-use crate::snapshot::{FleetSnapshot, MachineSnapshot, WarmSnapshot};
+use crate::snapshot::{
+    AdaptionSnapshot, FleetSnapshot, MachineSnapshot, TunerSnapshot, WarmSnapshot,
+};
 use crate::tenant::Tenant;
 use parking_lot::Mutex;
 use rayon::prelude::ParallelMapSlice;
@@ -141,6 +145,32 @@ pub enum FleetEvent {
         /// Index of the machine to remove; it must host no tenants.
         machine: usize,
     },
+    /// The executor reported actual runtimes for a hosted tenant. A
+    /// no-op unless [`ControlPlaneOptions::adaptive`] is set; with
+    /// adaptive tuning on, the residual against the *base* (un-adapted)
+    /// calibrated model is recorded into the per-(hardware class,
+    /// engine kind) [`RuntimeAdaptionStorage`], a refit may open a
+    /// [`GuardrailTracker`], and the tracker's Shadow → Canary →
+    /// Promoted/RolledBack verdicts install or retire adapted models
+    /// (see the decision-log labels `(shadow)`, `(canary)`,
+    /// `(promoted)`, `(rolled-back)`).
+    ActualsReported {
+        /// Host machine index.
+        machine: usize,
+        /// Tenant slot on that machine.
+        slot: usize,
+    },
+}
+
+/// Everything adaptive tuning needs, bundled so
+/// [`ControlPlaneOptions::adaptive`] is a single opt-in: the residual
+/// store / refit knobs plus the guardrail thresholds.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AdaptiveTuningOptions {
+    /// Residual storage and refit knobs.
+    pub adaption: AdaptionOptions,
+    /// Shadow/canary promotion gates.
+    pub guardrail: GuardrailOptions,
 }
 
 /// Tuning knobs of the [`ControlPlane`].
@@ -181,6 +211,11 @@ pub struct ControlPlaneOptions {
     /// the oldest decision is overwritten and counted in
     /// [`DecisionLog::dropped`].
     pub decision_log_capacity: usize,
+    /// Adaptive cost-model tuning (`None`, the default: off).
+    /// With `None` every [`FleetEvent::ActualsReported`] is a recorded
+    /// no-op and the plane's decisions are bit-identical to a build
+    /// without the adaptive subsystem.
+    pub adaptive: Option<AdaptiveTuningOptions>,
 }
 
 impl Default for ControlPlaneOptions {
@@ -194,6 +229,7 @@ impl Default for ControlPlaneOptions {
             incremental: true,
             probe_cache_capacity: 0,
             decision_log_capacity: 0,
+            adaptive: None,
         }
     }
 }
@@ -420,6 +456,7 @@ struct BatchKinds {
     arrived: usize,
     departed: usize,
     decommissioned: usize,
+    actuals: usize,
     coalesced: usize,
     major: usize,
 }
@@ -435,6 +472,7 @@ impl BatchKinds {
             ("arrived", self.arrived),
             ("departed", self.departed),
             ("decommissioned", self.decommissioned),
+            ("actuals", self.actuals),
         ] {
             if count > 0 {
                 parts.push(format!("{label} {count}"));
@@ -467,6 +505,13 @@ pub struct ControlPlane {
     /// Current placement per machine (`None` while a machine is
     /// empty).
     placements: Vec<Option<SearchResult>>,
+    /// Per-(hardware class, engine kind) residual stores feeding the
+    /// adaptive refits. Empty unless
+    /// [`ControlPlaneOptions::adaptive`] is set.
+    adaption: BTreeMap<(u64, EngineKind), RuntimeAdaptionStorage>,
+    /// Live guardrail trackers — at most one candidate correction in
+    /// flight per (hardware class, engine kind).
+    tuners: BTreeMap<(u64, EngineKind), GuardrailTracker>,
     log: DecisionLog,
     seq: u64,
     /// Latency source for [`process_event`](Self::process_event):
@@ -511,6 +556,8 @@ impl ControlPlane {
             probe,
             class_models: BTreeMap::new(),
             placements,
+            adaption: BTreeMap::new(),
+            tuners: BTreeMap::new(),
             log,
             seq: 0,
             clock: Clock::wall(),
@@ -582,6 +629,18 @@ impl ControlPlane {
     /// The shared fleet probe cache.
     pub fn probe_cache(&self) -> &ProbeCache {
         &self.probe
+    }
+
+    /// Live guardrail trackers, keyed by (hardware class fingerprint,
+    /// engine kind). Empty unless [`ControlPlaneOptions::adaptive`]
+    /// tuning has opened a candidate.
+    pub fn tuners(&self) -> &BTreeMap<(u64, EngineKind), GuardrailTracker> {
+        &self.tuners
+    }
+
+    /// Adaptive residual stores, keyed like [`Self::tuners`].
+    pub fn adaption_storages(&self) -> &BTreeMap<(u64, EngineKind), RuntimeAdaptionStorage> {
+        &self.adaption
     }
 
     /// Estimated fleet objective: the sum of every machine's current
@@ -847,7 +906,8 @@ impl ControlPlane {
                     kinds.arrived += 1;
                 }
                 FleetEvent::TenantDeparted { machine, slot } => {
-                    self.machines[machine].remove_tenant(slot);
+                    let (tenant, _) = self.machines[machine].remove_tenant(slot);
+                    dirty.extend(self.rollback_canaries_of_tenant(tenant.fingerprint()));
                     // The departed slot's records die with it; higher
                     // slots shift down (Vec::remove semantics).
                     pending.remove(&(machine, slot));
@@ -908,6 +968,11 @@ impl ControlPlane {
                     }
                     self.prune_caches();
                     kinds.decommissioned += 1;
+                }
+                FleetEvent::ActualsReported { machine, slot } => {
+                    let (_, d) = self.handle_actuals(machine, slot);
+                    dirty.extend(d);
+                    kinds.actuals += 1;
                 }
             }
         }
@@ -1033,6 +1098,28 @@ impl ControlPlane {
             .map(|(&(hw, kind), model)| (hw, kind, model.clone()))
             .collect();
         registry.sort_by_key(|(hw, kind, _)| (*hw, kind.name()));
+        let mut adaption: Vec<AdaptionSnapshot> = self
+            .adaption
+            .iter()
+            .map(|(&(hw, kind), storage)| AdaptionSnapshot {
+                hardware: hw,
+                kind,
+                epoch: storage.epoch(),
+                version: storage.version(),
+                rows: storage.export(),
+            })
+            .collect();
+        adaption.sort_by_key(|s| (s.hardware, s.kind.name()));
+        let mut tuners: Vec<TunerSnapshot> = self
+            .tuners
+            .iter()
+            .map(|(&(hw, kind), tracker)| TunerSnapshot {
+                hardware: hw,
+                kind,
+                tracker: tracker.export(),
+            })
+            .collect();
+        tuners.sort_by_key(|t| (t.hardware, t.kind.name()));
         FleetSnapshot {
             seq: self.seq,
             optimizer_calls: self.optimizer_calls,
@@ -1044,6 +1131,8 @@ impl ControlPlane {
             probes: self.probe.export(),
             log: self.log.to_vec(),
             log_dropped: self.log.dropped(),
+            adaption,
+            tuners,
         }
     }
 
@@ -1124,6 +1213,28 @@ impl ControlPlane {
             snapshot.log.clone(),
             snapshot.log_dropped,
         );
+        // Adaptive state restores regardless of whether the restoring
+        // process has tuning enabled: with `adaptive: None` the maps
+        // are inert (ActualsReported no-ops) but still round-trip, so
+        // snapshot → restore → snapshot is lossless either way. The
+        // knobs themselves come from `options`, not the snapshot.
+        let tuning = options.adaptive.unwrap_or_default();
+        let mut adaption: BTreeMap<(u64, EngineKind), RuntimeAdaptionStorage> = BTreeMap::new();
+        for s in &snapshot.adaption {
+            let mut storage = RuntimeAdaptionStorage::new(tuning.adaption.capacity);
+            storage.import(s.rows.clone(), s.epoch, s.version);
+            adaption.insert((s.hardware, s.kind), storage);
+        }
+        let tuners: BTreeMap<(u64, EngineKind), GuardrailTracker> = snapshot
+            .tuners
+            .iter()
+            .map(|t| {
+                (
+                    (t.hardware, t.kind),
+                    GuardrailTracker::import(t.tracker.clone(), tuning.guardrail),
+                )
+            })
+            .collect();
         Ok(ControlPlane {
             machines,
             spaces,
@@ -1131,6 +1242,8 @@ impl ControlPlane {
             probe,
             class_models,
             placements,
+            adaption,
+            tuners,
             log,
             seq: snapshot.seq,
             clock: Clock::wall(),
@@ -1205,9 +1318,14 @@ impl ControlPlane {
             }
             FleetEvent::TenantDeparted { machine, slot } => {
                 let (tenant, _) = self.machines[machine].remove_tenant(slot);
+                let mut dirty = vec![machine];
+                // A canary must not outlive its evidence stream: if the
+                // departed tenant was in any live canary subset, that
+                // candidate rolls back deterministically.
+                dirty.extend(self.rollback_canaries_of_tenant(tenant.fingerprint()));
                 (
                     format!("tenant-departed m{machine} ({})", tenant.name),
-                    vec![machine],
+                    dirty,
                     None,
                 )
             }
@@ -1224,6 +1342,10 @@ impl ControlPlane {
                 // weight in the probe cache; reclaim immediately.
                 self.prune_caches();
                 (format!("machine-decommissioned m{machine}"), vec![], None)
+            }
+            FleetEvent::ActualsReported { machine, slot } => {
+                let (action, dirty) = self.handle_actuals(machine, slot);
+                (action, dirty, None)
             }
         }
     }
@@ -1510,6 +1632,243 @@ impl ControlPlane {
     }
 
     // ------------------------------------------------------------------
+    // Adaptive tuning (ActualsReported lifecycle)
+    // ------------------------------------------------------------------
+
+    /// Handle one executor actuals report for tenant `slot` on machine
+    /// `m`. Returns the decision-log action string and the machines
+    /// whose installed calibration changed (canary deploys, promotions,
+    /// rollbacks) — those re-solve in the caller's wave.
+    ///
+    /// Residuals are recorded against the **base** (un-adapted) model:
+    /// the installed model's correction factor is divided back out of
+    /// its prediction, so a refit always proposes a correction *of the
+    /// analytic fit*, never a correction of a correction. The class
+    /// registry holds the currently-promoted model; canary installs
+    /// touch only the machines hosting canary tenants, and a rollback
+    /// reinstalls the registry incumbent bit-identically (model
+    /// installation cold-starts the machine's caches, which the
+    /// incremental-vs-cold contract already pins).
+    fn handle_actuals(&mut self, m: usize, slot: usize) -> (String, Vec<usize>) {
+        let prefix = format!("actuals-reported m{m} t{slot}");
+        let Some(tuning) = self.options.adaptive else {
+            return (format!("{prefix} (off)"), Vec::new());
+        };
+        let Some(alloc) = self.placements[m]
+            .as_ref()
+            .and_then(|r| r.allocations.get(slot).copied())
+        else {
+            return (format!("{prefix} (unplaced)"), Vec::new());
+        };
+        let kind = self.machines[m].tenant(slot).engine.kind();
+        let hw = self.hardware_class(m);
+        let key = (hw, kind);
+        let tenant_fp = self.machines[m].tenant(slot).fingerprint();
+
+        // Price with the machine's installed (possibly canary) model,
+        // then divide its correction factor back out for the base
+        // prediction.
+        let est = self.machines[m].estimator(slot);
+        let installed_pred = est.estimate(alloc).seconds;
+        self.optimizer_calls += est.optimizer_calls();
+        let installed_factor = self.machines[m]
+            .calibration(kind)
+            .and_then(|model| model.adaption)
+            .map_or(1.0, |a| a.factor(alloc));
+        let base_pred = installed_pred / installed_factor;
+        let actual = self.machines[m].actual_cost(slot, alloc);
+
+        let incumbent = self
+            .class_models
+            .get(&key)
+            .cloned()
+            .expect("machine hosting a tenant is calibrated through the registry");
+        let incumbent_pred = base_pred * incumbent.adaption.map_or(1.0, |a| a.factor(alloc));
+
+        let storage = self
+            .adaption
+            .entry(key)
+            .or_insert_with(|| RuntimeAdaptionStorage::new(tuning.adaption.capacity));
+        storage.set_epoch(self.seq + 1);
+        storage.record(tenant_fp, alloc, base_pred, actual);
+
+        // Open a tracker when the evidence proposes a correction the
+        // fleet is not already running. After a promotion the same
+        // samples refit to the promoted correction, so no tracker
+        // churns; after a rollback the cleared store cannot re-propose
+        // the rejected candidate from the same evidence.
+        if !self.tuners.contains_key(&key) {
+            let storage = &self.adaption[&key];
+            if let Some(correction) = refit(storage, &tuning.adaption) {
+                let proposes_change = match incumbent.adaption {
+                    Some(current) => correction != current.correction,
+                    None => !correction.is_identity(),
+                };
+                if proposes_change {
+                    let candidate = Adaption {
+                        correction,
+                        version: storage.version(),
+                    };
+                    let base_fp = incumbent.clone().without_adaption().fingerprint();
+                    self.tuners.insert(
+                        key,
+                        GuardrailTracker::new(candidate, base_fp, tuning.guardrail),
+                    );
+                }
+            }
+        }
+
+        let objective = self.objective();
+        let verdict = {
+            let Some(tracker) = self.tuners.get_mut(&key) else {
+                return (format!("{prefix} (recorded)"), Vec::new());
+            };
+            let cand_pred = base_pred * tracker.candidate().factor(alloc);
+            tracker.observe(tenant_fp, cand_pred, incumbent_pred, actual, objective)
+        };
+        match verdict {
+            GuardrailState::Shadow => (format!("{prefix} (shadow)"), Vec::new()),
+            GuardrailState::Canary => {
+                let dirty = self.deploy_canary(key, &incumbent);
+                (format!("{prefix} (canary)"), dirty)
+            }
+            GuardrailState::Promoted => {
+                let dirty = self.promote_candidate(key, &incumbent);
+                (format!("{prefix} (promoted)"), dirty)
+            }
+            GuardrailState::RolledBack => {
+                let dirty = self.rollback_candidate(key);
+                (format!("{prefix} (rolled-back)"), dirty)
+            }
+        }
+    }
+
+    /// Install `key`'s candidate model on every machine of the
+    /// hardware class hosting a canary tenant of that kind (idempotent:
+    /// machines already running the candidate are skipped). Returns
+    /// the machines whose calibration changed.
+    fn deploy_canary(&mut self, key: (u64, EngineKind), incumbent: &CalibratedModel) -> Vec<usize> {
+        let Some(tracker) = self.tuners.get(&key) else {
+            return Vec::new();
+        };
+        let candidate_model = incumbent
+            .clone()
+            .without_adaption()
+            .with_adaption(tracker.candidate());
+        let candidate_fp = candidate_model.fingerprint();
+        let fps: Vec<u64> = tracker.canary_tenants().to_vec();
+        let (hw, kind) = key;
+        let mut dirty = Vec::new();
+        for m in 0..self.machines.len() {
+            if self.hardware_class(m) != hw {
+                continue;
+            }
+            let hosts_canary = (0..self.machines[m].tenant_count()).any(|i| {
+                self.machines[m].tenant(i).engine.kind() == kind
+                    && fps.contains(&self.machines[m].tenant(i).fingerprint())
+            });
+            if !hosts_canary {
+                continue;
+            }
+            if self.machines[m].calibration(kind).map(|c| c.fingerprint()) == Some(candidate_fp) {
+                continue;
+            }
+            self.machines[m].install_calibration(kind, candidate_model.clone());
+            dirty.push(m);
+        }
+        dirty
+    }
+
+    /// The candidate survived both gates: it becomes the class
+    /// registry's model for `key` and installs on every calibrated
+    /// machine of the class. The tracker retires.
+    fn promote_candidate(
+        &mut self,
+        key: (u64, EngineKind),
+        incumbent: &CalibratedModel,
+    ) -> Vec<usize> {
+        let Some(tracker) = self.tuners.remove(&key) else {
+            return Vec::new();
+        };
+        let promoted = incumbent
+            .clone()
+            .without_adaption()
+            .with_adaption(tracker.candidate());
+        let promoted_fp = promoted.fingerprint();
+        self.class_models.insert(key, promoted.clone());
+        let (hw, kind) = key;
+        let mut dirty = Vec::new();
+        for m in 0..self.machines.len() {
+            if self.hardware_class(m) != hw {
+                continue;
+            }
+            match self.machines[m].calibration(kind) {
+                Some(c) if c.fingerprint() != promoted_fp => {}
+                _ => continue,
+            }
+            self.machines[m].install_calibration(kind, promoted.clone());
+            dirty.push(m);
+        }
+        dirty
+    }
+
+    /// The candidate was rejected (shadow gate, canary gate, or a
+    /// forced rollback): reinstall the registry incumbent on exactly
+    /// the machines running the candidate, retire the tracker, and
+    /// clear the residual store so the same evidence cannot re-propose
+    /// the rejected correction.
+    fn rollback_candidate(&mut self, key: (u64, EngineKind)) -> Vec<usize> {
+        let Some(tracker) = self.tuners.remove(&key) else {
+            return Vec::new();
+        };
+        if let Some(storage) = self.adaption.get_mut(&key) {
+            storage.clear();
+        }
+        let Some(incumbent) = self.class_models.get(&key).cloned() else {
+            return Vec::new();
+        };
+        let candidate_fp = incumbent
+            .clone()
+            .without_adaption()
+            .with_adaption(tracker.candidate())
+            .fingerprint();
+        let (hw, kind) = key;
+        let mut dirty = Vec::new();
+        for m in 0..self.machines.len() {
+            if self.hardware_class(m) != hw {
+                continue;
+            }
+            if self.machines[m].calibration(kind).map(|c| c.fingerprint()) != Some(candidate_fp) {
+                continue;
+            }
+            self.machines[m].install_calibration(kind, incumbent.clone());
+            dirty.push(m);
+        }
+        dirty
+    }
+
+    /// Roll back every candidate whose canary subset contains the
+    /// departed tenant — a canary must not outlive its evidence
+    /// stream. Shadow-phase trackers are unaffected (they keep
+    /// accumulating from the remaining tenants).
+    fn rollback_canaries_of_tenant(&mut self, tenant_fp: u64) -> Vec<usize> {
+        let keys: Vec<(u64, EngineKind)> = self
+            .tuners
+            .iter()
+            .filter(|(_, t)| t.state() == GuardrailState::Canary && t.is_canary_tenant(tenant_fp))
+            .map(|(&k, _)| k)
+            .collect();
+        let mut dirty = Vec::new();
+        for key in keys {
+            if let Some(tracker) = self.tuners.get_mut(&key) {
+                tracker.force_rollback();
+            }
+            dirty.extend(self.rollback_candidate(key));
+        }
+        dirty
+    }
+
+    // ------------------------------------------------------------------
     // Cache management
     // ------------------------------------------------------------------
 
@@ -1523,6 +1882,11 @@ impl ControlPlane {
             .map(|m| self.hardware_class(m))
             .collect();
         self.class_models.retain(|(hw, _), _| hw_live.contains(hw));
+        // Adaptive state of a departed hardware class is unreadable:
+        // a decommission mid-lifecycle deterministically retires the
+        // class's residual store and any in-flight tracker.
+        self.adaption.retain(|(hw, _), _| hw_live.contains(hw));
+        self.tuners.retain(|(hw, _), _| hw_live.contains(hw));
         let live_models: HashSet<u64> = self
             .machines
             .iter()
@@ -2103,5 +2467,254 @@ mod tests {
             "a capped cache pays with misses, not answers"
         );
         assert!(capped.probe_cache().approx_bytes() <= uncapped.probe_cache().approx_bytes());
+    }
+
+    // ------------------------------------------------------------------
+    // Adaptive tuning lifecycle
+    // ------------------------------------------------------------------
+
+    /// Adaptive knobs small fleets can exercise: refits fire from two
+    /// distinct samples, gates settle after a couple of reports.
+    fn eager_tuning() -> AdaptiveTuningOptions {
+        AdaptiveTuningOptions {
+            adaption: AdaptionOptions {
+                min_samples: 2,
+                ..AdaptionOptions::default()
+            },
+            guardrail: GuardrailOptions {
+                min_shadow_samples: 3,
+                canary_tenants: 1,
+                min_canary_samples: 2,
+                // Wide-open gates: promotion is decided by the shadow
+                // comparison, not the canary thresholds.
+                max_error_inflation: 10.0,
+                max_objective_regression: 10.0,
+            },
+        }
+    }
+
+    fn adaptive_fleet(tuning: Option<AdaptiveTuningOptions>) -> ControlPlane {
+        let machines = vec![
+            machine_with(&[("a0", 18, 2.0), ("a1", 6, 2.0)]),
+            machine_with(&[("b0", 1, 1.0)]),
+        ];
+        let spaces = vec![SearchSpace::cpu_only(0.25); 2];
+        ControlPlane::new(
+            machines,
+            spaces,
+            ControlPlaneOptions {
+                adaptive: tuning,
+                ..ControlPlaneOptions::default()
+            },
+        )
+    }
+
+    /// Every tenant reports actuals once, in (machine, slot) order.
+    fn report_all(plane: &mut ControlPlane) -> Vec<String> {
+        let mut actions = Vec::new();
+        for m in 0..plane.machine_count() {
+            for slot in 0..plane.machine(m).tenant_count() {
+                let outcome = plane.process_event(FleetEvent::ActualsReported { machine: m, slot });
+                actions.push(outcome.action);
+            }
+        }
+        actions
+    }
+
+    #[test]
+    fn actuals_are_a_recorded_noop_without_adaptive_tuning() {
+        let mut plane = adaptive_fleet(None);
+        let objective = plane.objective();
+        let outcome = plane.process_event(FleetEvent::ActualsReported {
+            machine: 0,
+            slot: 0,
+        });
+        assert_eq!(outcome.action, "actuals-reported m0 t0 (off)");
+        assert!(outcome.resolved.is_empty());
+        assert_eq!(outcome.objective.to_bits(), objective.to_bits());
+        assert!(plane.tuners().is_empty());
+        assert!(plane.adaption_storages().is_empty());
+    }
+
+    #[test]
+    fn adaptive_lifecycle_reaches_a_terminal_verdict() {
+        let mut plane = adaptive_fleet(Some(eager_tuning()));
+        let mut actions = Vec::new();
+        for _ in 0..6 {
+            actions.extend(report_all(&mut plane));
+        }
+        assert!(
+            actions.iter().any(|a| a.ends_with("(shadow)")),
+            "a refitted candidate must shadow first: {actions:?}"
+        );
+        assert!(
+            actions
+                .iter()
+                .any(|a| a.ends_with("(promoted)") || a.ends_with("(rolled-back)")),
+            "the guardrail must reach a verdict: {actions:?}"
+        );
+        // Whatever the verdict, no machine is left running an
+        // uninstalled candidate: every calibration matches the class
+        // registry model for its (hardware, kind).
+        for m in 0..plane.machine_count() {
+            for (kind, model) in plane.machine(m).calibrations().to_vec() {
+                let hw = plane.machine(m).hypervisor().machine().fingerprint();
+                let class = plane.snapshot().registry;
+                let registered = class
+                    .iter()
+                    .find(|(h, k, _)| *h == hw && *k == kind)
+                    .map(|(_, _, m)| m.clone())
+                    .expect("class model registered");
+                assert_eq!(model.fingerprint(), registered.fingerprint());
+            }
+        }
+    }
+
+    #[test]
+    fn failed_canary_rolls_back_to_the_exact_incumbent() {
+        let mut tuning = eager_tuning();
+        // An impossible objective gate: any canary verdict rolls back.
+        tuning.guardrail.max_objective_regression = -1.0;
+        let mut plane = adaptive_fleet(Some(tuning));
+        let before: Vec<Vec<(EngineKind, CalibratedModel)>> = (0..plane.machine_count())
+            .map(|m| plane.machine(m).calibrations().to_vec())
+            .collect();
+        let registry_before = plane.snapshot().registry;
+
+        let mut actions = Vec::new();
+        let mut rolled_back = false;
+        'outer: for _ in 0..8 {
+            for m in 0..plane.machine_count() {
+                for slot in 0..plane.machine(m).tenant_count() {
+                    let outcome =
+                        plane.process_event(FleetEvent::ActualsReported { machine: m, slot });
+                    let done = outcome.action.ends_with("(rolled-back)");
+                    actions.push(outcome.action);
+                    if done {
+                        // Stop at the verdict: a cleared store will
+                        // re-propose a fresh candidate from new
+                        // residuals, so reporting further would start
+                        // the next lifecycle.
+                        rolled_back = true;
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        assert!(
+            rolled_back,
+            "the impossible objective gate must roll the canary back: {actions:?}"
+        );
+        assert!(
+            !actions.iter().any(|a| a.ends_with("(promoted)")),
+            "nothing can promote past an impossible gate: {actions:?}"
+        );
+        // Rollback restores the pre-canary models *exactly*.
+        for (m, expected) in before.iter().enumerate() {
+            assert_eq!(
+                plane.machine(m).calibrations().to_vec(),
+                *expected,
+                "machine {m} calibrations must be bit-identical after rollback"
+            );
+        }
+        assert_eq!(plane.snapshot().registry, registry_before);
+        assert!(plane.tuners().is_empty(), "tracker retires on rollback");
+        // The rejected candidate's evidence is gone: the store was
+        // cleared so the same samples cannot re-propose it.
+        for storage in plane.adaption_storages().values() {
+            assert!(storage.len() <= plane.stats().tenants);
+        }
+    }
+
+    #[test]
+    fn canary_tenant_departure_forces_rollback() {
+        let mut tuning = eager_tuning();
+        // Canary never settles on its own: it needs many samples.
+        tuning.guardrail.min_canary_samples = 1_000;
+        let mut plane = adaptive_fleet(Some(tuning));
+        let mut entered_canary = false;
+        for _ in 0..8 {
+            for a in report_all(&mut plane) {
+                entered_canary |= a.ends_with("(canary)");
+            }
+            if entered_canary {
+                break;
+            }
+        }
+        assert!(entered_canary, "fixture must enter canary");
+        let canary_fp = plane
+            .tuners()
+            .values()
+            .next()
+            .expect("tracker live in canary")
+            .canary_tenants()[0];
+        // Find and depart the canary tenant.
+        let (m, slot) = (0..plane.machine_count())
+            .flat_map(|m| (0..plane.machine(m).tenant_count()).map(move |s| (m, s)))
+            .find(|&(m, s)| plane.machine(m).tenant(s).fingerprint() == canary_fp)
+            .expect("canary tenant is hosted");
+        let registry_before = plane.snapshot().registry;
+        plane.process_event(FleetEvent::TenantDeparted { machine: m, slot });
+        assert!(
+            plane.tuners().is_empty(),
+            "departure of the canary tenant must retire the tracker"
+        );
+        assert_eq!(
+            plane.snapshot().registry,
+            registry_before,
+            "registry incumbent unchanged by the forced rollback"
+        );
+    }
+
+    #[test]
+    fn adaptive_state_snapshot_round_trips() {
+        let mut plane = adaptive_fleet(Some(eager_tuning()));
+        // Stop mid-lifecycle so both a storage and (typically) a
+        // tracker are live in the snapshot.
+        for _ in 0..2 {
+            report_all(&mut plane);
+        }
+        let snapshot = plane.snapshot();
+        assert!(
+            !snapshot.adaption.is_empty(),
+            "residual stores must be captured"
+        );
+        let json = snapshot.to_json();
+        let parsed = FleetSnapshot::from_json(&json).expect("snapshot parses");
+        assert_eq!(parsed, snapshot);
+
+        // Rebuild a fresh topology and restore.
+        let mut fresh = Vec::new();
+        let mut spaces = Vec::new();
+        for m in 0..plane.machine_count() {
+            let live = plane.machine(m);
+            let mut adv =
+                VirtualizationDesignAdvisor::new(Hypervisor::new(*live.hypervisor().machine()));
+            for (i, &q) in live.qos().iter().enumerate() {
+                adv.add_tenant(live.tenant(i).clone(), q);
+            }
+            fresh.push(adv);
+            spaces.push(*plane.space(m));
+        }
+        let resumed = ControlPlane::restore(
+            fresh,
+            spaces,
+            ControlPlaneOptions {
+                adaptive: Some(eager_tuning()),
+                ..ControlPlaneOptions::default()
+            },
+            &parsed,
+        )
+        .expect("snapshot restores");
+        assert_eq!(
+            resumed.snapshot().to_json(),
+            json,
+            "restored adaptive state must re-serialize byte-identically"
+        );
+        assert_eq!(resumed.tuners(), plane.tuners());
+        assert_eq!(
+            resumed.adaption_storages().keys().collect::<Vec<_>>(),
+            plane.adaption_storages().keys().collect::<Vec<_>>()
+        );
     }
 }

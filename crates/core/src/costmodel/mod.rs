@@ -21,13 +21,22 @@
 //! [`model`] unifies every cost source — what-if estimators, refined
 //! models (§5), and the executor's ground truth — behind the
 //! [`CostModel`] trait that the enumeration, refinement, and dynamic
-//! management layers consume.
+//! management layers consume. [`adaptive`] closes the loop the paper
+//! leaves open: executor actuals reported at runtime refit bounded
+//! per-axis corrections onto a calibrated model, guarded by the
+//! [`guardrail`](crate::guardrail) state machine before any adapted
+//! model is allowed to steer fleet decisions.
 
+pub mod adaptive;
 pub mod calibration;
 pub mod model;
 pub mod renormalize;
 pub mod whatif;
 
+pub use adaptive::{
+    refit, Adaption, AdaptionOptions, AdaptiveCostModel, AxisCorrection, ResidualSample,
+    RuntimeAdaptionStorage,
+};
 pub use calibration::{CalibratedModel, CalibrationConfig, CalibrationCost, Calibrator};
 pub use model::{ActualCostModel, CostModel, FnCostModel, RegimeFnCostModel};
 pub use renormalize::Renormalizer;

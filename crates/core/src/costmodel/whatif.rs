@@ -759,6 +759,67 @@ mod tests {
     }
 
     #[test]
+    fn adapted_models_never_alias_their_base_in_the_probe_cache() {
+        use crate::costmodel::adaptive::{Adaption, AxisCorrection};
+
+        let (hv, tenant) = setup();
+        let base = Calibrator::new(&hv).calibrate(&tenant.engine);
+        let adaption = Adaption {
+            correction: AxisCorrection::scale_only(1.5),
+            version: 7,
+        };
+        let adapted = base.clone().with_adaption(adaption);
+        // The fingerprint hashes the model's full debug form, so the
+        // overlay (and its version) salts it automatically.
+        assert_ne!(base.fingerprint(), adapted.fingerprint());
+        let rev = Adaption {
+            version: 8,
+            ..adaption
+        };
+        assert_ne!(
+            adapted.fingerprint(),
+            base.clone().with_adaption(rev).fingerprint(),
+            "same coefficients at a different storage version are a \
+             different model to every cache"
+        );
+        // Stripping the overlay restores the base fingerprint exactly
+        // (rollback relies on this).
+        assert_eq!(
+            adapted.clone().without_adaption().fingerprint(),
+            base.fingerprint()
+        );
+
+        // Regression: a probe-cache row primed by the base model must
+        // never be served to the adapted model, and vice versa. A
+        // stale hit would show up as identical seconds and zero
+        // optimizer calls on the second estimator.
+        let cache = ProbeCache::new();
+        let a = Allocation::new(0.5, 0.5);
+        let base_est = WhatIfEstimator::with_probe_cache(&tenant, &base, cache.clone());
+        let e_base = base_est.estimate(a);
+        assert!(base_est.optimizer_calls() > 0);
+
+        let adapted_est = WhatIfEstimator::with_probe_cache(&tenant, &adapted, cache.clone());
+        let e_adapted = adapted_est.estimate(a);
+        assert!(
+            adapted_est.optimizer_calls() > 0,
+            "stale base-model row served to the adapted model"
+        );
+        assert_eq!(adapted_est.cache_hits(), 0);
+        assert!(
+            (e_adapted.seconds / e_base.seconds - 1.5).abs() < 1e-9,
+            "the adapted estimate must carry the correction factor"
+        );
+        assert_eq!(cache.len(), 2, "one generation per model fingerprint");
+
+        // And the rows stay separate: re-querying each model hits its
+        // own generation.
+        let again = WhatIfEstimator::with_probe_cache(&tenant, &base, cache.clone());
+        assert_eq!(again.estimate(a), e_base);
+        assert_eq!(again.optimizer_calls(), 0);
+    }
+
+    #[test]
     fn probe_cache_survives_estimator_churn_and_counts() {
         let (hv, tenant) = setup();
         let model = Calibrator::new(&hv).calibrate(&tenant.engine);

@@ -114,6 +114,13 @@ pub struct DynamicConfigManager {
     current: Vec<Allocation>,
     converged: bool,
     period: usize,
+    /// Optional adaptive residual sink: when attached
+    /// ([`Self::attach_adaption_storage`]), every monitoring period
+    /// records each tenant's (base predicted, actual) pair at the
+    /// period's allocation, stamped with the period as the logical
+    /// epoch. Detached (the default), periods run bit-identically to a
+    /// build without the adaptive subsystem.
+    adaption: Option<crate::costmodel::RuntimeAdaptionStorage>,
 }
 
 impl DynamicConfigManager {
@@ -150,7 +157,26 @@ impl DynamicConfigManager {
             current: rec.result.allocations,
             converged: false,
             period: 0,
+            adaption: None,
         }
+    }
+
+    /// Attach a residual store: from the next period on, every
+    /// tenant's (base predicted, actual) observation feeds it — the
+    /// evidence an adaptive refit ([`crate::costmodel::refit`])
+    /// consumes. Replaces any previously attached store.
+    pub fn attach_adaption_storage(&mut self, storage: crate::costmodel::RuntimeAdaptionStorage) {
+        self.adaption = Some(storage);
+    }
+
+    /// The attached residual store, if any.
+    pub fn adaption_storage(&self) -> Option<&crate::costmodel::RuntimeAdaptionStorage> {
+        self.adaption.as_ref()
+    }
+
+    /// Detach and return the residual store.
+    pub fn take_adaption_storage(&mut self) -> Option<crate::costmodel::RuntimeAdaptionStorage> {
+        self.adaption.take()
     }
 
     /// Allocations currently in force.
@@ -196,6 +222,10 @@ impl DynamicConfigManager {
             // Monitoring observation.
             let actual = advisor.actual_cost(i, alloc);
             actual_costs.push(actual);
+            if let Some(storage) = &mut self.adaption {
+                storage.set_epoch(self.period as u64);
+                advisor.record_actual(i, alloc, storage);
+            }
             let model_est = self.states[i].model.predict(alloc);
             let error = (model_est - actual).abs() / actual.max(1e-12);
             errors.push(error);

@@ -53,6 +53,7 @@ pub mod controlplane;
 pub mod costmodel;
 pub mod dynamic;
 pub mod enumerate;
+pub mod guardrail;
 pub mod jsonio;
 pub mod metrics;
 pub mod placement;
@@ -65,12 +66,13 @@ pub use advisor::{
     Recommendation, TenantTransfer, TransferCalibration, VirtualizationDesignAdvisor,
 };
 pub use controlplane::{
-    BatchOutcome, ControlPlane, ControlPlaneOptions, ControlPlaneStats, Decision, DecisionLog,
-    EventOutcome, FleetEvent,
+    AdaptiveTuningOptions, BatchOutcome, ControlPlane, ControlPlaneOptions, ControlPlaneStats,
+    Decision, DecisionLog, EventOutcome, FleetEvent,
 };
 pub use costmodel::{
-    ActualCostModel, CalibratedModel, Calibrator, CostModel, Estimate, FnCostModel, ProbeCache,
-    RegimeFnCostModel, Renormalizer, SharedEstimateCache, WhatIfEstimator,
+    ActualCostModel, Adaption, AdaptionOptions, AdaptiveCostModel, AxisCorrection, CalibratedModel,
+    Calibrator, CostModel, Estimate, FnCostModel, ProbeCache, RegimeFnCostModel, Renormalizer,
+    RuntimeAdaptionStorage, SharedEstimateCache, WhatIfEstimator,
 };
 pub use dynamic::{
     DynamicConfigManager, DynamicOptions, FleetDynamicOptions, FleetManager, FleetPeriodReport,
@@ -82,6 +84,7 @@ pub use enumerate::{
     try_coarse_to_fine_search_with, try_exhaustive_search_with, CoarseToFineOptions, MachineClass,
     SearchOptions, SearchResult, TraceStep, WarmStart,
 };
+pub use guardrail::{GuardrailOptions, GuardrailState, GuardrailTracker};
 pub use metrics::CostAccounting;
 pub use placement::{
     assignment_objective, assignment_objective_heterogeneous, machine_capacity, place_tenants,

@@ -22,11 +22,13 @@
 //! See `docs/FORMATS.md` for the field-by-field schema.
 
 use crate::controlplane::Decision;
+use crate::costmodel::adaptive::{Adaption, AxisCorrection};
 use crate::costmodel::calibration::{CalibratedModel, CalibrationCost, CpuFits, IoConstants};
 use crate::costmodel::whatif::Estimate;
 use crate::costmodel::Renormalizer;
 use crate::dynamic::Migration;
 use crate::enumerate::{SearchResult, TraceStep};
+use crate::guardrail::{ErrorAccumulator, GuardrailExport, GuardrailState};
 use crate::jsonio::{self, Json};
 use crate::problem::{AllocKey, Allocation, Resource, ResourceVector};
 use vda_simdb::engines::EngineKind;
@@ -38,8 +40,11 @@ const FORMAT: &str = "vda-fleet-snapshot";
 /// re-solve wave counter (`waves`), the ring-buffer decision log's
 /// drop counter (`log_dropped`), and turned each decision's
 /// `migration` (object or null) into a `migrations` array — batches
-/// can take several.
-const VERSION: f64 = 2.0;
+/// can take several. Version 3 added the adaptive-calibration state:
+/// a nullable `adaption` overlay on every serialized model, the
+/// per-(hardware class, engine) residual stores (`adaption`), and the
+/// guardrail trackers (`tuners`).
+const VERSION: f64 = 3.0;
 
 /// One machine's durable state inside a [`FleetSnapshot`].
 #[derive(Debug, Clone, PartialEq)]
@@ -75,6 +80,37 @@ pub struct WarmSnapshot {
     pub last: SearchResult,
 }
 
+/// One (hardware class, engine kind) runtime adaption store inside a
+/// [`FleetSnapshot`]: the banked residual rows plus the scalar state
+/// that makes restored refits identical to never-restarted ones (see
+/// [`crate::costmodel::adaptive::RuntimeAdaptionStorage`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptionSnapshot {
+    /// Hardware-class fingerprint the store belongs to.
+    pub hardware: u64,
+    /// Engine kind the store belongs to.
+    pub kind: EngineKind,
+    /// The store's logical epoch at snapshot time.
+    pub epoch: u64,
+    /// The store's mutation counter at snapshot time.
+    pub version: u64,
+    /// Residual rows, sorted by `(tenant, allocation key)`:
+    /// `(tenant, key, epoch, predicted, actual)`.
+    pub rows: Vec<(u64, AllocKey, u64, f64, f64)>,
+}
+
+/// One (hardware class, engine kind) guardrail tracker inside a
+/// [`FleetSnapshot`] (see [`crate::guardrail::GuardrailTracker`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TunerSnapshot {
+    /// Hardware-class fingerprint the tracker belongs to.
+    pub hardware: u64,
+    /// Engine kind the tracker belongs to.
+    pub kind: EngineKind,
+    /// The tracker's full exported state.
+    pub tracker: GuardrailExport,
+}
+
 /// The durable state of a whole
 /// [`ControlPlane`](crate::controlplane::ControlPlane).
 #[derive(Debug, Clone, PartialEq)]
@@ -105,6 +141,12 @@ pub struct FleetSnapshot {
     /// Decisions the ring-buffer log overwrote before the snapshot was
     /// taken (`0` for an unbounded log).
     pub log_dropped: u64,
+    /// Runtime adaption stores, sorted by `(hardware, kind)` (empty
+    /// when the adaptive subsystem is off).
+    pub adaption: Vec<AdaptionSnapshot>,
+    /// Guardrail trackers, sorted by `(hardware, kind)` (empty when no
+    /// candidate is in flight).
+    pub tuners: Vec<TunerSnapshot>,
 }
 
 impl FleetSnapshot {
@@ -141,6 +183,8 @@ impl FleetSnapshot {
                 .collect(),
         );
         let log = Json::Arr(self.log.iter().map(decision_to_json).collect());
+        let adaption = Json::Arr(self.adaption.iter().map(adaption_store_to_json).collect());
+        let tuners = Json::Arr(self.tuners.iter().map(tuner_to_json).collect());
         let root = obj(vec![
             ("format", Json::Str(FORMAT.to_string())),
             ("version", Json::Num(VERSION)),
@@ -154,6 +198,8 @@ impl FleetSnapshot {
             ("probes", probes),
             ("log", log),
             ("log_dropped", Json::Num(self.log_dropped as f64)),
+            ("adaption", adaption),
+            ("tuners", tuners),
         ]);
         jsonio::write(&root)
     }
@@ -212,6 +258,14 @@ impl FleetSnapshot {
             .iter()
             .map(decision_from_json)
             .collect::<Result<Vec<_>, _>>()?;
+        let adaption = arr_field(&root, "adaption")?
+            .iter()
+            .map(adaption_store_from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        let tuners = arr_field(&root, "tuners")?
+            .iter()
+            .map(tuner_from_json)
+            .collect::<Result<Vec<_>, _>>()?;
         Ok(FleetSnapshot {
             seq: u64_field(&root, "seq")?,
             optimizer_calls: u64_field(&root, "optimizer_calls")?,
@@ -223,6 +277,8 @@ impl FleetSnapshot {
             probes,
             log,
             log_dropped: u64_field(&root, "log_dropped")?,
+            adaption,
+            tuners,
         })
     }
 }
@@ -369,6 +425,12 @@ fn model_to_json(m: &CalibratedModel) -> Json {
             ("variant", Json::Str("db2".to_string())),
             ("cpuspeed", fit_to_json(cpuspeed)),
         ]),
+        CpuFits::Tuple { scan, op, index } => obj(vec![
+            ("variant", Json::Str("tuple".to_string())),
+            ("scan", fit_to_json(scan)),
+            ("op", fit_to_json(op)),
+            ("index", fit_to_json(index)),
+        ]),
     };
     let io = match m.io {
         IoConstants::Pg { random_page_cost } => obj(vec![
@@ -382,6 +444,11 @@ fn model_to_json(m: &CalibratedModel) -> Json {
             ("variant", Json::Str("db2".to_string())),
             ("overhead_ms", Json::Num(overhead_ms)),
             ("transfer_rate_ms", Json::Num(transfer_rate_ms)),
+        ]),
+        IoConstants::Tuple { page, seek } => obj(vec![
+            ("variant", Json::Str("tuple".to_string())),
+            ("page", Json::Num(page)),
+            ("seek", Json::Num(seek)),
         ]),
     };
     let renorm = match m.renorm {
@@ -415,6 +482,81 @@ fn model_to_json(m: &CalibratedModel) -> Json {
                 ),
                 ("queries_run", Json::Num(m.cost.queries_run as f64)),
             ]),
+        ),
+        (
+            "adaption",
+            m.adaption.as_ref().map_or(Json::Null, adaption_to_json),
+        ),
+    ])
+}
+
+fn adaption_to_json(a: &Adaption) -> Json {
+    obj(vec![
+        ("scale", Json::Num(a.correction.scale)),
+        // detlint:allow(axis-compat, reason = "AxisCorrection's own coefficient field, not an Allocation axis")
+        ("cpu", Json::Num(a.correction.cpu)),
+        ("mem", Json::Num(a.correction.mem)),
+        ("version", Json::hex_u64(a.version)),
+    ])
+}
+
+fn key_to_json(key: &AllocKey) -> Json {
+    Json::Arr(key.iter().map(|&k| Json::Num(k as f64)).collect())
+}
+
+fn adaption_store_to_json(s: &AdaptionSnapshot) -> Json {
+    let rows = Json::Arr(
+        s.rows
+            .iter()
+            .map(|(tenant, key, epoch, predicted, actual)| {
+                obj(vec![
+                    ("tenant", Json::hex_u64(*tenant)),
+                    ("key", key_to_json(key)),
+                    ("epoch", Json::Num(*epoch as f64)),
+                    ("predicted", Json::Num(*predicted)),
+                    ("actual", Json::Num(*actual)),
+                ])
+            })
+            .collect(),
+    );
+    obj(vec![
+        ("hardware", Json::hex_u64(s.hardware)),
+        ("kind", kind_to_json(s.kind)),
+        ("epoch", Json::Num(s.epoch as f64)),
+        ("version", Json::Num(s.version as f64)),
+        ("rows", rows),
+    ])
+}
+
+fn accumulator_to_json(a: &ErrorAccumulator) -> Json {
+    obj(vec![
+        ("candidate_abs", Json::Num(a.candidate_abs)),
+        ("incumbent_abs", Json::Num(a.incumbent_abs)),
+        ("samples", Json::Num(a.samples as f64)),
+    ])
+}
+
+fn tuner_to_json(t: &TunerSnapshot) -> Json {
+    let e = &t.tracker;
+    obj(vec![
+        ("hardware", Json::hex_u64(t.hardware)),
+        ("kind", kind_to_json(t.kind)),
+        ("state", Json::Str(e.state.name().to_string())),
+        ("candidate", adaption_to_json(&e.candidate)),
+        ("base_fingerprint", Json::hex_u64(e.base_fingerprint)),
+        ("shadow", accumulator_to_json(&e.shadow)),
+        ("canary", accumulator_to_json(&e.canary)),
+        (
+            "seen_tenants",
+            Json::Arr(e.seen_tenants.iter().map(|&f| Json::hex_u64(f)).collect()),
+        ),
+        (
+            "canary_tenants",
+            Json::Arr(e.canary_tenants.iter().map(|&f| Json::hex_u64(f)).collect()),
+        ),
+        (
+            "baseline_objective",
+            e.baseline_objective.map_or(Json::Null, Json::Num),
         ),
     ])
 }
@@ -510,6 +652,7 @@ fn kind_from_json(j: &Json) -> Result<EngineKind, String> {
     match j.as_str() {
         Some("pgsim") => Ok(EngineKind::PgSim),
         Some("db2sim") => Ok(EngineKind::Db2Sim),
+        Some("tuplesim") => Ok(EngineKind::TupleSim),
         other => Err(format!("unknown engine kind {other:?}")),
     }
 }
@@ -586,6 +729,85 @@ fn fit_from_json(j: &Json) -> Result<LinearFit, String> {
     })
 }
 
+fn adaption_from_json(j: &Json) -> Result<Adaption, String> {
+    Ok(Adaption {
+        correction: AxisCorrection {
+            scale: f64_field(j, "scale")?,
+            cpu: f64_field(j, "cpu")?,
+            mem: f64_field(j, "mem")?,
+        },
+        version: hex_field(j, "version")?,
+    })
+}
+
+fn key_from_json(j: &Json) -> Result<AllocKey, String> {
+    let key_arr = j.as_arr().ok_or("allocation key must be an array")?;
+    if key_arr.len() != Resource::COUNT {
+        return Err(format!("allocation key must have {} axes", Resource::COUNT));
+    }
+    let mut key: AllocKey = [0; Resource::COUNT];
+    for (slot, item) in key.iter_mut().zip(key_arr) {
+        *slot = item
+            .as_f64()
+            .ok_or("allocation key entries must be numbers")? as u32;
+    }
+    Ok(key)
+}
+
+fn adaption_store_from_json(j: &Json) -> Result<AdaptionSnapshot, String> {
+    let rows = arr_field(j, "rows")?
+        .iter()
+        .map(|r| {
+            Ok((
+                hex_field(r, "tenant")?,
+                key_from_json(field(r, "key")?)?,
+                u64_field(r, "epoch")?,
+                f64_field(r, "predicted")?,
+                f64_field(r, "actual")?,
+            ))
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(AdaptionSnapshot {
+        hardware: hex_field(j, "hardware")?,
+        kind: kind_from_json(field(j, "kind")?)?,
+        epoch: u64_field(j, "epoch")?,
+        version: u64_field(j, "version")?,
+        rows,
+    })
+}
+
+fn accumulator_from_json(j: &Json) -> Result<ErrorAccumulator, String> {
+    Ok(ErrorAccumulator {
+        candidate_abs: f64_field(j, "candidate_abs")?,
+        incumbent_abs: f64_field(j, "incumbent_abs")?,
+        samples: u64_field(j, "samples")?,
+    })
+}
+
+fn tuner_from_json(j: &Json) -> Result<TunerSnapshot, String> {
+    let state_name = str_field(j, "state")?;
+    let state = GuardrailState::from_name(state_name)
+        .ok_or_else(|| format!("unknown guardrail state {state_name:?}"))?;
+    let baseline_objective = match field(j, "baseline_objective")? {
+        Json::Null => None,
+        v => Some(v.as_f64().ok_or("baseline_objective must be a number")?),
+    };
+    Ok(TunerSnapshot {
+        hardware: hex_field(j, "hardware")?,
+        kind: kind_from_json(field(j, "kind")?)?,
+        tracker: GuardrailExport {
+            state,
+            candidate: adaption_from_json(field(j, "candidate")?)?,
+            base_fingerprint: hex_field(j, "base_fingerprint")?,
+            shadow: accumulator_from_json(field(j, "shadow")?)?,
+            canary: accumulator_from_json(field(j, "canary")?)?,
+            seen_tenants: hex_arr(j, "seen_tenants")?,
+            canary_tenants: hex_arr(j, "canary_tenants")?,
+            baseline_objective,
+        },
+    })
+}
+
 fn model_from_json(j: &Json) -> Result<CalibratedModel, String> {
     let cpu = field(j, "cpu_fits")?;
     let cpu_fits = match str_field(cpu, "variant")? {
@@ -597,6 +819,11 @@ fn model_from_json(j: &Json) -> Result<CalibratedModel, String> {
         "db2" => CpuFits::Db2 {
             cpuspeed: fit_from_json(field(cpu, "cpuspeed")?)?,
         },
+        "tuple" => CpuFits::Tuple {
+            scan: fit_from_json(field(cpu, "scan")?)?,
+            op: fit_from_json(field(cpu, "op")?)?,
+            index: fit_from_json(field(cpu, "index")?)?,
+        },
         other => return Err(format!("unknown cpu_fits variant {other:?}")),
     };
     let io_j = field(j, "io")?;
@@ -607,6 +834,10 @@ fn model_from_json(j: &Json) -> Result<CalibratedModel, String> {
         "db2" => IoConstants::Db2 {
             overhead_ms: f64_field(io_j, "overhead_ms")?,
             transfer_rate_ms: f64_field(io_j, "transfer_rate_ms")?,
+        },
+        "tuple" => IoConstants::Tuple {
+            page: f64_field(io_j, "page")?,
+            seek: f64_field(io_j, "seek")?,
         },
         other => return Err(format!("unknown io variant {other:?}")),
     };
@@ -626,6 +857,10 @@ fn model_from_json(j: &Json) -> Result<CalibratedModel, String> {
         fit => Some(fit_from_json(fit)?),
     };
     let cost_j = field(j, "cost")?;
+    let adaption = match field(j, "adaption")? {
+        Json::Null => None,
+        a => Some(adaption_from_json(a)?),
+    };
     Ok(CalibratedModel {
         kind: kind_from_json(field(j, "kind")?)?,
         machine_mem_mb: f64_field(j, "machine_mem_mb")?,
@@ -638,6 +873,7 @@ fn model_from_json(j: &Json) -> Result<CalibratedModel, String> {
             vm_configurations: usize_field(cost_j, "vm_configurations")?,
             queries_run: usize_field(cost_j, "queries_run")?,
         },
+        adaption,
     })
 }
 
@@ -760,6 +996,18 @@ mod tests {
                 vm_configurations: 6,
                 queries_run: 42,
             },
+            adaption: None,
+        }
+    }
+
+    fn sample_adaption() -> Adaption {
+        Adaption {
+            correction: AxisCorrection {
+                scale: 1.25,
+                cpu: -0.0625,
+                mem: 0.015625,
+            },
+            version: (1 << 57) + 9,
         }
     }
 
@@ -791,7 +1039,10 @@ mod tests {
                 MachineSnapshot {
                     hardware: u64::MAX - 17,
                     tenants: vec![(1 << 60) + 3, 42],
-                    calibrations: vec![(EngineKind::PgSim, model.clone())],
+                    calibrations: vec![(
+                        EngineKind::PgSim,
+                        model.clone().with_adaption(sample_adaption()),
+                    )],
                     placement: Some(sample_result()),
                     warm: Some(WarmSnapshot {
                         key: 0xdead_beef_cafe_f00d,
@@ -835,6 +1086,38 @@ mod tests {
                 objective: 98.7654321,
             }],
             log_dropped: 7,
+            adaption: vec![AdaptionSnapshot {
+                hardware: u64::MAX - 17,
+                kind: EngineKind::PgSim,
+                epoch: 74,
+                version: 12,
+                rows: vec![
+                    (42, [5000, 5000, 10000, 10000], 71, 0.125, 0.25),
+                    ((1 << 60) + 3, [2500, 7500, 10000, 10000], 74, 1e-3, 2e-3),
+                ],
+            }],
+            tuners: vec![TunerSnapshot {
+                hardware: u64::MAX - 17,
+                kind: EngineKind::PgSim,
+                tracker: GuardrailExport {
+                    state: GuardrailState::Canary,
+                    candidate: sample_adaption(),
+                    base_fingerprint: 0xFEED_FACE_0123_4567,
+                    shadow: ErrorAccumulator {
+                        candidate_abs: 0.5,
+                        incumbent_abs: 1.5,
+                        samples: 4,
+                    },
+                    canary: ErrorAccumulator {
+                        candidate_abs: 0.25,
+                        incumbent_abs: 0.75,
+                        samples: 2,
+                    },
+                    seen_tenants: vec![42, (1 << 60) + 3],
+                    canary_tenants: vec![42],
+                    baseline_objective: Some(98.7654321),
+                },
+            }],
         }
     }
 
@@ -864,7 +1147,7 @@ mod tests {
             .contains("format"));
         let wrong_version = sample_snapshot()
             .to_json()
-            .replace("\"version\":2", "\"version\":3");
+            .replace("\"version\":3,\"seq\"", "\"version\":4,\"seq\"");
         assert!(FleetSnapshot::from_json(&wrong_version)
             .unwrap_err()
             .contains("version"));

@@ -88,6 +88,30 @@ mod tests {
     }
 
     #[test]
+    fn adaptive_subsystem_is_fully_strict() {
+        // The adaptive path feeds decisions, so nothing in it may be
+        // exempt: no wall-clock, no hash-map iteration, no legacy
+        // shims, and D3 stays off because these modules never print
+        // floats (snapshot.rs serializes their state for them).
+        for path in [
+            "crates/core/src/costmodel/adaptive.rs",
+            "crates/core/src/guardrail.rs",
+            "crates/simdb/src/engines/tuplesim.rs",
+        ] {
+            let s = scope_for(path);
+            assert!(!s.test_file, "{path}");
+            assert!(!s.wall_clock_ok, "{path}");
+            assert!(!s.float_fmt_applies, "{path}");
+            assert!(!s.axis_compat_exempt, "{path}");
+        }
+        // The bench harness driving them keeps its designated
+        // measurement/serialization scope.
+        let bench = scope_for("crates/bench/src/experiments/adaptbench.rs");
+        assert!(bench.wall_clock_ok);
+        assert!(bench.float_fmt_applies);
+    }
+
+    #[test]
     fn fixtures_are_strict() {
         let s = scope_for("crates/detlint/fixtures/float_fmt.rs");
         assert!(s.float_fmt_applies);

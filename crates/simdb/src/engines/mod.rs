@@ -1,4 +1,4 @@
-//! The two simulated database engines.
+//! The simulated database engines.
 //!
 //! [`PgSim`] mirrors PostgreSQL 8.1.3: its optimizer parameters are the
 //! seven of Table II, and estimated costs are expressed in units of one
@@ -7,7 +7,10 @@
 //! *timerons*, a synthetic unit related to milliseconds by a constant
 //! the engine does not publish — which is why the advisor renormalizes
 //! DB2-style costs by regressing measured runtimes against timeron
-//! estimates (§4.2).
+//! estimates (§4.2). [`TupleSim`] is a third, structurally different
+//! family: a flat table of per-tuple/per-page unit charges whose
+//! native unit (the work of scanning one tuple) is likewise
+//! unpublished and recovered by regression.
 //!
 //! Each engine owns:
 //!
@@ -24,9 +27,11 @@
 
 mod db2sim;
 mod pgsim;
+mod tuplesim;
 
 pub use db2sim::{Db2Params, Db2Sim};
 pub use pgsim::{PgParams, PgSim};
+pub use tuplesim::{TupleParams, TupleSim};
 
 use crate::plan::CostFactors;
 use serde::{Deserialize, Serialize};
@@ -46,6 +51,8 @@ pub enum EngineKind {
     PgSim,
     /// The DB2-like engine.
     Db2Sim,
+    /// The tuple-cost engine.
+    TupleSim,
 }
 
 impl EngineKind {
@@ -54,6 +61,7 @@ impl EngineKind {
         match self {
             EngineKind::PgSim => "pgsim",
             EngineKind::Db2Sim => "db2sim",
+            EngineKind::TupleSim => "tuplesim",
         }
     }
 }
@@ -65,6 +73,8 @@ pub enum EngineParams {
     Pg(PgParams),
     /// DB2-like parameters (Table III).
     Db2(Db2Params),
+    /// Tuple-cost unit charges.
+    Tuple(TupleParams),
 }
 
 /// The division of a VM's memory grant decided by the engine's tuning
@@ -199,6 +209,8 @@ pub enum Engine {
     Pg(PgSim),
     /// DB2-like engine.
     Db2(Db2Sim),
+    /// Tuple-cost engine.
+    Tuple(TupleSim),
 }
 
 impl Engine {
@@ -214,11 +226,18 @@ impl Engine {
         Engine::Db2(Db2Sim::default())
     }
 
+    /// A tuple-cost engine with its default memory policy (half of
+    /// free memory to the tuple cache, a quarter to the sort area).
+    pub fn tuple() -> Self {
+        Engine::Tuple(TupleSim::default())
+    }
+
     /// Engine discriminator.
     pub fn kind(&self) -> EngineKind {
         match self {
             Engine::Pg(_) => EngineKind::PgSim,
             Engine::Db2(_) => EngineKind::Db2Sim,
+            Engine::Tuple(_) => EngineKind::TupleSim,
         }
     }
 
@@ -228,6 +247,7 @@ impl Engine {
         match &mut self {
             Engine::Pg(e) => e.policy = policy,
             Engine::Db2(e) => e.policy = policy,
+            Engine::Tuple(e) => e.policy = policy,
         }
         self
     }
@@ -238,6 +258,7 @@ impl Engine {
         match &mut self {
             Engine::Pg(e) => e.quirks = quirks,
             Engine::Db2(e) => e.quirks = quirks,
+            Engine::Tuple(e) => e.quirks = quirks,
         }
         self
     }
@@ -247,6 +268,7 @@ impl Engine {
         match self {
             Engine::Pg(e) => &e.policy,
             Engine::Db2(e) => &e.policy,
+            Engine::Tuple(e) => &e.policy,
         }
     }
 
@@ -261,6 +283,7 @@ impl Engine {
         match self {
             Engine::Pg(e) => &e.cycles,
             Engine::Db2(e) => &e.cycles,
+            Engine::Tuple(e) => &e.cycles,
         }
     }
 
@@ -269,6 +292,7 @@ impl Engine {
         match self {
             Engine::Pg(e) => &e.quirks,
             Engine::Db2(e) => &e.quirks,
+            Engine::Tuple(e) => &e.quirks,
         }
     }
 
@@ -283,6 +307,7 @@ impl Engine {
         match (self, params) {
             (Engine::Pg(e), EngineParams::Pg(p)) => e.factors(p),
             (Engine::Db2(e), EngineParams::Db2(p)) => e.factors(p),
+            (Engine::Tuple(e), EngineParams::Tuple(p)) => e.factors(p),
             (engine, params) => panic!(
                 "parameter kind mismatch: engine {:?} given {:?}",
                 engine.kind(),
@@ -300,6 +325,7 @@ impl Engine {
         match self {
             Engine::Pg(e) => EngineParams::Pg(e.true_params(perf)),
             Engine::Db2(e) => EngineParams::Db2(e.true_params(perf)),
+            Engine::Tuple(e) => EngineParams::Tuple(e.true_params(perf)),
         }
     }
 
@@ -311,6 +337,7 @@ impl Engine {
         match self {
             Engine::Pg(_) => seq_page_secs,
             Engine::Db2(_) => db2sim::MS_PER_TIMERON / 1e3,
+            Engine::Tuple(_) => tuplesim::SECS_PER_TUPLE_UNIT,
         }
     }
 }

@@ -1,0 +1,188 @@
+//! The tuple-cost engine.
+//!
+//! [`TupleSim`] models the third family of optimizers: engines whose
+//! cost model is a flat table of **per-tuple work units** (one constant
+//! per scan tuple, index entry, operator evaluation, page transfer,
+//! and seek) instead of PostgreSQL's page-normalized parameters or
+//! DB2's instruction/`cpuspeed` formulation. Its native cost unit is
+//! "the work of scanning one tuple on the reference hardware", so
+//! CPU and I/O response curves *emerge* from how many unit charges a
+//! plan accrues rather than from closed-form parameter curves — the
+//! calibrator has to recover both the per-axis unit charges and the
+//! unit↔seconds relation by regression, exactly like the DB2 path.
+
+use super::{
+    EngineQuirks, MemoryConfig, TrueCycleCosts, TuningPolicy, WorkMemRule, OS_RESERVE_MB,
+    PAGES_PER_MB,
+};
+use crate::plan::CostFactors;
+use serde::{Deserialize, Serialize};
+use vda_vmm::VmPerf;
+
+/// Seconds per tuple unit: the engine-internal normalization constant
+/// relating tuple-cost units to time on the reference hardware.
+/// Deliberately **not** exposed through any engine API used by the
+/// advisor — like DB2's timeron, the advisor must recover the
+/// unit↔seconds relation by linear regression over calibration
+/// queries (§4.2).
+pub(super) const SECS_PER_TUPLE_UNIT: f64 = 1.25e-6;
+
+/// Optimizer configuration parameters of the tuple-cost engine: five
+/// descriptive unit charges plus the two prescriptive memory knobs.
+/// All unit charges are expressed in tuple units (the cost of scanning
+/// one tuple is the engine's 1.0 by construction on reference
+/// hardware, and scales with the VM's effective clock like every other
+/// CPU charge).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TupleParams {
+    /// Units charged per tuple scanned (descriptive).
+    pub scan_tuple_units: f64,
+    /// Units charged per index entry examined (descriptive).
+    pub index_tuple_units: f64,
+    /// Units charged per operator/predicate evaluation (descriptive).
+    pub op_units: f64,
+    /// Units charged per data page transferred (descriptive).
+    pub page_units: f64,
+    /// Extra units charged per non-sequential page (seek; descriptive).
+    pub seek_units: f64,
+    /// Sort/work memory, MB (prescriptive).
+    pub sort_mb: f64,
+    /// Tuple cache (buffer pool), MB (prescriptive).
+    pub cache_mb: f64,
+}
+
+/// The tuple-cost engine definition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TupleSim {
+    /// Ground-truth executor cycle costs.
+    pub cycles: TrueCycleCosts,
+    /// Estimate/actual divergence profile.
+    pub quirks: EngineQuirks,
+    /// Memory tuning policy.
+    pub policy: TuningPolicy,
+}
+
+impl Default for TupleSim {
+    fn default() -> Self {
+        TupleSim {
+            // A vectorized-leaning executor: tuples are a bit more
+            // expensive to materialize than PgSim's, but operator
+            // evaluation amortizes across batches and index probes are
+            // cheap.
+            cycles: TrueCycleCosts {
+                tuple: 3400.0,
+                operator: 2200.0,
+                index_tuple: 1500.0,
+            },
+            quirks: EngineQuirks {
+                return_row_cycles: 700.0,
+                stmt_overhead_cycles: 9_000_000.0,
+                lock_cycles: 50_000.0,
+                contention_coef: 0.4,
+                // The flat unit table prices spills at face value but
+                // batches write-backs poorly.
+                spill_actual_factor: 1.5,
+                update_io_factor: 2.5,
+                oltp_cpu_factor: 1.4,
+            },
+            // Half of free memory to the tuple cache, a quarter to the
+            // sort area; the rest is left to the OS (the engine does
+            // direct I/O, so it buys nothing back).
+            policy: TuningPolicy::Proportional {
+                os_reserve_mb: OS_RESERVE_MB,
+                buffer_frac: 0.5,
+                work: WorkMemRule::Fraction(0.25),
+            },
+        }
+    }
+}
+
+impl TupleSim {
+    /// The fixed-memory policy of CPU-only experiments (128 MB tuple
+    /// cache, 24 MB sort area).
+    pub fn fixed_memory_policy() -> TuningPolicy {
+        TuningPolicy::Fixed {
+            buffer_mb: 128.0,
+            work_mb: 24.0,
+        }
+    }
+
+    /// Map parameters to neutral cost factors (native unit: one tuple
+    /// unit — the work of scanning one tuple on reference hardware).
+    pub fn factors(&self, p: &TupleParams) -> CostFactors {
+        CostFactors {
+            seq_page: p.page_units,
+            rand_page: p.page_units + p.seek_units,
+            cpu_tuple: p.scan_tuple_units,
+            cpu_operator: p.op_units,
+            cpu_index_tuple: p.index_tuple_units,
+            work_mem_pages: p.sort_mb * PAGES_PER_MB,
+            // Direct I/O: only the tuple cache keeps pages warm.
+            buffer_pages: p.cache_mb * PAGES_PER_MB,
+        }
+    }
+
+    /// Parameters an ideal calibration would produce for a VM: each
+    /// unit charge is the real per-item time divided by the reference
+    /// tuple-unit duration.
+    pub fn true_params(&self, perf: &VmPerf) -> TupleParams {
+        let mem = self.policy.apply(perf.memory_mb);
+        let unit = SECS_PER_TUPLE_UNIT;
+        let cycle_secs = 1.0 / perf.cpu_hz;
+        TupleParams {
+            scan_tuple_units: self.cycles.tuple * cycle_secs / unit,
+            index_tuple_units: self.cycles.index_tuple * cycle_secs / unit,
+            op_units: self.cycles.operator * cycle_secs / unit,
+            page_units: perf.seq_page_secs / unit,
+            seek_units: (perf.rand_page_secs - perf.seq_page_secs) / unit,
+            sort_mb: mem.work_mb,
+            cache_mb: mem.buffer_mb,
+        }
+    }
+
+    /// The memory configuration adopted on a VM with `vm_memory_mb`.
+    pub fn tuning(&self, vm_memory_mb: f64) -> MemoryConfig {
+        self.policy.apply(vm_memory_mb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vda_vmm::{Hypervisor, PhysicalMachine, VmConfig};
+
+    fn perf(cpu: f64, mem: f64) -> VmPerf {
+        Hypervisor::new(PhysicalMachine::paper_testbed()).perf_for(VmConfig::new(cpu, mem).unwrap())
+    }
+
+    #[test]
+    fn default_policy_splits_half_and_quarter() {
+        let e = TupleSim::default();
+        let cfg = e.tuning(1264.0);
+        assert!((cfg.buffer_mb - 0.5 * 1024.0).abs() < 1e-9);
+        assert!((cfg.work_mb - 0.25 * 1024.0).abs() < 1e-9);
+        assert!((cfg.os_cache_mb - 0.25 * 1024.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unit_charges_scale_with_cpu_share() {
+        let e = TupleSim::default();
+        let (lo, hi) = (perf(0.25, 0.5), perf(0.75, 0.5));
+        let (plo, phi) = (e.true_params(&lo), e.true_params(&hi));
+        // CPU unit charges are linear in 1/share; I/O charges are not.
+        assert!((plo.scan_tuple_units / phi.scan_tuple_units - 3.0).abs() < 1e-9);
+        assert!((plo.op_units / phi.op_units - 3.0).abs() < 1e-9);
+        assert_eq!(plo.page_units, phi.page_units);
+        assert_eq!(plo.seek_units, phi.seek_units);
+    }
+
+    #[test]
+    fn factors_charge_seeks_on_random_pages_only() {
+        let e = TupleSim::default();
+        let p = e.true_params(&perf(0.5, 0.5));
+        let f = e.factors(&p);
+        assert!((f.rand_page - f.seq_page - p.seek_units).abs() < 1e-12);
+        assert!(f.cpu_tuple > 0.0);
+        assert!((f.buffer_pages - p.cache_mb * PAGES_PER_MB).abs() < 1e-9);
+    }
+}
